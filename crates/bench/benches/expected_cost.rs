@@ -1,0 +1,67 @@
+//! Criterion bench for E6: the §3.6.1/§3.6.2 streaming expected-cost
+//! algorithms vs the defining triple sum, across bucket counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lec_cost::expected::{naive_expected_join_cost, streaming_expected_join_cost};
+use lec_plan::JoinMethod;
+use lec_prob::{Distribution, PrefixTables};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn dist(rng: &mut impl Rng, b: usize, lo: f64, hi: f64) -> Distribution {
+    Distribution::from_pairs((0..b).map(|_| (rng.gen_range(lo..hi), rng.gen_range(0.05..1.0))))
+        .unwrap()
+}
+
+fn bench_expected_cost(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("expected_join_cost");
+    group.sample_size(30);
+    for b in [8usize, 32, 128] {
+        let a = dist(&mut rng, b, 1.0, 1e6);
+        let bd = dist(&mut rng, b, 1.0, 1e6);
+        let m = dist(&mut rng, b, 2.0, 5e3);
+        group.bench_with_input(BenchmarkId::new("naive_sm", b), &b, |bench, _| {
+            bench.iter(|| {
+                black_box(naive_expected_join_cost(
+                    JoinMethod::SortMerge,
+                    black_box(&a),
+                    black_box(&bd),
+                    black_box(&m),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("streaming_sm", b), &b, |bench, _| {
+            let mt = PrefixTables::new(&m);
+            bench.iter(|| {
+                black_box(
+                    streaming_expected_join_cost(
+                        JoinMethod::SortMerge,
+                        black_box(&a),
+                        black_box(&bd),
+                        black_box(&mt),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("streaming_nl", b), &b, |bench, _| {
+            let mt = PrefixTables::new(&m);
+            bench.iter(|| {
+                black_box(
+                    streaming_expected_join_cost(
+                        JoinMethod::PageNestedLoop,
+                        black_box(&a),
+                        black_box(&bd),
+                        black_box(&mt),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expected_cost);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for E4: optimizer wall time vs bucket count `b` and
+//! query size `n` — the paper's "factor b" overhead claim (Theorem 3.2,
+//! Contribution 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lec_bench::workloads::scaling_chain;
+use lec_core::{optimize_lec_static, optimize_lsc};
+use lec_cost::CostModel;
+use lec_prob::presets;
+use std::hint::black_box;
+
+fn bench_buckets(c: &mut Criterion) {
+    let w = scaling_chain(6);
+    let model = CostModel::new(&w.catalog, &w.query);
+    let mut group = c.benchmark_group("optimizer_vs_buckets");
+    group.sample_size(20);
+    group.bench_function("lsc_point", |bench| {
+        bench.iter(|| black_box(optimize_lsc(&model, black_box(400.0)).unwrap().cost))
+    });
+    for b in [1usize, 4, 16, 64] {
+        let memory = presets::spread_family(400.0, 0.8, b).unwrap();
+        group.bench_with_input(BenchmarkId::new("alg_c", b), &b, |bench, _| {
+            bench.iter(|| {
+                black_box(optimize_lec_static(&model, black_box(&memory)).unwrap().cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let memory = presets::spread_family(400.0, 0.8, 8).unwrap();
+    let mut group = c.benchmark_group("optimizer_vs_tables");
+    group.sample_size(15);
+    for n in [4usize, 6, 8, 10] {
+        let w = scaling_chain(n);
+        group.bench_with_input(BenchmarkId::new("alg_c_b8", n), &n, |bench, _| {
+            let model = CostModel::new(&w.catalog, &w.query);
+            bench.iter(|| {
+                black_box(optimize_lec_static(&model, black_box(&memory)).unwrap().cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buckets, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for the execution substrate: Monte-Carlo simulation
+//! throughput and the page-level external operators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lec_core::fixtures;
+use lec_cost::CostModel;
+use lec_exec::{external_sort, grace_hash_join, monte_carlo, DiskTable, Environment};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let (catalog, query) = fixtures::example_1_1();
+    let model = CostModel::new(&catalog, &query);
+    let memory = fixtures::example_1_1_memory();
+    let plan = lec_core::optimize_lsc(&model, 2000.0).unwrap().plan;
+    let env = Environment::Static(memory);
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(20);
+    for runs in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("runs", runs), &runs, |bench, &r| {
+            bench.iter(|| {
+                black_box(monte_carlo(&model, &plan, &env, r, 7).unwrap().mean)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mk = |rows: usize, rng: &mut rand::rngs::StdRng| {
+        DiskTable::from_rows(
+            (0..rows).map(|i| vec![rng.gen_range(0..256i64), i as i64]),
+            4,
+        )
+    };
+    let a = mk(512, &mut rng);
+    let b = mk(128, &mut rng);
+    let mut group = c.benchmark_group("external_operators");
+    group.sample_size(20);
+    group.bench_function("external_sort_128p_m8", |bench| {
+        bench.iter(|| black_box(external_sort(black_box(&a), 0, 8, 4).io))
+    });
+    group.bench_function("grace_hash_128x32p_m8", |bench| {
+        bench.iter(|| {
+            black_box(grace_hash_join(black_box(&a), black_box(&b), 0, 0, 8, 4).io)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for E5: Algorithm B cost as the top-c list length
+//! grows — near-flat thanks to the Proposition 3.1 frontier.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lec_bench::workloads::scaling_chain;
+use lec_core::optimize_alg_b;
+use lec_cost::CostModel;
+use lec_prob::presets;
+use std::hint::black_box;
+
+fn bench_topc(c: &mut Criterion) {
+    let w = scaling_chain(6);
+    let model = CostModel::new(&w.catalog, &w.query);
+    let memory = presets::spread_family(400.0, 0.8, 4).unwrap();
+    let mut group = c.benchmark_group("alg_b_topc");
+    group.sample_size(15);
+    for topc in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("c", topc), &topc, |bench, &tc| {
+            bench.iter(|| {
+                black_box(
+                    optimize_alg_b(&model, black_box(&memory), tc)
+                        .unwrap()
+                        .expected_cost,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topc);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Minimal aligned-table printer for experiment output.
+
+use std::fmt::Write as _;
+
+/// A text table with right-aligned numeric columns.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with per-column widths; first column left-aligned, the rest
+    /// right-aligned.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{c:<w$}", w = widths[i]);
+                } else {
+                    let _ = write!(out, "{c:>w$}", w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Format a float with thousands-free compact notation.
+pub fn num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e7 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if v.fract() == 0.0 && v.abs() < 1e7 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["name", "x"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].ends_with("12345"));
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        Table::new(&["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(42.0), "42");
+        assert_eq!(num(1234.5), "1234.50");
+        assert_eq!(num(3.0e9), "3.000e9");
+        assert_eq!(num(2.5e-9), "2.500e-9");
+        assert_eq!(pct(0.125), "12.5%");
+    }
+}

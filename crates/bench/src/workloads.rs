@@ -1,0 +1,102 @@
+//! Shared workload builders for the experiment harness.
+
+use lec_catalog::{Catalog, CatalogGenerator, CatalogProfile};
+use lec_plan::{Query, QueryProfile, Topology, WorkloadGenerator};
+
+/// A generated benchmark workload: one catalog, one query.
+pub struct Workload {
+    /// The catalog.
+    pub catalog: Catalog,
+    /// The query.
+    pub query: Query,
+}
+
+/// Deterministic batch of workloads for experiments: `count` queries of
+/// `n_tables` tables with rotating topologies.
+pub fn batch(seed: u64, count: usize, n_tables: usize, sel_buckets: usize) -> Vec<Workload> {
+    let topologies = [Topology::Chain, Topology::Star, Topology::Random];
+    (0..count)
+        .map(|i| {
+            let s = seed + i as u64;
+            let profile = CatalogProfile {
+                min_pages: 200,
+                max_pages: 1_000_000,
+                ..Default::default()
+            };
+            let mut g = CatalogGenerator::with_profile(s, profile);
+            let catalog = g.generate(n_tables + 2);
+            let ids = g.pick_tables(&catalog, n_tables);
+            let mut wg = WorkloadGenerator::new(s ^ 0x5EED);
+            let qp = QueryProfile {
+                topology: topologies[i % topologies.len()],
+                sel_buckets,
+                ..Default::default()
+            };
+            let query = wg.gen_query(&catalog, &ids, &qp);
+            Workload { catalog, query }
+        })
+        .collect()
+}
+
+/// A fixed n-table chain over round-number table sizes: the scaling
+/// fixture for optimization-time experiments (identical shape at every n).
+pub fn scaling_chain(n: usize) -> Workload {
+    use lec_catalog::{ColumnStats, TableStats};
+    use lec_plan::{ColumnRef, JoinPredicate, QueryTable};
+    let mut catalog = Catalog::new();
+    let sizes: Vec<u64> = (0..n).map(|i| 10_000 * (1 + (i as u64 % 5))).collect();
+    let ids: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &pages)| {
+            catalog.add_table(
+                format!("S{i}"),
+                TableStats::new(pages, pages * 50, vec![
+                    ColumnStats::plain("a", 1000),
+                    ColumnStats::plain("b", 1000),
+                ]),
+            )
+        })
+        .collect();
+    let query = Query {
+        tables: ids.into_iter().map(QueryTable::bare).collect(),
+        joins: (0..n - 1)
+            .map(|i| {
+                let target = (sizes[i].min(sizes[i + 1]) as f64) * 0.3;
+                JoinPredicate::exact(
+                    ColumnRef::new(i, 1),
+                    ColumnRef::new(i + 1, 0),
+                    target / (sizes[i] as f64 * sizes[i + 1] as f64),
+                )
+            })
+            .collect(),
+        required_order: Some(ColumnRef::new(n - 1, 1)),
+    };
+    Workload { catalog, query }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic_and_valid() {
+        let a = batch(5, 6, 4, 1);
+        let b = batch(5, 6, 4, 1);
+        assert_eq!(a.len(), 6);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.query, wb.query);
+            assert_eq!(wa.query.validate(&wa.catalog), Ok(()));
+        }
+    }
+
+    #[test]
+    fn scaling_chain_shapes() {
+        for n in [2usize, 4, 8] {
+            let w = scaling_chain(n);
+            assert_eq!(w.query.n_tables(), n);
+            assert_eq!(w.query.joins.len(), n - 1);
+            assert_eq!(w.query.validate(&w.catalog), Ok(()));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-table and per-column statistics.
+
+use lec_prob::Distribution;
+
+/// What kind of index (if any) exists on a column.
+///
+/// A clustered index means the table is stored in index order, so an index
+/// scan both restricts pages *and* yields sorted output (an "interesting
+/// order" in System R terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// No index on this column.
+    None,
+    /// Index whose leaf order matches the heap order.
+    Clustered,
+    /// Secondary index; yields row ids in index order, heap pages random.
+    Unclustered,
+}
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Human-readable name, e.g. `"c0"`.
+    pub name: String,
+    /// Estimated number of distinct values.
+    pub distinct: u64,
+    /// Index available on this column, if any.
+    pub index: IndexKind,
+}
+
+impl ColumnStats {
+    /// Column with no index.
+    pub fn plain(name: impl Into<String>, distinct: u64) -> Self {
+        ColumnStats { name: name.into(), distinct, index: IndexKind::None }
+    }
+
+    /// Column with an index of the given kind.
+    pub fn indexed(name: impl Into<String>, distinct: u64, index: IndexKind) -> Self {
+        ColumnStats { name: name.into(), distinct, index }
+    }
+}
+
+/// Statistics for one stored table.
+///
+/// `pages` is the System R unit of cost (all of the paper's formulas are in
+/// page I/Os).  `page_dist` optionally models *uncertainty about the size
+/// itself* — the paper's category-1 parameters are "estimates" too — and
+/// defaults to a point mass at `pages`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Number of heap pages.
+    pub pages: u64,
+    /// Number of rows.
+    pub rows: u64,
+    /// Column statistics (at least one column).
+    pub columns: Vec<ColumnStats>,
+    /// Distribution of the page count when it is uncertain; `None` means
+    /// exactly `pages`.
+    pub page_dist: Option<Distribution>,
+}
+
+impl TableStats {
+    /// Build statistics with exact page count.
+    pub fn new(pages: u64, rows: u64, columns: Vec<ColumnStats>) -> Self {
+        assert!(pages > 0, "tables must occupy at least one page");
+        assert!(!columns.is_empty(), "tables must have at least one column");
+        TableStats { pages, rows, columns, page_dist: None }
+    }
+
+    /// Rows per page (≥ 1 by construction for non-empty tables).
+    pub fn rows_per_page(&self) -> f64 {
+        self.rows as f64 / self.pages as f64
+    }
+
+    /// The page-count distribution: the declared `page_dist` or a point
+    /// mass at `pages`.
+    pub fn page_distribution(&self) -> Distribution {
+        self.page_dist
+            .clone()
+            .unwrap_or_else(|| Distribution::point(self.pages as f64))
+    }
+
+    /// Index kind on column `col`, or `IndexKind::None` if out of range.
+    pub fn index_on(&self, col: usize) -> IndexKind {
+        self.columns.get(col).map(|c| c.index).unwrap_or(IndexKind::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> TableStats {
+        TableStats::new(
+            1000,
+            50_000,
+            vec![
+                ColumnStats::indexed("pk", 50_000, IndexKind::Clustered),
+                ColumnStats::plain("val", 100),
+            ],
+        )
+    }
+
+    #[test]
+    fn rows_per_page() {
+        assert_eq!(stats().rows_per_page(), 50.0);
+    }
+
+    #[test]
+    fn default_page_distribution_is_a_point() {
+        let d = stats().page_distribution();
+        assert!(d.is_point());
+        assert_eq!(d.mean(), 1000.0);
+    }
+
+    #[test]
+    fn declared_page_distribution_is_returned() {
+        let mut s = stats();
+        s.page_dist = Some(Distribution::bimodal(800.0, 1200.0, 0.5).unwrap());
+        assert_eq!(s.page_distribution().len(), 2);
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = stats();
+        assert_eq!(s.index_on(0), IndexKind::Clustered);
+        assert_eq!(s.index_on(1), IndexKind::None);
+        assert_eq!(s.index_on(99), IndexKind::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page")]
+    fn zero_pages_rejected() {
+        TableStats::new(0, 0, vec![ColumnStats::plain("c", 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_columns_rejected() {
+        TableStats::new(1, 1, vec![]);
+    }
+}

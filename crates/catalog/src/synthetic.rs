@@ -1,0 +1,189 @@
+//! Synthetic catalog generation.
+//!
+//! The paper's promised prototype would be evaluated "against realistic
+//! queries and execution environments" (§4).  Real catalogs are not
+//! available, so we generate them: page counts log-uniform over a wide
+//! range (join cost cliffs appear at √pages and ∛pages, so a wide range
+//! guarantees distributions straddle cliffs), a plausible rows-per-page
+//! factor, and a sprinkle of indexes.
+
+use crate::catalog::{Catalog, TableId};
+use crate::stats::{ColumnStats, IndexKind, TableStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tunable shape of generated catalogs.
+#[derive(Debug, Clone)]
+pub struct CatalogProfile {
+    /// Minimum page count of a generated table (inclusive).
+    pub min_pages: u64,
+    /// Maximum page count of a generated table (inclusive).
+    pub max_pages: u64,
+    /// Rows per page range.
+    pub rows_per_page: (u64, u64),
+    /// Columns per table range.
+    pub columns: (usize, usize),
+    /// Probability that a column carries a clustered index.
+    pub p_clustered: f64,
+    /// Probability that a column carries an unclustered index.
+    pub p_unclustered: f64,
+}
+
+impl Default for CatalogProfile {
+    fn default() -> Self {
+        CatalogProfile {
+            min_pages: 100,
+            max_pages: 2_000_000,
+            rows_per_page: (20, 200),
+            columns: (2, 4),
+            p_clustered: 0.2,
+            p_unclustered: 0.2,
+        }
+    }
+}
+
+/// Deterministic (seeded) catalog generator.
+#[derive(Debug)]
+pub struct CatalogGenerator {
+    rng: StdRng,
+    profile: CatalogProfile,
+}
+
+impl CatalogGenerator {
+    /// Generator with the default profile.
+    pub fn new(seed: u64) -> Self {
+        CatalogGenerator { rng: StdRng::seed_from_u64(seed), profile: CatalogProfile::default() }
+    }
+
+    /// Generator with a custom profile.
+    pub fn with_profile(seed: u64, profile: CatalogProfile) -> Self {
+        assert!(profile.min_pages >= 1 && profile.min_pages <= profile.max_pages);
+        assert!(profile.columns.0 >= 1 && profile.columns.0 <= profile.columns.1);
+        CatalogGenerator { rng: StdRng::seed_from_u64(seed), profile }
+    }
+
+    /// Generate a catalog of `n` tables named `R0..R{n-1}`.
+    pub fn generate(&mut self, n: usize) -> Catalog {
+        let mut cat = Catalog::new();
+        for i in 0..n {
+            let stats = self.gen_table_stats();
+            cat.add_table(format!("R{i}"), stats);
+        }
+        cat
+    }
+
+    /// Generate a single table's statistics.
+    pub fn gen_table_stats(&mut self) -> TableStats {
+        let pages = self.log_uniform_pages();
+        let rpp = self
+            .rng
+            .gen_range(self.profile.rows_per_page.0..=self.profile.rows_per_page.1);
+        let rows = pages * rpp;
+        let ncols = self.rng.gen_range(self.profile.columns.0..=self.profile.columns.1);
+        let columns = (0..ncols)
+            .map(|c| {
+                let distinct = self.rng.gen_range(1..=rows.max(1));
+                let roll: f64 = self.rng.gen();
+                let index = if c == 0 && roll < self.profile.p_clustered {
+                    // At most one clustered index per table: column 0.
+                    IndexKind::Clustered
+                } else if roll < self.profile.p_clustered + self.profile.p_unclustered {
+                    IndexKind::Unclustered
+                } else {
+                    IndexKind::None
+                };
+                ColumnStats::indexed(format!("c{c}"), distinct, index)
+            })
+            .collect();
+        TableStats::new(pages, rows, columns)
+    }
+
+    fn log_uniform_pages(&mut self) -> u64 {
+        let lo = (self.profile.min_pages as f64).ln();
+        let hi = (self.profile.max_pages as f64).ln();
+        let v: f64 = self.rng.gen_range(lo..=hi);
+        (v.exp().round() as u64).clamp(self.profile.min_pages, self.profile.max_pages)
+    }
+
+    /// Pick `k` distinct table ids from a catalog (for workload generation).
+    pub fn pick_tables(&mut self, catalog: &Catalog, k: usize) -> Vec<TableId> {
+        assert!(k <= catalog.len(), "cannot pick {k} from {}", catalog.len());
+        let mut ids: Vec<TableId> = catalog.ids().collect();
+        // Partial Fisher-Yates.
+        for i in 0..k {
+            let j = self.rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        ids.truncate(k);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = CatalogGenerator::new(42).generate(8);
+        let b = CatalogGenerator::new(42).generate(8);
+        assert_eq!(a, b);
+        let c = CatalogGenerator::new(43).generate(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_tables_respect_profile_bounds() {
+        let profile = CatalogProfile {
+            min_pages: 50,
+            max_pages: 5_000,
+            rows_per_page: (10, 20),
+            columns: (2, 3),
+            ..CatalogProfile::default()
+        };
+        let cat = CatalogGenerator::with_profile(7, profile.clone()).generate(50);
+        for t in cat.tables() {
+            assert!(t.stats.pages >= profile.min_pages && t.stats.pages <= profile.max_pages);
+            let rpp = t.stats.rows / t.stats.pages;
+            assert!((10..=20).contains(&rpp), "rows per page {rpp}");
+            assert!((2..=3).contains(&t.stats.columns.len()));
+        }
+    }
+
+    #[test]
+    fn page_counts_span_orders_of_magnitude() {
+        let cat = CatalogGenerator::new(1).generate(200);
+        let pages: Vec<u64> = cat.tables().map(|t| t.stats.pages).collect();
+        let min = *pages.iter().min().unwrap();
+        let max = *pages.iter().max().unwrap();
+        assert!(
+            max as f64 / min as f64 > 100.0,
+            "log-uniform sizes should span >2 orders of magnitude ({min}..{max})"
+        );
+    }
+
+    #[test]
+    fn pick_tables_returns_distinct_ids() {
+        let mut g = CatalogGenerator::new(5);
+        let cat = g.generate(10);
+        let picked = g.pick_tables(&cat, 6);
+        assert_eq!(picked.len(), 6);
+        let mut dedup = picked.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 6);
+    }
+
+    #[test]
+    fn clustered_index_only_on_first_column() {
+        let profile = CatalogProfile { p_clustered: 1.0, p_unclustered: 0.0, ..Default::default() };
+        let cat = CatalogGenerator::with_profile(3, profile).generate(20);
+        for t in cat.tables() {
+            for (i, c) in t.stats.columns.iter().enumerate() {
+                if c.index == IndexKind::Clustered {
+                    assert_eq!(i, 0, "clustered index must be on column 0");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Algorithm A: a standard optimizer as a black box (§3.2).
+//!
+//! "For each value m_i of the memory parameter, we run the optimizer under
+//! the assumption that m_i is the actual amount of memory available.  This
+//! gives us b candidate plans.  We then compute the expected cost of each
+//! candidate, and choose the one with least expected cost."
+
+use crate::dp::DpStats;
+use crate::error::OptError;
+use crate::lsc::optimize_lsc;
+use lec_cost::{expected_plan_cost_static, CostModel};
+use lec_plan::PlanNode;
+use lec_prob::Distribution;
+
+/// One candidate produced by Algorithm A: the LSC plan for memory `m`.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The memory representative the optimizer was run at.
+    pub memory: f64,
+    /// The plan it produced.
+    pub plan: PlanNode,
+    /// Its cost at `memory` (what the black-box optimizer reported).
+    pub point_cost: f64,
+    /// Its expected cost under the full distribution.
+    pub expected_cost: f64,
+}
+
+/// Result of Algorithm A.
+#[derive(Debug, Clone)]
+pub struct AlgAResult {
+    /// The winning plan.
+    pub plan: PlanNode,
+    /// Its expected cost.
+    pub expected_cost: f64,
+    /// All candidates, in memory-representative order (for reporting).
+    pub candidates: Vec<Candidate>,
+    /// Combined search statistics over the b optimizer invocations.
+    pub stats: DpStats,
+}
+
+/// Run Algorithm A.
+///
+/// The candidate memory values are the distribution's bucket
+/// representatives; per the paper's "without loss of generality" remark,
+/// the mean is added when not already present, which guarantees
+/// `EC(result) ≤ EC(LSC-at-mean plan)`.
+pub fn optimize_alg_a(
+    model: &CostModel<'_>,
+    memory: &Distribution,
+) -> Result<AlgAResult, OptError> {
+    let mut reps: Vec<f64> = memory.support().to_vec();
+    let mean = memory.mean();
+    if !reps.iter().any(|&m| (m - mean).abs() < 1e-9) {
+        reps.push(mean);
+    }
+
+    let mut stats = DpStats::default();
+    let mut candidates = Vec::with_capacity(reps.len());
+    let mut seen_plans: Vec<PlanNode> = Vec::new();
+    for m in reps {
+        let r = optimize_lsc(model, m)?;
+        stats.nodes += r.stats.nodes;
+        stats.candidates += r.stats.candidates;
+        stats.evals += r.stats.evals;
+        let is_dup = seen_plans.contains(&r.plan);
+        if !is_dup {
+            seen_plans.push(r.plan.clone());
+        }
+        let expected_cost = expected_plan_cost_static(model, &r.plan, memory);
+        candidates.push(Candidate {
+            memory: m,
+            plan: r.plan,
+            point_cost: r.cost,
+            expected_cost,
+        });
+    }
+
+    let best = candidates
+        .iter()
+        .min_by(|a, b| a.expected_cost.total_cmp(&b.expected_cost))
+        .ok_or(OptError::NoPlanFound)?;
+    Ok(AlgAResult {
+        plan: best.plan.clone(),
+        expected_cost: best.expected_cost,
+        candidates: candidates.clone(),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg_c::optimize_lec_static;
+    use crate::fixtures::{example_1_1, example_1_1_memory, three_chain};
+    use crate::lsc::{optimize_lsc_from_dist, PointEstimate};
+
+    #[test]
+    fn algorithm_a_recovers_plan2_in_example_1_1() {
+        // The candidate from m=700 is the Grace plan, whose EC beats the
+        // SM plan produced at m=2000 — Algorithm A suffices here.
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let memory = example_1_1_memory();
+        let r = optimize_alg_a(&model, &memory).unwrap();
+        assert!(crate::fixtures::is_plan2(&r.plan), "{}", r.plan.compact());
+        // Candidates: 700, 2000, and the mean 1740.
+        assert_eq!(r.candidates.len(), 3);
+        assert!((r.expected_cost - 4_209_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn never_worse_than_lsc_at_mean_or_mode() {
+        let (cat, q) = three_chain();
+        let model = CostModel::new(&cat, &q);
+        for spread in [0.0, 0.4, 0.9] {
+            let memory =
+                lec_prob::presets::spread_family(300.0, spread, 6).unwrap();
+            let a = optimize_alg_a(&model, &memory).unwrap();
+            for est in [PointEstimate::Mean, PointEstimate::Mode] {
+                let lsc = optimize_lsc_from_dist(&model, &memory, est).unwrap();
+                let lsc_ec = expected_plan_cost_static(&model, &lsc.plan, &memory);
+                assert!(a.expected_cost <= lsc_ec + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn never_better_than_algorithm_c() {
+        // Algorithm C computes the true LEC plan; A only approximates it.
+        let (cat, q) = three_chain();
+        let model = CostModel::new(&cat, &q);
+        for spread in [0.2, 0.5, 0.8] {
+            for n in [2, 4, 8] {
+                let memory =
+                    lec_prob::presets::spread_family(350.0, spread, n).unwrap();
+                let a = optimize_alg_a(&model, &memory).unwrap();
+                let c = optimize_lec_static(&model, &memory).unwrap();
+                assert!(
+                    c.cost <= a.expected_cost + 1e-6,
+                    "spread {spread} n {n}: C {} vs A {}",
+                    c.cost,
+                    a.expected_cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_expected_costs_are_replayable() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let memory = example_1_1_memory();
+        let r = optimize_alg_a(&model, &memory).unwrap();
+        for c in &r.candidates {
+            let replay = expected_plan_cost_static(&model, &c.plan, &memory);
+            assert!((c.expected_cost - replay).abs() < 1e-9);
+            let point = lec_cost::plan_cost_at(&model, &c.plan, c.memory);
+            assert!((c.point_cost - point).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn point_distribution_degenerates_to_lsc() {
+        let (cat, q) = three_chain();
+        let model = CostModel::new(&cat, &q);
+        let memory = Distribution::point(800.0);
+        let a = optimize_alg_a(&model, &memory).unwrap();
+        let lsc = optimize_lsc(&model, 800.0).unwrap();
+        assert!((a.expected_cost - lsc.cost).abs() < 1e-9);
+        assert_eq!(a.candidates.len(), 1);
+    }
+}

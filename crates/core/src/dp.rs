@@ -1,0 +1,450 @@
+//! Shared System R dynamic-programming machinery.
+//!
+//! One DP driver serves the LSC baseline (Theorem 2.1), static Algorithm C
+//! (Theorem 3.3) and dynamic Algorithm C (Theorem 3.4): they differ *only*
+//! in how a join/sort step is costed, which is abstracted as
+//! [`PhaseCoster`].  The driver walks the paper's dag — "the nodes at depth
+//! k are labeled by the subsets of {1,…,n} of cardinality k" — keeping, per
+//! subset and per interesting order property, the cheapest left-deep plan.
+
+use crate::error::OptError;
+use lec_cost::{AccessPath, CostModel};
+use lec_plan::{JoinMethod, OrderProperty, PlanNode, Query, TableSet};
+use lec_prob::{Distribution, MarkovChain, ProbError};
+use std::collections::HashMap;
+
+/// Strategy for costing the memory-dependent operators.
+///
+/// `phase` is the 0-based execution phase index of §3.5 (first join =
+/// phase 0; a root sort after `n-1` joins is phase `n-1`).  Static costers
+/// ignore it; the dynamic coster uses it to select the evolved memory
+/// distribution for that phase.
+pub trait PhaseCoster {
+    /// Cost of joining inputs of `outer`/`inner` pages at `phase`.
+    fn join_cost(
+        &self,
+        model: &CostModel<'_>,
+        phase: usize,
+        method: JoinMethod,
+        outer: f64,
+        inner: f64,
+    ) -> f64;
+
+    /// Cost of sorting `pages` at `phase`.
+    fn sort_cost(&self, model: &CostModel<'_>, phase: usize, pages: f64) -> f64;
+}
+
+/// Classical point-parameter costing (the LSC baseline): memory is assumed
+/// to be exactly `m` in every phase.
+pub struct PointCoster {
+    /// The assumed memory value.
+    pub memory: f64,
+}
+
+impl PhaseCoster for PointCoster {
+    fn join_cost(
+        &self,
+        model: &CostModel<'_>,
+        _phase: usize,
+        method: JoinMethod,
+        outer: f64,
+        inner: f64,
+    ) -> f64 {
+        model.join_cost(method, outer, inner, self.memory)
+    }
+
+    fn sort_cost(&self, model: &CostModel<'_>, _phase: usize, pages: f64) -> f64 {
+        model.sort_cost(pages, self.memory)
+    }
+}
+
+/// Expected-cost costing under a static memory distribution (Algorithm C):
+/// "this computation requires b evaluations of the cost formula" (§3.4).
+pub struct StaticExpectationCoster {
+    /// The memory distribution.
+    pub memory: Distribution,
+}
+
+impl PhaseCoster for StaticExpectationCoster {
+    fn join_cost(
+        &self,
+        model: &CostModel<'_>,
+        _phase: usize,
+        method: JoinMethod,
+        outer: f64,
+        inner: f64,
+    ) -> f64 {
+        self.memory.expect(|m| model.join_cost(method, outer, inner, m))
+    }
+
+    fn sort_cost(&self, model: &CostModel<'_>, _phase: usize, pages: f64) -> f64 {
+        self.memory.expect(|m| model.sort_cost(pages, m))
+    }
+}
+
+/// Per-phase expected-cost costing for dynamically changing memory (§3.5):
+/// phase `k` is costed under the initial distribution evolved `k` steps
+/// through the Markov chain.
+pub struct DynamicExpectationCoster {
+    dists: Vec<Distribution>,
+}
+
+impl DynamicExpectationCoster {
+    /// Precompute the evolved distribution for each of `n_phases` phases.
+    pub fn new(
+        initial: &Distribution,
+        chain: &MarkovChain,
+        n_phases: usize,
+    ) -> Result<Self, ProbError> {
+        let mut dists = Vec::with_capacity(n_phases.max(1));
+        let mut cur = initial.clone();
+        for _ in 0..n_phases.max(1) {
+            dists.push(cur.clone());
+            cur = chain.evolve_dist(&cur)?;
+        }
+        Ok(DynamicExpectationCoster { dists })
+    }
+
+    fn dist(&self, phase: usize) -> &Distribution {
+        // A plan can have at most n_phases phases; clamp defensively.
+        &self.dists[phase.min(self.dists.len() - 1)]
+    }
+}
+
+impl PhaseCoster for DynamicExpectationCoster {
+    fn join_cost(
+        &self,
+        model: &CostModel<'_>,
+        phase: usize,
+        method: JoinMethod,
+        outer: f64,
+        inner: f64,
+    ) -> f64 {
+        self.dist(phase).expect(|m| model.join_cost(method, outer, inner, m))
+    }
+
+    fn sort_cost(&self, model: &CostModel<'_>, phase: usize, pages: f64) -> f64 {
+        self.dist(phase).expect(|m| model.sort_cost(pages, m))
+    }
+}
+
+/// A DP table entry: the cheapest known plan for one (subset, order).
+#[derive(Debug, Clone)]
+pub struct DpEntry {
+    /// The plan.
+    pub plan: PlanNode,
+    /// Its cost under the active coster.
+    pub cost: f64,
+    /// Point-estimated output size in pages.
+    pub pages: f64,
+    /// Output order property.
+    pub order: OrderProperty,
+}
+
+/// `a` can substitute for `b`: same order, or `b` needs no order.
+fn covers(a: OrderProperty, b: OrderProperty) -> bool {
+    a == b || b == OrderProperty::None
+}
+
+/// An entry that can participate in domination pruning.
+pub trait Rankable {
+    /// Cost under the active objective.
+    fn rank_cost(&self) -> f64;
+    /// Output order property.
+    fn rank_order(&self) -> OrderProperty;
+}
+
+impl Rankable for DpEntry {
+    fn rank_cost(&self) -> f64 {
+        self.cost
+    }
+    fn rank_order(&self) -> OrderProperty {
+        self.order
+    }
+}
+
+/// Insert with domination pruning: keep an entry only if no other entry
+/// with a covering order is at most as expensive.
+pub fn insert_entry<T: Rankable>(entries: &mut Vec<T>, e: T) {
+    for f in entries.iter() {
+        if covers(f.rank_order(), e.rank_order()) && f.rank_cost() <= e.rank_cost() {
+            return;
+        }
+    }
+    entries.retain(|f| {
+        !(covers(e.rank_order(), f.rank_order()) && e.rank_cost() <= f.rank_cost())
+    });
+    entries.push(e);
+}
+
+/// Search statistics accumulated by one DP run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DpStats {
+    /// DAG nodes (subsets) populated.
+    pub nodes: usize,
+    /// Join candidates generated (subset × j × outer-entry × inner-entry ×
+    /// method).
+    pub candidates: u64,
+    /// Cost-formula evaluations (from the model's counter).
+    pub evals: u64,
+}
+
+/// Result of one DP run.
+#[derive(Debug, Clone)]
+pub struct DpResult {
+    /// The winning plan (root sort enforced if the query requires order).
+    pub plan: PlanNode,
+    /// Its cost under the active coster.
+    pub cost: f64,
+    /// Statistics.
+    pub stats: DpStats,
+}
+
+/// Build the depth-1 entries (access paths) for one table.
+pub fn access_entries(model: &CostModel<'_>, idx: usize) -> Vec<DpEntry> {
+    let mut entries = Vec::new();
+    for path in model.access_paths(idx) {
+        let plan = match path {
+            AccessPath::SeqScan => PlanNode::SeqScan { table: idx },
+            AccessPath::IndexScan => PlanNode::IndexScan { table: idx },
+        };
+        let order = lec_cost::output_order(model, &plan);
+        insert_entry(
+            &mut entries,
+            DpEntry {
+                cost: model.access_cost(path, idx),
+                pages: model.base_pages(idx),
+                order,
+                plan,
+            },
+        );
+    }
+    entries
+}
+
+/// The order property of joining `outer_entry` with base table `j` using
+/// `method` — the same rules as `lec_cost::output_order`, computed
+/// incrementally.
+pub fn join_output_order(
+    model: &CostModel<'_>,
+    outer_set: TableSet,
+    outer_order: OrderProperty,
+    j: usize,
+    method: JoinMethod,
+) -> OrderProperty {
+    match method {
+        JoinMethod::SortMerge => {
+            let crossing = model.query().joins_connecting(outer_set, j);
+            match crossing.first() {
+                Some(&i) => model
+                    .equivalences()
+                    .sorted_on(model.query().joins[i].left),
+                None => OrderProperty::None,
+            }
+        }
+        JoinMethod::PageNestedLoop => outer_order,
+        JoinMethod::GraceHash | JoinMethod::BlockNestedLoop => OrderProperty::None,
+    }
+}
+
+/// Run the System R DP under the given coster and return the best plan for
+/// the whole query, enforcing any required output order with a root sort.
+pub fn run_dp(
+    model: &CostModel<'_>,
+    coster: &dyn PhaseCoster,
+) -> Result<DpResult, OptError> {
+    let query: &Query = model.query();
+    let n = query.n_tables();
+    if n == 0 {
+        return Err(OptError::EmptyQuery);
+    }
+    model.reset_evals();
+    let mut stats = DpStats::default();
+    let mut table: HashMap<TableSet, Vec<DpEntry>> = HashMap::new();
+
+    // Depth 1: access paths.
+    for idx in 0..n {
+        let entries = access_entries(model, idx);
+        stats.nodes += 1;
+        table.insert(TableSet::singleton(idx), entries);
+    }
+
+    // Depths 2..n.
+    for k in 2..=n {
+        for set in TableSet::subsets_of_size(n, k) {
+            let mut entries: Vec<DpEntry> = Vec::new();
+            for j in set.iter() {
+                let sj = set.without(j);
+                if !query.is_connected_to(sj, j) {
+                    continue; // avoid cross products
+                }
+                let Some(outer_entries) = table.get(&sj) else { continue };
+                let inner_entries = table
+                    .get(&TableSet::singleton(j))
+                    .expect("depth-1 entries exist for every table");
+                let sel = model.join_selectivity(sj, j);
+                let phase = k - 2; // joining the k-th relation is phase k-2
+                let mut new_entries: Vec<DpEntry> = Vec::new();
+                for outer in outer_entries {
+                    for inner in inner_entries {
+                        for method in JoinMethod::ALL {
+                            stats.candidates += 1;
+                            let join_cost = coster.join_cost(
+                                model,
+                                phase,
+                                method,
+                                outer.pages,
+                                inner.pages,
+                            );
+                            let cost = outer.cost + inner.cost + join_cost;
+                            let order = join_output_order(
+                                model,
+                                sj,
+                                outer.order,
+                                j,
+                                method,
+                            );
+                            let pages = model.join_output_pages(
+                                outer.pages,
+                                inner.pages,
+                                sel,
+                            );
+                            let plan = PlanNode::join(
+                                method,
+                                outer.plan.clone(),
+                                inner.plan.clone(),
+                            );
+                            insert_entry(
+                                &mut new_entries,
+                                DpEntry { plan, cost, pages, order },
+                            );
+                        }
+                    }
+                }
+                for e in new_entries {
+                    insert_entry(&mut entries, e);
+                }
+            }
+            if !entries.is_empty() {
+                stats.nodes += 1;
+                table.insert(set, entries);
+            }
+        }
+    }
+
+    let root_entries = table
+        .remove(&TableSet::full(n))
+        .ok_or(OptError::NoPlanFound)?;
+    let result = finalize_root(model, coster, root_entries, n)?;
+    stats.evals = model.evals();
+    Ok(DpResult { plan: result.0, cost: result.1, stats })
+}
+
+/// Enforce the required order at the root and pick the cheapest entry.
+fn finalize_root(
+    model: &CostModel<'_>,
+    coster: &dyn PhaseCoster,
+    entries: Vec<DpEntry>,
+    n: usize,
+) -> Result<(PlanNode, f64), OptError> {
+    let query = model.query();
+    let eq = model.equivalences();
+    let sort_phase = n - 1; // after n-1 joins
+    let mut best: Option<(PlanNode, f64)> = None;
+    for e in entries {
+        let (plan, cost) = match query.required_order {
+            Some(want) if !eq.satisfies(e.order, want) => {
+                let sort_cost = coster.sort_cost(model, sort_phase, e.pages);
+                (PlanNode::sort(e.plan, want), e.cost + sort_cost)
+            }
+            _ => (e.plan, e.cost),
+        };
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((plan, cost));
+        }
+    }
+    best.ok_or(OptError::NoPlanFound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_plan::ColumnRef;
+
+    fn order(c: Option<(usize, usize)>) -> OrderProperty {
+        match c {
+            Some((t, col)) => OrderProperty::Sorted(ColumnRef::new(t, col)),
+            None => OrderProperty::None,
+        }
+    }
+
+    fn entry(cost: f64, ord: OrderProperty) -> DpEntry {
+        DpEntry {
+            plan: PlanNode::SeqScan { table: 0 },
+            cost,
+            pages: 10.0,
+            order: ord,
+        }
+    }
+
+    #[test]
+    fn cheaper_same_order_replaces() {
+        let mut v = vec![entry(10.0, order(None))];
+        insert_entry(&mut v, entry(5.0, order(None)));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].cost, 5.0);
+    }
+
+    #[test]
+    fn more_expensive_same_order_is_dropped() {
+        let mut v = vec![entry(5.0, order(None))];
+        insert_entry(&mut v, entry(10.0, order(None)));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].cost, 5.0);
+    }
+
+    #[test]
+    fn sorted_entry_dominates_equal_cost_unsorted() {
+        let mut v = vec![entry(5.0, order(None))];
+        insert_entry(&mut v, entry(5.0, order(Some((0, 0)))));
+        // The sorted entry covers the unsorted one at equal cost.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].order, order(Some((0, 0))));
+    }
+
+    #[test]
+    fn expensive_sorted_entry_coexists_with_cheap_unsorted() {
+        let mut v = vec![entry(5.0, order(None))];
+        insert_entry(&mut v, entry(8.0, order(Some((0, 0)))));
+        assert_eq!(v.len(), 2, "an interesting order justifies extra cost");
+    }
+
+    #[test]
+    fn unsorted_never_dominates_sorted() {
+        let mut v = vec![entry(8.0, order(Some((0, 0))))];
+        insert_entry(&mut v, entry(5.0, order(None)));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn different_sort_orders_coexist() {
+        let mut v = vec![entry(5.0, order(Some((0, 0))))];
+        insert_entry(&mut v, entry(5.0, order(Some((1, 1)))));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn cheap_sorted_kills_expensive_everything() {
+        let mut v = vec![
+            entry(9.0, order(None)),
+            entry(12.0, order(Some((0, 0)))),
+            entry(7.0, order(Some((1, 1)))),
+        ];
+        insert_entry(&mut v, entry(3.0, order(Some((0, 0)))));
+        // Kills the unsorted 9.0 and the same-order 12.0; the (1,1) order
+        // at 7.0 survives (incomparable).
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|e| e.cost == 3.0));
+        assert!(v.iter().any(|e| e.cost == 7.0));
+    }
+}

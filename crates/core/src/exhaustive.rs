@@ -1,0 +1,321 @@
+//! Exhaustive enumeration of the left-deep plan space, as ground truth for
+//! Theorems 2.1, 3.3 and 3.4.
+//!
+//! The space enumerated is exactly the one the DP searches: left-deep join
+//! orders whose every prefix is connected (no cross products), all four
+//! join methods per join, all access paths per table, and a root sort
+//! enforcer when the query requires an order the plan does not provide.
+
+use crate::error::OptError;
+use lec_cost::{
+    expected_plan_cost_dynamic, expected_plan_cost_static, output_order, plan_cost_at,
+    plan_output_pages, CostModel,
+};
+use lec_plan::{JoinMethod, PlanNode, TableSet};
+use lec_prob::{Distribution, MarkovChain};
+
+/// Objective to minimize.
+pub enum Objective<'a> {
+    /// `C(P, m)` at a single memory value (LSC ground truth).
+    Point(f64),
+    /// `EC(P)` under a static memory distribution (Algorithm C ground
+    /// truth).
+    Expected(&'a Distribution),
+    /// `EC(P)` with per-phase Markov evolution (§3.5 ground truth).
+    Dynamic {
+        /// Phase-0 memory distribution.
+        initial: &'a Distribution,
+        /// The transition model.
+        chain: &'a MarkovChain,
+    },
+}
+
+/// Result of the exhaustive search.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveResult {
+    /// The optimal plan.
+    pub plan: PlanNode,
+    /// Its objective value.
+    pub cost: f64,
+    /// Number of complete plans costed.
+    pub plans_costed: u64,
+}
+
+/// Hard cap on query size: the space is `O(n! · 4^(n-1) · 2^n)`.
+pub const MAX_EXHAUSTIVE_TABLES: usize = 7;
+
+/// Exhaustively find the optimal left-deep plan under `objective`.
+pub fn exhaustive_best(
+    model: &CostModel<'_>,
+    objective: &Objective<'_>,
+) -> Result<ExhaustiveResult, OptError> {
+    let query = model.query();
+    let n = query.n_tables();
+    if n == 0 {
+        return Err(OptError::EmptyQuery);
+    }
+    if n > MAX_EXHAUSTIVE_TABLES {
+        return Err(OptError::BadParameter(
+            "exhaustive search is capped at 7 tables",
+        ));
+    }
+
+    let mut best: Option<(PlanNode, f64)> = None;
+    let mut plans_costed = 0u64;
+    let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    let mut access_plans: Vec<Vec<PlanNode>> = Vec::with_capacity(n);
+    for idx in 0..n {
+        let mut paths = Vec::new();
+        for path in model.access_paths(idx) {
+            paths.push(match path {
+                lec_cost::AccessPath::SeqScan => PlanNode::SeqScan { table: idx },
+                lec_cost::AccessPath::IndexScan => PlanNode::IndexScan { table: idx },
+            });
+        }
+        access_plans.push(paths);
+    }
+
+    permute(
+        model,
+        objective,
+        &access_plans,
+        &mut prefix,
+        TableSet::EMPTY,
+        &mut best,
+        &mut plans_costed,
+    );
+    let (plan, cost) = best.ok_or(OptError::NoPlanFound)?;
+    Ok(ExhaustiveResult { plan, cost, plans_costed })
+}
+
+fn permute(
+    model: &CostModel<'_>,
+    objective: &Objective<'_>,
+    access_plans: &[Vec<PlanNode>],
+    prefix: &mut Vec<usize>,
+    used: TableSet,
+    best: &mut Option<(PlanNode, f64)>,
+    plans_costed: &mut u64,
+) {
+    let n = access_plans.len();
+    if prefix.len() == n {
+        evaluate_permutation(model, objective, access_plans, prefix, best, plans_costed);
+        return;
+    }
+    for idx in 0..n {
+        if used.contains(idx) {
+            continue;
+        }
+        // Every prefix after the first table must stay connected.
+        if !prefix.is_empty() && !model.query().is_connected_to(used, idx) {
+            continue;
+        }
+        prefix.push(idx);
+        permute(
+            model,
+            objective,
+            access_plans,
+            prefix,
+            used.with(idx),
+            best,
+            plans_costed,
+        );
+        prefix.pop();
+    }
+}
+
+fn evaluate_permutation(
+    model: &CostModel<'_>,
+    objective: &Objective<'_>,
+    access_plans: &[Vec<PlanNode>],
+    order: &[usize],
+    best: &mut Option<(PlanNode, f64)>,
+    plans_costed: &mut u64,
+) {
+    let n = order.len();
+    let n_joins = n.saturating_sub(1);
+    // Enumerate method assignments (base-4 counter) × access path choices.
+    let method_combos = 4usize.pow(n_joins as u32);
+    let mut path_choice = vec![0usize; n];
+    loop {
+        for combo in 0..method_combos {
+            let mut plan = access_plans[order[0]][path_choice[0]].clone();
+            let mut rem = combo;
+            for (k, &idx) in order.iter().enumerate().skip(1) {
+                let method = JoinMethod::ALL[rem % 4];
+                rem /= 4;
+                let _ = k;
+                plan = PlanNode::join(
+                    method,
+                    plan,
+                    access_plans[idx][path_choice[order
+                        .iter()
+                        .position(|&t| t == idx)
+                        .expect("idx from order")]]
+                    .clone(),
+                );
+            }
+            let plan = enforce_order(model, plan);
+            let cost = cost_of(model, objective, &plan);
+            *plans_costed += 1;
+            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                *best = Some((plan, cost));
+            }
+        }
+        // Advance the mixed-radix access-path counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return;
+            }
+            path_choice[i] += 1;
+            if path_choice[i] < access_plans[order[i]].len() {
+                break;
+            }
+            path_choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Add a root sort when the query requires an order the plan lacks.
+fn enforce_order(model: &CostModel<'_>, plan: PlanNode) -> PlanNode {
+    match model.query().required_order {
+        Some(want)
+            if !model
+                .equivalences()
+                .satisfies(output_order(model, &plan), want) =>
+        {
+            PlanNode::sort(plan, want)
+        }
+        _ => plan,
+    }
+}
+
+fn cost_of(model: &CostModel<'_>, objective: &Objective<'_>, plan: &PlanNode) -> f64 {
+    match objective {
+        Objective::Point(m) => plan_cost_at(model, plan, *m),
+        Objective::Expected(dist) => expected_plan_cost_static(model, plan, dist),
+        Objective::Dynamic { initial, chain } => {
+            expected_plan_cost_dynamic(model, plan, initial, chain)
+                .unwrap_or(f64::INFINITY)
+        }
+    }
+}
+
+/// Output size of the winning plan (diagnostic helper).
+pub fn result_pages(model: &CostModel<'_>, plan: &PlanNode) -> f64 {
+    plan_output_pages(model, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg_c::{optimize_lec_dynamic, optimize_lec_static};
+    use crate::fixtures::{example_1_1, example_1_1_memory, three_chain};
+    use crate::lsc::optimize_lsc;
+
+    #[test]
+    fn dp_matches_exhaustive_point() {
+        let (cat, q) = three_chain();
+        let model = CostModel::new(&cat, &q);
+        for m in [30.0, 150.0, 700.0, 20_000.0] {
+            let dp = optimize_lsc(&model, m).unwrap();
+            let ex = exhaustive_best(&model, &Objective::Point(m)).unwrap();
+            assert!(
+                (dp.cost - ex.cost).abs() < 1e-6,
+                "m={m}: dp {} vs exhaustive {}",
+                dp.cost,
+                ex.cost
+            );
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_expected() {
+        // Theorem 3.3: Algorithm C returns the LEC left-deep plan.
+        let (cat, q) = three_chain();
+        let model = CostModel::new(&cat, &q);
+        for spread in [0.2, 0.5, 0.9] {
+            let memory =
+                lec_prob::presets::spread_family(400.0, spread, 6).unwrap();
+            let dp = optimize_lec_static(&model, &memory).unwrap();
+            let ex =
+                exhaustive_best(&model, &Objective::Expected(&memory)).unwrap();
+            assert!(
+                (dp.cost - ex.cost).abs() < 1e-6,
+                "spread {spread}: dp {} vs exhaustive {}",
+                dp.cost,
+                ex.cost
+            );
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_dynamic() {
+        // Theorem 3.4: still optimal with per-phase memory evolution.
+        let (cat, q) = three_chain();
+        let model = CostModel::new(&cat, &q);
+        let states = vec![50.0, 200.0, 800.0];
+        let chain = MarkovChain::birth_death(states, 0.35, 0.15).unwrap();
+        let initial = Distribution::point(200.0);
+        let dp = optimize_lec_dynamic(&model, &initial, &chain).unwrap();
+        let ex = exhaustive_best(
+            &model,
+            &Objective::Dynamic { initial: &initial, chain: &chain },
+        )
+        .unwrap();
+        assert!(
+            (dp.cost - ex.cost).abs() < 1e-6,
+            "dp {} vs exhaustive {}",
+            dp.cost,
+            ex.cost
+        );
+    }
+
+    #[test]
+    fn example_1_1_exhaustive_agrees_with_the_paper() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let memory = example_1_1_memory();
+        let ex = exhaustive_best(&model, &Objective::Expected(&memory)).unwrap();
+        assert!(crate::fixtures::is_plan2(&ex.plan), "{}", ex.plan.compact());
+        assert!((ex.cost - 4_209_000.0).abs() < 1.0);
+        // 2 orders × 4 methods × 1 access path each = 8 plans.
+        assert_eq!(ex.plans_costed, 8);
+    }
+
+    #[test]
+    fn too_many_tables_is_rejected() {
+        use lec_catalog::{ColumnStats, TableStats};
+        use lec_plan::{ColumnRef, JoinPredicate, Query, QueryTable};
+        let mut cat = lec_catalog::Catalog::new();
+        let n = 8;
+        let tables: Vec<_> = (0..n)
+            .map(|i| {
+                cat.add_table(
+                    format!("T{i}"),
+                    TableStats::new(100, 1000, vec![ColumnStats::plain("c", 10)]),
+                )
+            })
+            .collect();
+        let q = Query {
+            tables: tables.into_iter().map(QueryTable::bare).collect(),
+            joins: (0..n - 1)
+                .map(|i| {
+                    JoinPredicate::exact(
+                        ColumnRef::new(i, 0),
+                        ColumnRef::new(i + 1, 0),
+                        1e-4,
+                    )
+                })
+                .collect(),
+            required_order: None,
+        };
+        let model = CostModel::new(&cat, &q);
+        assert!(matches!(
+            exhaustive_best(&model, &Objective::Point(100.0)),
+            Err(OptError::BadParameter(_))
+        ));
+    }
+}

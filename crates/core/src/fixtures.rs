@@ -1,0 +1,169 @@
+//! Canonical fixtures from the paper, reused by tests, examples and the
+//! experiment harness.
+
+use lec_catalog::{Catalog, ColumnStats, TableStats};
+use lec_plan::{ColumnRef, JoinPredicate, Query, QueryTable};
+use lec_prob::Distribution;
+
+/// The setting of Example 1.1: relation `A` of 1,000,000 pages, `B` of
+/// 400,000 pages, a join whose result is 3000 pages, and output required
+/// sorted on the join column.  Returns `(catalog, query)`.
+pub fn example_1_1() -> (Catalog, Query) {
+    let mut cat = Catalog::new();
+    let a = cat.add_table(
+        "A",
+        TableStats::new(1_000_000, 50_000_000, vec![ColumnStats::plain("k", 100_000)]),
+    );
+    let b = cat.add_table(
+        "B",
+        TableStats::new(400_000, 20_000_000, vec![ColumnStats::plain("k", 100_000)]),
+    );
+    let sel = 3000.0 / (1_000_000.0 * 400_000.0);
+    let query = Query {
+        tables: vec![QueryTable::bare(a), QueryTable::bare(b)],
+        joins: vec![JoinPredicate::exact(
+            ColumnRef::new(0, 0),
+            ColumnRef::new(1, 0),
+            sel,
+        )],
+        required_order: Some(ColumnRef::new(0, 0)),
+    };
+    (cat, query)
+}
+
+/// The memory distribution of Example 1.1: "available memory is estimated
+/// to be 2000 pages 80% of the time and 700 pages 20% of the time".
+pub fn example_1_1_memory() -> Distribution {
+    lec_prob::presets::example_1_1_memory()
+}
+
+/// A small three-table chain query with exact sizes, handy for optimality
+/// tests: sizes chosen so different memory regimes prefer different join
+/// orders and methods.
+pub fn three_chain() -> (Catalog, Query) {
+    let mut cat = Catalog::new();
+    let a = cat.add_table(
+        "A",
+        TableStats::new(40_000, 2_000_000, vec![ColumnStats::plain("x", 1000)]),
+    );
+    let b = cat.add_table(
+        "B",
+        TableStats::new(10_000, 500_000, vec![ColumnStats::plain("x", 1000), ColumnStats::plain("y", 500)]),
+    );
+    let c = cat.add_table(
+        "C",
+        TableStats::new(90_000, 4_500_000, vec![ColumnStats::plain("y", 500)]),
+    );
+    let query = Query {
+        tables: vec![QueryTable::bare(a), QueryTable::bare(b), QueryTable::bare(c)],
+        joins: vec![
+            JoinPredicate::exact(ColumnRef::new(0, 0), ColumnRef::new(1, 0), 2e-8),
+            JoinPredicate::exact(ColumnRef::new(1, 1), ColumnRef::new(2, 0), 5e-9),
+        ],
+        required_order: None,
+    };
+    (cat, query)
+}
+
+/// A "diamond" chain `A–B–C–D` built so that the optimal plan is *bushy*:
+/// `A⋈B` and `C⋈D` are tiny (≈100 pages each) while the middle `B–C`
+/// predicate is mild, so every left-deep order must carry a ≈100k-page
+/// intermediate across it.  Used by the §4 bushy extension tests and E14.
+pub fn diamond() -> (Catalog, Query) {
+    let mut cat = Catalog::new();
+    let ids: Vec<_> = ["A", "B", "C", "D"]
+        .iter()
+        .map(|name| {
+            cat.add_table(
+                *name,
+                TableStats::new(
+                    100_000,
+                    5_000_000,
+                    vec![ColumnStats::plain("x", 1000), ColumnStats::plain("y", 1000)],
+                ),
+            )
+        })
+        .collect();
+    let tiny = 100.0 / (100_000.0f64 * 100_000.0); // 100-page results
+    let query = Query {
+        tables: ids.into_iter().map(QueryTable::bare).collect(),
+        joins: vec![
+            JoinPredicate::exact(ColumnRef::new(0, 1), ColumnRef::new(1, 0), tiny),
+            JoinPredicate::exact(ColumnRef::new(1, 1), ColumnRef::new(2, 0), 1e-1),
+            JoinPredicate::exact(ColumnRef::new(2, 1), ColumnRef::new(3, 0), tiny),
+        ],
+        required_order: None,
+    };
+    (cat, query)
+}
+
+/// Recognizer for Example 1.1's Plan 1: a bare sort-merge join of the two
+/// scans (either orientation — the SM formula is symmetric).
+pub fn is_plan1(plan: &lec_plan::PlanNode) -> bool {
+    use lec_plan::{JoinMethod, PlanNode};
+    matches!(
+        plan,
+        PlanNode::Join { method: JoinMethod::SortMerge, outer, inner }
+            if matches!(**outer, PlanNode::SeqScan { .. })
+                && matches!(**inner, PlanNode::SeqScan { .. })
+    )
+}
+
+/// Recognizer for Example 1.1's Plan 2: Grace hash join (either
+/// orientation) followed by a sort of the small result.
+pub fn is_plan2(plan: &lec_plan::PlanNode) -> bool {
+    use lec_plan::{JoinMethod, PlanNode};
+    match plan {
+        PlanNode::Sort { input, .. } => matches!(
+            &**input,
+            PlanNode::Join { method: JoinMethod::GraceHash, outer, inner }
+                if matches!(**outer, PlanNode::SeqScan { .. })
+                    && matches!(**inner, PlanNode::SeqScan { .. })
+        ),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognizers_accept_both_orientations() {
+        use lec_plan::{JoinMethod, PlanNode};
+        for (o, i) in [(0usize, 1usize), (1, 0)] {
+            let p1 = PlanNode::join(
+                JoinMethod::SortMerge,
+                PlanNode::SeqScan { table: o },
+                PlanNode::SeqScan { table: i },
+            );
+            assert!(is_plan1(&p1));
+            assert!(!is_plan2(&p1));
+            let p2 = PlanNode::sort(
+                PlanNode::join(
+                    JoinMethod::GraceHash,
+                    PlanNode::SeqScan { table: o },
+                    PlanNode::SeqScan { table: i },
+                ),
+                ColumnRef::new(0, 0),
+            );
+            assert!(is_plan2(&p2));
+            assert!(!is_plan1(&p2));
+        }
+    }
+
+    #[test]
+    fn fixtures_validate() {
+        let (cat, q) = example_1_1();
+        assert_eq!(q.validate(&cat), Ok(()));
+        let (cat, q) = three_chain();
+        assert_eq!(q.validate(&cat), Ok(()));
+    }
+
+    #[test]
+    fn example_memory_shape() {
+        let m = example_1_1_memory();
+        assert_eq!(m.support(), &[700.0, 2000.0]);
+        assert_eq!(m.mode(), 2000.0);
+    }
+}

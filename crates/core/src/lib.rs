@@ -1,0 +1,70 @@
+//! # lec-core — Least Expected Cost query optimization
+//!
+//! Faithful implementation of the optimization algorithms of Chu, Halpern &
+//! Seshadri, *"Least Expected Cost Query Optimization: An Exercise in
+//! Utility"* (PODS 1999):
+//!
+//! * [`lsc`] — the classical System R baseline at a point parameter value
+//!   (Theorem 2.1, the "least specific cost" plan);
+//! * [`alg_a`] — Algorithm A (§3.2): a standard optimizer run once per
+//!   memory bucket, candidates ranked by expected cost;
+//! * [`alg_b`] — Algorithm B (§3.3): top-`c` plans per DP node with the
+//!   Proposition 3.1 frontier enumeration;
+//! * [`alg_c`] — Algorithm C (§3.4/§3.5): the exact LEC plan by dynamic
+//!   programming on expected cost, under static or Markov-evolving memory
+//!   (Theorems 3.3 and 3.4);
+//! * [`alg_d`] — Algorithm D (§3.6): multiple uncertain parameters, with
+//!   the Figure 1 per-node distribution bookkeeping and §3.6.3 rebucketing;
+//! * [`bucketing`] — the §3.7 strategies for partitioning the parameter
+//!   space (equal-width, equi-depth, level-set aware);
+//! * [`exhaustive`] — brute-force ground truth over the same left-deep
+//!   space, used to verify the optimality theorems;
+//! * [`optimizer`] — a single facade ([`Optimizer`]) over all modes;
+//! * [`fixtures`] — the paper's Example 1.1, ready to run.
+//!
+//! The quickest way in:
+//!
+//! ```
+//! use lec_core::{fixtures, Mode, Optimizer, PointEstimate};
+//!
+//! let (catalog, query) = fixtures::example_1_1();
+//! let memory = fixtures::example_1_1_memory(); // 2000@80% / 700@20%
+//! let opt = Optimizer::new(&catalog, memory);
+//!
+//! let lsc = opt.optimize(&query, &Mode::Lsc(PointEstimate::Mode)).unwrap();
+//! let lec = opt.optimize(&query, &Mode::AlgorithmC).unwrap();
+//! assert!(fixtures::is_plan1(&lsc.plan));   // the paper's Plan 1: bare sort-merge
+//! assert!(fixtures::is_plan2(&lec.plan));   // the paper's Plan 2: Grace hash + sort
+//! assert!(opt.expected_cost_of(&query, &lec.plan)
+//!       < opt.expected_cost_of(&query, &lsc.plan));
+//! ```
+
+pub mod alg_a;
+pub mod alg_b;
+pub mod alg_c;
+pub mod alg_d;
+pub mod bucketing;
+pub mod bushy;
+pub mod dp;
+pub mod error;
+pub mod exhaustive;
+pub mod fixtures;
+pub mod lsc;
+pub mod optimizer;
+pub mod parametric;
+pub mod randomized;
+
+pub use alg_a::{optimize_alg_a, AlgAResult};
+pub use alg_b::{optimize_alg_b, AlgBResult, FrontierStats};
+pub use alg_c::{optimize_lec_dynamic, optimize_lec_static};
+pub use alg_d::{optimize_alg_d, AlgDConfig, AlgDResult};
+pub use bucketing::{bucketize, query_memory_breakpoints, BucketStrategy};
+pub use error::OptError;
+pub use exhaustive::{exhaustive_best, ExhaustiveResult, Objective};
+pub use bushy::{optimize_lec_bushy, BushyResult};
+pub use lsc::{optimize_lsc, optimize_lsc_from_dist, PointEstimate};
+pub use optimizer::{Mode, Optimized, Optimizer, SearchStats};
+pub use parametric::{coverage_family, CachedPlan, PlanCache, StartupChoice};
+pub use randomized::{
+    iterative_improvement, simulated_annealing, RandomizedConfig, RandomizedResult,
+};

@@ -1,0 +1,325 @@
+//! The public optimizer facade: one entry point over all modes.
+
+use crate::alg_a::optimize_alg_a;
+use crate::alg_b::optimize_alg_b;
+use crate::alg_c::{optimize_lec_dynamic, optimize_lec_static};
+use crate::alg_d::{optimize_alg_d, AlgDConfig};
+use crate::error::OptError;
+use crate::lsc::{optimize_lsc_from_dist, PointEstimate};
+use lec_catalog::Catalog;
+use lec_cost::CostModel;
+use lec_plan::{PlanNode, Query};
+use lec_prob::{Distribution, MarkovChain};
+use std::time::{Duration, Instant};
+
+/// Which optimization algorithm to run.
+#[derive(Debug, Clone)]
+pub enum Mode {
+    /// Classical System R at the mean or mode of the memory distribution
+    /// (the paper's "current optimizers").
+    Lsc(PointEstimate),
+    /// Classical System R at an explicit memory value.
+    LscAt(f64),
+    /// Algorithm A (§3.2): black-box LSC per bucket, EC-ranked.
+    AlgorithmA,
+    /// Algorithm B (§3.3): top-`c` candidates per bucket, EC-ranked.
+    AlgorithmB {
+        /// Candidate list length per DP node.
+        c: usize,
+    },
+    /// Algorithm C (§3.4): exact LEC DP under static memory.
+    AlgorithmC,
+    /// Algorithm C under §3.5 per-phase Markov memory evolution.
+    AlgorithmCDynamic {
+        /// The memory transition model.
+        chain: MarkovChain,
+    },
+    /// Algorithm D (§3.6): multi-parameter LEC DP.
+    AlgorithmD {
+        /// Bucketing configuration.
+        config: AlgDConfig,
+    },
+    /// Bushy-plan LEC DP (the §4 extension; static memory only).
+    Bushy,
+    /// Randomized iterative improvement \[Swa89\] with the EC objective.
+    IterativeImprovement {
+        /// Search tuning.
+        config: crate::randomized::RandomizedConfig,
+        /// RNG seed (searches are deterministic per seed).
+        seed: u64,
+    },
+    /// Simulated annealing \[IK90\] with the EC objective.
+    SimulatedAnnealing {
+        /// Search tuning.
+        config: crate::randomized::RandomizedConfig,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Mode {
+    /// Short display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Lsc(PointEstimate::Mean) => "LSC(mean)",
+            Mode::Lsc(PointEstimate::Mode) => "LSC(mode)",
+            Mode::LscAt(_) => "LSC(at)",
+            Mode::AlgorithmA => "AlgA",
+            Mode::AlgorithmB { .. } => "AlgB",
+            Mode::AlgorithmC => "AlgC",
+            Mode::AlgorithmCDynamic { .. } => "AlgC-dyn",
+            Mode::AlgorithmD { .. } => "AlgD",
+            Mode::Bushy => "Bushy",
+            Mode::IterativeImprovement { .. } => "II",
+            Mode::SimulatedAnnealing { .. } => "SA",
+        }
+    }
+}
+
+/// Uniform search statistics across modes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// DAG nodes populated (summed over black-box invocations for A/B).
+    pub nodes: usize,
+    /// Join candidates generated.
+    pub candidates: u64,
+    /// Cost-formula evaluations.
+    pub evals: u64,
+    /// Wall-clock optimization time.
+    pub elapsed: Duration,
+}
+
+/// The outcome of one optimization call.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// Chosen plan.
+    pub plan: PlanNode,
+    /// The objective value the algorithm reported: point cost for LSC,
+    /// expected cost for every LEC mode.
+    pub cost: f64,
+    /// Mode display name.
+    pub mode: &'static str,
+    /// Statistics.
+    pub stats: SearchStats,
+}
+
+/// An optimizer bound to a catalog and a memory model.
+#[derive(Debug)]
+pub struct Optimizer<'a> {
+    catalog: &'a Catalog,
+    memory: Distribution,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Create an optimizer believing `memory` describes the run-time
+    /// environment.
+    pub fn new(catalog: &'a Catalog, memory: Distribution) -> Self {
+        Optimizer { catalog, memory }
+    }
+
+    /// The memory distribution in force.
+    pub fn memory(&self) -> &Distribution {
+        &self.memory
+    }
+
+    /// Optimize `query` under `mode`.
+    pub fn optimize(&self, query: &Query, mode: &Mode) -> Result<Optimized, OptError> {
+        query.validate(self.catalog)?;
+        let model = CostModel::new(self.catalog, query);
+        let start = Instant::now();
+        let (plan, cost, nodes, candidates, evals) = match mode {
+            Mode::Lsc(est) => {
+                let r = optimize_lsc_from_dist(&model, &self.memory, *est)?;
+                (r.plan, r.cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
+            }
+            Mode::LscAt(m) => {
+                let r = crate::lsc::optimize_lsc(&model, *m)?;
+                (r.plan, r.cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
+            }
+            Mode::AlgorithmA => {
+                let r = optimize_alg_a(&model, &self.memory)?;
+                (
+                    r.plan,
+                    r.expected_cost,
+                    r.stats.nodes,
+                    r.stats.candidates,
+                    r.stats.evals,
+                )
+            }
+            Mode::AlgorithmB { c } => {
+                let r = optimize_alg_b(&model, &self.memory, *c)?;
+                (
+                    r.plan,
+                    r.expected_cost,
+                    r.stats.nodes,
+                    r.stats.candidates,
+                    r.stats.evals,
+                )
+            }
+            Mode::AlgorithmC => {
+                let r = optimize_lec_static(&model, &self.memory)?;
+                (r.plan, r.cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
+            }
+            Mode::AlgorithmCDynamic { chain } => {
+                let r = optimize_lec_dynamic(&model, &self.memory, chain)?;
+                (r.plan, r.cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
+            }
+            Mode::AlgorithmD { config } => {
+                let r = optimize_alg_d(&model, &self.memory, config)?;
+                (r.plan, r.expected_cost, r.stats.nodes, r.stats.candidates, 0)
+            }
+            Mode::Bushy => {
+                let r = crate::bushy::optimize_lec_bushy(&model, &self.memory)?;
+                (r.plan, r.expected_cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
+            }
+            Mode::IterativeImprovement { config, seed } => {
+                let r = crate::randomized::iterative_improvement(
+                    &model,
+                    &self.memory,
+                    config,
+                    *seed,
+                )?;
+                (r.plan, r.expected_cost, 0, r.evaluations, 0)
+            }
+            Mode::SimulatedAnnealing { config, seed } => {
+                let r = crate::randomized::simulated_annealing(
+                    &model,
+                    &self.memory,
+                    config,
+                    *seed,
+                )?;
+                (r.plan, r.expected_cost, 0, r.evaluations, 0)
+            }
+        };
+        Ok(Optimized {
+            plan,
+            cost,
+            mode: mode.name(),
+            stats: SearchStats {
+                nodes,
+                candidates,
+                evals,
+                elapsed: start.elapsed(),
+            },
+        })
+    }
+
+    /// Expected cost of an arbitrary plan under this optimizer's memory
+    /// distribution (for cross-mode comparisons).
+    pub fn expected_cost_of(&self, query: &Query, plan: &PlanNode) -> f64 {
+        let model = CostModel::new(self.catalog, query);
+        lec_cost::expected_plan_cost_static(&model, plan, &self.memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{example_1_1, example_1_1_memory, three_chain};
+
+    #[test]
+    fn facade_runs_every_mode_on_example_1_1() {
+        let (cat, q) = example_1_1();
+        let opt = Optimizer::new(&cat, example_1_1_memory());
+        let chain = MarkovChain::identity(vec![700.0, 2000.0]).unwrap();
+        let modes = vec![
+            Mode::Lsc(PointEstimate::Mean),
+            Mode::Lsc(PointEstimate::Mode),
+            Mode::LscAt(700.0),
+            Mode::AlgorithmA,
+            Mode::AlgorithmB { c: 3 },
+            Mode::AlgorithmC,
+            Mode::AlgorithmCDynamic { chain },
+            Mode::AlgorithmD { config: AlgDConfig::default() },
+        ];
+        for mode in modes {
+            let r = opt.optimize(&q, &mode).unwrap();
+            assert!(r.cost > 0.0, "{}", r.mode);
+            assert!(r.plan.is_left_deep());
+            assert!(r.stats.elapsed.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn the_papers_headline_result() {
+        // LSC (mean or mode) → Plan 1; every LEC algorithm → Plan 2,
+        // with EC(Plan 2) < EC(Plan 1).
+        let (cat, q) = example_1_1();
+        let opt = Optimizer::new(&cat, example_1_1_memory());
+        let lsc = opt.optimize(&q, &Mode::Lsc(PointEstimate::Mode)).unwrap();
+        assert!(crate::fixtures::is_plan1(&lsc.plan), "{}", lsc.plan.compact());
+        for mode in [
+            Mode::AlgorithmA,
+            Mode::AlgorithmB { c: 2 },
+            Mode::AlgorithmC,
+            Mode::AlgorithmD { config: AlgDConfig::default() },
+        ] {
+            let lec = opt.optimize(&q, &mode).unwrap();
+            assert!(crate::fixtures::is_plan2(&lec.plan), "{}: {}", lec.mode, lec.plan.compact());
+            let lsc_ec = opt.expected_cost_of(&q, &lsc.plan);
+            assert!(lec.cost < lsc_ec, "{}: {} !< {}", lec.mode, lec.cost, lsc_ec);
+        }
+    }
+
+    #[test]
+    fn extension_modes_run_through_the_facade() {
+        let (cat, q) = example_1_1();
+        let opt = Optimizer::new(&cat, example_1_1_memory());
+        let exact = opt.optimize(&q, &Mode::AlgorithmC).unwrap();
+        for mode in [
+            Mode::Bushy,
+            Mode::IterativeImprovement {
+                config: crate::randomized::RandomizedConfig::default(),
+                seed: 5,
+            },
+            Mode::SimulatedAnnealing {
+                config: crate::randomized::RandomizedConfig::default(),
+                seed: 5,
+            },
+        ] {
+            let r = opt.optimize(&q, &mode).unwrap();
+            // On a two-table query every mode must find the exact optimum
+            // (the plan space is tiny).
+            assert!(
+                (r.cost - exact.cost).abs() < 1.0,
+                "{}: {} vs {}",
+                r.mode,
+                r.cost,
+                exact.cost
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_up_front() {
+        let (cat, mut q) = three_chain();
+        q.joins.clear(); // disconnects the graph
+        let opt = Optimizer::new(&cat, example_1_1_memory());
+        assert!(matches!(
+            opt.optimize(&q, &Mode::AlgorithmC),
+            Err(OptError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn overhead_grows_with_bucket_count() {
+        // Contribution 3: "the extension increases the cost of query
+        // optimization by a factor depending on the granularity of the
+        // parameter distribution" — evals scale with b for Algorithm C.
+        let (cat, q) = three_chain();
+        let mut last_evals = 0;
+        for b in [1usize, 2, 4, 8] {
+            let memory =
+                lec_prob::presets::spread_family(400.0, 0.5, b).unwrap();
+            let opt = Optimizer::new(&cat, memory);
+            let r = opt.optimize(&q, &Mode::AlgorithmC).unwrap();
+            assert!(
+                r.stats.evals >= last_evals,
+                "evals must grow with buckets: {} after {}",
+                r.stats.evals,
+                last_evals
+            );
+            last_evals = r.stats.evals;
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the optimizer crate: DP entry pruning, algorithm
+//! orderings, bucketing, and the randomized/parametric extensions.
+
+use lec_catalog::CatalogGenerator;
+use lec_core::{
+    bucketize, optimize_alg_a, optimize_alg_b, optimize_lec_bushy, optimize_lec_static,
+    optimize_lsc, BucketStrategy, PlanCache,
+};
+use lec_cost::{expected_plan_cost_static, CostModel};
+use lec_plan::{Query, QueryProfile, Topology, WorkloadGenerator};
+use lec_prob::{presets, Distribution};
+use proptest::prelude::*;
+
+fn workload(seed: u64, n: usize) -> (lec_catalog::Catalog, Query) {
+    let mut g = CatalogGenerator::new(seed);
+    let cat = g.generate(n + 1);
+    let ids = g.pick_tables(&cat, n);
+    let mut wg = WorkloadGenerator::new(seed ^ 0xBEEF);
+    let q = wg.gen_query(
+        &cat,
+        &ids,
+        &QueryProfile { topology: Topology::Random, ..Default::default() },
+    );
+    (cat, q)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// The theorem-grade quality chain on random workloads:
+    /// bushy ≤ C ≤ {A, B(c)} and A ≤ EC(LSC plan).
+    ///
+    /// (A and B are not mutually ordered in general: when several plans tie
+    /// on *point* cost at some memory value, A and B may keep different
+    /// tied representatives whose *expected* costs differ.)
+    #[test]
+    fn quality_chain(
+        seed in 0u64..5000,
+        n in 3usize..6,
+        center in 60.0f64..2500.0,
+        spread in 0.05f64..0.95,
+        c in 2usize..5,
+    ) {
+        let (cat, q) = workload(seed, n);
+        let model = CostModel::new(&cat, &q);
+        let memory = presets::spread_family(center, spread, 5).unwrap();
+        let lsc = optimize_lsc(&model, memory.mean()).unwrap();
+        let lsc_ec = expected_plan_cost_static(&model, &lsc.plan, &memory);
+        let a = optimize_alg_a(&model, &memory).unwrap();
+        let bc = optimize_alg_b(&model, &memory, c).unwrap();
+        let cc = optimize_lec_static(&model, &memory).unwrap();
+        let bu = optimize_lec_bushy(&model, &memory).unwrap();
+        prop_assert!(a.expected_cost <= lsc_ec + 1e-6);
+        prop_assert!(cc.cost <= a.expected_cost + 1e-6);
+        prop_assert!(cc.cost <= bc.expected_cost + 1e-6);
+        prop_assert!(bu.expected_cost <= cc.cost + 1e-6);
+    }
+
+    /// Algorithm B's frontier counters never exceed the Prop 3.1 bound.
+    #[test]
+    fn frontier_bound(seed in 0u64..5000, n in 3usize..6, c in 1usize..12) {
+        let (cat, q) = workload(seed, n);
+        let model = CostModel::new(&cat, &q);
+        let memory = presets::spread_family(300.0, 0.6, 4).unwrap();
+        let b = optimize_alg_b(&model, &memory, c).unwrap();
+        prop_assert!(b.frontier.combinations_examined <= b.frontier.bound_total);
+    }
+
+    /// Every bucketing strategy preserves mass and mean on random truths
+    /// and never exceeds its budget.
+    #[test]
+    fn bucketize_budget_and_moments(
+        truth_pairs in prop::collection::vec((10.0f64..5000.0, 0.05f64..1.0), 2..40),
+        b in 1usize..12,
+        strat_idx in 0usize..3,
+        cuts in prop::collection::vec(10.0f64..5000.0, 0..6),
+    ) {
+        let truth = Distribution::from_pairs(truth_pairs).unwrap();
+        let strategy = [BucketStrategy::EqualWidth, BucketStrategy::EqualDepth, BucketStrategy::LevelSet][strat_idx];
+        let mut sorted_cuts = cuts.clone();
+        sorted_cuts.sort_by(f64::total_cmp);
+        let d = bucketize(&truth, b, strategy, &sorted_cuts);
+        prop_assert!(d.len() <= b.max(truth.len().min(b)));
+        let mass: f64 = d.probs().iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        let scale = truth.mean().abs().max(1.0);
+        prop_assert!((d.mean() - truth.mean()).abs() / scale < 1e-9);
+    }
+
+    /// Parametric caches: regret is non-negative and zero when the
+    /// start-up distribution was anticipated.
+    #[test]
+    fn parametric_regret_laws(seed in 0u64..3000, n in 3usize..5) {
+        let (cat, q) = workload(seed, n);
+        let model = CostModel::new(&cat, &q);
+        let anticipated = vec![
+            presets::spread_family(150.0, 0.4, 4).unwrap(),
+            presets::spread_family(900.0, 0.4, 4).unwrap(),
+        ];
+        let cache = PlanCache::precompute(&model, &anticipated).unwrap();
+        // Anticipated distribution → zero regret.
+        let hit = cache.choose(&model, &anticipated[0]).unwrap();
+        prop_assert!(hit.regret.abs() < 1e-9);
+        // Arbitrary distribution → non-negative regret, best-of-cache.
+        let actual = presets::spread_family(400.0, 0.7, 5).unwrap();
+        let choice = cache.choose(&model, &actual).unwrap();
+        prop_assert!(choice.regret >= 0.0);
+        for e in cache.entries() {
+            let ec = expected_plan_cost_static(&model, &e.plan, &actual);
+            prop_assert!(choice.expected_cost <= ec + 1e-9);
+        }
+    }
+
+    /// LEC degenerates to LSC on point distributions for every workload.
+    #[test]
+    fn single_bucket_degeneracy(seed in 0u64..5000, n in 2usize..6, m in 10.0f64..5000.0) {
+        let (cat, q) = workload(seed, n);
+        let model = CostModel::new(&cat, &q);
+        let lsc = optimize_lsc(&model, m).unwrap();
+        let lec = optimize_lec_static(&model, &Distribution::point(m)).unwrap();
+        prop_assert!((lsc.cost - lec.cost).abs() / lsc.cost.max(1.0) < 1e-9);
+    }
+}

@@ -1,0 +1,33 @@
+//! # lec-cost — the I/O cost model of the PODS'99 LEC paper
+//!
+//! Three layers:
+//!
+//! * [`formulas`] — the raw piecewise page-I/O formulas (§3.6.1/§3.6.2 of
+//!   the paper, plus the Grace-hash and external-sort formulas implied by
+//!   Example 1.1), together with their *breakpoints* (the memory values at
+//!   which cost jumps — the discontinuities that make LEC ≠ LSC);
+//! * [`model`] — [`CostModel`], binding a catalog and query: effective
+//!   sizes after selections, combined selectivities, access-path and join
+//!   cost dispatch, and the cost-formula evaluation counter the paper's
+//!   complexity claims are stated in;
+//! * [`plan_cost`] — whole-plan costing `C(P, v)`, the §3.5 phase
+//!   decomposition, expected plan cost under static and Markov-evolving
+//!   memory, and per-plan cliff positions for §3.7 level-set bucketing;
+//! * [`expected`] — expected *join* cost under size+memory distributions:
+//!   the defining `O(b³)` triple sum and the paper's `O(b)` streaming
+//!   algorithms, which are tested to agree exactly.
+
+pub mod expected;
+pub mod formulas;
+pub mod model;
+pub mod plan_cost;
+
+pub use expected::{
+    expected_join_cost, expected_sort_cost, naive_expected_join_cost,
+    streaming_expected_join_cost,
+};
+pub use model::{AccessPath, CostModel};
+pub use plan_cost::{
+    expected_plan_cost_dynamic, expected_plan_cost_static, output_order, phases,
+    plan_cost_at, plan_memory_breakpoints, plan_output_pages, MemCost, Phase,
+};

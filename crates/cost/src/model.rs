@@ -1,0 +1,353 @@
+//! The query-aware cost model: effective sizes, selectivities, and cost
+//! dispatch, with an evaluation counter for the paper's complexity claims.
+
+use crate::formulas;
+use lec_catalog::{Catalog, IndexKind};
+use lec_plan::{ColumnEquivalences, JoinMethod, Query, TableSet};
+use lec_prob::Distribution;
+use std::cell::Cell;
+
+/// How a base table is accessed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Heap scan.
+    SeqScan,
+    /// Scan through the index matching the table's local filter.
+    IndexScan,
+}
+
+/// Cost model bound to one catalog and one query.
+///
+/// All size parameters are in pages.  Uncertain quantities are exposed both
+/// as point estimates (mean — what the LSC baseline uses) and as
+/// distributions (what Algorithms C/D use).  The model counts every
+/// evaluation of a cost formula through [`CostModel::evals`], which is the
+/// unit in which the paper states its overheads ("this computation requires
+/// b evaluations of the cost formula", §3.4).
+#[derive(Debug)]
+pub struct CostModel<'a> {
+    catalog: &'a Catalog,
+    query: &'a Query,
+    equivalences: ColumnEquivalences,
+    evals: Cell<u64>,
+}
+
+impl<'a> CostModel<'a> {
+    /// Bind the model to a query.
+    pub fn new(catalog: &'a Catalog, query: &'a Query) -> Self {
+        CostModel {
+            catalog,
+            query,
+            equivalences: ColumnEquivalences::for_query(query),
+            evals: Cell::new(0),
+        }
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// The query this model is bound to.
+    pub fn query(&self) -> &Query {
+        self.query
+    }
+
+    /// Column equivalence classes of the query (for order properties).
+    pub fn equivalences(&self) -> &ColumnEquivalences {
+        &self.equivalences
+    }
+
+    /// Number of cost-formula evaluations since the last reset.
+    pub fn evals(&self) -> u64 {
+        self.evals.get()
+    }
+
+    /// Reset the evaluation counter.
+    pub fn reset_evals(&self) {
+        self.evals.set(0);
+    }
+
+    fn count_eval(&self) {
+        self.evals.set(self.evals.get() + 1);
+    }
+
+    // ---- sizes ----------------------------------------------------------
+
+    /// Raw heap pages of a query table.
+    pub fn raw_pages(&self, table_idx: usize) -> f64 {
+        self.catalog.table(self.query.tables[table_idx].table).stats.pages as f64
+    }
+
+    /// Rows of a query table.
+    pub fn raw_rows(&self, table_idx: usize) -> f64 {
+        self.catalog.table(self.query.tables[table_idx].table).stats.rows as f64
+    }
+
+    /// Point estimate (mean) of the post-filter page count of a table —
+    /// the paper's `|A_j|` "after any initial selection".
+    pub fn base_pages(&self, table_idx: usize) -> f64 {
+        let qt = &self.query.tables[table_idx];
+        let pages = self.raw_pages(table_idx);
+        match &qt.filter {
+            Some(f) => (pages * f.selectivity.mean()).max(formulas::MIN_PAGES),
+            None => pages,
+        }
+    }
+
+    /// Distribution of the post-filter page count of a table
+    /// (`Pr(|A_j|)` in Figure 1).
+    pub fn base_pages_dist(&self, table_idx: usize) -> Distribution {
+        let qt = &self.query.tables[table_idx];
+        let t = self.catalog.table(qt.table);
+        let page_dist = t.stats.page_distribution();
+        match &qt.filter {
+            Some(f) => page_dist
+                .product(&f.selectivity)
+                .map(|v| v.max(formulas::MIN_PAGES)),
+            None => page_dist,
+        }
+    }
+
+    /// Point (mean) combined selectivity of all join predicates connecting
+    /// `set` to table `idx` (independence assumption, §3.6).
+    pub fn join_selectivity(&self, set: TableSet, idx: usize) -> f64 {
+        self.query
+            .joins_connecting(set, idx)
+            .iter()
+            .map(|&i| self.query.joins[i].selectivity.mean())
+            .product()
+    }
+
+    /// Distribution of the combined selectivity (`Pr(σ)` in Figure 1).
+    pub fn join_selectivity_dist(&self, set: TableSet, idx: usize) -> Distribution {
+        let mut dist = Distribution::point(1.0);
+        for &i in &self.query.joins_connecting(set, idx) {
+            dist = dist.product(&self.query.joins[i].selectivity);
+        }
+        dist
+    }
+
+    /// Point (mean) combined selectivity of all predicates crossing two
+    /// disjoint table sets (general form used when costing arbitrary trees).
+    pub fn join_selectivity_sets(&self, a: TableSet, b: TableSet) -> f64 {
+        self.query
+            .joins_crossing(a, b)
+            .iter()
+            .map(|&i| self.query.joins[i].selectivity.mean())
+            .product()
+    }
+
+    /// Result size of a join: the paper's `a·b·σ` pages, clamped to one page.
+    pub fn join_output_pages(&self, outer: f64, inner: f64, selectivity: f64) -> f64 {
+        (outer * inner * selectivity).max(formulas::MIN_PAGES)
+    }
+
+    // ---- access paths ---------------------------------------------------
+
+    /// Access paths worth considering for a table: sequential scan always,
+    /// plus an index scan when the local filter matches an index.
+    pub fn access_paths(&self, table_idx: usize) -> Vec<AccessPath> {
+        let mut out = vec![AccessPath::SeqScan];
+        if self.index_kind_for_filter(table_idx) != IndexKind::None {
+            out.push(AccessPath::IndexScan);
+        }
+        out
+    }
+
+    fn index_kind_for_filter(&self, table_idx: usize) -> IndexKind {
+        let qt = &self.query.tables[table_idx];
+        match &qt.filter {
+            Some(f) => self
+                .catalog
+                .table(qt.table)
+                .stats
+                .index_on(f.column),
+            None => IndexKind::None,
+        }
+    }
+
+    /// Cost of one access path (memory-independent in this model).
+    pub fn access_cost(&self, path: AccessPath, table_idx: usize) -> f64 {
+        self.count_eval();
+        let pages = self.raw_pages(table_idx);
+        match path {
+            AccessPath::SeqScan => formulas::seq_scan_cost(pages),
+            AccessPath::IndexScan => {
+                let qt = &self.query.tables[table_idx];
+                let f = qt
+                    .filter
+                    .as_ref()
+                    .expect("index scan requires a filter");
+                let rows = self.raw_rows(table_idx);
+                match self.index_kind_for_filter(table_idx) {
+                    IndexKind::Clustered => formulas::clustered_index_scan_cost(
+                        pages,
+                        rows,
+                        f.selectivity.mean(),
+                    ),
+                    IndexKind::Unclustered => formulas::unclustered_index_scan_cost(
+                        rows,
+                        f.selectivity.mean(),
+                    ),
+                    IndexKind::None => unreachable!("access_paths gates on index presence"),
+                }
+            }
+        }
+    }
+
+    // ---- joins and sorts ------------------------------------------------
+
+    /// Join cost at a specific memory value (the paper's `C(P, v)` for one
+    /// operator); `outer`/`inner` in pages.
+    pub fn join_cost(&self, method: JoinMethod, outer: f64, inner: f64, m: f64) -> f64 {
+        self.count_eval();
+        match method {
+            JoinMethod::SortMerge => formulas::sm_join_cost(outer, inner, m),
+            JoinMethod::GraceHash => formulas::grace_join_cost(outer, inner, m),
+            JoinMethod::PageNestedLoop => formulas::nl_join_cost(outer, inner, m),
+            JoinMethod::BlockNestedLoop => formulas::bnl_join_cost(outer, inner, m),
+        }
+    }
+
+    /// Sort cost at a specific memory value.
+    pub fn sort_cost(&self, pages: f64, m: f64) -> f64 {
+        self.count_eval();
+        formulas::sort_cost(pages, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_catalog::{ColumnStats, TableStats};
+    use lec_plan::{ColumnRef, JoinPredicate, QueryTable};
+
+    fn fixture() -> (Catalog, Query) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table(
+            "A",
+            TableStats::new(
+                1000,
+                50_000,
+                vec![
+                    ColumnStats::indexed("pk", 50_000, IndexKind::Clustered),
+                    ColumnStats::plain("x", 100),
+                ],
+            ),
+        );
+        let b = cat.add_table(
+            "B",
+            TableStats::new(500, 25_000, vec![ColumnStats::plain("y", 50)]),
+        );
+        let query = Query {
+            tables: vec![
+                QueryTable::filtered(a, 0, Distribution::point(0.1)),
+                QueryTable::bare(b),
+            ],
+            joins: vec![JoinPredicate::exact(
+                ColumnRef::new(0, 1),
+                ColumnRef::new(1, 0),
+                1e-4,
+            )],
+            required_order: None,
+        };
+        (cat, query)
+    }
+
+    #[test]
+    fn base_pages_apply_filters() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        assert_eq!(m.base_pages(0), 100.0); // 1000 × 0.1
+        assert_eq!(m.base_pages(1), 500.0);
+        let d = m.base_pages_dist(0);
+        assert!(d.is_point());
+        assert_eq!(d.mean(), 100.0);
+    }
+
+    #[test]
+    fn uncertain_filter_propagates_to_size_distribution() {
+        let (cat, mut q) = fixture();
+        q.tables[0].filter.as_mut().unwrap().selectivity =
+            Distribution::bimodal(0.01, 0.5, 0.5).unwrap();
+        let m = CostModel::new(&cat, &q);
+        let d = m.base_pages_dist(0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.support(), &[10.0, 500.0]);
+        assert_eq!(m.base_pages(0), 1000.0 * (0.01 + 0.5) / 2.0);
+    }
+
+    #[test]
+    fn selectivity_product_over_connecting_predicates() {
+        let (cat, mut q) = fixture();
+        // Add a second predicate between the same pair.
+        q.joins.push(JoinPredicate::exact(
+            ColumnRef::new(0, 0),
+            ColumnRef::new(1, 0),
+            0.5,
+        ));
+        let m = CostModel::new(&cat, &q);
+        let s = m.join_selectivity(TableSet::singleton(0), 1);
+        assert!((s - 1e-4 * 0.5).abs() < 1e-18);
+        let d = m.join_selectivity_dist(TableSet::singleton(0), 1);
+        assert!(d.is_point());
+        assert!((d.mean() - 5e-5).abs() < 1e-18);
+    }
+
+    #[test]
+    fn access_paths_depend_on_indexes() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        // Table 0: clustered index on the filtered column.
+        assert_eq!(m.access_paths(0), vec![AccessPath::SeqScan, AccessPath::IndexScan]);
+        // Table 1: no filter, no index scan.
+        assert_eq!(m.access_paths(1), vec![AccessPath::SeqScan]);
+        // Index scan cheaper than full scan at 10% selectivity.
+        assert!(m.access_cost(AccessPath::IndexScan, 0) < m.access_cost(AccessPath::SeqScan, 0));
+    }
+
+    #[test]
+    fn eval_counter_counts_formula_calls() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        assert_eq!(m.evals(), 0);
+        m.join_cost(JoinMethod::SortMerge, 100.0, 200.0, 50.0);
+        m.sort_cost(100.0, 10.0);
+        m.access_cost(AccessPath::SeqScan, 1);
+        assert_eq!(m.evals(), 3);
+        m.reset_evals();
+        assert_eq!(m.evals(), 0);
+    }
+
+    #[test]
+    fn join_cost_dispatch_matches_formulas() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        let (a, b, mem) = (1e6, 4e5, 700.0);
+        assert_eq!(
+            m.join_cost(JoinMethod::SortMerge, a, b, mem),
+            crate::formulas::sm_join_cost(a, b, mem)
+        );
+        assert_eq!(
+            m.join_cost(JoinMethod::GraceHash, a, b, mem),
+            crate::formulas::grace_join_cost(a, b, mem)
+        );
+        assert_eq!(
+            m.join_cost(JoinMethod::PageNestedLoop, a, b, mem),
+            crate::formulas::nl_join_cost(a, b, mem)
+        );
+        assert_eq!(
+            m.join_cost(JoinMethod::BlockNestedLoop, a, b, mem),
+            crate::formulas::bnl_join_cost(a, b, mem)
+        );
+    }
+
+    #[test]
+    fn output_pages_clamped() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        assert_eq!(m.join_output_pages(100.0, 500.0, 1e-4), 5.0);
+        assert_eq!(m.join_output_pages(10.0, 10.0, 1e-9), 1.0);
+    }
+}

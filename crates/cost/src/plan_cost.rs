@@ -1,0 +1,463 @@
+//! Whole-plan costing: `C(P, v)`, phase decomposition, and expected cost
+//! under static and dynamically changing memory.
+//!
+//! The paper's cost function takes "a plan p and a vector v of values of
+//! relevant parameters" (§3.1).  Here `v` is the available memory (sizes
+//! are point estimates at this layer; fully distributional sizes are the
+//! business of `lec-core`'s Algorithm D, which costs joins *before* plans
+//! exist).  For §3.5's dynamic case, "plan execution takes place in phases,
+//! each corresponding to a join in the plan ... memory does not change
+//! during the execution of a phase, but can change between phases" —
+//! [`phases`] materializes exactly that decomposition.
+
+use crate::model::{AccessPath, CostModel};
+use lec_plan::{JoinMethod, OrderProperty, PlanNode};
+use lec_prob::{Distribution, MarkovChain, ProbError};
+
+/// The memory-dependent part of one execution phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MemCost {
+    /// Phase with no memory-dependent work (pure access, degenerate plans).
+    None,
+    /// A join of two inputs of known (point-estimated) sizes.
+    Join {
+        /// Join algorithm.
+        method: JoinMethod,
+        /// Outer input size in pages.
+        outer: f64,
+        /// Inner input size in pages.
+        inner: f64,
+    },
+    /// An explicit sort.
+    Sort {
+        /// Input size in pages.
+        pages: f64,
+    },
+}
+
+/// One execution phase (§3.5): a join or sort plus the memory-independent
+/// access costs charged alongside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Memory-independent cost (base-table accesses feeding this phase).
+    pub fixed: f64,
+    /// Memory-dependent operator.
+    pub mem: MemCost,
+}
+
+impl Phase {
+    /// Cost of the phase when memory is `m`.
+    pub fn cost_at(&self, model: &CostModel<'_>, m: f64) -> f64 {
+        self.fixed
+            + match &self.mem {
+                MemCost::None => 0.0,
+                MemCost::Join { method, outer, inner } => {
+                    model.join_cost(*method, *outer, *inner, m)
+                }
+                MemCost::Sort { pages } => model.sort_cost(*pages, m),
+            }
+    }
+}
+
+struct NodeInfo {
+    pages: f64,
+    /// Access cost of a base node not yet folded into a phase.
+    pending_fixed: f64,
+}
+
+fn access_path_of(node: &PlanNode) -> Option<(AccessPath, usize)> {
+    match node {
+        PlanNode::SeqScan { table } => Some((AccessPath::SeqScan, *table)),
+        PlanNode::IndexScan { table } => Some((AccessPath::IndexScan, *table)),
+        _ => None,
+    }
+}
+
+fn collect(model: &CostModel<'_>, node: &PlanNode, out: &mut Vec<Phase>) -> NodeInfo {
+    if let Some((path, table)) = access_path_of(node) {
+        return NodeInfo {
+            pages: model.base_pages(table),
+            pending_fixed: model.access_cost(path, table),
+        };
+    }
+    match node {
+        PlanNode::Sort { input, .. } => {
+            let info = collect(model, input, out);
+            out.push(Phase {
+                fixed: info.pending_fixed,
+                mem: MemCost::Sort { pages: info.pages },
+            });
+            NodeInfo { pages: info.pages, pending_fixed: 0.0 }
+        }
+        PlanNode::Join { method, outer, inner } => {
+            let outer_info = collect(model, outer, out);
+            let inner_info = collect(model, inner, out);
+            let sel = model.join_selectivity_sets(outer.tables(), inner.tables());
+            let pages =
+                model.join_output_pages(outer_info.pages, inner_info.pages, sel);
+            out.push(Phase {
+                fixed: outer_info.pending_fixed + inner_info.pending_fixed,
+                mem: MemCost::Join {
+                    method: *method,
+                    outer: outer_info.pages,
+                    inner: inner_info.pages,
+                },
+            });
+            NodeInfo { pages, pending_fixed: 0.0 }
+        }
+        PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => unreachable!(),
+    }
+}
+
+/// Decompose a plan into execution phases, innermost first.
+pub fn phases(model: &CostModel<'_>, plan: &PlanNode) -> Vec<Phase> {
+    let mut out = Vec::with_capacity(plan.n_phases());
+    let info = collect(model, plan, &mut out);
+    if info.pending_fixed > 0.0 {
+        // Degenerate single-access plan: charge the access as its own phase.
+        out.push(Phase { fixed: info.pending_fixed, mem: MemCost::None });
+    }
+    out
+}
+
+/// Output size of a plan in pages (point estimates).
+pub fn plan_output_pages(model: &CostModel<'_>, plan: &PlanNode) -> f64 {
+    match plan {
+        PlanNode::SeqScan { table } | PlanNode::IndexScan { table } => {
+            model.base_pages(*table)
+        }
+        PlanNode::Sort { input, .. } => plan_output_pages(model, input),
+        PlanNode::Join { outer, inner, .. } => {
+            let sel = model.join_selectivity_sets(outer.tables(), inner.tables());
+            model.join_output_pages(
+                plan_output_pages(model, outer),
+                plan_output_pages(model, inner),
+                sel,
+            )
+        }
+    }
+}
+
+/// The order property of a plan's output.
+///
+/// Rules (the \[SAC+79\] interesting-order extension):
+/// * sort-merge output is sorted on the join column (class of the
+///   lowest-indexed crossing predicate);
+/// * page nested-loop preserves the outer order; Grace hash and block
+///   nested-loop destroy order;
+/// * a clustered index scan produces its filter column's order;
+/// * a sort produces its key's order.
+pub fn output_order(model: &CostModel<'_>, plan: &PlanNode) -> OrderProperty {
+    let eq = model.equivalences();
+    match plan {
+        PlanNode::SeqScan { .. } => OrderProperty::None,
+        PlanNode::IndexScan { table } => {
+            let qt = &model.query().tables[*table];
+            match &qt.filter {
+                Some(f) => {
+                    use lec_catalog::IndexKind;
+                    let kind = model
+                        .catalog()
+                        .table(qt.table)
+                        .stats
+                        .index_on(f.column);
+                    if kind == IndexKind::Clustered {
+                        eq.sorted_on(lec_plan::ColumnRef::new(*table, f.column))
+                    } else {
+                        OrderProperty::None
+                    }
+                }
+                None => OrderProperty::None,
+            }
+        }
+        PlanNode::Sort { key, .. } => eq.sorted_on(*key),
+        PlanNode::Join { method, outer, inner } => match method {
+            JoinMethod::SortMerge => {
+                let crossing =
+                    model.query().joins_crossing(outer.tables(), inner.tables());
+                match crossing.first() {
+                    Some(&i) => eq.sorted_on(model.query().joins[i].left),
+                    None => OrderProperty::None,
+                }
+            }
+            JoinMethod::PageNestedLoop => output_order(model, outer),
+            JoinMethod::GraceHash | JoinMethod::BlockNestedLoop => OrderProperty::None,
+        },
+    }
+}
+
+/// Total plan cost `C(P, m)` at a fixed memory value.
+pub fn plan_cost_at(model: &CostModel<'_>, plan: &PlanNode, m: f64) -> f64 {
+    phases(model, plan)
+        .iter()
+        .map(|p| p.cost_at(model, m))
+        .sum()
+}
+
+/// Expected plan cost under a static memory distribution:
+/// `EC(P) = Σ_m C(P, m)·Pr(m)` (§3.1).
+pub fn expected_plan_cost_static(
+    model: &CostModel<'_>,
+    plan: &PlanNode,
+    memory: &Distribution,
+) -> f64 {
+    let ph = phases(model, plan);
+    memory.expect(|m| ph.iter().map(|p| p.cost_at(model, m)).sum())
+}
+
+/// Expected plan cost when memory evolves between phases (§3.5): phase `k`
+/// sees the initial distribution pushed `k` steps through the chain.
+/// Linearity of expectation makes this a per-phase sum — the observation
+/// Theorem 3.4 rests on.
+pub fn expected_plan_cost_dynamic(
+    model: &CostModel<'_>,
+    plan: &PlanNode,
+    initial: &Distribution,
+    chain: &MarkovChain,
+) -> Result<f64, ProbError> {
+    let ph = phases(model, plan);
+    let mut dist = initial.clone();
+    let mut total = 0.0;
+    for phase in &ph {
+        total += dist.expect(|m| phase.cost_at(model, m));
+        dist = chain.evolve_dist(&dist)?;
+    }
+    Ok(total)
+}
+
+/// All memory values at which this plan's cost function `C(P, ·)` can jump:
+/// the union of the per-operator cliff positions, sorted and deduplicated.
+/// This is the §3.7 "level set" information used by the level-set
+/// bucketing strategy.
+pub fn plan_memory_breakpoints(model: &CostModel<'_>, plan: &PlanNode) -> Vec<f64> {
+    use crate::formulas;
+    let mut bps: Vec<f64> = Vec::new();
+    let ph = phases(model, plan);
+    for phase in &ph {
+        match &phase.mem {
+            MemCost::None => {}
+            MemCost::Join { method, outer, inner } => match method {
+                JoinMethod::SortMerge => {
+                    bps.extend(formulas::sm_breakpoints(*outer, *inner))
+                }
+                JoinMethod::GraceHash => {
+                    bps.extend(formulas::grace_breakpoints(*outer, *inner))
+                }
+                JoinMethod::PageNestedLoop => {
+                    bps.extend(formulas::nl_breakpoints(*outer, *inner))
+                }
+                JoinMethod::BlockNestedLoop => {
+                    bps.extend(formulas::bnl_breakpoints(*outer, *inner, 16))
+                }
+            },
+            MemCost::Sort { pages } => bps.extend(formulas::sort_breakpoints(*pages)),
+        }
+    }
+    bps.sort_by(f64::total_cmp);
+    bps.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    bps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_catalog::{Catalog, ColumnStats, TableStats};
+    use lec_plan::{ColumnRef, JoinPredicate, Query, QueryTable};
+
+    /// The Example 1.1 setting: A = 1,000,000 pages, B = 400,000 pages,
+    /// join result 3000 pages, output ordered by the join column.
+    fn example_1_1() -> (Catalog, Query) {
+        let mut cat = Catalog::new();
+        let a = cat.add_table(
+            "A",
+            TableStats::new(1_000_000, 50_000_000, vec![ColumnStats::plain("k", 1000)]),
+        );
+        let b = cat.add_table(
+            "B",
+            TableStats::new(400_000, 20_000_000, vec![ColumnStats::plain("k", 1000)]),
+        );
+        let sel = 3000.0 / (1_000_000.0 * 400_000.0);
+        let query = Query {
+            tables: vec![QueryTable::bare(a), QueryTable::bare(b)],
+            joins: vec![JoinPredicate::exact(
+                ColumnRef::new(0, 0),
+                ColumnRef::new(1, 0),
+                sel,
+            )],
+            required_order: Some(ColumnRef::new(0, 0)),
+        };
+        (cat, query)
+    }
+
+    fn plan1() -> PlanNode {
+        // Sort-merge join; output already ordered.
+        PlanNode::join(
+            JoinMethod::SortMerge,
+            PlanNode::SeqScan { table: 0 },
+            PlanNode::SeqScan { table: 1 },
+        )
+    }
+
+    fn plan2() -> PlanNode {
+        // Grace hash join, then sort the 3000-page result.
+        PlanNode::sort(
+            PlanNode::join(
+                JoinMethod::GraceHash,
+                PlanNode::SeqScan { table: 0 },
+                PlanNode::SeqScan { table: 1 },
+            ),
+            ColumnRef::new(0, 0),
+        )
+    }
+
+    #[test]
+    fn example_1_1_point_costs() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let scans = 1_400_000.0;
+
+        // M = 2000: plan 1 runs in two passes.
+        let c1_hi = plan_cost_at(&model, &plan1(), 2000.0);
+        assert_eq!(c1_hi, scans + 2.0 * 1_400_000.0);
+        // M = 700 < 1000 = √L: an extra pass.
+        let c1_lo = plan_cost_at(&model, &plan1(), 700.0);
+        assert_eq!(c1_lo, scans + 4.0 * 1_400_000.0);
+
+        // Plan 2 is flat across the two memory values (700 > √400000 ≈ 633):
+        // hash passes + the small sort (3·3000 = 9000).
+        let c2_hi = plan_cost_at(&model, &plan2(), 2000.0);
+        let c2_lo = plan_cost_at(&model, &plan2(), 700.0);
+        assert_eq!(c2_hi, scans + 2.0 * 1_400_000.0 + 9000.0);
+        assert_eq!(c2_lo, c2_hi);
+
+        // The paper's narrative: plan 2 "slightly more expensive" at high
+        // memory, far cheaper at low memory.
+        assert!(c2_hi > c1_hi);
+        assert!(c2_hi - c1_hi < 0.01 * c1_hi);
+        assert!(c1_lo > c2_lo + 1_000_000.0);
+    }
+
+    #[test]
+    fn example_1_1_expected_costs_prefer_plan2() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let memory = lec_prob::presets::example_1_1_memory();
+        let ec1 = expected_plan_cost_static(&model, &plan1(), &memory);
+        let ec2 = expected_plan_cost_static(&model, &plan2(), &memory);
+        // EC(plan1) = 1.4e6 + 0.8·2.8e6 + 0.2·5.6e6 = 4.76e6
+        assert!((ec1 - (1_400_000.0 + 0.8 * 2_800_000.0 + 0.2 * 5_600_000.0)).abs() < 1.0);
+        // EC(plan2) = 1.4e6 + 2.8e6 + 9000
+        assert!((ec2 - (1_400_000.0 + 2_800_000.0 + 9000.0)).abs() < 1.0);
+        assert!(ec2 < ec1, "the paper's LEC choice");
+        // While at the modal AND mean memory, plan 1 is the LSC winner:
+        for m in [2000.0, memory.mean()] {
+            assert!(
+                plan_cost_at(&model, &plan1(), m) < plan_cost_at(&model, &plan2(), m)
+            );
+        }
+    }
+
+    #[test]
+    fn phase_decomposition_shape() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let ph = phases(&model, &plan2());
+        assert_eq!(ph.len(), 2);
+        // Phase 0: the join, carrying both scans as fixed cost.
+        assert_eq!(ph[0].fixed, 1_400_000.0);
+        assert!(matches!(
+            ph[0].mem,
+            MemCost::Join { method: JoinMethod::GraceHash, .. }
+        ));
+        // Phase 1: the sort of the 3000-page result.
+        assert_eq!(ph[0].fixed + ph[1].fixed, 1_400_000.0);
+        match ph[1].mem {
+            MemCost::Sort { pages } => assert!((pages - 3000.0).abs() < 1e-6),
+            _ => panic!("expected sort phase"),
+        }
+    }
+
+    #[test]
+    fn output_pages_match_example() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        assert!((plan_output_pages(&model, &plan1()) - 3000.0).abs() < 1e-6);
+        assert!((plan_output_pages(&model, &plan2()) - 3000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn order_properties() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let eq = model.equivalences();
+        let want = q.required_order.unwrap();
+        // SM output satisfies the required order; GH does not; the sort fixes it.
+        assert!(eq.satisfies(output_order(&model, &plan1()), want));
+        let bare_gh = PlanNode::join(
+            JoinMethod::GraceHash,
+            PlanNode::SeqScan { table: 0 },
+            PlanNode::SeqScan { table: 1 },
+        );
+        assert_eq!(output_order(&model, &bare_gh), OrderProperty::None);
+        assert!(eq.satisfies(output_order(&model, &plan2()), want));
+        // NL preserves the outer's (lack of) order.
+        let nl = PlanNode::join(
+            JoinMethod::PageNestedLoop,
+            PlanNode::SeqScan { table: 0 },
+            PlanNode::SeqScan { table: 1 },
+        );
+        assert_eq!(output_order(&model, &nl), OrderProperty::None);
+    }
+
+    #[test]
+    fn dynamic_cost_with_identity_chain_matches_static() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let memory = lec_prob::presets::example_1_1_memory();
+        let chain = MarkovChain::identity(vec![700.0, 2000.0]).unwrap();
+        for plan in [plan1(), plan2()] {
+            let stat = expected_plan_cost_static(&model, &plan, &memory);
+            let dynm =
+                expected_plan_cost_dynamic(&model, &plan, &memory, &chain).unwrap();
+            assert!((stat - dynm).abs() < 1e-6, "{} vs {}", stat, dynm);
+        }
+    }
+
+    #[test]
+    fn dynamic_cost_sees_later_phase_drift() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        // Start surely at 2000 pages, but crash toward 50 pages next phase:
+        // plan 2's sort phase gets expensive, plan 1 has no second phase.
+        let chain = MarkovChain::new(
+            vec![50.0, 2000.0],
+            vec![vec![1.0, 0.0], vec![1.0, 0.0]],
+        )
+        .unwrap();
+        let start = Distribution::point(2000.0);
+        let c1 = expected_plan_cost_dynamic(&model, &plan1(), &start, &chain).unwrap();
+        let c2 = expected_plan_cost_dynamic(&model, &plan2(), &start, &chain).unwrap();
+        assert_eq!(c1, 1_400_000.0 + 2.0 * 1_400_000.0);
+        // Sort of 3000 pages at m=50: ∛3000 ≈ 14.4 ≤ 50 < √3000 → 5·3000.
+        assert_eq!(c2, 1_400_000.0 + 2.0 * 1_400_000.0 + 15_000.0);
+    }
+
+    #[test]
+    fn breakpoints_cover_both_plans_cliffs() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let bp1 = plan_memory_breakpoints(&model, &plan1());
+        // SM cliffs at ∛1e6 = 100 and √1e6 = 1000.
+        assert!(bp1.iter().any(|&x| (x - 100.0).abs() < 1e-6));
+        assert!(bp1.iter().any(|&x| (x - 1000.0).abs() < 1e-6));
+        let bp2 = plan_memory_breakpoints(&model, &plan2());
+        // Grace cliffs at ∛4e5 ≈ 73.68 and √4e5 ≈ 632.5, sort cliffs at
+        // ∛3000, √3000, 3000.
+        assert!(bp2.iter().any(|&x| (x - 400_000f64.sqrt()).abs() < 1e-6));
+        assert!(bp2.iter().any(|&x| (x - 3000.0).abs() < 1e-6));
+        // Sorted ascending.
+        for w in bp2.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the cost crate: formula laws, streaming/naive
+//! agreement, and plan-cost consistency.
+
+use lec_cost::expected::{naive_expected_join_cost, streaming_expected_join_cost};
+use lec_cost::formulas;
+use lec_plan::JoinMethod;
+use lec_prob::{Distribution, PrefixTables};
+use proptest::prelude::*;
+
+fn arb_dist(lo: f64, hi: f64) -> impl Strategy<Value = Distribution> {
+    prop::collection::vec((lo..hi, 0.05f64..1.0), 1..10)
+        .prop_map(|pairs| Distribution::from_pairs(pairs).expect("valid"))
+}
+
+proptest! {
+    /// Streaming EC ≡ naive EC for every separable method — §3.6.1/§3.6.2
+    /// verified over the whole input space, including boundary ties.
+    #[test]
+    fn streaming_equals_naive(
+        a in arb_dist(1.0, 1e6),
+        b in arb_dist(1.0, 1e6),
+        m in arb_dist(2.0, 1e4),
+    ) {
+        let mt = PrefixTables::new(&m);
+        for method in [JoinMethod::SortMerge, JoinMethod::GraceHash, JoinMethod::PageNestedLoop] {
+            let naive = naive_expected_join_cost(method, &a, &b, &m);
+            let fast = streaming_expected_join_cost(method, &a, &b, &mt).unwrap();
+            prop_assert!(
+                ((naive - fast) / naive.max(1.0)).abs() < 1e-9,
+                "{method:?}: {naive} vs {fast}"
+            );
+        }
+    }
+
+    /// Join and sort costs never increase with memory (more buffers never
+    /// hurt in this model) and are always positive and finite.
+    #[test]
+    fn costs_monotone_in_memory(
+        a in 1.0f64..1e6,
+        b in 1.0f64..1e6,
+        m1 in 2.0f64..1e6,
+        m2 in 2.0f64..1e6,
+    ) {
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        for f in [
+            formulas::sm_join_cost,
+            formulas::grace_join_cost,
+            formulas::nl_join_cost,
+            formulas::bnl_join_cost,
+        ] {
+            let c_lo = f(a, b, lo);
+            let c_hi = f(a, b, hi);
+            prop_assert!(c_hi <= c_lo + 1e-9);
+            prop_assert!(c_hi.is_finite() && c_hi > 0.0);
+        }
+        prop_assert!(formulas::sort_cost(a, hi) <= formulas::sort_cost(a, lo) + 1e-9);
+    }
+
+    /// Join costs are monotone in input sizes at fixed memory.
+    #[test]
+    fn costs_monotone_in_sizes(
+        a in 1.0f64..1e5,
+        b in 1.0f64..1e5,
+        extra in 1.0f64..1e5,
+        m in 2.0f64..1e5,
+    ) {
+        for f in [
+            formulas::sm_join_cost,
+            formulas::grace_join_cost,
+            formulas::nl_join_cost,
+            formulas::bnl_join_cost,
+        ] {
+            prop_assert!(f(a + extra, b, m) >= f(a, b, m) - 1e-9);
+            prop_assert!(f(a, b + extra, m) >= f(a, b, m) - 1e-9);
+        }
+    }
+
+    /// SM/Grace symmetry and NL outer-asymmetry, over random inputs.
+    #[test]
+    fn symmetry_laws(a in 1.0f64..1e6, b in 1.0f64..1e6, m in 2.0f64..1e5) {
+        prop_assert_eq!(
+            formulas::sm_join_cost(a, b, m).to_bits(),
+            formulas::sm_join_cost(b, a, m).to_bits()
+        );
+        prop_assert_eq!(
+            formulas::grace_join_cost(a, b, m).to_bits(),
+            formulas::grace_join_cost(b, a, m).to_bits()
+        );
+        // NL above threshold is symmetric; below it the outer multiplies.
+        let s = a.min(b);
+        if m >= s + 2.0 {
+            prop_assert_eq!(
+                formulas::nl_join_cost(a, b, m).to_bits(),
+                formulas::nl_join_cost(b, a, m).to_bits()
+            );
+        }
+    }
+
+    /// Breakpoints really bracket cost changes: the formula is constant on
+    /// each side of every returned breakpoint within a small window.
+    #[test]
+    fn breakpoints_are_the_only_cliffs(a in 10.0f64..1e6, b in 10.0f64..1e6) {
+        let bps = formulas::sm_breakpoints(a, b);
+        for w in bps.windows(2) {
+            // Sample inside the open interval: cost must be constant.
+            let (lo, hi) = (w[0], w[1]);
+            if hi / lo > 1.001 {
+                let m1 = lo * 1.0005;
+                let m2 = hi * 0.9995;
+                prop_assert_eq!(
+                    formulas::sm_join_cost(a, b, m1).to_bits(),
+                    formulas::sm_join_cost(a, b, m2).to_bits()
+                );
+            }
+        }
+    }
+
+    /// Expected cost of a point distribution is the cost at that point.
+    #[test]
+    fn point_expectation_is_evaluation(
+        a in 1.0f64..1e6,
+        b in 1.0f64..1e6,
+        m in 2.0f64..1e5,
+    ) {
+        let da = Distribution::point(a);
+        let db = Distribution::point(b);
+        let dm = Distribution::point(m);
+        let mt = PrefixTables::new(&dm);
+        for method in [JoinMethod::SortMerge, JoinMethod::GraceHash, JoinMethod::PageNestedLoop] {
+            let fast = streaming_expected_join_cost(method, &da, &db, &mt).unwrap();
+            let f: fn(f64, f64, f64) -> f64 = match method {
+                JoinMethod::SortMerge => formulas::sm_join_cost,
+                JoinMethod::GraceHash => formulas::grace_join_cost,
+                _ => formulas::nl_join_cost,
+            };
+            let direct = f(a, b, m);
+            prop_assert!(((fast - direct) / direct.max(1.0)).abs() < 1e-12);
+        }
+    }
+
+    /// EC is monotone under first-order stochastic dominance of memory:
+    /// shifting memory mass upward cannot increase expected cost.
+    #[test]
+    fn ec_respects_memory_dominance(
+        a in arb_dist(1.0, 1e6),
+        b in arb_dist(1.0, 1e6),
+        m in arb_dist(2.0, 1e4),
+        shift in 1.0f64..1e4,
+    ) {
+        let m_up = m.scale(1.0 + shift / 1e4);
+        let mt = PrefixTables::new(&m);
+        let mt_up = PrefixTables::new(&m_up);
+        for method in [JoinMethod::SortMerge, JoinMethod::GraceHash, JoinMethod::PageNestedLoop] {
+            let base = streaming_expected_join_cost(method, &a, &b, &mt).unwrap();
+            let up = streaming_expected_join_cost(method, &a, &b, &mt_up).unwrap();
+            prop_assert!(up <= base + 1e-6, "{method:?}: {up} > {base}");
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! External-memory operators with real I/O accounting.
+//!
+//! These implement the algorithms behind the paper's cost formulas —
+//! external merge sort, sort-merge join, Grace hash join \[Sha86\], and
+//! block nested-loop — against [`crate::bufpool::DiskTable`]s under an
+//! explicit buffer budget of `m` pages.  Their *measured* page I/O exhibits
+//! the same memory cliffs (at `√size`, `∛size`, `size`) as the closed-form
+//! model; experiment E11 overlays the two.
+//!
+//! Accounting convention: an operator's final output is pipelined to its
+//! consumer, so output materialization is *not* charged — matching the
+//! model, where e.g. a fitting sort costs exactly `R` (its input reads).
+
+use crate::bufpool::{Disk, DiskTable, Row};
+use std::collections::HashMap;
+
+/// Result of one operator execution.
+#[derive(Debug, Clone)]
+pub struct OpResult {
+    /// The (pipelined, uncharged) output rows.
+    pub rows: Vec<Row>,
+    /// Pages read + written during execution.
+    pub io: u64,
+}
+
+/// Sorted runs: either a table small enough to sort in memory, or a set of
+/// sorted on-disk runs awaiting merging.
+enum RunSet {
+    InMemory(Vec<Row>),
+    OnDisk(Vec<DiskTable>),
+}
+
+fn key_of(row: &Row, col: usize) -> i64 {
+    row[col]
+}
+
+/// Form initial sorted runs of `m` pages each; returns the run set.
+/// Charges `R` reads always, plus `R` writes when runs must spill.
+fn make_runs(disk: &mut Disk, input: &DiskTable, key: usize, m: usize, page_cap: usize) -> RunSet {
+    let r = input.n_pages();
+    if r <= m {
+        let mut rows = disk.read_all(input);
+        rows.sort_by_key(|row| key_of(row, key));
+        return RunSet::InMemory(rows);
+    }
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < r {
+        let hi = (i + m).min(r);
+        let mut rows: Vec<Row> = Vec::new();
+        for p in i..hi {
+            rows.extend(disk.read_page(input, p));
+        }
+        rows.sort_by_key(|row| key_of(row, key));
+        runs.push(disk.write_rows(rows, page_cap));
+        i = hi;
+    }
+    RunSet::OnDisk(runs)
+}
+
+/// Merge runs down until at most `fan_in` remain; each pass reads and
+/// rewrites every page.
+fn reduce_runs(
+    disk: &mut Disk,
+    mut runs: Vec<DiskTable>,
+    key: usize,
+    fan_in: usize,
+    page_cap: usize,
+) -> Vec<DiskTable> {
+    let fan_in = fan_in.max(2);
+    while runs.len() > fan_in {
+        let mut next = Vec::new();
+        for group in runs.chunks(fan_in) {
+            let mut rows: Vec<Row> = Vec::new();
+            for run in group {
+                rows.extend(disk.read_all(run));
+            }
+            // A real merge is a k-way heap over page cursors; row-level
+            // sorting here produces the identical output and I/O count.
+            rows.sort_by_key(|row| key_of(row, key));
+            next.push(disk.write_rows(rows, page_cap));
+        }
+        runs = next;
+    }
+    runs
+}
+
+/// Read out a run set as one sorted row stream (charges the reads of
+/// on-disk runs; in-memory runs were already charged at formation).
+fn drain_runs(disk: &mut Disk, runs: RunSet, key: usize) -> Vec<Row> {
+    match runs {
+        RunSet::InMemory(rows) => rows,
+        RunSet::OnDisk(tables) => {
+            let mut rows: Vec<Row> = Vec::new();
+            for t in &tables {
+                rows.extend(disk.read_all(t));
+            }
+            rows.sort_by_key(|row| key_of(row, key));
+            rows
+        }
+    }
+}
+
+/// External merge sort of `input` on column `key` with `m` buffer pages.
+pub fn external_sort(
+    input: &DiskTable,
+    key: usize,
+    m: usize,
+    page_cap: usize,
+) -> OpResult {
+    assert!(m >= 3, "external sort needs at least 3 buffer pages");
+    let mut disk = Disk::new();
+    let runs = make_runs(&mut disk, input, key, m, page_cap);
+    let runs = match runs {
+        RunSet::OnDisk(tables) => {
+            RunSet::OnDisk(reduce_runs(&mut disk, tables, key, m - 1, page_cap))
+        }
+        in_mem => in_mem,
+    };
+    let rows = drain_runs(&mut disk, runs, key);
+    OpResult { rows, io: disk.io().total() }
+}
+
+/// Sort-merge join: sort both inputs (sharing the buffer budget as the
+/// formulas assume), then merge-join the final run sets.
+pub fn sort_merge_join(
+    a: &DiskTable,
+    b: &DiskTable,
+    a_key: usize,
+    b_key: usize,
+    m: usize,
+    page_cap: usize,
+) -> OpResult {
+    assert!(m >= 3, "sort-merge join needs at least 3 buffer pages");
+    let mut disk = Disk::new();
+    let runs_a = make_runs(&mut disk, a, a_key, m, page_cap);
+    let runs_a = match runs_a {
+        RunSet::OnDisk(t) => RunSet::OnDisk(reduce_runs(&mut disk, t, a_key, m - 1, page_cap)),
+        x => x,
+    };
+    let runs_b = make_runs(&mut disk, b, b_key, m, page_cap);
+    let runs_b = match runs_b {
+        RunSet::OnDisk(t) => RunSet::OnDisk(reduce_runs(&mut disk, t, b_key, m - 1, page_cap)),
+        x => x,
+    };
+    let left = drain_runs(&mut disk, runs_a, a_key);
+    let right = drain_runs(&mut disk, runs_b, b_key);
+    let rows = merge_join_sorted(&left, &right, a_key, b_key);
+    OpResult { rows, io: disk.io().total() }
+}
+
+/// Merge two sorted row sets on their keys (all matching pairs).
+fn merge_join_sorted(left: &[Row], right: &[Row], a_key: usize, b_key: usize) -> Vec<Row> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        let ka = key_of(&left[i], a_key);
+        let kb = key_of(&right[j], b_key);
+        if ka < kb {
+            i += 1;
+        } else if ka > kb {
+            j += 1;
+        } else {
+            // Emit the cross product of the equal-key groups.
+            let i_end = left[i..].iter().take_while(|r| key_of(r, a_key) == ka).count() + i;
+            let j_end =
+                right[j..].iter().take_while(|r| key_of(r, b_key) == kb).count() + j;
+            for l in &left[i..i_end] {
+                for r in &right[j..j_end] {
+                    let mut row = l.clone();
+                    row.extend_from_slice(r);
+                    out.push(row);
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+    out
+}
+
+/// Grace hash join \[Sha86\]: in-memory when the smaller input fits,
+/// otherwise partition both sides and recurse.
+pub fn grace_hash_join(
+    a: &DiskTable,
+    b: &DiskTable,
+    a_key: usize,
+    b_key: usize,
+    m: usize,
+    page_cap: usize,
+) -> OpResult {
+    assert!(m >= 3, "grace hash join needs at least 3 buffer pages");
+    let mut disk = Disk::new();
+    let rows = grace_recurse(&mut disk, a, b, a_key, b_key, m, page_cap, 0);
+    OpResult { rows, io: disk.io().total() }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grace_recurse(
+    disk: &mut Disk,
+    a: &DiskTable,
+    b: &DiskTable,
+    a_key: usize,
+    b_key: usize,
+    m: usize,
+    page_cap: usize,
+    depth: usize,
+) -> Vec<Row> {
+    const MAX_DEPTH: usize = 8;
+    let s = a.n_pages().min(b.n_pages());
+    if s <= m.saturating_sub(1)
+        || a.n_rows() == 0
+        || b.n_rows() == 0
+        || depth >= MAX_DEPTH
+    {
+        // Build the smaller side in memory, probe with the larger.  The
+        // depth cap is the standard hybrid fallback for skewed keys: once
+        // repartitioning stops separating (e.g. one hot key), join the
+        // partition directly rather than recurse forever.
+        let left = disk.read_all(a);
+        let right = disk.read_all(b);
+        return hash_join_rows(&left, &right, a_key, b_key);
+    }
+    let f = m - 1;
+    // splitmix64-style mixing with the depth folded into the seed, so
+    // every recursion level re-partitions keys independently.
+    let bucket = |k: i64| -> usize {
+        let mut h = (k as u64) ^ (depth as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 31;
+        (h % f as u64) as usize
+    };
+    let partition = |disk: &mut Disk, t: &DiskTable, key: usize| -> Vec<DiskTable> {
+        let mut parts: Vec<Vec<Row>> = vec![Vec::new(); f];
+        for p in 0..t.n_pages() {
+            for row in disk.read_page(t, p) {
+                parts[bucket(key_of(&row, key))].push(row);
+            }
+        }
+        parts
+            .into_iter()
+            .map(|rows| {
+                if rows.is_empty() {
+                    DiskTable::default()
+                } else {
+                    disk.write_rows(rows, page_cap)
+                }
+            })
+            .collect()
+    };
+    let parts_a = partition(disk, a, a_key);
+    let parts_b = partition(disk, b, b_key);
+    let mut out = Vec::new();
+    for (pa, pb) in parts_a.iter().zip(&parts_b) {
+        if pa.n_rows() == 0 || pb.n_rows() == 0 {
+            continue;
+        }
+        out.extend(grace_recurse(disk, pa, pb, a_key, b_key, m, page_cap, depth + 1));
+    }
+    out
+}
+
+fn hash_join_rows(left: &[Row], right: &[Row], a_key: usize, b_key: usize) -> Vec<Row> {
+    let (build, probe, build_is_left) = if left.len() <= right.len() {
+        (left, right, true)
+    } else {
+        (right, left, false)
+    };
+    let build_key = if build_is_left { a_key } else { b_key };
+    let probe_key = if build_is_left { b_key } else { a_key };
+    let mut table: HashMap<i64, Vec<&Row>> = HashMap::new();
+    for r in build {
+        table.entry(key_of(r, build_key)).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for p in probe {
+        if let Some(matches) = table.get(&key_of(p, probe_key)) {
+            for b in matches {
+                // Output is always (left ++ right).
+                let mut row = if build_is_left { (*b).clone() } else { p.clone() };
+                row.extend_from_slice(if build_is_left { p } else { b });
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// Block nested-loop join: `m - 2` pages of the outer per block, one inner
+/// scan per block.  Measured I/O is exactly `|A| + ⌈|A|/(m-2)⌉·|B|`.
+pub fn block_nl_join(
+    a: &DiskTable,
+    b: &DiskTable,
+    a_key: usize,
+    b_key: usize,
+    m: usize,
+    _page_cap: usize,
+) -> OpResult {
+    assert!(m >= 3, "block nested-loop needs at least 3 buffer pages");
+    let mut disk = Disk::new();
+    let block = m - 2;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < a.n_pages() {
+        let hi = (i + block).min(a.n_pages());
+        let mut outer_rows: Vec<Row> = Vec::new();
+        for p in i..hi {
+            outer_rows.extend(disk.read_page(a, p));
+        }
+        let inner_rows = disk.read_all(b);
+        out.extend(hash_join_rows(&outer_rows, &inner_rows, a_key, b_key));
+        i = hi;
+    }
+    OpResult { rows: out, io: disk.io().total() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn table(n_rows: usize, page_cap: usize, key_domain: i64, seed: u64) -> DiskTable {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        DiskTable::from_rows(
+            (0..n_rows).map(|i| vec![rng.gen_range(0..key_domain), i as i64]),
+            page_cap,
+        )
+    }
+
+    #[test]
+    fn external_sort_sorts_and_preserves_rows() {
+        let t = table(256, 4, 1000, 1); // 64 pages
+        for m in [3, 5, 10, 70] {
+            let r = external_sort(&t, 0, m, 4);
+            assert_eq!(r.rows.len(), 256, "m={m}");
+            assert!(r.rows.windows(2).all(|w| w[0][0] <= w[1][0]), "m={m}");
+            let mut orig = t.peek_rows();
+            let mut got = r.rows.clone();
+            orig.sort();
+            got.sort();
+            assert_eq!(orig, got, "m={m}");
+        }
+    }
+
+    #[test]
+    fn external_sort_io_matches_the_model_by_regime() {
+        // R = 64 pages; model: m >= 64 → R; 8 <= m < 64 → 3R;
+        // 4 <= m < 8 → 5R.  Measure away from exact boundaries.
+        let t = table(256, 4, 1000, 2);
+        assert_eq!(t.n_pages(), 64);
+        let io = |m| external_sort(&t, 0, m, 4).io;
+        assert_eq!(io(70), 64); // fits: read only
+        assert_eq!(io(10), 3 * 64); // runs + one merge level
+        assert_eq!(io(5), 5 * 64); // runs + two merge levels
+    }
+
+    #[test]
+    fn sort_merge_join_io_shape() {
+        // |A| = 64, |B| = 16 pages; measured SM = 3(|A|+|B|) in the
+        // one-merge regime (the model's simplified constant is 2; same
+        // cliff positions, constant offset — see EXPERIMENTS.md).
+        let a = table(256, 4, 64, 3);
+        let b = table(64, 4, 64, 4);
+        let r = sort_merge_join(&a, &b, 0, 0, 12, 4);
+        assert_eq!(r.io, 3 * (64 + 16));
+        // High memory: both fit → read-only.
+        let r2 = sort_merge_join(&a, &b, 0, 0, 100, 4);
+        assert_eq!(r2.io, 64 + 16);
+        assert_eq!(r.rows.len(), r2.rows.len());
+    }
+
+    #[test]
+    fn join_methods_agree_on_results() {
+        let a = table(200, 4, 32, 5);
+        let b = table(120, 4, 32, 6);
+        let canonical = |mut rows: Vec<Row>| {
+            rows.sort();
+            rows
+        };
+        let sm = canonical(sort_merge_join(&a, &b, 0, 0, 8, 4).rows);
+        let gh = canonical(grace_hash_join(&a, &b, 0, 0, 8, 4).rows);
+        let nl = canonical(block_nl_join(&a, &b, 0, 0, 8, 4).rows);
+        assert_eq!(sm.len(), gh.len());
+        assert_eq!(sm, gh);
+        assert_eq!(sm, nl);
+        assert!(!sm.is_empty(), "fixture should produce matches");
+    }
+
+    #[test]
+    fn block_nl_io_is_exact() {
+        let a = table(100, 4, 10, 7); // 25 pages
+        let b = table(40, 4, 10, 8); // 10 pages
+        for m in [3usize, 5, 10, 30] {
+            let r = block_nl_join(&a, &b, 0, 0, m, 4);
+            let blocks = 25usize.div_ceil(m - 2);
+            assert_eq!(r.io as usize, 25 + blocks * 10, "m={m}");
+        }
+    }
+
+    #[test]
+    fn grace_hash_io_cliffs() {
+        // |A| = 64, |B| = 16 → S = 16.  In-memory when 16 <= m-1;
+        // one partition level costs 3(|A|+|B|) ± partial-page slack.
+        let a = table(256, 4, 512, 9);
+        let b = table(64, 4, 512, 10);
+        let fit = grace_hash_join(&a, &b, 0, 0, 17, 4);
+        assert_eq!(fit.io, 64 + 16);
+        let one_level = grace_hash_join(&a, &b, 0, 0, 8, 4);
+        let ideal = 3 * (64 + 16);
+        let slack = (one_level.io as f64 / ideal as f64 - 1.0).abs();
+        assert!(
+            slack < 0.35,
+            "one-level Grace: measured {} vs ideal {ideal}",
+            one_level.io
+        );
+        assert!(one_level.io > fit.io);
+    }
+
+    #[test]
+    fn empty_inputs_join_to_empty() {
+        let a = DiskTable::from_rows(std::iter::empty(), 4);
+        let b = table(40, 4, 8, 11);
+        assert!(grace_hash_join(&a, &b, 0, 0, 5, 4).rows.is_empty());
+        assert!(block_nl_join(&a, &b, 0, 0, 5, 4).rows.is_empty());
+        assert!(sort_merge_join(&a, &b, 0, 0, 5, 4).rows.is_empty());
+    }
+}

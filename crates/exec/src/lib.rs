@@ -1,0 +1,39 @@
+//! # lec-exec — execution substrate for the LEC reproduction
+//!
+//! The paper closes by promising "a prototype ... to test its benefits
+//! against realistic queries and execution environments" (§4).  This crate
+//! is that prototype's execution half:
+//!
+//! * [`mod@env`] — run-time environments producing per-phase memory values
+//!   (static draw, or §3.5 Markov drift);
+//! * [`sim`] — Monte-Carlo plan-cost simulation: sample a memory trace,
+//!   charge each §3.5 phase its model cost, average over many runs — the
+//!   measured quantity the LEC objective claims to minimize;
+//! * [`bufpool`] / [`extops`] — page-granular disk tables and *real*
+//!   external-memory operators (external sort, sort-merge join, Grace hash
+//!   join, block nested-loop) that count actual page I/O under a buffer
+//!   budget, demonstrating that the cost cliffs driving the paper exist in
+//!   a genuine implementation (experiment E11);
+//! * [`reopt`] — an idealized \[KD98\]-style mid-query re-optimization
+//!   baseline (§2.3's "wait until they have more information" family),
+//!   for head-to-head comparison with Algorithm C under drift;
+//! * [`datagen`] / [`mod@tuple`] — synthetic rows plus a tuple-at-a-time
+//!   executor used to verify that every plan the optimizer can emit for a
+//!   query computes the same result (the §2.2 commutativity/associativity
+//!   observations, made executable).
+
+pub mod bufpool;
+pub mod datagen;
+pub mod env;
+pub mod extops;
+pub mod reopt;
+pub mod sim;
+pub mod tuple;
+
+pub use bufpool::{Disk, DiskTable, Io};
+pub use datagen::{generate, Dataset};
+pub use env::Environment;
+pub use extops::{block_nl_join, external_sort, grace_hash_join, sort_merge_join, OpResult};
+pub use reopt::{monte_carlo_reopt, run_reoptimizing, ReoptRun};
+pub use sim::{monte_carlo, SimStats};
+pub use tuple::{execute, Relation};

@@ -1,0 +1,106 @@
+//! Property tests for the execution substrate: external operators against
+//! each other and against the closed-form I/O model.
+
+use lec_exec::bufpool::Row;
+use lec_exec::{block_nl_join, external_sort, grace_hash_join, sort_merge_join, DiskTable};
+use proptest::prelude::*;
+
+const PAGE_CAP: usize = 4;
+
+fn arb_table(max_rows: usize, key_domain: i64) -> impl Strategy<Value = DiskTable> {
+    prop::collection::vec((0..key_domain, 0i64..1_000_000), 1..max_rows).prop_map(|rows| {
+        DiskTable::from_rows(
+            rows.into_iter().map(|(k, v)| vec![k, v]).collect::<Vec<Row>>(),
+            PAGE_CAP,
+        )
+    })
+}
+
+fn canonical(mut rows: Vec<Row>) -> Vec<Row> {
+    rows.sort();
+    rows
+}
+
+/// In-memory reference join (nested loop over all pairs).
+fn reference_join(a: &DiskTable, b: &DiskTable) -> Vec<Row> {
+    let mut out = Vec::new();
+    for l in a.peek_rows() {
+        for r in b.peek_rows() {
+            if l[0] == r[0] {
+                let mut row = l.clone();
+                row.extend_from_slice(&r);
+                out.push(row);
+            }
+        }
+    }
+    canonical(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// External sort is a permutation-preserving sort at every memory
+    /// budget, and its I/O never beats the read-everything lower bound.
+    #[test]
+    fn external_sort_is_a_sort(t in arb_table(200, 1000), m in 3usize..64) {
+        let r = external_sort(&t, 0, m, PAGE_CAP);
+        prop_assert_eq!(r.rows.len(), t.n_rows());
+        for w in r.rows.windows(2) {
+            prop_assert!(w[0][0] <= w[1][0]);
+        }
+        prop_assert_eq!(canonical(r.rows), canonical(t.peek_rows()));
+        prop_assert!(r.io >= t.n_pages() as u64);
+    }
+
+    /// Sort I/O decreases (weakly) with more memory.
+    #[test]
+    fn sort_io_monotone_in_memory(t in arb_table(200, 1000), m1 in 3usize..64, m2 in 3usize..64) {
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        let io_lo = external_sort(&t, 0, lo, PAGE_CAP).io;
+        let io_hi = external_sort(&t, 0, hi, PAGE_CAP).io;
+        prop_assert!(io_hi <= io_lo, "more memory cost more I/O: {io_hi} > {io_lo}");
+    }
+
+    /// All three join algorithms agree with the reference join, at any
+    /// memory budget.
+    #[test]
+    fn join_algorithms_agree_with_reference(
+        a in arb_table(120, 24),
+        b in arb_table(120, 24),
+        m in 3usize..40,
+    ) {
+        let want = reference_join(&a, &b);
+        let sm = canonical(sort_merge_join(&a, &b, 0, 0, m, PAGE_CAP).rows);
+        prop_assert_eq!(&sm, &want, "sort-merge differs");
+        let gh = canonical(grace_hash_join(&a, &b, 0, 0, m, PAGE_CAP).rows);
+        prop_assert_eq!(&gh, &want, "grace differs");
+        let nl = canonical(block_nl_join(&a, &b, 0, 0, m, PAGE_CAP).rows);
+        prop_assert_eq!(&nl, &want, "block NL differs");
+    }
+
+    /// Block nested-loop I/O matches its closed-form formula exactly.
+    #[test]
+    fn bnl_io_is_exact(a in arb_table(150, 50), b in arb_table(150, 50), m in 3usize..40) {
+        let r = block_nl_join(&a, &b, 0, 0, m, PAGE_CAP);
+        let blocks = a.n_pages().div_ceil(m - 2);
+        prop_assert_eq!(r.io as usize, a.n_pages() + blocks * b.n_pages());
+    }
+
+    /// Grace hash never reads/writes more than the deepest-regime model
+    /// bound and never less than one pass over both inputs.
+    #[test]
+    fn grace_io_within_model_envelope(
+        a in arb_table(150, 64),
+        b in arb_table(150, 64),
+        m in 4usize..40,
+    ) {
+        let r = grace_hash_join(&a, &b, 0, 0, m, PAGE_CAP);
+        let total = (a.n_pages() + b.n_pages()) as u64;
+        prop_assert!(r.io >= total);
+        // Deepest model regime is 6(a+b); partial pages can add slack, and
+        // the recursion-depth fallback bounds everything by the per-level
+        // 2x growth over 8 levels at the extreme.  Use a generous envelope
+        // that still catches runaway behaviour.
+        prop_assert!(r.io <= 8 * total + 64, "io {} total {total}", r.io);
+    }
+}

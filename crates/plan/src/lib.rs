@@ -1,0 +1,27 @@
+//! # lec-plan — queries, plans, and workloads
+//!
+//! Representation layer for the LEC reproduction:
+//!
+//! * [`TableSet`] — the subset-of-relations bitsets labelling nodes of the
+//!   System R dynamic-programming dag (§2.2);
+//! * [`Query`] — an SPJ block: tables (with optional local selections),
+//!   equi-join predicates with (possibly uncertain) selectivities, and an
+//!   optional required output order (Example 1.1's "result needs to be
+//!   ordered by the join column");
+//! * [`order`] — column equivalence classes induced by join predicates and
+//!   the order-property lattice used for "interesting orders";
+//! * [`PlanNode`] — physical plan trees over the four join methods;
+//! * [`workload`] — seeded generators for chain/star/clique/random join
+//!   queries, substituting for the paper's unavailable "realistic queries".
+
+pub mod order;
+pub mod physical;
+pub mod query;
+pub mod tableset;
+pub mod workload;
+
+pub use order::{ColumnEquivalences, OrderProperty};
+pub use physical::{JoinMethod, PlanNode};
+pub use query::{ColumnRef, JoinPredicate, LocalPredicate, Query, QueryTable};
+pub use tableset::TableSet;
+pub use workload::{QueryProfile, Topology, WorkloadGenerator};

@@ -1,0 +1,298 @@
+//! Physical evaluation plans.
+//!
+//! Plans are binary operator trees.  The optimizer only *constructs*
+//! left-deep trees (the System R heuristic of §2.2: "a three-relation join
+//! evaluation plan involves the combination of a two-relation join result
+//! and a stored relation"), but the representation is a general tree so the
+//! executor and cost model need no special cases.
+
+use crate::query::ColumnRef;
+use crate::tableset::TableSet;
+use std::fmt;
+
+/// The binary join algorithms of the cost model.
+///
+/// `SortMerge`, `GraceHash` and `PageNestedLoop` carry the paper's cost
+/// formulas (§3.6.1, Example 1.1, §3.6.2); `BlockNestedLoop` is the
+/// standard refinement of page nested-loop mentioned as the realistic
+/// variant in \[Sha86\] and serves as an ablation of formula granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum JoinMethod {
+    /// Sort both inputs, merge.  Output sorted on the join column.
+    SortMerge,
+    /// Grace hash join \[Sha86\].  Output unordered.
+    GraceHash,
+    /// Naive page nested-loop.  Preserves outer order.
+    PageNestedLoop,
+    /// Block nested-loop with `M-2` buffer blocks.  Output unordered.
+    BlockNestedLoop,
+}
+
+impl JoinMethod {
+    /// All methods, for enumeration loops.
+    pub const ALL: [JoinMethod; 4] = [
+        JoinMethod::SortMerge,
+        JoinMethod::GraceHash,
+        JoinMethod::PageNestedLoop,
+        JoinMethod::BlockNestedLoop,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JoinMethod::SortMerge => "SM",
+            JoinMethod::GraceHash => "GH",
+            JoinMethod::PageNestedLoop => "NL",
+            JoinMethod::BlockNestedLoop => "BNL",
+        }
+    }
+}
+
+impl fmt::Display for JoinMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Sequential (heap) scan of a base table, applying its local filter.
+    SeqScan {
+        /// Query-local table index.
+        table: usize,
+    },
+    /// Index scan of a base table through the index matching its filter.
+    IndexScan {
+        /// Query-local table index.
+        table: usize,
+    },
+    /// Explicit sort enforcer.
+    Sort {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Sort key (canonical form is up to the caller).
+        key: ColumnRef,
+    },
+    /// Binary join.
+    Join {
+        /// Algorithm.
+        method: JoinMethod,
+        /// Outer (left) input — in left-deep plans, the composite.
+        outer: Box<PlanNode>,
+        /// Inner (right) input — in left-deep plans, a base access.
+        inner: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// Convenience constructor for a join.
+    pub fn join(method: JoinMethod, outer: PlanNode, inner: PlanNode) -> PlanNode {
+        PlanNode::Join { method, outer: Box::new(outer), inner: Box::new(inner) }
+    }
+
+    /// Convenience constructor for a sort.
+    pub fn sort(input: PlanNode, key: ColumnRef) -> PlanNode {
+        PlanNode::Sort { input: Box::new(input), key }
+    }
+
+    /// Set of base tables referenced by the plan.
+    pub fn tables(&self) -> TableSet {
+        match self {
+            PlanNode::SeqScan { table } | PlanNode::IndexScan { table } => {
+                TableSet::singleton(*table)
+            }
+            PlanNode::Sort { input, .. } => input.tables(),
+            PlanNode::Join { outer, inner, .. } => outer.tables().union(inner.tables()),
+        }
+    }
+
+    /// Number of join operators in the plan.
+    pub fn n_joins(&self) -> usize {
+        match self {
+            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => 0,
+            PlanNode::Sort { input, .. } => input.n_joins(),
+            PlanNode::Join { outer, inner, .. } => 1 + outer.n_joins() + inner.n_joins(),
+        }
+    }
+
+    /// Number of execution *phases* in the paper's §3.5 sense: one per join
+    /// plus one per explicit sort (a sort is a blocking pass of its own).
+    pub fn n_phases(&self) -> usize {
+        match self {
+            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => 0,
+            PlanNode::Sort { input, .. } => 1 + input.n_phases(),
+            PlanNode::Join { outer, inner, .. } => 1 + outer.n_phases() + inner.n_phases(),
+        }
+    }
+
+    /// True when the plan is left-deep: every join's inner child is a base
+    /// access (possibly wrapped in the System R sense — we do not place
+    /// sorts below joins, so no wrapper appears on the inner side).
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => true,
+            PlanNode::Sort { input, .. } => input.is_left_deep(),
+            PlanNode::Join { outer, inner, .. } => {
+                matches!(**inner, PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. })
+                    && outer.is_left_deep()
+            }
+        }
+    }
+
+    /// The left-deep join order: base-table indices from the innermost
+    /// (first-joined) outward.  Sort nodes are transparent.
+    ///
+    /// # Panics
+    /// Panics when the plan is not left-deep.
+    pub fn join_order(&self) -> Vec<usize> {
+        match self {
+            PlanNode::SeqScan { table } | PlanNode::IndexScan { table } => vec![*table],
+            PlanNode::Sort { input, .. } => input.join_order(),
+            PlanNode::Join { outer, inner, .. } => {
+                let mut order = outer.join_order();
+                match &**inner {
+                    PlanNode::SeqScan { table } | PlanNode::IndexScan { table } => {
+                        order.push(*table)
+                    }
+                    _ => panic!("join_order on non-left-deep plan"),
+                }
+                order
+            }
+        }
+    }
+
+    /// Count joins per method, for experiment reporting.
+    pub fn method_histogram(&self) -> [usize; 4] {
+        let mut h = [0usize; 4];
+        self.visit(&mut |node| {
+            if let PlanNode::Join { method, .. } = node {
+                let idx = JoinMethod::ALL.iter().position(|m| m == method).expect("known method");
+                h[idx] += 1;
+            }
+        });
+        h
+    }
+
+    /// Pre-order visit of every node.
+    pub fn visit(&self, f: &mut impl FnMut(&PlanNode)) {
+        f(self);
+        match self {
+            PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {}
+            PlanNode::Sort { input, .. } => input.visit(f),
+            PlanNode::Join { outer, inner, .. } => {
+                outer.visit(f);
+                inner.visit(f);
+            }
+        }
+    }
+
+    /// One-line summary, e.g. `Sort(SM(NL(R0,R1),R2))`.
+    pub fn compact(&self) -> String {
+        match self {
+            PlanNode::SeqScan { table } => format!("R{table}"),
+            PlanNode::IndexScan { table } => format!("IxR{table}"),
+            PlanNode::Sort { input, .. } => format!("Sort({})", input.compact()),
+            PlanNode::Join { method, outer, inner } => {
+                format!("{}({},{})", method.name(), outer.compact(), inner.compact())
+            }
+        }
+    }
+
+    fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            PlanNode::SeqScan { table } => writeln!(f, "{pad}SeqScan  table={table}"),
+            PlanNode::IndexScan { table } => writeln!(f, "{pad}IndexScan table={table}"),
+            PlanNode::Sort { input, key } => {
+                writeln!(f, "{pad}Sort key={key}")?;
+                input.fmt_indented(f, depth + 1)
+            }
+            PlanNode::Join { method, outer, inner } => {
+                writeln!(f, "{pad}Join [{method}]")?;
+                outer.fmt_indented(f, depth + 1)?;
+                inner.fmt_indented(f, depth + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left_deep_3() -> PlanNode {
+        PlanNode::join(
+            JoinMethod::SortMerge,
+            PlanNode::join(
+                JoinMethod::PageNestedLoop,
+                PlanNode::SeqScan { table: 0 },
+                PlanNode::SeqScan { table: 1 },
+            ),
+            PlanNode::IndexScan { table: 2 },
+        )
+    }
+
+    #[test]
+    fn tables_and_join_counts() {
+        let p = left_deep_3();
+        assert_eq!(p.tables(), TableSet::from_indices([0, 1, 2]));
+        assert_eq!(p.n_joins(), 2);
+        assert_eq!(p.n_phases(), 2);
+        let sorted = PlanNode::sort(p, ColumnRef::new(0, 0));
+        assert_eq!(sorted.n_joins(), 2);
+        assert_eq!(sorted.n_phases(), 3);
+    }
+
+    #[test]
+    fn left_deep_recognition() {
+        let p = left_deep_3();
+        assert!(p.is_left_deep());
+        assert_eq!(p.join_order(), vec![0, 1, 2]);
+        let bushy = PlanNode::join(
+            JoinMethod::GraceHash,
+            PlanNode::SeqScan { table: 0 },
+            PlanNode::join(
+                JoinMethod::GraceHash,
+                PlanNode::SeqScan { table: 1 },
+                PlanNode::SeqScan { table: 2 },
+            ),
+        );
+        assert!(!bushy.is_left_deep());
+    }
+
+    #[test]
+    fn method_histogram_counts() {
+        let p = left_deep_3();
+        let h = p.method_histogram();
+        assert_eq!(h, [1, 0, 1, 0]); // one SM, one NL
+    }
+
+    #[test]
+    fn compact_rendering() {
+        let p = PlanNode::sort(left_deep_3(), ColumnRef::new(0, 0));
+        assert_eq!(p.compact(), "Sort(SM(NL(R0,R1),IxR2))");
+    }
+
+    #[test]
+    fn display_is_indented() {
+        let p = left_deep_3();
+        let s = p.to_string();
+        assert!(s.contains("Join [SM]"));
+        assert!(s.contains("  Join [NL]"));
+        assert!(s.contains("    SeqScan  table=0"));
+    }
+
+    #[test]
+    fn visit_sees_all_nodes() {
+        let mut count = 0;
+        left_deep_3().visit(&mut |_| count += 1);
+        assert_eq!(count, 5);
+    }
+}

@@ -1,0 +1,372 @@
+//! SPJ query blocks: tables, predicates and required output order.
+
+use crate::tableset::TableSet;
+use lec_catalog::{Catalog, TableId};
+use lec_prob::Distribution;
+use std::fmt;
+
+/// A reference to a column of a table *within one query*: `(query-local
+/// table index, column index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnRef {
+    /// Position of the table in `Query::tables`.
+    pub table: usize,
+    /// Column index within that table.
+    pub column: usize,
+}
+
+impl ColumnRef {
+    /// Convenience constructor.
+    pub fn new(table: usize, column: usize) -> Self {
+        ColumnRef { table, column }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}.c{}", self.table, self.column)
+    }
+}
+
+/// A local (single-table) selection predicate.
+///
+/// The paper's Algorithm D assumes per-table input sizes "after any initial
+/// selection"; the selectivity here is the (possibly uncertain) fraction of
+/// *pages* that survive the selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalPredicate {
+    /// Column the predicate restricts (determines index eligibility).
+    pub column: usize,
+    /// Fraction of the table that qualifies; a distribution to model the
+    /// paper's "notoriously uncertain" selectivities.
+    pub selectivity: Distribution,
+}
+
+/// One table occurrence in a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTable {
+    /// The stored table.
+    pub table: TableId,
+    /// Optional local selection applied before any join.
+    pub filter: Option<LocalPredicate>,
+}
+
+impl QueryTable {
+    /// A bare table occurrence.
+    pub fn bare(table: TableId) -> Self {
+        QueryTable { table, filter: None }
+    }
+
+    /// A filtered table occurrence.
+    pub fn filtered(table: TableId, column: usize, selectivity: Distribution) -> Self {
+        QueryTable { table, filter: Some(LocalPredicate { column, selectivity }) }
+    }
+}
+
+/// An equi-join predicate between two query tables.
+///
+/// `selectivity` follows the paper's §3.6 convention: the join of inputs of
+/// `a` and `b` pages with selectivity `σ` has size `a·b·σ` pages ("for each
+/// triple (a, b, σ) ... the probability that the join has size abσ").
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinPredicate {
+    /// One side of the equality.
+    pub left: ColumnRef,
+    /// The other side.
+    pub right: ColumnRef,
+    /// Page-level selectivity distribution.
+    pub selectivity: Distribution,
+}
+
+impl JoinPredicate {
+    /// Construct a predicate with a point selectivity.
+    pub fn exact(left: ColumnRef, right: ColumnRef, selectivity: f64) -> Self {
+        JoinPredicate { left, right, selectivity: Distribution::point(selectivity) }
+    }
+
+    /// The pair of table indices this predicate connects.
+    pub fn tables(&self) -> (usize, usize) {
+        (self.left.table, self.right.table)
+    }
+
+    /// True when the predicate crosses between `set` and table `idx`.
+    pub fn connects(&self, set: TableSet, idx: usize) -> bool {
+        let (a, b) = self.tables();
+        (set.contains(a) && b == idx) || (set.contains(b) && a == idx)
+    }
+
+    /// Given that the predicate connects `set` to `idx`, the column on the
+    /// `set` side and the column on the `idx` side.
+    pub fn oriented(&self, idx: usize) -> (ColumnRef, ColumnRef) {
+        if self.right.table == idx {
+            (self.left, self.right)
+        } else {
+            (self.right, self.left)
+        }
+    }
+}
+
+/// Errors found while validating a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query references no tables.
+    NoTables,
+    /// More tables than [`TableSet::MAX_TABLES`].
+    TooManyTables(usize),
+    /// A column reference points at a table index out of range.
+    BadTableIndex(usize),
+    /// A join predicate relates a table to itself.
+    SelfJoinPredicate(usize),
+    /// The join graph is not connected (the DP would produce a cross
+    /// product; the paper assumes a predicate between every pair, possibly
+    /// trivially true, so we require connectivity instead).
+    Disconnected,
+    /// A table id is not present in the catalog.
+    UnknownTable(TableId),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::NoTables => write!(f, "query has no tables"),
+            QueryError::TooManyTables(n) => write!(f, "query has {n} tables, max 64"),
+            QueryError::BadTableIndex(i) => write!(f, "table index {i} out of range"),
+            QueryError::SelfJoinPredicate(i) => {
+                write!(f, "join predicate relates table {i} to itself")
+            }
+            QueryError::Disconnected => write!(f, "join graph is not connected"),
+            QueryError::UnknownTable(id) => write!(f, "table {id} not in catalog"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// An SPJ query block: the unit the paper's optimizer works on (§2.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Tables, with optional local selections.
+    pub tables: Vec<QueryTable>,
+    /// Equi-join predicates.
+    pub joins: Vec<JoinPredicate>,
+    /// Output must be sorted on this column (Example 1.1's requirement), if
+    /// present.
+    pub required_order: Option<ColumnRef>,
+}
+
+impl Query {
+    /// Number of tables.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// The set of all table indices.
+    pub fn all_tables(&self) -> TableSet {
+        TableSet::full(self.n_tables())
+    }
+
+    /// Indices of join predicates that connect `set` to table `idx`
+    /// (the predicates applied when table `idx` joins last).
+    pub fn joins_connecting(&self, set: TableSet, idx: usize) -> Vec<usize> {
+        self.joins
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.connects(set, idx))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True when table `idx` has at least one predicate into `set`
+    /// (used to avoid cross products during enumeration).
+    pub fn is_connected_to(&self, set: TableSet, idx: usize) -> bool {
+        self.joins.iter().any(|p| p.connects(set, idx))
+    }
+
+    /// Indices of join predicates with one side in `a` and the other in `b`.
+    pub fn joins_crossing(&self, a: TableSet, b: TableSet) -> Vec<usize> {
+        self.joins
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| {
+                let (l, r) = p.tables();
+                (a.contains(l) && b.contains(r)) || (a.contains(r) && b.contains(l))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Validate structure against a catalog.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), QueryError> {
+        let n = self.n_tables();
+        if n == 0 {
+            return Err(QueryError::NoTables);
+        }
+        if n > TableSet::MAX_TABLES {
+            return Err(QueryError::TooManyTables(n));
+        }
+        for qt in &self.tables {
+            if catalog.try_table(qt.table).is_none() {
+                return Err(QueryError::UnknownTable(qt.table));
+            }
+        }
+        let check = |c: &ColumnRef| {
+            if c.table >= n {
+                Err(QueryError::BadTableIndex(c.table))
+            } else {
+                Ok(())
+            }
+        };
+        for p in &self.joins {
+            check(&p.left)?;
+            check(&p.right)?;
+            if p.left.table == p.right.table {
+                return Err(QueryError::SelfJoinPredicate(p.left.table));
+            }
+        }
+        if let Some(ord) = &self.required_order {
+            check(ord)?;
+        }
+        // Connectivity via BFS over the join graph.
+        if n > 1 {
+            let mut seen = TableSet::singleton(0);
+            let mut frontier = vec![0usize];
+            while let Some(t) = frontier.pop() {
+                for p in &self.joins {
+                    let (a, b) = p.tables();
+                    let other = if a == t {
+                        b
+                    } else if b == t {
+                        a
+                    } else {
+                        continue;
+                    };
+                    if !seen.contains(other) {
+                        seen = seen.with(other);
+                        frontier.push(other);
+                    }
+                }
+            }
+            if seen.len() != n {
+                return Err(QueryError::Disconnected);
+            }
+        }
+        Ok(())
+    }
+
+    /// Does any parameter of this query carry genuine uncertainty?
+    /// (If not, LEC optimization degenerates to LSC — the paper's
+    /// single-bucket remark.)
+    pub fn has_uncertain_selectivities(&self) -> bool {
+        self.joins.iter().any(|p| !p.selectivity.is_point())
+            || self
+                .tables
+                .iter()
+                .any(|t| t.filter.as_ref().is_some_and(|f| !f.selectivity.is_point()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_catalog::{ColumnStats, TableStats};
+
+    fn catalog(n: usize) -> Catalog {
+        let mut cat = Catalog::new();
+        for i in 0..n {
+            cat.add_table(
+                format!("R{i}"),
+                TableStats::new(100, 1000, vec![ColumnStats::plain("c0", 10)]),
+            );
+        }
+        cat
+    }
+
+    fn chain_query(n: usize) -> Query {
+        Query {
+            tables: (0..n).map(|i| QueryTable::bare(TableId(i as u32))).collect(),
+            joins: (0..n - 1)
+                .map(|i| {
+                    JoinPredicate::exact(ColumnRef::new(i, 0), ColumnRef::new(i + 1, 0), 1e-4)
+                })
+                .collect(),
+            required_order: None,
+        }
+    }
+
+    #[test]
+    fn chain_query_validates() {
+        let cat = catalog(4);
+        assert_eq!(chain_query(4).validate(&cat), Ok(()));
+    }
+
+    #[test]
+    fn disconnected_query_is_rejected() {
+        let cat = catalog(4);
+        let mut q = chain_query(4);
+        q.joins.remove(1); // split 0-1 from 2-3
+        assert_eq!(q.validate(&cat), Err(QueryError::Disconnected));
+    }
+
+    #[test]
+    fn bad_indices_are_rejected() {
+        let cat = catalog(2);
+        let mut q = chain_query(2);
+        q.joins[0].right = ColumnRef::new(7, 0);
+        assert_eq!(q.validate(&cat), Err(QueryError::BadTableIndex(7)));
+
+        let mut q = chain_query(2);
+        q.joins[0].right = ColumnRef::new(0, 1);
+        assert_eq!(q.validate(&cat), Err(QueryError::SelfJoinPredicate(0)));
+
+        let mut q = chain_query(2);
+        q.required_order = Some(ColumnRef::new(5, 0));
+        assert_eq!(q.validate(&cat), Err(QueryError::BadTableIndex(5)));
+
+        let mut q = chain_query(2);
+        q.tables[0].table = TableId(42);
+        assert_eq!(q.validate(&cat), Err(QueryError::UnknownTable(TableId(42))));
+
+        let empty = Query { tables: vec![], joins: vec![], required_order: None };
+        assert_eq!(empty.validate(&cat), Err(QueryError::NoTables));
+    }
+
+    #[test]
+    fn joins_connecting_respects_orientation() {
+        let q = chain_query(3);
+        let set01 = TableSet::from_indices([0, 1]);
+        assert_eq!(q.joins_connecting(set01, 2), vec![1]);
+        assert_eq!(q.joins_connecting(TableSet::singleton(0), 1), vec![0]);
+        assert!(q.joins_connecting(TableSet::singleton(0), 2).is_empty());
+        assert!(q.is_connected_to(set01, 2));
+        assert!(!q.is_connected_to(TableSet::singleton(0), 2));
+    }
+
+    #[test]
+    fn joins_crossing_sets() {
+        let q = chain_query(4);
+        let a = TableSet::from_indices([0, 1]);
+        let b = TableSet::from_indices([2, 3]);
+        assert_eq!(q.joins_crossing(a, b), vec![1]); // only predicate 1-2 crosses
+        assert_eq!(q.joins_crossing(b, a), vec![1]);
+        assert!(q.joins_crossing(a, TableSet::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn oriented_returns_set_side_first() {
+        let p = JoinPredicate::exact(ColumnRef::new(0, 1), ColumnRef::new(1, 2), 0.5);
+        let (s, t) = p.oriented(1);
+        assert_eq!(s, ColumnRef::new(0, 1));
+        assert_eq!(t, ColumnRef::new(1, 2));
+        let (s, t) = p.oriented(0);
+        assert_eq!(s, ColumnRef::new(1, 2));
+        assert_eq!(t, ColumnRef::new(0, 1));
+    }
+
+    #[test]
+    fn uncertainty_detection() {
+        let mut q = chain_query(2);
+        assert!(!q.has_uncertain_selectivities());
+        q.joins[0].selectivity = Distribution::bimodal(1e-5, 1e-3, 0.5).unwrap();
+        assert!(q.has_uncertain_selectivities());
+    }
+}

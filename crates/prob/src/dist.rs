@@ -1,0 +1,567 @@
+//! Bucketed discrete probability distributions.
+//!
+//! The PODS'99 paper models every uncertain parameter (available memory,
+//! relation sizes, predicate selectivities) as a distribution over a small
+//! number of *buckets*, each represented by a single value (§3.2: "we pick a
+//! representative from each bucket ... Pr(m_i) characterizes how likely we
+//! are to run the query in the i-th bucket").  [`Distribution`] is exactly
+//! that object: a finite support of strictly increasing representatives with
+//! strictly positive probabilities summing to one.
+
+use crate::error::ProbError;
+use rand::Rng;
+
+/// Relative tolerance used when merging near-identical support values that
+/// arise from floating-point products (e.g. `|A|·|B|·σ` computed in two
+/// different orders).
+const MERGE_EPS: f64 = 1e-9;
+
+/// A finite discrete probability distribution over `f64` values.
+///
+/// Invariants (enforced by every constructor):
+/// * the support is non-empty, finite, and strictly increasing;
+/// * every probability is finite and strictly positive;
+/// * probabilities sum to 1 (inputs are normalized).
+///
+/// In the paper's terminology each `(value, prob)` pair is a bucket with its
+/// representative; the statement `X = x` abbreviates "X falls in the bucket
+/// represented by x" (footnote 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    support: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+/// Strategy for reducing the number of buckets of a distribution (§3.6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rebucket {
+    /// Split `[min, max]` into equal-width intervals; each new bucket gets
+    /// the contained mass and the mass-weighted mean as representative.
+    EqualWidth,
+    /// Equi-depth (quantile) buckets: successive buckets receive roughly
+    /// `1/n` of the total mass each.
+    EqualDepth,
+}
+
+impl Distribution {
+    /// A degenerate (point-mass) distribution.
+    ///
+    /// The paper observes that with a single bucket every LEC algorithm
+    /// collapses to the classical System R optimizer; point masses are how
+    /// that collapse is expressed in this crate.
+    pub fn point(value: f64) -> Self {
+        assert!(value.is_finite(), "point mass must be finite, got {value}");
+        Distribution { support: vec![value], probs: vec![1.0] }
+    }
+
+    /// Build a distribution from `(value, probability)` pairs.
+    ///
+    /// Pairs are sorted by value, near-duplicate values are merged, zero
+    /// probabilities are dropped, and the result is normalized to total mass
+    /// one.  Returns an error for empty/non-finite/negative input.
+    pub fn from_pairs(
+        pairs: impl IntoIterator<Item = (f64, f64)>,
+    ) -> Result<Self, ProbError> {
+        let mut pairs: Vec<(f64, f64)> = pairs.into_iter().collect();
+        if pairs.is_empty() {
+            return Err(ProbError::EmptySupport);
+        }
+        for &(v, p) in &pairs {
+            if !v.is_finite() {
+                return Err(ProbError::NonFinite { what: "support value", value: v });
+            }
+            if !p.is_finite() {
+                return Err(ProbError::NonFinite { what: "probability", value: p });
+            }
+            if p < 0.0 {
+                return Err(ProbError::NegativeProbability(p));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut support: Vec<f64> = Vec::with_capacity(pairs.len());
+        let mut probs: Vec<f64> = Vec::with_capacity(pairs.len());
+        for (v, p) in pairs {
+            if p == 0.0 {
+                continue;
+            }
+            match support.last() {
+                Some(&last) if nearly_equal(last, v) => {
+                    *probs.last_mut().expect("probs parallel to support") += p;
+                }
+                _ => {
+                    support.push(v);
+                    probs.push(p);
+                }
+            }
+        }
+        let total: f64 = probs.iter().sum();
+        if support.is_empty() || total <= 0.0 {
+            return Err(ProbError::ZeroTotalMass);
+        }
+        for p in &mut probs {
+            *p /= total;
+        }
+        Ok(Distribution { support, probs })
+    }
+
+    /// Uniform distribution over the given values.
+    pub fn uniform(values: &[f64]) -> Result<Self, ProbError> {
+        Self::from_pairs(values.iter().map(|&v| (v, 1.0)))
+    }
+
+    /// Two-point distribution: `hi` with probability `p_hi`, `lo` otherwise.
+    ///
+    /// This is the shape of the paper's motivating memory distribution
+    /// (Example 1.1: 2000 pages 80% of the time, 700 pages 20%).
+    pub fn bimodal(lo: f64, hi: f64, p_hi: f64) -> Result<Self, ProbError> {
+        Self::from_pairs([(lo, 1.0 - p_hi), (hi, p_hi)])
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.support.len()
+    }
+
+    /// True when the distribution is a single point mass.
+    pub fn is_point(&self) -> bool {
+        self.support.len() == 1
+    }
+
+    /// Always false: constructors reject empty supports.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The strictly increasing bucket representatives (the paper's `Val(X)`).
+    pub fn support(&self) -> &[f64] {
+        &self.support
+    }
+
+    /// Bucket probabilities, parallel to [`Self::support`].
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Iterate over `(value, probability)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.support.iter().copied().zip(self.probs.iter().copied())
+    }
+
+    /// Smallest support value.
+    pub fn min_value(&self) -> f64 {
+        self.support[0]
+    }
+
+    /// Largest support value.
+    pub fn max_value(&self) -> f64 {
+        *self.support.last().expect("non-empty support")
+    }
+
+    /// Expected value `E[X]`.
+    pub fn mean(&self) -> f64 {
+        self.iter().map(|(v, p)| v * p).sum()
+    }
+
+    /// Modal value: the representative with the largest probability.
+    ///
+    /// Ties are broken toward the larger value; the choice only matters for
+    /// the LSC baseline, which the paper parameterizes by "mean or modal
+    /// value" without specifying tie-breaks.
+    pub fn mode(&self) -> f64 {
+        let mut best = (self.support[0], self.probs[0]);
+        for (v, p) in self.iter() {
+            if p >= best.1 {
+                best = (v, p);
+            }
+        }
+        best.0
+    }
+
+    /// Variance `E[(X - E[X])^2]`.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.iter().map(|(v, p)| (v - m) * (v - m) * p).sum()
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Expectation of an arbitrary function of the value: `E[f(X)]`.
+    ///
+    /// This is the paper's fundamental quantity
+    /// `EC(P) = Σ_v C(P, v)·Pr(v)` specialized to one parameter.
+    pub fn expect(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.iter().map(|(v, p)| f(v) * p).sum()
+    }
+
+    /// Probability that a predicate holds: `Pr(pred(X))`.
+    pub fn prob_that(&self, mut pred: impl FnMut(f64) -> bool) -> f64 {
+        self.iter().filter(|&(v, _)| pred(v)).map(|(_, p)| p).sum()
+    }
+
+    /// `Pr(X <= x)`.
+    pub fn prob_le(&self, x: f64) -> f64 {
+        let idx = self.support.partition_point(|&v| v <= x);
+        self.probs[..idx].iter().sum()
+    }
+
+    /// `Pr(X < x)`.
+    pub fn prob_lt(&self, x: f64) -> f64 {
+        let idx = self.support.partition_point(|&v| v < x);
+        self.probs[..idx].iter().sum()
+    }
+
+    /// `Pr(X >= x)`.
+    pub fn prob_ge(&self, x: f64) -> f64 {
+        1.0 - self.prob_lt(x)
+    }
+
+    /// `Pr(X > x)`.
+    pub fn prob_gt(&self, x: f64) -> f64 {
+        1.0 - self.prob_le(x)
+    }
+
+    /// Smallest support value `v` with `Pr(X <= v) >= q` (a quantile).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+        let mut acc = 0.0;
+        for (v, p) in self.iter() {
+            acc += p;
+            if acc + 1e-12 >= q {
+                return v;
+            }
+        }
+        self.max_value()
+    }
+
+    /// Apply `f` to every support value (probabilities are carried along and
+    /// coinciding images are merged).  `f` need not be monotone.
+    pub fn map(&self, mut f: impl FnMut(f64) -> f64) -> Distribution {
+        Distribution::from_pairs(self.iter().map(|(v, p)| (f(v), p)))
+            .expect("mapping a valid distribution preserves validity")
+    }
+
+    /// Multiply every support value by a positive constant.
+    pub fn scale(&self, k: f64) -> Distribution {
+        assert!(k.is_finite() && k > 0.0, "scale factor must be positive");
+        // Monotone map: no re-sort or merge needed.
+        Distribution {
+            support: self.support.iter().map(|v| v * k).collect(),
+            probs: self.probs.clone(),
+        }
+    }
+
+    /// Distribution of `X · Y` for independent `X` (self) and `Y` (other).
+    ///
+    /// This is the §3.6.3 product used for result sizes `|A|·|B|·σ`; the
+    /// support may grow to `|X|·|Y|` buckets, which callers keep in check
+    /// with [`Self::rebucket`].
+    pub fn product(&self, other: &Distribution) -> Distribution {
+        let mut pairs = Vec::with_capacity(self.len() * other.len());
+        for (a, pa) in self.iter() {
+            for (b, pb) in other.iter() {
+                pairs.push((a * b, pa * pb));
+            }
+        }
+        Distribution::from_pairs(pairs)
+            .expect("product of valid distributions is valid")
+    }
+
+    /// Distribution of `X + Y` for independent `X` and `Y` (convolution).
+    pub fn convolve(&self, other: &Distribution) -> Distribution {
+        let mut pairs = Vec::with_capacity(self.len() * other.len());
+        for (a, pa) in self.iter() {
+            for (b, pb) in other.iter() {
+                pairs.push((a + b, pa * pb));
+            }
+        }
+        Distribution::from_pairs(pairs)
+            .expect("convolution of valid distributions is valid")
+    }
+
+    /// Reduce to at most `n` buckets (§3.6.3).
+    ///
+    /// Both strategies preserve total mass exactly and the mean exactly
+    /// (each coarse bucket's representative is the conditional mean of the
+    /// mass it absorbs).  What is lost is resolution: `Pr(X <= t)` may move
+    /// by up to the mass of the bucket straddling `t`.
+    pub fn rebucket(&self, n: usize, strategy: Rebucket) -> Result<Distribution, ProbError> {
+        if n == 0 {
+            return Err(ProbError::ZeroBuckets);
+        }
+        if self.len() <= n {
+            return Ok(self.clone());
+        }
+        match strategy {
+            Rebucket::EqualWidth => self.rebucket_equal_width(n),
+            Rebucket::EqualDepth => self.rebucket_equal_depth(n),
+        }
+    }
+
+    fn rebucket_equal_width(&self, n: usize) -> Result<Distribution, ProbError> {
+        let lo = self.min_value();
+        let hi = self.max_value();
+        let width = (hi - lo) / n as f64;
+        let mut mass = vec![0.0; n];
+        let mut weighted = vec![0.0; n];
+        for (v, p) in self.iter() {
+            let mut idx = if width > 0.0 { ((v - lo) / width) as usize } else { 0 };
+            if idx >= n {
+                idx = n - 1; // v == hi lands in the last bucket
+            }
+            mass[idx] += p;
+            weighted[idx] += v * p;
+        }
+        Distribution::from_pairs(
+            mass.iter()
+                .zip(&weighted)
+                .filter(|(m, _)| **m > 0.0)
+                .map(|(&m, &w)| (w / m, m)),
+        )
+    }
+
+    fn rebucket_equal_depth(&self, n: usize) -> Result<Distribution, ProbError> {
+        let target = 1.0 / n as f64;
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(n);
+        let mut mass = 0.0;
+        let mut weighted = 0.0;
+        let mut filled = 0usize;
+        for (i, (v, p)) in self.iter().enumerate() {
+            mass += p;
+            weighted += v * p;
+            let remaining_buckets = n - filled;
+            let last_value = i + 1 == self.len();
+            // Close the bucket once it holds its share, but never leave more
+            // values than buckets remaining.
+            let values_left = self.len() - (i + 1);
+            if last_value
+                || (mass + 1e-12 >= target && values_left >= remaining_buckets - 1)
+                || values_left < remaining_buckets
+            {
+                out.push((weighted / mass, mass));
+                filled += 1;
+                mass = 0.0;
+                weighted = 0.0;
+                if filled == n {
+                    break;
+                }
+            }
+        }
+        if mass > 0.0 {
+            // Fold any residue into the last bucket, preserving the mean.
+            let (lv, lp) = out.pop().expect("at least one bucket emitted");
+            out.push(((lv * lp + weighted) / (lp + mass), lp + mass));
+        }
+        Distribution::from_pairs(out)
+    }
+
+    /// Draw a sample using inverse-CDF sampling.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.support[self.sample_index(rng)]
+    }
+
+    /// Draw the *index* of a sampled bucket.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            acc += p;
+            if u < acc {
+                return i;
+            }
+        }
+        self.len() - 1 // guard against accumulated rounding
+    }
+
+    /// Structural comparison with tolerance, for tests.
+    pub fn approx_eq(&self, other: &Distribution, tol: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|((v1, p1), (v2, p2))| (v1 - v2).abs() <= tol && (p1 - p2).abs() <= tol)
+    }
+}
+
+fn nearly_equal(a: f64, b: f64) -> bool {
+    (a - b).abs() <= MERGE_EPS * a.abs().max(b.abs()).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_memory() -> Distribution {
+        Distribution::bimodal(700.0, 2000.0, 0.8).unwrap()
+    }
+
+    #[test]
+    fn point_mass_basics() {
+        let d = Distribution::point(42.0);
+        assert!(d.is_point());
+        assert_eq!(d.mean(), 42.0);
+        assert_eq!(d.mode(), 42.0);
+        assert_eq!(d.variance(), 0.0);
+        assert_eq!(d.prob_le(42.0), 1.0);
+        assert_eq!(d.prob_lt(42.0), 0.0);
+    }
+
+    #[test]
+    fn example_1_1_memory_distribution() {
+        // The paper's motivating distribution: mean 1740, mode 2000.
+        let d = example_memory();
+        assert!((d.mean() - 1740.0).abs() < 1e-9);
+        assert_eq!(d.mode(), 2000.0);
+        assert!((d.prob_gt(1000.0) - 0.8).abs() < 1e-12);
+        assert!((d.prob_le(700.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pairs_sorts_merges_normalizes() {
+        let d = Distribution::from_pairs([(5.0, 2.0), (1.0, 1.0), (5.0, 1.0)]).unwrap();
+        assert_eq!(d.support(), &[1.0, 5.0]);
+        assert!((d.probs()[0] - 0.25).abs() < 1e-12);
+        assert!((d.probs()[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_pairs_drops_zero_mass() {
+        let d = Distribution::from_pairs([(1.0, 0.0), (2.0, 1.0)]).unwrap();
+        assert_eq!(d.support(), &[2.0]);
+    }
+
+    #[test]
+    fn from_pairs_rejects_bad_input() {
+        assert_eq!(
+            Distribution::from_pairs(std::iter::empty()),
+            Err(ProbError::EmptySupport)
+        );
+        assert!(matches!(
+            Distribution::from_pairs([(f64::NAN, 1.0)]),
+            Err(ProbError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            Distribution::from_pairs([(1.0, -0.5)]),
+            Err(ProbError::NegativeProbability(_))
+        ));
+        assert_eq!(
+            Distribution::from_pairs([(1.0, 0.0)]),
+            Err(ProbError::ZeroTotalMass)
+        );
+    }
+
+    #[test]
+    fn tail_probabilities_are_consistent() {
+        let d = Distribution::uniform(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        for x in [0.5, 1.0, 2.5, 4.0, 9.0] {
+            assert!((d.prob_le(x) + d.prob_gt(x) - 1.0).abs() < 1e-12);
+            assert!((d.prob_lt(x) + d.prob_ge(x) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(d.prob_le(2.0), 0.5);
+        assert_eq!(d.prob_lt(2.0), 0.25);
+        assert_eq!(d.prob_ge(2.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles() {
+        let d = Distribution::uniform(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(d.quantile(0.0), 10.0);
+        assert_eq!(d.quantile(0.25), 10.0);
+        assert_eq!(d.quantile(0.5), 20.0);
+        assert_eq!(d.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn expectation_of_step_function_sees_the_cliff() {
+        // The essence of the paper: E[f(X)] != f(E[X]) for discontinuous f.
+        let d = example_memory();
+        let cost = |m: f64| if m > 1000.0 { 2.0 } else { 4.0 };
+        assert_eq!(cost(d.mean()), 2.0); // LSC at the mean sees the cheap side
+        let ec = d.expect(cost);
+        assert!((ec - (0.8 * 2.0 + 0.2 * 4.0)).abs() < 1e-12);
+        assert!(ec > cost(d.mean()));
+    }
+
+    #[test]
+    fn map_handles_non_monotone_functions() {
+        let d = Distribution::uniform(&[-2.0, -1.0, 1.0, 2.0]).unwrap();
+        let sq = d.map(|v| v * v);
+        assert_eq!(sq.support(), &[1.0, 4.0]);
+        assert!((sq.probs()[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_preserves_shape() {
+        let d = example_memory();
+        let s = d.scale(2.0);
+        assert_eq!(s.support(), &[1400.0, 4000.0]);
+        assert_eq!(s.probs(), d.probs());
+    }
+
+    #[test]
+    fn product_of_independents() {
+        let a = Distribution::uniform(&[2.0, 3.0]).unwrap();
+        let b = Distribution::uniform(&[5.0, 7.0]).unwrap();
+        let p = a.product(&b);
+        assert_eq!(p.support(), &[10.0, 14.0, 15.0, 21.0]);
+        assert!((p.mean() - a.mean() * b.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convolution_mean_adds() {
+        let a = Distribution::uniform(&[1.0, 2.0]).unwrap();
+        let b = Distribution::uniform(&[10.0, 20.0]).unwrap();
+        let s = a.convolve(&b);
+        assert!((s.mean() - (a.mean() + b.mean())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebucket_preserves_mass_and_mean() {
+        let d = Distribution::uniform(
+            &(1..=100).map(|i| i as f64).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        for strategy in [Rebucket::EqualWidth, Rebucket::EqualDepth] {
+            let r = d.rebucket(7, strategy).unwrap();
+            assert!(r.len() <= 7, "{strategy:?} produced {} buckets", r.len());
+            let total: f64 = r.probs().iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(
+                (r.mean() - d.mean()).abs() < 1e-6,
+                "{strategy:?} mean {} vs {}",
+                r.mean(),
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn rebucket_noop_when_already_small() {
+        let d = example_memory();
+        let r = d.rebucket(10, Rebucket::EqualWidth).unwrap();
+        assert_eq!(r, d);
+    }
+
+    #[test]
+    fn rebucket_zero_is_an_error() {
+        let d = example_memory();
+        assert_eq!(
+            d.rebucket(0, Rebucket::EqualWidth),
+            Err(ProbError::ZeroBuckets)
+        );
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let d = example_memory();
+        let n = 20_000;
+        let hits = (0..n).filter(|_| d.sample(&mut rng) == 2000.0).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.02, "sampled frac {frac}");
+    }
+}

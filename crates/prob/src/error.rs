@@ -1,0 +1,83 @@
+//! Error type for distribution and Markov-chain construction.
+
+use std::fmt;
+
+/// Errors raised while validating probability objects.
+///
+/// All constructors in this crate validate their inputs eagerly so that the
+/// optimizer and cost code can assume every [`crate::Distribution`] they see
+/// is well formed (finite support, strictly positive mass, total mass one).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbError {
+    /// A distribution was built from an empty support.
+    EmptySupport,
+    /// A support value or probability was NaN or infinite.
+    NonFinite { what: &'static str, value: f64 },
+    /// A probability was negative.
+    NegativeProbability(f64),
+    /// All probabilities were zero, so the distribution cannot be normalized.
+    ZeroTotalMass,
+    /// A distribution's support did not line up with a Markov chain's states.
+    SupportMismatch { expected: usize, got: usize },
+    /// A transition matrix failed validation (wrong shape or non-stochastic row).
+    BadTransitionMatrix(String),
+    /// A rebucketing request asked for zero buckets.
+    ZeroBuckets,
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::EmptySupport => write!(f, "distribution support is empty"),
+            ProbError::NonFinite { what, value } => {
+                write!(f, "non-finite {what}: {value}")
+            }
+            ProbError::NegativeProbability(p) => {
+                write!(f, "negative probability: {p}")
+            }
+            ProbError::ZeroTotalMass => {
+                write!(f, "total probability mass is zero; cannot normalize")
+            }
+            ProbError::SupportMismatch { expected, got } => {
+                write!(
+                    f,
+                    "support does not match chain states (expected {expected} entries, got {got})"
+                )
+            }
+            ProbError::BadTransitionMatrix(msg) => {
+                write!(f, "bad transition matrix: {msg}")
+            }
+            ProbError::ZeroBuckets => write!(f, "cannot rebucket into zero buckets"),
+        }
+    }
+}
+
+impl std::error::Error for ProbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(ProbError, &str)> = vec![
+            (ProbError::EmptySupport, "empty"),
+            (
+                ProbError::NonFinite { what: "probability", value: f64::NAN },
+                "non-finite",
+            ),
+            (ProbError::NegativeProbability(-0.25), "-0.25"),
+            (ProbError::ZeroTotalMass, "zero"),
+            (ProbError::SupportMismatch { expected: 3, got: 2 }, "expected 3"),
+            (
+                ProbError::BadTransitionMatrix("row 1 sums to 0.9".into()),
+                "row 1",
+            ),
+            (ProbError::ZeroBuckets, "zero buckets"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+}

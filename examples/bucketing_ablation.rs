@@ -1,0 +1,66 @@
+//! §3.7 in action: how the number and placement of buckets affects LEC
+//! plan quality and optimization effort — the experiment the authors say
+//! their prototype "will also be useful to investigate".
+//!
+//! ```text
+//! cargo run --example bucketing_ablation --release
+//! ```
+
+use lec_qopt::core::{
+    bucketize, fixtures, query_memory_breakpoints, BucketStrategy, Mode, Optimizer,
+};
+use lec_qopt::cost::{expected_plan_cost_static, CostModel};
+use lec_qopt::prob::Distribution;
+
+fn main() {
+    let (catalog, query) = fixtures::example_1_1();
+    let model = CostModel::new(&catalog, &query);
+
+    // The "true" environment: a fine-grained distribution over 100..2600
+    // pages that straddles every cliff of the example (633, 1000, ...).
+    let truth: Distribution =
+        lec_qopt::prob::presets::uniform_grid(100.0, 2600.0, 126).unwrap();
+    println!(
+        "truth: {} buckets over [{:.0}, {:.0}], mean {:.0}\n",
+        truth.len(),
+        truth.min_value(),
+        truth.max_value(),
+        truth.mean()
+    );
+
+    let breakpoints = query_memory_breakpoints(&model);
+    println!(
+        "query cost cliffs at: {:?}\n",
+        breakpoints.iter().map(|b| b.round()).collect::<Vec<_>>()
+    );
+
+    println!(
+        "{:<12} {:>3} {:>16} {:>14} {:>10}",
+        "strategy", "b", "plan", "true EC", "evals"
+    );
+    for strategy in [
+        BucketStrategy::EqualWidth,
+        BucketStrategy::EqualDepth,
+        BucketStrategy::LevelSet,
+    ] {
+        for b in [1usize, 2, 3, 5, 10, 20] {
+            let belief = bucketize(&truth, b, strategy, &breakpoints);
+            let opt = Optimizer::new(&catalog, belief);
+            let r = opt.optimize(&query, &Mode::AlgorithmC).unwrap();
+            // Judge the chosen plan under the *true* distribution.
+            let true_ec = expected_plan_cost_static(&model, &r.plan, &truth);
+            println!(
+                "{:<12} {:>3} {:>16} {:>14.0} {:>10}",
+                format!("{strategy:?}"),
+                b,
+                r.plan.compact(),
+                true_ec,
+                r.stats.evals
+            );
+        }
+    }
+    println!();
+    println!("b = 1 is the classical optimizer (every strategy collapses to the");
+    println!("mean).  Level-set buckets reach the good plan with fewer buckets");
+    println!("because their boundaries sit exactly on the cost cliffs.");
+}

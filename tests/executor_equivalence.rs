@@ -1,0 +1,133 @@
+//! The optimizer meets the executor: every plan any algorithm chooses for
+//! a query must compute the same result (System R's §2.2 observations,
+//! verified end to end), and simulated costs must match the cost model.
+
+use lec_qopt::catalog::{CatalogGenerator, CatalogProfile};
+use lec_qopt::core::{AlgDConfig, Mode, Optimizer, PointEstimate};
+use lec_qopt::cost::CostModel;
+use lec_qopt::exec::{datagen, execute, monte_carlo, Environment};
+use lec_qopt::plan::{QueryProfile, Topology, WorkloadGenerator};
+use lec_qopt::prob::presets;
+
+fn workload(seed: u64, n: usize, topology: Topology) -> (lec_qopt::catalog::Catalog, lec_qopt::plan::Query) {
+    let profile = CatalogProfile { min_pages: 100, max_pages: 800_000, ..Default::default() };
+    let mut g = CatalogGenerator::with_profile(seed, profile);
+    let cat = g.generate(n + 1);
+    let ids = g.pick_tables(&cat, n);
+    let mut wg = WorkloadGenerator::new(seed + 1);
+    let q = wg.gen_query(&cat, &ids, &QueryProfile { topology, ..Default::default() });
+    (cat, q)
+}
+
+#[test]
+fn all_chosen_plans_return_identical_results() {
+    for (seed, topology) in [
+        (1u64, Topology::Chain),
+        (2, Topology::Star),
+        (3, Topology::Clique),
+        (4, Topology::Random),
+    ] {
+        let (cat, q) = workload(seed, 4, topology);
+        let dataset = datagen::generate(&cat, &q, 40, seed * 7 + 1);
+        let memory = presets::spread_family(400.0, 0.8, 5).unwrap();
+        let opt = Optimizer::new(&cat, memory);
+        let mut reference: Option<Vec<Vec<i64>>> = None;
+        for mode in [
+            Mode::Lsc(PointEstimate::Mean),
+            Mode::Lsc(PointEstimate::Mode),
+            Mode::LscAt(60.0),
+            Mode::AlgorithmA,
+            Mode::AlgorithmB { c: 3 },
+            Mode::AlgorithmC,
+            Mode::AlgorithmD { config: AlgDConfig::default() },
+        ] {
+            let r = opt.optimize(&q, &mode).unwrap();
+            let rows = execute(&r.plan, &q, &dataset).canonical_rows();
+            match &reference {
+                None => reference = Some(rows),
+                Some(want) => assert_eq!(
+                    &rows, want,
+                    "{topology:?} seed {seed}: {} returned different rows",
+                    r.mode
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn required_order_is_physically_delivered() {
+    for seed in [11u64, 12, 13] {
+        let (cat, mut q) = workload(seed, 3, Topology::Chain);
+        // Force a required order on the last join's column.
+        q.required_order = Some(q.joins.last().unwrap().right);
+        let dataset = datagen::generate(&cat, &q, 40, seed);
+        let memory = presets::spread_family(300.0, 0.6, 4).unwrap();
+        let opt = Optimizer::new(&cat, memory);
+        let r = opt.optimize(&q, &Mode::AlgorithmC).unwrap();
+        let rel = execute(&r.plan, &q, &dataset);
+        // Resolve the key through the relation (any class member works).
+        let want = q.required_order.unwrap();
+        let eq = lec_qopt::plan::ColumnEquivalences::for_query(&q);
+        let key = q
+            .joins
+            .iter()
+            .flat_map(|p| [p.left, p.right])
+            .chain([want])
+            .find(|c| eq.same_class(*c, want))
+            .unwrap();
+        let idx = rel.col_index(key);
+        assert!(
+            rel.rows.windows(2).all(|w| w[0][idx] <= w[1][idx]),
+            "seed {seed}: output not sorted"
+        );
+    }
+}
+
+#[test]
+fn monte_carlo_agrees_with_analytic_expected_cost() {
+    for seed in [21u64, 22] {
+        let (cat, q) = workload(seed, 4, Topology::Chain);
+        let memory = presets::spread_family(350.0, 0.9, 4).unwrap();
+        let model = CostModel::new(&cat, &q);
+        let opt = Optimizer::new(&cat, memory.clone());
+        let r = opt.optimize(&q, &Mode::Lsc(PointEstimate::Mean)).unwrap();
+        let analytic = lec_qopt::cost::expected_plan_cost_static(&model, &r.plan, &memory);
+        let env = Environment::Static(memory);
+        let sim = monte_carlo(&model, &r.plan, &env, 60_000, seed).unwrap();
+        let rel = (sim.mean - analytic).abs() / analytic;
+        assert!(rel < 0.02, "seed {seed}: sim {} vs analytic {analytic}", sim.mean);
+    }
+}
+
+#[test]
+fn lec_improvement_survives_measurement() {
+    // On workloads where LEC and LSC disagree, the simulated average must
+    // favor LEC (it can never favor LSC, by optimality of the objective).
+    let mut disagreements = 0;
+    for seed in 0..20u64 {
+        let (cat, q) = workload(seed + 31, 4, Topology::Chain);
+        let memory = presets::spread_family(250.0, 0.9, 6).unwrap();
+        let model = CostModel::new(&cat, &q);
+        let opt = Optimizer::new(&cat, memory.clone());
+        let lsc = opt.optimize(&q, &Mode::Lsc(PointEstimate::Mean)).unwrap();
+        let lec = opt.optimize(&q, &Mode::AlgorithmC).unwrap();
+        if lsc.plan == lec.plan {
+            continue;
+        }
+        disagreements += 1;
+        let env = Environment::Static(memory);
+        let s_lsc = monte_carlo(&model, &lsc.plan, &env, 20_000, seed).unwrap();
+        let s_lec = monte_carlo(&model, &lec.plan, &env, 20_000, seed).unwrap();
+        assert!(
+            s_lec.mean <= s_lsc.mean * 1.01,
+            "seed {seed}: LEC measured {} vs LSC {}",
+            s_lec.mean,
+            s_lsc.mean
+        );
+    }
+    assert!(
+        disagreements >= 2,
+        "expected several LSC/LEC disagreements, got {disagreements}"
+    );
+}

@@ -1,0 +1,123 @@
+//! Property-based verification of the paper's optimality theorems against
+//! exhaustive enumeration, on randomly generated catalogs and queries.
+
+use lec_qopt::catalog::{CatalogGenerator, CatalogProfile};
+use lec_qopt::core::{
+    exhaustive_best, optimize_lec_dynamic, optimize_lec_static, optimize_lsc, Objective,
+};
+use lec_qopt::cost::CostModel;
+use lec_qopt::plan::{Query, QueryProfile, Topology, WorkloadGenerator};
+use lec_qopt::prob::{presets, Distribution, MarkovChain};
+use proptest::prelude::*;
+
+fn random_workload(seed: u64, n: usize, topology: Topology) -> (lec_qopt::catalog::Catalog, Query) {
+    let profile = CatalogProfile {
+        min_pages: 50,
+        max_pages: 500_000,
+        ..Default::default()
+    };
+    let mut g = CatalogGenerator::with_profile(seed, profile);
+    let cat = g.generate(n + 1);
+    let ids = g.pick_tables(&cat, n);
+    let mut wg = WorkloadGenerator::new(seed ^ 0xABCD);
+    let q = wg.gen_query(&cat, &ids, &QueryProfile { topology, ..Default::default() });
+    (cat, q)
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Chain),
+        Just(Topology::Star),
+        Just(Topology::Clique),
+        Just(Topology::Random),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 2.1: the DP at a point equals exhaustive search at a point.
+    #[test]
+    fn lsc_dp_is_optimal(
+        seed in 0u64..5000,
+        n in 3usize..5,
+        topology in arb_topology(),
+        mem in 10.0f64..5000.0,
+    ) {
+        let (cat, q) = random_workload(seed, n, topology);
+        let model = CostModel::new(&cat, &q);
+        let dp = optimize_lsc(&model, mem).unwrap();
+        let ex = exhaustive_best(&model, &Objective::Point(mem)).unwrap();
+        prop_assert!(
+            (dp.cost - ex.cost).abs() / ex.cost.max(1.0) < 1e-9,
+            "dp {} vs exhaustive {}", dp.cost, ex.cost
+        );
+    }
+
+    /// Theorem 3.3: Algorithm C computes the LEC left-deep plan.
+    #[test]
+    fn algorithm_c_is_optimal(
+        seed in 0u64..5000,
+        n in 3usize..5,
+        topology in arb_topology(),
+        center in 50.0f64..3000.0,
+        spread in 0.1f64..0.95,
+        buckets in 2usize..7,
+    ) {
+        let (cat, q) = random_workload(seed, n, topology);
+        let model = CostModel::new(&cat, &q);
+        let memory = presets::spread_family(center, spread, buckets).unwrap();
+        let dp = optimize_lec_static(&model, &memory).unwrap();
+        let ex = exhaustive_best(&model, &Objective::Expected(&memory)).unwrap();
+        prop_assert!(
+            (dp.cost - ex.cost).abs() / ex.cost.max(1.0) < 1e-9,
+            "dp {} vs exhaustive {}", dp.cost, ex.cost
+        );
+    }
+
+    /// Theorem 3.4: Algorithm C stays optimal under Markov drift.
+    #[test]
+    fn dynamic_algorithm_c_is_optimal(
+        seed in 0u64..5000,
+        n in 3usize..5,
+        p_down in 0.05f64..0.45,
+        p_up in 0.05f64..0.45,
+    ) {
+        let (cat, q) = random_workload(seed, n, Topology::Chain);
+        let model = CostModel::new(&cat, &q);
+        let states = vec![60.0, 240.0, 960.0, 3840.0];
+        let chain = MarkovChain::birth_death(states, p_down, p_up).unwrap();
+        let initial = Distribution::bimodal(240.0, 3840.0, 0.5).unwrap();
+        let dp = optimize_lec_dynamic(&model, &initial, &chain).unwrap();
+        let ex = exhaustive_best(
+            &model,
+            &Objective::Dynamic { initial: &initial, chain: &chain },
+        )
+        .unwrap();
+        prop_assert!(
+            (dp.cost - ex.cost).abs() / ex.cost.max(1.0) < 1e-9,
+            "dp {} vs exhaustive {}", dp.cost, ex.cost
+        );
+    }
+
+    /// Definitional: the LEC plan's EC lower-bounds every plan the
+    /// exhaustive enumerator can build.
+    #[test]
+    fn lec_cost_lower_bounds_sampled_plans(
+        seed in 0u64..5000,
+        n in 3usize..5,
+        center in 100.0f64..2000.0,
+    ) {
+        let (cat, q) = random_workload(seed, n, Topology::Random);
+        let model = CostModel::new(&cat, &q);
+        let memory = presets::spread_family(center, 0.7, 5).unwrap();
+        let lec = optimize_lec_static(&model, &memory).unwrap();
+        // LSC plans at various points are a plan sample; none may beat LEC
+        // in expectation.
+        for m in [memory.min_value(), memory.mean(), memory.max_value()] {
+            let p = optimize_lsc(&model, m).unwrap();
+            let ec = lec_qopt::cost::expected_plan_cost_static(&model, &p.plan, &memory);
+            prop_assert!(lec.cost <= ec + 1e-6);
+        }
+    }
+}

@@ -1,11 +1,19 @@
 //! Criterion bench for E6: the §3.6.1/§3.6.2 streaming expected-cost
-//! algorithms vs the defining triple sum, across bucket counts.
+//! algorithms vs the defining triple sum, across bucket counts — plus the
+//! eval-cache guard: Algorithm C's `SearchStats.evals` with the memoized
+//! cost-evaluation cache on vs off, on the paper's `three_chain` fixture
+//! and the 8-table scaling chain.  The guard both times the two
+//! configurations and writes the counter comparison to
+//! `BENCH_eval_cache.json` so the memoization win is recorded, not just
+//! printed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lec_cost::expected::{naive_expected_join_cost, streaming_expected_join_cost};
+use lec_cost::CostModel;
 use lec_plan::JoinMethod;
 use lec_prob::{Distribution, PrefixTables};
 use rand::{Rng, SeedableRng};
+use serde_json::json;
 use std::hint::black_box;
 
 fn dist(rng: &mut impl Rng, b: usize, lo: f64, hi: f64) -> Distribution {
@@ -63,5 +71,91 @@ fn bench_expected_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_expected_cost);
+/// One (fixture, buckets) row of the eval-cache guard.
+fn eval_cache_row(
+    name: &str,
+    catalog: &lec_catalog::Catalog,
+    query: &lec_plan::Query,
+    buckets: usize,
+) -> serde_json::Value {
+    let memory = lec_prob::presets::spread_family(400.0, 0.8, buckets).unwrap();
+    let cached_model = CostModel::new(catalog, query);
+    let cached = lec_core::optimize_lec_static(&cached_model, &memory).unwrap();
+    let raw_model = CostModel::new(catalog, query);
+    raw_model.set_eval_cache(false);
+    let raw = lec_core::optimize_lec_static(&raw_model, &memory).unwrap();
+    assert_eq!(cached.plan, raw.plan, "{name}: cache changed the plan");
+    assert_eq!(cached.cost, raw.cost, "{name}: cache changed the cost");
+    assert!(
+        cached.stats.evals < raw.stats.evals,
+        "{name}: cache must strictly reduce evals ({} vs {})",
+        cached.stats.evals,
+        raw.stats.evals
+    );
+    println!(
+        "eval-cache guard  {name} b={buckets}: evals {} -> {} ({:.1}% saved, {} hits)",
+        raw.stats.evals,
+        cached.stats.evals,
+        100.0 * (1.0 - cached.stats.evals as f64 / raw.stats.evals as f64),
+        cached.stats.cache_hits,
+    );
+    json!({
+        "workload": name,
+        "buckets": buckets,
+        "evals_cache_off": raw.stats.evals,
+        "evals_cache_on": cached.stats.evals,
+        "cache_hits": cached.stats.cache_hits,
+        "saved_fraction": 1.0 - cached.stats.evals as f64 / raw.stats.evals as f64,
+    })
+}
+
+/// The eval-cache guard: times Algorithm C with the cache on vs off and
+/// records the `SearchStats.evals` reduction in `BENCH_eval_cache.json`.
+fn bench_alg_c_eval_cache(c: &mut Criterion) {
+    let three = lec_core::fixtures::three_chain();
+    let eight = lec_core::fixtures::scaling_chain(8);
+    let mut rows = Vec::new();
+    for (name, (catalog, query)) in [("three_chain", &three), ("eight_chain", &eight)] {
+        for buckets in [4usize, 16] {
+            rows.push(eval_cache_row(name, catalog, query, buckets));
+        }
+    }
+    // Anchor at the workspace root regardless of the bench's CWD.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_eval_cache.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&json!({
+            "bench": "alg_c_eval_cache",
+            "claim": "SearchStats.evals for Algorithm C is strictly lower with the cost-eval cache than with it disabled",
+            "rows": rows,
+        }))
+        .unwrap(),
+    )
+    .expect("write BENCH_eval_cache.json");
+
+    let memory = lec_prob::presets::spread_family(400.0, 0.8, 16).unwrap();
+    let mut group = c.benchmark_group("alg_c_eval_cache");
+    group.sample_size(10);
+    for (cache_on, label) in [
+        (true, "eight_chain_cache_on"),
+        (false, "eight_chain_cache_off"),
+    ] {
+        group.bench_function(label, |bench| {
+            let model = CostModel::new(&eight.0, &eight.1);
+            model.set_eval_cache(cache_on);
+            bench.iter(|| {
+                black_box(
+                    lec_core::optimize_lec_static(&model, black_box(&memory))
+                        .unwrap()
+                        .cost,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expected_cost, bench_alg_c_eval_cache);
 criterion_main!(benches);

@@ -21,7 +21,11 @@ fn bench_buckets(c: &mut Criterion) {
         let memory = presets::spread_family(400.0, 0.8, b).unwrap();
         group.bench_with_input(BenchmarkId::new("alg_c", b), &b, |bench, _| {
             bench.iter(|| {
-                black_box(optimize_lec_static(&model, black_box(&memory)).unwrap().cost)
+                black_box(
+                    optimize_lec_static(&model, black_box(&memory))
+                        .unwrap()
+                        .cost,
+                )
             })
         });
     }
@@ -37,7 +41,11 @@ fn bench_tables(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("alg_c_b8", n), &n, |bench, _| {
             let model = CostModel::new(&w.catalog, &w.query);
             bench.iter(|| {
-                black_box(optimize_lec_static(&model, black_box(&memory)).unwrap().cost)
+                black_box(
+                    optimize_lec_static(&model, black_box(&memory))
+                        .unwrap()
+                        .cost,
+                )
             })
         });
     }

@@ -18,9 +18,7 @@ fn bench_monte_carlo(c: &mut Criterion) {
     group.sample_size(20);
     for runs in [1_000usize, 10_000] {
         group.bench_with_input(BenchmarkId::new("runs", runs), &runs, |bench, &r| {
-            bench.iter(|| {
-                black_box(monte_carlo(&model, &plan, &env, r, 7).unwrap().mean)
-            })
+            bench.iter(|| black_box(monte_carlo(&model, &plan, &env, r, 7).unwrap().mean))
         });
     }
     group.finish();
@@ -42,9 +40,7 @@ fn bench_operators(c: &mut Criterion) {
         bench.iter(|| black_box(external_sort(black_box(&a), 0, 8, 4).io))
     });
     group.bench_function("grace_hash_128x32p_m8", |bench| {
-        bench.iter(|| {
-            black_box(grace_hash_join(black_box(&a), black_box(&b), 0, 0, 8, 4).io)
-        })
+        bench.iter(|| black_box(grace_hash_join(black_box(&a), black_box(&b), 0, 0, 8, 4).io))
     });
     group.finish();
 }

@@ -16,13 +16,7 @@ fn bench_topc(c: &mut Criterion) {
     group.sample_size(15);
     for topc in [1usize, 4, 16] {
         group.bench_with_input(BenchmarkId::new("c", topc), &topc, |bench, &tc| {
-            bench.iter(|| {
-                black_box(
-                    optimize_alg_b(&model, black_box(&memory), tc)
-                        .unwrap()
-                        .expected_cost,
-                )
-            })
+            bench.iter(|| black_box(optimize_alg_b(&model, black_box(&memory), tc).unwrap().cost))
         });
     }
     group.finish();

@@ -24,7 +24,10 @@ fn main() {
         return;
     }
     let ids: Vec<String> = if args[0] == "all" {
-        lec_bench::registry().iter().map(|(id, _, _)| id.to_string()).collect()
+        lec_bench::registry()
+            .iter()
+            .map(|(id, _, _)| id.to_string())
+            .collect()
     } else {
         args
     };

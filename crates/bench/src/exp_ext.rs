@@ -29,33 +29,38 @@ pub fn e12() -> Value {
     let mut rows_json = Vec::new();
     for n in [4usize, 6, 8, 10, 12] {
         let w = scaling_chain(n);
-        let model = CostModel::new(&w.catalog, &w.query);
+        // Fresh model per timed algorithm: a model's eval cache persists
+        // for its lifetime, and sharing one would let the later runs
+        // answer lookups warmed by the earlier ones.
+        let model_c = CostModel::new(&w.catalog, &w.query);
         let t0 = Instant::now();
-        let c = optimize_lec_static(&model, &memory).unwrap();
+        let c = optimize_lec_static(&model_c, &memory).unwrap();
         let t_c = t0.elapsed().as_secs_f64() * 1e3;
         let cfg = RandomizedConfig::default();
+        let model_ii = CostModel::new(&w.catalog, &w.query);
         let t0 = Instant::now();
-        let ii = iterative_improvement(&model, &memory, &cfg, 42).unwrap();
+        let ii = iterative_improvement(&model_ii, &memory, &cfg, 42).unwrap();
         let t_ii = t0.elapsed().as_secs_f64() * 1e3;
+        let model_sa = CostModel::new(&w.catalog, &w.query);
         let t0 = Instant::now();
-        let sa = simulated_annealing(&model, &memory, &cfg, 42).unwrap();
+        let sa = simulated_annealing(&model_sa, &memory, &cfg, 42).unwrap();
         let t_sa = t0.elapsed().as_secs_f64() * 1e3;
         let gap = |x: f64| (x - c.cost) / c.cost;
         t.row(vec![
             n.to_string(),
             num(c.cost),
-            pct(gap(ii.expected_cost)),
-            pct(gap(sa.expected_cost)),
+            pct(gap(ii.cost)),
+            pct(gap(sa.cost)),
             format!("{t_c:.1}ms"),
             format!("{t_ii:.1}ms"),
             format!("{t_sa:.1}ms"),
-            ii.evaluations.to_string(),
+            ii.stats.nodes.to_string(),
         ]);
         rows_json.push(json!({
             "n": n, "c_cost": c.cost,
-            "ii_gap": gap(ii.expected_cost), "sa_gap": gap(sa.expected_cost),
+            "ii_gap": gap(ii.cost), "sa_gap": gap(sa.cost),
             "c_ms": t_c, "ii_ms": t_ii, "sa_ms": t_sa,
-            "ii_evaluations": ii.evaluations,
+            "ii_evaluations": ii.stats.nodes,
         }));
     }
     println!("{}", t.render());
@@ -75,7 +80,10 @@ pub fn e13() -> Value {
     let workloads = batch(13_000, 15, 5, 1);
     let families: Vec<(&str, Vec<lec_prob::Distribution>)> = vec![
         ("1 point", coverage_family(&[400.0], &[0.0], 5)),
-        ("3 centers", coverage_family(&[100.0, 400.0, 1600.0], &[0.0], 5)),
+        (
+            "3 centers",
+            coverage_family(&[100.0, 400.0, 1600.0], &[0.0], 5),
+        ),
         (
             "3 centers x 3 spreads",
             coverage_family(&[100.0, 400.0, 1600.0], &[0.0, 0.5, 0.9], 5),
@@ -92,7 +100,11 @@ pub fn e13() -> Value {
         presets::zipf_over(&[60.0, 240.0, 960.0, 3840.0], 1.0).unwrap(),
     ];
     let mut t = Table::new(&[
-        "coverage", "avg cached plans", "mean regret", "max regret", "lookup/full-opt time",
+        "coverage",
+        "avg cached plans",
+        "mean regret",
+        "max regret",
+        "lookup/full-opt time",
     ]);
     let mut rows_json = Vec::new();
     for (name, family) in &families {
@@ -145,7 +157,13 @@ pub fn e14() -> Value {
     println!("E14: left-deep vs bushy LEC plans\n");
     let memory = presets::spread_family(400.0, 0.7, 5).unwrap();
     let mut t = Table::new(&[
-        "topology", "n", "bushy wins", "mean gain", "max gain", "candidates LD", "candidates bushy",
+        "topology",
+        "n",
+        "bushy wins",
+        "mean gain",
+        "max gain",
+        "candidates LD",
+        "candidates bushy",
     ]);
     let mut rows_json = Vec::new();
     for (name, topo) in [
@@ -167,7 +185,10 @@ pub fn e14() -> Value {
                     let q = wg.gen_query(
                         &cat,
                         &ids,
-                        &lec_plan::QueryProfile { topology: topo, ..Default::default() },
+                        &lec_plan::QueryProfile {
+                            topology: topo,
+                            ..Default::default()
+                        },
                     );
                     (cat, q)
                 })
@@ -178,7 +199,7 @@ pub fn e14() -> Value {
                 let bu = optimize_lec_bushy(&model, &memory).unwrap();
                 cand_ld += ld.stats.candidates;
                 cand_bu += bu.stats.candidates;
-                let gain = 1.0 - bu.expected_cost / ld.cost;
+                let gain = 1.0 - bu.cost / ld.cost;
                 if gain > 1e-9 {
                     wins += 1;
                 }
@@ -208,7 +229,7 @@ pub fn e14() -> Value {
     let model = CostModel::new(&cat, &q);
     let ld = optimize_lec_static(&model, &memory).unwrap();
     let bu = optimize_lec_bushy(&model, &memory).unwrap();
-    let gain = 1.0 - bu.expected_cost / ld.cost;
+    let gain = 1.0 - bu.cost / ld.cost;
     t.row(vec![
         "diamond*".into(),
         "4".into(),
@@ -245,7 +266,12 @@ pub fn e15() -> Value {
     let truth_init = Distribution::bimodal(180.0, 1620.0, 0.7).unwrap();
     let init_probs = truth_chain.dist_to_probs(&truth_init).unwrap();
     let workloads = batch(15_000, 12, 5, 1);
-    let mut t = Table::new(&["observed traces", "mean regret", "max regret", "chain L1 err"]);
+    let mut t = Table::new(&[
+        "observed traces",
+        "mean regret",
+        "max regret",
+        "chain L1 err",
+    ]);
     let mut rows_json = Vec::new();
     for n_traces in [1usize, 5, 25, 125, 625] {
         let mut rng = rand::rngs::StdRng::seed_from_u64(15_000 + n_traces as u64);
@@ -256,8 +282,7 @@ pub fn e15() -> Value {
         let pooled: Vec<f64> = traces.iter().flatten().copied().collect();
         let state_dist =
             fit::fit_distribution(&pooled, states.len(), Rebucket::EqualDepth).unwrap();
-        let fitted_chain =
-            fit::fit_markov(&traces, state_dist.support().to_vec()).unwrap();
+        let fitted_chain = fit::fit_markov(&traces, state_dist.support().to_vec()).unwrap();
         let fitted_init = fit::fit_initial(&traces, &fitted_chain).unwrap();
         // Transition-matrix L1 error (only meaningful when supports align;
         // report against the snapped truth).
@@ -265,18 +290,12 @@ pub fn e15() -> Value {
         let mut regrets = Vec::new();
         for w in &workloads {
             let model = CostModel::new(&w.catalog, &w.query);
-            let fitted_plan =
-                optimize_lec_dynamic(&model, &fitted_init, &fitted_chain).unwrap();
-            let oracle =
-                optimize_lec_dynamic(&model, &truth_init, &truth_chain).unwrap();
+            let fitted_plan = optimize_lec_dynamic(&model, &fitted_init, &fitted_chain).unwrap();
+            let oracle = optimize_lec_dynamic(&model, &truth_init, &truth_chain).unwrap();
             // Judge the fitted plan under the TRUE environment.
-            let true_ec = expected_plan_cost_dynamic(
-                &model,
-                &fitted_plan.plan,
-                &truth_init,
-                &truth_chain,
-            )
-            .unwrap();
+            let true_ec =
+                expected_plan_cost_dynamic(&model, &fitted_plan.plan, &truth_init, &truth_chain)
+                    .unwrap();
             regrets.push((true_ec - oracle.cost).max(0.0) / oracle.cost);
         }
         let mean = regrets.iter().sum::<f64>() / regrets.len() as f64;
@@ -344,7 +363,12 @@ pub fn e16() -> Value {
     }
     let n = workloads.len() as f64;
     let mut t = Table::new(&["strategy", "mean cost under drift", "vs LSC"]);
-    let names = ["LSC @ start", "static Alg C", "dynamic Alg C", "reactive reopt*"];
+    let names = [
+        "LSC @ start",
+        "static Alg C",
+        "dynamic Alg C",
+        "reactive reopt*",
+    ];
     let mut rows_json = Vec::new();
     for (k, name) in names.iter().enumerate() {
         t.row(vec![

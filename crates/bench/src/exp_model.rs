@@ -5,8 +5,8 @@
 use crate::table::{num, pct, Table};
 use crate::workloads::batch;
 use lec_core::{
-    bucketize, fixtures, optimize_alg_d, optimize_lec_dynamic, optimize_lec_static,
-    optimize_lsc, query_memory_breakpoints, AlgDConfig, BucketStrategy,
+    bucketize, fixtures, optimize_alg_d, optimize_lec_dynamic, optimize_lec_static, optimize_lsc,
+    query_memory_breakpoints, AlgDConfig, BucketStrategy,
 };
 use lec_cost::expected::{
     naive_eval_count, naive_expected_join_cost, streaming_expected_join_cost,
@@ -20,10 +20,8 @@ use serde_json::{json, Value};
 use std::time::Instant;
 
 fn rand_dist(rng: &mut impl Rng, b: usize, lo: f64, hi: f64) -> Distribution {
-    Distribution::from_pairs(
-        (0..b).map(|_| (rng.gen_range(lo..hi), rng.gen_range(0.05..1.0))),
-    )
-    .unwrap()
+    Distribution::from_pairs((0..b).map(|_| (rng.gen_range(lo..hi), rng.gen_range(0.05..1.0))))
+        .unwrap()
 }
 
 /// E6 — §3.6.1/§3.6.2: the streaming expected-cost algorithms agree with
@@ -32,7 +30,12 @@ pub fn e6() -> Value {
     println!("E6: expected join cost — naive O(b^3) vs streaming O(b)\n");
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xE6);
     let mut t = Table::new(&[
-        "b (each)", "naive evals", "naive time", "streaming time", "speedup", "max rel err",
+        "b (each)",
+        "naive evals",
+        "naive time",
+        "streaming time",
+        "speedup",
+        "max rel err",
     ]);
     let mut rows_json = Vec::new();
     for b in [4usize, 8, 16, 32, 64, 128] {
@@ -59,9 +62,7 @@ pub fn e6() -> Value {
         for (a, bd, m) in &dists {
             let mt = PrefixTables::new(m);
             for method in [JoinMethod::SortMerge, JoinMethod::PageNestedLoop] {
-                fast_vals.push(
-                    streaming_expected_join_cost(method, a, bd, &mt).unwrap(),
-                );
+                fast_vals.push(streaming_expected_join_cost(method, a, bd, &mt).unwrap());
             }
         }
         let t_fast = start.elapsed().as_secs_f64() * 1e6 / reps as f64;
@@ -110,30 +111,39 @@ pub fn e7() -> Value {
         let dyn_ec = |p: &lec_plan::PlanNode| {
             expected_plan_cost_dynamic(&model, p, &initial, &chain).unwrap()
         };
-        let (c_lsc, c_stat, c_dyn) =
-            (dyn_ec(&lsc.plan), dyn_ec(&stat.plan), dyn_ec(&dynm.plan));
+        let (c_lsc, c_stat, c_dyn) = (dyn_ec(&lsc.plan), dyn_ec(&stat.plan), dyn_ec(&dynm.plan));
         if c_dyn < c_stat - 1e-9 || c_dyn < c_lsc - 1e-9 {
             wins_dyn += 1;
         }
         // Simulated check on a few queries.
         if i < 5 {
-            let env = Environment::Dynamic { initial: initial.clone(), chain: chain.clone() };
+            let env = Environment::Dynamic {
+                initial: initial.clone(),
+                chain: chain.clone(),
+            };
             let s = monte_carlo(&model, &dynm.plan, &env, 20_000, i as u64).unwrap();
             let rel = (s.mean - c_dyn).abs() / c_dyn;
             assert!(rel < 0.03, "simulation should confirm dynamic EC ({rel})");
         }
         rows.push((c_lsc, c_stat, c_dyn));
     }
-    let mean = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
-        rows.iter().map(f).sum::<f64>() / rows.len() as f64
-    };
+    let mean =
+        |f: &dyn Fn(&(f64, f64, f64)) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
     let m_lsc = mean(&|r| r.0);
     let m_stat = mean(&|r| r.1);
     let m_dyn = mean(&|r| r.2);
     let mut t = Table::new(&["optimizer", "mean dynamic EC", "vs LSC"]);
     t.row(vec!["LSC @ start value".into(), num(m_lsc), "-".into()]);
-    t.row(vec!["static Alg C".into(), num(m_stat), pct(1.0 - m_stat / m_lsc)]);
-    t.row(vec!["dynamic Alg C".into(), num(m_dyn), pct(1.0 - m_dyn / m_lsc)]);
+    t.row(vec![
+        "static Alg C".into(),
+        num(m_stat),
+        pct(1.0 - m_stat / m_lsc),
+    ]);
+    t.row(vec![
+        "dynamic Alg C".into(),
+        num(m_dyn),
+        pct(1.0 - m_dyn / m_lsc),
+    ]);
     println!("{}", t.render());
     println!(
         "dynamic Alg C strictly improved on static/LSC in {wins_dyn}/{} queries\n",
@@ -186,9 +196,21 @@ pub fn e8() -> Value {
     }
     let n = workloads.len() as f64;
     let mut t = Table::new(&["optimizer", "mean joint cost", "vs LSC"]);
-    t.row(vec!["LSC (mean M, mean sel)".into(), num(sums.0 / n), "-".into()]);
-    t.row(vec!["Alg C (dist M, mean sel)".into(), num(sums.1 / n), pct(1.0 - sums.1 / sums.0)]);
-    t.row(vec!["Alg D (dist M, dist sel)".into(), num(sums.2 / n), pct(1.0 - sums.2 / sums.0)]);
+    t.row(vec![
+        "LSC (mean M, mean sel)".into(),
+        num(sums.0 / n),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "Alg C (dist M, mean sel)".into(),
+        num(sums.1 / n),
+        pct(1.0 - sums.1 / sums.0),
+    ]);
+    t.row(vec![
+        "Alg D (dist M, dist sel)".into(),
+        num(sums.2 / n),
+        pct(1.0 - sums.2 / sums.0),
+    ]);
     println!("{}", t.render());
     println!(
         "Alg D was best-or-tied on {d_wins}/{} workloads under joint sampling\n",
@@ -221,8 +243,7 @@ pub fn e9() -> Value {
         for b in [1usize, 2, 3, 5, 10, 20, 50] {
             let belief = bucketize(&truth, b, strategy, &breakpoints);
             let r = optimize_lec_static(&model, &belief).unwrap();
-            let true_ec =
-                lec_cost::expected_plan_cost_static(&model, &r.plan, &truth);
+            let true_ec = lec_cost::expected_plan_cost_static(&model, &r.plan, &truth);
             let regret = true_ec / full.cost - 1.0;
             t.row(vec![
                 format!("{strategy:?}"),
@@ -240,7 +261,11 @@ pub fn e9() -> Value {
         }
     }
     println!("{}", t.render());
-    println!("full-resolution (b=126) LEC plan: {} EC {}\n", full.plan.compact(), num(full.cost));
+    println!(
+        "full-resolution (b=126) LEC plan: {} EC {}\n",
+        full.plan.compact(),
+        num(full.cost)
+    );
     json!({
         "experiment": "e9", "rows": rows_json, "full_ec": full.cost,
         "paper_claim": "coarse buckets trade plan quality for optimization effort; level-set buckets are efficient",
@@ -253,7 +278,12 @@ pub fn e10() -> Value {
     println!("E10: result-size distribution — exact product vs cube-root rebucketing\n");
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xE10);
     let mut t = Table::new(&[
-        "b per input", "exact support", "rebucketed", "mean err", "P(X>t) err", "sort EC err",
+        "b per input",
+        "exact support",
+        "rebucketed",
+        "mean err",
+        "P(X>t) err",
+        "sort EC err",
     ]);
     let mut rows_json = Vec::new();
     let m = presets::spread_family(500.0, 0.6, 6).unwrap();
@@ -327,7 +357,15 @@ pub fn e11() -> Value {
     let (ap, bp) = (a.n_pages() as f64, b.n_pages() as f64);
     println!("inputs: |A| = {ap} pages, |B| = {bp} pages\n");
     let mut t = Table::new(&[
-        "m", "sort(A) io", "model", "SM io", "model", "GH io", "model", "BNL io", "model",
+        "m",
+        "sort(A) io",
+        "model",
+        "SM io",
+        "model",
+        "GH io",
+        "model",
+        "BNL io",
+        "model",
     ]);
     let mut rows_json = Vec::new();
     for m in [4usize, 6, 8, 12, 24, 48, 96, 140] {
@@ -416,9 +454,7 @@ pub fn f1() -> Value {
     // Pr(|B_j ⋈ A_j|) from (|B_j|, |A_j|, σ).
     let mut ec_table = Table::new(&["join method", "EC from (M,|B_j|,|A_j|)"]);
     for method in JoinMethod::ALL {
-        let ec = lec_cost::expected::expected_join_cost(
-            method, &b_outer, &a_j, &memory, &mt,
-        );
+        let ec = lec_cost::expected::expected_join_cost(method, &b_outer, &a_j, &memory, &mt);
         ec_table.row(vec![method.name().into(), num(ec)]);
     }
     println!("{}", ec_table.render());

@@ -19,7 +19,11 @@ pub type Experiment = (&'static str, &'static str, fn() -> Value);
 /// Experiment registry.
 pub fn registry() -> Vec<Experiment> {
     vec![
-        ("e1", "Example 1.1 cost table and plan choices", exp_plans::e1 as fn() -> Value),
+        (
+            "e1",
+            "Example 1.1 cost table and plan choices",
+            exp_plans::e1 as fn() -> Value,
+        ),
         ("e2", "LEC advantage vs run-time variability", exp_plans::e2),
         ("e3", "Algorithm A/B/C plan quality ladder", exp_plans::e3),
         ("e4", "optimization overhead vs bucket count", exp_plans::e4),
@@ -29,13 +33,29 @@ pub fn registry() -> Vec<Experiment> {
         ("e8", "uncertain selectivities (Algorithm D)", exp_model::e8),
         ("e9", "bucket granularity and placement", exp_model::e9),
         ("e10", "result-size rebucketing accuracy", exp_model::e10),
-        ("e11", "measured operator I/O vs the formulas", exp_model::e11),
-        ("e12", "randomized LEC search (II/SA) vs Algorithm C", exp_ext::e12),
-        ("e13", "parametric plan caches and start-up regret", exp_ext::e13),
+        (
+            "e11",
+            "measured operator I/O vs the formulas",
+            exp_model::e11,
+        ),
+        (
+            "e12",
+            "randomized LEC search (II/SA) vs Algorithm C",
+            exp_ext::e12,
+        ),
+        (
+            "e13",
+            "parametric plan caches and start-up regret",
+            exp_ext::e13,
+        ),
         ("e14", "left-deep vs bushy LEC plans", exp_ext::e14),
         ("e15", "closed-loop statistics fitting", exp_ext::e15),
         ("e16", "LEC vs reactive re-optimization", exp_ext::e16),
-        ("f1", "Figure 1 per-node distribution bookkeeping", exp_model::f1),
+        (
+            "f1",
+            "Figure 1 per-node distribution bookkeeping",
+            exp_model::f1,
+        ),
     ]
 }
 

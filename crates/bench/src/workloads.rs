@@ -40,38 +40,11 @@ pub fn batch(seed: u64, count: usize, n_tables: usize, sel_buckets: usize) -> Ve
 
 /// A fixed n-table chain over round-number table sizes: the scaling
 /// fixture for optimization-time experiments (identical shape at every n).
+/// Delegates to [`lec_core::fixtures::scaling_chain`] so the experiment
+/// harness, the benchmarks and the core cache tests all measure the same
+/// workload.
 pub fn scaling_chain(n: usize) -> Workload {
-    use lec_catalog::{ColumnStats, TableStats};
-    use lec_plan::{ColumnRef, JoinPredicate, QueryTable};
-    let mut catalog = Catalog::new();
-    let sizes: Vec<u64> = (0..n).map(|i| 10_000 * (1 + (i as u64 % 5))).collect();
-    let ids: Vec<_> = sizes
-        .iter()
-        .enumerate()
-        .map(|(i, &pages)| {
-            catalog.add_table(
-                format!("S{i}"),
-                TableStats::new(pages, pages * 50, vec![
-                    ColumnStats::plain("a", 1000),
-                    ColumnStats::plain("b", 1000),
-                ]),
-            )
-        })
-        .collect();
-    let query = Query {
-        tables: ids.into_iter().map(QueryTable::bare).collect(),
-        joins: (0..n - 1)
-            .map(|i| {
-                let target = (sizes[i].min(sizes[i + 1]) as f64) * 0.3;
-                JoinPredicate::exact(
-                    ColumnRef::new(i, 1),
-                    ColumnRef::new(i + 1, 0),
-                    target / (sizes[i] as f64 * sizes[i + 1] as f64),
-                )
-            })
-            .collect(),
-        required_order: Some(ColumnRef::new(n - 1, 1)),
-    };
+    let (catalog, query) = lec_core::fixtures::scaling_chain(n);
     Workload { catalog, query }
 }
 

@@ -39,7 +39,11 @@ impl Catalog {
     /// Register a table; returns its id.
     pub fn add_table(&mut self, name: impl Into<String>, stats: TableStats) -> TableId {
         let id = TableId(self.tables.len() as u32);
-        self.tables.push(Table { id, name: name.into(), stats });
+        self.tables.push(Table {
+            id,
+            name: name.into(),
+            stats,
+        });
         id
     }
 

@@ -31,12 +31,20 @@ pub struct ColumnStats {
 impl ColumnStats {
     /// Column with no index.
     pub fn plain(name: impl Into<String>, distinct: u64) -> Self {
-        ColumnStats { name: name.into(), distinct, index: IndexKind::None }
+        ColumnStats {
+            name: name.into(),
+            distinct,
+            index: IndexKind::None,
+        }
     }
 
     /// Column with an index of the given kind.
     pub fn indexed(name: impl Into<String>, distinct: u64, index: IndexKind) -> Self {
-        ColumnStats { name: name.into(), distinct, index }
+        ColumnStats {
+            name: name.into(),
+            distinct,
+            index,
+        }
     }
 }
 
@@ -64,7 +72,12 @@ impl TableStats {
     pub fn new(pages: u64, rows: u64, columns: Vec<ColumnStats>) -> Self {
         assert!(pages > 0, "tables must occupy at least one page");
         assert!(!columns.is_empty(), "tables must have at least one column");
-        TableStats { pages, rows, columns, page_dist: None }
+        TableStats {
+            pages,
+            rows,
+            columns,
+            page_dist: None,
+        }
     }
 
     /// Rows per page (≥ 1 by construction for non-empty tables).
@@ -82,7 +95,10 @@ impl TableStats {
 
     /// Index kind on column `col`, or `IndexKind::None` if out of range.
     pub fn index_on(&self, col: usize) -> IndexKind {
-        self.columns.get(col).map(|c| c.index).unwrap_or(IndexKind::None)
+        self.columns
+            .get(col)
+            .map(|c| c.index)
+            .unwrap_or(IndexKind::None)
     }
 }
 

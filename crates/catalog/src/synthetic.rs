@@ -52,14 +52,20 @@ pub struct CatalogGenerator {
 impl CatalogGenerator {
     /// Generator with the default profile.
     pub fn new(seed: u64) -> Self {
-        CatalogGenerator { rng: StdRng::seed_from_u64(seed), profile: CatalogProfile::default() }
+        CatalogGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            profile: CatalogProfile::default(),
+        }
     }
 
     /// Generator with a custom profile.
     pub fn with_profile(seed: u64, profile: CatalogProfile) -> Self {
         assert!(profile.min_pages >= 1 && profile.min_pages <= profile.max_pages);
         assert!(profile.columns.0 >= 1 && profile.columns.0 <= profile.columns.1);
-        CatalogGenerator { rng: StdRng::seed_from_u64(seed), profile }
+        CatalogGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            profile,
+        }
     }
 
     /// Generate a catalog of `n` tables named `R0..R{n-1}`.
@@ -79,7 +85,9 @@ impl CatalogGenerator {
             .rng
             .gen_range(self.profile.rows_per_page.0..=self.profile.rows_per_page.1);
         let rows = pages * rpp;
-        let ncols = self.rng.gen_range(self.profile.columns.0..=self.profile.columns.1);
+        let ncols = self
+            .rng
+            .gen_range(self.profile.columns.0..=self.profile.columns.1);
         let columns = (0..ncols)
             .map(|c| {
                 let distinct = self.rng.gen_range(1..=rows.max(1));
@@ -176,7 +184,11 @@ mod tests {
 
     #[test]
     fn clustered_index_only_on_first_column() {
-        let profile = CatalogProfile { p_clustered: 1.0, p_unclustered: 0.0, ..Default::default() };
+        let profile = CatalogProfile {
+            p_clustered: 1.0,
+            p_unclustered: 0.0,
+            ..Default::default()
+        };
         let cat = CatalogGenerator::with_profile(3, profile).generate(20);
         for t in cat.tables() {
             for (i, c) in t.stats.columns.iter().enumerate() {

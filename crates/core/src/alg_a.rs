@@ -4,10 +4,14 @@
 //! the assumption that m_i is the actual amount of memory available.  This
 //! gives us b candidate plans.  We then compute the expected cost of each
 //! candidate, and choose the one with least expected cost."
+//!
+//! Policy over the engine: one [`crate::search::KeepBestPolicy`] +
+//! point-coster run per memory representative (via [`optimize_lsc`]),
+//! then EC ranking of the candidates.
 
-use crate::dp::DpStats;
 use crate::error::OptError;
 use crate::lsc::optimize_lsc;
+use crate::search::{SearchExtras, SearchOutcome, SearchStats};
 use lec_cost::{expected_plan_cost_static, CostModel};
 use lec_plan::PlanNode;
 use lec_prob::Distribution;
@@ -25,65 +29,53 @@ pub struct Candidate {
     pub expected_cost: f64,
 }
 
-/// Result of Algorithm A.
-#[derive(Debug, Clone)]
-pub struct AlgAResult {
-    /// The winning plan.
-    pub plan: PlanNode,
-    /// Its expected cost.
-    pub expected_cost: f64,
-    /// All candidates, in memory-representative order (for reporting).
-    pub candidates: Vec<Candidate>,
-    /// Combined search statistics over the b optimizer invocations.
-    pub stats: DpStats,
-}
-
 /// Run Algorithm A.
 ///
 /// The candidate memory values are the distribution's bucket
 /// representatives; per the paper's "without loss of generality" remark,
 /// the mean is added when not already present, which guarantees
-/// `EC(result) ≤ EC(LSC-at-mean plan)`.
+/// `EC(result) ≤ EC(LSC-at-mean plan)`.  The outcome's extras carry the
+/// per-representative [`Candidate`] list.
 pub fn optimize_alg_a(
     model: &CostModel<'_>,
     memory: &Distribution,
-) -> Result<AlgAResult, OptError> {
+) -> Result<SearchOutcome, OptError> {
     let mut reps: Vec<f64> = memory.support().to_vec();
     let mean = memory.mean();
     if !reps.iter().any(|&m| (m - mean).abs() < 1e-9) {
         reps.push(mean);
     }
 
-    let mut stats = DpStats::default();
+    let mut stats = SearchStats::default();
     let mut candidates = Vec::with_capacity(reps.len());
-    let mut seen_plans: Vec<PlanNode> = Vec::new();
     for m in reps {
         let r = optimize_lsc(model, m)?;
-        stats.nodes += r.stats.nodes;
-        stats.candidates += r.stats.candidates;
-        stats.evals += r.stats.evals;
-        let is_dup = seen_plans.contains(&r.plan);
-        if !is_dup {
-            seen_plans.push(r.plan.clone());
-        }
-        let expected_cost = expected_plan_cost_static(model, &r.plan, memory);
+        stats.absorb(&r.stats);
         candidates.push(Candidate {
             memory: m,
             plan: r.plan,
             point_cost: r.cost,
-            expected_cost,
+            expected_cost: 0.0, // filled below, under the eval counter
         });
     }
+
+    // EC-rank the candidates; the replay evaluations count toward the
+    // uniform stats like every other cost-formula call.
+    model.reset_evals();
+    for c in &mut candidates {
+        c.expected_cost = expected_plan_cost_static(model, &c.plan, memory);
+    }
+    stats.evals += model.evals();
 
     let best = candidates
         .iter()
         .min_by(|a, b| a.expected_cost.total_cmp(&b.expected_cost))
         .ok_or(OptError::NoPlanFound)?;
-    Ok(AlgAResult {
+    Ok(SearchOutcome {
         plan: best.plan.clone(),
-        expected_cost: best.expected_cost,
-        candidates: candidates.clone(),
+        cost: best.expected_cost,
         stats,
+        extras: SearchExtras::Candidates(candidates.clone()),
     })
 }
 
@@ -104,8 +96,8 @@ mod tests {
         let r = optimize_alg_a(&model, &memory).unwrap();
         assert!(crate::fixtures::is_plan2(&r.plan), "{}", r.plan.compact());
         // Candidates: 700, 2000, and the mean 1740.
-        assert_eq!(r.candidates.len(), 3);
-        assert!((r.expected_cost - 4_209_000.0).abs() < 1.0);
+        assert_eq!(r.candidates().unwrap().len(), 3);
+        assert!((r.cost - 4_209_000.0).abs() < 1.0);
     }
 
     #[test]
@@ -113,13 +105,12 @@ mod tests {
         let (cat, q) = three_chain();
         let model = CostModel::new(&cat, &q);
         for spread in [0.0, 0.4, 0.9] {
-            let memory =
-                lec_prob::presets::spread_family(300.0, spread, 6).unwrap();
+            let memory = lec_prob::presets::spread_family(300.0, spread, 6).unwrap();
             let a = optimize_alg_a(&model, &memory).unwrap();
             for est in [PointEstimate::Mean, PointEstimate::Mode] {
                 let lsc = optimize_lsc_from_dist(&model, &memory, est).unwrap();
                 let lsc_ec = expected_plan_cost_static(&model, &lsc.plan, &memory);
-                assert!(a.expected_cost <= lsc_ec + 1e-6);
+                assert!(a.cost <= lsc_ec + 1e-6);
             }
         }
     }
@@ -131,15 +122,14 @@ mod tests {
         let model = CostModel::new(&cat, &q);
         for spread in [0.2, 0.5, 0.8] {
             for n in [2, 4, 8] {
-                let memory =
-                    lec_prob::presets::spread_family(350.0, spread, n).unwrap();
+                let memory = lec_prob::presets::spread_family(350.0, spread, n).unwrap();
                 let a = optimize_alg_a(&model, &memory).unwrap();
                 let c = optimize_lec_static(&model, &memory).unwrap();
                 assert!(
-                    c.cost <= a.expected_cost + 1e-6,
+                    c.cost <= a.cost + 1e-6,
                     "spread {spread} n {n}: C {} vs A {}",
                     c.cost,
-                    a.expected_cost
+                    a.cost
                 );
             }
         }
@@ -151,7 +141,7 @@ mod tests {
         let model = CostModel::new(&cat, &q);
         let memory = example_1_1_memory();
         let r = optimize_alg_a(&model, &memory).unwrap();
-        for c in &r.candidates {
+        for c in r.candidates().unwrap() {
             let replay = expected_plan_cost_static(&model, &c.plan, &memory);
             assert!((c.expected_cost - replay).abs() < 1e-9);
             let point = lec_cost::plan_cost_at(&model, &c.plan, c.memory);
@@ -166,7 +156,7 @@ mod tests {
         let memory = Distribution::point(800.0);
         let a = optimize_alg_a(&model, &memory).unwrap();
         let lsc = optimize_lsc(&model, 800.0).unwrap();
-        assert!((a.expected_cost - lsc.cost).abs() < 1e-9);
-        assert_eq!(a.candidates.len(), 1);
+        assert!((a.cost - lsc.cost).abs() < 1e-9);
+        assert_eq!(a.candidates().unwrap().len(), 1);
     }
 }

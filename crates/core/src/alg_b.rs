@@ -1,215 +1,24 @@
 //! Algorithm B: generating more candidates with top-c lists (§3.3).
 //!
-//! "Suppose that rather than generating the best plan for each memory size
-//! m_i, we generate the top c plans ... combining them using each possible
-//! join method gives us the top c plans for computing the join over S if
-//! we join A_j last."  Proposition 3.1 bounds the combinations that must be
-//! examined per join method by `c + c·log c`: if the two input lists are
-//! sorted by cost, combination `(s_i, a_k)` can only be in the top `c` when
-//! `i·k ≤ c`, because `i·k − 1` combinations are at least as cheap.
-//!
-//! The frontier argument is exact here because all top-c variants of an
-//! input share the same physical properties (sizes), so the join-method
-//! cost term is constant within a group and ranking reduces to the sum of
-//! input costs — precisely the paper's observation.
+//! Policy over the engine: one [`TopCPolicy`] run per memory
+//! representative (the Proposition 3.1 frontier lives in the policy),
+//! then EC ranking of the union of root candidates.
 
-use crate::dp::{access_entries, join_output_order, DpStats, PointCoster, PhaseCoster};
 use crate::error::OptError;
+use crate::search::{run_search, PlanShape, SearchExtras, SearchOutcome, SearchStats, TopCPolicy};
 use lec_cost::{expected_plan_cost_static, CostModel};
-use lec_plan::{JoinMethod, OrderProperty, PlanNode, TableSet};
+use lec_plan::PlanNode;
 use lec_prob::Distribution;
-use std::collections::{BTreeMap, HashMap};
-
-/// One plan kept in a top-c list.
-#[derive(Debug, Clone)]
-struct TopEntry {
-    plan: PlanNode,
-    cost: f64,
-    pages: f64,
-}
-
-/// Counters proving Proposition 3.1 empirically.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct FrontierStats {
-    /// Combinations actually examined across all (node, j, method) groups.
-    pub combinations_examined: u64,
-    /// Sum of the paper's `c + c·log c` bound over the same groups.
-    pub bound_total: u64,
-    /// Number of combination groups.
-    pub groups: u64,
-}
-
-/// Result of Algorithm B.
-#[derive(Debug, Clone)]
-pub struct AlgBResult {
-    /// The winning plan (least expected cost among all candidates).
-    pub plan: PlanNode,
-    /// Its expected cost.
-    pub expected_cost: f64,
-    /// Number of distinct candidate plans that were EC-ranked.
-    pub n_candidates: usize,
-    /// Frontier counters (Prop 3.1).
-    pub frontier: FrontierStats,
-    /// Combined DP statistics over the b optimizer invocations.
-    pub stats: DpStats,
-}
-
-/// Top-c System R DP at one fixed memory value; returns the root
-/// candidates (order enforced) sorted by point cost.
-fn top_c_dp(
-    model: &CostModel<'_>,
-    memory: f64,
-    c: usize,
-    frontier: &mut FrontierStats,
-) -> Result<(Vec<TopEntry>, DpStats), OptError> {
-    let query = model.query();
-    let n = query.n_tables();
-    if n == 0 {
-        return Err(OptError::EmptyQuery);
-    }
-    model.reset_evals();
-    let coster = PointCoster { memory };
-    let mut stats = DpStats::default();
-    // Per subset: per order property, a ≤ c list sorted by cost.  The
-    // inner map is a BTreeMap so iteration order (and thus tie-breaking
-    // among equal-cost candidates) is deterministic across runs.
-    let mut table: HashMap<TableSet, BTreeMap<OrderProperty, Vec<TopEntry>>> =
-        HashMap::new();
-
-    let push = |list: &mut Vec<TopEntry>, e: TopEntry, c: usize| {
-        let at = list
-            .binary_search_by(|x| x.cost.total_cmp(&e.cost))
-            .unwrap_or_else(|i| i);
-        list.insert(at, e);
-        list.truncate(c);
-    };
-
-    for idx in 0..n {
-        let mut per_order: BTreeMap<OrderProperty, Vec<TopEntry>> = BTreeMap::new();
-        for e in access_entries(model, idx) {
-            push(
-                per_order.entry(e.order).or_default(),
-                TopEntry { plan: e.plan, cost: e.cost, pages: e.pages },
-                c,
-            );
-        }
-        stats.nodes += 1;
-        table.insert(TableSet::singleton(idx), per_order);
-    }
-
-    let bound = (c as f64 + c as f64 * (c as f64).ln()).ceil() as u64;
-
-    for k in 2..=n {
-        for set in TableSet::subsets_of_size(n, k) {
-            let mut per_order: BTreeMap<OrderProperty, Vec<TopEntry>> = BTreeMap::new();
-            for j in set.iter() {
-                let sj = set.without(j);
-                if !query.is_connected_to(sj, j) {
-                    continue;
-                }
-                let Some(outer_groups) = table.get(&sj) else { continue };
-                let inner_groups = table
-                    .get(&TableSet::singleton(j))
-                    .expect("depth-1 entries exist");
-                let sel = model.join_selectivity(sj, j);
-                let phase = k - 2;
-                // Flatten inner entries (access paths) into one sorted list;
-                // their orders are folded into the join's output order rule,
-                // which for inner sides never depends on the inner order.
-                let mut inner_list: Vec<&TopEntry> =
-                    inner_groups.values().flatten().collect();
-                inner_list.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-
-                for (outer_order, outer_list) in outer_groups {
-                    for method in JoinMethod::ALL {
-                        frontier.groups += 1;
-                        frontier.bound_total += bound;
-                        // Cost term constant within the group: evaluate once.
-                        let outer_pages = outer_list
-                            .first()
-                            .map(|e| e.pages)
-                            .unwrap_or(0.0);
-                        let inner_pages = inner_list
-                            .first()
-                            .map(|e| e.pages)
-                            .unwrap_or(0.0);
-                        let join_cost = coster.join_cost(
-                            model,
-                            phase,
-                            method,
-                            outer_pages,
-                            inner_pages,
-                        );
-                        let order =
-                            join_output_order(model, sj, *outer_order, j, method);
-                        let pages =
-                            model.join_output_pages(outer_pages, inner_pages, sel);
-                        // Prop 3.1 frontier: only (i, k) with i·k ≤ c.
-                        for (ki, inner) in inner_list.iter().enumerate() {
-                            let i_max = c / (ki + 1);
-                            if i_max == 0 {
-                                break;
-                            }
-                            for outer in outer_list.iter().take(i_max) {
-                                frontier.combinations_examined += 1;
-                                stats.candidates += 1;
-                                let cost = outer.cost + inner.cost + join_cost;
-                                push(
-                                    per_order.entry(order).or_default(),
-                                    TopEntry {
-                                        plan: PlanNode::join(
-                                            method,
-                                            outer.plan.clone(),
-                                            inner.plan.clone(),
-                                        ),
-                                        cost,
-                                        pages,
-                                    },
-                                    c,
-                                );
-                            }
-                        }
-                    }
-                }
-            }
-            if !per_order.is_empty() {
-                stats.nodes += 1;
-                table.insert(set, per_order);
-            }
-        }
-    }
-
-    let root = table
-        .remove(&TableSet::full(n))
-        .ok_or(OptError::NoPlanFound)?;
-    let eq = model.equivalences();
-    let sort_phase = n - 1;
-    let mut out: Vec<TopEntry> = Vec::new();
-    for (order, list) in root {
-        for e in list {
-            let (plan, cost) = match query.required_order {
-                Some(want) if !eq.satisfies(order, want) => {
-                    let sc = coster.sort_cost(model, sort_phase, e.pages);
-                    (PlanNode::sort(e.plan, want), e.cost + sc)
-                }
-                _ => (e.plan, e.cost),
-            };
-            out.push(TopEntry { plan, cost, pages: e.pages });
-        }
-    }
-    out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
-    out.truncate(c);
-    stats.evals = model.evals();
-    Ok((out, stats))
-}
 
 /// Run Algorithm B: top-c candidates per memory representative, then pick
-/// the candidate of least expected cost.
+/// the candidate of least expected cost.  The outcome's extras carry the
+/// Proposition 3.1 [`crate::search::FrontierStats`] and the number of
+/// distinct candidates ranked.
 pub fn optimize_alg_b(
     model: &CostModel<'_>,
     memory: &Distribution,
     c: usize,
-) -> Result<AlgBResult, OptError> {
+) -> Result<SearchOutcome, OptError> {
     if c == 0 {
         return Err(OptError::BadParameter("Algorithm B requires c >= 1"));
     }
@@ -219,21 +28,25 @@ pub fn optimize_alg_b(
         reps.push(mean);
     }
 
-    let mut frontier = FrontierStats::default();
-    let mut stats = DpStats::default();
+    let mut frontier = crate::search::FrontierStats::default();
+    let mut stats = SearchStats::default();
     let mut candidates: Vec<PlanNode> = Vec::new();
     for m in reps {
-        let (top, s) = top_c_dp(model, m, c, &mut frontier)?;
-        stats.nodes += s.nodes;
-        stats.candidates += s.candidates;
-        stats.evals += s.evals;
-        for e in top {
+        let mut policy = TopCPolicy::new(m, c);
+        let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+        stats.absorb(&run.stats);
+        frontier.combinations_examined += policy.frontier.combinations_examined;
+        frontier.bound_total += policy.frontier.bound_total;
+        frontier.groups += policy.frontier.groups;
+        for e in run.roots {
             if !candidates.contains(&e.plan) {
                 candidates.push(e.plan);
             }
         }
     }
 
+    // EC-rank the union of candidates, counting the replay evaluations.
+    model.reset_evals();
     let mut best: Option<(PlanNode, f64)> = None;
     for plan in &candidates {
         let ec = expected_plan_cost_static(model, plan, memory);
@@ -241,13 +54,16 @@ pub fn optimize_alg_b(
             best = Some((plan.clone(), ec));
         }
     }
+    stats.evals += model.evals();
     let (plan, expected_cost) = best.ok_or(OptError::NoPlanFound)?;
-    Ok(AlgBResult {
+    Ok(SearchOutcome {
         plan,
-        expected_cost,
-        n_candidates: candidates.len(),
-        frontier,
+        cost: expected_cost,
         stats,
+        extras: SearchExtras::Frontier {
+            frontier,
+            n_candidates: candidates.len(),
+        },
     })
 }
 
@@ -267,7 +83,7 @@ mod tests {
         let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
         let a = optimize_alg_a(&model, &memory).unwrap();
         let b = optimize_alg_b(&model, &memory, 1).unwrap();
-        assert!((a.expected_cost - b.expected_cost).abs() < 1e-9);
+        assert!((a.cost - b.cost).abs() < 1e-9);
     }
 
     #[test]
@@ -279,10 +95,10 @@ mod tests {
         for c in [1, 2, 4, 8] {
             let b = optimize_alg_b(&model, &memory, c).unwrap();
             assert!(
-                b.expected_cost <= last + 1e-9,
+                b.cost <= last + 1e-9,
                 "candidate superset cannot hurt (c={c})"
             );
-            last = b.expected_cost;
+            last = b.cost;
         }
     }
 
@@ -291,13 +107,12 @@ mod tests {
         let (cat, q) = three_chain();
         let model = CostModel::new(&cat, &q);
         for spread in [0.3, 0.6, 0.9] {
-            let memory =
-                lec_prob::presets::spread_family(350.0, spread, 6).unwrap();
+            let memory = lec_prob::presets::spread_family(350.0, spread, 6).unwrap();
             let a = optimize_alg_a(&model, &memory).unwrap();
             let b = optimize_alg_b(&model, &memory, 3).unwrap();
             let c = optimize_lec_static(&model, &memory).unwrap();
-            assert!(b.expected_cost <= a.expected_cost + 1e-9);
-            assert!(c.cost <= b.expected_cost + 1e-9);
+            assert!(b.cost <= a.cost + 1e-9);
+            assert!(c.cost <= b.cost + 1e-9);
         }
     }
 
@@ -310,13 +125,14 @@ mod tests {
             let b = optimize_alg_b(&model, &memory, c).unwrap();
             // Per group, examined ≤ c + c·log c (the bound_total is the
             // per-group bound times the number of groups).
+            let f = b.frontier().unwrap();
             assert!(
-                b.frontier.combinations_examined <= b.frontier.bound_total,
+                f.combinations_examined <= f.bound_total,
                 "c={c}: {} > {}",
-                b.frontier.combinations_examined,
-                b.frontier.bound_total
+                f.combinations_examined,
+                f.bound_total
             );
-            assert!(b.frontier.groups > 0);
+            assert!(f.groups > 0);
         }
     }
 
@@ -327,7 +143,7 @@ mod tests {
         let memory = example_1_1_memory();
         let b = optimize_alg_b(&model, &memory, 2).unwrap();
         assert!(crate::fixtures::is_plan2(&b.plan), "{}", b.plan.compact());
-        assert!((b.expected_cost - 4_209_000.0).abs() < 1.0);
+        assert!((b.cost - 4_209_000.0).abs() < 1.0);
     }
 
     #[test]

@@ -6,22 +6,34 @@
 //! optimizer that can directly compute the LEC plan, merging the candidate
 //! generation and costing phases. ... We retain the plan for S with the
 //! least expected total cost, discarding all the other candidates."
+//!
+//! Policy over the engine: [`KeepBestPolicy`] with a
+//! [`StaticExpectationCoster`] (or [`DynamicExpectationCoster`] for §3.5),
+//! over the left-deep shape.
 
-use crate::dp::{run_dp, DpResult, DynamicExpectationCoster, StaticExpectationCoster};
 use crate::error::OptError;
+use crate::search::{
+    run_search, DynamicExpectationCoster, KeepBestPolicy, PlanShape, SearchOutcome,
+    StaticExpectationCoster,
+};
 use lec_cost::CostModel;
 use lec_prob::{Distribution, MarkovChain};
 
 /// Compute the LEC left-deep plan under a static memory distribution.
 ///
-/// If the distribution has `b` buckets, every join candidate is costed with
-/// `b` evaluations of the cost formula — the paper's "b times the cost of
-/// the standard computation using a single memory size".
+/// If the distribution has `b` buckets, every *distinct* join candidate is
+/// costed with `b` evaluations of the cost formula — the paper's "b times
+/// the cost of the standard computation using a single memory size"; the
+/// shared evaluation cache answers repeats across entry pairs and dag
+/// levels without re-evaluating.
 pub fn optimize_lec_static(
     model: &CostModel<'_>,
     memory: &Distribution,
-) -> Result<DpResult, OptError> {
-    run_dp(model, &StaticExpectationCoster { memory: memory.clone() })
+) -> Result<SearchOutcome, OptError> {
+    let mut policy = KeepBestPolicy::new(StaticExpectationCoster::new(memory));
+    let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+    let (best, stats) = run.into_best();
+    Ok(SearchOutcome::new(best.plan, best.cost, stats))
 }
 
 /// Compute the LEC left-deep plan when memory changes between phases
@@ -35,11 +47,14 @@ pub fn optimize_lec_dynamic(
     model: &CostModel<'_>,
     initial: &Distribution,
     chain: &MarkovChain,
-) -> Result<DpResult, OptError> {
+) -> Result<SearchOutcome, OptError> {
     let n = model.query().n_tables();
     // n-1 join phases plus a possible root sort phase.
     let coster = DynamicExpectationCoster::new(initial, chain, n.max(1))?;
-    run_dp(model, &coster)
+    let mut policy = KeepBestPolicy::new(coster);
+    let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+    let (best, stats) = run.into_best();
+    Ok(SearchOutcome::new(best.plan, best.cost, stats))
 }
 
 #[cfg(test)]
@@ -54,7 +69,11 @@ mod tests {
         let model = CostModel::new(&cat, &q);
         let memory = example_1_1_memory();
         let r = optimize_lec_static(&model, &memory).unwrap();
-        assert!(crate::fixtures::is_plan2(&r.plan), "the paper's Plan 2, got {}", r.plan.compact());
+        assert!(
+            crate::fixtures::is_plan2(&r.plan),
+            "the paper's Plan 2, got {}",
+            r.plan.compact()
+        );
         // EC = scans + hash passes + sort: 1.4e6 + 2.8e6 + 9000.
         assert!((r.cost - 4_209_000.0).abs() < 1.0);
     }
@@ -65,12 +84,10 @@ mod tests {
         let (cat, q) = three_chain();
         let model = CostModel::new(&cat, &q);
         for spread in [0.0, 0.3, 0.8] {
-            let memory =
-                lec_prob::presets::spread_family(400.0, spread, 5).unwrap();
+            let memory = lec_prob::presets::spread_family(400.0, spread, 5).unwrap();
             let lec = optimize_lec_static(&model, &memory).unwrap();
             let lsc = optimize_lsc(&model, memory.mean()).unwrap();
-            let lsc_ec =
-                lec_cost::expected_plan_cost_static(&model, &lsc.plan, &memory);
+            let lsc_ec = lec_cost::expected_plan_cost_static(&model, &lsc.plan, &memory);
             assert!(
                 lec.cost <= lsc_ec + 1e-6,
                 "spread {spread}: LEC {} vs LSC-EC {lsc_ec}",
@@ -87,8 +104,7 @@ mod tests {
         let (cat, q) = three_chain();
         let model = CostModel::new(&cat, &q);
         for m in [40.0, 300.0, 2500.0, 60_000.0] {
-            let lec =
-                optimize_lec_static(&model, &Distribution::point(m)).unwrap();
+            let lec = optimize_lec_static(&model, &Distribution::point(m)).unwrap();
             let lsc = optimize_lsc(&model, m).unwrap();
             assert!(
                 (lec.cost - lsc.cost).abs() < 1e-9,
@@ -107,6 +123,20 @@ mod tests {
         let r = optimize_lec_static(&model, &memory).unwrap();
         let replay = lec_cost::expected_plan_cost_static(&model, &r.plan, &memory);
         assert!((r.cost - replay).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cache_does_not_change_the_lec_answer() {
+        let (cat, q) = crate::fixtures::scaling_chain(5);
+        let model = CostModel::new(&cat, &q);
+        let memory = lec_prob::presets::spread_family(500.0, 0.7, 6).unwrap();
+        let cached = optimize_lec_static(&model, &memory).unwrap();
+        model.set_eval_cache(false);
+        let raw = optimize_lec_static(&model, &memory).unwrap();
+        model.set_eval_cache(true);
+        assert_eq!(cached.plan, raw.plan);
+        assert_eq!(cached.cost, raw.cost);
+        assert!(cached.stats.evals < raw.stats.evals);
     }
 
     #[test]
@@ -130,8 +160,7 @@ mod tests {
         let initial = Distribution::from_pairs([(400.0, 1.0)]).unwrap();
         let r = optimize_lec_dynamic(&model, &initial, &chain).unwrap();
         let replay =
-            lec_cost::expected_plan_cost_dynamic(&model, &r.plan, &initial, &chain)
-                .unwrap();
+            lec_cost::expected_plan_cost_dynamic(&model, &r.plan, &initial, &chain).unwrap();
         assert!((r.cost - replay).abs() < 1e-6, "{} vs {replay}", r.cost);
     }
 
@@ -143,21 +172,29 @@ mod tests {
         let model = CostModel::new(&cat, &q);
         // With 2 tables there is 1 join phase + 1 sort phase; the sort
         // phase sees the post-collapse distribution.
-        let chain = MarkovChain::new(
-            vec![10.0, 2000.0],
-            vec![vec![1.0, 0.0], vec![1.0, 0.0]],
-        )
-        .unwrap();
+        let chain =
+            MarkovChain::new(vec![10.0, 2000.0], vec![vec![1.0, 0.0], vec![1.0, 0.0]]).unwrap();
         let initial = Distribution::point(2000.0);
         let dynm = optimize_lec_dynamic(&model, &initial, &chain).unwrap();
         let stat = optimize_lec_static(&model, &initial).unwrap();
         // Statically, 2000 pages favours the bare SM plan (Plan 1).
-        assert!(crate::fixtures::is_plan1(&stat.plan), "{}", stat.plan.compact());
+        assert!(
+            crate::fixtures::is_plan1(&stat.plan),
+            "{}",
+            stat.plan.compact()
+        );
         // Dynamically the sort (if any) runs at 10 pages: ∛3000≈14.4 > 10
         // → 7·3000 = 21000 extra for the hash plan, SM still wins; but the
         // *costs* must reflect the drifted phases, so dynamic == static
         // here only in plan, not in general cost for multi-phase plans.
-        assert!(crate::fixtures::is_plan1(&dynm.plan), "{}", dynm.plan.compact());
-        assert!((dynm.cost - stat.cost).abs() < 1e-9, "single join phase at 2000");
+        assert!(
+            crate::fixtures::is_plan1(&dynm.plan),
+            "{}",
+            dynm.plan.compact()
+        );
+        assert!(
+            (dynm.cost - stat.cost).abs() < 1e-9,
+            "single join phase at 2000"
+        );
     }
 }

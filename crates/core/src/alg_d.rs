@@ -1,251 +1,41 @@
 //! Algorithm D: LEC optimization with multiple uncertain parameters
 //! (§3.6, Figure 1).
 //!
-//! Every DP node carries exactly the four distributions of Figure 1:
-//! `Pr(M)` (global), `Pr(|B_j|)` (the node's composite input size),
-//! `Pr(|A_j|)` (the joined table's size after selection) and `Pr(σ)` (the
-//! connecting predicates' selectivity).  Expected join cost uses the
-//! linear-time algorithms of §3.6.1/§3.6.2 where the formula is separable,
-//! and the generic triple sum otherwise; the result-size distribution is
-//! the independent product `|B_j|·|A_j|·σ` (§3.6: "the probability that the
-//! join has size abσ"), kept small by the §3.6.3 rebucketing — either
-//! rebucket-after-product, or the paper's ∛b-inputs scheme.
+//! Policy over the engine: [`MultiParamPolicy`] — the Figure 1 per-node
+//! distribution bookkeeping and §3.6.3 rebucketing live there; this module
+//! is the thin entry point.
 
-use crate::dp::{insert_entry, Rankable};
 use crate::error::OptError;
-use lec_cost::expected::{expected_join_cost, expected_sort_cost};
-use lec_cost::{AccessPath, CostModel};
-use lec_plan::{JoinMethod, OrderProperty, PlanNode, TableSet};
-use lec_prob::{Distribution, PrefixTables, Rebucket};
-use std::collections::HashMap;
+pub use crate::search::AlgDConfig;
+use crate::search::{run_search, MultiParamPolicy, PlanShape, SearchExtras, SearchOutcome};
+use lec_cost::CostModel;
+use lec_prob::Distribution;
 
-/// Configuration of Algorithm D.
-#[derive(Debug, Clone)]
-pub struct AlgDConfig {
-    /// Maximum buckets kept for any node's size distribution (the paper's
-    /// uniform `b`).
-    pub max_buckets: usize,
-    /// Rebucketing strategy.
-    pub rebucket: Rebucket,
-    /// When true, rebucket *inputs* of the size product to `∛b` buckets so
-    /// the product itself lands near `b` (§3.6.3's scheme); when false,
-    /// form the exact product and rebucket the result to `b`.
-    pub cube_root_inputs: bool,
-}
-
-impl Default for AlgDConfig {
-    fn default() -> Self {
-        AlgDConfig {
-            max_buckets: 16,
-            rebucket: Rebucket::EqualDepth,
-            cube_root_inputs: false,
-        }
-    }
-}
-
-/// Search statistics for Algorithm D.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct AlgDStats {
-    /// DAG nodes populated.
-    pub nodes: usize,
-    /// Join candidates generated.
-    pub candidates: u64,
-    /// Largest size-distribution support seen before rebucketing.
-    pub max_product_support: usize,
-}
-
-/// Result of Algorithm D.
-#[derive(Debug, Clone)]
-pub struct AlgDResult {
-    /// The winning plan.
-    pub plan: PlanNode,
-    /// Its expected cost over memory, sizes and selectivities.
-    pub expected_cost: f64,
-    /// Distribution of the final result size in pages.
-    pub result_size: Distribution,
-    /// Statistics.
-    pub stats: AlgDStats,
-}
-
-#[derive(Debug, Clone)]
-struct DEntry {
-    plan: PlanNode,
-    cost: f64,
-    pages: Distribution,
-    order: OrderProperty,
-}
-
-impl Rankable for DEntry {
-    fn rank_cost(&self) -> f64 {
-        self.cost
-    }
-    fn rank_order(&self) -> OrderProperty {
-        self.order
-    }
-}
-
-fn rebucket_to(d: &Distribution, n: usize, strategy: Rebucket) -> Distribution {
-    d.rebucket(n.max(1), strategy)
-        .expect("rebucket with n >= 1 cannot fail")
-}
-
-/// Run Algorithm D.
+/// Run Algorithm D.  The outcome's extras carry the winning plan's
+/// result-size distribution and the largest pre-rebucketing product
+/// support.
 pub fn optimize_alg_d(
     model: &CostModel<'_>,
     memory: &Distribution,
     config: &AlgDConfig,
-) -> Result<AlgDResult, OptError> {
-    let query = model.query();
-    let n = query.n_tables();
-    if n == 0 {
-        return Err(OptError::EmptyQuery);
-    }
+) -> Result<SearchOutcome, OptError> {
     if config.max_buckets == 0 {
-        return Err(OptError::BadParameter("Algorithm D requires max_buckets >= 1"));
+        return Err(OptError::BadParameter(
+            "Algorithm D requires max_buckets >= 1",
+        ));
     }
-    let m_tables = PrefixTables::new(memory);
-    let mut stats = AlgDStats::default();
-    let mut table: HashMap<TableSet, Vec<DEntry>> = HashMap::new();
-
-    // Depth 1: access paths with size distributions.
-    for idx in 0..n {
-        let mut entries: Vec<DEntry> = Vec::new();
-        let pages = rebucket_to(
-            &model.base_pages_dist(idx),
-            config.max_buckets,
-            config.rebucket,
-        );
-        for path in model.access_paths(idx) {
-            let plan = match path {
-                AccessPath::SeqScan => PlanNode::SeqScan { table: idx },
-                AccessPath::IndexScan => PlanNode::IndexScan { table: idx },
-            };
-            let order = lec_cost::output_order(model, &plan);
-            insert_entry(
-                &mut entries,
-                DEntry {
-                    cost: model.access_cost(path, idx),
-                    pages: pages.clone(),
-                    order,
-                    plan,
-                },
-            );
-        }
-        stats.nodes += 1;
-        table.insert(TableSet::singleton(idx), entries);
-    }
-
-    // Depths 2..n.
-    for k in 2..=n {
-        for set in TableSet::subsets_of_size(n, k) {
-            let mut entries: Vec<DEntry> = Vec::new();
-            for j in set.iter() {
-                let sj = set.without(j);
-                if !query.is_connected_to(sj, j) {
-                    continue;
-                }
-                let Some(outer_entries) = table.get(&sj) else { continue };
-                let inner_entries =
-                    table.get(&TableSet::singleton(j)).expect("depth-1 exists");
-                let sel_dist = model.join_selectivity_dist(sj, j);
-                let mut new_entries: Vec<DEntry> = Vec::new();
-                for outer in outer_entries {
-                    for inner in inner_entries {
-                        // Result size is method-independent; compute once.
-                        let result_size = product_size(
-                            &outer.pages,
-                            &inner.pages,
-                            &sel_dist,
-                            config,
-                            &mut stats,
-                        );
-                        for method in JoinMethod::ALL {
-                            stats.candidates += 1;
-                            let join_ec = expected_join_cost(
-                                method,
-                                &outer.pages,
-                                &inner.pages,
-                                memory,
-                                &m_tables,
-                            );
-                            let cost = outer.cost + inner.cost + join_ec;
-                            let order = crate::dp::join_output_order(
-                                model,
-                                sj,
-                                outer.order,
-                                j,
-                                method,
-                            );
-                            insert_entry(
-                                &mut new_entries,
-                                DEntry {
-                                    plan: PlanNode::join(
-                                        method,
-                                        outer.plan.clone(),
-                                        inner.plan.clone(),
-                                    ),
-                                    cost,
-                                    pages: result_size.clone(),
-                                    order,
-                                },
-                            );
-                        }
-                    }
-                }
-                for e in new_entries {
-                    insert_entry(&mut entries, e);
-                }
-            }
-            if !entries.is_empty() {
-                stats.nodes += 1;
-                table.insert(set, entries);
-            }
-        }
-    }
-
-    // Root: enforce required order with an expected-cost sort.
-    let root = table
-        .remove(&TableSet::full(n))
-        .ok_or(OptError::NoPlanFound)?;
-    let eq = model.equivalences();
-    let mut best: Option<(PlanNode, f64, Distribution)> = None;
-    for e in root {
-        let (plan, cost) = match query.required_order {
-            Some(want) if !eq.satisfies(e.order, want) => {
-                let sc = expected_sort_cost(&e.pages, &m_tables);
-                (PlanNode::sort(e.plan, want), e.cost + sc)
-            }
-            _ => (e.plan, e.cost),
-        };
-        if best.as_ref().is_none_or(|(_, c, _)| cost < *c) {
-            best = Some((plan, cost, e.pages));
-        }
-    }
-    let (plan, expected_cost, result_size) = best.ok_or(OptError::NoPlanFound)?;
-    Ok(AlgDResult { plan, expected_cost, result_size, stats })
-}
-
-/// The §3.6.3 result-size distribution `|B_j| · |A_j| · σ`.
-fn product_size(
-    outer: &Distribution,
-    inner: &Distribution,
-    sel: &Distribution,
-    config: &AlgDConfig,
-    stats: &mut AlgDStats,
-) -> Distribution {
-    let b = config.max_buckets;
-    let product = if config.cube_root_inputs {
-        // Rebucket each factor to ∛b so the product has ≈ b buckets.
-        let cube = ((b as f64).cbrt().ceil() as usize).max(1);
-        rebucket_to(outer, cube, config.rebucket)
-            .product(&rebucket_to(inner, cube, config.rebucket))
-            .product(&rebucket_to(sel, cube, config.rebucket))
-    } else {
-        outer.product(inner).product(sel)
-    };
-    stats.max_product_support = stats.max_product_support.max(product.len());
-    let clamped = product.map(|v| v.max(1.0));
-    rebucket_to(&clamped, b, config.rebucket)
+    let mut policy = MultiParamPolicy::new(memory, config.clone());
+    let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+    let (best, stats) = run.into_best();
+    Ok(SearchOutcome {
+        plan: best.plan,
+        cost: best.cost,
+        stats,
+        extras: SearchExtras::MultiParam {
+            result_size: best.pages,
+            max_product_support: policy.max_product_support,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -264,10 +54,10 @@ mod tests {
         let c = optimize_lec_static(&model, &memory).unwrap();
         let d = optimize_alg_d(&model, &memory, &AlgDConfig::default()).unwrap();
         assert!(
-            (c.cost - d.expected_cost).abs() / c.cost < 1e-9,
+            (c.cost - d.cost).abs() / c.cost < 1e-9,
             "C {} vs D {}",
             c.cost,
-            d.expected_cost
+            d.cost
         );
         assert_eq!(c.plan, d.plan);
     }
@@ -276,14 +66,21 @@ mod tests {
     fn example_1_1_unchanged_by_d() {
         let (cat, q) = example_1_1();
         let model = CostModel::new(&cat, &q);
-        let d =
-            optimize_alg_d(&model, &example_1_1_memory(), &AlgDConfig::default())
-                .unwrap();
+        let d = optimize_alg_d(&model, &example_1_1_memory(), &AlgDConfig::default()).unwrap();
         assert!(crate::fixtures::is_plan2(&d.plan), "{}", d.plan.compact());
-        assert!((d.expected_cost - 4_209_000.0).abs() < 1.0);
+        assert!((d.cost - 4_209_000.0).abs() < 1.0);
         // Result size is the certain 3000 pages.
-        assert!(d.result_size.is_point());
-        assert!((d.result_size.mean() - 3000.0).abs() < 1e-6);
+        let size = d.result_size().unwrap();
+        assert!(size.is_point());
+        assert!((size.mean() - 3000.0).abs() < 1e-6);
+        // The uniform counters are all populated (the seed hard-coded
+        // evals to 0 for Algorithm D).
+        assert!(d.stats.nodes > 0);
+        assert!(d.stats.candidates > 0);
+        assert!(
+            d.stats.evals > 0,
+            "D must report its §3.6 formula evaluations"
+        );
     }
 
     #[test]
@@ -292,17 +89,14 @@ mod tests {
         // Same mean selectivity, but with mass on a 10x larger value: the
         // expected sort cost of the hash plan rises.
         let base = 3000.0 / (1_000_000.0 * 400_000.0);
-        q.joins[0].selectivity = Distribution::from_pairs([
-            (base * 0.1, 0.5),
-            (base * 1.9, 0.5),
-        ])
-        .unwrap();
+        q.joins[0].selectivity =
+            Distribution::from_pairs([(base * 0.1, 0.5), (base * 1.9, 0.5)]).unwrap();
         let model = CostModel::new(&cat, &q);
         let memory = example_1_1_memory();
         let d = optimize_alg_d(&model, &memory, &AlgDConfig::default()).unwrap();
         // Result size now has two buckets: 300 and 5700 pages.
-        assert_eq!(d.result_size.len(), 2);
-        assert!((d.result_size.mean() - 3000.0).abs() < 1e-6);
+        assert_eq!(d.result_size().unwrap().len(), 2);
+        assert!((d.result_size().unwrap().mean() - 3000.0).abs() < 1e-6);
         // The plan choice is unchanged (sort cost is still small), but the
         // cost reflects the spread.
         assert!(crate::fixtures::is_plan2(&d.plan), "{}", d.plan.compact());
@@ -314,24 +108,31 @@ mod tests {
         for j in &mut q.joins {
             let s = j.selectivity.mean();
             j.selectivity =
-                lec_prob::presets::selectivity_band(s / 4.0, (s * 4.0).min(1.0), 6)
-                    .unwrap();
+                lec_prob::presets::selectivity_band(s / 4.0, (s * 4.0).min(1.0), 6).unwrap();
         }
         let model = CostModel::new(&cat, &q);
         let memory = lec_prob::presets::spread_family(300.0, 0.5, 6).unwrap();
-        let full = AlgDConfig { cube_root_inputs: false, max_buckets: 8, ..Default::default() };
-        let cube = AlgDConfig { cube_root_inputs: true, max_buckets: 8, ..Default::default() };
+        let full = AlgDConfig {
+            cube_root_inputs: false,
+            max_buckets: 8,
+            ..Default::default()
+        };
+        let cube = AlgDConfig {
+            cube_root_inputs: true,
+            max_buckets: 8,
+            ..Default::default()
+        };
         let rf = optimize_alg_d(&model, &memory, &full).unwrap();
         let rc = optimize_alg_d(&model, &memory, &cube).unwrap();
         assert!(
-            rc.stats.max_product_support <= 27,
+            rc.max_product_support().unwrap() <= 27,
             "∛8 = 2 per factor → ≤ 8 product buckets (constructor may merge), got {}",
-            rc.stats.max_product_support
+            rc.max_product_support().unwrap()
         );
-        assert!(rf.stats.max_product_support >= rc.stats.max_product_support);
+        assert!(rf.max_product_support().unwrap() >= rc.max_product_support().unwrap());
         // Both should agree on cost within a coarse tolerance (rebucketing
         // error), sanity-bounded to the same order of magnitude.
-        let ratio = rf.expected_cost / rc.expected_cost;
+        let ratio = rf.cost / rc.cost;
         assert!((0.2..5.0).contains(&ratio), "ratio {ratio}");
     }
 
@@ -343,22 +144,22 @@ mod tests {
         let mut cat2 = lec_catalog::Catalog::new();
         cat2.add_table("A", cat.table(lec_catalog::TableId(0)).stats.clone());
         let mut b_stats = cat.table(lec_catalog::TableId(1)).stats.clone();
-        b_stats.page_dist =
-            Some(Distribution::bimodal(200_000.0, 600_000.0, 0.5).unwrap());
+        b_stats.page_dist = Some(Distribution::bimodal(200_000.0, 600_000.0, 0.5).unwrap());
         cat2.add_table("B", b_stats);
         let model = CostModel::new(&cat2, &q);
-        let d =
-            optimize_alg_d(&model, &example_1_1_memory(), &AlgDConfig::default())
-                .unwrap();
-        assert!(d.expected_cost > 0.0);
-        assert!(!d.result_size.is_point());
+        let d = optimize_alg_d(&model, &example_1_1_memory(), &AlgDConfig::default()).unwrap();
+        assert!(d.cost > 0.0);
+        assert!(!d.result_size().unwrap().is_point());
     }
 
     #[test]
     fn zero_buckets_rejected() {
         let (cat, q) = example_1_1();
         let model = CostModel::new(&cat, &q);
-        let config = AlgDConfig { max_buckets: 0, ..Default::default() };
+        let config = AlgDConfig {
+            max_buckets: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             optimize_alg_d(&model, &example_1_1_memory(), &config),
             Err(OptError::BadParameter(_))
@@ -372,8 +173,7 @@ mod tests {
         for j in &mut q.joins {
             let s = j.selectivity.mean();
             j.selectivity =
-                lec_prob::presets::selectivity_band(s / 3.0, (s * 3.0).min(1.0), 4)
-                    .unwrap();
+                lec_prob::presets::selectivity_band(s / 3.0, (s * 3.0).min(1.0), 4).unwrap();
         }
         let model = CostModel::new(&cat, &q);
         let memory = lec_prob::presets::spread_family(250.0, 0.4, 4).unwrap();

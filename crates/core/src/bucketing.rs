@@ -76,12 +76,8 @@ pub fn bucketize(
         return truth.clone();
     }
     match strategy {
-        BucketStrategy::EqualWidth => truth
-            .rebucket(b, Rebucket::EqualWidth)
-            .expect("b >= 1"),
-        BucketStrategy::EqualDepth => truth
-            .rebucket(b, Rebucket::EqualDepth)
-            .expect("b >= 1"),
+        BucketStrategy::EqualWidth => truth.rebucket(b, Rebucket::EqualWidth).expect("b >= 1"),
+        BucketStrategy::EqualDepth => truth.rebucket(b, Rebucket::EqualDepth).expect("b >= 1"),
         BucketStrategy::LevelSet => level_set_bucketize(truth, b, breakpoints),
     }
 }
@@ -104,8 +100,7 @@ fn level_set_bucketize(truth: &Distribution, b: usize, breakpoints: &[f64]) -> D
         intervals[idx].0 += p;
         intervals[idx].1 += v * p;
     }
-    let mut cells: Vec<(f64, f64)> =
-        intervals.into_iter().filter(|(m, _)| *m > 0.0).collect();
+    let mut cells: Vec<(f64, f64)> = intervals.into_iter().filter(|(m, _)| *m > 0.0).collect();
     // Merge adjacent smallest-mass cells until within budget.
     while cells.len() > b {
         let mut best_i = 0;
@@ -121,8 +116,7 @@ fn level_set_bucketize(truth: &Distribution, b: usize, breakpoints: &[f64]) -> D
         cells[best_i].0 += m2;
         cells[best_i].1 += w2;
     }
-    Distribution::from_pairs(cells.into_iter().map(|(m, w)| (w / m, m)))
-        .expect("non-empty cells")
+    Distribution::from_pairs(cells.into_iter().map(|(m, w)| (w / m, m))).expect("non-empty cells")
 }
 
 #[cfg(test)]

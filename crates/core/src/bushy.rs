@@ -10,154 +10,29 @@
 //! distributions (the §3.5 phase model is inherently sequential and does
 //! not transfer to bushy trees without a parallelism model, which the
 //! paper also flags as out of scope).
+//!
+//! Policy over the engine: the *same* [`crate::search::KeepBestPolicy`] +
+//! [`StaticExpectationCoster`] as Algorithm C — only the
+//! [`PlanShape`] changes.  That one-line difference is the whole point of
+//! the pluggable engine.
 
-use crate::dp::{insert_entry, DpEntry, DpStats};
 use crate::error::OptError;
+use crate::search::{
+    run_search, KeepBestPolicy, PlanShape, SearchOutcome, StaticExpectationCoster,
+};
 use lec_cost::CostModel;
-use lec_plan::{JoinMethod, OrderProperty, PlanNode, TableSet};
 use lec_prob::Distribution;
-use std::collections::HashMap;
-
-/// Result of the bushy DP.
-#[derive(Debug, Clone)]
-pub struct BushyResult {
-    /// The LEC plan over the bushy space.
-    pub plan: PlanNode,
-    /// Its expected cost.
-    pub expected_cost: f64,
-    /// Search statistics.
-    pub stats: DpStats,
-}
-
-/// The output order of joining two composites (general-tree analogue of
-/// `dp::join_output_order`).
-fn bushy_output_order(
-    model: &CostModel<'_>,
-    left: TableSet,
-    left_order: OrderProperty,
-    right: TableSet,
-    method: JoinMethod,
-) -> OrderProperty {
-    match method {
-        JoinMethod::SortMerge => {
-            let crossing = model.query().joins_crossing(left, right);
-            match crossing.first() {
-                Some(&i) => model.equivalences().sorted_on(model.query().joins[i].left),
-                None => OrderProperty::None,
-            }
-        }
-        JoinMethod::PageNestedLoop => left_order,
-        JoinMethod::GraceHash | JoinMethod::BlockNestedLoop => OrderProperty::None,
-    }
-}
 
 /// Compute the LEC plan over the *bushy* plan space (all binary trees
 /// without cross products) under a static memory distribution.
 pub fn optimize_lec_bushy(
     model: &CostModel<'_>,
     memory: &Distribution,
-) -> Result<BushyResult, OptError> {
-    let query = model.query();
-    let n = query.n_tables();
-    if n == 0 {
-        return Err(OptError::EmptyQuery);
-    }
-    model.reset_evals();
-    let mut stats = DpStats::default();
-    let mut table: HashMap<TableSet, Vec<DpEntry>> = HashMap::new();
-
-    for idx in 0..n {
-        let entries = crate::dp::access_entries(model, idx);
-        stats.nodes += 1;
-        table.insert(TableSet::singleton(idx), entries);
-    }
-
-    for k in 2..=n {
-        for set in TableSet::subsets_of_size(n, k) {
-            let mut entries: Vec<DpEntry> = Vec::new();
-            // Enumerate ordered partitions (left, right): `sub` walks all
-            // non-empty proper subsets of `set` via the standard trick.
-            let bits = set.bits();
-            let mut sub = (bits - 1) & bits;
-            while sub != 0 {
-                let left = TableSet::from_bits(sub);
-                let right = TableSet::from_bits(bits & !sub);
-                sub = (sub - 1) & bits;
-                // Skip cross products.
-                if query.joins_crossing(left, right).is_empty() {
-                    continue;
-                }
-                let (Some(left_entries), Some(right_entries)) =
-                    (table.get(&left), table.get(&right))
-                else {
-                    continue;
-                };
-                let sel: f64 = query
-                    .joins_crossing(left, right)
-                    .iter()
-                    .map(|&i| query.joins[i].selectivity.mean())
-                    .product();
-                let mut new_entries: Vec<DpEntry> = Vec::new();
-                for le in left_entries {
-                    for re in right_entries {
-                        for method in JoinMethod::ALL {
-                            stats.candidates += 1;
-                            let join_ec = memory.expect(|m| {
-                                model.join_cost(method, le.pages, re.pages, m)
-                            });
-                            let cost = le.cost + re.cost + join_ec;
-                            let order = bushy_output_order(
-                                model, left, le.order, right, method,
-                            );
-                            let pages =
-                                model.join_output_pages(le.pages, re.pages, sel);
-                            insert_entry(
-                                &mut new_entries,
-                                DpEntry {
-                                    plan: PlanNode::join(
-                                        method,
-                                        le.plan.clone(),
-                                        re.plan.clone(),
-                                    ),
-                                    cost,
-                                    pages,
-                                    order,
-                                },
-                            );
-                        }
-                    }
-                }
-                for e in new_entries {
-                    insert_entry(&mut entries, e);
-                }
-            }
-            if !entries.is_empty() {
-                stats.nodes += 1;
-                table.insert(set, entries);
-            }
-        }
-    }
-
-    let root = table
-        .remove(&TableSet::full(n))
-        .ok_or(OptError::NoPlanFound)?;
-    let eq = model.equivalences();
-    let mut best: Option<(PlanNode, f64)> = None;
-    for e in root {
-        let (plan, cost) = match query.required_order {
-            Some(want) if !eq.satisfies(e.order, want) => {
-                let sc = memory.expect(|m| model.sort_cost(e.pages, m));
-                (PlanNode::sort(e.plan, want), e.cost + sc)
-            }
-            _ => (e.plan, e.cost),
-        };
-        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-            best = Some((plan, cost));
-        }
-    }
-    let (plan, expected_cost) = best.ok_or(OptError::NoPlanFound)?;
-    stats.evals = model.evals();
-    Ok(BushyResult { plan, expected_cost, stats })
+) -> Result<SearchOutcome, OptError> {
+    let mut policy = KeepBestPolicy::new(StaticExpectationCoster::new(memory));
+    let run = run_search(model, PlanShape::Bushy, &mut policy)?;
+    let (best, stats) = run.into_best();
+    Ok(SearchOutcome::new(best.plan, best.cost, stats))
 }
 
 #[cfg(test)]
@@ -175,7 +50,7 @@ mod tests {
         let memory = example_1_1_memory();
         let ld = optimize_lec_static(&model, &memory).unwrap();
         let bu = optimize_lec_bushy(&model, &memory).unwrap();
-        assert!((ld.cost - bu.expected_cost).abs() < 1e-9);
+        assert!((ld.cost - bu.cost).abs() < 1e-9);
     }
 
     #[test]
@@ -189,9 +64,9 @@ mod tests {
                 let ld = optimize_lec_static(&model, &memory).unwrap();
                 let bu = optimize_lec_bushy(&model, &memory).unwrap();
                 assert!(
-                    bu.expected_cost <= ld.cost + 1e-9,
+                    bu.cost <= ld.cost + 1e-9,
                     "center {center} spread {spread}: bushy {} vs left-deep {}",
-                    bu.expected_cost,
+                    bu.cost,
                     ld.cost
                 );
             }
@@ -204,12 +79,11 @@ mod tests {
         let model = CostModel::new(&cat, &q);
         let memory = presets::spread_family(300.0, 0.7, 4).unwrap();
         let bu = optimize_lec_bushy(&model, &memory).unwrap();
-        let replay =
-            lec_cost::expected_plan_cost_static(&model, &bu.plan, &memory);
+        let replay = lec_cost::expected_plan_cost_static(&model, &bu.plan, &memory);
         assert!(
-            (bu.expected_cost - replay).abs() / replay < 1e-9,
+            (bu.cost - replay).abs() / replay < 1e-9,
             "{} vs {replay}",
-            bu.expected_cost
+            bu.cost
         );
     }
 
@@ -219,25 +93,22 @@ mod tests {
         // a "diamond" A–B–C–D chain where A⋈B and C⋈D are tiny but any
         // left-deep prefix must drag a large intermediate across the
         // middle predicate.
-        let (cat, q) = diamond();
+        let (cat, q) = crate::fixtures::diamond();
         let model = CostModel::new(&cat, &q);
         let memory = presets::spread_family(500.0, 0.5, 4).unwrap();
         let ld = optimize_lec_static(&model, &memory).unwrap();
         let bu = optimize_lec_bushy(&model, &memory).unwrap();
         assert!(
-            bu.expected_cost < ld.cost * 0.9,
+            bu.cost < ld.cost * 0.9,
             "bushy {} should clearly beat left-deep {}",
-            bu.expected_cost,
+            bu.cost,
             ld.cost
         );
-        assert!(!bu.plan.is_left_deep(), "winner must be bushy: {}", bu.plan.compact());
-    }
-
-    /// Four 100k-page tables; A⋈B and C⋈D each ~100 pages, but the middle
-    /// B–C predicate is mild, so (A⋈B)⋈C is ~100k pages.  Exported for the
-    /// E14 experiment via `fixtures`-style reuse.
-    fn diamond() -> (lec_catalog::Catalog, lec_plan::Query) {
-        crate::fixtures::diamond()
+        assert!(
+            !bu.plan.is_left_deep(),
+            "winner must be bushy: {}",
+            bu.plan.compact()
+        );
     }
 
     #[test]
@@ -250,7 +121,7 @@ mod tests {
             let memory = Distribution::point(m);
             let ld = optimize_lec_static(&model, &memory).unwrap();
             let bu = optimize_lec_bushy(&model, &memory).unwrap();
-            assert!(bu.expected_cost <= ld.cost + 1e-9);
+            assert!(bu.cost <= ld.cost + 1e-9);
         }
     }
 }

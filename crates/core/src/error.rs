@@ -65,7 +65,9 @@ mod tests {
         assert!(e.to_string().contains("probability"));
         assert!(OptError::NoPlanFound.to_string().contains("no plan"));
         use std::error::Error;
-        assert!(OptError::InvalidQuery(QueryError::NoTables).source().is_some());
+        assert!(OptError::InvalidQuery(QueryError::NoTables)
+            .source()
+            .is_some());
         assert!(OptError::NoPlanFound.source().is_none());
     }
 }

@@ -1,17 +1,19 @@
-//! Exhaustive enumeration of the left-deep plan space, as ground truth for
-//! Theorems 2.1, 3.3 and 3.4.
+//! Exhaustive enumeration as ground truth for Theorems 2.1, 3.3 and 3.4.
 //!
-//! The space enumerated is exactly the one the DP searches: left-deep join
-//! orders whose every prefix is connected (no cross products), all four
-//! join methods per join, all access paths per table, and a root sort
-//! enforcer when the query requires an order the plan does not provide.
+//! Policy over the engine: [`KeepAllPolicy`] — no pruning, so the engine
+//! materializes every plan of the requested shape exactly once.  The
+//! space covered for left-deep search is exactly the one the keep-1
+//! policies prune: left-deep join orders whose every prefix is connected
+//! (no cross products), all four join methods per join, all access paths
+//! per table, and a root sort enforcer when the query requires an order
+//! the plan does not provide.
 
 use crate::error::OptError;
-use lec_cost::{
-    expected_plan_cost_dynamic, expected_plan_cost_static, output_order, plan_cost_at,
-    plan_output_pages, CostModel,
+use crate::search::{
+    run_search, DynamicExpectationCoster, KeepAllPolicy, PhaseCoster, PlanShape, PointCoster,
+    SearchExtras, SearchOutcome, StaticExpectationCoster,
 };
-use lec_plan::{JoinMethod, PlanNode, TableSet};
+use lec_cost::CostModel;
 use lec_prob::{Distribution, MarkovChain};
 
 /// Objective to minimize.
@@ -30,182 +32,72 @@ pub enum Objective<'a> {
     },
 }
 
-/// Result of the exhaustive search.
-#[derive(Debug, Clone)]
-pub struct ExhaustiveResult {
-    /// The optimal plan.
-    pub plan: PlanNode,
-    /// Its objective value.
-    pub cost: f64,
-    /// Number of complete plans costed.
-    pub plans_costed: u64,
-}
-
 /// Hard cap on query size: the space is `O(n! · 4^(n-1) · 2^n)`.
 pub const MAX_EXHAUSTIVE_TABLES: usize = 7;
 
-/// Exhaustively find the optimal left-deep plan under `objective`.
-pub fn exhaustive_best(
+/// Hard cap on the number of complete plans the keep-all policy may
+/// materialize.  Unlike a streaming enumerator, the keep-all engine holds
+/// every plan in memory, so dense join graphs (a 7-table clique is ~20M
+/// plans) must be rejected up front rather than thrashed through.
+pub const MAX_EXHAUSTIVE_PLANS: u128 = 1_000_000;
+
+/// Exhaustively find the optimal plan of `shape` under `objective`.  The
+/// outcome's extras carry the number of complete plans costed.
+pub fn exhaustive_best_shaped(
     model: &CostModel<'_>,
     objective: &Objective<'_>,
-) -> Result<ExhaustiveResult, OptError> {
-    let query = model.query();
-    let n = query.n_tables();
-    if n == 0 {
-        return Err(OptError::EmptyQuery);
-    }
+    shape: PlanShape,
+) -> Result<SearchOutcome, OptError> {
+    let n = model.query().n_tables();
     if n > MAX_EXHAUSTIVE_TABLES {
         return Err(OptError::BadParameter(
             "exhaustive search is capped at 7 tables",
         ));
     }
-
-    let mut best: Option<(PlanNode, f64)> = None;
-    let mut plans_costed = 0u64;
-    let mut prefix: Vec<usize> = Vec::with_capacity(n);
-    let mut access_plans: Vec<Vec<PlanNode>> = Vec::with_capacity(n);
-    for idx in 0..n {
-        let mut paths = Vec::new();
-        for path in model.access_paths(idx) {
-            paths.push(match path {
-                lec_cost::AccessPath::SeqScan => PlanNode::SeqScan { table: idx },
-                lec_cost::AccessPath::IndexScan => PlanNode::IndexScan { table: idx },
-            });
-        }
-        access_plans.push(paths);
+    if crate::search::plan_space_size(model, shape) > MAX_EXHAUSTIVE_PLANS {
+        return Err(OptError::BadParameter(
+            "exhaustive plan space exceeds the 1M-plan keep-all cap",
+        ));
     }
-
-    permute(
-        model,
-        objective,
-        &access_plans,
-        &mut prefix,
-        TableSet::EMPTY,
-        &mut best,
-        &mut plans_costed,
-    );
-    let (plan, cost) = best.ok_or(OptError::NoPlanFound)?;
-    Ok(ExhaustiveResult { plan, cost, plans_costed })
-}
-
-fn permute(
-    model: &CostModel<'_>,
-    objective: &Objective<'_>,
-    access_plans: &[Vec<PlanNode>],
-    prefix: &mut Vec<usize>,
-    used: TableSet,
-    best: &mut Option<(PlanNode, f64)>,
-    plans_costed: &mut u64,
-) {
-    let n = access_plans.len();
-    if prefix.len() == n {
-        evaluate_permutation(model, objective, access_plans, prefix, best, plans_costed);
-        return;
-    }
-    for idx in 0..n {
-        if used.contains(idx) {
-            continue;
-        }
-        // Every prefix after the first table must stay connected.
-        if !prefix.is_empty() && !model.query().is_connected_to(used, idx) {
-            continue;
-        }
-        prefix.push(idx);
-        permute(
-            model,
-            objective,
-            access_plans,
-            prefix,
-            used.with(idx),
-            best,
-            plans_costed,
-        );
-        prefix.pop();
-    }
-}
-
-fn evaluate_permutation(
-    model: &CostModel<'_>,
-    objective: &Objective<'_>,
-    access_plans: &[Vec<PlanNode>],
-    order: &[usize],
-    best: &mut Option<(PlanNode, f64)>,
-    plans_costed: &mut u64,
-) {
-    let n = order.len();
-    let n_joins = n.saturating_sub(1);
-    // Enumerate method assignments (base-4 counter) × access path choices.
-    let method_combos = 4usize.pow(n_joins as u32);
-    let mut path_choice = vec![0usize; n];
-    loop {
-        for combo in 0..method_combos {
-            let mut plan = access_plans[order[0]][path_choice[0]].clone();
-            let mut rem = combo;
-            for (k, &idx) in order.iter().enumerate().skip(1) {
-                let method = JoinMethod::ALL[rem % 4];
-                rem /= 4;
-                let _ = k;
-                plan = PlanNode::join(
-                    method,
-                    plan,
-                    access_plans[idx][path_choice[order
-                        .iter()
-                        .position(|&t| t == idx)
-                        .expect("idx from order")]]
-                    .clone(),
-                );
-            }
-            let plan = enforce_order(model, plan);
-            let cost = cost_of(model, objective, &plan);
-            *plans_costed += 1;
-            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-                *best = Some((plan, cost));
-            }
-        }
-        // Advance the mixed-radix access-path counter.
-        let mut i = 0;
-        loop {
-            if i == n {
-                return;
-            }
-            path_choice[i] += 1;
-            if path_choice[i] < access_plans[order[i]].len() {
-                break;
-            }
-            path_choice[i] = 0;
-            i += 1;
-        }
-    }
-}
-
-/// Add a root sort when the query requires an order the plan lacks.
-fn enforce_order(model: &CostModel<'_>, plan: PlanNode) -> PlanNode {
-    match model.query().required_order {
-        Some(want)
-            if !model
-                .equivalences()
-                .satisfies(output_order(model, &plan), want) =>
-        {
-            PlanNode::sort(plan, want)
-        }
-        _ => plan,
-    }
-}
-
-fn cost_of(model: &CostModel<'_>, objective: &Objective<'_>, plan: &PlanNode) -> f64 {
     match objective {
-        Objective::Point(m) => plan_cost_at(model, plan, *m),
-        Objective::Expected(dist) => expected_plan_cost_static(model, plan, dist),
+        Objective::Point(m) => run_keep_all(model, shape, PointCoster { memory: *m }),
+        Objective::Expected(dist) => run_keep_all(model, shape, StaticExpectationCoster::new(dist)),
         Objective::Dynamic { initial, chain } => {
-            expected_plan_cost_dynamic(model, plan, initial, chain)
-                .unwrap_or(f64::INFINITY)
+            let coster = DynamicExpectationCoster::new(initial, chain, n.max(1))?;
+            run_keep_all(model, shape, coster)
         }
     }
+}
+
+/// Exhaustively find the optimal *left-deep* plan under `objective` — the
+/// classic verifier interface.
+pub fn exhaustive_best(
+    model: &CostModel<'_>,
+    objective: &Objective<'_>,
+) -> Result<SearchOutcome, OptError> {
+    exhaustive_best_shaped(model, objective, PlanShape::LeftDeep)
+}
+
+fn run_keep_all<C: PhaseCoster>(
+    model: &CostModel<'_>,
+    shape: PlanShape,
+    coster: C,
+) -> Result<SearchOutcome, OptError> {
+    let mut policy = KeepAllPolicy::new(coster);
+    let run = run_search(model, shape, &mut policy)?;
+    let plans_costed = run.roots.len() as u64;
+    let (best, stats) = run.into_best();
+    Ok(SearchOutcome {
+        plan: best.plan,
+        cost: best.cost,
+        stats,
+        extras: SearchExtras::PlansCosted(plans_costed),
+    })
 }
 
 /// Output size of the winning plan (diagnostic helper).
-pub fn result_pages(model: &CostModel<'_>, plan: &PlanNode) -> f64 {
-    plan_output_pages(model, plan)
+pub fn result_pages(model: &CostModel<'_>, plan: &lec_plan::PlanNode) -> f64 {
+    lec_cost::plan_output_pages(model, plan)
 }
 
 #[cfg(test)]
@@ -237,11 +129,9 @@ mod tests {
         let (cat, q) = three_chain();
         let model = CostModel::new(&cat, &q);
         for spread in [0.2, 0.5, 0.9] {
-            let memory =
-                lec_prob::presets::spread_family(400.0, spread, 6).unwrap();
+            let memory = lec_prob::presets::spread_family(400.0, spread, 6).unwrap();
             let dp = optimize_lec_static(&model, &memory).unwrap();
-            let ex =
-                exhaustive_best(&model, &Objective::Expected(&memory)).unwrap();
+            let ex = exhaustive_best(&model, &Objective::Expected(&memory)).unwrap();
             assert!(
                 (dp.cost - ex.cost).abs() < 1e-6,
                 "spread {spread}: dp {} vs exhaustive {}",
@@ -262,7 +152,10 @@ mod tests {
         let dp = optimize_lec_dynamic(&model, &initial, &chain).unwrap();
         let ex = exhaustive_best(
             &model,
-            &Objective::Dynamic { initial: &initial, chain: &chain },
+            &Objective::Dynamic {
+                initial: &initial,
+                chain: &chain,
+            },
         )
         .unwrap();
         assert!(
@@ -274,6 +167,26 @@ mod tests {
     }
 
     #[test]
+    fn bushy_dp_matches_bushy_exhaustive() {
+        // The §4 extension is optimal over its own (bushy) space too.
+        let (cat, q) = crate::fixtures::diamond();
+        let model = CostModel::new(&cat, &q);
+        let memory = lec_prob::presets::spread_family(500.0, 0.5, 4).unwrap();
+        let dp = crate::bushy::optimize_lec_bushy(&model, &memory).unwrap();
+        let ex = exhaustive_best_shaped(&model, &Objective::Expected(&memory), PlanShape::Bushy)
+            .unwrap();
+        assert!(
+            (dp.cost - ex.cost).abs() / ex.cost < 1e-9,
+            "dp {} vs exhaustive {}",
+            dp.cost,
+            ex.cost
+        );
+        // The bushy space strictly contains the left-deep one here.
+        let ld = exhaustive_best(&model, &Objective::Expected(&memory)).unwrap();
+        assert!(ex.plans_costed().unwrap() > ld.plans_costed().unwrap());
+    }
+
+    #[test]
     fn example_1_1_exhaustive_agrees_with_the_paper() {
         let (cat, q) = example_1_1();
         let model = CostModel::new(&cat, &q);
@@ -282,7 +195,50 @@ mod tests {
         assert!(crate::fixtures::is_plan2(&ex.plan), "{}", ex.plan.compact());
         assert!((ex.cost - 4_209_000.0).abs() < 1.0);
         // 2 orders × 4 methods × 1 access path each = 8 plans.
-        assert_eq!(ex.plans_costed, 8);
+        assert_eq!(ex.plans_costed(), Some(8));
+    }
+
+    #[test]
+    fn dense_plan_spaces_are_rejected_before_materialization() {
+        // A 7-table clique is within the table cap but ~20M plans; the
+        // keep-all engine must refuse it instead of exhausting memory.
+        use lec_catalog::{ColumnStats, TableStats};
+        use lec_plan::{ColumnRef, JoinPredicate, Query, QueryTable};
+        let mut cat = lec_catalog::Catalog::new();
+        let n = 7;
+        let tables: Vec<_> = (0..n)
+            .map(|i| {
+                cat.add_table(
+                    format!("T{i}"),
+                    TableStats::new(100, 1000, vec![ColumnStats::plain("c", 10)]),
+                )
+            })
+            .collect();
+        let mut joins = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                joins.push(JoinPredicate::exact(
+                    ColumnRef::new(i, 0),
+                    ColumnRef::new(j, 0),
+                    1e-4,
+                ));
+            }
+        }
+        let q = Query {
+            tables: tables.into_iter().map(QueryTable::bare).collect(),
+            joins,
+            required_order: None,
+        };
+        let model = CostModel::new(&cat, &q);
+        assert!(matches!(
+            exhaustive_best(&model, &Objective::Point(100.0)),
+            Err(OptError::BadParameter(_))
+        ));
+        // A 7-table chain stays comfortably under the cap and still runs.
+        let (chain_cat, chain_q) = crate::fixtures::scaling_chain(7);
+        let chain_model = CostModel::new(&chain_cat, &chain_q);
+        let ex = exhaustive_best(&chain_model, &Objective::Point(400.0)).unwrap();
+        assert!(ex.plans_costed().unwrap() > 0);
     }
 
     #[test]
@@ -302,13 +258,7 @@ mod tests {
         let q = Query {
             tables: tables.into_iter().map(QueryTable::bare).collect(),
             joins: (0..n - 1)
-                .map(|i| {
-                    JoinPredicate::exact(
-                        ColumnRef::new(i, 0),
-                        ColumnRef::new(i + 1, 0),
-                        1e-4,
-                    )
-                })
+                .map(|i| JoinPredicate::exact(ColumnRef::new(i, 0), ColumnRef::new(i + 1, 0), 1e-4))
                 .collect(),
             required_order: None,
         };

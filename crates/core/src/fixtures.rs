@@ -12,7 +12,11 @@ pub fn example_1_1() -> (Catalog, Query) {
     let mut cat = Catalog::new();
     let a = cat.add_table(
         "A",
-        TableStats::new(1_000_000, 50_000_000, vec![ColumnStats::plain("k", 100_000)]),
+        TableStats::new(
+            1_000_000,
+            50_000_000,
+            vec![ColumnStats::plain("k", 100_000)],
+        ),
     );
     let b = cat.add_table(
         "B",
@@ -48,14 +52,22 @@ pub fn three_chain() -> (Catalog, Query) {
     );
     let b = cat.add_table(
         "B",
-        TableStats::new(10_000, 500_000, vec![ColumnStats::plain("x", 1000), ColumnStats::plain("y", 500)]),
+        TableStats::new(
+            10_000,
+            500_000,
+            vec![ColumnStats::plain("x", 1000), ColumnStats::plain("y", 500)],
+        ),
     );
     let c = cat.add_table(
         "C",
         TableStats::new(90_000, 4_500_000, vec![ColumnStats::plain("y", 500)]),
     );
     let query = Query {
-        tables: vec![QueryTable::bare(a), QueryTable::bare(b), QueryTable::bare(c)],
+        tables: vec![
+            QueryTable::bare(a),
+            QueryTable::bare(b),
+            QueryTable::bare(c),
+        ],
         joins: vec![
             JoinPredicate::exact(ColumnRef::new(0, 0), ColumnRef::new(1, 0), 2e-8),
             JoinPredicate::exact(ColumnRef::new(1, 1), ColumnRef::new(2, 0), 5e-9),
@@ -95,6 +107,46 @@ pub fn diamond() -> (Catalog, Query) {
         required_order: None,
     };
     (cat, query)
+}
+
+/// A fixed `n`-table chain over round-number table sizes with a required
+/// output order: the scaling fixture for optimization-effort experiments
+/// (identical shape at every `n`).  The required order keeps sort-merge
+/// entries interesting at every dag node, so nodes carry several
+/// candidates and the evaluation cache has repetition to absorb.
+pub fn scaling_chain(n: usize) -> (Catalog, Query) {
+    assert!(n >= 2, "a chain needs at least two tables");
+    let mut catalog = Catalog::new();
+    let sizes: Vec<u64> = (0..n).map(|i| 10_000 * (1 + (i as u64 % 5))).collect();
+    let ids: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &pages)| {
+            catalog.add_table(
+                format!("S{i}"),
+                TableStats::new(
+                    pages,
+                    pages * 50,
+                    vec![ColumnStats::plain("a", 1000), ColumnStats::plain("b", 1000)],
+                ),
+            )
+        })
+        .collect();
+    let query = Query {
+        tables: ids.into_iter().map(QueryTable::bare).collect(),
+        joins: (0..n - 1)
+            .map(|i| {
+                let target = (sizes[i].min(sizes[i + 1]) as f64) * 0.3;
+                JoinPredicate::exact(
+                    ColumnRef::new(i, 1),
+                    ColumnRef::new(i + 1, 0),
+                    target / (sizes[i] as f64 * sizes[i + 1] as f64),
+                )
+            })
+            .collect(),
+        required_order: Some(ColumnRef::new(n - 1, 1)),
+    };
+    (catalog, query)
 }
 
 /// Recognizer for Example 1.1's Plan 1: a bare sort-merge join of the two

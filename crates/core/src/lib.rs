@@ -2,25 +2,52 @@
 //!
 //! Faithful implementation of the optimization algorithms of Chu, Halpern &
 //! Seshadri, *"Least Expected Cost Query Optimization: An Exercise in
-//! Utility"* (PODS 1999):
+//! Utility"* (PODS 1999).
 //!
-//! * [`lsc`] — the classical System R baseline at a point parameter value
-//!   (Theorem 2.1, the "least specific cost" plan);
-//! * [`alg_a`] — Algorithm A (§3.2): a standard optimizer run once per
+//! ## Architecture: one engine, many policies
+//!
+//! The paper's central observation is that LEC optimization is "a generic
+//! modification of the basic System R optimizer".  This crate is built
+//! around that observation: a single dynamic-programming engine
+//! ([`search`]) walks the subset dag, and every optimizer mode is a
+//! *policy* plugged into it.  The engine is parameterized along two axes:
+//!
+//! * **plan shape** ([`search::PlanShape`]): left-deep enumeration (§2.2)
+//!   or bushy enumeration over all connected 2-partitions (§4);
+//! * **candidate policy** ([`search::CandidatePolicy`]): what each dag
+//!   node retains and how candidates are costed.
+//!
+//! The optimizer modules are thin policy definitions over that engine:
+//!
+//! * [`lsc`] — keep-1 at a point parameter value (Theorem 2.1, the
+//!   "least specific cost" plan);
+//! * [`alg_a`] — Algorithm A (§3.2): the point policy run once per
 //!   memory bucket, candidates ranked by expected cost;
-//! * [`alg_b`] — Algorithm B (§3.3): top-`c` plans per DP node with the
-//!   Proposition 3.1 frontier enumeration;
-//! * [`alg_c`] — Algorithm C (§3.4/§3.5): the exact LEC plan by dynamic
-//!   programming on expected cost, under static or Markov-evolving memory
-//!   (Theorems 3.3 and 3.4);
-//! * [`alg_d`] — Algorithm D (§3.6): multiple uncertain parameters, with
-//!   the Figure 1 per-node distribution bookkeeping and §3.6.3 rebucketing;
+//! * [`alg_b`] — Algorithm B (§3.3): top-`c` plans per (subset, order)
+//!   with the Proposition 3.1 frontier enumeration;
+//! * [`alg_c`] — Algorithm C (§3.4/§3.5): keep-1 on expected cost, under
+//!   static or Markov-evolving memory (Theorems 3.3 and 3.4);
+//! * [`alg_d`] — Algorithm D (§3.6): per-node distribution bookkeeping
+//!   (Figure 1) with §3.6.3 rebucketing;
+//! * [`bushy`] — Algorithm C's policy under the bushy shape (the §4
+//!   extension);
+//! * [`exhaustive`] — the keep-all policy: brute-force ground truth used
+//!   to verify the optimality theorems;
+//! * [`randomized`] — move-based II/SA searches \[Swa89, IK90\] with the
+//!   EC objective (not DP-based, but reporting the same uniform stats);
 //! * [`bucketing`] — the §3.7 strategies for partitioning the parameter
 //!   space (equal-width, equi-depth, level-set aware);
-//! * [`exhaustive`] — brute-force ground truth over the same left-deep
-//!   space, used to verify the optimality theorems;
 //! * [`optimizer`] — a single facade ([`Optimizer`]) over all modes;
 //! * [`fixtures`] — the paper's Example 1.1, ready to run.
+//!
+//! Every mode returns the same [`SearchOutcome`] — plan, objective value,
+//! uniform [`SearchStats`] and optional mode-specific extras — so callers
+//! never destructure per-mode result types.  All memory-dependent
+//! evaluations flow through `lec-cost`'s memoized evaluation cache keyed
+//! by `(table set, operator, memory bucket)`; [`SearchStats::evals`]
+//! counts only the formula evaluations actually performed, making the
+//! paper's "factor b" overhead claims — and the cache's savings —
+//! directly observable.
 //!
 //! The quickest way in:
 //!
@@ -45,7 +72,6 @@ pub mod alg_c;
 pub mod alg_d;
 pub mod bucketing;
 pub mod bushy;
-pub mod dp;
 pub mod error;
 pub mod exhaustive;
 pub mod fixtures;
@@ -53,18 +79,22 @@ pub mod lsc;
 pub mod optimizer;
 pub mod parametric;
 pub mod randomized;
+pub mod search;
 
-pub use alg_a::{optimize_alg_a, AlgAResult};
-pub use alg_b::{optimize_alg_b, AlgBResult, FrontierStats};
+pub use alg_a::{optimize_alg_a, Candidate};
+pub use alg_b::optimize_alg_b;
 pub use alg_c::{optimize_lec_dynamic, optimize_lec_static};
-pub use alg_d::{optimize_alg_d, AlgDConfig, AlgDResult};
+pub use alg_d::{optimize_alg_d, AlgDConfig};
 pub use bucketing::{bucketize, query_memory_breakpoints, BucketStrategy};
+pub use bushy::optimize_lec_bushy;
 pub use error::OptError;
-pub use exhaustive::{exhaustive_best, ExhaustiveResult, Objective};
-pub use bushy::{optimize_lec_bushy, BushyResult};
+pub use exhaustive::{
+    exhaustive_best, exhaustive_best_shaped, Objective, MAX_EXHAUSTIVE_PLANS, MAX_EXHAUSTIVE_TABLES,
+};
 pub use lsc::{optimize_lsc, optimize_lsc_from_dist, PointEstimate};
-pub use optimizer::{Mode, Optimized, Optimizer, SearchStats};
+pub use optimizer::{Mode, Optimized, Optimizer};
 pub use parametric::{coverage_family, CachedPlan, PlanCache, StartupChoice};
-pub use randomized::{
-    iterative_improvement, simulated_annealing, RandomizedConfig, RandomizedResult,
+pub use randomized::{iterative_improvement, simulated_annealing, RandomizedConfig};
+pub use search::{
+    run_search, CandidatePolicy, FrontierStats, PlanShape, SearchExtras, SearchOutcome, SearchStats,
 };

@@ -6,9 +6,12 @@
 //! the assumption that the parameters actually take these specific values
 //! and remain constant during execution.  We call this the least specific
 //! cost (LSC) plan." (§1)
+//!
+//! Policy over the engine: [`KeepBestPolicy`] with a [`PointCoster`], over
+//! the left-deep shape.
 
-use crate::dp::{run_dp, DpResult, PointCoster};
 use crate::error::OptError;
+use crate::search::{run_search, KeepBestPolicy, PlanShape, PointCoster, SearchOutcome};
 use lec_cost::CostModel;
 use lec_prob::Distribution;
 
@@ -22,8 +25,11 @@ pub enum PointEstimate {
 }
 
 /// Optimize at a fixed memory value; the classical System R algorithm.
-pub fn optimize_lsc(model: &CostModel<'_>, memory: f64) -> Result<DpResult, OptError> {
-    run_dp(model, &PointCoster { memory })
+pub fn optimize_lsc(model: &CostModel<'_>, memory: f64) -> Result<SearchOutcome, OptError> {
+    let mut policy = KeepBestPolicy::new(PointCoster { memory });
+    let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+    let (best, stats) = run.into_best();
+    Ok(SearchOutcome::new(best.plan, best.cost, stats))
 }
 
 /// Optimize at the mean or mode of a memory distribution — exactly what
@@ -32,7 +38,7 @@ pub fn optimize_lsc_from_dist(
     model: &CostModel<'_>,
     memory: &Distribution,
     estimate: PointEstimate,
-) -> Result<DpResult, OptError> {
+) -> Result<SearchOutcome, OptError> {
     let m = match estimate {
         PointEstimate::Mean => memory.mean(),
         PointEstimate::Mode => memory.mode(),
@@ -105,13 +111,39 @@ mod tests {
     }
 
     #[test]
+    fn eval_cache_reduces_work_without_changing_the_answer() {
+        let (cat, q) = crate::fixtures::scaling_chain(5);
+        let model = CostModel::new(&cat, &q);
+        let cached = optimize_lsc(&model, 1000.0).unwrap();
+        assert!(
+            cached.stats.cache_hits > 0,
+            "pair×method repetition must hit"
+        );
+        model.set_eval_cache(false);
+        let raw = optimize_lsc(&model, 1000.0).unwrap();
+        model.set_eval_cache(true);
+        assert_eq!(cached.plan, raw.plan);
+        assert_eq!(cached.cost, raw.cost);
+        assert!(
+            cached.stats.evals < raw.stats.evals,
+            "cache must reduce evals: {} vs {}",
+            cached.stats.evals,
+            raw.stats.evals
+        );
+        assert_eq!(raw.stats.cache_hits, 0);
+    }
+
+    #[test]
     fn more_memory_never_costs_more() {
         let (cat, q) = three_chain();
         let model = CostModel::new(&cat, &q);
         let mut last = f64::INFINITY;
         for m in [10.0, 100.0, 1000.0, 10_000.0, 100_000.0] {
             let r = optimize_lsc(&model, m).unwrap();
-            assert!(r.cost <= last + 1e-9, "optimal cost must be monotone in memory");
+            assert!(
+                r.cost <= last + 1e-9,
+                "optimal cost must be monotone in memory"
+            );
             last = r.cost;
         }
     }

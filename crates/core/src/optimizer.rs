@@ -1,4 +1,8 @@
 //! The public optimizer facade: one entry point over all modes.
+//!
+//! Every mode returns the engine's uniform [`SearchOutcome`], so this
+//! facade does no per-mode destructuring — it stamps the mode name and
+//! the total wall-clock time and hands the outcome through.
 
 use crate::alg_a::optimize_alg_a;
 use crate::alg_b::optimize_alg_b;
@@ -6,11 +10,12 @@ use crate::alg_c::{optimize_lec_dynamic, optimize_lec_static};
 use crate::alg_d::{optimize_alg_d, AlgDConfig};
 use crate::error::OptError;
 use crate::lsc::{optimize_lsc_from_dist, PointEstimate};
+pub use crate::search::{SearchExtras, SearchOutcome, SearchStats};
 use lec_catalog::Catalog;
 use lec_cost::CostModel;
 use lec_plan::{PlanNode, Query};
 use lec_prob::{Distribution, MarkovChain};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Which optimization algorithm to run.
 #[derive(Debug, Clone)]
@@ -76,20 +81,8 @@ impl Mode {
     }
 }
 
-/// Uniform search statistics across modes.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct SearchStats {
-    /// DAG nodes populated (summed over black-box invocations for A/B).
-    pub nodes: usize,
-    /// Join candidates generated.
-    pub candidates: u64,
-    /// Cost-formula evaluations.
-    pub evals: u64,
-    /// Wall-clock optimization time.
-    pub elapsed: Duration,
-}
-
-/// The outcome of one optimization call.
+/// The outcome of one optimization call: the engine's uniform result plus
+/// the mode's display name.
 #[derive(Debug, Clone)]
 pub struct Optimized {
     /// Chosen plan.
@@ -99,8 +92,10 @@ pub struct Optimized {
     pub cost: f64,
     /// Mode display name.
     pub mode: &'static str,
-    /// Statistics.
+    /// Uniform statistics (elapsed covers the whole facade call).
     pub stats: SearchStats,
+    /// Mode-specific diagnostics.
+    pub extras: SearchExtras,
 }
 
 /// An optimizer bound to a catalog and a memory model.
@@ -127,80 +122,30 @@ impl<'a> Optimizer<'a> {
         query.validate(self.catalog)?;
         let model = CostModel::new(self.catalog, query);
         let start = Instant::now();
-        let (plan, cost, nodes, candidates, evals) = match mode {
-            Mode::Lsc(est) => {
-                let r = optimize_lsc_from_dist(&model, &self.memory, *est)?;
-                (r.plan, r.cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
-            }
-            Mode::LscAt(m) => {
-                let r = crate::lsc::optimize_lsc(&model, *m)?;
-                (r.plan, r.cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
-            }
-            Mode::AlgorithmA => {
-                let r = optimize_alg_a(&model, &self.memory)?;
-                (
-                    r.plan,
-                    r.expected_cost,
-                    r.stats.nodes,
-                    r.stats.candidates,
-                    r.stats.evals,
-                )
-            }
-            Mode::AlgorithmB { c } => {
-                let r = optimize_alg_b(&model, &self.memory, *c)?;
-                (
-                    r.plan,
-                    r.expected_cost,
-                    r.stats.nodes,
-                    r.stats.candidates,
-                    r.stats.evals,
-                )
-            }
-            Mode::AlgorithmC => {
-                let r = optimize_lec_static(&model, &self.memory)?;
-                (r.plan, r.cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
-            }
-            Mode::AlgorithmCDynamic { chain } => {
-                let r = optimize_lec_dynamic(&model, &self.memory, chain)?;
-                (r.plan, r.cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
-            }
-            Mode::AlgorithmD { config } => {
-                let r = optimize_alg_d(&model, &self.memory, config)?;
-                (r.plan, r.expected_cost, r.stats.nodes, r.stats.candidates, 0)
-            }
-            Mode::Bushy => {
-                let r = crate::bushy::optimize_lec_bushy(&model, &self.memory)?;
-                (r.plan, r.expected_cost, r.stats.nodes, r.stats.candidates, r.stats.evals)
-            }
+        let outcome: SearchOutcome = match mode {
+            Mode::Lsc(est) => optimize_lsc_from_dist(&model, &self.memory, *est)?,
+            Mode::LscAt(m) => crate::lsc::optimize_lsc(&model, *m)?,
+            Mode::AlgorithmA => optimize_alg_a(&model, &self.memory)?,
+            Mode::AlgorithmB { c } => optimize_alg_b(&model, &self.memory, *c)?,
+            Mode::AlgorithmC => optimize_lec_static(&model, &self.memory)?,
+            Mode::AlgorithmCDynamic { chain } => optimize_lec_dynamic(&model, &self.memory, chain)?,
+            Mode::AlgorithmD { config } => optimize_alg_d(&model, &self.memory, config)?,
+            Mode::Bushy => crate::bushy::optimize_lec_bushy(&model, &self.memory)?,
             Mode::IterativeImprovement { config, seed } => {
-                let r = crate::randomized::iterative_improvement(
-                    &model,
-                    &self.memory,
-                    config,
-                    *seed,
-                )?;
-                (r.plan, r.expected_cost, 0, r.evaluations, 0)
+                crate::randomized::iterative_improvement(&model, &self.memory, config, *seed)?
             }
             Mode::SimulatedAnnealing { config, seed } => {
-                let r = crate::randomized::simulated_annealing(
-                    &model,
-                    &self.memory,
-                    config,
-                    *seed,
-                )?;
-                (r.plan, r.expected_cost, 0, r.evaluations, 0)
+                crate::randomized::simulated_annealing(&model, &self.memory, config, *seed)?
             }
         };
+        let mut stats = outcome.stats;
+        stats.elapsed = start.elapsed();
         Ok(Optimized {
-            plan,
-            cost,
+            plan: outcome.plan,
+            cost: outcome.cost,
             mode: mode.name(),
-            stats: SearchStats {
-                nodes,
-                candidates,
-                evals,
-                elapsed: start.elapsed(),
-            },
+            stats,
+            extras: outcome.extras,
         })
     }
 
@@ -230,7 +175,9 @@ mod tests {
             Mode::AlgorithmB { c: 3 },
             Mode::AlgorithmC,
             Mode::AlgorithmCDynamic { chain },
-            Mode::AlgorithmD { config: AlgDConfig::default() },
+            Mode::AlgorithmD {
+                config: AlgDConfig::default(),
+            },
         ];
         for mode in modes {
             let r = opt.optimize(&q, &mode).unwrap();
@@ -241,23 +188,77 @@ mod tests {
     }
 
     #[test]
+    fn all_four_counters_are_live_in_every_mode() {
+        // The seed hard-coded AlgD's evals and the randomized modes' nodes
+        // to zero; the engine now populates every counter uniformly.
+        let (cat, q) = three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let chain = MarkovChain::identity(memory.support().to_vec()).unwrap();
+        let opt = Optimizer::new(&cat, memory);
+        let modes = vec![
+            Mode::Lsc(PointEstimate::Mean),
+            Mode::LscAt(700.0),
+            Mode::AlgorithmA,
+            Mode::AlgorithmB { c: 3 },
+            Mode::AlgorithmC,
+            Mode::AlgorithmCDynamic { chain },
+            Mode::AlgorithmD {
+                config: AlgDConfig::default(),
+            },
+            Mode::Bushy,
+            Mode::IterativeImprovement {
+                config: crate::randomized::RandomizedConfig::default(),
+                seed: 5,
+            },
+            Mode::SimulatedAnnealing {
+                config: crate::randomized::RandomizedConfig::default(),
+                seed: 5,
+            },
+        ];
+        for mode in modes {
+            let r = opt.optimize(&q, &mode).unwrap();
+            assert!(r.stats.nodes > 0, "{}: nodes", r.mode);
+            assert!(r.stats.candidates > 0, "{}: candidates", r.mode);
+            assert!(r.stats.evals > 0, "{}: evals", r.mode);
+            assert!(r.stats.elapsed.as_nanos() > 0, "{}: elapsed", r.mode);
+        }
+    }
+
+    #[test]
     fn the_papers_headline_result() {
         // LSC (mean or mode) → Plan 1; every LEC algorithm → Plan 2,
         // with EC(Plan 2) < EC(Plan 1).
         let (cat, q) = example_1_1();
         let opt = Optimizer::new(&cat, example_1_1_memory());
         let lsc = opt.optimize(&q, &Mode::Lsc(PointEstimate::Mode)).unwrap();
-        assert!(crate::fixtures::is_plan1(&lsc.plan), "{}", lsc.plan.compact());
+        assert!(
+            crate::fixtures::is_plan1(&lsc.plan),
+            "{}",
+            lsc.plan.compact()
+        );
         for mode in [
             Mode::AlgorithmA,
             Mode::AlgorithmB { c: 2 },
             Mode::AlgorithmC,
-            Mode::AlgorithmD { config: AlgDConfig::default() },
+            Mode::AlgorithmD {
+                config: AlgDConfig::default(),
+            },
         ] {
             let lec = opt.optimize(&q, &mode).unwrap();
-            assert!(crate::fixtures::is_plan2(&lec.plan), "{}: {}", lec.mode, lec.plan.compact());
+            assert!(
+                crate::fixtures::is_plan2(&lec.plan),
+                "{}: {}",
+                lec.mode,
+                lec.plan.compact()
+            );
             let lsc_ec = opt.expected_cost_of(&q, &lsc.plan);
-            assert!(lec.cost < lsc_ec, "{}: {} !< {}", lec.mode, lec.cost, lsc_ec);
+            assert!(
+                lec.cost < lsc_ec,
+                "{}: {} !< {}",
+                lec.mode,
+                lec.cost,
+                lsc_ec
+            );
         }
     }
 
@@ -309,8 +310,7 @@ mod tests {
         let (cat, q) = three_chain();
         let mut last_evals = 0;
         for b in [1usize, 2, 4, 8] {
-            let memory =
-                lec_prob::presets::spread_family(400.0, 0.5, b).unwrap();
+            let memory = lec_prob::presets::spread_family(400.0, 0.5, b).unwrap();
             let opt = Optimizer::new(&cat, memory);
             let r = opt.optimize(&q, &Mode::AlgorithmC).unwrap();
             assert!(

@@ -159,8 +159,7 @@ mod tests {
         let (cat, q) = example_1_1();
         let model = CostModel::new(&cat, &q);
         let memory = example_1_1_memory();
-        let cache =
-            PlanCache::precompute(&model, std::slice::from_ref(&memory)).unwrap();
+        let cache = PlanCache::precompute(&model, std::slice::from_ref(&memory)).unwrap();
         let choice = cache.choose(&model, &memory).unwrap();
         assert_eq!(choice.regret, 0.0);
         assert!(crate::fixtures::is_plan2(&choice.plan));
@@ -174,8 +173,7 @@ mod tests {
         // near-identical ones might not (a cliff can sit between their
         // supports), so pin the guaranteed case: the same belief twice.
         let d1 = lec_prob::presets::spread_family(400.0, 0.5, 4).unwrap();
-        let cache =
-            PlanCache::precompute(&model, &[d1.clone(), d1.clone()]).unwrap();
+        let cache = PlanCache::precompute(&model, &[d1.clone(), d1.clone()]).unwrap();
         assert_eq!(cache.len(), 1);
     }
 

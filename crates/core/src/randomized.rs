@@ -8,6 +8,12 @@
 //! *expected* cost as the objective function.  Nothing else changes — the
 //! objective is just `EC(P)` instead of `C(P, v₀)`.
 //!
+//! These searches are move-based rather than DP-based, so they do not run
+//! on the subset engine; they still report the uniform
+//! [`SearchStats`]: `nodes` counts complete plans costed, `candidates`
+//! counts neighbour moves proposed, and `evals` counts cost-formula
+//! evaluations through the model.
+//!
 //! The state is a complete left-deep plan: a connected join order, one
 //! join method per join, and one access path per table.  Moves:
 //!
@@ -17,11 +23,13 @@
 //! * flip the access path of one table (when an index exists).
 
 use crate::error::OptError;
+use crate::search::{SearchOutcome, SearchStats};
 use lec_cost::{expected_plan_cost_static, output_order, AccessPath, CostModel};
 use lec_plan::{JoinMethod, PlanNode, TableSet};
 use lec_prob::Distribution;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// A point in the left-deep plan space.
 #[derive(Debug, Clone, PartialEq)]
@@ -58,25 +66,14 @@ impl Default for RandomizedConfig {
     }
 }
 
-/// Result of a randomized search.
-#[derive(Debug, Clone)]
-pub struct RandomizedResult {
-    /// Best plan found.
-    pub plan: PlanNode,
-    /// Its expected cost.
-    pub expected_cost: f64,
-    /// Plans fully costed during the search.
-    pub evaluations: u64,
-}
-
 struct Search<'a, 'b> {
     model: &'a CostModel<'b>,
     memory: &'a Distribution,
     rng: StdRng,
-    evaluations: u64,
+    stats: SearchStats,
 }
 
-impl<'a, 'b> Search<'a, 'b> {
+impl Search<'_, '_> {
     fn n(&self) -> usize {
         self.model.query().n_tables()
     }
@@ -106,7 +103,11 @@ impl<'a, 'b> Search<'a, 'b> {
                 av[self.rng.gen_range(0..av.len())]
             })
             .collect();
-        State { order, methods, paths }
+        State {
+            order,
+            methods,
+            paths,
+        }
     }
 
     fn build_plan(&self, s: &State) -> PlanNode {
@@ -133,7 +134,7 @@ impl<'a, 'b> Search<'a, 'b> {
     }
 
     fn cost(&mut self, s: &State) -> f64 {
-        self.evaluations += 1;
+        self.stats.nodes += 1;
         let plan = self.build_plan(s);
         expected_plan_cost_static(self.model, &plan, self.memory)
     }
@@ -141,6 +142,7 @@ impl<'a, 'b> Search<'a, 'b> {
     /// Propose a random neighbouring state; `None` if the move is invalid.
     fn neighbour(&mut self, s: &State) -> Option<State> {
         let n = self.n();
+        self.stats.candidates += 1;
         let mut next = s.clone();
         match self.rng.gen_range(0..3) {
             0 if n >= 2 => {
@@ -177,6 +179,30 @@ impl<'a, 'b> Search<'a, 'b> {
             }
         }
     }
+
+    fn into_outcome(mut self, state: State, cost: f64, start: Instant) -> SearchOutcome {
+        let plan = self.build_plan(&state);
+        self.stats.evals = self.model.evals();
+        self.stats.elapsed = start.elapsed();
+        SearchOutcome::new(plan, cost, self.stats)
+    }
+}
+
+fn new_search<'a, 'b>(
+    model: &'a CostModel<'b>,
+    memory: &'a Distribution,
+    seed: u64,
+) -> Result<Search<'a, 'b>, OptError> {
+    if model.query().n_tables() == 0 {
+        return Err(OptError::EmptyQuery);
+    }
+    model.reset_evals();
+    Ok(Search {
+        model,
+        memory,
+        rng: StdRng::seed_from_u64(seed),
+        stats: SearchStats::default(),
+    })
 }
 
 /// Iterative improvement \[Swa89\]: repeated randomized hill climbing, with
@@ -186,16 +212,9 @@ pub fn iterative_improvement(
     memory: &Distribution,
     config: &RandomizedConfig,
     seed: u64,
-) -> Result<RandomizedResult, OptError> {
-    if model.query().n_tables() == 0 {
-        return Err(OptError::EmptyQuery);
-    }
-    let mut search = Search {
-        model,
-        memory,
-        rng: StdRng::seed_from_u64(seed),
-        evaluations: 0,
-    };
+) -> Result<SearchOutcome, OptError> {
+    let start = Instant::now();
+    let mut search = new_search(model, memory, seed)?;
     let mut best: Option<(State, f64)> = None;
     for _ in 0..config.restarts.max(1) {
         let mut cur = search.random_state();
@@ -221,11 +240,7 @@ pub fn iterative_improvement(
         }
     }
     let (state, expected_cost) = best.expect("at least one restart ran");
-    Ok(RandomizedResult {
-        plan: search.build_plan(&state),
-        expected_cost,
-        evaluations: search.evaluations,
-    })
+    Ok(search.into_outcome(state, expected_cost, start))
 }
 
 /// Simulated annealing \[IK90\] with expected cost as the energy.
@@ -234,20 +249,19 @@ pub fn simulated_annealing(
     memory: &Distribution,
     config: &RandomizedConfig,
     seed: u64,
-) -> Result<RandomizedResult, OptError> {
-    if model.query().n_tables() == 0 {
-        return Err(OptError::EmptyQuery);
-    }
-    let mut search = Search {
-        model,
-        memory,
-        rng: StdRng::seed_from_u64(seed),
-        evaluations: 0,
-    };
+) -> Result<SearchOutcome, OptError> {
+    let start = Instant::now();
+    let mut search = new_search(model, memory, seed)?;
     let mut best: Option<(State, f64)> = None;
     for _ in 0..config.restarts.max(1) {
         let mut cur = search.random_state();
         let mut cur_cost = search.cost(&cur);
+        // Seed `best` with the chain's start state: a query with no valid
+        // neighbour moves (single table, no index) must still return its
+        // trivial plan rather than panic below.
+        if best.as_ref().is_none_or(|(_, b)| cur_cost < *b) {
+            best = Some((cur.clone(), cur_cost));
+        }
         let mut temp = (cur_cost * config.initial_temp_frac).max(1e-9);
         for _ in 0..config.sa_steps {
             if let Some(cand) = search.neighbour(&cur) {
@@ -268,11 +282,7 @@ pub fn simulated_annealing(
         }
     }
     let (state, expected_cost) = best.expect("at least one chain ran");
-    Ok(RandomizedResult {
-        plan: search.build_plan(&state),
-        expected_cost,
-        evaluations: search.evaluations,
-    })
+    Ok(search.into_outcome(state, expected_cost, start))
 }
 
 #[cfg(test)]
@@ -288,7 +298,10 @@ mod tests {
         let memory = example_1_1_memory();
         let r = iterative_improvement(&model, &memory, &Default::default(), 1).unwrap();
         let c = optimize_lec_static(&model, &memory).unwrap();
-        assert!((r.expected_cost - c.cost).abs() < 1.0, "II should find the LEC plan on a 2-table query");
+        assert!(
+            (r.cost - c.cost).abs() < 1.0,
+            "II should find the LEC plan on a 2-table query"
+        );
         assert!(crate::fixtures::is_plan2(&r.plan));
     }
 
@@ -300,9 +313,9 @@ mod tests {
         let c = optimize_lec_static(&model, &memory).unwrap();
         let r = simulated_annealing(&model, &memory, &Default::default(), 3).unwrap();
         assert!(
-            r.expected_cost <= c.cost * 1.0 + 1e-6,
+            r.cost <= c.cost * 1.0 + 1e-6,
             "SA {} vs C {}",
-            r.expected_cost,
+            r.cost,
             c.cost
         );
     }
@@ -317,11 +330,38 @@ mod tests {
             let c = optimize_lec_static(&model, &memory).unwrap();
             let ii = iterative_improvement(&model, &memory, &Default::default(), seed).unwrap();
             let sa = simulated_annealing(&model, &memory, &Default::default(), seed).unwrap();
-            assert!(ii.expected_cost >= c.cost - 1e-6);
-            assert!(sa.expected_cost >= c.cost - 1e-6);
+            assert!(ii.cost >= c.cost - 1e-6);
+            assert!(sa.cost >= c.cost - 1e-6);
             // Reported costs replay.
             let replay = expected_plan_cost_static(&model, &ii.plan, &memory);
-            assert!((ii.expected_cost - replay).abs() < 1e-6);
+            assert!((ii.cost - replay).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_table_query_has_no_moves_but_still_returns_its_plan() {
+        // Every neighbour proposal is invalid here (no second table, no
+        // index), so the searches must fall back to the start state
+        // instead of panicking.
+        use lec_catalog::{Catalog, ColumnStats, TableStats};
+        use lec_plan::{Query, QueryTable};
+        let mut cat = Catalog::new();
+        let t = cat.add_table(
+            "solo",
+            TableStats::new(500, 25_000, vec![ColumnStats::plain("c", 100)]),
+        );
+        let q = Query {
+            tables: vec![QueryTable::bare(t)],
+            joins: vec![],
+            required_order: None,
+        };
+        let model = CostModel::new(&cat, &q);
+        let memory = lec_prob::presets::spread_family(200.0, 0.5, 3).unwrap();
+        let sa = simulated_annealing(&model, &memory, &Default::default(), 1).unwrap();
+        let ii = iterative_improvement(&model, &memory, &Default::default(), 1).unwrap();
+        for r in [&sa, &ii] {
+            assert!(matches!(r.plan, lec_plan::PlanNode::SeqScan { .. }));
+            assert!(r.cost > 0.0);
         }
     }
 
@@ -333,7 +373,25 @@ mod tests {
         let a = iterative_improvement(&model, &memory, &Default::default(), 42).unwrap();
         let b = iterative_improvement(&model, &memory, &Default::default(), 42).unwrap();
         assert_eq!(a.plan, b.plan);
-        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.stats.nodes, b.stats.nodes);
+        assert_eq!(a.stats.candidates, b.stats.candidates);
+    }
+
+    #[test]
+    fn uniform_counters_are_populated() {
+        // The seed hard-coded nodes/evals to 0 for the randomized modes;
+        // all four counters must now be live.
+        let (cat, q) = three_chain();
+        let model = CostModel::new(&cat, &q);
+        let memory = lec_prob::presets::spread_family(350.0, 0.6, 4).unwrap();
+        let r = iterative_improvement(&model, &memory, &Default::default(), 9).unwrap();
+        assert!(r.stats.nodes > 0, "plans costed");
+        assert!(r.stats.candidates > 0, "moves proposed");
+        assert!(r.stats.evals > 0, "cost-formula evaluations");
+        // Each plan costed is either a restart's initial state or followed
+        // a proposed move, so nodes <= candidates + restarts.
+        let restarts = RandomizedConfig::default().restarts as u64;
+        assert!(r.stats.nodes as u64 <= r.stats.candidates + restarts);
     }
 
     #[test]
@@ -341,11 +399,19 @@ mod tests {
         let (cat, q) = three_chain();
         let model = CostModel::new(&cat, &q);
         let memory = lec_prob::presets::spread_family(350.0, 0.6, 4).unwrap();
-        let small = RandomizedConfig { restarts: 1, patience: 10, ..Default::default() };
-        let big = RandomizedConfig { restarts: 8, patience: 100, ..Default::default() };
+        let small = RandomizedConfig {
+            restarts: 1,
+            patience: 10,
+            ..Default::default()
+        };
+        let big = RandomizedConfig {
+            restarts: 8,
+            patience: 100,
+            ..Default::default()
+        };
         let rs = iterative_improvement(&model, &memory, &small, 7).unwrap();
         let rb = iterative_improvement(&model, &memory, &big, 7).unwrap();
-        assert!(rb.evaluations > rs.evaluations);
-        assert!(rb.expected_cost <= rs.expected_cost + 1e-9);
+        assert!(rb.stats.nodes > rs.stats.nodes);
+        assert!(rb.cost <= rs.cost + 1e-9);
     }
 }

@@ -1,0 +1,180 @@
+//! The one DP driver.  Everything that enumerates subsets lives here —
+//! no optimizer module outside `search/` walks the dag itself.
+
+use super::policy::{CandidatePolicy, JoinContext, RootContext, SearchEntry};
+use super::SearchStats;
+use crate::error::OptError;
+use lec_cost::CostModel;
+use lec_plan::{Query, TableSet};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// How a subset is split into (outer, inner) operand pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanShape {
+    /// System R left-deep trees (§2.2): `S∖{j}` joined with base table
+    /// `{j}`.
+    LeftDeep,
+    /// All binary trees without cross products (the §4 extension): every
+    /// connected ordered 2-partition of `S`.
+    Bushy,
+}
+
+impl PlanShape {
+    /// The ordered operand splits of `set`, cross products excluded.
+    fn splits(self, query: &Query, set: TableSet) -> Vec<(TableSet, TableSet)> {
+        match self {
+            PlanShape::LeftDeep => set
+                .iter()
+                .filter_map(|j| {
+                    let left = set.without(j);
+                    query
+                        .is_connected_to(left, j)
+                        .then_some((left, TableSet::singleton(j)))
+                })
+                .collect(),
+            PlanShape::Bushy => {
+                let bits = set.bits();
+                let mut out = Vec::new();
+                // Walk all non-empty proper subsets via the standard trick.
+                let mut sub = (bits - 1) & bits;
+                while sub != 0 {
+                    let left = TableSet::from_bits(sub);
+                    let right = TableSet::from_bits(bits & !sub);
+                    if !query.joins_crossing(left, right).is_empty() {
+                        out.push((left, right));
+                    }
+                    sub = (sub - 1) & bits;
+                }
+                out
+            }
+        }
+    }
+}
+
+/// The engine's raw product: the finalized (order-enforced) root
+/// candidates plus the run's statistics.
+#[derive(Debug, Clone)]
+pub struct SearchRun<E> {
+    /// Finalized root candidates; non-empty.
+    pub roots: Vec<E>,
+    /// Statistics for this run.
+    pub stats: SearchStats,
+}
+
+impl<E: SearchEntry> SearchRun<E> {
+    /// The cheapest finalized candidate.
+    pub fn best(&self) -> &E {
+        self.roots
+            .iter()
+            .min_by(|a, b| a.cost().total_cmp(&b.cost()))
+            .expect("run_search guarantees a non-empty root list")
+    }
+
+    /// Consume the run, returning the cheapest candidate and the stats.
+    pub fn into_best(self) -> (E, SearchStats) {
+        let best = self.best().clone();
+        (best, self.stats)
+    }
+}
+
+/// Number of complete plans of `shape` the keep-all policy would
+/// materialize for this query: the same subset recursion as the search
+/// itself, counting instead of building.  Lets callers reject
+/// plan spaces too large to hold in memory before paying for them.
+pub fn plan_space_size(model: &CostModel<'_>, shape: PlanShape) -> u128 {
+    let query = model.query();
+    let n = query.n_tables();
+    if n == 0 {
+        return 0;
+    }
+    let n_methods = lec_plan::JoinMethod::ALL.len() as u128;
+    let mut counts: HashMap<TableSet, u128> = HashMap::new();
+    for idx in 0..n {
+        counts.insert(
+            TableSet::singleton(idx),
+            model.access_paths(idx).len() as u128,
+        );
+    }
+    for k in 2..=n {
+        for set in TableSet::subsets_of_size(n, k) {
+            let mut total: u128 = 0;
+            for (left, right) in shape.splits(query, set) {
+                if let (Some(l), Some(r)) = (counts.get(&left), counts.get(&right)) {
+                    total = total.saturating_add(l.saturating_mul(*r).saturating_mul(n_methods));
+                }
+            }
+            if total > 0 {
+                counts.insert(set, total);
+            }
+        }
+    }
+    counts.get(&TableSet::full(n)).copied().unwrap_or(0)
+}
+
+/// Run the DP under `shape` and `policy` and return the finalized root
+/// candidates, cheapest-available via [`SearchRun::best`].
+pub fn run_search<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    shape: PlanShape,
+    policy: &mut P,
+) -> Result<SearchRun<P::Entry>, OptError> {
+    let query: &Query = model.query();
+    let n = query.n_tables();
+    if n == 0 {
+        return Err(OptError::EmptyQuery);
+    }
+    let start = Instant::now();
+    let hits_before = model.eval_cache_hits();
+    model.reset_evals();
+    let mut stats = SearchStats::default();
+    let mut table: HashMap<TableSet, Vec<P::Entry>> = HashMap::new();
+
+    // Depth 1: access paths.
+    for idx in 0..n {
+        let entries = policy.access_entries(model, idx, &mut stats);
+        if !entries.is_empty() {
+            stats.nodes += 1;
+            table.insert(TableSet::singleton(idx), entries);
+        }
+    }
+
+    // Depths 2..n.
+    for k in 2..=n {
+        for set in TableSet::subsets_of_size(n, k) {
+            let mut entries: Vec<P::Entry> = Vec::new();
+            for (left, right) in shape.splits(query, set) {
+                let (Some(outer), Some(inner)) = (table.get(&left), table.get(&right)) else {
+                    continue;
+                };
+                let ctx = JoinContext {
+                    left,
+                    right,
+                    result: set,
+                    phase: k - 2,
+                };
+                policy.combine(model, &ctx, outer, inner, &mut entries, &mut stats);
+            }
+            if !entries.is_empty() {
+                stats.nodes += 1;
+                table.insert(set, entries);
+            }
+        }
+    }
+
+    let root = table
+        .remove(&TableSet::full(n))
+        .ok_or(OptError::NoPlanFound)?;
+    let ctx = RootContext {
+        set: TableSet::full(n),
+        sort_phase: n - 1,
+    };
+    let roots = policy.finalize(model, &ctx, root, &mut stats);
+    if roots.is_empty() {
+        return Err(OptError::NoPlanFound);
+    }
+    stats.evals = model.evals();
+    stats.cache_hits = model.eval_cache_hits() - hits_before;
+    stats.elapsed = start.elapsed();
+    Ok(SearchRun { roots, stats })
+}

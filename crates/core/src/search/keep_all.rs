@@ -1,0 +1,89 @@
+//! The keep-all policy: no pruning whatsoever.  Run through the engine it
+//! enumerates every plan of the active shape exactly once, which makes it
+//! the ground truth the optimality theorems are verified against.
+//!
+//! Note the space is `O(n! · 4^(n-1) · 2^n)` for left-deep trees and
+//! larger for bushy ones; callers cap `n` (see
+//! [`crate::exhaustive::MAX_EXHAUSTIVE_TABLES`]).
+
+use super::coster::PhaseCoster;
+use super::keep_best::DpEntry;
+use super::policy::{
+    access_alternatives, join_output_order, CandidatePolicy, JoinContext, RootContext,
+};
+use super::SearchStats;
+use lec_cost::CostModel;
+use lec_plan::{JoinMethod, PlanNode};
+
+/// The keep-everything policy over any [`PhaseCoster`].
+#[derive(Debug, Clone)]
+pub struct KeepAllPolicy<C> {
+    /// The operator-costing strategy.
+    pub coster: C,
+}
+
+impl<C: PhaseCoster> KeepAllPolicy<C> {
+    /// A policy costing operators with `coster`.
+    pub fn new(coster: C) -> Self {
+        KeepAllPolicy { coster }
+    }
+}
+
+impl<C: PhaseCoster> CandidatePolicy for KeepAllPolicy<C> {
+    type Entry = DpEntry;
+
+    fn access_entries(
+        &mut self,
+        model: &CostModel<'_>,
+        idx: usize,
+        _stats: &mut SearchStats,
+    ) -> Vec<DpEntry> {
+        access_alternatives(model, idx)
+            .into_iter()
+            .map(|(plan, cost, order, pages)| DpEntry {
+                plan,
+                cost,
+                pages,
+                order,
+            })
+            .collect()
+    }
+
+    fn combine(
+        &mut self,
+        model: &CostModel<'_>,
+        ctx: &JoinContext,
+        outer: &[DpEntry],
+        inner: &[DpEntry],
+        into: &mut Vec<DpEntry>,
+        stats: &mut SearchStats,
+    ) {
+        let sel = model.join_selectivity_sets(ctx.left, ctx.right);
+        for oe in outer {
+            for ie in inner {
+                for method in JoinMethod::ALL {
+                    stats.candidates += 1;
+                    let join_cost = self
+                        .coster
+                        .join_cost(model, ctx, method, oe.pages, ie.pages);
+                    into.push(DpEntry {
+                        plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),
+                        cost: oe.cost + ie.cost + join_cost,
+                        pages: model.join_output_pages(oe.pages, ie.pages, sel),
+                        order: join_output_order(model, ctx.left, oe.order, ctx.right, method),
+                    });
+                }
+            }
+        }
+    }
+
+    fn finalize(
+        &mut self,
+        model: &CostModel<'_>,
+        ctx: &RootContext,
+        entries: Vec<DpEntry>,
+        _stats: &mut SearchStats,
+    ) -> Vec<DpEntry> {
+        super::keep_best::finalize_with_coster(model, ctx, entries, &self.coster)
+    }
+}

@@ -1,0 +1,152 @@
+//! The keep-1 policy: per (subset, interesting order), retain the single
+//! cheapest plan under the active [`PhaseCoster`].  With a point coster
+//! this is Theorem 2.1's System R baseline; with an expectation coster it
+//! is Algorithm C (Theorems 3.3/3.4); run under the bushy shape it is the
+//! §4 extension.
+
+use super::coster::PhaseCoster;
+use super::policy::{
+    access_alternatives, insert_entry, join_output_order, CandidatePolicy, JoinContext, Rankable,
+    RootContext, SearchEntry,
+};
+use super::SearchStats;
+use lec_cost::CostModel;
+use lec_plan::{JoinMethod, OrderProperty, PlanNode};
+
+/// A DP table entry: the cheapest known plan for one (subset, order).
+#[derive(Debug, Clone)]
+pub struct DpEntry {
+    /// The plan.
+    pub plan: PlanNode,
+    /// Its cost under the active coster.
+    pub cost: f64,
+    /// Point-estimated output size in pages.
+    pub pages: f64,
+    /// Output order property.
+    pub order: OrderProperty,
+}
+
+impl SearchEntry for DpEntry {
+    fn plan(&self) -> &PlanNode {
+        &self.plan
+    }
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+impl Rankable for DpEntry {
+    fn rank_cost(&self) -> f64 {
+        self.cost
+    }
+    fn rank_order(&self) -> OrderProperty {
+        self.order
+    }
+}
+
+/// The keep-1 policy over any [`PhaseCoster`].
+#[derive(Debug, Clone)]
+pub struct KeepBestPolicy<C> {
+    /// The operator-costing strategy.
+    pub coster: C,
+}
+
+impl<C: PhaseCoster> KeepBestPolicy<C> {
+    /// A policy costing operators with `coster`.
+    pub fn new(coster: C) -> Self {
+        KeepBestPolicy { coster }
+    }
+}
+
+impl<C: PhaseCoster> CandidatePolicy for KeepBestPolicy<C> {
+    type Entry = DpEntry;
+
+    fn access_entries(
+        &mut self,
+        model: &CostModel<'_>,
+        idx: usize,
+        _stats: &mut SearchStats,
+    ) -> Vec<DpEntry> {
+        let mut entries = Vec::new();
+        for (plan, cost, order, pages) in access_alternatives(model, idx) {
+            insert_entry(
+                &mut entries,
+                DpEntry {
+                    plan,
+                    cost,
+                    pages,
+                    order,
+                },
+            );
+        }
+        entries
+    }
+
+    fn combine(
+        &mut self,
+        model: &CostModel<'_>,
+        ctx: &JoinContext,
+        outer: &[DpEntry],
+        inner: &[DpEntry],
+        into: &mut Vec<DpEntry>,
+        stats: &mut SearchStats,
+    ) {
+        let sel = model.join_selectivity_sets(ctx.left, ctx.right);
+        for oe in outer {
+            for ie in inner {
+                for method in JoinMethod::ALL {
+                    stats.candidates += 1;
+                    let join_cost = self
+                        .coster
+                        .join_cost(model, ctx, method, oe.pages, ie.pages);
+                    insert_entry(
+                        into,
+                        DpEntry {
+                            plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),
+                            cost: oe.cost + ie.cost + join_cost,
+                            pages: model.join_output_pages(oe.pages, ie.pages, sel),
+                            order: join_output_order(model, ctx.left, oe.order, ctx.right, method),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn finalize(
+        &mut self,
+        model: &CostModel<'_>,
+        ctx: &RootContext,
+        entries: Vec<DpEntry>,
+        _stats: &mut SearchStats,
+    ) -> Vec<DpEntry> {
+        finalize_with_coster(model, ctx, entries, &self.coster)
+    }
+}
+
+/// Shared root finalization: wrap entries that miss a required order in a
+/// sort costed by `coster`.  Used by the keep-1 and keep-all policies.
+pub(super) fn finalize_with_coster<C: PhaseCoster>(
+    model: &CostModel<'_>,
+    ctx: &RootContext,
+    entries: Vec<DpEntry>,
+    coster: &C,
+) -> Vec<DpEntry> {
+    let query = model.query();
+    let eq = model.equivalences();
+    entries
+        .into_iter()
+        .map(|e| match query.required_order {
+            Some(want) if !eq.satisfies(e.order, want) => {
+                let sort_cost = coster.sort_cost(model, ctx.set, ctx.sort_phase, e.pages);
+                DpEntry {
+                    plan: PlanNode::sort(e.plan, want),
+                    cost: e.cost + sort_cost,
+                    pages: e.pages,
+                    order: eq.sorted_on(want),
+                }
+            }
+            _ => e,
+        })
+        .collect()
+}

@@ -1,0 +1,190 @@
+//! The pluggable dynamic-programming search engine every optimizer mode
+//! runs on.
+//!
+//! The paper presents LEC optimization as "a generic modification of the
+//! basic System R optimizer": one DP driver over the subset dag, with the
+//! *costing and candidate-retention rule* as the only thing that changes
+//! between algorithms.  This module is that claim made literal.  The
+//! engine ([`engine::run_search`]) walks the dag — "the nodes at depth k
+//! are labeled by the subsets of {1,…,n} of cardinality k" — and is
+//! parameterized along two axes:
+//!
+//! * **plan shape** ([`engine::PlanShape`]): how a subset is split into
+//!   (outer, inner) operand pairs — left-deep (`S∖{j}` × `{j}`, §2.2) or
+//!   bushy (every connected 2-partition, the §4 extension);
+//! * **candidate policy** ([`policy::CandidatePolicy`]): what is kept per
+//!   dag node and how a join candidate is costed.
+//!
+//! Paper-section → policy mapping:
+//!
+//! | policy | costing | paper | used by |
+//! |---|---|---|---|
+//! | [`keep_best::KeepBestPolicy`] + [`coster::PointCoster`] | `C(P, m)` at one memory value | Thm 2.1 | [`crate::lsc`], Algorithm A's black box |
+//! | [`keep_best::KeepBestPolicy`] + [`coster::StaticExpectationCoster`] | `EC(P)` under a static distribution | §3.4, Thm 3.3 | [`crate::alg_c`], [`crate::bushy`] |
+//! | [`keep_best::KeepBestPolicy`] + [`coster::DynamicExpectationCoster`] | per-phase Markov-evolved `EC(P)` | §3.5, Thm 3.4 | [`crate::alg_c`] |
+//! | [`top_c::TopCPolicy`] | top-`c` per (subset, order) at a point, Prop 3.1 frontier | §3.3 | [`crate::alg_b`] |
+//! | [`multi_param::MultiParamPolicy`] | Figure 1 distribution bookkeeping, §3.6.3 rebucketing | §3.6 | [`crate::alg_d`] |
+//! | [`keep_all::KeepAllPolicy`] | any [`coster::PhaseCoster`], no pruning | ground truth | [`crate::exhaustive`] |
+//!
+//! Every policy funnels its memory-dependent evaluations through the
+//! memoized `*_for` methods of [`lec_cost::CostModel`], so identical
+//! per-bucket evaluations repeated across entry pairs and dag levels are
+//! computed once; [`SearchStats::evals`] exposes the reduction and
+//! [`SearchStats::cache_hits`] the work avoided.
+
+pub mod coster;
+pub mod engine;
+pub mod keep_all;
+pub mod keep_best;
+pub mod multi_param;
+pub mod policy;
+pub mod top_c;
+
+pub use coster::{DynamicExpectationCoster, PhaseCoster, PointCoster, StaticExpectationCoster};
+pub use engine::{plan_space_size, run_search, PlanShape, SearchRun};
+pub use keep_all::KeepAllPolicy;
+pub use keep_best::{DpEntry, KeepBestPolicy};
+pub use multi_param::{AlgDConfig, DistEntry, MultiParamPolicy};
+pub use policy::{
+    insert_entry, join_output_order, CandidatePolicy, JoinContext, Rankable, RootContext,
+    SearchEntry,
+};
+pub use top_c::{FrontierStats, TopCPolicy};
+
+use lec_plan::PlanNode;
+use lec_prob::Distribution;
+use std::time::Duration;
+
+/// Uniform search statistics, populated by the engine for every mode.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchStats {
+    /// Dag nodes (subsets) populated; for move-based searches, complete
+    /// plans costed.
+    pub nodes: usize,
+    /// Join candidates generated (subset × split × entry pair × method);
+    /// for move-based searches, neighbour moves proposed.
+    pub candidates: u64,
+    /// Cost-formula evaluations actually performed (cache hits excluded).
+    pub evals: u64,
+    /// Evaluations answered by the memoized cost cache instead.
+    pub cache_hits: u64,
+    /// Wall-clock optimization time.
+    pub elapsed: Duration,
+}
+
+impl SearchStats {
+    /// Accumulate another run's counters (black-box modes invoke the
+    /// engine several times).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.candidates += other.candidates;
+        self.evals += other.evals;
+        self.cache_hits += other.cache_hits;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// Mode-specific diagnostics carried alongside the uniform outcome.
+#[derive(Debug, Clone, Default)]
+pub enum SearchExtras {
+    /// Nothing beyond the uniform fields.
+    #[default]
+    None,
+    /// Algorithm A: the per-memory-representative candidates.
+    Candidates(Vec<crate::alg_a::Candidate>),
+    /// Algorithm B: Proposition 3.1 frontier counters and the number of
+    /// distinct candidate plans that were EC-ranked.
+    Frontier {
+        /// The frontier counters.
+        frontier: FrontierStats,
+        /// Distinct candidate plans ranked by expected cost.
+        n_candidates: usize,
+    },
+    /// Algorithm D: the winning plan's result-size distribution and the
+    /// largest pre-rebucketing product support seen.
+    MultiParam {
+        /// Distribution of the final result size in pages.
+        result_size: Distribution,
+        /// Largest size-distribution support before rebucketing.
+        max_product_support: usize,
+    },
+    /// Exhaustive verification: complete plans costed.
+    PlansCosted(u64),
+}
+
+/// The uniform result of one optimization run, whatever the mode.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The chosen plan.
+    pub plan: PlanNode,
+    /// Its objective value: point cost for LSC, expected cost for every
+    /// LEC mode.
+    pub cost: f64,
+    /// Uniform statistics.
+    pub stats: SearchStats,
+    /// Mode-specific diagnostics.
+    pub extras: SearchExtras,
+}
+
+impl SearchOutcome {
+    /// Assemble an outcome with no extras.
+    pub fn new(plan: PlanNode, cost: f64, stats: SearchStats) -> Self {
+        SearchOutcome {
+            plan,
+            cost,
+            stats,
+            extras: SearchExtras::None,
+        }
+    }
+
+    /// Algorithm B's frontier counters, when this outcome has them.
+    pub fn frontier(&self) -> Option<&FrontierStats> {
+        match &self.extras {
+            SearchExtras::Frontier { frontier, .. } => Some(frontier),
+            _ => None,
+        }
+    }
+
+    /// Algorithm B's distinct EC-ranked candidate count.
+    pub fn n_candidates(&self) -> Option<usize> {
+        match &self.extras {
+            SearchExtras::Frontier { n_candidates, .. } => Some(*n_candidates),
+            _ => None,
+        }
+    }
+
+    /// Algorithm A's candidate list.
+    pub fn candidates(&self) -> Option<&[crate::alg_a::Candidate]> {
+        match &self.extras {
+            SearchExtras::Candidates(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Algorithm D's result-size distribution.
+    pub fn result_size(&self) -> Option<&Distribution> {
+        match &self.extras {
+            SearchExtras::MultiParam { result_size, .. } => Some(result_size),
+            _ => None,
+        }
+    }
+
+    /// Algorithm D's largest pre-rebucketing product support.
+    pub fn max_product_support(&self) -> Option<usize> {
+        match &self.extras {
+            SearchExtras::MultiParam {
+                max_product_support,
+                ..
+            } => Some(*max_product_support),
+            _ => None,
+        }
+    }
+
+    /// The exhaustive verifier's complete-plans-costed count.
+    pub fn plans_costed(&self) -> Option<u64> {
+        match &self.extras {
+            SearchExtras::PlansCosted(n) => Some(*n),
+            _ => None,
+        }
+    }
+}

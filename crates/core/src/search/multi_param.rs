@@ -1,0 +1,234 @@
+//! The multi-parameter policy of Algorithm D (§3.6, Figure 1).
+//!
+//! Every DP node carries exactly the four distributions of Figure 1:
+//! `Pr(M)` (global), `Pr(|B_j|)` (the node's composite input size),
+//! `Pr(|A_j|)` (the joined table's size after selection) and `Pr(σ)` (the
+//! connecting predicates' selectivity).  Expected join cost uses the
+//! linear-time algorithms of §3.6.1/§3.6.2 where the formula is separable,
+//! and the generic triple sum otherwise; the result-size distribution is
+//! the independent product `|B_j|·|A_j|·σ` (§3.6: "the probability that the
+//! join has size abσ"), kept small by the §3.6.3 rebucketing — either
+//! rebucket-after-product, or the paper's ∛b-inputs scheme.
+
+use super::policy::{
+    access_alternatives, insert_entry, join_output_order, CandidatePolicy, JoinContext, Rankable,
+    RootContext, SearchEntry,
+};
+use super::SearchStats;
+use lec_cost::CostModel;
+use lec_plan::{JoinMethod, OrderProperty, PlanNode};
+use lec_prob::{Distribution, PrefixTables, Rebucket};
+
+/// Configuration of Algorithm D's distribution bookkeeping.
+#[derive(Debug, Clone)]
+pub struct AlgDConfig {
+    /// Maximum buckets kept for any node's size distribution (the paper's
+    /// uniform `b`).
+    pub max_buckets: usize,
+    /// Rebucketing strategy.
+    pub rebucket: Rebucket,
+    /// When true, rebucket *inputs* of the size product to `∛b` buckets so
+    /// the product itself lands near `b` (§3.6.3's scheme); when false,
+    /// form the exact product and rebucket the result to `b`.
+    pub cube_root_inputs: bool,
+}
+
+impl Default for AlgDConfig {
+    fn default() -> Self {
+        AlgDConfig {
+            max_buckets: 16,
+            rebucket: Rebucket::EqualDepth,
+            cube_root_inputs: false,
+        }
+    }
+}
+
+/// A DP entry whose size is a full distribution (Figure 1's per-node
+/// bookkeeping).
+#[derive(Debug, Clone)]
+pub struct DistEntry {
+    /// The plan.
+    pub plan: PlanNode,
+    /// Its expected cost over memory, sizes and selectivities.
+    pub cost: f64,
+    /// Distribution of the output size in pages.
+    pub pages: Distribution,
+    /// Output order property.
+    pub order: OrderProperty,
+}
+
+impl SearchEntry for DistEntry {
+    fn plan(&self) -> &PlanNode {
+        &self.plan
+    }
+    fn cost(&self) -> f64 {
+        self.cost
+    }
+}
+
+impl Rankable for DistEntry {
+    fn rank_cost(&self) -> f64 {
+        self.cost
+    }
+    fn rank_order(&self) -> OrderProperty {
+        self.order
+    }
+}
+
+/// The Figure 1 multi-parameter policy.
+#[derive(Debug, Clone)]
+pub struct MultiParamPolicy {
+    config: AlgDConfig,
+    memory: Distribution,
+    mem_fp: u64,
+    m_tables: PrefixTables,
+    /// Largest size-distribution support seen before rebucketing.
+    pub max_product_support: usize,
+}
+
+impl MultiParamPolicy {
+    /// A policy costing against `memory`.  Requires `config.max_buckets
+    /// >= 1`.
+    pub fn new(memory: &Distribution, config: AlgDConfig) -> Self {
+        assert!(
+            config.max_buckets >= 1,
+            "MultiParamPolicy requires max_buckets >= 1"
+        );
+        MultiParamPolicy {
+            m_tables: PrefixTables::new(memory),
+            mem_fp: lec_cost::dist_fingerprint(memory),
+            memory: memory.clone(),
+            config,
+            max_product_support: 0,
+        }
+    }
+
+    /// The §3.6.3 result-size distribution `|B_j| · |A_j| · σ`.
+    fn product_size(
+        &mut self,
+        outer: &Distribution,
+        inner: &Distribution,
+        sel: &Distribution,
+    ) -> Distribution {
+        let b = self.config.max_buckets;
+        let strategy = self.config.rebucket;
+        let product = if self.config.cube_root_inputs {
+            // Rebucket each factor to ∛b so the product has ≈ b buckets.
+            let cube = ((b as f64).cbrt().ceil() as usize).max(1);
+            rebucket_to(outer, cube, strategy)
+                .product(&rebucket_to(inner, cube, strategy))
+                .product(&rebucket_to(sel, cube, strategy))
+        } else {
+            outer.product(inner).product(sel)
+        };
+        self.max_product_support = self.max_product_support.max(product.len());
+        let clamped = product.map(|v| v.max(1.0));
+        rebucket_to(&clamped, b, strategy)
+    }
+}
+
+fn rebucket_to(d: &Distribution, n: usize, strategy: Rebucket) -> Distribution {
+    d.rebucket(n.max(1), strategy)
+        .expect("rebucket with n >= 1 cannot fail")
+}
+
+impl CandidatePolicy for MultiParamPolicy {
+    type Entry = DistEntry;
+
+    fn access_entries(
+        &mut self,
+        model: &CostModel<'_>,
+        idx: usize,
+        _stats: &mut SearchStats,
+    ) -> Vec<DistEntry> {
+        let pages = rebucket_to(
+            &model.base_pages_dist(idx),
+            self.config.max_buckets,
+            self.config.rebucket,
+        );
+        let mut entries = Vec::new();
+        for (plan, cost, order, _point_pages) in access_alternatives(model, idx) {
+            insert_entry(
+                &mut entries,
+                DistEntry {
+                    plan,
+                    cost,
+                    pages: pages.clone(),
+                    order,
+                },
+            );
+        }
+        entries
+    }
+
+    fn combine(
+        &mut self,
+        model: &CostModel<'_>,
+        ctx: &JoinContext,
+        outer: &[DistEntry],
+        inner: &[DistEntry],
+        into: &mut Vec<DistEntry>,
+        stats: &mut SearchStats,
+    ) {
+        let sel_dist = model.join_selectivity_dist_sets(ctx.left, ctx.right);
+        for oe in outer {
+            for ie in inner {
+                // Result size is method-independent; compute once.
+                let result_size = self.product_size(&oe.pages, &ie.pages, &sel_dist);
+                for method in JoinMethod::ALL {
+                    stats.candidates += 1;
+                    let join_ec = model.expected_join_cost_for(
+                        ctx.left,
+                        ctx.right,
+                        method,
+                        &oe.pages,
+                        &ie.pages,
+                        &self.memory,
+                        self.mem_fp,
+                        &self.m_tables,
+                    );
+                    insert_entry(
+                        into,
+                        DistEntry {
+                            plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),
+                            cost: oe.cost + ie.cost + join_ec,
+                            pages: result_size.clone(),
+                            order: join_output_order(model, ctx.left, oe.order, ctx.right, method),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn finalize(
+        &mut self,
+        model: &CostModel<'_>,
+        ctx: &RootContext,
+        entries: Vec<DistEntry>,
+        _stats: &mut SearchStats,
+    ) -> Vec<DistEntry> {
+        let query = model.query();
+        let eq = model.equivalences();
+        entries
+            .into_iter()
+            .map(|e| match query.required_order {
+                Some(want) if !eq.satisfies(e.order, want) => {
+                    let sc = model.expected_sort_cost_for(
+                        ctx.set,
+                        &e.pages,
+                        self.mem_fp,
+                        &self.m_tables,
+                    );
+                    DistEntry {
+                        plan: PlanNode::sort(e.plan, want),
+                        cost: e.cost + sc,
+                        pages: e.pages,
+                        order: eq.sorted_on(want),
+                    }
+                }
+                _ => e,
+            })
+            .collect()
+    }
+}

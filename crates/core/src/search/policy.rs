@@ -1,0 +1,231 @@
+//! The candidate-policy axis of the search engine: what each dag node
+//! retains and how a join candidate is costed.
+
+use super::SearchStats;
+use lec_cost::{AccessPath, CostModel};
+use lec_plan::{JoinMethod, OrderProperty, PlanNode, TableSet};
+
+/// Everything a policy needs to cost one (outer, inner) combination.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinContext {
+    /// The outer operand's table set.
+    pub left: TableSet,
+    /// The inner operand's table set (a singleton in left-deep search).
+    pub right: TableSet,
+    /// The union being built.
+    pub result: TableSet,
+    /// 0-based execution phase of §3.5: joining the k-th relation is
+    /// phase `k - 2`.
+    pub phase: usize,
+}
+
+/// Context for root finalization.
+#[derive(Debug, Clone, Copy)]
+pub struct RootContext {
+    /// The full table set.
+    pub set: TableSet,
+    /// Phase index of a root sort (after `n - 1` joins).
+    pub sort_phase: usize,
+}
+
+/// What the engine needs to read out of a policy's entries.
+pub trait SearchEntry: Clone {
+    /// The (partial) plan this entry stands for.
+    fn plan(&self) -> &PlanNode;
+    /// Its cost under the policy's objective.
+    fn cost(&self) -> f64;
+}
+
+/// A retention-and-costing strategy plugged into the engine.
+///
+/// The engine owns subset enumeration and operand pairing; the policy owns
+/// everything per-candidate: costing, output-order and size bookkeeping,
+/// and which candidates a node keeps.
+pub trait CandidatePolicy {
+    /// The per-node candidate representation.
+    type Entry: SearchEntry;
+
+    /// Build the depth-1 entries (access paths) for one table.
+    fn access_entries(
+        &mut self,
+        model: &CostModel<'_>,
+        idx: usize,
+        stats: &mut SearchStats,
+    ) -> Vec<Self::Entry>;
+
+    /// Combine every (outer, inner) entry pair under every join method,
+    /// inserting the retained candidates into `into`.
+    fn combine(
+        &mut self,
+        model: &CostModel<'_>,
+        ctx: &JoinContext,
+        outer: &[Self::Entry],
+        inner: &[Self::Entry],
+        into: &mut Vec<Self::Entry>,
+        stats: &mut SearchStats,
+    );
+
+    /// Enforce the query's required output order on the root candidates
+    /// (wrapping in a sort where needed) and return the survivors.
+    fn finalize(
+        &mut self,
+        model: &CostModel<'_>,
+        ctx: &RootContext,
+        entries: Vec<Self::Entry>,
+        stats: &mut SearchStats,
+    ) -> Vec<Self::Entry>;
+}
+
+/// `a` can substitute for `b`: same order, or `b` needs no order.
+pub fn covers(a: OrderProperty, b: OrderProperty) -> bool {
+    a == b || b == OrderProperty::None
+}
+
+/// An entry that can participate in domination pruning.
+pub trait Rankable {
+    /// Cost under the active objective.
+    fn rank_cost(&self) -> f64;
+    /// Output order property.
+    fn rank_order(&self) -> OrderProperty;
+}
+
+/// Insert with domination pruning: keep an entry only if no other entry
+/// with a covering order is at most as expensive.  This is the System R
+/// interesting-order rule shared by every keep-1 policy.
+pub fn insert_entry<T: Rankable>(entries: &mut Vec<T>, e: T) {
+    for f in entries.iter() {
+        if covers(f.rank_order(), e.rank_order()) && f.rank_cost() <= e.rank_cost() {
+            return;
+        }
+    }
+    entries.retain(|f| !(covers(e.rank_order(), f.rank_order()) && e.rank_cost() <= f.rank_cost()));
+    entries.push(e);
+}
+
+/// The output order of joining two composites — the shape-generic form of
+/// the \[SAC+79\] interesting-order rules (left-deep inner singletons are
+/// the special case `right = {j}`).
+pub fn join_output_order(
+    model: &CostModel<'_>,
+    left: TableSet,
+    left_order: OrderProperty,
+    right: TableSet,
+    method: JoinMethod,
+) -> OrderProperty {
+    match method {
+        JoinMethod::SortMerge => {
+            let crossing = model.query().joins_crossing(left, right);
+            match crossing.first() {
+                Some(&i) => model.equivalences().sorted_on(model.query().joins[i].left),
+                None => OrderProperty::None,
+            }
+        }
+        JoinMethod::PageNestedLoop => left_order,
+        JoinMethod::GraceHash | JoinMethod::BlockNestedLoop => OrderProperty::None,
+    }
+}
+
+/// The access-path alternatives of one table, costed: `(plan, cost, order,
+/// pages)`.  Shared by every policy's depth-1 construction.
+pub fn access_alternatives(
+    model: &CostModel<'_>,
+    idx: usize,
+) -> Vec<(PlanNode, f64, OrderProperty, f64)> {
+    model
+        .access_paths(idx)
+        .into_iter()
+        .map(|path| {
+            let plan = match path {
+                AccessPath::SeqScan => PlanNode::SeqScan { table: idx },
+                AccessPath::IndexScan => PlanNode::IndexScan { table: idx },
+            };
+            let order = lec_cost::output_order(model, &plan);
+            let cost = model.access_cost(path, idx);
+            (plan, cost, order, model.base_pages(idx))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::keep_best::DpEntry;
+    use lec_plan::ColumnRef;
+
+    fn order(c: Option<(usize, usize)>) -> OrderProperty {
+        match c {
+            Some((t, col)) => OrderProperty::Sorted(ColumnRef::new(t, col)),
+            None => OrderProperty::None,
+        }
+    }
+
+    fn entry(cost: f64, ord: OrderProperty) -> DpEntry {
+        DpEntry {
+            plan: PlanNode::SeqScan { table: 0 },
+            cost,
+            pages: 10.0,
+            order: ord,
+        }
+    }
+
+    #[test]
+    fn cheaper_same_order_replaces() {
+        let mut v = vec![entry(10.0, order(None))];
+        insert_entry(&mut v, entry(5.0, order(None)));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].cost, 5.0);
+    }
+
+    #[test]
+    fn more_expensive_same_order_is_dropped() {
+        let mut v = vec![entry(5.0, order(None))];
+        insert_entry(&mut v, entry(10.0, order(None)));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].cost, 5.0);
+    }
+
+    #[test]
+    fn sorted_entry_dominates_equal_cost_unsorted() {
+        let mut v = vec![entry(5.0, order(None))];
+        insert_entry(&mut v, entry(5.0, order(Some((0, 0)))));
+        // The sorted entry covers the unsorted one at equal cost.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].order, order(Some((0, 0))));
+    }
+
+    #[test]
+    fn expensive_sorted_entry_coexists_with_cheap_unsorted() {
+        let mut v = vec![entry(5.0, order(None))];
+        insert_entry(&mut v, entry(8.0, order(Some((0, 0)))));
+        assert_eq!(v.len(), 2, "an interesting order justifies extra cost");
+    }
+
+    #[test]
+    fn unsorted_never_dominates_sorted() {
+        let mut v = vec![entry(8.0, order(Some((0, 0))))];
+        insert_entry(&mut v, entry(5.0, order(None)));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn different_sort_orders_coexist() {
+        let mut v = vec![entry(5.0, order(Some((0, 0))))];
+        insert_entry(&mut v, entry(5.0, order(Some((1, 1)))));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn cheap_sorted_kills_expensive_everything() {
+        let mut v = vec![
+            entry(9.0, order(None)),
+            entry(12.0, order(Some((0, 0)))),
+            entry(7.0, order(Some((1, 1)))),
+        ];
+        insert_entry(&mut v, entry(3.0, order(Some((0, 0)))));
+        // Kills the unsorted 9.0 and the same-order 12.0; the (1,1) order
+        // at 7.0 survives (incomparable).
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|e| e.cost == 3.0));
+        assert!(v.iter().any(|e| e.cost == 7.0));
+    }
+}

@@ -185,12 +185,10 @@ pub fn streaming_expected_join_cost(
     let a = PrefixTables::new(a_dist);
     let b = PrefixTables::new(b_dist);
     match method {
-        JoinMethod::SortMerge => {
-            Some(streaming_expected_sm_cost(&a, b_dist, &b, a_dist, m_tables))
-        }
-        JoinMethod::GraceHash => {
-            Some(streaming_expected_grace_cost(&a, b_dist, &b, a_dist, m_tables))
-        }
+        JoinMethod::SortMerge => Some(streaming_expected_sm_cost(&a, b_dist, &b, a_dist, m_tables)),
+        JoinMethod::GraceHash => Some(streaming_expected_grace_cost(
+            &a, b_dist, &b, a_dist, m_tables,
+        )),
         JoinMethod::PageNestedLoop => {
             Some(streaming_expected_nl_cost(&a, b_dist, &b, a_dist, m_tables))
         }
@@ -244,10 +242,8 @@ mod tests {
 
     fn rand_dist(rng: &mut impl Rng, max_buckets: usize, lo: f64, hi: f64) -> Distribution {
         let n = rng.gen_range(1..=max_buckets);
-        Distribution::from_pairs(
-            (0..n).map(|_| (rng.gen_range(lo..hi), rng.gen_range(0.05..1.0))),
-        )
-        .unwrap()
+        Distribution::from_pairs((0..n).map(|_| (rng.gen_range(lo..hi), rng.gen_range(0.05..1.0))))
+            .unwrap()
     }
 
     #[test]
@@ -264,8 +260,8 @@ mod tests {
                 JoinMethod::PageNestedLoop,
             ] {
                 let naive = naive_expected_join_cost(method, &a, &b, &m);
-                let fast = streaming_expected_join_cost(method, &a, &b, &mt)
-                    .expect("separable method");
+                let fast =
+                    streaming_expected_join_cost(method, &a, &b, &mt).expect("separable method");
                 let scale = naive.abs().max(1.0);
                 assert!(
                     ((naive - fast) / scale).abs() < 1e-9,
@@ -282,9 +278,9 @@ mod tests {
         let b = Distribution::from_pairs([(100.0, 0.25), (200.0, 0.75)]).unwrap();
         // Memory exactly at cliff values of both:
         let m = Distribution::from_pairs([
-            (10.0, 0.2),                 // = √100
-            (100f64.cbrt(), 0.2),        // ∛100
-            (102.0, 0.3),                // = min+2 for a=100
+            (10.0, 0.2),          // = √100
+            (100f64.cbrt(), 0.2), // ∛100
+            (102.0, 0.3),         // = min+2 for a=100
             (1000.0, 0.3),
         ])
         .unwrap();
@@ -310,15 +306,12 @@ mod tests {
         let b = Distribution::point(400_000.0);
         let m = lec_prob::presets::example_1_1_memory();
         let mt = PrefixTables::new(&m);
-        let direct =
-            m.expect(|mv| formulas::sm_join_cost(1_000_000.0, 400_000.0, mv));
-        let fast =
-            streaming_expected_join_cost(JoinMethod::SortMerge, &a, &b, &mt).unwrap();
+        let direct = m.expect(|mv| formulas::sm_join_cost(1_000_000.0, 400_000.0, mv));
+        let fast = streaming_expected_join_cost(JoinMethod::SortMerge, &a, &b, &mt).unwrap();
         assert!((direct - fast).abs() < 1e-6);
         // Paper numbers: 0.8·2.8e6 + 0.2·5.6e6 = 3.36e6.
         assert!((fast - 3_360_000.0).abs() < 1e-6);
-        let grace =
-            streaming_expected_join_cost(JoinMethod::GraceHash, &a, &b, &mt).unwrap();
+        let grace = streaming_expected_join_cost(JoinMethod::GraceHash, &a, &b, &mt).unwrap();
         assert!((grace - 2_800_000.0).abs() < 1e-6);
     }
 
@@ -330,11 +323,9 @@ mod tests {
         let m = Distribution::point(5.0);
         let mt = PrefixTables::new(&m);
         let small_outer =
-            streaming_expected_join_cost(JoinMethod::PageNestedLoop, &small, &big, &mt)
-                .unwrap();
+            streaming_expected_join_cost(JoinMethod::PageNestedLoop, &small, &big, &mt).unwrap();
         let big_outer =
-            streaming_expected_join_cost(JoinMethod::PageNestedLoop, &big, &small, &mt)
-                .unwrap();
+            streaming_expected_join_cost(JoinMethod::PageNestedLoop, &big, &small, &mt).unwrap();
         assert_eq!(small_outer, 10.0 + 10.0 * 1000.0);
         assert_eq!(big_outer, 1000.0 + 1000.0 * 10.0);
         assert!(small_outer < big_outer);
@@ -346,8 +337,7 @@ mod tests {
         let b = Distribution::point(50.0);
         let m = Distribution::point(12.0);
         let mt = PrefixTables::new(&m);
-        assert!(streaming_expected_join_cost(JoinMethod::BlockNestedLoop, &a, &b, &mt)
-            .is_none());
+        assert!(streaming_expected_join_cost(JoinMethod::BlockNestedLoop, &a, &b, &mt).is_none());
         let ec = expected_join_cost(JoinMethod::BlockNestedLoop, &a, &b, &m, &mt);
         assert_eq!(ec, formulas::bnl_join_cost(100.0, 50.0, 12.0));
     }

@@ -195,9 +195,15 @@ mod tests {
             assert_eq!(grace_join_cost(1e6, 4e5, m), grace_join_cost(4e5, 1e6, m));
         }
         // NL is asymmetric below the memory threshold (A is outer).
-        assert_ne!(nl_join_cost(10.0, 1000.0, 5.0), nl_join_cost(1000.0, 10.0, 5.0));
+        assert_ne!(
+            nl_join_cost(10.0, 1000.0, 5.0),
+            nl_join_cost(1000.0, 10.0, 5.0)
+        );
         // ... but symmetric above it.
-        assert_eq!(nl_join_cost(10.0, 1000.0, 2000.0), nl_join_cost(1000.0, 10.0, 2000.0));
+        assert_eq!(
+            nl_join_cost(10.0, 1000.0, 2000.0),
+            nl_join_cost(1000.0, 10.0, 2000.0)
+        );
     }
 
     #[test]
@@ -274,7 +280,10 @@ mod tests {
     fn breakpoints_bracket_actual_cliffs() {
         let (a, b) = (1e6, 4e5);
         for (f, bps) in [
-            (sm_join_cost as fn(f64, f64, f64) -> f64, sm_breakpoints(a, b)),
+            (
+                sm_join_cost as fn(f64, f64, f64) -> f64,
+                sm_breakpoints(a, b),
+            ),
             (grace_join_cost, grace_breakpoints(a, b)),
             (nl_join_cost, nl_breakpoints(a, b)),
         ] {

@@ -23,11 +23,10 @@ pub mod model;
 pub mod plan_cost;
 
 pub use expected::{
-    expected_join_cost, expected_sort_cost, naive_expected_join_cost,
-    streaming_expected_join_cost,
+    expected_join_cost, expected_sort_cost, naive_expected_join_cost, streaming_expected_join_cost,
 };
-pub use model::{AccessPath, CostModel};
+pub use model::{dist_fingerprint, AccessPath, CostModel};
 pub use plan_cost::{
-    expected_plan_cost_dynamic, expected_plan_cost_static, output_order, phases,
-    plan_cost_at, plan_memory_breakpoints, plan_output_pages, MemCost, Phase,
+    expected_plan_cost_dynamic, expected_plan_cost_static, output_order, phases, plan_cost_at,
+    plan_memory_breakpoints, plan_output_pages, MemCost, Phase,
 };

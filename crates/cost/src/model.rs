@@ -4,8 +4,9 @@
 use crate::formulas;
 use lec_catalog::{Catalog, IndexKind};
 use lec_plan::{ColumnEquivalences, JoinMethod, Query, TableSet};
-use lec_prob::Distribution;
-use std::cell::Cell;
+use lec_prob::{Distribution, PrefixTables};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 
 /// How a base table is accessed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +17,102 @@ pub enum AccessPath {
     IndexScan,
 }
 
+/// Operator discriminant for [`EvalKey`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum EvalOp {
+    /// Point join cost of one method.
+    Join(JoinMethod),
+    /// Point sort cost.
+    Sort,
+    /// Expected join cost of point-sized inputs over a memory
+    /// distribution (Algorithms B/C): one cache entry stands for a whole
+    /// `b`-bucket expectation.
+    ExpectedJoinOver(JoinMethod),
+    /// Expected sort cost of a point-sized input over a memory
+    /// distribution.
+    ExpectedSortOver,
+    /// Expected join cost over size + memory distributions (Algorithm D).
+    ExpectedJoin(JoinMethod),
+    /// Expected sort cost over size + memory distributions.
+    ExpectedSort,
+}
+
+/// FxHash — the rustc-style multiply-rotate hasher.  [`EvalKey`] lookups
+/// sit on the engine's innermost loop, where the default SipHash costs
+/// more than the cost formulas it would be saving.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl std::hash::Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(0x517CC1B727220A95);
+    }
+}
+
+type EvalMap = HashMap<EvalKey, f64, std::hash::BuildHasherDefault<FxHasher>>;
+
+/// Memoization key for one memory-dependent operator evaluation: the
+/// operand table sets, the operator, the memory bucket, and the exact
+/// operand sizes (point pages or distribution fingerprints).
+///
+/// The sets alone *almost* determine the sizes — intermediate page counts
+/// are order-independent products — but the one-page clamp in
+/// `join_output_pages` can make entries of the same subset built through
+/// different splits carry different sizes, so the sizes participate in the
+/// key and the cache is exact rather than approximate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct EvalKey {
+    left: u64,
+    right: u64,
+    op: EvalOp,
+    mem: u64,
+    outer: u64,
+    inner: u64,
+}
+
+/// 64-bit FNV-1a fingerprint of a distribution's exact contents, used to
+/// key the expected-cost caches.
+pub fn dist_fingerprint(d: &Distribution) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    let mut eat = |bits: u64| {
+        for b in bits.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001B3);
+        }
+    };
+    for (v, p) in d.iter() {
+        eat(v.to_bits());
+        eat(p.to_bits());
+    }
+    h
+}
+
 /// Cost model bound to one catalog and one query.
 ///
 /// All size parameters are in pages.  Uncertain quantities are exposed both
@@ -24,12 +121,24 @@ pub enum AccessPath {
 /// evaluation of a cost formula through [`CostModel::evals`], which is the
 /// unit in which the paper states its overheads ("this computation requires
 /// b evaluations of the cost formula", §3.4).
+///
+/// The `*_for` methods additionally memoize evaluations in a cache keyed by
+/// `(table sets, operator, memory bucket, operand sizes)`, so the repeated
+/// per-bucket evaluations the DP algorithms perform across entry pairs and
+/// DP levels are computed once; cache hits do not increment the evaluation
+/// counter (they perform no formula work), which is exactly the reduction
+/// [`CostModel::evals`] is meant to expose.  The cache is on by default and
+/// can be disabled with [`CostModel::set_eval_cache`] for apples-to-apples
+/// overhead measurements.
 #[derive(Debug)]
 pub struct CostModel<'a> {
     catalog: &'a Catalog,
     query: &'a Query,
     equivalences: ColumnEquivalences,
     evals: Cell<u64>,
+    eval_cache: RefCell<EvalMap>,
+    cache_enabled: Cell<bool>,
+    cache_hits: Cell<u64>,
 }
 
 impl<'a> CostModel<'a> {
@@ -40,6 +149,9 @@ impl<'a> CostModel<'a> {
             query,
             equivalences: ColumnEquivalences::for_query(query),
             evals: Cell::new(0),
+            eval_cache: RefCell::new(EvalMap::default()),
+            cache_enabled: Cell::new(true),
+            cache_hits: Cell::new(0),
         }
     }
 
@@ -72,16 +184,216 @@ impl<'a> CostModel<'a> {
         self.evals.set(self.evals.get() + 1);
     }
 
+    fn count_evals(&self, n: u64) {
+        self.evals.set(self.evals.get() + n);
+    }
+
+    // ---- evaluation cache -----------------------------------------------
+
+    /// Enable or disable the memoized evaluation cache used by the `*_for`
+    /// methods.  Toggling clears the cache and its hit counter.
+    pub fn set_eval_cache(&self, enabled: bool) {
+        self.cache_enabled.set(enabled);
+        self.eval_cache.borrow_mut().clear();
+        self.cache_hits.set(0);
+    }
+
+    /// Whether the evaluation cache is active.
+    pub fn eval_cache_enabled(&self) -> bool {
+        self.cache_enabled.get()
+    }
+
+    /// Number of evaluations answered from the cache (no formula work).
+    pub fn eval_cache_hits(&self) -> u64 {
+        self.cache_hits.get()
+    }
+
+    /// Number of distinct evaluations currently memoized.
+    pub fn eval_cache_len(&self) -> usize {
+        self.eval_cache.borrow().len()
+    }
+
+    fn cached(&self, key: EvalKey, compute: impl FnOnce() -> f64) -> f64 {
+        if !self.cache_enabled.get() {
+            return compute();
+        }
+        if let Some(&v) = self.eval_cache.borrow().get(&key) {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            return v;
+        }
+        let v = compute();
+        self.eval_cache.borrow_mut().insert(key, v);
+        v
+    }
+
+    /// [`CostModel::join_cost`] memoized under
+    /// `(left, right, method, m, sizes)` — the per-bucket evaluation unit
+    /// of Algorithms B/C.
+    #[allow(clippy::too_many_arguments)]
+    pub fn join_cost_for(
+        &self,
+        left: TableSet,
+        right: TableSet,
+        method: JoinMethod,
+        outer: f64,
+        inner: f64,
+        m: f64,
+    ) -> f64 {
+        let key = EvalKey {
+            left: left.bits(),
+            right: right.bits(),
+            op: EvalOp::Join(method),
+            mem: m.to_bits(),
+            outer: outer.to_bits(),
+            inner: inner.to_bits(),
+        };
+        self.cached(key, || self.join_cost(method, outer, inner, m))
+    }
+
+    /// [`CostModel::sort_cost`] memoized under `(set, m, pages)`.
+    pub fn sort_cost_for(&self, set: TableSet, pages: f64, m: f64) -> f64 {
+        let key = EvalKey {
+            left: set.bits(),
+            right: 0,
+            op: EvalOp::Sort,
+            mem: m.to_bits(),
+            outer: pages.to_bits(),
+            inner: 0,
+        };
+        self.cached(key, || self.sort_cost(pages, m))
+    }
+
+    /// Expected join cost of *point-sized* inputs over a memory
+    /// distribution — the whole `b`-bucket expectation of Algorithms B/C
+    /// as one cache entry.  `mem_fp` is the distribution's
+    /// [`dist_fingerprint`], precomputed by the caller so the hot path
+    /// never rehashes the distribution.  On a miss the per-bucket
+    /// evaluations flow through [`CostModel::join_cost_for`], so the
+    /// per-bucket cache stays shared with every other coster.
+    #[allow(clippy::too_many_arguments)]
+    pub fn expected_join_cost_over(
+        &self,
+        left: TableSet,
+        right: TableSet,
+        method: JoinMethod,
+        outer: f64,
+        inner: f64,
+        memory: &Distribution,
+        mem_fp: u64,
+    ) -> f64 {
+        let key = EvalKey {
+            left: left.bits(),
+            right: right.bits(),
+            op: EvalOp::ExpectedJoinOver(method),
+            mem: mem_fp,
+            outer: outer.to_bits(),
+            inner: inner.to_bits(),
+        };
+        self.cached(key, || {
+            memory.expect(|m| self.join_cost_for(left, right, method, outer, inner, m))
+        })
+    }
+
+    /// Expected sort cost of a point-sized input over a memory
+    /// distribution, memoized like [`CostModel::expected_join_cost_over`].
+    pub fn expected_sort_cost_over(
+        &self,
+        set: TableSet,
+        pages: f64,
+        memory: &Distribution,
+        mem_fp: u64,
+    ) -> f64 {
+        let key = EvalKey {
+            left: set.bits(),
+            right: 0,
+            op: EvalOp::ExpectedSortOver,
+            mem: mem_fp,
+            outer: pages.to_bits(),
+            inner: 0,
+        };
+        self.cached(key, || memory.expect(|m| self.sort_cost_for(set, pages, m)))
+    }
+
+    /// Expected join cost over size and memory distributions (Algorithm
+    /// D's per-method costing step), memoized under the operand sets and
+    /// distribution fingerprints.  `m_fp` is the memory distribution's
+    /// [`dist_fingerprint`], precomputed by the caller — the memory
+    /// distribution is constant for a whole run, so the hot path never
+    /// rehashes it.  Counts the §3.6.1/§3.6.2 number of
+    /// cost-formula evaluations on a miss: linear in the bucket counts for
+    /// the separable methods, the full `b_A·b_B·b_M` triple product for
+    /// block nested-loop.
+    #[allow(clippy::too_many_arguments)]
+    pub fn expected_join_cost_for(
+        &self,
+        left: TableSet,
+        right: TableSet,
+        method: JoinMethod,
+        a_dist: &Distribution,
+        b_dist: &Distribution,
+        m_dist: &Distribution,
+        m_fp: u64,
+        m_tables: &PrefixTables,
+    ) -> f64 {
+        let key = EvalKey {
+            left: left.bits(),
+            right: right.bits(),
+            op: EvalOp::ExpectedJoin(method),
+            mem: m_fp,
+            outer: dist_fingerprint(a_dist),
+            inner: dist_fingerprint(b_dist),
+        };
+        self.cached(key, || {
+            let evals = match method {
+                JoinMethod::BlockNestedLoop => {
+                    crate::expected::naive_eval_count(a_dist, b_dist, m_dist)
+                }
+                _ => (a_dist.len() + b_dist.len()) as u64,
+            };
+            self.count_evals(evals);
+            crate::expected::expected_join_cost(method, a_dist, b_dist, m_dist, m_tables)
+        })
+    }
+
+    /// Expected sort cost over size and memory distributions, memoized
+    /// like [`CostModel::expected_join_cost_for`].
+    pub fn expected_sort_cost_for(
+        &self,
+        set: TableSet,
+        r_dist: &Distribution,
+        m_fp: u64,
+        m_tables: &PrefixTables,
+    ) -> f64 {
+        let key = EvalKey {
+            left: set.bits(),
+            right: 0,
+            op: EvalOp::ExpectedSort,
+            mem: m_fp,
+            outer: dist_fingerprint(r_dist),
+            inner: 0,
+        };
+        self.cached(key, || {
+            self.count_evals(r_dist.len() as u64);
+            crate::expected::expected_sort_cost(r_dist, m_tables)
+        })
+    }
+
     // ---- sizes ----------------------------------------------------------
 
     /// Raw heap pages of a query table.
     pub fn raw_pages(&self, table_idx: usize) -> f64 {
-        self.catalog.table(self.query.tables[table_idx].table).stats.pages as f64
+        self.catalog
+            .table(self.query.tables[table_idx].table)
+            .stats
+            .pages as f64
     }
 
     /// Rows of a query table.
     pub fn raw_rows(&self, table_idx: usize) -> f64 {
-        self.catalog.table(self.query.tables[table_idx].table).stats.rows as f64
+        self.catalog
+            .table(self.query.tables[table_idx].table)
+            .stats
+            .rows as f64
     }
 
     /// Point estimate (mean) of the post-filter page count of a table —
@@ -128,6 +440,17 @@ impl<'a> CostModel<'a> {
         dist
     }
 
+    /// Distribution of the combined selectivity of all predicates crossing
+    /// two disjoint table sets (the `Pr(σ)` of Figure 1 in bushy-capable
+    /// form).
+    pub fn join_selectivity_dist_sets(&self, a: TableSet, b: TableSet) -> Distribution {
+        let mut dist = Distribution::point(1.0);
+        for &i in &self.query.joins_crossing(a, b) {
+            dist = dist.product(&self.query.joins[i].selectivity);
+        }
+        dist
+    }
+
     /// Point (mean) combined selectivity of all predicates crossing two
     /// disjoint table sets (general form used when costing arbitrary trees).
     pub fn join_selectivity_sets(&self, a: TableSet, b: TableSet) -> f64 {
@@ -158,11 +481,7 @@ impl<'a> CostModel<'a> {
     fn index_kind_for_filter(&self, table_idx: usize) -> IndexKind {
         let qt = &self.query.tables[table_idx];
         match &qt.filter {
-            Some(f) => self
-                .catalog
-                .table(qt.table)
-                .stats
-                .index_on(f.column),
+            Some(f) => self.catalog.table(qt.table).stats.index_on(f.column),
             None => IndexKind::None,
         }
     }
@@ -175,21 +494,15 @@ impl<'a> CostModel<'a> {
             AccessPath::SeqScan => formulas::seq_scan_cost(pages),
             AccessPath::IndexScan => {
                 let qt = &self.query.tables[table_idx];
-                let f = qt
-                    .filter
-                    .as_ref()
-                    .expect("index scan requires a filter");
+                let f = qt.filter.as_ref().expect("index scan requires a filter");
                 let rows = self.raw_rows(table_idx);
                 match self.index_kind_for_filter(table_idx) {
-                    IndexKind::Clustered => formulas::clustered_index_scan_cost(
-                        pages,
-                        rows,
-                        f.selectivity.mean(),
-                    ),
-                    IndexKind::Unclustered => formulas::unclustered_index_scan_cost(
-                        rows,
-                        f.selectivity.mean(),
-                    ),
+                    IndexKind::Clustered => {
+                        formulas::clustered_index_scan_cost(pages, rows, f.selectivity.mean())
+                    }
+                    IndexKind::Unclustered => {
+                        formulas::unclustered_index_scan_cost(rows, f.selectivity.mean())
+                    }
                     IndexKind::None => unreachable!("access_paths gates on index presence"),
                 }
             }
@@ -300,7 +613,10 @@ mod tests {
         let (cat, q) = fixture();
         let m = CostModel::new(&cat, &q);
         // Table 0: clustered index on the filtered column.
-        assert_eq!(m.access_paths(0), vec![AccessPath::SeqScan, AccessPath::IndexScan]);
+        assert_eq!(
+            m.access_paths(0),
+            vec![AccessPath::SeqScan, AccessPath::IndexScan]
+        );
         // Table 1: no filter, no index scan.
         assert_eq!(m.access_paths(1), vec![AccessPath::SeqScan]);
         // Index scan cheaper than full scan at 10% selectivity.
@@ -341,6 +657,68 @@ mod tests {
             m.join_cost(JoinMethod::BlockNestedLoop, a, b, mem),
             crate::formulas::bnl_join_cost(a, b, mem)
         );
+    }
+
+    #[test]
+    fn eval_cache_hits_skip_the_counter() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        let (l, r) = (TableSet::singleton(0), TableSet::singleton(1));
+        let first = m.join_cost_for(l, r, JoinMethod::SortMerge, 100.0, 200.0, 50.0);
+        assert_eq!(m.evals(), 1);
+        assert_eq!(m.eval_cache_hits(), 0);
+        let again = m.join_cost_for(l, r, JoinMethod::SortMerge, 100.0, 200.0, 50.0);
+        assert_eq!(first, again);
+        assert_eq!(m.evals(), 1, "hit must not re-evaluate");
+        assert_eq!(m.eval_cache_hits(), 1);
+        // A different memory bucket is a different key.
+        m.join_cost_for(l, r, JoinMethod::SortMerge, 100.0, 200.0, 60.0);
+        assert_eq!(m.evals(), 2);
+        // Sort shares the machinery.
+        m.sort_cost_for(l, 100.0, 10.0);
+        m.sort_cost_for(l, 100.0, 10.0);
+        assert_eq!(m.evals(), 3);
+        assert_eq!(m.eval_cache_hits(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_matches_enabled_values() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        let (l, r) = (TableSet::singleton(0), TableSet::singleton(1));
+        let cached = m.join_cost_for(l, r, JoinMethod::GraceHash, 1e4, 2e4, 300.0);
+        m.set_eval_cache(false);
+        m.reset_evals();
+        let raw = m.join_cost_for(l, r, JoinMethod::GraceHash, 1e4, 2e4, 300.0);
+        m.join_cost_for(l, r, JoinMethod::GraceHash, 1e4, 2e4, 300.0);
+        assert_eq!(cached, raw);
+        assert_eq!(m.evals(), 2, "disabled cache evaluates every call");
+        assert_eq!(m.eval_cache_hits(), 0);
+    }
+
+    #[test]
+    fn expected_cost_cache_counts_paper_eval_units() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        let (l, r) = (TableSet::singleton(0), TableSet::singleton(1));
+        let a = Distribution::bimodal(100.0, 200.0, 0.5).unwrap();
+        let b = Distribution::bimodal(50.0, 80.0, 0.5).unwrap();
+        let mem = Distribution::bimodal(10.0, 1000.0, 0.5).unwrap();
+        let mt = lec_prob::PrefixTables::new(&mem);
+        let mem_fp = dist_fingerprint(&mem);
+        m.reset_evals();
+        let ec = m.expected_join_cost_for(l, r, JoinMethod::SortMerge, &a, &b, &mem, mem_fp, &mt);
+        assert_eq!(m.evals(), 4, "streaming SM is linear in bucket counts");
+        let replay = crate::expected::expected_join_cost(JoinMethod::SortMerge, &a, &b, &mem, &mt);
+        assert_eq!(ec, replay);
+        m.expected_join_cost_for(l, r, JoinMethod::SortMerge, &a, &b, &mem, mem_fp, &mt);
+        assert_eq!(m.evals(), 4, "second call is a cache hit");
+        m.reset_evals();
+        m.expected_join_cost_for(l, r, JoinMethod::BlockNestedLoop, &a, &b, &mem, mem_fp, &mt);
+        assert_eq!(m.evals(), 8, "BNL falls back to the b_A*b_B*b_M triple sum");
+        m.reset_evals();
+        m.expected_sort_cost_for(l, &a, mem_fp, &mt);
+        assert_eq!(m.evals(), 2);
     }
 
     #[test]

@@ -51,9 +51,11 @@ impl Phase {
         self.fixed
             + match &self.mem {
                 MemCost::None => 0.0,
-                MemCost::Join { method, outer, inner } => {
-                    model.join_cost(*method, *outer, *inner, m)
-                }
+                MemCost::Join {
+                    method,
+                    outer,
+                    inner,
+                } => model.join_cost(*method, *outer, *inner, m),
                 MemCost::Sort { pages } => model.sort_cost(*pages, m),
             }
     }
@@ -87,14 +89,20 @@ fn collect(model: &CostModel<'_>, node: &PlanNode, out: &mut Vec<Phase>) -> Node
                 fixed: info.pending_fixed,
                 mem: MemCost::Sort { pages: info.pages },
             });
-            NodeInfo { pages: info.pages, pending_fixed: 0.0 }
+            NodeInfo {
+                pages: info.pages,
+                pending_fixed: 0.0,
+            }
         }
-        PlanNode::Join { method, outer, inner } => {
+        PlanNode::Join {
+            method,
+            outer,
+            inner,
+        } => {
             let outer_info = collect(model, outer, out);
             let inner_info = collect(model, inner, out);
             let sel = model.join_selectivity_sets(outer.tables(), inner.tables());
-            let pages =
-                model.join_output_pages(outer_info.pages, inner_info.pages, sel);
+            let pages = model.join_output_pages(outer_info.pages, inner_info.pages, sel);
             out.push(Phase {
                 fixed: outer_info.pending_fixed + inner_info.pending_fixed,
                 mem: MemCost::Join {
@@ -103,7 +111,10 @@ fn collect(model: &CostModel<'_>, node: &PlanNode, out: &mut Vec<Phase>) -> Node
                     inner: inner_info.pages,
                 },
             });
-            NodeInfo { pages, pending_fixed: 0.0 }
+            NodeInfo {
+                pages,
+                pending_fixed: 0.0,
+            }
         }
         PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => unreachable!(),
     }
@@ -115,7 +126,10 @@ pub fn phases(model: &CostModel<'_>, plan: &PlanNode) -> Vec<Phase> {
     let info = collect(model, plan, &mut out);
     if info.pending_fixed > 0.0 {
         // Degenerate single-access plan: charge the access as its own phase.
-        out.push(Phase { fixed: info.pending_fixed, mem: MemCost::None });
+        out.push(Phase {
+            fixed: info.pending_fixed,
+            mem: MemCost::None,
+        });
     }
     out
 }
@@ -123,9 +137,7 @@ pub fn phases(model: &CostModel<'_>, plan: &PlanNode) -> Vec<Phase> {
 /// Output size of a plan in pages (point estimates).
 pub fn plan_output_pages(model: &CostModel<'_>, plan: &PlanNode) -> f64 {
     match plan {
-        PlanNode::SeqScan { table } | PlanNode::IndexScan { table } => {
-            model.base_pages(*table)
-        }
+        PlanNode::SeqScan { table } | PlanNode::IndexScan { table } => model.base_pages(*table),
         PlanNode::Sort { input, .. } => plan_output_pages(model, input),
         PlanNode::Join { outer, inner, .. } => {
             let sel = model.join_selectivity_sets(outer.tables(), inner.tables());
@@ -156,11 +168,7 @@ pub fn output_order(model: &CostModel<'_>, plan: &PlanNode) -> OrderProperty {
             match &qt.filter {
                 Some(f) => {
                     use lec_catalog::IndexKind;
-                    let kind = model
-                        .catalog()
-                        .table(qt.table)
-                        .stats
-                        .index_on(f.column);
+                    let kind = model.catalog().table(qt.table).stats.index_on(f.column);
                     if kind == IndexKind::Clustered {
                         eq.sorted_on(lec_plan::ColumnRef::new(*table, f.column))
                     } else {
@@ -171,10 +179,13 @@ pub fn output_order(model: &CostModel<'_>, plan: &PlanNode) -> OrderProperty {
             }
         }
         PlanNode::Sort { key, .. } => eq.sorted_on(*key),
-        PlanNode::Join { method, outer, inner } => match method {
+        PlanNode::Join {
+            method,
+            outer,
+            inner,
+        } => match method {
             JoinMethod::SortMerge => {
-                let crossing =
-                    model.query().joins_crossing(outer.tables(), inner.tables());
+                let crossing = model.query().joins_crossing(outer.tables(), inner.tables());
                 match crossing.first() {
                     Some(&i) => eq.sorted_on(model.query().joins[i].left),
                     None => OrderProperty::None,
@@ -236,16 +247,14 @@ pub fn plan_memory_breakpoints(model: &CostModel<'_>, plan: &PlanNode) -> Vec<f6
     for phase in &ph {
         match &phase.mem {
             MemCost::None => {}
-            MemCost::Join { method, outer, inner } => match method {
-                JoinMethod::SortMerge => {
-                    bps.extend(formulas::sm_breakpoints(*outer, *inner))
-                }
-                JoinMethod::GraceHash => {
-                    bps.extend(formulas::grace_breakpoints(*outer, *inner))
-                }
-                JoinMethod::PageNestedLoop => {
-                    bps.extend(formulas::nl_breakpoints(*outer, *inner))
-                }
+            MemCost::Join {
+                method,
+                outer,
+                inner,
+            } => match method {
+                JoinMethod::SortMerge => bps.extend(formulas::sm_breakpoints(*outer, *inner)),
+                JoinMethod::GraceHash => bps.extend(formulas::grace_breakpoints(*outer, *inner)),
+                JoinMethod::PageNestedLoop => bps.extend(formulas::nl_breakpoints(*outer, *inner)),
                 JoinMethod::BlockNestedLoop => {
                     bps.extend(formulas::bnl_breakpoints(*outer, *inner, 16))
                 }
@@ -351,9 +360,7 @@ mod tests {
         assert!(ec2 < ec1, "the paper's LEC choice");
         // While at the modal AND mean memory, plan 1 is the LSC winner:
         for m in [2000.0, memory.mean()] {
-            assert!(
-                plan_cost_at(&model, &plan1(), m) < plan_cost_at(&model, &plan2(), m)
-            );
+            assert!(plan_cost_at(&model, &plan1(), m) < plan_cost_at(&model, &plan2(), m));
         }
     }
 
@@ -367,7 +374,10 @@ mod tests {
         assert_eq!(ph[0].fixed, 1_400_000.0);
         assert!(matches!(
             ph[0].mem,
-            MemCost::Join { method: JoinMethod::GraceHash, .. }
+            MemCost::Join {
+                method: JoinMethod::GraceHash,
+                ..
+            }
         ));
         // Phase 1: the sort of the 3000-page result.
         assert_eq!(ph[0].fixed + ph[1].fixed, 1_400_000.0);
@@ -417,8 +427,7 @@ mod tests {
         let chain = MarkovChain::identity(vec![700.0, 2000.0]).unwrap();
         for plan in [plan1(), plan2()] {
             let stat = expected_plan_cost_static(&model, &plan, &memory);
-            let dynm =
-                expected_plan_cost_dynamic(&model, &plan, &memory, &chain).unwrap();
+            let dynm = expected_plan_cost_dynamic(&model, &plan, &memory, &chain).unwrap();
             assert!((stat - dynm).abs() < 1e-6, "{} vs {}", stat, dynm);
         }
     }
@@ -429,11 +438,8 @@ mod tests {
         let model = CostModel::new(&cat, &q);
         // Start surely at 2000 pages, but crash toward 50 pages next phase:
         // plan 2's sort phase gets expensive, plan 1 has no second phase.
-        let chain = MarkovChain::new(
-            vec![50.0, 2000.0],
-            vec![vec![1.0, 0.0], vec![1.0, 0.0]],
-        )
-        .unwrap();
+        let chain =
+            MarkovChain::new(vec![50.0, 2000.0], vec![vec![1.0, 0.0], vec![1.0, 0.0]]).unwrap();
         let start = Distribution::point(2000.0);
         let c1 = expected_plan_cost_dynamic(&model, &plan1(), &start, &chain).unwrap();
         let c2 = expected_plan_cost_dynamic(&model, &plan2(), &start, &chain).unwrap();

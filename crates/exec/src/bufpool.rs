@@ -153,7 +153,13 @@ mod tests {
         let mut disk = Disk::new();
         let t = DiskTable::from_rows(rows(8), 2);
         let _ = disk.read_page(&t, 0);
-        assert_eq!(disk.io(), Io { reads: 1, writes: 0 });
+        assert_eq!(
+            disk.io(),
+            Io {
+                reads: 1,
+                writes: 0
+            }
+        );
         let all = disk.read_all(&t);
         assert_eq!(all.len(), 8);
         assert_eq!(disk.io().reads, 5);

@@ -102,12 +102,7 @@ fn drain_runs(disk: &mut Disk, runs: RunSet, key: usize) -> Vec<Row> {
 }
 
 /// External merge sort of `input` on column `key` with `m` buffer pages.
-pub fn external_sort(
-    input: &DiskTable,
-    key: usize,
-    m: usize,
-    page_cap: usize,
-) -> OpResult {
+pub fn external_sort(input: &DiskTable, key: usize, m: usize, page_cap: usize) -> OpResult {
     assert!(m >= 3, "external sort needs at least 3 buffer pages");
     let mut disk = Disk::new();
     let runs = make_runs(&mut disk, input, key, m, page_cap);
@@ -118,7 +113,10 @@ pub fn external_sort(
         in_mem => in_mem,
     };
     let rows = drain_runs(&mut disk, runs, key);
-    OpResult { rows, io: disk.io().total() }
+    OpResult {
+        rows,
+        io: disk.io().total(),
+    }
 }
 
 /// Sort-merge join: sort both inputs (sharing the buffer budget as the
@@ -146,7 +144,10 @@ pub fn sort_merge_join(
     let left = drain_runs(&mut disk, runs_a, a_key);
     let right = drain_runs(&mut disk, runs_b, b_key);
     let rows = merge_join_sorted(&left, &right, a_key, b_key);
-    OpResult { rows, io: disk.io().total() }
+    OpResult {
+        rows,
+        io: disk.io().total(),
+    }
 }
 
 /// Merge two sorted row sets on their keys (all matching pairs).
@@ -162,9 +163,16 @@ fn merge_join_sorted(left: &[Row], right: &[Row], a_key: usize, b_key: usize) ->
             j += 1;
         } else {
             // Emit the cross product of the equal-key groups.
-            let i_end = left[i..].iter().take_while(|r| key_of(r, a_key) == ka).count() + i;
-            let j_end =
-                right[j..].iter().take_while(|r| key_of(r, b_key) == kb).count() + j;
+            let i_end = left[i..]
+                .iter()
+                .take_while(|r| key_of(r, a_key) == ka)
+                .count()
+                + i;
+            let j_end = right[j..]
+                .iter()
+                .take_while(|r| key_of(r, b_key) == kb)
+                .count()
+                + j;
             for l in &left[i..i_end] {
                 for r in &right[j..j_end] {
                     let mut row = l.clone();
@@ -192,7 +200,10 @@ pub fn grace_hash_join(
     assert!(m >= 3, "grace hash join needs at least 3 buffer pages");
     let mut disk = Disk::new();
     let rows = grace_recurse(&mut disk, a, b, a_key, b_key, m, page_cap, 0);
-    OpResult { rows, io: disk.io().total() }
+    OpResult {
+        rows,
+        io: disk.io().total(),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -208,11 +219,7 @@ fn grace_recurse(
 ) -> Vec<Row> {
     const MAX_DEPTH: usize = 8;
     let s = a.n_pages().min(b.n_pages());
-    if s <= m.saturating_sub(1)
-        || a.n_rows() == 0
-        || b.n_rows() == 0
-        || depth >= MAX_DEPTH
-    {
+    if s <= m.saturating_sub(1) || a.n_rows() == 0 || b.n_rows() == 0 || depth >= MAX_DEPTH {
         // Build the smaller side in memory, probe with the larger.  The
         // depth cap is the standard hybrid fallback for skewed keys: once
         // repartitioning stops separating (e.g. one hot key), join the
@@ -257,7 +264,16 @@ fn grace_recurse(
         if pa.n_rows() == 0 || pb.n_rows() == 0 {
             continue;
         }
-        out.extend(grace_recurse(disk, pa, pb, a_key, b_key, m, page_cap, depth + 1));
+        out.extend(grace_recurse(
+            disk,
+            pa,
+            pb,
+            a_key,
+            b_key,
+            m,
+            page_cap,
+            depth + 1,
+        ));
     }
     out
 }
@@ -279,7 +295,11 @@ fn hash_join_rows(left: &[Row], right: &[Row], a_key: usize, b_key: usize) -> Ve
         if let Some(matches) = table.get(&key_of(p, probe_key)) {
             for b in matches {
                 // Output is always (left ++ right).
-                let mut row = if build_is_left { (*b).clone() } else { p.clone() };
+                let mut row = if build_is_left {
+                    (*b).clone()
+                } else {
+                    p.clone()
+                };
                 row.extend_from_slice(if build_is_left { p } else { b });
                 out.push(row);
             }
@@ -313,7 +333,10 @@ pub fn block_nl_join(
         out.extend(hash_join_rows(&outer_rows, &inner_rows, a_key, b_key));
         i = hi;
     }
-    OpResult { rows: out, io: disk.io().total() }
+    OpResult {
+        rows: out,
+        io: disk.io().total(),
+    }
 }
 
 #[cfg(test)]

@@ -72,18 +72,15 @@ fn best_completion(
         for method in JoinMethod::ALL {
             let join_cost = model.join_cost(method, pages, inner_pages, m);
             let new_pages = model.join_output_pages(pages, inner_pages, sel);
-            let new_order =
-                join_order_after(model, set, order, j, method);
-            let tail = completion_cost(
-                model,
-                set.with(j),
-                new_pages,
-                new_order,
-                m,
-            );
+            let new_order = join_order_after(model, set, order, j, method);
+            let tail = completion_cost(model, set.with(j), new_pages, new_order, m);
             let est = best_access(model, j) + join_cost + tail;
             if best.as_ref().is_none_or(|b| est < b.est_cost) {
-                best = Some(Completion { next: j, method, est_cost: est });
+                best = Some(Completion {
+                    next: j,
+                    method,
+                    est_cost: est,
+                });
             }
         }
     }
@@ -101,9 +98,7 @@ fn completion_cost(
 ) -> f64 {
     if set.len() == model.query().n_tables() {
         return match model.query().required_order {
-            Some(want) if !model.equivalences().satisfies(order, want) => {
-                model.sort_cost(pages, m)
-            }
+            Some(want) if !model.equivalences().satisfies(order, want) => model.sort_cost(pages, m),
             _ => 0.0,
         };
     }
@@ -174,20 +169,24 @@ pub fn run_reoptimizing<R: Rng + ?Sized>(
     total += best_access(model, outer) + best_access(model, inner);
     let sel = model.join_selectivity(TableSet::singleton(outer), inner);
     total += model.join_cost(method, model.base_pages(outer), model.base_pages(inner), m);
-    let mut pages =
-        model.join_output_pages(model.base_pages(outer), model.base_pages(inner), sel);
+    let mut pages = model.join_output_pages(model.base_pages(outer), model.base_pages(inner), sel);
     let mut set = TableSet::singleton(outer).with(inner);
-    let mut order = join_order_after(model, TableSet::singleton(outer), OrderProperty::None, inner, method);
+    let mut order = join_order_after(
+        model,
+        TableSet::singleton(outer),
+        OrderProperty::None,
+        inner,
+        method,
+    );
     // What we currently expect to do next (for replan counting).
-    let mut planned_next = best_completion(model, set, pages, order, m)
-        .map(|c| (c.next, c.method));
+    let mut planned_next = best_completion(model, set, pages, order, m).map(|c| (c.next, c.method));
 
     while set.len() < n {
         // Phase boundary: memory moves, we observe it and re-plan.
         state = chain.sample_state(chain.row(state), rng);
         m = chain.states()[state];
-        let c = best_completion(model, set, pages, order, m)
-            .expect("connected query always completes");
+        let c =
+            best_completion(model, set, pages, order, m).expect("connected query always completes");
         if planned_next != Some((c.next, c.method)) {
             replans += 1;
         }
@@ -198,8 +197,7 @@ pub fn run_reoptimizing<R: Rng + ?Sized>(
         order = join_order_after(model, set, order, c.next, c.method);
         pages = model.join_output_pages(pages, inner_pages, sel);
         set = set.with(c.next);
-        planned_next = best_completion(model, set, pages, order, m)
-            .map(|x| (x.next, x.method));
+        planned_next = best_completion(model, set, pages, order, m).map(|x| (x.next, x.method));
     }
 
     // Final sort phase if needed (memory moves once more).
@@ -210,7 +208,10 @@ pub fn run_reoptimizing<R: Rng + ?Sized>(
             total += model.sort_cost(pages, m);
         }
     }
-    ReoptRun { cost: total, replans }
+    ReoptRun {
+        cost: total,
+        replans,
+    }
 }
 
 /// Average reactive execution cost over `runs` Monte-Carlo executions.

@@ -91,8 +91,10 @@ mod tests {
     use lec_prob::{Distribution, MarkovChain};
 
     fn plan2(model: &CostModel<'_>) -> PlanNode {
-        use lec_core::{optimize_lec_static};
-        optimize_lec_static(model, &example_1_1_memory()).unwrap().plan
+        use lec_core::optimize_lec_static;
+        optimize_lec_static(model, &example_1_1_memory())
+            .unwrap()
+            .plan
     }
 
     #[test]
@@ -128,13 +130,14 @@ mod tests {
     fn dynamic_monte_carlo_converges_to_dynamic_expected_cost() {
         let (cat, q) = example_1_1();
         let model = CostModel::new(&cat, &q);
-        let chain =
-            MarkovChain::birth_death(vec![700.0, 2000.0], 0.3, 0.3).unwrap();
+        let chain = MarkovChain::birth_death(vec![700.0, 2000.0], 0.3, 0.3).unwrap();
         let initial = Distribution::bimodal(700.0, 2000.0, 0.8).unwrap();
-        let env = Environment::Dynamic { initial: initial.clone(), chain: chain.clone() };
+        let env = Environment::Dynamic {
+            initial: initial.clone(),
+            chain: chain.clone(),
+        };
         let plan = plan2(&model);
-        let ec = lec_cost::expected_plan_cost_dynamic(&model, &plan, &initial, &chain)
-            .unwrap();
+        let ec = lec_cost::expected_plan_cost_dynamic(&model, &plan, &initial, &chain).unwrap();
         let s = monte_carlo(&model, &plan, &env, 40_000, 9).unwrap();
         let rel = (s.mean - ec).abs() / ec;
         assert!(rel < 0.01, "MC mean {} vs dyn EC {ec} (rel {rel})", s.mean);

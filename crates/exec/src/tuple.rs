@@ -66,16 +66,23 @@ impl Relation {
 /// Execute `plan` against `dataset`.
 pub fn execute(plan: &PlanNode, query: &Query, dataset: &Dataset) -> Relation {
     match plan {
-        PlanNode::SeqScan { table } | PlanNode::IndexScan { table } => {
-            scan(*table, query, dataset, matches!(plan, PlanNode::IndexScan { .. }))
-        }
+        PlanNode::SeqScan { table } | PlanNode::IndexScan { table } => scan(
+            *table,
+            query,
+            dataset,
+            matches!(plan, PlanNode::IndexScan { .. }),
+        ),
         PlanNode::Sort { input, key } => {
             let mut rel = execute(input, query, dataset);
             let idx = rel.col_index(resolve_sort_key(*key, &rel, query));
             rel.rows.sort_by_key(|r| r[idx]);
             rel
         }
-        PlanNode::Join { method, outer, inner } => {
+        PlanNode::Join {
+            method,
+            outer,
+            inner,
+        } => {
             let left = execute(outer, query, dataset);
             let right = execute(inner, query, dataset);
             join(*method, left, right, query)
@@ -117,16 +124,15 @@ fn scan(table: usize, query: &Query, dataset: &Dataset, sorted: bool) -> Relatio
         }
     }
     let n_cols = dataset.domains[table].len();
-    Relation { schema: vec![(table, n_cols, 0)], rows }
+    Relation {
+        schema: vec![(table, n_cols, 0)],
+        rows,
+    }
 }
 
 /// All equi-join conditions crossing the two relations, resolved to row
 /// offsets `(left_idx, right_idx)`.
-fn crossing_conditions(
-    query: &Query,
-    left: &Relation,
-    right: &Relation,
-) -> Vec<(usize, usize)> {
+fn crossing_conditions(query: &Query, left: &Relation, right: &Relation) -> Vec<(usize, usize)> {
     let lt = left.tables();
     let rt = right.tables();
     query
@@ -227,11 +233,7 @@ fn merge_join(left: &Relation, right: &Relation, conds: &[(usize, usize)]) -> Ve
     out
 }
 
-fn nested_loop_join(
-    left: &Relation,
-    right: &Relation,
-    conds: &[(usize, usize)],
-) -> Vec<Row> {
+fn nested_loop_join(left: &Relation, right: &Relation, conds: &[(usize, usize)]) -> Vec<Row> {
     let mut out = Vec::new();
     for l in &left.rows {
         for r in &right.rows {
@@ -255,7 +257,10 @@ mod tests {
         let cat = g.generate(5);
         let ids: Vec<TableId> = cat.ids().collect();
         let mut wg = WorkloadGenerator::new(seed + 1);
-        let profile = QueryProfile { topology, ..Default::default() };
+        let profile = QueryProfile {
+            topology,
+            ..Default::default()
+        };
         let q = wg.gen_query(&cat, &ids[..4], &profile);
         let d = generate(&cat, &q, 40, seed + 2);
         (cat, q, d)
@@ -274,11 +279,19 @@ mod tests {
         let (_, q, d) = fixture(Topology::Chain, 10);
         let base = left_deep_plan(
             &[0, 1, 2, 3],
-            &[JoinMethod::GraceHash, JoinMethod::GraceHash, JoinMethod::GraceHash],
+            &[
+                JoinMethod::GraceHash,
+                JoinMethod::GraceHash,
+                JoinMethod::GraceHash,
+            ],
         );
         let expect = execute(&base, &q, &d).canonical_rows();
         for methods in [
-            [JoinMethod::SortMerge, JoinMethod::SortMerge, JoinMethod::SortMerge],
+            [
+                JoinMethod::SortMerge,
+                JoinMethod::SortMerge,
+                JoinMethod::SortMerge,
+            ],
             [
                 JoinMethod::PageNestedLoop,
                 JoinMethod::BlockNestedLoop,

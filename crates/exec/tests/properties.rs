@@ -10,7 +10,9 @@ const PAGE_CAP: usize = 4;
 fn arb_table(max_rows: usize, key_domain: i64) -> impl Strategy<Value = DiskTable> {
     prop::collection::vec((0..key_domain, 0i64..1_000_000), 1..max_rows).prop_map(|rows| {
         DiskTable::from_rows(
-            rows.into_iter().map(|(k, v)| vec![k, v]).collect::<Vec<Row>>(),
+            rows.into_iter()
+                .map(|(k, v)| vec![k, v])
+                .collect::<Vec<Row>>(),
             PAGE_CAP,
         )
     })

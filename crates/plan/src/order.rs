@@ -40,7 +40,9 @@ pub struct ColumnEquivalences {
 impl ColumnEquivalences {
     /// Build the classes for a query: one `union` per join predicate.
     pub fn for_query(query: &Query) -> Self {
-        let mut eq = ColumnEquivalences { parent: HashMap::new() };
+        let mut eq = ColumnEquivalences {
+            parent: HashMap::new(),
+        };
         for p in &query.joins {
             eq.union(p.left, p.right);
         }
@@ -104,7 +106,9 @@ mod tests {
 
     fn query_with_joins(n: usize, joins: Vec<(ColumnRef, ColumnRef)>) -> Query {
         Query {
-            tables: (0..n).map(|i| QueryTable::bare(TableId(i as u32))).collect(),
+            tables: (0..n)
+                .map(|i| QueryTable::bare(TableId(i as u32)))
+                .collect(),
             joins: joins
                 .into_iter()
                 .map(|(l, r)| JoinPredicate::exact(l, r, 1e-3))

@@ -88,12 +88,19 @@ pub enum PlanNode {
 impl PlanNode {
     /// Convenience constructor for a join.
     pub fn join(method: JoinMethod, outer: PlanNode, inner: PlanNode) -> PlanNode {
-        PlanNode::Join { method, outer: Box::new(outer), inner: Box::new(inner) }
+        PlanNode::Join {
+            method,
+            outer: Box::new(outer),
+            inner: Box::new(inner),
+        }
     }
 
     /// Convenience constructor for a sort.
     pub fn sort(input: PlanNode, key: ColumnRef) -> PlanNode {
-        PlanNode::Sort { input: Box::new(input), key }
+        PlanNode::Sort {
+            input: Box::new(input),
+            key,
+        }
     }
 
     /// Set of base tables referenced by the plan.
@@ -134,8 +141,10 @@ impl PlanNode {
             PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => true,
             PlanNode::Sort { input, .. } => input.is_left_deep(),
             PlanNode::Join { outer, inner, .. } => {
-                matches!(**inner, PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. })
-                    && outer.is_left_deep()
+                matches!(
+                    **inner,
+                    PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. }
+                ) && outer.is_left_deep()
             }
         }
     }
@@ -167,7 +176,10 @@ impl PlanNode {
         let mut h = [0usize; 4];
         self.visit(&mut |node| {
             if let PlanNode::Join { method, .. } = node {
-                let idx = JoinMethod::ALL.iter().position(|m| m == method).expect("known method");
+                let idx = JoinMethod::ALL
+                    .iter()
+                    .position(|m| m == method)
+                    .expect("known method");
                 h[idx] += 1;
             }
         });
@@ -193,7 +205,11 @@ impl PlanNode {
             PlanNode::SeqScan { table } => format!("R{table}"),
             PlanNode::IndexScan { table } => format!("IxR{table}"),
             PlanNode::Sort { input, .. } => format!("Sort({})", input.compact()),
-            PlanNode::Join { method, outer, inner } => {
+            PlanNode::Join {
+                method,
+                outer,
+                inner,
+            } => {
                 format!("{}({},{})", method.name(), outer.compact(), inner.compact())
             }
         }
@@ -208,7 +224,11 @@ impl PlanNode {
                 writeln!(f, "{pad}Sort key={key}")?;
                 input.fmt_indented(f, depth + 1)
             }
-            PlanNode::Join { method, outer, inner } => {
+            PlanNode::Join {
+                method,
+                outer,
+                inner,
+            } => {
                 writeln!(f, "{pad}Join [{method}]")?;
                 outer.fmt_indented(f, depth + 1)?;
                 inner.fmt_indented(f, depth + 1)

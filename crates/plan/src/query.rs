@@ -54,12 +54,21 @@ pub struct QueryTable {
 impl QueryTable {
     /// A bare table occurrence.
     pub fn bare(table: TableId) -> Self {
-        QueryTable { table, filter: None }
+        QueryTable {
+            table,
+            filter: None,
+        }
     }
 
     /// A filtered table occurrence.
     pub fn filtered(table: TableId, column: usize, selectivity: Distribution) -> Self {
-        QueryTable { table, filter: Some(LocalPredicate { column, selectivity }) }
+        QueryTable {
+            table,
+            filter: Some(LocalPredicate {
+                column,
+                selectivity,
+            }),
+        }
     }
 }
 
@@ -81,7 +90,11 @@ pub struct JoinPredicate {
 impl JoinPredicate {
     /// Construct a predicate with a point selectivity.
     pub fn exact(left: ColumnRef, right: ColumnRef, selectivity: f64) -> Self {
-        JoinPredicate { left, right, selectivity: Distribution::point(selectivity) }
+        JoinPredicate {
+            left,
+            right,
+            selectivity: Distribution::point(selectivity),
+        }
     }
 
     /// The pair of table indices this predicate connects.
@@ -283,11 +296,11 @@ mod tests {
 
     fn chain_query(n: usize) -> Query {
         Query {
-            tables: (0..n).map(|i| QueryTable::bare(TableId(i as u32))).collect(),
+            tables: (0..n)
+                .map(|i| QueryTable::bare(TableId(i as u32)))
+                .collect(),
             joins: (0..n - 1)
-                .map(|i| {
-                    JoinPredicate::exact(ColumnRef::new(i, 0), ColumnRef::new(i + 1, 0), 1e-4)
-                })
+                .map(|i| JoinPredicate::exact(ColumnRef::new(i, 0), ColumnRef::new(i + 1, 0), 1e-4))
                 .collect(),
             required_order: None,
         }
@@ -326,7 +339,11 @@ mod tests {
         q.tables[0].table = TableId(42);
         assert_eq!(q.validate(&cat), Err(QueryError::UnknownTable(TableId(42))));
 
-        let empty = Query { tables: vec![], joins: vec![], required_order: None };
+        let empty = Query {
+            tables: vec![],
+            joins: vec![],
+            required_order: None,
+        };
         assert_eq!(empty.validate(&cat), Err(QueryError::NoTables));
     }
 

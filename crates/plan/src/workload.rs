@@ -69,7 +69,9 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// Create a generator with a fixed seed (generation is deterministic).
     pub fn new(seed: u64) -> Self {
-        WorkloadGenerator { rng: StdRng::seed_from_u64(seed) }
+        WorkloadGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Generate one query over the given tables.
@@ -114,8 +116,12 @@ impl WorkloadGenerator {
                 let pa = self.effective_pages(catalog, &query_tables[a]);
                 let pb = self.effective_pages(catalog, &query_tables[b]);
                 let sel = self.calibrated_selectivity(pa, pb, profile);
-                let ca = self.rng.gen_range(0..catalog.table(tables[a]).stats.columns.len());
-                let cb = self.rng.gen_range(0..catalog.table(tables[b]).stats.columns.len());
+                let ca = self
+                    .rng
+                    .gen_range(0..catalog.table(tables[a]).stats.columns.len());
+                let cb = self
+                    .rng
+                    .gen_range(0..catalog.table(tables[b]).stats.columns.len());
                 JoinPredicate {
                     left: ColumnRef::new(a, ca),
                     right: ColumnRef::new(b, cb),
@@ -126,12 +132,20 @@ impl WorkloadGenerator {
 
         let required_order = if self.rng.gen::<f64>() < profile.p_required_order {
             let j = &joins[self.rng.gen_range(0..joins.len())];
-            Some(if self.rng.gen::<bool>() { j.left } else { j.right })
+            Some(if self.rng.gen::<bool>() {
+                j.left
+            } else {
+                j.right
+            })
         } else {
             None
         };
 
-        Query { tables: query_tables, joins, required_order }
+        Query {
+            tables: query_tables,
+            joins,
+            required_order,
+        }
     }
 
     /// Expected post-filter page count of a query table (mean over the
@@ -160,9 +174,8 @@ impl WorkloadGenerator {
             Topology::Random => {
                 // Random spanning tree (each node attaches to a random
                 // earlier node), plus ~n/2 random extra edges.
-                let mut e: Vec<(usize, usize)> = (1..n)
-                    .map(|i| (self.rng.gen_range(0..i), i))
-                    .collect();
+                let mut e: Vec<(usize, usize)> =
+                    (1..n).map(|i| (self.rng.gen_range(0..i), i)).collect();
                 let extras = n / 2;
                 for _ in 0..extras {
                     let a = self.rng.gen_range(0..n);
@@ -216,11 +229,19 @@ mod tests {
 
     #[test]
     fn generated_queries_validate() {
-        for topology in [Topology::Chain, Topology::Star, Topology::Clique, Topology::Random] {
+        for topology in [
+            Topology::Chain,
+            Topology::Star,
+            Topology::Clique,
+            Topology::Random,
+        ] {
             for seed in 0..10u64 {
                 let (cat, ids) = setup(5, seed);
                 let mut wg = WorkloadGenerator::new(seed);
-                let profile = QueryProfile { topology, ..Default::default() };
+                let profile = QueryProfile {
+                    topology,
+                    ..Default::default()
+                };
                 let q = wg.gen_query(&cat, &ids, &profile);
                 assert_eq!(q.validate(&cat), Ok(()), "{topology:?} seed {seed}");
                 assert_eq!(q.n_tables(), 5);
@@ -241,7 +262,11 @@ mod tests {
         let (cat, ids) = setup(6, 1);
         let mut wg = WorkloadGenerator::new(5);
         let mut q = |t| {
-            let profile = QueryProfile { topology: t, p_required_order: 0.0, ..Default::default() };
+            let profile = QueryProfile {
+                topology: t,
+                p_required_order: 0.0,
+                ..Default::default()
+            };
             wg.gen_query(&cat, &ids, &profile).joins.len()
         };
         assert_eq!(q(Topology::Chain), 5);
@@ -254,7 +279,10 @@ mod tests {
     fn uncertain_selectivities_when_requested() {
         let (cat, ids) = setup(3, 2);
         let mut wg = WorkloadGenerator::new(8);
-        let profile = QueryProfile { sel_buckets: 5, ..Default::default() };
+        let profile = QueryProfile {
+            sel_buckets: 5,
+            ..Default::default()
+        };
         let q = wg.gen_query(&cat, &ids, &profile);
         assert!(q.has_uncertain_selectivities());
         for j in &q.joins {
@@ -268,7 +296,10 @@ mod tests {
     fn point_selectivities_by_default() {
         let (cat, ids) = setup(3, 2);
         let mut wg = WorkloadGenerator::new(8);
-        let profile = QueryProfile { p_filter: 0.0, ..Default::default() };
+        let profile = QueryProfile {
+            p_filter: 0.0,
+            ..Default::default()
+        };
         let q = wg.gen_query(&cat, &ids, &profile);
         assert!(!q.has_uncertain_selectivities());
     }
@@ -278,7 +309,10 @@ mod tests {
         // a·b·σ should land within [0.01, 1.5]·min(a,b) by construction.
         let (cat, ids) = setup(4, 3);
         let mut wg = WorkloadGenerator::new(4);
-        let profile = QueryProfile { p_filter: 0.0, ..Default::default() };
+        let profile = QueryProfile {
+            p_filter: 0.0,
+            ..Default::default()
+        };
         let q = wg.gen_query(&cat, &ids, &profile);
         for j in &q.joins {
             let a = cat.table(q.tables[j.left.table].table).stats.pages as f64;

@@ -51,7 +51,10 @@ impl Distribution {
     /// that collapse is expressed in this crate.
     pub fn point(value: f64) -> Self {
         assert!(value.is_finite(), "point mass must be finite, got {value}");
-        Distribution { support: vec![value], probs: vec![1.0] }
+        Distribution {
+            support: vec![value],
+            probs: vec![1.0],
+        }
     }
 
     /// Build a distribution from `(value, probability)` pairs.
@@ -59,19 +62,23 @@ impl Distribution {
     /// Pairs are sorted by value, near-duplicate values are merged, zero
     /// probabilities are dropped, and the result is normalized to total mass
     /// one.  Returns an error for empty/non-finite/negative input.
-    pub fn from_pairs(
-        pairs: impl IntoIterator<Item = (f64, f64)>,
-    ) -> Result<Self, ProbError> {
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Result<Self, ProbError> {
         let mut pairs: Vec<(f64, f64)> = pairs.into_iter().collect();
         if pairs.is_empty() {
             return Err(ProbError::EmptySupport);
         }
         for &(v, p) in &pairs {
             if !v.is_finite() {
-                return Err(ProbError::NonFinite { what: "support value", value: v });
+                return Err(ProbError::NonFinite {
+                    what: "support value",
+                    value: v,
+                });
             }
             if !p.is_finite() {
-                return Err(ProbError::NonFinite { what: "probability", value: p });
+                return Err(ProbError::NonFinite {
+                    what: "probability",
+                    value: p,
+                });
             }
             if p < 0.0 {
                 return Err(ProbError::NegativeProbability(p));
@@ -266,8 +273,7 @@ impl Distribution {
                 pairs.push((a * b, pa * pb));
             }
         }
-        Distribution::from_pairs(pairs)
-            .expect("product of valid distributions is valid")
+        Distribution::from_pairs(pairs).expect("product of valid distributions is valid")
     }
 
     /// Distribution of `X + Y` for independent `X` and `Y` (convolution).
@@ -278,8 +284,7 @@ impl Distribution {
                 pairs.push((a + b, pa * pb));
             }
         }
-        Distribution::from_pairs(pairs)
-            .expect("convolution of valid distributions is valid")
+        Distribution::from_pairs(pairs).expect("convolution of valid distributions is valid")
     }
 
     /// Reduce to at most `n` buckets (§3.6.3).
@@ -308,7 +313,11 @@ impl Distribution {
         let mut mass = vec![0.0; n];
         let mut weighted = vec![0.0; n];
         for (v, p) in self.iter() {
-            let mut idx = if width > 0.0 { ((v - lo) / width) as usize } else { 0 };
+            let mut idx = if width > 0.0 {
+                ((v - lo) / width) as usize
+            } else {
+                0
+            };
             if idx >= n {
                 idx = n - 1; // v == hi lands in the last bucket
             }
@@ -520,10 +529,7 @@ mod tests {
 
     #[test]
     fn rebucket_preserves_mass_and_mean() {
-        let d = Distribution::uniform(
-            &(1..=100).map(|i| i as f64).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let d = Distribution::uniform(&(1..=100).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
         for strategy in [Rebucket::EqualWidth, Rebucket::EqualDepth] {
             let r = d.rebucket(7, strategy).unwrap();
             assert!(r.len() <= 7, "{strategy:?} produced {} buckets", r.len());

@@ -63,12 +63,21 @@ mod tests {
         let cases: Vec<(ProbError, &str)> = vec![
             (ProbError::EmptySupport, "empty"),
             (
-                ProbError::NonFinite { what: "probability", value: f64::NAN },
+                ProbError::NonFinite {
+                    what: "probability",
+                    value: f64::NAN,
+                },
                 "non-finite",
             ),
             (ProbError::NegativeProbability(-0.25), "-0.25"),
             (ProbError::ZeroTotalMass, "zero"),
-            (ProbError::SupportMismatch { expected: 3, got: 2 }, "expected 3"),
+            (
+                ProbError::SupportMismatch {
+                    expected: 3,
+                    got: 2,
+                },
+                "expected 3",
+            ),
             (
                 ProbError::BadTransitionMatrix("row 1 sums to 0.9".into()),
                 "row 1",

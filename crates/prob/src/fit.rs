@@ -90,10 +90,7 @@ pub fn fit_markov(traces: &[Vec<f64>], states: Vec<f64>) -> Result<MarkovChain, 
 
 /// Fit the initial (phase-0) distribution from the first entries of the
 /// observed traces, snapped onto the chain's states.
-pub fn fit_initial(
-    traces: &[Vec<f64>],
-    chain: &MarkovChain,
-) -> Result<Distribution, ProbError> {
+pub fn fit_initial(traces: &[Vec<f64>], chain: &MarkovChain) -> Result<Distribution, ProbError> {
     let firsts: Vec<f64> = traces.iter().filter_map(|t| t.first().copied()).collect();
     if firsts.is_empty() {
         return Err(ProbError::EmptySupport);

@@ -58,7 +58,10 @@ impl MarkovChain {
             let mut sum = 0.0;
             for &p in row {
                 if !p.is_finite() {
-                    return Err(ProbError::NonFinite { what: "transition probability", value: p });
+                    return Err(ProbError::NonFinite {
+                        what: "transition probability",
+                        value: p,
+                    });
                 }
                 if p < 0.0 {
                     return Err(ProbError::NegativeProbability(p));
@@ -89,10 +92,7 @@ impl MarkovChain {
     /// boundaries.  This models the paper's picture of concurrent queries
     /// starting and finishing, each claiming/releasing a slice of memory.
     pub fn birth_death(states: Vec<f64>, p_down: f64, p_up: f64) -> Result<Self, ProbError> {
-        if !(0.0..=1.0).contains(&p_down)
-            || !(0.0..=1.0).contains(&p_up)
-            || p_down + p_up > 1.0
-        {
+        if !(0.0..=1.0).contains(&p_down) || !(0.0..=1.0).contains(&p_up) || p_down + p_up > 1.0 {
             return Err(ProbError::BadTransitionMatrix(
                 "p_down and p_up must be probabilities with p_down + p_up <= 1".into(),
             ));
@@ -133,11 +133,7 @@ impl MarkovChain {
         }
         let off = (1.0 - p_stay) / (n - 1) as f64;
         let rows = (0..n)
-            .map(|i| {
-                (0..n)
-                    .map(|j| if i == j { p_stay } else { off })
-                    .collect()
-            })
+            .map(|i| (0..n).map(|j| if i == j { p_stay } else { off }).collect())
             .collect();
         MarkovChain::new(states, rows)
     }
@@ -236,11 +232,7 @@ impl MarkovChain {
         let mut cur = vec![1.0 / n as f64; n];
         for _ in 0..max_iter {
             let next = self.evolve(&cur)?;
-            let delta: f64 = cur
-                .iter()
-                .zip(&next)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta: f64 = cur.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
             cur = next;
             if delta < tol {
                 break;

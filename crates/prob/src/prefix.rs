@@ -35,7 +35,11 @@ impl PrefixTables {
             cum_prob.push(acc_p);
             cum_vp.push(acc_vp);
         }
-        PrefixTables { support: dist.support().to_vec(), cum_prob, cum_vp }
+        PrefixTables {
+            support: dist.support().to_vec(),
+            cum_prob,
+            cum_vp,
+        }
     }
 
     /// Number of buckets.

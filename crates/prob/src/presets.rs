@@ -26,9 +26,7 @@ pub fn uniform_grid(lo: f64, hi: f64, n: usize) -> Result<Distribution, ProbErro
         return Ok(Distribution::point((lo + hi) / 2.0));
     }
     let step = (hi - lo) / (n - 1) as f64;
-    Distribution::uniform(
-        &(0..n).map(|i| lo + step * i as f64).collect::<Vec<_>>(),
-    )
+    Distribution::uniform(&(0..n).map(|i| lo + step * i as f64).collect::<Vec<_>>())
 }
 
 /// A family of distributions centered (in mean) at `center` whose relative

@@ -106,10 +106,7 @@ fn arb_chain() -> impl Strategy<Value = MarkovChain> {
                 }
                 v
             });
-            let rows = prop::collection::vec(
-                prop::collection::vec(0.01f64..1.0, n..=n),
-                n..=n,
-            );
+            let rows = prop::collection::vec(prop::collection::vec(0.01f64..1.0, n..=n), n..=n);
             (states, rows)
         })
         .prop_map(|(states, raw_rows)| {

@@ -18,8 +18,7 @@ fn main() {
 
     // The "true" environment: a fine-grained distribution over 100..2600
     // pages that straddles every cliff of the example (633, 1000, ...).
-    let truth: Distribution =
-        lec_qopt::prob::presets::uniform_grid(100.0, 2600.0, 126).unwrap();
+    let truth: Distribution = lec_qopt::prob::presets::uniform_grid(100.0, 2600.0, 126).unwrap();
     println!(
         "truth: {} buckets over [{:.0}, {:.0}], mean {:.0}\n",
         truth.len(),

@@ -23,10 +23,11 @@ fn main() {
         .map(|(i, &pages)| {
             catalog.add_table(
                 format!("R{i}"),
-                TableStats::new(pages, pages * 40, vec![
-                    ColumnStats::plain("a", 5000),
-                    ColumnStats::plain("b", 5000),
-                ]),
+                TableStats::new(
+                    pages,
+                    pages * 40,
+                    vec![ColumnStats::plain("a", 5000), ColumnStats::plain("b", 5000)],
+                ),
             )
         })
         .collect();
@@ -60,10 +61,17 @@ fn main() {
     );
 
     let opt = Optimizer::new(&catalog, initial.clone());
-    let lsc = opt.optimize(&query, &Mode::Lsc(PointEstimate::Mean)).unwrap();
+    let lsc = opt
+        .optimize(&query, &Mode::Lsc(PointEstimate::Mean))
+        .unwrap();
     let stat = opt.optimize(&query, &Mode::AlgorithmC).unwrap();
     let dynm = opt
-        .optimize(&query, &Mode::AlgorithmCDynamic { chain: chain.clone() })
+        .optimize(
+            &query,
+            &Mode::AlgorithmCDynamic {
+                chain: chain.clone(),
+            },
+        )
         .unwrap();
 
     println!("\nLSC @ start value:    {}", lsc.plan.compact());
@@ -80,10 +88,7 @@ fn main() {
         ("dynamic LEC", &dynm.plan),
     ] {
         let s = monte_carlo(&model, plan, &env, 30_000, 99).unwrap();
-        println!(
-            "  {name:<12} mean {:>14.0}  (p95 {:>14.0})",
-            s.mean, s.p95
-        );
+        println!("  {name:<12} mean {:>14.0}  (p95 {:>14.0})", s.mean, s.p95);
     }
     println!("\nTheorem 3.4: the dynamic variant is optimal for the drifting");
     println!("environment; the static variant optimizes for a world where the");

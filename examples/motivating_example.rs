@@ -7,7 +7,7 @@
 //! ```
 
 use lec_qopt::core::{fixtures, Mode, Optimizer, PointEstimate};
-use lec_qopt::cost::{plan_cost_at, expected_plan_cost_static, CostModel};
+use lec_qopt::cost::{expected_plan_cost_static, plan_cost_at, CostModel};
 use lec_qopt::exec::{monte_carlo, Environment};
 
 fn main() {
@@ -25,8 +25,12 @@ fn main() {
     let model = CostModel::new(&catalog, &query);
 
     // What a classical optimizer does.
-    let lsc_mode = opt.optimize(&query, &Mode::Lsc(PointEstimate::Mode)).unwrap();
-    let lsc_mean = opt.optimize(&query, &Mode::Lsc(PointEstimate::Mean)).unwrap();
+    let lsc_mode = opt
+        .optimize(&query, &Mode::Lsc(PointEstimate::Mode))
+        .unwrap();
+    let lsc_mean = opt
+        .optimize(&query, &Mode::Lsc(PointEstimate::Mean))
+        .unwrap();
     // What the paper proposes.
     let lec = opt.optimize(&query, &Mode::AlgorithmC).unwrap();
 
@@ -35,7 +39,10 @@ fn main() {
     println!("LEC (Algorithm C): {}\n", lec.plan.compact());
 
     // The paper's cost table.
-    println!("{:<22} {:>14} {:>14} {:>14}", "plan", "C(P, 2000)", "C(P, 700)", "EC(P)");
+    println!(
+        "{:<22} {:>14} {:>14} {:>14}",
+        "plan", "C(P, 2000)", "C(P, 700)", "EC(P)"
+    );
     for (name, plan) in [
         ("Plan 1 = SM(A,B)", &lsc_mode.plan),
         ("Plan 2 = Sort(GH(A,B))", &lec.plan),

@@ -31,8 +31,17 @@ fn main() {
     let state_dist = fit::fit_distribution(&pooled, 4, Rebucket::EqualDepth).unwrap();
     let chain = fit::fit_markov(&traces, state_dist.support().to_vec()).unwrap();
     let initial = fit::fit_initial(&traces, &chain).unwrap();
-    println!("fitted states: {:?}", chain.states().iter().map(|s| s.round()).collect::<Vec<_>>());
-    println!("fitted initial: {:?}", initial.iter().map(|(v, p)| format!("{:.0}@{:.2}", v, p)).collect::<Vec<_>>());
+    println!(
+        "fitted states: {:?}",
+        chain.states().iter().map(|s| s.round()).collect::<Vec<_>>()
+    );
+    println!(
+        "fitted initial: {:?}",
+        initial
+            .iter()
+            .map(|(v, p)| format!("{:.0}@{:.2}", v, p))
+            .collect::<Vec<_>>()
+    );
 
     // Optimize the three-table chain with fitted beliefs.
     let (catalog, query) = fixtures::three_chain();
@@ -45,8 +54,14 @@ fn main() {
         expected_plan_cost_dynamic(&model, &fitted.plan, &truth_init, &truth_chain).unwrap();
     println!("\nplan from fitted beliefs: {}", fitted.plan.compact());
     println!("plan from the true model: {}", oracle.plan.compact());
-    println!("true expected cost, fitted-belief plan: {:>12.0}", fitted_true_ec);
-    println!("true expected cost, oracle plan:        {:>12.0}", oracle.cost);
+    println!(
+        "true expected cost, fitted-belief plan: {:>12.0}",
+        fitted_true_ec
+    );
+    println!(
+        "true expected cost, oracle plan:        {:>12.0}",
+        oracle.cost
+    );
     println!(
         "regret from estimation: {:.2}%",
         (fitted_true_ec / oracle.cost - 1.0) * 100.0

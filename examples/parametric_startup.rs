@@ -33,9 +33,18 @@ fn main() {
     // Start-up time: environments the cache never saw.
     println!("\nstart-up lookups:");
     let startups = [
-        ("tight bimodal (the paper's)", fixtures::example_1_1_memory()),
-        ("scarce & volatile", presets::spread_family(350.0, 0.8, 6).unwrap()),
-        ("plentiful & steady", presets::spread_family(2400.0, 0.1, 6).unwrap()),
+        (
+            "tight bimodal (the paper's)",
+            fixtures::example_1_1_memory(),
+        ),
+        (
+            "scarce & volatile",
+            presets::spread_family(350.0, 0.8, 6).unwrap(),
+        ),
+        (
+            "plentiful & steady",
+            presets::spread_family(2400.0, 0.1, 6).unwrap(),
+        ),
         (
             "heavy-tailed",
             presets::zipf_over(&[150.0, 600.0, 2400.0], 1.2).unwrap(),

@@ -6,8 +6,8 @@
 
 use lec_qopt::catalog::{Catalog, ColumnStats, TableStats};
 use lec_qopt::core::{Mode, Optimizer, PointEstimate};
-use lec_qopt::exec::{monte_carlo, Environment};
 use lec_qopt::cost::CostModel;
+use lec_qopt::exec::{monte_carlo, Environment};
 use lec_qopt::plan::{ColumnRef, JoinPredicate, Query, QueryTable};
 use lec_qopt::prob::Distribution;
 
@@ -16,20 +16,30 @@ fn main() {
     let mut catalog = Catalog::new();
     let orders = catalog.add_table(
         "orders",
-        TableStats::new(80_000, 4_000_000, vec![
-            ColumnStats::plain("customer_id", 100_000),
-            ColumnStats::plain("order_id", 4_000_000),
-        ]),
+        TableStats::new(
+            80_000,
+            4_000_000,
+            vec![
+                ColumnStats::plain("customer_id", 100_000),
+                ColumnStats::plain("order_id", 4_000_000),
+            ],
+        ),
     );
     let lines = catalog.add_table(
         "lineitems",
-        TableStats::new(300_000, 24_000_000, vec![
-            ColumnStats::plain("order_id", 4_000_000),
-        ]),
+        TableStats::new(
+            300_000,
+            24_000_000,
+            vec![ColumnStats::plain("order_id", 4_000_000)],
+        ),
     );
     let customers = catalog.add_table(
         "customers",
-        TableStats::new(5_000, 250_000, vec![ColumnStats::plain("customer_id", 100_000)]),
+        TableStats::new(
+            5_000,
+            250_000,
+            vec![ColumnStats::plain("customer_id", 100_000)],
+        ),
     );
 
     // 2. A chain query: customers ⋈ orders ⋈ lineitems, ordered by order_id.
@@ -51,12 +61,18 @@ fn main() {
     // 3. What the optimizer believes about run-time memory: usually roomy,
     //    sometimes squeezed (a consolidation-era reality).
     let memory = Distribution::from_pairs([(300.0, 0.25), (1500.0, 0.75)]).unwrap();
-    println!("memory belief: {:?} (mean {:.0})", memory.support(), memory.mean());
+    println!(
+        "memory belief: {:?} (mean {:.0})",
+        memory.support(),
+        memory.mean()
+    );
 
     let opt = Optimizer::new(&catalog, memory.clone());
 
     // 4. Optimize classically and with Algorithm C.
-    let lsc = opt.optimize(&query, &Mode::Lsc(PointEstimate::Mean)).unwrap();
+    let lsc = opt
+        .optimize(&query, &Mode::Lsc(PointEstimate::Mean))
+        .unwrap();
     let lec = opt.optimize(&query, &Mode::AlgorithmC).unwrap();
 
     println!("\nLSC plan (classical, costed at the mean):");
@@ -81,6 +97,10 @@ fn main() {
     println!(
         "\nLEC saves {:.1}% on average{}",
         (1.0 - s_lec.mean / s_lsc.mean) * 100.0,
-        if lsc.plan == lec.plan { " (same plan here)" } else { "" }
+        if lsc.plan == lec.plan {
+            " (same plan here)"
+        } else {
+            ""
+        }
     );
 }

@@ -18,14 +18,22 @@ fn main() {
     let mut catalog = Catalog::new();
     let events = catalog.add_table(
         "events",
-        TableStats::new(500_000, 25_000_000, vec![
-            ColumnStats::plain("user_id", 1_000_000),
-            ColumnStats::plain("kind", 50),
-        ]),
+        TableStats::new(
+            500_000,
+            25_000_000,
+            vec![
+                ColumnStats::plain("user_id", 1_000_000),
+                ColumnStats::plain("kind", 50),
+            ],
+        ),
     );
     let users = catalog.add_table(
         "users",
-        TableStats::new(20_000, 1_000_000, vec![ColumnStats::plain("user_id", 1_000_000)]),
+        TableStats::new(
+            20_000,
+            1_000_000,
+            vec![ColumnStats::plain("user_id", 1_000_000)],
+        ),
     );
 
     // The join selectivity is uncertain by an order of magnitude in each
@@ -54,12 +62,19 @@ fn main() {
     let opt = Optimizer::new(&catalog, memory);
 
     // Classical: mean memory AND mean selectivity.
-    let lsc = opt.optimize(&query, &Mode::Lsc(PointEstimate::Mean)).unwrap();
+    let lsc = opt
+        .optimize(&query, &Mode::Lsc(PointEstimate::Mean))
+        .unwrap();
     // Algorithm C: memory distribution, point selectivity (the mean).
     let alg_c = opt.optimize(&query, &Mode::AlgorithmC).unwrap();
     // Algorithm D: both distributions.
     let alg_d = opt
-        .optimize(&query, &Mode::AlgorithmD { config: AlgDConfig::default() })
+        .optimize(
+            &query,
+            &Mode::AlgorithmD {
+                config: AlgDConfig::default(),
+            },
+        )
         .unwrap();
 
     println!("\n{:<28} {:>30} {:>16}", "optimizer", "plan", "objective");

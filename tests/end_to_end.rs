@@ -7,14 +7,21 @@ use lec_qopt::cost::{expected_plan_cost_static, CostModel};
 use lec_qopt::plan::{QueryProfile, Topology, WorkloadGenerator};
 use lec_qopt::prob::presets;
 
-fn workloads(seed: u64, n_tables: usize, topology: Topology) -> Vec<(lec_qopt::catalog::Catalog, lec_qopt::plan::Query)> {
+fn workloads(
+    seed: u64,
+    n_tables: usize,
+    topology: Topology,
+) -> Vec<(lec_qopt::catalog::Catalog, lec_qopt::plan::Query)> {
     let mut out = Vec::new();
     for s in 0..6u64 {
         let mut g = CatalogGenerator::new(seed + s);
         let cat = g.generate(n_tables + 2);
         let ids = g.pick_tables(&cat, n_tables);
         let mut wg = WorkloadGenerator::new(seed + 100 + s);
-        let profile = QueryProfile { topology, ..Default::default() };
+        let profile = QueryProfile {
+            topology,
+            ..Default::default()
+        };
         let q = wg.gen_query(&cat, &ids, &profile);
         out.push((cat, q));
     }
@@ -59,9 +66,7 @@ fn reported_costs_replay_through_the_cost_model() {
         ] {
             let r = opt.optimize(&q, &mode).unwrap();
             let replay = match mode {
-                Mode::Lsc(_) => {
-                    lec_qopt::cost::plan_cost_at(&model, &r.plan, memory.mean())
-                }
+                Mode::Lsc(_) => lec_qopt::cost::plan_cost_at(&model, &r.plan, memory.mean()),
                 _ => expected_plan_cost_static(&model, &r.plan, &memory),
             };
             assert!(
@@ -86,7 +91,9 @@ fn plans_are_structurally_valid() {
             Mode::AlgorithmA,
             Mode::AlgorithmB { c: 2 },
             Mode::AlgorithmC,
-            Mode::AlgorithmD { config: AlgDConfig::default() },
+            Mode::AlgorithmD {
+                config: AlgDConfig::default(),
+            },
         ] {
             let r = opt.optimize(&q, &mode).unwrap();
             assert!(r.plan.is_left_deep(), "{}", r.mode);
@@ -115,7 +122,9 @@ fn all_algorithms_collapse_at_a_point() {
             Mode::AlgorithmA,
             Mode::AlgorithmB { c: 3 },
             Mode::AlgorithmC,
-            Mode::AlgorithmD { config: AlgDConfig::default() },
+            Mode::AlgorithmD {
+                config: AlgDConfig::default(),
+            },
         ] {
             let r = opt.optimize(&q, &mode).unwrap();
             assert!(
@@ -148,7 +157,12 @@ fn algorithm_d_on_uncertain_workloads() {
         let memory = presets::spread_family(450.0, 0.5, 4).unwrap();
         let opt = Optimizer::new(&cat, memory);
         let r = opt
-            .optimize(&q, &Mode::AlgorithmD { config: AlgDConfig::default() })
+            .optimize(
+                &q,
+                &Mode::AlgorithmD {
+                    config: AlgDConfig::default(),
+                },
+            )
             .unwrap();
         assert!(r.cost.is_finite() && r.cost > 0.0);
         assert!(r.plan.is_left_deep());

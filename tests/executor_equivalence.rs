@@ -9,13 +9,28 @@ use lec_qopt::exec::{datagen, execute, monte_carlo, Environment};
 use lec_qopt::plan::{QueryProfile, Topology, WorkloadGenerator};
 use lec_qopt::prob::presets;
 
-fn workload(seed: u64, n: usize, topology: Topology) -> (lec_qopt::catalog::Catalog, lec_qopt::plan::Query) {
-    let profile = CatalogProfile { min_pages: 100, max_pages: 800_000, ..Default::default() };
+fn workload(
+    seed: u64,
+    n: usize,
+    topology: Topology,
+) -> (lec_qopt::catalog::Catalog, lec_qopt::plan::Query) {
+    let profile = CatalogProfile {
+        min_pages: 100,
+        max_pages: 800_000,
+        ..Default::default()
+    };
     let mut g = CatalogGenerator::with_profile(seed, profile);
     let cat = g.generate(n + 1);
     let ids = g.pick_tables(&cat, n);
     let mut wg = WorkloadGenerator::new(seed + 1);
-    let q = wg.gen_query(&cat, &ids, &QueryProfile { topology, ..Default::default() });
+    let q = wg.gen_query(
+        &cat,
+        &ids,
+        &QueryProfile {
+            topology,
+            ..Default::default()
+        },
+    );
     (cat, q)
 }
 
@@ -39,7 +54,9 @@ fn all_chosen_plans_return_identical_results() {
             Mode::AlgorithmA,
             Mode::AlgorithmB { c: 3 },
             Mode::AlgorithmC,
-            Mode::AlgorithmD { config: AlgDConfig::default() },
+            Mode::AlgorithmD {
+                config: AlgDConfig::default(),
+            },
         ] {
             let r = opt.optimize(&q, &mode).unwrap();
             let rows = execute(&r.plan, &q, &dataset).canonical_rows();
@@ -96,7 +113,11 @@ fn monte_carlo_agrees_with_analytic_expected_cost() {
         let env = Environment::Static(memory);
         let sim = monte_carlo(&model, &r.plan, &env, 60_000, seed).unwrap();
         let rel = (sim.mean - analytic).abs() / analytic;
-        assert!(rel < 0.02, "seed {seed}: sim {} vs analytic {analytic}", sim.mean);
+        assert!(
+            rel < 0.02,
+            "seed {seed}: sim {} vs analytic {analytic}",
+            sim.mean
+        );
     }
 }
 

@@ -20,7 +20,14 @@ fn random_workload(seed: u64, n: usize, topology: Topology) -> (lec_qopt::catalo
     let cat = g.generate(n + 1);
     let ids = g.pick_tables(&cat, n);
     let mut wg = WorkloadGenerator::new(seed ^ 0xABCD);
-    let q = wg.gen_query(&cat, &ids, &QueryProfile { topology, ..Default::default() });
+    let q = wg.gen_query(
+        &cat,
+        &ids,
+        &QueryProfile {
+            topology,
+            ..Default::default()
+        },
+    );
     (cat, q)
 }
 

@@ -1,0 +1,284 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses: `Criterion`, benchmark groups, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, `Bencher::iter` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim instead of the real crate.  Measurement is
+//! deliberately simple — a short warm-up, then a timed batch sized to a
+//! small per-benchmark budget — and each result prints one line:
+//!
+//! ```text
+//! bench  group/name ... <median per-iter time>
+//! ```
+//!
+//! Passing `--bench` (as `cargo bench` does) is accepted and ignored, and
+//! `--quick` shrinks the measurement budget.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported for convenience (real criterion also exposes one).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Criterion {
+            budget: if quick {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(200)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.budget, name, f);
+    }
+}
+
+/// A named benchmark id, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by the `bench_*` methods (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by time budget,
+    /// not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(self.criterion.budget, &full, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, J, F>(&mut self, id: I, input: &J, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &J),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        run_one(self.criterion.budget, &full, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly until the time budget is exhausted.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and batch-size calibration: run until ~1/10 budget.
+        let calibrate_until = self.budget / 10;
+        let start = Instant::now();
+        let mut calibration_iters: u32 = 0;
+        while start.elapsed() < calibrate_until || calibration_iters == 0 {
+            black_box(f());
+            calibration_iters += 1;
+            if calibration_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed() / calibration_iters;
+        let batch =
+            (calibrate_until.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32;
+
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(t0.elapsed() / batch);
+            if self.samples.len() >= 64 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F>(budget: Duration, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        budget,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench  {name} ... (no measurement — closure never called iter)");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    println!("bench  {name} ... {}", fmt_duration(median));
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns/iter")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us/iter", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms/iter", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s/iter", ns as f64 / 1e9)
+    }
+}
+
+/// Bundle benchmark functions into one named runner, as real criterion
+/// does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            budget: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn groups_and_ids_run() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        let mut runs = 0u64;
+        group.bench_function("plain", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &p| {
+            b.iter(|| black_box(p * 2))
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn bench_function_on_criterion_runs() {
+        let mut c = quick();
+        let mut hits = 0u64;
+        c.bench_function("top", |b| {
+            b.iter(|| {
+                hits += 1;
+                black_box(hits)
+            })
+        });
+        assert!(hits > 0);
+    }
+}

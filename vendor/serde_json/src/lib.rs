@@ -1,0 +1,407 @@
+//! Offline stand-in for the subset of the `serde_json` API this workspace
+//! uses: the [`Value`] tree, the [`json!`] macro (object/array/expression
+//! forms) and [`to_string_pretty`].
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this shim instead of the real crate.  Objects keep
+//! insertion order (like serde_json's `preserve_order` feature), numbers
+//! are stored as `f64`, and serialization escapes the JSON control set.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (stored as `f64`; integral values print without a
+    /// fractional part).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element vector, when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(v) => v.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self == *other
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+macro_rules! from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Value {
+                Value::Number(n as f64)
+            }
+        }
+    )*};
+}
+
+from_number!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(s: &&str) -> Value {
+        Value::String((*s).to_string())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null"); // serde_json refuses; the shim degrades gracefully
+    } else if n.fract() == 0.0 && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let pad = |out: &mut String, level: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                    if !pretty {
+                        out.push(' ');
+                    }
+                }
+                pad(out, indent + 1);
+                write_value(out, item, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                    if !pretty {
+                        out.push(' ');
+                    }
+                }
+                pad(out, indent + 1);
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_value(out, item, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, 0, false);
+        f.write_str(&out)
+    }
+}
+
+/// Serialization error type (the shim's serializer cannot actually fail).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact serialization.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Two-space-indented serialization.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0, true);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a JSON-shaped literal with interpolated Rust
+/// expressions (any `Into<Value>` type) in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::__json_pairs!(object; $($tt)+);
+        $crate::Value::Object(object)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut array: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::__json_items!(array; $($tt)+);
+        $crate::Value::Array(array)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_pairs {
+    ($obj:ident;) => {};
+    ($obj:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::Value::Null));
+        $crate::__json_pairs!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::__json_pairs!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::__json_pairs!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $obj.push(($key.to_string(), $crate::Value::from($value)));
+        $crate::__json_pairs!($obj; $($($rest)*)?);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_items {
+    ($arr:ident;) => {};
+    ($arr:ident; null $(, $($rest:tt)*)?) => {
+        $arr.push($crate::Value::Null);
+        $crate::__json_items!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::__json_items!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::__json_items!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; $value:expr $(, $($rest:tt)*)?) => {
+        $arr.push($crate::Value::from($value));
+        $crate::__json_items!($arr; $($($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+#[allow(clippy::vec_init_then_push)] // json! expands to create-then-push by design
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_preserves_order_and_nests() {
+        let rows = vec![json!({"x": 1}), json!({"x": 2})];
+        let v = json!({
+            "experiment": "e1",
+            "count": 2usize,
+            "ratio": 1.5,
+            "nested": {"a": 1, "b": [1, 2, 3], "c": null},
+            "rows": rows,
+            "ok": true,
+        });
+        assert_eq!(v["experiment"], "e1");
+        assert_eq!(v["count"].as_f64(), Some(2.0));
+        assert_eq!(v["nested"]["b"][2].as_f64(), Some(3.0));
+        assert_eq!(v["nested"]["c"], Value::Null);
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn exprs_with_internal_commas_are_one_value() {
+        fn pair(a: u64, b: u64) -> u64 {
+            a + b
+        }
+        let v = json!({"sum": pair(1, 2), "next": 4});
+        assert_eq!(v["sum"].as_f64(), Some(3.0));
+        assert_eq!(v["next"].as_f64(), Some(4.0));
+    }
+
+    #[test]
+    fn pretty_output_shape() {
+        let v = json!({"a": 1, "b": [true, "x\n"]});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": 1"));
+        assert!(s.contains("\\n"));
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        // Integral floats print without a fractional part.
+        assert!(!s.contains("1.0"));
+        let compact = to_string(&v).unwrap();
+        assert!(!compact.contains('\n'));
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(json!(2.5).to_string(), "2.5");
+        assert_eq!(json!(3.0).to_string(), "3");
+        assert_eq!(json!(-7i64).to_string(), "-7");
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+    }
+}

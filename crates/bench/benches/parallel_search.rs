@@ -1,0 +1,209 @@
+//! The parallel-search guard: serial vs parallel Algorithm C on the
+//! 8-table chain and the 10-table star at 4/16/64 memory buckets.
+//!
+//! Three jobs:
+//!
+//! 1. **Correctness**: every row asserts the parallel search returns the
+//!    same plan, the same cost bits, and — because the sharded eval cache
+//!    computes every key exactly once — *identical* `evals` and
+//!    `cache_hits` counters as the serial search.
+//! 2. **Record**: wall-time medians and speedups land in
+//!    `BENCH_parallel_search.json` at the workspace root, together with
+//!    the host's core count (a speedup is only physical when the host can
+//!    actually run 4 threads).
+//! 3. **Regression guard**: on hosts with ≥ 4 cores, the run *fails* if
+//!    the parallel search at `threads = 4` is slower than serial on the
+//!    8-table chain / 16-bucket workload — the canary for lock-contention
+//!    regressions in the sharded cache or the level barrier.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lec_core::fixtures::{scaling_chain, scaling_star};
+use lec_core::{optimize_lec_static_with, SearchConfig};
+use lec_cost::CostModel;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+const GUARD_THREADS: usize = 4;
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Median wall time (µs) of `runs` fresh-model searches under `config`.
+fn median_search_us(
+    catalog: &lec_catalog::Catalog,
+    query: &lec_plan::Query,
+    memory: &lec_prob::Distribution,
+    config: &SearchConfig,
+    runs: usize,
+) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let model = CostModel::new(catalog, query);
+            let t0 = Instant::now();
+            black_box(optimize_lec_static_with(&model, memory, config).unwrap());
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[runs / 2]
+}
+
+fn guard_row(
+    name: &str,
+    catalog: &lec_catalog::Catalog,
+    query: &lec_plan::Query,
+    buckets: usize,
+) -> serde_json::Value {
+    let memory = lec_prob::presets::spread_family(400.0, 0.8, buckets).unwrap();
+    let serial_cfg = SearchConfig::serial();
+    let parallel_cfg = SearchConfig {
+        threads: GUARD_THREADS,
+        // Force the fan-out on even for the 8-table chain's narrower
+        // levels, so the guard measures the machinery it is guarding.
+        fanout_threshold: 1,
+        ..Default::default()
+    };
+
+    // Correctness first: byte-identical outcome and identical counters.
+    let serial_model = CostModel::new(catalog, query);
+    let serial = optimize_lec_static_with(&serial_model, &memory, &serial_cfg).unwrap();
+    let par_model = CostModel::new(catalog, query);
+    let parallel = optimize_lec_static_with(&par_model, &memory, &parallel_cfg).unwrap();
+    assert_eq!(serial.plan, parallel.plan, "{name} b={buckets}: plan drift");
+    assert_eq!(
+        serial.cost.to_bits(),
+        parallel.cost.to_bits(),
+        "{name} b={buckets}: cost drift"
+    );
+    assert_eq!(
+        serial.stats.evals, parallel.stats.evals,
+        "{name} b={buckets}: evals must be identical serial vs parallel"
+    );
+    assert_eq!(
+        serial.stats.cache_hits, parallel.stats.cache_hits,
+        "{name} b={buckets}: cache_hits must be identical serial vs parallel"
+    );
+
+    let runs = 15;
+    let serial_us = median_search_us(catalog, query, &memory, &serial_cfg, runs);
+    let parallel_us = median_search_us(catalog, query, &memory, &parallel_cfg, runs);
+    let speedup = serial_us / parallel_us;
+    println!(
+        "parallel-search guard  {name} b={buckets}: serial {serial_us:.0}us, \
+         parallel({GUARD_THREADS}) {parallel_us:.0}us, {speedup:.2}x, evals={}",
+        serial.stats.evals
+    );
+    json!({
+        "workload": name,
+        "buckets": buckets,
+        "serial_us": serial_us,
+        "parallel_us": parallel_us,
+        "threads": GUARD_THREADS,
+        "speedup": speedup,
+        "evals_serial": serial.stats.evals,
+        "evals_parallel": parallel.stats.evals,
+        "cache_hits_serial": serial.stats.cache_hits,
+        "cache_hits_parallel": parallel.stats.cache_hits,
+    })
+}
+
+fn bench_parallel_search(c: &mut Criterion) {
+    let chain8 = scaling_chain(8);
+    let star10 = scaling_star(10);
+    let cores = host_threads();
+    let guard_enforced = cores >= GUARD_THREADS;
+
+    let mut rows = Vec::new();
+    for (name, (catalog, query)) in [("eight_chain", &chain8), ("ten_star", &star10)] {
+        for buckets in [4usize, 16, 64] {
+            rows.push(guard_row(name, catalog, query, buckets));
+        }
+    }
+
+    // The wall-time regression guard: with ≥ 4 real cores, parallel must
+    // not lose to serial on the 8-table chain at 16 buckets.  On smaller
+    // hosts the threads time-slice one core and a "speedup" would be
+    // fiction, so only the counter identities above are enforced there.
+    // The 10% headroom absorbs scheduler noise on shared CI runners — a
+    // real lock-contention regression costs far more than that.
+    if guard_enforced {
+        let row = rows
+            .iter()
+            .find(|r| r["workload"] == "eight_chain" && r["buckets"].as_f64() == Some(16.0))
+            .expect("guard workload row must exist");
+        let (serial, parallel) = (
+            row["serial_us"].as_f64().unwrap(),
+            row["parallel_us"].as_f64().unwrap(),
+        );
+        assert!(
+            parallel <= serial * 1.10,
+            "lock-contention regression: parallel search at {GUARD_THREADS} threads \
+             ({parallel:.0}us) is slower than serial ({serial:.0}us) on eight_chain b=16"
+        );
+    } else {
+        println!(
+            "parallel-search guard: host has {cores} core(s) < {GUARD_THREADS}; \
+             wall-time guard skipped (counter identities still enforced)"
+        );
+    }
+
+    // The headline target (ISSUE: >= 1.8x at threads=4 on eight_chain
+    // b=16) is recorded next to the measurements so any multi-core
+    // reader of this artifact can see at a glance whether the host met
+    // it; the hard CI assertion stays the regression bound above, since
+    // absolute speedups depend on the runner's real core count.
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_parallel_search.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&json!({
+            "bench": "parallel_search",
+            "claim": "the level-fanout parallel DP engine returns byte-identical outcomes \
+                      (plan, cost bits, evals, cache_hits) to the serial engine, and on \
+                      multi-core hosts beats it on wall time",
+            "host_threads": cores,
+            "wall_time_guard_enforced": guard_enforced,
+            "target_speedup_on_4_cores": 1.8,
+            "rows": rows,
+        }))
+        .unwrap(),
+    )
+    .expect("write BENCH_parallel_search.json");
+
+    // Criterion timing groups for the flagship workload, so `cargo bench`
+    // history tracks both engines.
+    let memory = lec_prob::presets::spread_family(400.0, 0.8, 16).unwrap();
+    let mut group = c.benchmark_group("parallel_search");
+    group.sample_size(10);
+    for (label, config) in [
+        ("eight_chain_serial", SearchConfig::serial()),
+        (
+            "eight_chain_threads4",
+            SearchConfig {
+                threads: GUARD_THREADS,
+                fanout_threshold: 1,
+                ..Default::default()
+            },
+        ),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                let model = CostModel::new(&chain8.0, &chain8.1);
+                black_box(
+                    optimize_lec_static_with(&model, black_box(&memory), &config)
+                        .unwrap()
+                        .cost,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_search);
+criterion_main!(benches);

@@ -6,12 +6,12 @@
 //! candidate, and choose the one with least expected cost."
 //!
 //! Policy over the engine: one [`crate::search::KeepBestPolicy`] +
-//! point-coster run per memory representative (via [`optimize_lsc`]),
-//! then EC ranking of the candidates.
+//! point-coster run per memory representative (via
+//! [`crate::lsc::optimize_lsc`]), then EC ranking of the candidates.
 
 use crate::error::OptError;
-use crate::lsc::optimize_lsc;
-use crate::search::{SearchExtras, SearchOutcome, SearchStats};
+use crate::lsc::optimize_lsc_with;
+use crate::search::{SearchConfig, SearchExtras, SearchOutcome, SearchStats};
 use lec_cost::{expected_plan_cost_static, CostModel};
 use lec_plan::PlanNode;
 use lec_prob::Distribution;
@@ -40,6 +40,17 @@ pub fn optimize_alg_a(
     model: &CostModel<'_>,
     memory: &Distribution,
 ) -> Result<SearchOutcome, OptError> {
+    optimize_alg_a_with(model, memory, &SearchConfig::default())
+}
+
+/// [`optimize_alg_a`] under an explicit [`SearchConfig`]: each black-box
+/// per-representative LSC run fans its DP levels out across
+/// `config.threads`.
+pub fn optimize_alg_a_with(
+    model: &CostModel<'_>,
+    memory: &Distribution,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, OptError> {
     let mut reps: Vec<f64> = memory.support().to_vec();
     let mean = memory.mean();
     if !reps.iter().any(|&m| (m - mean).abs() < 1e-9) {
@@ -49,7 +60,7 @@ pub fn optimize_alg_a(
     let mut stats = SearchStats::default();
     let mut candidates = Vec::with_capacity(reps.len());
     for m in reps {
-        let r = optimize_lsc(model, m)?;
+        let r = optimize_lsc_with(model, m, config)?;
         stats.absorb(&r.stats);
         candidates.push(Candidate {
             memory: m,
@@ -155,7 +166,7 @@ mod tests {
         let model = CostModel::new(&cat, &q);
         let memory = Distribution::point(800.0);
         let a = optimize_alg_a(&model, &memory).unwrap();
-        let lsc = optimize_lsc(&model, 800.0).unwrap();
+        let lsc = crate::lsc::optimize_lsc(&model, 800.0).unwrap();
         assert!((a.cost - lsc.cost).abs() < 1e-9);
         assert_eq!(a.candidates().unwrap().len(), 1);
     }

@@ -5,7 +5,9 @@
 //! then EC ranking of the union of root candidates.
 
 use crate::error::OptError;
-use crate::search::{run_search, PlanShape, SearchExtras, SearchOutcome, SearchStats, TopCPolicy};
+use crate::search::{
+    run_search_with, PlanShape, SearchConfig, SearchExtras, SearchOutcome, SearchStats, TopCPolicy,
+};
 use lec_cost::{expected_plan_cost_static, CostModel};
 use lec_plan::PlanNode;
 use lec_prob::Distribution;
@@ -18,6 +20,18 @@ pub fn optimize_alg_b(
     model: &CostModel<'_>,
     memory: &Distribution,
     c: usize,
+) -> Result<SearchOutcome, OptError> {
+    optimize_alg_b_with(model, memory, c, &SearchConfig::default())
+}
+
+/// [`optimize_alg_b`] under an explicit [`SearchConfig`]: each
+/// per-representative top-`c` search fans its DP levels out across
+/// `config.threads`.
+pub fn optimize_alg_b_with(
+    model: &CostModel<'_>,
+    memory: &Distribution,
+    c: usize,
+    config: &SearchConfig,
 ) -> Result<SearchOutcome, OptError> {
     if c == 0 {
         return Err(OptError::BadParameter("Algorithm B requires c >= 1"));
@@ -33,7 +47,7 @@ pub fn optimize_alg_b(
     let mut candidates: Vec<PlanNode> = Vec::new();
     for m in reps {
         let mut policy = TopCPolicy::new(m, c);
-        let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+        let run = run_search_with(model, PlanShape::LeftDeep, &mut policy, config)?;
         stats.absorb(&run.stats);
         frontier.combinations_examined += policy.frontier.combinations_examined;
         frontier.bound_total += policy.frontier.bound_total;

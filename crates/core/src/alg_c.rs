@@ -13,8 +13,8 @@
 
 use crate::error::OptError;
 use crate::search::{
-    run_search, DynamicExpectationCoster, KeepBestPolicy, PlanShape, SearchOutcome,
-    StaticExpectationCoster,
+    run_search_with, DynamicExpectationCoster, KeepBestPolicy, PlanShape, SearchConfig,
+    SearchOutcome, StaticExpectationCoster,
 };
 use lec_cost::CostModel;
 use lec_prob::{Distribution, MarkovChain};
@@ -30,8 +30,23 @@ pub fn optimize_lec_static(
     model: &CostModel<'_>,
     memory: &Distribution,
 ) -> Result<SearchOutcome, OptError> {
-    let mut policy = KeepBestPolicy::new(StaticExpectationCoster::new(memory));
-    let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+    optimize_lec_static_with(model, memory, &SearchConfig::default())
+}
+
+/// [`optimize_lec_static`] under an explicit [`SearchConfig`]: the DP
+/// levels fan out across `config.threads` when the query is wide enough;
+/// otherwise each candidate's `b`-bucket expectation may fan out instead
+/// once `b` crosses the bucket threshold (the axes are exclusive — see
+/// [`SearchConfig::bucket_parallelism_for`]).
+pub fn optimize_lec_static_with(
+    model: &CostModel<'_>,
+    memory: &Distribution,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, OptError> {
+    let coster = StaticExpectationCoster::new(memory)
+        .with_parallelism(config.bucket_parallelism_for(model.query()));
+    let mut policy = KeepBestPolicy::new(coster);
+    let run = run_search_with(model, PlanShape::LeftDeep, &mut policy, config)?;
     let (best, stats) = run.into_best();
     Ok(SearchOutcome::new(best.plan, best.cost, stats))
 }
@@ -48,11 +63,22 @@ pub fn optimize_lec_dynamic(
     initial: &Distribution,
     chain: &MarkovChain,
 ) -> Result<SearchOutcome, OptError> {
+    optimize_lec_dynamic_with(model, initial, chain, &SearchConfig::default())
+}
+
+/// [`optimize_lec_dynamic`] under an explicit [`SearchConfig`].
+pub fn optimize_lec_dynamic_with(
+    model: &CostModel<'_>,
+    initial: &Distribution,
+    chain: &MarkovChain,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, OptError> {
     let n = model.query().n_tables();
     // n-1 join phases plus a possible root sort phase.
-    let coster = DynamicExpectationCoster::new(initial, chain, n.max(1))?;
+    let coster = DynamicExpectationCoster::new(initial, chain, n.max(1))?
+        .with_parallelism(config.bucket_parallelism_for(model.query()));
     let mut policy = KeepBestPolicy::new(coster);
-    let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+    let run = run_search_with(model, PlanShape::LeftDeep, &mut policy, config)?;
     let (best, stats) = run.into_best();
     Ok(SearchOutcome::new(best.plan, best.cost, stats))
 }

@@ -7,7 +7,9 @@
 
 use crate::error::OptError;
 pub use crate::search::AlgDConfig;
-use crate::search::{run_search, MultiParamPolicy, PlanShape, SearchExtras, SearchOutcome};
+use crate::search::{
+    run_search_with, MultiParamPolicy, PlanShape, SearchConfig, SearchExtras, SearchOutcome,
+};
 use lec_cost::CostModel;
 use lec_prob::Distribution;
 
@@ -19,13 +21,27 @@ pub fn optimize_alg_d(
     memory: &Distribution,
     config: &AlgDConfig,
 ) -> Result<SearchOutcome, OptError> {
+    optimize_alg_d_with(model, memory, config, &SearchConfig::default())
+}
+
+/// [`optimize_alg_d`] under an explicit [`SearchConfig`]: DP levels fan
+/// out across `search.threads`, and block nested-loop's `b_A·b_B·b_M`
+/// per-candidate triple sum fans out once it crosses the bucket
+/// threshold.
+pub fn optimize_alg_d_with(
+    model: &CostModel<'_>,
+    memory: &Distribution,
+    config: &AlgDConfig,
+    search: &SearchConfig,
+) -> Result<SearchOutcome, OptError> {
     if config.max_buckets == 0 {
         return Err(OptError::BadParameter(
             "Algorithm D requires max_buckets >= 1",
         ));
     }
-    let mut policy = MultiParamPolicy::new(memory, config.clone());
-    let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+    let mut policy = MultiParamPolicy::new(memory, config.clone())
+        .with_parallelism(search.bucket_parallelism_for(model.query()));
+    let run = run_search_with(model, PlanShape::LeftDeep, &mut policy, search)?;
     let (best, stats) = run.into_best();
     Ok(SearchOutcome {
         plan: best.plan,

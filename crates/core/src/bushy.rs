@@ -18,7 +18,8 @@
 
 use crate::error::OptError;
 use crate::search::{
-    run_search, KeepBestPolicy, PlanShape, SearchOutcome, StaticExpectationCoster,
+    run_search_with, KeepBestPolicy, PlanShape, SearchConfig, SearchOutcome,
+    StaticExpectationCoster,
 };
 use lec_cost::CostModel;
 use lec_prob::Distribution;
@@ -29,8 +30,21 @@ pub fn optimize_lec_bushy(
     model: &CostModel<'_>,
     memory: &Distribution,
 ) -> Result<SearchOutcome, OptError> {
-    let mut policy = KeepBestPolicy::new(StaticExpectationCoster::new(memory));
-    let run = run_search(model, PlanShape::Bushy, &mut policy)?;
+    optimize_lec_bushy_with(model, memory, &SearchConfig::default())
+}
+
+/// [`optimize_lec_bushy`] under an explicit [`SearchConfig`].  Bushy
+/// levels fan out particularly well: every connected 2-partition of every
+/// same-size subset is independent work.
+pub fn optimize_lec_bushy_with(
+    model: &CostModel<'_>,
+    memory: &Distribution,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, OptError> {
+    let coster = StaticExpectationCoster::new(memory)
+        .with_parallelism(config.bucket_parallelism_for(model.query()));
+    let mut policy = KeepBestPolicy::new(coster);
+    let run = run_search_with(model, PlanShape::Bushy, &mut policy, config)?;
     let (best, stats) = run.into_best();
     Ok(SearchOutcome::new(best.plan, best.cost, stats))
 }

@@ -17,6 +17,10 @@ pub enum OptError {
     NoPlanFound,
     /// A parameter was out of range (e.g. Algorithm B with c = 0).
     BadParameter(&'static str),
+    /// A thread of the parallel search engine panicked while combining
+    /// candidates (e.g. a coster bug); the search was aborted cleanly
+    /// instead of deadlocking the level barrier or unwinding the caller.
+    WorkerPanicked,
 }
 
 impl fmt::Display for OptError {
@@ -27,6 +31,7 @@ impl fmt::Display for OptError {
             OptError::Prob(e) => write!(f, "probability error: {e}"),
             OptError::NoPlanFound => write!(f, "no plan found"),
             OptError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            OptError::WorkerPanicked => write!(f, "a parallel search worker panicked"),
         }
     }
 }

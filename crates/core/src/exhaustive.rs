@@ -10,8 +10,8 @@
 
 use crate::error::OptError;
 use crate::search::{
-    run_search, DynamicExpectationCoster, KeepAllPolicy, PhaseCoster, PlanShape, PointCoster,
-    SearchExtras, SearchOutcome, StaticExpectationCoster,
+    run_search_with, DynamicExpectationCoster, KeepAllPolicy, PhaseCoster, PlanShape, PointCoster,
+    SearchConfig, SearchExtras, SearchOutcome, StaticExpectationCoster,
 };
 use lec_cost::CostModel;
 use lec_prob::{Distribution, MarkovChain};
@@ -48,6 +48,19 @@ pub fn exhaustive_best_shaped(
     objective: &Objective<'_>,
     shape: PlanShape,
 ) -> Result<SearchOutcome, OptError> {
+    exhaustive_best_shaped_with(model, objective, shape, &SearchConfig::default())
+}
+
+/// [`exhaustive_best_shaped`] under an explicit [`SearchConfig`].  The
+/// keep-all policy parallelizes like any other: every subset's complete
+/// candidate list is built by exactly one worker, so the materialized
+/// plan space — and its order — is identical to a serial run.
+pub fn exhaustive_best_shaped_with(
+    model: &CostModel<'_>,
+    objective: &Objective<'_>,
+    shape: PlanShape,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, OptError> {
     let n = model.query().n_tables();
     if n > MAX_EXHAUSTIVE_TABLES {
         return Err(OptError::BadParameter(
@@ -59,12 +72,19 @@ pub fn exhaustive_best_shaped(
             "exhaustive plan space exceeds the 1M-plan keep-all cap",
         ));
     }
+    let par = config.bucket_parallelism_for(model.query());
     match objective {
-        Objective::Point(m) => run_keep_all(model, shape, PointCoster { memory: *m }),
-        Objective::Expected(dist) => run_keep_all(model, shape, StaticExpectationCoster::new(dist)),
+        Objective::Point(m) => run_keep_all(model, shape, PointCoster { memory: *m }, config),
+        Objective::Expected(dist) => run_keep_all(
+            model,
+            shape,
+            StaticExpectationCoster::new(dist).with_parallelism(par),
+            config,
+        ),
         Objective::Dynamic { initial, chain } => {
-            let coster = DynamicExpectationCoster::new(initial, chain, n.max(1))?;
-            run_keep_all(model, shape, coster)
+            let coster =
+                DynamicExpectationCoster::new(initial, chain, n.max(1))?.with_parallelism(par);
+            run_keep_all(model, shape, coster, config)
         }
     }
 }
@@ -78,13 +98,23 @@ pub fn exhaustive_best(
     exhaustive_best_shaped(model, objective, PlanShape::LeftDeep)
 }
 
-fn run_keep_all<C: PhaseCoster>(
+/// [`exhaustive_best`] under an explicit [`SearchConfig`].
+pub fn exhaustive_best_with(
+    model: &CostModel<'_>,
+    objective: &Objective<'_>,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, OptError> {
+    exhaustive_best_shaped_with(model, objective, PlanShape::LeftDeep, config)
+}
+
+fn run_keep_all<C: PhaseCoster + Clone + Send>(
     model: &CostModel<'_>,
     shape: PlanShape,
     coster: C,
+    config: &SearchConfig,
 ) -> Result<SearchOutcome, OptError> {
     let mut policy = KeepAllPolicy::new(coster);
-    let run = run_search(model, shape, &mut policy)?;
+    let run = run_search_with(model, shape, &mut policy, config)?;
     let plans_costed = run.roots.len() as u64;
     let (best, stats) = run.into_best();
     Ok(SearchOutcome {

@@ -149,6 +149,47 @@ pub fn scaling_chain(n: usize) -> (Catalog, Query) {
     (catalog, query)
 }
 
+/// A fixed `n`-table star: hub table 0 joined to each spoke, round-number
+/// sizes, required output order on the last spoke.  The scaling fixture
+/// for *parallel* optimization-effort experiments: unlike the chain —
+/// whose connected subsets are contiguous runs, a handful per DP level —
+/// every subset containing the hub is connected, so mid levels carry
+/// `C(n-1, k-1)` working nodes and give the level fan-out real width.
+pub fn scaling_star(n: usize) -> (Catalog, Query) {
+    assert!(n >= 2, "a star needs a hub and at least one spoke");
+    let mut catalog = Catalog::new();
+    let sizes: Vec<u64> = (0..n).map(|i| 10_000 * (1 + (i as u64 % 5))).collect();
+    let ids: Vec<_> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &pages)| {
+            catalog.add_table(
+                format!("H{i}"),
+                TableStats::new(
+                    pages,
+                    pages * 50,
+                    vec![ColumnStats::plain("a", 1000), ColumnStats::plain("b", 1000)],
+                ),
+            )
+        })
+        .collect();
+    let query = Query {
+        tables: ids.into_iter().map(QueryTable::bare).collect(),
+        joins: (1..n)
+            .map(|i| {
+                let target = (sizes[0].min(sizes[i]) as f64) * 0.3;
+                JoinPredicate::exact(
+                    ColumnRef::new(0, 1),
+                    ColumnRef::new(i, 0),
+                    target / (sizes[0] as f64 * sizes[i] as f64),
+                )
+            })
+            .collect(),
+        required_order: Some(ColumnRef::new(n - 1, 1)),
+    };
+    (catalog, query)
+}
+
 /// Recognizer for Example 1.1's Plan 1: a bare sort-merge join of the two
 /// scans (either orientation — the SM formula is symmetric).
 pub fn is_plan1(plan: &lec_plan::PlanNode) -> bool {

@@ -49,6 +49,32 @@
 //! paper's "factor b" overhead claims — and the cache's savings —
 //! directly observable.
 //!
+//! ## Threading model
+//!
+//! The engine runs serial or parallel under one [`SearchConfig`]
+//! (`threads` defaults to the machine's available parallelism; `1` forces
+//! the serial driver).  Parallelism is **level-barrier fan-out**: the
+//! subsets at one dag depth are independent, so a pool of scoped worker
+//! threads — spawned once per search — steals them off a shared cursor,
+//! combines each wholly on one thread in serial order, and merges results
+//! deterministically at the depth barrier.  `lec-cost`'s evaluation cache
+//! is sharded across per-tier mutexes held for the duration of a miss, so
+//! every distinct evaluation runs exactly once regardless of schedule.
+//! Together this makes parallel outcomes *byte-identical* to serial ones
+//! — plans, cost bits, `evals`, `cache_hits` — property-tested for every
+//! policy in `tests/parallel_parity.rs`.  The fan-out gate is
+//! *work-aware*: it counts connected subsets per level (an 8-table chain
+//! has 70 subsets but only 5 working ones at its widest level), so
+//! sparse topologies stay serial instead of paying pool overhead.  For
+//! searches the level fan-out cannot help (narrow but deep), the
+//! expectation costers instead fan one candidate's bucket evaluations
+//! out ([`lec_cost::BucketParallelism`]) once it needs enough formula
+//! work — Algorithm D's block nested-loop triple product being the
+//! realistic beneficiary; the two axes are deliberately exclusive so
+//! worker counts never multiply.  Every mode wrapper has a `*_with(..,
+//! &SearchConfig)` variant; a worker panic surfaces as
+//! [`OptError::WorkerPanicked`], never a deadlock.
+//!
 //! The quickest way in:
 //!
 //! ```
@@ -81,20 +107,27 @@ pub mod parametric;
 pub mod randomized;
 pub mod search;
 
-pub use alg_a::{optimize_alg_a, Candidate};
-pub use alg_b::optimize_alg_b;
-pub use alg_c::{optimize_lec_dynamic, optimize_lec_static};
-pub use alg_d::{optimize_alg_d, AlgDConfig};
+pub use alg_a::{optimize_alg_a, optimize_alg_a_with, Candidate};
+pub use alg_b::{optimize_alg_b, optimize_alg_b_with};
+pub use alg_c::{
+    optimize_lec_dynamic, optimize_lec_dynamic_with, optimize_lec_static, optimize_lec_static_with,
+};
+pub use alg_d::{optimize_alg_d, optimize_alg_d_with, AlgDConfig};
 pub use bucketing::{bucketize, query_memory_breakpoints, BucketStrategy};
-pub use bushy::optimize_lec_bushy;
+pub use bushy::{optimize_lec_bushy, optimize_lec_bushy_with};
 pub use error::OptError;
 pub use exhaustive::{
-    exhaustive_best, exhaustive_best_shaped, Objective, MAX_EXHAUSTIVE_PLANS, MAX_EXHAUSTIVE_TABLES,
+    exhaustive_best, exhaustive_best_shaped, exhaustive_best_shaped_with, exhaustive_best_with,
+    Objective, MAX_EXHAUSTIVE_PLANS, MAX_EXHAUSTIVE_TABLES,
 };
-pub use lsc::{optimize_lsc, optimize_lsc_from_dist, PointEstimate};
+pub use lsc::{
+    optimize_lsc, optimize_lsc_from_dist, optimize_lsc_from_dist_with, optimize_lsc_with,
+    PointEstimate,
+};
 pub use optimizer::{Mode, Optimized, Optimizer};
 pub use parametric::{coverage_family, CachedPlan, PlanCache, StartupChoice};
 pub use randomized::{iterative_improvement, simulated_annealing, RandomizedConfig};
 pub use search::{
-    run_search, CandidatePolicy, FrontierStats, PlanShape, SearchExtras, SearchOutcome, SearchStats,
+    run_search, run_search_with, CandidatePolicy, FrontierStats, PlanShape, SearchConfig,
+    SearchExtras, SearchOutcome, SearchStats,
 };

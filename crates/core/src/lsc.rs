@@ -11,7 +11,9 @@
 //! the left-deep shape.
 
 use crate::error::OptError;
-use crate::search::{run_search, KeepBestPolicy, PlanShape, PointCoster, SearchOutcome};
+use crate::search::{
+    run_search_with, KeepBestPolicy, PlanShape, PointCoster, SearchConfig, SearchOutcome,
+};
 use lec_cost::CostModel;
 use lec_prob::Distribution;
 
@@ -26,8 +28,18 @@ pub enum PointEstimate {
 
 /// Optimize at a fixed memory value; the classical System R algorithm.
 pub fn optimize_lsc(model: &CostModel<'_>, memory: f64) -> Result<SearchOutcome, OptError> {
+    optimize_lsc_with(model, memory, &SearchConfig::default())
+}
+
+/// [`optimize_lsc`] under an explicit [`SearchConfig`] (thread count and
+/// fan-out thresholds of the parallel DP driver).
+pub fn optimize_lsc_with(
+    model: &CostModel<'_>,
+    memory: f64,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, OptError> {
     let mut policy = KeepBestPolicy::new(PointCoster { memory });
-    let run = run_search(model, PlanShape::LeftDeep, &mut policy)?;
+    let run = run_search_with(model, PlanShape::LeftDeep, &mut policy, config)?;
     let (best, stats) = run.into_best();
     Ok(SearchOutcome::new(best.plan, best.cost, stats))
 }
@@ -39,11 +51,21 @@ pub fn optimize_lsc_from_dist(
     memory: &Distribution,
     estimate: PointEstimate,
 ) -> Result<SearchOutcome, OptError> {
+    optimize_lsc_from_dist_with(model, memory, estimate, &SearchConfig::default())
+}
+
+/// [`optimize_lsc_from_dist`] under an explicit [`SearchConfig`].
+pub fn optimize_lsc_from_dist_with(
+    model: &CostModel<'_>,
+    memory: &Distribution,
+    estimate: PointEstimate,
+    config: &SearchConfig,
+) -> Result<SearchOutcome, OptError> {
     let m = match estimate {
         PointEstimate::Mean => memory.mean(),
         PointEstimate::Mode => memory.mode(),
     };
-    optimize_lsc(model, m)
+    optimize_lsc_with(model, m, config)
 }
 
 #[cfg(test)]

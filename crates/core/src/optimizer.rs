@@ -4,13 +4,13 @@
 //! facade does no per-mode destructuring — it stamps the mode name and
 //! the total wall-clock time and hands the outcome through.
 
-use crate::alg_a::optimize_alg_a;
-use crate::alg_b::optimize_alg_b;
-use crate::alg_c::{optimize_lec_dynamic, optimize_lec_static};
-use crate::alg_d::{optimize_alg_d, AlgDConfig};
+use crate::alg_a::optimize_alg_a_with;
+use crate::alg_b::optimize_alg_b_with;
+use crate::alg_c::{optimize_lec_dynamic_with, optimize_lec_static_with};
+use crate::alg_d::{optimize_alg_d_with, AlgDConfig};
 use crate::error::OptError;
-use crate::lsc::{optimize_lsc_from_dist, PointEstimate};
-pub use crate::search::{SearchExtras, SearchOutcome, SearchStats};
+use crate::lsc::{optimize_lsc_from_dist_with, PointEstimate};
+pub use crate::search::{SearchConfig, SearchExtras, SearchOutcome, SearchStats};
 use lec_catalog::Catalog;
 use lec_cost::CostModel;
 use lec_plan::{PlanNode, Query};
@@ -103,13 +103,34 @@ pub struct Optimized {
 pub struct Optimizer<'a> {
     catalog: &'a Catalog,
     memory: Distribution,
+    search: SearchConfig,
 }
 
 impl<'a> Optimizer<'a> {
     /// Create an optimizer believing `memory` describes the run-time
-    /// environment.
+    /// environment.  Searches use the default [`SearchConfig`]: DP levels
+    /// fan out across the machine's available parallelism once a query is
+    /// large enough to benefit.
     pub fn new(catalog: &'a Catalog, memory: Distribution) -> Self {
-        Optimizer { catalog, memory }
+        Optimizer {
+            catalog,
+            memory,
+            search: SearchConfig::default(),
+        }
+    }
+
+    /// Override the parallel-search configuration (thread count, fan-out
+    /// thresholds) for every subsequent [`Optimizer::optimize`] call.
+    /// The randomized modes (II/SA) are move-based rather than DP-based
+    /// and ignore it.
+    pub fn with_search_config(mut self, search: SearchConfig) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// The parallel-search configuration in force.
+    pub fn search_config(&self) -> &SearchConfig {
+        &self.search
     }
 
     /// The memory distribution in force.
@@ -123,14 +144,22 @@ impl<'a> Optimizer<'a> {
         let model = CostModel::new(self.catalog, query);
         let start = Instant::now();
         let outcome: SearchOutcome = match mode {
-            Mode::Lsc(est) => optimize_lsc_from_dist(&model, &self.memory, *est)?,
-            Mode::LscAt(m) => crate::lsc::optimize_lsc(&model, *m)?,
-            Mode::AlgorithmA => optimize_alg_a(&model, &self.memory)?,
-            Mode::AlgorithmB { c } => optimize_alg_b(&model, &self.memory, *c)?,
-            Mode::AlgorithmC => optimize_lec_static(&model, &self.memory)?,
-            Mode::AlgorithmCDynamic { chain } => optimize_lec_dynamic(&model, &self.memory, chain)?,
-            Mode::AlgorithmD { config } => optimize_alg_d(&model, &self.memory, config)?,
-            Mode::Bushy => crate::bushy::optimize_lec_bushy(&model, &self.memory)?,
+            Mode::Lsc(est) => {
+                optimize_lsc_from_dist_with(&model, &self.memory, *est, &self.search)?
+            }
+            Mode::LscAt(m) => crate::lsc::optimize_lsc_with(&model, *m, &self.search)?,
+            Mode::AlgorithmA => optimize_alg_a_with(&model, &self.memory, &self.search)?,
+            Mode::AlgorithmB { c } => optimize_alg_b_with(&model, &self.memory, *c, &self.search)?,
+            Mode::AlgorithmC => optimize_lec_static_with(&model, &self.memory, &self.search)?,
+            Mode::AlgorithmCDynamic { chain } => {
+                optimize_lec_dynamic_with(&model, &self.memory, chain, &self.search)?
+            }
+            Mode::AlgorithmD { config } => {
+                optimize_alg_d_with(&model, &self.memory, config, &self.search)?
+            }
+            Mode::Bushy => {
+                crate::bushy::optimize_lec_bushy_with(&model, &self.memory, &self.search)?
+            }
             Mode::IterativeImprovement { config, seed } => {
                 crate::randomized::iterative_improvement(&model, &self.memory, config, *seed)?
             }

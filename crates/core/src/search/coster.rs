@@ -9,7 +9,7 @@
 //! evaluations across entry pairs and dag levels hit the cache.
 
 use super::policy::JoinContext;
-use lec_cost::CostModel;
+use lec_cost::{BucketParallelism, CostModel};
 use lec_plan::{JoinMethod, TableSet};
 use lec_prob::{Distribution, MarkovChain, ProbError};
 
@@ -64,15 +64,25 @@ impl PhaseCoster for PointCoster {
 pub struct StaticExpectationCoster {
     memory: Distribution,
     mem_fp: u64,
+    par: BucketParallelism,
 }
 
 impl StaticExpectationCoster {
-    /// A coster taking expectations over `memory`.
+    /// A coster taking expectations over `memory`, serially.
     pub fn new(memory: &Distribution) -> Self {
         StaticExpectationCoster {
             mem_fp: lec_cost::dist_fingerprint(memory),
             memory: memory.clone(),
+            par: BucketParallelism::serial(),
         }
+    }
+
+    /// Fan one candidate's per-bucket evaluations out across threads once
+    /// the bucket count crosses `par.min_evals` (bit-identical results;
+    /// see [`BucketParallelism`]).
+    pub fn with_parallelism(mut self, par: BucketParallelism) -> Self {
+        self.par = par;
+        self
     }
 
     /// The memory distribution in force.
@@ -90,7 +100,7 @@ impl PhaseCoster for StaticExpectationCoster {
         outer: f64,
         inner: f64,
     ) -> f64 {
-        model.expected_join_cost_over(
+        model.expected_join_cost_over_with(
             ctx.left,
             ctx.right,
             method,
@@ -98,11 +108,12 @@ impl PhaseCoster for StaticExpectationCoster {
             inner,
             &self.memory,
             self.mem_fp,
+            self.par,
         )
     }
 
     fn sort_cost(&self, model: &CostModel<'_>, set: TableSet, _phase: usize, pages: f64) -> f64 {
-        model.expected_sort_cost_over(set, pages, &self.memory, self.mem_fp)
+        model.expected_sort_cost_over_with(set, pages, &self.memory, self.mem_fp, self.par)
     }
 }
 
@@ -112,6 +123,7 @@ impl PhaseCoster for StaticExpectationCoster {
 #[derive(Debug, Clone)]
 pub struct DynamicExpectationCoster {
     dists: Vec<(Distribution, u64)>,
+    par: BucketParallelism,
 }
 
 impl DynamicExpectationCoster {
@@ -130,7 +142,17 @@ impl DynamicExpectationCoster {
             dists.push((cur, fp));
             cur = next;
         }
-        Ok(DynamicExpectationCoster { dists })
+        Ok(DynamicExpectationCoster {
+            dists,
+            par: BucketParallelism::serial(),
+        })
+    }
+
+    /// Fan one candidate's per-bucket evaluations out across threads once
+    /// the phase distribution's bucket count crosses `par.min_evals`.
+    pub fn with_parallelism(mut self, par: BucketParallelism) -> Self {
+        self.par = par;
+        self
     }
 
     fn dist(&self, phase: usize) -> &(Distribution, u64) {
@@ -149,11 +171,13 @@ impl PhaseCoster for DynamicExpectationCoster {
         inner: f64,
     ) -> f64 {
         let (dist, fp) = self.dist(ctx.phase);
-        model.expected_join_cost_over(ctx.left, ctx.right, method, outer, inner, dist, *fp)
+        model.expected_join_cost_over_with(
+            ctx.left, ctx.right, method, outer, inner, dist, *fp, self.par,
+        )
     }
 
     fn sort_cost(&self, model: &CostModel<'_>, set: TableSet, phase: usize, pages: f64) -> f64 {
         let (dist, fp) = self.dist(phase);
-        model.expected_sort_cost_over(set, pages, dist, *fp)
+        model.expected_sort_cost_over_with(set, pages, dist, *fp, self.par)
     }
 }

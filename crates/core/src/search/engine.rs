@@ -1,5 +1,16 @@
 //! The one DP driver.  Everything that enumerates subsets lives here —
 //! no optimizer module outside `search/` walks the dag itself.
+//!
+//! Two drivers share one recursion: [`run_search`] is the serial
+//! reference implementation, and [`run_search_with`] fans each DP level
+//! out across a pool of scoped worker threads (see [`SearchConfig`]).
+//! The parallel driver is **deterministic**: subsets at one level are
+//! independent (their splits only read completed lower levels), each
+//! subset is combined wholly by one worker in the same split/pair/method
+//! order as the serial driver, worker results are merged at a level
+//! barrier, and the evaluation cache computes every distinct key exactly
+//! once — so plans, costs, tie-breaks, and all counters are byte-identical
+//! to a serial run.
 
 use super::policy::{CandidatePolicy, JoinContext, RootContext, SearchEntry};
 use super::SearchStats;
@@ -7,6 +18,9 @@ use crate::error::OptError;
 use lec_cost::CostModel;
 use lec_plan::{Query, TableSet};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
 /// How a subset is split into (outer, inner) operand pairs.
@@ -112,6 +126,188 @@ pub fn plan_space_size(model: &CostModel<'_>, shape: PlanShape) -> u128 {
     counts.get(&TableSet::full(n)).copied().unwrap_or(0)
 }
 
+/// Default [`SearchConfig::fanout_threshold`]: the widest DP level must
+/// carry at least this many *connected* (work-bearing) subsets before the
+/// engine spawns workers.  28 is between the widest levels of fully
+/// dense 6-table (20) and 7-table (35) queries: below that, one search
+/// runs in well under 100µs and thread spawn overhead would dominate.
+/// Sparse shapes gate on their real width — an 8-table chain (widest
+/// connected level: 5) stays serial at any size the scan covers.
+pub const DEFAULT_FANOUT_THRESHOLD: usize = 28;
+
+/// Tuning knobs for the parallel DP driver ([`run_search_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Total search threads, including the calling thread.  `0` resolves
+    /// to [`std::thread::available_parallelism`]; `1` forces the serial
+    /// driver (exactly the [`run_search`] code path).
+    pub threads: usize,
+    /// Minimum number of subsets the widest DP level must have before the
+    /// engine fans out at all (small searches stay serial).
+    pub fanout_threshold: usize,
+    /// Minimum cost-formula evaluations one candidate must need before
+    /// its bucket expectation is itself fanned out (the inner hot loop of
+    /// Algorithms C/D); forwarded to the costers as
+    /// [`lec_cost::BucketParallelism::min_evals`].
+    pub bucket_evals_threshold: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            threads: 0,
+            fanout_threshold: DEFAULT_FANOUT_THRESHOLD,
+            bucket_evals_threshold: lec_cost::DEFAULT_MIN_PARALLEL_EVALS,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// A configuration that always takes the serial driver.
+    pub fn serial() -> Self {
+        SearchConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// A configuration with an explicit thread count and default
+    /// thresholds.
+    pub fn with_threads(threads: usize) -> Self {
+        SearchConfig {
+            threads,
+            ..Default::default()
+        }
+    }
+
+    /// The resolved thread count: `threads`, or the machine's available
+    /// parallelism when `threads == 0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads != 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+
+    /// The per-candidate bucket fan-out policy implied by this config for
+    /// `query`, for handing to the expectation costers.
+    ///
+    /// The two fan-out axes are **exclusive**: when the level fan-out
+    /// engages ([`SearchConfig::fans_out`]), bucket evaluation stays
+    /// serial — otherwise every DP worker could spawn its own bucket
+    /// scope (`threads²` live threads), and it would do so while holding
+    /// an eval-cache shard lock that other DP workers may want.  Bucket
+    /// fan-out is the fallback axis for narrow-but-deep searches the
+    /// level fan-out cannot help.
+    pub fn bucket_parallelism_for(&self, query: &Query) -> lec_cost::BucketParallelism {
+        if self.fans_out(query) {
+            lec_cost::BucketParallelism::serial()
+        } else {
+            lec_cost::BucketParallelism {
+                threads: self.effective_threads(),
+                min_evals: self.bucket_evals_threshold,
+            }
+        }
+    }
+
+    /// Whether a search over `query` fans out under this config: more
+    /// than one resolved thread and at least `fanout_threshold` subsets
+    /// of *actual work* at the widest DP level.
+    ///
+    /// Raw subset counts are the wrong gauge for sparse join graphs — an
+    /// 8-table chain has `C(8,4) = 70` subsets at its widest level but
+    /// only 5 connected ones (contiguous runs) that produce candidates —
+    /// so for queries small enough to scan (`n ≤ 12`, a few µs) this
+    /// counts *connected* subsets per level exactly and gates on that.
+    /// Larger queries fall back to the binomial upper bound: there, the
+    /// subset enumeration itself is the dominant cost and parallelizes
+    /// regardless of topology.
+    pub fn fans_out(&self, query: &Query) -> bool {
+        if self.effective_threads() <= 1 {
+            return false;
+        }
+        let n = query.n_tables();
+        let threshold = self.fanout_threshold as u128;
+        // Cheap upper bound first: connected subsets per level can never
+        // beat the binomial.
+        if widest_level(n) < threshold {
+            return false;
+        }
+        if n > WIDTH_SCAN_MAX_TABLES {
+            return true;
+        }
+        widest_connected_level(query, n, self.fanout_threshold) >= self.fanout_threshold
+    }
+}
+
+/// `C(n, n/2)` — the number of subsets at the widest DP level.
+fn widest_level(n: usize) -> u128 {
+    let k = n / 2;
+    let mut r: u128 = 1;
+    for i in 0..k {
+        r = r.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    r
+}
+
+/// Cap on the exact connected-width scan in [`SearchConfig::fans_out`].
+/// The scan is `O(2^n)` in cheap bit operations over the same subsets
+/// the search itself will enumerate with strictly more work each, so it
+/// stays a small fraction of any search it gates; 16 caps its absolute
+/// cost (~64k subsets) while covering every query size where misgating a
+/// sparse topology would actually hurt — beyond it, subset enumeration
+/// dominates whatever the topology and parallelizes regardless.
+const WIDTH_SCAN_MAX_TABLES: usize = 16;
+
+/// The largest number of *connected* subsets at any single DP level —
+/// i.e. the widest level of real work — computed by a bitmask scan over
+/// all subsets (`n ≤` [`WIDTH_SCAN_MAX_TABLES`]).  Returns early once any
+/// level reaches `threshold`, so dense graphs (the fan-out case) answer
+/// in a few hundred subsets and only sparse graphs pay the full scan.
+fn widest_connected_level(query: &Query, n: usize, threshold: usize) -> usize {
+    let mut adj = vec![0u64; n];
+    for j in &query.joins {
+        adj[j.left.table] |= 1 << j.right.table;
+        adj[j.right.table] |= 1 << j.left.table;
+    }
+    let mut widths = vec![0usize; n + 1];
+    let mut max = 0;
+    for bits in 1u64..(1u64 << n) {
+        let k = bits.count_ones() as usize;
+        if k < 2 {
+            continue;
+        }
+        // Grow the lowest member's component within `bits` to a fixpoint.
+        let mut comp = bits & bits.wrapping_neg();
+        loop {
+            let mut grown = comp;
+            let mut rest = comp;
+            while rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                grown |= adj[i] & bits;
+            }
+            if grown == comp {
+                break;
+            }
+            comp = grown;
+        }
+        if comp == bits {
+            widths[k] += 1;
+            if widths[k] > max {
+                max = widths[k];
+                if max >= threshold {
+                    return max;
+                }
+            }
+        }
+    }
+    max
+}
+
 /// Run the DP under `shape` and `policy` and return the finalized root
 /// candidates, cheapest-available via [`SearchRun::best`].
 pub fn run_search<P: CandidatePolicy>(
@@ -162,6 +358,366 @@ pub fn run_search<P: CandidatePolicy>(
         }
     }
 
+    let root = table
+        .remove(&TableSet::full(n))
+        .ok_or(OptError::NoPlanFound)?;
+    let ctx = RootContext {
+        set: TableSet::full(n),
+        sort_phase: n - 1,
+    };
+    let roots = policy.finalize(model, &ctx, root, &mut stats);
+    if roots.is_empty() {
+        return Err(OptError::NoPlanFound);
+    }
+    stats.evals = model.evals();
+    stats.cache_hits = model.eval_cache_hits() - hits_before;
+    stats.elapsed = start.elapsed();
+    Ok(SearchRun { roots, stats })
+}
+
+/// Epoch value signalling the workers to exit.
+const STOP_EPOCH: usize = usize::MAX;
+
+/// One worker's output for one DP level: the non-empty `(subset,
+/// candidates)` pairs it combined plus its local statistics.
+struct LevelOutput<E> {
+    produced: Vec<(TableSet, Vec<E>)>,
+    stats: SearchStats,
+}
+
+impl<E> Default for LevelOutput<E> {
+    fn default() -> Self {
+        LevelOutput {
+            produced: Vec::new(),
+            stats: SearchStats::default(),
+        }
+    }
+}
+
+/// Level-barrier coordination shared between the driver and its workers.
+struct Coordinator {
+    /// Monotonically increasing level sequence number; [`STOP_EPOCH`]
+    /// terminates the workers.
+    epoch: AtomicUsize,
+    /// The current level's subsets, published by the driver before each
+    /// epoch bump.
+    sets: RwLock<Vec<TableSet>>,
+    /// Work-stealing cursor into `sets`.
+    next: AtomicUsize,
+    /// Set when any thread panicked while combining; the driver aborts the
+    /// search instead of dispatching further levels.
+    panicked: AtomicBool,
+}
+
+/// Spin briefly, then yield: level phases last microseconds, but on
+/// oversubscribed hosts the peer we wait for may need our core.  Used by
+/// the driver's ack barrier, where the wait is bounded by a level's
+/// remaining combine work.
+fn relax(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A worker's wait for the next epoch: spin, then yield, then *park* —
+/// the driver may be in an arbitrarily long serial phase (depth-1, a
+/// single-subset root level, finalization), and idle workers must not
+/// burn cores through it.  The driver unparks every worker after each
+/// epoch bump; the timeout makes a lost wake-up (e.g. the driver
+/// unwinding past its unpark) self-heal.
+fn wait_for_epoch(epoch: &AtomicUsize, current: usize) -> usize {
+    let mut spins = 0u32;
+    loop {
+        let e = epoch.load(Ordering::Acquire);
+        if e != current {
+            return e;
+        }
+        spins += 1;
+        if spins < 64 {
+            std::hint::spin_loop();
+        } else if spins < 192 {
+            std::thread::yield_now();
+        } else {
+            std::thread::park_timeout(std::time::Duration::from_millis(1));
+        }
+    }
+}
+
+/// Signals a worker's per-level completion even when its combine panicked
+/// (the unwinding drop is what keeps the driver's barrier from
+/// deadlocking on a dead worker).
+struct AckGuard<'a> {
+    ack: &'a AtomicUsize,
+    epoch: usize,
+    panicked: &'a AtomicBool,
+}
+
+impl Drop for AckGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.panicked.store(true, Ordering::SeqCst);
+        }
+        self.ack.store(self.epoch, Ordering::Release);
+    }
+}
+
+/// On unwind of the driver thread, release the workers so the scope can
+/// join them instead of deadlocking.
+struct StopGuard<'a>(&'a AtomicUsize);
+
+impl Drop for StopGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(STOP_EPOCH, Ordering::Release);
+    }
+}
+
+/// Steal subsets off the level cursor and combine them, accumulating into
+/// `out`.  Identical inner body to the serial driver: one subset is
+/// processed wholly by one thread, in the same split → entry-pair → method
+/// order, so its candidate vector is byte-identical to a serial run.
+fn combine_level_sets<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    shape: PlanShape,
+    policy: &mut P,
+    table: &HashMap<TableSet, Vec<P::Entry>>,
+    sets: &[TableSet],
+    next: &AtomicUsize,
+    out: &mut LevelOutput<P::Entry>,
+) {
+    let query = model.query();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&set) = sets.get(i) else { break };
+        let mut entries: Vec<P::Entry> = Vec::new();
+        for (left, right) in shape.splits(query, set) {
+            let (Some(outer), Some(inner)) = (table.get(&left), table.get(&right)) else {
+                continue;
+            };
+            let ctx = JoinContext {
+                left,
+                right,
+                result: set,
+                phase: set.len() - 2,
+            };
+            policy.combine(model, &ctx, outer, inner, &mut entries, &mut out.stats);
+        }
+        if !entries.is_empty() {
+            out.stats.nodes += 1;
+            out.produced.push((set, entries));
+        }
+    }
+}
+
+/// Run the DP under `shape` and `policy` with the parallelism described by
+/// `config`.
+///
+/// With one (effective) thread, or a query whose widest level of
+/// *connected* subsets is under [`SearchConfig::fanout_threshold`] (see
+/// [`SearchConfig::fans_out`]), this is exactly [`run_search`].
+/// Otherwise the engine spawns `threads - 1` scoped workers that live for
+/// the whole search; at each DP level the driver publishes that level's
+/// subsets, every thread (the caller included) steals subsets off a shared
+/// cursor and combines them against the read-only lower levels, and the
+/// driver merges the per-worker results at the level barrier.  The merged
+/// outcome — plans, costs, tie-breaks, `SearchStats` counters — is
+/// byte-identical to the serial driver's (see the module docs for why).
+///
+/// A panic inside any policy or coster (on a worker or the caller) aborts
+/// the search and surfaces as [`OptError::WorkerPanicked`] rather than
+/// propagating the panic or deadlocking the barrier.
+pub fn run_search_with<P>(
+    model: &CostModel<'_>,
+    shape: PlanShape,
+    policy: &mut P,
+    config: &SearchConfig,
+) -> Result<SearchRun<P::Entry>, OptError>
+where
+    P: CandidatePolicy + Send,
+    P::Entry: Send + Sync,
+{
+    let query: &Query = model.query();
+    let n = query.n_tables();
+    if n == 0 {
+        return Err(OptError::EmptyQuery);
+    }
+    if !config.fans_out(query) {
+        return run_search(model, shape, policy);
+    }
+    let threads = config.effective_threads();
+    let start = Instant::now();
+    let hits_before = model.eval_cache_hits();
+    model.reset_evals();
+    let mut stats = SearchStats::default();
+    let mut table: HashMap<TableSet, Vec<P::Entry>> = HashMap::new();
+
+    // Depth 1 (access paths) is trivially cheap: keep it on the caller.
+    for idx in 0..n {
+        let entries = policy.access_entries(model, idx, &mut stats);
+        if !entries.is_empty() {
+            stats.nodes += 1;
+            table.insert(TableSet::singleton(idx), entries);
+        }
+    }
+
+    let n_workers = threads - 1;
+    let coord = Coordinator {
+        epoch: AtomicUsize::new(0),
+        sets: RwLock::new(Vec::new()),
+        next: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+    };
+    let table_lock = RwLock::new(table);
+    let outputs: Vec<Mutex<LevelOutput<P::Entry>>> = (0..n_workers)
+        .map(|_| Mutex::new(LevelOutput::default()))
+        .collect();
+    let acks: Vec<AtomicUsize> = (0..n_workers).map(|_| AtomicUsize::new(0)).collect();
+    let worker_policies: Vec<P> = (0..n_workers).map(|_| policy.fork()).collect();
+
+    std::thread::scope(|scope| -> Result<(), OptError> {
+        // Ensure the workers are released even if this thread unwinds.
+        let _stop = StopGuard(&coord.epoch);
+        let handles: Vec<_> = worker_policies
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut wp)| {
+                let coord = &coord;
+                let table_lock = &table_lock;
+                let outputs = &outputs;
+                let acks = &acks;
+                scope.spawn(move || {
+                    let mut my_epoch = 0;
+                    loop {
+                        let e = wait_for_epoch(&coord.epoch, my_epoch);
+                        if e == STOP_EPOCH {
+                            break;
+                        }
+                        my_epoch = e;
+                        // Declared before the work so its drop (the ack)
+                        // runs after the output store — and on unwind.
+                        let _ack = AckGuard {
+                            ack: &acks[w],
+                            epoch: e,
+                            panicked: &coord.panicked,
+                        };
+                        let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
+                        let sets = coord.sets.read().unwrap_or_else(|p| p.into_inner());
+                        let mut out = LevelOutput::default();
+                        combine_level_sets(
+                            model,
+                            shape,
+                            &mut wp,
+                            &tbl,
+                            &sets,
+                            &coord.next,
+                            &mut out,
+                        );
+                        *outputs[w].lock().unwrap_or_else(|p| p.into_inner()) = out;
+                    }
+                    wp
+                })
+            })
+            .collect();
+        let worker_threads: Vec<std::thread::Thread> =
+            handles.iter().map(|h| h.thread().clone()).collect();
+        let wake_workers = || {
+            for t in &worker_threads {
+                t.unpark();
+            }
+        };
+
+        let mut aborted = false;
+        for k in 2..=n {
+            let sets = TableSet::subsets_of_size(n, k);
+            if sets.len() < 2 {
+                // A single subset (the root level) gains nothing from a
+                // dispatch round-trip; combine it on the caller.
+                let mut out = LevelOutput::default();
+                let cursor = AtomicUsize::new(0);
+                let res = {
+                    let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
+                    catch_unwind(AssertUnwindSafe(|| {
+                        combine_level_sets(model, shape, policy, &tbl, &sets, &cursor, &mut out)
+                    }))
+                };
+                if res.is_err() {
+                    coord.panicked.store(true, Ordering::SeqCst);
+                    aborted = true;
+                    break;
+                }
+                let mut tbl = table_lock.write().unwrap_or_else(|p| p.into_inner());
+                stats.absorb(&out.stats);
+                tbl.extend(out.produced);
+                continue;
+            }
+
+            // Publish the level and open the epoch.
+            *coord.sets.write().unwrap_or_else(|p| p.into_inner()) = sets;
+            coord.next.store(0, Ordering::SeqCst);
+            let e = coord.epoch.load(Ordering::Relaxed) + 1;
+            coord.epoch.store(e, Ordering::Release);
+            wake_workers();
+
+            // The caller steals alongside the workers.
+            let mut my_out = LevelOutput::default();
+            let res = {
+                let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
+                let sets = coord.sets.read().unwrap_or_else(|p| p.into_inner());
+                catch_unwind(AssertUnwindSafe(|| {
+                    combine_level_sets(model, shape, policy, &tbl, &sets, &coord.next, &mut my_out)
+                }))
+            };
+            if res.is_err() {
+                coord.panicked.store(true, Ordering::SeqCst);
+            }
+
+            // Level barrier: every worker acks (their AckGuard fires even
+            // on panic, so a poisoned combine cannot deadlock us here).
+            for ack in acks.iter() {
+                let mut spins = 0;
+                while ack.load(Ordering::Acquire) < e {
+                    relax(&mut spins);
+                }
+            }
+            if coord.panicked.load(Ordering::SeqCst) {
+                aborted = true;
+                break;
+            }
+
+            // Deterministic merge: worker outputs in worker order, then
+            // the caller's own.  (Subsets are unique per level, and the
+            // counters are sums, so any fixed order gives identical
+            // results; worker order keeps it canonical.)
+            let mut tbl = table_lock.write().unwrap_or_else(|p| p.into_inner());
+            for slot in outputs.iter() {
+                let out = std::mem::take(&mut *slot.lock().unwrap_or_else(|p| p.into_inner()));
+                stats.absorb(&out.stats);
+                tbl.extend(out.produced);
+            }
+            stats.absorb(&my_out.stats);
+            tbl.extend(my_out.produced);
+        }
+
+        coord.epoch.store(STOP_EPOCH, Ordering::Release);
+        wake_workers();
+        let mut worker_panicked = false;
+        for handle in handles {
+            match handle.join() {
+                Ok(wp) => policy.merge(wp),
+                // The payload was already reported through `panicked`;
+                // consuming it here keeps the scope from re-panicking.
+                Err(_) => worker_panicked = true,
+            }
+        }
+        if aborted || worker_panicked || coord.panicked.load(Ordering::SeqCst) {
+            return Err(OptError::WorkerPanicked);
+        }
+        Ok(())
+    })?;
+
+    let mut table = table_lock.into_inner().unwrap_or_else(|p| p.into_inner());
     let root = table
         .remove(&TableSet::full(n))
         .ok_or(OptError::NoPlanFound)?;

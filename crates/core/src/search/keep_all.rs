@@ -29,8 +29,16 @@ impl<C: PhaseCoster> KeepAllPolicy<C> {
     }
 }
 
-impl<C: PhaseCoster> CandidatePolicy for KeepAllPolicy<C> {
+impl<C: PhaseCoster + Clone> CandidatePolicy for KeepAllPolicy<C> {
     type Entry = DpEntry;
+
+    fn fork(&self) -> Self {
+        self.clone()
+    }
+
+    fn merge(&mut self, _forked: Self) {
+        // Stateless beyond the (immutable) coster: nothing to fold back.
+    }
 
     fn access_entries(
         &mut self,

@@ -31,6 +31,27 @@
 //! per-bucket evaluations repeated across entry pairs and dag levels are
 //! computed once; [`SearchStats::evals`] exposes the reduction and
 //! [`SearchStats::cache_hits`] the work avoided.
+//!
+//! # Threading model
+//!
+//! The engine has a third axis: *parallelism* ([`engine::SearchConfig`],
+//! driven by [`engine::run_search_with`]).  Subsets at one dag depth are
+//! independent — their splits only read completed lower depths — so each
+//! depth is fanned out across a pool of scoped worker threads that live
+//! for the whole search (**level-barrier fan-out**): the driver publishes
+//! the depth's subsets, every thread steals subsets off a shared cursor
+//! and combines them with its own [`CandidatePolicy::fork`] of the policy,
+//! and the driver folds the per-worker results (and, at the end, the
+//! forked policies) back **deterministically** at the depth barrier.
+//! Below the expectation costers, `lec-cost`'s eval cache is sharded
+//! across per-tier mutexes that are held for the duration of a miss's
+//! compute, so every distinct evaluation happens exactly once no matter
+//! how subsets were scheduled.  The combination makes a parallel search
+//! byte-identical to a serial one — plans, costs, tie-breaks, `evals`,
+//! `cache_hits` — which the `parallel_parity` property tests pin for every
+//! policy.  `SearchConfig::threads == 1` bypasses all of this and runs
+//! the untouched serial driver; a worker panic surfaces as
+//! [`crate::OptError::WorkerPanicked`], never a deadlock.
 
 pub mod coster;
 pub mod engine;
@@ -41,7 +62,10 @@ pub mod policy;
 pub mod top_c;
 
 pub use coster::{DynamicExpectationCoster, PhaseCoster, PointCoster, StaticExpectationCoster};
-pub use engine::{plan_space_size, run_search, PlanShape, SearchRun};
+pub use engine::{
+    plan_space_size, run_search, run_search_with, PlanShape, SearchConfig, SearchRun,
+    DEFAULT_FANOUT_THRESHOLD,
+};
 pub use keep_all::KeepAllPolicy;
 pub use keep_best::{DpEntry, KeepBestPolicy};
 pub use multi_param::{AlgDConfig, DistEntry, MultiParamPolicy};

@@ -15,7 +15,7 @@ use super::policy::{
     RootContext, SearchEntry,
 };
 use super::SearchStats;
-use lec_cost::CostModel;
+use lec_cost::{BucketParallelism, CostModel};
 use lec_plan::{JoinMethod, OrderProperty, PlanNode};
 use lec_prob::{Distribution, PrefixTables, Rebucket};
 
@@ -82,6 +82,7 @@ pub struct MultiParamPolicy {
     memory: Distribution,
     mem_fp: u64,
     m_tables: PrefixTables,
+    par: BucketParallelism,
     /// Largest size-distribution support seen before rebucketing.
     pub max_product_support: usize,
 }
@@ -99,8 +100,17 @@ impl MultiParamPolicy {
             mem_fp: lec_cost::dist_fingerprint(memory),
             memory: memory.clone(),
             config,
+            par: BucketParallelism::serial(),
             max_product_support: 0,
         }
+    }
+
+    /// Fan one candidate's bucket evaluations (block nested-loop's
+    /// `b_A·b_B·b_M` triple sum, the §3.6 hot loop) out across threads
+    /// once they cross `par.min_evals`.
+    pub fn with_parallelism(mut self, par: BucketParallelism) -> Self {
+        self.par = par;
+        self
     }
 
     /// The §3.6.3 result-size distribution `|B_j| · |A_j| · σ`.
@@ -134,6 +144,17 @@ fn rebucket_to(d: &Distribution, n: usize, strategy: Rebucket) -> Distribution {
 
 impl CandidatePolicy for MultiParamPolicy {
     type Entry = DistEntry;
+
+    fn fork(&self) -> Self {
+        MultiParamPolicy {
+            max_product_support: 0,
+            ..self.clone()
+        }
+    }
+
+    fn merge(&mut self, forked: Self) {
+        self.max_product_support = self.max_product_support.max(forked.max_product_support);
+    }
 
     fn access_entries(
         &mut self,
@@ -177,7 +198,7 @@ impl CandidatePolicy for MultiParamPolicy {
                 let result_size = self.product_size(&oe.pages, &ie.pages, &sel_dist);
                 for method in JoinMethod::ALL {
                     stats.candidates += 1;
-                    let join_ec = model.expected_join_cost_for(
+                    let join_ec = model.expected_join_cost_for_with(
                         ctx.left,
                         ctx.right,
                         method,
@@ -186,6 +207,7 @@ impl CandidatePolicy for MultiParamPolicy {
                         &self.memory,
                         self.mem_fp,
                         &self.m_tables,
+                        self.par,
                     );
                     insert_entry(
                         into,

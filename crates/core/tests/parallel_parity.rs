@@ -1,0 +1,242 @@
+//! Parallel-engine parity: for every candidate policy and every mode
+//! wrapper, a search fanned out across worker threads must return a
+//! `SearchOutcome` **byte-identical** to the serial engine's — same plan,
+//! same cost bits, same `evals`, `cache_hits`, `candidates` and `nodes` —
+//! on randomized 3–6-table fixtures at 2, 4 and 8 threads.  Also pins the
+//! failure mode: a coster that panics inside a worker (a "poisoned
+//! shard") must surface as `OptError::WorkerPanicked`, not a deadlock or
+//! an unwound caller, and must leave the model usable.
+
+use lec_core::search::{PhaseCoster, SearchConfig};
+use lec_core::{
+    exhaustive_best_with, optimize_alg_b_with, optimize_alg_d_with, optimize_lec_bushy_with,
+    optimize_lec_dynamic_with, optimize_lec_static_with, optimize_lsc_with, AlgDConfig, Objective,
+    OptError, SearchOutcome,
+};
+use lec_cost::CostModel;
+use lec_plan::{Query, QueryProfile, Topology, WorkloadGenerator};
+use lec_prob::{presets, MarkovChain};
+use proptest::prelude::*;
+
+fn workload(seed: u64, n: usize) -> (lec_catalog::Catalog, Query) {
+    let mut g = lec_catalog::CatalogGenerator::new(seed);
+    let cat = g.generate(n + 1);
+    let ids = g.pick_tables(&cat, n);
+    let mut wg = WorkloadGenerator::new(seed ^ 0xBEEF);
+    let q = wg.gen_query(
+        &cat,
+        &ids,
+        &QueryProfile {
+            topology: Topology::Random,
+            ..Default::default()
+        },
+    );
+    (cat, q)
+}
+
+/// A parallel config with the size gates forced open, so even 3-table
+/// fixtures exercise the fan-out machinery.
+fn forced(threads: usize) -> SearchConfig {
+    SearchConfig {
+        threads,
+        fanout_threshold: 1,
+        ..Default::default()
+    }
+}
+
+/// Assert two outcomes are byte-identical in everything the engine
+/// promises determinism for (elapsed is wall-clock and excluded).
+fn assert_identical(name: &str, threads: usize, serial: &SearchOutcome, parallel: &SearchOutcome) {
+    assert_eq!(&serial.plan, &parallel.plan, "{name}@{threads}: plan drift");
+    assert_eq!(
+        serial.cost.to_bits(),
+        parallel.cost.to_bits(),
+        "{name}@{threads}: cost drift ({} vs {})",
+        serial.cost,
+        parallel.cost
+    );
+    assert_eq!(
+        serial.stats.evals, parallel.stats.evals,
+        "{name}@{threads}: evals drift"
+    );
+    assert_eq!(
+        serial.stats.cache_hits, parallel.stats.cache_hits,
+        "{name}@{threads}: cache_hits drift"
+    );
+    assert_eq!(
+        serial.stats.candidates, parallel.stats.candidates,
+        "{name}@{threads}: candidates drift"
+    );
+    assert_eq!(
+        serial.stats.nodes, parallel.stats.nodes,
+        "{name}@{threads}: nodes drift"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every policy, serial vs 2/4/8 threads, on randomized fixtures.
+    /// Fresh models per run keep the eval cache (and so `evals` /
+    /// `cache_hits`) comparable.
+    #[test]
+    fn parallel_search_is_byte_identical_for_every_policy(
+        seed in 0u64..4000,
+        n in 3usize..7,
+        center in 60.0f64..2500.0,
+        spread in 0.1f64..0.9,
+        b in 2usize..6,
+    ) {
+        let (cat, q) = workload(seed, n);
+        let memory = presets::spread_family(center, spread, b).unwrap();
+        let chain = MarkovChain::birth_death(memory.support().to_vec(), 0.3, 0.1).unwrap();
+        let serial_cfg = SearchConfig::serial();
+
+        type Runner = dyn Fn(&CostModel<'_>, &SearchConfig) -> Result<SearchOutcome, OptError>;
+        let memory2 = memory.clone();
+        let memory3 = memory.clone();
+        let memory4 = memory.clone();
+        let memory5 = memory.clone();
+        let memory6 = memory.clone();
+        let memory7 = memory.clone();
+        let chain2 = chain.clone();
+        let runners: Vec<(&str, Box<Runner>)> = vec![
+            ("lsc", Box::new(move |m, c| optimize_lsc_with(m, memory2.mean(), c))),
+            ("alg_b", Box::new(move |m, c| optimize_alg_b_with(m, &memory3, 3, c))),
+            ("alg_c", Box::new(move |m, c| optimize_lec_static_with(m, &memory4, c))),
+            ("alg_c_dyn", Box::new(move |m, c| optimize_lec_dynamic_with(m, &memory5, &chain2, c))),
+            ("alg_d", Box::new(move |m, c| optimize_alg_d_with(m, &memory6, &AlgDConfig::default(), c))),
+            ("bushy", Box::new(move |m, c| optimize_lec_bushy_with(m, &memory7, c))),
+            ("exhaustive", Box::new(move |m, c| exhaustive_best_with(m, &Objective::Expected(&memory), c))),
+        ];
+
+        for (name, run) in &runners {
+            let serial_model = CostModel::new(&cat, &q);
+            let serial = run(&serial_model, &serial_cfg).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par_model = CostModel::new(&cat, &q);
+                let parallel = run(&par_model, &forced(threads)).unwrap();
+                assert_identical(name, threads, &serial, &parallel);
+            }
+        }
+    }
+
+    /// The intra-candidate bucket fan-out (forced on by an eval threshold
+    /// of 1) is bit-identical too.  The two fan-out axes are exclusive by
+    /// design — bucket parallelism only engages when the level fan-out
+    /// does not — so the level gate is left closed (`fanout_threshold`
+    /// maxed) to actually reach the bucket path.
+    #[test]
+    fn bucket_fanout_is_byte_identical(
+        seed in 0u64..4000,
+        n in 3usize..5,
+        center in 60.0f64..2500.0,
+    ) {
+        let (cat, q) = workload(seed, n);
+        let memory = presets::spread_family(center, 0.6, 5).unwrap();
+        let serial_model = CostModel::new(&cat, &q);
+        let serial = optimize_lec_static_with(&serial_model, &memory, &SearchConfig::serial()).unwrap();
+        for threads in [2usize, 4] {
+            let cfg = SearchConfig {
+                threads,
+                fanout_threshold: usize::MAX,
+                bucket_evals_threshold: 1,
+            };
+            let par_model = CostModel::new(&cat, &q);
+            let parallel = optimize_lec_static_with(&par_model, &memory, &cfg).unwrap();
+            assert_identical("alg_c+buckets", threads, &serial, &parallel);
+            let d_serial_model = CostModel::new(&cat, &q);
+            let d_serial = optimize_alg_d_with(
+                &d_serial_model, &memory, &AlgDConfig::default(), &SearchConfig::serial(),
+            ).unwrap();
+            let d_model = CostModel::new(&cat, &q);
+            let d_parallel = optimize_alg_d_with(
+                &d_model, &memory, &AlgDConfig::default(), &cfg,
+            ).unwrap();
+            assert_identical("alg_d+buckets", threads, &d_serial, &d_parallel);
+        }
+    }
+}
+
+/// A coster that panics when it sees a composite join — always on a
+/// worker thread once the fan-out is forced on.
+#[derive(Debug, Clone)]
+struct PoisonedCoster;
+
+impl PhaseCoster for PoisonedCoster {
+    fn join_cost(
+        &self,
+        _model: &CostModel<'_>,
+        _ctx: &lec_core::search::JoinContext,
+        _method: lec_plan::JoinMethod,
+        _outer: f64,
+        _inner: f64,
+    ) -> f64 {
+        panic!("poisoned shard: the coster blew up mid-combine")
+    }
+
+    fn sort_cost(
+        &self,
+        _model: &CostModel<'_>,
+        _set: lec_plan::TableSet,
+        _phase: usize,
+        _pages: f64,
+    ) -> f64 {
+        panic!("poisoned shard: the coster blew up mid-sort")
+    }
+}
+
+#[test]
+fn panicking_coster_propagates_as_error_not_deadlock() {
+    use lec_core::search::{run_search_with, KeepBestPolicy, PlanShape};
+    let (cat, q) = lec_core::fixtures::scaling_chain(5);
+    let model = CostModel::new(&cat, &q);
+    for threads in [2usize, 4, 8] {
+        let mut policy = KeepBestPolicy::new(PoisonedCoster);
+        let res = run_search_with(&model, PlanShape::LeftDeep, &mut policy, &forced(threads));
+        assert!(
+            matches!(res, Err(OptError::WorkerPanicked)),
+            "threads={threads}: expected WorkerPanicked, got {res:?}"
+        );
+    }
+    // The shard mutexes recover from the poisoned compute: the same model
+    // still answers a healthy search afterwards.
+    let healthy = lec_core::optimize_lsc(&model, 400.0).unwrap();
+    assert!(healthy.cost > 0.0);
+}
+
+#[test]
+fn workaware_gate_keeps_sparse_chains_serial() {
+    // An 8-table chain has C(8,4) = 70 subsets at its widest level but
+    // only 5 connected ones — under the default threshold it must stay
+    // serial; a 10-table star (C(9,4) = 126 connected mid-level subsets)
+    // must fan out.
+    let (_, chain) = lec_core::fixtures::scaling_chain(8);
+    let (_, star) = lec_core::fixtures::scaling_star(10);
+    let cfg = SearchConfig::with_threads(4);
+    assert!(!cfg.fans_out(&chain), "sparse chain must stay serial");
+    assert!(cfg.fans_out(&star), "wide star must fan out");
+    assert!(!SearchConfig::serial().fans_out(&star));
+    // Exclusive axes: when the level fan-out engages, bucket parallelism
+    // is off; when it doesn't, bucket parallelism carries the threads.
+    assert_eq!(cfg.bucket_parallelism_for(&star).threads, 1);
+    assert_eq!(cfg.bucket_parallelism_for(&chain).threads, 4);
+}
+
+#[test]
+fn serial_config_takes_the_serial_path() {
+    // threads = 1 must behave exactly like run_search: same result type,
+    // no worker machinery (observable via WorkerPanicked never appearing
+    // for a healthy policy, and identical outcomes).
+    let (cat, q) = lec_core::fixtures::three_chain();
+    let model = CostModel::new(&cat, &q);
+    let memory = presets::spread_family(400.0, 0.6, 4).unwrap();
+    let a = lec_core::optimize_lec_static(&model, &memory).unwrap();
+    let model2 = CostModel::new(&cat, &q);
+    let b = optimize_lec_static_with(&model2, &memory, &SearchConfig::serial()).unwrap();
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    assert!(SearchConfig::serial().effective_threads() == 1);
+    assert!(SearchConfig::with_threads(7).effective_threads() == 7);
+    assert!(SearchConfig::default().effective_threads() >= 1);
+}

@@ -20,12 +20,16 @@
 pub mod expected;
 pub mod formulas;
 pub mod model;
+mod par;
 pub mod plan_cost;
 
 pub use expected::{
-    expected_join_cost, expected_sort_cost, naive_expected_join_cost, streaming_expected_join_cost,
+    expected_join_cost, expected_sort_cost, naive_expected_join_cost,
+    parallel_naive_expected_join_cost, streaming_expected_join_cost,
 };
-pub use model::{dist_fingerprint, AccessPath, CostModel};
+pub use model::{
+    dist_fingerprint, AccessPath, BucketParallelism, CostModel, DEFAULT_MIN_PARALLEL_EVALS,
+};
 pub use plan_cost::{
     expected_plan_cost_dynamic, expected_plan_cost_static, output_order, phases, plan_cost_at,
     plan_memory_breakpoints, plan_output_pages, MemCost, Phase,

@@ -5,8 +5,10 @@ use crate::formulas;
 use lec_catalog::{Catalog, IndexKind};
 use lec_plan::{ColumnEquivalences, JoinMethod, Query, TableSet};
 use lec_prob::{Distribution, PrefixTables};
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// How a base table is accessed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +37,15 @@ enum EvalOp {
     ExpectedJoin(JoinMethod),
     /// Expected sort cost over size + memory distributions.
     ExpectedSort,
+}
+
+impl EvalOp {
+    /// Whether this operator's cached compute closure re-enters the cache
+    /// through the *point* tier (see [`ShardedEvalCache`] for why the two
+    /// tiers keep separate shard arrays).
+    fn is_expectation(self) -> bool {
+        !matches!(self, EvalOp::Join(_) | EvalOp::Sort)
+    }
 }
 
 /// FxHash — the rustc-style multiply-rotate hasher.  [`EvalKey`] lookups
@@ -76,6 +87,136 @@ impl FxHasher {
 }
 
 type EvalMap = HashMap<EvalKey, f64, std::hash::BuildHasherDefault<FxHasher>>;
+
+/// Number of lock shards per cache tier.  Power of two; large enough that
+/// a handful of search threads rarely collide, small enough that clearing
+/// and summing stay trivial.
+const EVAL_SHARDS: usize = 32;
+
+/// The thread-safe evaluation cache: two arrays of `Mutex`-guarded map
+/// shards, selected by the FxHash of the [`EvalKey`].
+///
+/// Two tiers, not one, because cached computes *nest*: an expectation
+/// entry's compute closure (`Σ_bucket join_cost_for(..)`) re-enters the
+/// cache for every per-bucket point evaluation.  Shard locks are held for
+/// the whole compute — that is what makes every key evaluate **exactly
+/// once** even under concurrency, keeping [`CostModel::evals`] identical
+/// between serial and parallel searches — so a single shard array could
+/// self-deadlock when an expectation key and one of its point keys hash to
+/// the same shard.  With separate tiers the lock order is strictly
+/// `expectation → point` and point computes take no locks at all, so no
+/// cycle is possible.
+struct ShardedEvalCache {
+    point: [Mutex<EvalMap>; EVAL_SHARDS],
+    expectation: [Mutex<EvalMap>; EVAL_SHARDS],
+}
+
+impl ShardedEvalCache {
+    fn new() -> Self {
+        ShardedEvalCache {
+            point: std::array::from_fn(|_| Mutex::new(EvalMap::default())),
+            expectation: std::array::from_fn(|_| Mutex::new(EvalMap::default())),
+        }
+    }
+
+    /// Lock the shard responsible for `key`.  Mutex poisoning is ignored:
+    /// a worker that panicked mid-compute never inserted its entry, so the
+    /// map itself is always consistent and recovery is safe.
+    fn shard(&self, key: &EvalKey) -> MutexGuard<'_, EvalMap> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        // The final multiply pushes entropy to the high bits; index there.
+        let idx = (h.finish() >> (64 - EVAL_SHARDS.trailing_zeros())) as usize;
+        let tier = if key.op.is_expectation() {
+            &self.expectation
+        } else {
+            &self.point
+        };
+        tier[idx].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn for_each_shard(&self, mut f: impl FnMut(MutexGuard<'_, EvalMap>)) {
+        for shard in self.point.iter().chain(self.expectation.iter()) {
+            f(shard.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedEvalCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEvalCache")
+            .field("shards", &(2 * EVAL_SHARDS))
+            .finish()
+    }
+}
+
+/// How far to fan the evaluation of one candidate's buckets out across
+/// threads (the inner hot loop of Algorithms C and D).
+///
+/// `threads` is the fan-out width; `min_evals` is the minimum number of
+/// cost-formula evaluations a single candidate must require before the
+/// fan-out engages — spawning scoped threads costs tens of microseconds,
+/// so tiny expectations must stay serial.  The parallel path folds the
+/// per-bucket results in bucket order, so the expected cost is
+/// bit-identical to the serial sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketParallelism {
+    /// Threads to fan one candidate's bucket evaluations across.
+    pub threads: usize,
+    /// Minimum per-candidate evaluation count before fanning out.
+    pub min_evals: usize,
+}
+
+/// Default [`BucketParallelism::min_evals`]: below ~2k formula
+/// evaluations, scoped-thread spawn overhead exceeds the work.  Algorithm
+/// C only crosses this with enormous bucket counts; Algorithm D's block
+/// nested-loop triple product (`b_A·b_B·b_M`) crosses it at `b = 16`.
+pub const DEFAULT_MIN_PARALLEL_EVALS: usize = 2048;
+
+impl BucketParallelism {
+    /// No intra-candidate parallelism whatsoever.
+    pub const fn serial() -> Self {
+        BucketParallelism {
+            threads: 1,
+            min_evals: usize::MAX,
+        }
+    }
+
+    /// Fan out across `threads` once a candidate needs
+    /// [`DEFAULT_MIN_PARALLEL_EVALS`] evaluations.
+    pub fn new(threads: usize) -> Self {
+        BucketParallelism {
+            threads: threads.max(1),
+            min_evals: DEFAULT_MIN_PARALLEL_EVALS,
+        }
+    }
+
+    /// Whether a candidate costing `evals` formula evaluations should fan
+    /// out.
+    pub fn active_for(&self, evals: u64) -> bool {
+        self.threads > 1 && evals >= self.min_evals as u64
+    }
+}
+
+impl Default for BucketParallelism {
+    fn default() -> Self {
+        BucketParallelism::serial()
+    }
+}
+
+/// Evaluate `f` over every bucket of `memory` across `threads` scoped
+/// threads, then fold `Σ f(vᵢ)·pᵢ` in bucket order.  The fold performs the
+/// same multiplications and additions in the same order as the serial
+/// [`Distribution::expect`], so the result is bit-identical.
+fn parallel_bucket_expectation(
+    memory: &Distribution,
+    threads: usize,
+    f: impl Fn(f64) -> f64 + Sync,
+) -> f64 {
+    let mut costs = vec![0.0f64; memory.len()];
+    crate::par::map_chunked(memory.support(), &mut costs, threads, f);
+    costs.iter().zip(memory.probs()).map(|(c, p)| c * p).sum()
+}
 
 /// Memoization key for one memory-dependent operator evaluation: the
 /// operand table sets, the operator, the memory bucket, and the exact
@@ -130,16 +271,33 @@ pub fn dist_fingerprint(d: &Distribution) -> u64 {
 /// [`CostModel::evals`] is meant to expose.  The cache is on by default and
 /// can be disabled with [`CostModel::set_eval_cache`] for apples-to-apples
 /// overhead measurements.
+///
+/// # Thread safety
+///
+/// `CostModel` is `Sync`: the evaluation cache is sharded across
+/// per-tier `Mutex`es ([`ShardedEvalCache`]) and the counters are atomics,
+/// so the parallel search engine shares one model across its worker
+/// threads.  Shard locks are held across the compute of a miss, so every
+/// distinct key is evaluated **exactly once** no matter how many threads
+/// race on it — which keeps [`CostModel::evals`] and
+/// [`CostModel::eval_cache_hits`] identical between serial and parallel
+/// searches over the same query.
 #[derive(Debug)]
 pub struct CostModel<'a> {
     catalog: &'a Catalog,
     query: &'a Query,
     equivalences: ColumnEquivalences,
-    evals: Cell<u64>,
-    eval_cache: RefCell<EvalMap>,
-    cache_enabled: Cell<bool>,
-    cache_hits: Cell<u64>,
+    evals: AtomicU64,
+    eval_cache: ShardedEvalCache,
+    cache_enabled: AtomicBool,
+    cache_hits: AtomicU64,
 }
+
+/// The engine shares one model across all of its search threads.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<CostModel<'static>>();
+};
 
 impl<'a> CostModel<'a> {
     /// Bind the model to a query.
@@ -148,10 +306,10 @@ impl<'a> CostModel<'a> {
             catalog,
             query,
             equivalences: ColumnEquivalences::for_query(query),
-            evals: Cell::new(0),
-            eval_cache: RefCell::new(EvalMap::default()),
-            cache_enabled: Cell::new(true),
-            cache_hits: Cell::new(0),
+            evals: AtomicU64::new(0),
+            eval_cache: ShardedEvalCache::new(),
+            cache_enabled: AtomicBool::new(true),
+            cache_hits: AtomicU64::new(0),
         }
     }
 
@@ -172,57 +330,74 @@ impl<'a> CostModel<'a> {
 
     /// Number of cost-formula evaluations since the last reset.
     pub fn evals(&self) -> u64 {
-        self.evals.get()
+        self.evals.load(Ordering::Relaxed)
     }
 
     /// Reset the evaluation counter.
     pub fn reset_evals(&self) {
-        self.evals.set(0);
+        self.evals.store(0, Ordering::Relaxed);
     }
 
     fn count_eval(&self) {
-        self.evals.set(self.evals.get() + 1);
+        self.evals.fetch_add(1, Ordering::Relaxed);
     }
 
     fn count_evals(&self, n: u64) {
-        self.evals.set(self.evals.get() + n);
+        self.evals.fetch_add(n, Ordering::Relaxed);
     }
 
     // ---- evaluation cache -----------------------------------------------
 
     /// Enable or disable the memoized evaluation cache used by the `*_for`
-    /// methods.  Toggling clears the cache and its hit counter.
+    /// methods.  Toggling (in either direction) clears every shard of the
+    /// cache **and resets the hit counter**, so measurements taken after a
+    /// toggle never mix cached and uncached regimes.
+    ///
+    /// Interaction with the sharded cache: the toggle is read with relaxed
+    /// atomics on the hot path and the shards are cleared one lock at a
+    /// time, so this method must not race a running search — toggle
+    /// between searches, as the benchmarks and tests do.  A search running
+    /// concurrently with a toggle would see a mix of cached and uncached
+    /// answers (all *correct*, since entries are pure function values, but
+    /// the `evals`/`cache_hits` counters would no longer be reproducible).
     pub fn set_eval_cache(&self, enabled: bool) {
-        self.cache_enabled.set(enabled);
-        self.eval_cache.borrow_mut().clear();
-        self.cache_hits.set(0);
+        self.cache_enabled.store(enabled, Ordering::Relaxed);
+        self.eval_cache.for_each_shard(|mut shard| shard.clear());
+        self.cache_hits.store(0, Ordering::Relaxed);
     }
 
     /// Whether the evaluation cache is active.
     pub fn eval_cache_enabled(&self) -> bool {
-        self.cache_enabled.get()
+        self.cache_enabled.load(Ordering::Relaxed)
     }
 
     /// Number of evaluations answered from the cache (no formula work).
     pub fn eval_cache_hits(&self) -> u64 {
-        self.cache_hits.get()
+        self.cache_hits.load(Ordering::Relaxed)
     }
 
     /// Number of distinct evaluations currently memoized.
     pub fn eval_cache_len(&self) -> usize {
-        self.eval_cache.borrow().len()
+        let mut total = 0;
+        self.eval_cache.for_each_shard(|shard| total += shard.len());
+        total
     }
 
     fn cached(&self, key: EvalKey, compute: impl FnOnce() -> f64) -> f64 {
-        if !self.cache_enabled.get() {
+        if !self.cache_enabled.load(Ordering::Relaxed) {
             return compute();
         }
-        if let Some(&v) = self.eval_cache.borrow().get(&key) {
-            self.cache_hits.set(self.cache_hits.get() + 1);
+        let mut shard = self.eval_cache.shard(&key);
+        if let Some(&v) = shard.get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return v;
         }
+        // Compute while holding the shard lock: concurrent threads racing
+        // on the same key serialize here, and the loser scores a hit
+        // instead of re-evaluating — the exactly-once guarantee that makes
+        // the evaluation counters schedule-independent.
         let v = compute();
-        self.eval_cache.borrow_mut().insert(key, v);
+        shard.insert(key, v);
         v
     }
 
@@ -281,6 +456,34 @@ impl<'a> CostModel<'a> {
         memory: &Distribution,
         mem_fp: u64,
     ) -> f64 {
+        self.expected_join_cost_over_with(
+            left,
+            right,
+            method,
+            outer,
+            inner,
+            memory,
+            mem_fp,
+            BucketParallelism::serial(),
+        )
+    }
+
+    /// [`CostModel::expected_join_cost_over`] with an explicit bucket
+    /// fan-out policy: when `par` is active for the distribution's bucket
+    /// count, a cache miss evaluates the per-bucket costs across scoped
+    /// threads and folds them in bucket order (bit-identical to serial).
+    #[allow(clippy::too_many_arguments)]
+    pub fn expected_join_cost_over_with(
+        &self,
+        left: TableSet,
+        right: TableSet,
+        method: JoinMethod,
+        outer: f64,
+        inner: f64,
+        memory: &Distribution,
+        mem_fp: u64,
+        par: BucketParallelism,
+    ) -> f64 {
         let key = EvalKey {
             left: left.bits(),
             right: right.bits(),
@@ -290,7 +493,12 @@ impl<'a> CostModel<'a> {
             inner: inner.to_bits(),
         };
         self.cached(key, || {
-            memory.expect(|m| self.join_cost_for(left, right, method, outer, inner, m))
+            let per_bucket = |m: f64| self.join_cost_for(left, right, method, outer, inner, m);
+            if par.active_for(memory.len() as u64) {
+                parallel_bucket_expectation(memory, par.threads, per_bucket)
+            } else {
+                memory.expect(per_bucket)
+            }
         })
     }
 
@@ -303,6 +511,19 @@ impl<'a> CostModel<'a> {
         memory: &Distribution,
         mem_fp: u64,
     ) -> f64 {
+        self.expected_sort_cost_over_with(set, pages, memory, mem_fp, BucketParallelism::serial())
+    }
+
+    /// [`CostModel::expected_sort_cost_over`] with an explicit bucket
+    /// fan-out policy.
+    pub fn expected_sort_cost_over_with(
+        &self,
+        set: TableSet,
+        pages: f64,
+        memory: &Distribution,
+        mem_fp: u64,
+        par: BucketParallelism,
+    ) -> f64 {
         let key = EvalKey {
             left: set.bits(),
             right: 0,
@@ -311,7 +532,14 @@ impl<'a> CostModel<'a> {
             outer: pages.to_bits(),
             inner: 0,
         };
-        self.cached(key, || memory.expect(|m| self.sort_cost_for(set, pages, m)))
+        self.cached(key, || {
+            let per_bucket = |m: f64| self.sort_cost_for(set, pages, m);
+            if par.active_for(memory.len() as u64) {
+                parallel_bucket_expectation(memory, par.threads, per_bucket)
+            } else {
+                memory.expect(per_bucket)
+            }
+        })
     }
 
     /// Expected join cost over size and memory distributions (Algorithm
@@ -335,6 +563,38 @@ impl<'a> CostModel<'a> {
         m_fp: u64,
         m_tables: &PrefixTables,
     ) -> f64 {
+        self.expected_join_cost_for_with(
+            left,
+            right,
+            method,
+            a_dist,
+            b_dist,
+            m_dist,
+            m_fp,
+            m_tables,
+            BucketParallelism::serial(),
+        )
+    }
+
+    /// [`CostModel::expected_join_cost_for`] with an explicit bucket
+    /// fan-out policy.  The only method whose per-candidate evaluation
+    /// count can justify fanning out is block nested-loop (the
+    /// non-separable `b_A·b_B·b_M` triple sum); its parallel path computes
+    /// per-`a`-bucket partial sums across threads and folds them in bucket
+    /// order, matching the serial accumulation structure bit for bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn expected_join_cost_for_with(
+        &self,
+        left: TableSet,
+        right: TableSet,
+        method: JoinMethod,
+        a_dist: &Distribution,
+        b_dist: &Distribution,
+        m_dist: &Distribution,
+        m_fp: u64,
+        m_tables: &PrefixTables,
+        par: BucketParallelism,
+    ) -> f64 {
         let key = EvalKey {
             left: left.bits(),
             right: right.bits(),
@@ -351,7 +611,17 @@ impl<'a> CostModel<'a> {
                 _ => (a_dist.len() + b_dist.len()) as u64,
             };
             self.count_evals(evals);
-            crate::expected::expected_join_cost(method, a_dist, b_dist, m_dist, m_tables)
+            if method == JoinMethod::BlockNestedLoop && par.active_for(evals) {
+                crate::expected::parallel_naive_expected_join_cost(
+                    method,
+                    a_dist,
+                    b_dist,
+                    m_dist,
+                    par.threads,
+                )
+            } else {
+                crate::expected::expected_join_cost(method, a_dist, b_dist, m_dist, m_tables)
+            }
         })
     }
 
@@ -697,6 +967,24 @@ mod tests {
     }
 
     #[test]
+    fn disabling_the_cache_resets_the_hit_counter() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        let (l, r) = (TableSet::singleton(0), TableSet::singleton(1));
+        m.join_cost_for(l, r, JoinMethod::GraceHash, 1e4, 2e4, 300.0);
+        m.join_cost_for(l, r, JoinMethod::GraceHash, 1e4, 2e4, 300.0);
+        assert_eq!(m.eval_cache_hits(), 1);
+        assert!(m.eval_cache_len() > 0);
+        m.set_eval_cache(false);
+        assert_eq!(m.eval_cache_hits(), 0, "toggle must reset cache_hits");
+        assert_eq!(m.eval_cache_len(), 0, "toggle must clear every shard");
+        // Re-enabling starts from a clean slate too.
+        m.set_eval_cache(true);
+        assert_eq!(m.eval_cache_hits(), 0);
+        assert_eq!(m.eval_cache_len(), 0);
+    }
+
+    #[test]
     fn expected_cost_cache_counts_paper_eval_units() {
         let (cat, q) = fixture();
         let m = CostModel::new(&cat, &q);
@@ -719,6 +1007,62 @@ mod tests {
         m.reset_evals();
         m.expected_sort_cost_for(l, &a, mem_fp, &mt);
         assert_eq!(m.evals(), 2);
+    }
+
+    #[test]
+    fn parallel_bucket_expectation_is_bit_identical_to_serial() {
+        let (cat, q) = fixture();
+        let (l, r) = (TableSet::singleton(0), TableSet::singleton(1));
+        let memory = Distribution::from_pairs(
+            (0..37).map(|i| (50.0 + 13.0 * i as f64, 1.0 + (i % 5) as f64)),
+        )
+        .unwrap();
+        let mem_fp = dist_fingerprint(&memory);
+        for threads in [2usize, 3, 8, 64] {
+            let par = BucketParallelism {
+                threads,
+                min_evals: 1,
+            };
+            let serial_model = CostModel::new(&cat, &q);
+            let par_model = CostModel::new(&cat, &q);
+            for method in JoinMethod::ALL {
+                let s = serial_model
+                    .expected_join_cost_over(l, r, method, 123.0, 456.0, &memory, mem_fp);
+                let p = par_model
+                    .expected_join_cost_over_with(l, r, method, 123.0, 456.0, &memory, mem_fp, par);
+                assert_eq!(s.to_bits(), p.to_bits(), "{method:?} at {threads} threads");
+            }
+            let s = serial_model.expected_sort_cost_over(l, 900.0, &memory, mem_fp);
+            let p = par_model.expected_sort_cost_over_with(l, 900.0, &memory, mem_fp, par);
+            assert_eq!(s.to_bits(), p.to_bits(), "sort at {threads} threads");
+            assert_eq!(serial_model.evals(), par_model.evals());
+            assert_eq!(serial_model.eval_cache_hits(), par_model.eval_cache_hits());
+        }
+    }
+
+    #[test]
+    fn concurrent_lookups_evaluate_each_key_exactly_once() {
+        let (cat, q) = fixture();
+        let m = CostModel::new(&cat, &q);
+        let (l, r) = (TableSet::singleton(0), TableSet::singleton(1));
+        let n_keys = 100u64;
+        let n_threads = 8;
+        std::thread::scope(|s| {
+            for _ in 0..n_threads {
+                s.spawn(|| {
+                    for i in 0..n_keys {
+                        m.join_cost_for(l, r, JoinMethod::SortMerge, 100.0 + i as f64, 200.0, 50.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            m.evals(),
+            n_keys,
+            "each distinct key must be computed exactly once"
+        );
+        assert_eq!(m.eval_cache_hits(), (n_threads - 1) * n_keys);
+        assert_eq!(m.eval_cache_len(), n_keys as usize);
     }
 
     #[test]

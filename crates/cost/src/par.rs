@@ -1,0 +1,36 @@
+//! The one chunk-scatter primitive behind every bucket fan-out in this
+//! crate: evaluate a pure function over a slice of bucket values across
+//! scoped threads, writing results into a caller-provided slice so the
+//! caller can fold them **in bucket order** — which is what keeps every
+//! parallel expectation bit-identical to its serial counterpart.
+
+/// Fill `out[i] = f(vals[i])` using up to `threads` scoped threads
+/// (contiguous chunks; the first chunk runs on the calling thread while
+/// the spawned ones work).  `vals` must be non-empty and the slices the
+/// same length.
+pub(crate) fn map_chunked(
+    vals: &[f64],
+    out: &mut [f64],
+    threads: usize,
+    f: impl Fn(f64) -> f64 + Sync,
+) {
+    debug_assert_eq!(vals.len(), out.len());
+    let threads = threads.min(vals.len()).max(1);
+    let chunk = vals.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut pairs: Vec<(&[f64], &mut [f64])> =
+            vals.chunks(chunk).zip(out.chunks_mut(chunk)).collect();
+        let (head_vals, head_out) = pairs.remove(0);
+        for (vals, out) in pairs {
+            s.spawn(move || {
+                for (v, o) in vals.iter().zip(out) {
+                    *o = f(*v);
+                }
+            });
+        }
+        for (v, o) in head_vals.iter().zip(head_out) {
+            *o = f(*v);
+        }
+    });
+}

@@ -63,6 +63,50 @@ pub enum Mode {
 }
 
 impl Mode {
+    /// Stable fingerprint of the mode *and every parameter that shapes its
+    /// outcome* (point estimates, candidate widths, Markov transition
+    /// matrices, bucketing configs, RNG seeds) — one ingredient of the
+    /// cross-query plan-cache key.  Two requests whose modes fingerprint
+    /// equal are answered by the same algorithm with the same tuning.
+    pub fn fingerprint(&self) -> u64 {
+        use lec_cost::Fingerprint;
+        let fp = Fingerprint::new();
+        match self {
+            Mode::Lsc(PointEstimate::Mean) => fp.u64(0),
+            Mode::Lsc(PointEstimate::Mode) => fp.u64(1),
+            Mode::LscAt(m) => fp.u64(2).f64(*m),
+            Mode::AlgorithmA => fp.u64(3),
+            Mode::AlgorithmB { c } => fp.u64(4).u64(*c as u64),
+            Mode::AlgorithmC => fp.u64(5),
+            Mode::AlgorithmCDynamic { chain } => {
+                let mut fp = fp.u64(6).u64(chain.n_states() as u64);
+                for (i, &s) in chain.states().iter().enumerate() {
+                    fp = fp.f64(s);
+                    for &p in chain.row(i) {
+                        fp = fp.f64(p);
+                    }
+                }
+                fp
+            }
+            Mode::AlgorithmD { config } => fp
+                .u64(7)
+                .u64(config.max_buckets as u64)
+                .u64(match config.rebucket {
+                    lec_prob::Rebucket::EqualWidth => 0,
+                    lec_prob::Rebucket::EqualDepth => 1,
+                })
+                .u64(config.cube_root_inputs as u64),
+            Mode::Bushy => fp.u64(8),
+            Mode::IterativeImprovement { config, seed } => {
+                randomized_fingerprint(fp.u64(9), config).u64(*seed)
+            }
+            Mode::SimulatedAnnealing { config, seed } => {
+                randomized_fingerprint(fp.u64(10), config).u64(*seed)
+            }
+        }
+        .finish()
+    }
+
     /// Short display name for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -79,6 +123,17 @@ impl Mode {
             Mode::SimulatedAnnealing { .. } => "SA",
         }
     }
+}
+
+fn randomized_fingerprint(
+    fp: lec_cost::Fingerprint,
+    config: &crate::randomized::RandomizedConfig,
+) -> lec_cost::Fingerprint {
+    fp.u64(config.restarts as u64)
+        .u64(config.patience as u64)
+        .f64(config.initial_temp_frac)
+        .f64(config.cooling)
+        .u64(config.sa_steps as u64)
 }
 
 /// The outcome of one optimization call: the engine's uniform result plus
@@ -128,9 +183,24 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Borrow worker threads from a shared [`crate::search::WorkerPool`]
+    /// for every subsequent search instead of spawning a scoped pool per
+    /// search; a [`crate::search::PersistentPool`] turns the ~50µs spawn
+    /// cost into a few-µs wake, which is what lets sub-100µs queries fan
+    /// out at all.  Results stay byte-identical either way.
+    pub fn with_worker_pool(mut self, pool: std::sync::Arc<dyn crate::search::WorkerPool>) -> Self {
+        self.search = self.search.with_pool(pool);
+        self
+    }
+
     /// The parallel-search configuration in force.
     pub fn search_config(&self) -> &SearchConfig {
         &self.search
+    }
+
+    /// The catalog this optimizer is bound to.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
     }
 
     /// The memory distribution in force.

@@ -13,6 +13,7 @@
 //! to a serial run.
 
 use super::policy::{CandidatePolicy, JoinContext, RootContext, SearchEntry};
+use super::pool::{ScopedSpawnPool, WorkerPool};
 use super::SearchStats;
 use crate::error::OptError;
 use lec_cost::CostModel;
@@ -20,7 +21,7 @@ use lec_plan::{Query, TableSet};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// How a subset is split into (outer, inner) operand pairs.
@@ -136,7 +137,7 @@ pub fn plan_space_size(model: &CostModel<'_>, shape: PlanShape) -> u128 {
 pub const DEFAULT_FANOUT_THRESHOLD: usize = 28;
 
 /// Tuning knobs for the parallel DP driver ([`run_search_with`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SearchConfig {
     /// Total search threads, including the calling thread.  `0` resolves
     /// to [`std::thread::available_parallelism`]; `1` forces the serial
@@ -150,6 +151,13 @@ pub struct SearchConfig {
     /// Algorithms C/D); forwarded to the costers as
     /// [`lec_cost::BucketParallelism::min_evals`].
     pub bucket_evals_threshold: usize,
+    /// Where the level fan-out's worker threads come from.  `None` spawns
+    /// a scoped pool per search (the zero-standing-cost default); a
+    /// [`super::PersistentPool`] shares long-lived parked threads across
+    /// searches, cutting per-search dispatch from ~50µs to a few µs.  The
+    /// pool choice never affects results — outcomes are byte-identical
+    /// either way.
+    pub pool: Option<Arc<dyn WorkerPool>>,
 }
 
 impl Default for SearchConfig {
@@ -158,9 +166,30 @@ impl Default for SearchConfig {
             threads: 0,
             fanout_threshold: DEFAULT_FANOUT_THRESHOLD,
             bucket_evals_threshold: lec_cost::DEFAULT_MIN_PARALLEL_EVALS,
+            pool: None,
         }
     }
 }
+
+impl PartialEq for SearchConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+            && self.fanout_threshold == other.fanout_threshold
+            && self.bucket_evals_threshold == other.bucket_evals_threshold
+            && match (&self.pool, &other.pool) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    // Same pool instance (vtable-independent data-pointer
+                    // comparison; Arc::ptr_eq on dyn Trait compares
+                    // vtables too, which is not what "same pool" means).
+                    std::ptr::addr_eq(Arc::as_ptr(a), Arc::as_ptr(b))
+                }
+                _ => false,
+            }
+    }
+}
+
+impl Eq for SearchConfig {}
 
 impl SearchConfig {
     /// A configuration that always takes the serial driver.
@@ -178,6 +207,30 @@ impl SearchConfig {
             threads,
             ..Default::default()
         }
+    }
+
+    /// This configuration with a shared worker pool installed; also drops
+    /// the fan-out gate to [`super::pool::PERSISTENT_FANOUT_THRESHOLD`]
+    /// when the current threshold is the spawn-pool default, since waking
+    /// a parked worker is an order of magnitude cheaper than spawning one.
+    pub fn with_pool(mut self, pool: Arc<dyn WorkerPool>) -> Self {
+        if self.fanout_threshold == DEFAULT_FANOUT_THRESHOLD {
+            self.fanout_threshold = super::pool::PERSISTENT_FANOUT_THRESHOLD;
+        }
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Stable fingerprint of the outcome-relevant knobs, for cross-query
+    /// plan-cache keys.  The pool is a thread *source*, not a semantic
+    /// knob (results are byte-identical with or without one), so it does
+    /// not participate.
+    pub fn fingerprint(&self) -> u64 {
+        lec_cost::Fingerprint::new()
+            .u64(self.threads as u64)
+            .u64(self.fanout_threshold as u64)
+            .u64(self.bucket_evals_threshold as u64)
+            .finish()
     }
 
     /// The resolved thread count: `threads`, or the machine's available
@@ -517,17 +570,20 @@ fn combine_level_sets<P: CandidatePolicy>(
 /// With one (effective) thread, or a query whose widest level of
 /// *connected* subsets is under [`SearchConfig::fanout_threshold`] (see
 /// [`SearchConfig::fans_out`]), this is exactly [`run_search`].
-/// Otherwise the engine spawns `threads - 1` scoped workers that live for
-/// the whole search; at each DP level the driver publishes that level's
-/// subsets, every thread (the caller included) steals subsets off a shared
-/// cursor and combines them against the read-only lower levels, and the
-/// driver merges the per-worker results at the level barrier.  The merged
-/// outcome — plans, costs, tie-breaks, `SearchStats` counters — is
-/// byte-identical to the serial driver's (see the module docs for why).
+/// Otherwise the engine borrows `threads - 1` workers from
+/// [`SearchConfig::pool`] (a scoped pool spawned for this search when
+/// `None`) that live for the whole search; at each DP level the driver
+/// publishes that level's subsets, every thread (the caller included)
+/// steals subsets off a shared cursor and combines them against the
+/// read-only lower levels, and the driver merges the per-worker results at
+/// the level barrier.  The merged outcome — plans, costs, tie-breaks,
+/// `SearchStats` counters — is byte-identical to the serial driver's (see
+/// the module docs for why), whatever the pool.
 ///
 /// A panic inside any policy or coster (on a worker or the caller) aborts
 /// the search and surfaces as [`OptError::WorkerPanicked`] rather than
-/// propagating the panic or deadlocking the barrier.
+/// propagating the panic or deadlocking the barrier; a persistent pool
+/// survives the panic and serves the next search.
 pub fn run_search_with<P>(
     model: &CostModel<'_>,
     shape: PlanShape,
@@ -546,6 +602,11 @@ where
     if !config.fans_out(query) {
         return run_search(model, shape, policy);
     }
+    let spawn_pool = ScopedSpawnPool;
+    let pool: &dyn WorkerPool = match &config.pool {
+        Some(p) => p.as_ref(),
+        None => &spawn_pool,
+    };
     let threads = config.effective_threads();
     let start = Instant::now();
     let hits_before = model.eval_cache_hits();
@@ -562,7 +623,7 @@ where
         }
     }
 
-    let n_workers = threads - 1;
+    let n_workers = (threads - 1).min(pool.max_workers());
     let coord = Coordinator {
         epoch: AtomicUsize::new(0),
         sets: RwLock::new(Vec::new()),
@@ -574,148 +635,163 @@ where
         .map(|_| Mutex::new(LevelOutput::default()))
         .collect();
     let acks: Vec<AtomicUsize> = (0..n_workers).map(|_| AtomicUsize::new(0)).collect();
-    let worker_policies: Vec<P> = (0..n_workers).map(|_| policy.fork()).collect();
+    // Forked policies ride in slots rather than thread return values: pool
+    // threads outlive the search, so results flow through shared state.
+    let policy_slots: Vec<Mutex<Option<P>>> = (0..n_workers)
+        .map(|_| Mutex::new(Some(policy.fork())))
+        .collect();
+    // Worker thread handles, registered by each worker on entry so the
+    // driver can unpark a worker that dozed off between levels.
+    let worker_threads: Vec<Mutex<Option<std::thread::Thread>>> =
+        (0..n_workers).map(|_| Mutex::new(None)).collect();
 
-    std::thread::scope(|scope| -> Result<(), OptError> {
-        // Ensure the workers are released even if this thread unwinds.
-        let _stop = StopGuard(&coord.epoch);
-        let handles: Vec<_> = worker_policies
-            .into_iter()
-            .enumerate()
-            .map(|(w, mut wp)| {
-                let coord = &coord;
-                let table_lock = &table_lock;
-                let outputs = &outputs;
-                let acks = &acks;
-                scope.spawn(move || {
-                    let mut my_epoch = 0;
-                    loop {
-                        let e = wait_for_epoch(&coord.epoch, my_epoch);
-                        if e == STOP_EPOCH {
-                            break;
-                        }
-                        my_epoch = e;
-                        // Declared before the work so its drop (the ack)
-                        // runs after the output store — and on unwind.
-                        let _ack = AckGuard {
-                            ack: &acks[w],
-                            epoch: e,
-                            panicked: &coord.panicked,
-                        };
+    let worker_body = |w: usize| {
+        *worker_threads[w].lock().unwrap_or_else(|p| p.into_inner()) = Some(std::thread::current());
+        let Some(mut wp) = policy_slots[w]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+        else {
+            return;
+        };
+        let mut my_epoch = 0;
+        loop {
+            let e = wait_for_epoch(&coord.epoch, my_epoch);
+            if e == STOP_EPOCH {
+                break;
+            }
+            my_epoch = e;
+            // Declared before the work so its drop (the ack) runs after
+            // the output store — and on unwind.
+            let _ack = AckGuard {
+                ack: &acks[w],
+                epoch: e,
+                panicked: &coord.panicked,
+            };
+            let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
+            let sets = coord.sets.read().unwrap_or_else(|p| p.into_inner());
+            let mut out = LevelOutput::default();
+            combine_level_sets(model, shape, &mut wp, &tbl, &sets, &coord.next, &mut out);
+            *outputs[w].lock().unwrap_or_else(|p| p.into_inner()) = out;
+        }
+        // A panic above skips this put-back; the empty slot is how the
+        // driver learns the fork (and its diagnostics) died.
+        *policy_slots[w].lock().unwrap_or_else(|p| p.into_inner()) = Some(wp);
+    };
+
+    let wake_workers = || {
+        for slot in &worker_threads {
+            if let Some(t) = slot.lock().unwrap_or_else(|p| p.into_inner()).as_ref() {
+                t.unpark();
+            }
+        }
+    };
+
+    let mut aborted = false;
+    {
+        let stats = &mut stats;
+        let aborted = &mut aborted;
+        let policy = &mut *policy;
+        pool.scope(n_workers, &worker_body, &mut || {
+            // Ensure the workers are released even if this thread unwinds.
+            let _stop = StopGuard(&coord.epoch);
+            for k in 2..=n {
+                let sets = TableSet::subsets_of_size(n, k);
+                if sets.len() < 2 {
+                    // A single subset (the root level) gains nothing from a
+                    // dispatch round-trip; combine it on the caller.
+                    let mut out = LevelOutput::default();
+                    let cursor = AtomicUsize::new(0);
+                    let res = {
                         let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
-                        let sets = coord.sets.read().unwrap_or_else(|p| p.into_inner());
-                        let mut out = LevelOutput::default();
+                        catch_unwind(AssertUnwindSafe(|| {
+                            combine_level_sets(model, shape, policy, &tbl, &sets, &cursor, &mut out)
+                        }))
+                    };
+                    if res.is_err() {
+                        coord.panicked.store(true, Ordering::SeqCst);
+                        *aborted = true;
+                        break;
+                    }
+                    let mut tbl = table_lock.write().unwrap_or_else(|p| p.into_inner());
+                    stats.absorb(&out.stats);
+                    tbl.extend(out.produced);
+                    continue;
+                }
+
+                // Publish the level and open the epoch.
+                *coord.sets.write().unwrap_or_else(|p| p.into_inner()) = sets;
+                coord.next.store(0, Ordering::SeqCst);
+                let e = coord.epoch.load(Ordering::Relaxed) + 1;
+                coord.epoch.store(e, Ordering::Release);
+                wake_workers();
+
+                // The caller steals alongside the workers.
+                let mut my_out = LevelOutput::default();
+                let res = {
+                    let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
+                    let sets = coord.sets.read().unwrap_or_else(|p| p.into_inner());
+                    catch_unwind(AssertUnwindSafe(|| {
                         combine_level_sets(
                             model,
                             shape,
-                            &mut wp,
+                            policy,
                             &tbl,
                             &sets,
                             &coord.next,
-                            &mut out,
-                        );
-                        *outputs[w].lock().unwrap_or_else(|p| p.into_inner()) = out;
-                    }
-                    wp
-                })
-            })
-            .collect();
-        let worker_threads: Vec<std::thread::Thread> =
-            handles.iter().map(|h| h.thread().clone()).collect();
-        let wake_workers = || {
-            for t in &worker_threads {
-                t.unpark();
-            }
-        };
-
-        let mut aborted = false;
-        for k in 2..=n {
-            let sets = TableSet::subsets_of_size(n, k);
-            if sets.len() < 2 {
-                // A single subset (the root level) gains nothing from a
-                // dispatch round-trip; combine it on the caller.
-                let mut out = LevelOutput::default();
-                let cursor = AtomicUsize::new(0);
-                let res = {
-                    let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
-                    catch_unwind(AssertUnwindSafe(|| {
-                        combine_level_sets(model, shape, policy, &tbl, &sets, &cursor, &mut out)
+                            &mut my_out,
+                        )
                     }))
                 };
                 if res.is_err() {
                     coord.panicked.store(true, Ordering::SeqCst);
-                    aborted = true;
+                }
+
+                // Level barrier: every worker acks (their AckGuard fires
+                // even on panic, so a poisoned combine cannot deadlock us
+                // here).
+                for ack in acks.iter() {
+                    let mut spins = 0;
+                    while ack.load(Ordering::Acquire) < e {
+                        relax(&mut spins);
+                    }
+                }
+                if coord.panicked.load(Ordering::SeqCst) {
+                    *aborted = true;
                     break;
                 }
+
+                // Deterministic merge: worker outputs in worker order, then
+                // the caller's own.  (Subsets are unique per level, and the
+                // counters are sums, so any fixed order gives identical
+                // results; worker order keeps it canonical.)
                 let mut tbl = table_lock.write().unwrap_or_else(|p| p.into_inner());
-                stats.absorb(&out.stats);
-                tbl.extend(out.produced);
-                continue;
-            }
-
-            // Publish the level and open the epoch.
-            *coord.sets.write().unwrap_or_else(|p| p.into_inner()) = sets;
-            coord.next.store(0, Ordering::SeqCst);
-            let e = coord.epoch.load(Ordering::Relaxed) + 1;
-            coord.epoch.store(e, Ordering::Release);
-            wake_workers();
-
-            // The caller steals alongside the workers.
-            let mut my_out = LevelOutput::default();
-            let res = {
-                let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
-                let sets = coord.sets.read().unwrap_or_else(|p| p.into_inner());
-                catch_unwind(AssertUnwindSafe(|| {
-                    combine_level_sets(model, shape, policy, &tbl, &sets, &coord.next, &mut my_out)
-                }))
-            };
-            if res.is_err() {
-                coord.panicked.store(true, Ordering::SeqCst);
-            }
-
-            // Level barrier: every worker acks (their AckGuard fires even
-            // on panic, so a poisoned combine cannot deadlock us here).
-            for ack in acks.iter() {
-                let mut spins = 0;
-                while ack.load(Ordering::Acquire) < e {
-                    relax(&mut spins);
+                for slot in outputs.iter() {
+                    let out = std::mem::take(&mut *slot.lock().unwrap_or_else(|p| p.into_inner()));
+                    stats.absorb(&out.stats);
+                    tbl.extend(out.produced);
                 }
-            }
-            if coord.panicked.load(Ordering::SeqCst) {
-                aborted = true;
-                break;
+                stats.absorb(&my_out.stats);
+                tbl.extend(my_out.produced);
             }
 
-            // Deterministic merge: worker outputs in worker order, then
-            // the caller's own.  (Subsets are unique per level, and the
-            // counters are sums, so any fixed order gives identical
-            // results; worker order keeps it canonical.)
-            let mut tbl = table_lock.write().unwrap_or_else(|p| p.into_inner());
-            for slot in outputs.iter() {
-                let out = std::mem::take(&mut *slot.lock().unwrap_or_else(|p| p.into_inner()));
-                stats.absorb(&out.stats);
-                tbl.extend(out.produced);
-            }
-            stats.absorb(&my_out.stats);
-            tbl.extend(my_out.produced);
-        }
+            coord.epoch.store(STOP_EPOCH, Ordering::Release);
+            wake_workers();
+        });
+    }
 
-        coord.epoch.store(STOP_EPOCH, Ordering::Release);
-        wake_workers();
-        let mut worker_panicked = false;
-        for handle in handles {
-            match handle.join() {
-                Ok(wp) => policy.merge(wp),
-                // The payload was already reported through `panicked`;
-                // consuming it here keeps the scope from re-panicking.
-                Err(_) => worker_panicked = true,
-            }
+    // Fold the forks back in worker order (deterministic merge); an empty
+    // slot means that worker's policy died mid-panic.
+    let mut worker_panicked = false;
+    for slot in policy_slots {
+        match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(wp) => policy.merge(wp),
+            None => worker_panicked = true,
         }
-        if aborted || worker_panicked || coord.panicked.load(Ordering::SeqCst) {
-            return Err(OptError::WorkerPanicked);
-        }
-        Ok(())
-    })?;
+    }
+    if aborted || worker_panicked || coord.panicked.load(Ordering::SeqCst) {
+        return Err(OptError::WorkerPanicked);
+    }
 
     let mut table = table_lock.into_inner().unwrap_or_else(|p| p.into_inner());
     let root = table

@@ -6,8 +6,8 @@
 
 use super::coster::PhaseCoster;
 use super::policy::{
-    access_alternatives, insert_entry, join_output_order, CandidatePolicy, JoinContext, Rankable,
-    RootContext, SearchEntry,
+    access_alternatives, insert_entry_shaped, join_output_order, CandidatePolicy, JoinContext,
+    Rankable, RootContext, SearchEntry,
 };
 use super::SearchStats;
 use lec_cost::CostModel;
@@ -77,7 +77,8 @@ impl<C: PhaseCoster + Clone> CandidatePolicy for KeepBestPolicy<C> {
     ) -> Vec<DpEntry> {
         let mut entries = Vec::new();
         for (plan, cost, order, pages) in access_alternatives(model, idx) {
-            insert_entry(
+            insert_entry_shaped(
+                model,
                 &mut entries,
                 DpEntry {
                     plan,
@@ -107,7 +108,8 @@ impl<C: PhaseCoster + Clone> CandidatePolicy for KeepBestPolicy<C> {
                     let join_cost = self
                         .coster
                         .join_cost(model, ctx, method, oe.pages, ie.pages);
-                    insert_entry(
+                    insert_entry_shaped(
+                        model,
                         into,
                         DpEntry {
                             plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),

@@ -59,6 +59,7 @@ pub mod keep_all;
 pub mod keep_best;
 pub mod multi_param;
 pub mod policy;
+pub mod pool;
 pub mod top_c;
 
 pub use coster::{DynamicExpectationCoster, PhaseCoster, PointCoster, StaticExpectationCoster};
@@ -70,9 +71,10 @@ pub use keep_all::KeepAllPolicy;
 pub use keep_best::{DpEntry, KeepBestPolicy};
 pub use multi_param::{AlgDConfig, DistEntry, MultiParamPolicy};
 pub use policy::{
-    insert_entry, join_output_order, CandidatePolicy, JoinContext, Rankable, RootContext,
-    SearchEntry,
+    insert_entry, insert_entry_shaped, join_output_order, plan_shape_cmp, CandidatePolicy,
+    JoinContext, Rankable, RootContext, SearchEntry,
 };
+pub use pool::{PersistentPool, ScopedSpawnPool, WorkerPool, PERSISTENT_FANOUT_THRESHOLD};
 pub use top_c::{FrontierStats, TopCPolicy};
 
 use lec_plan::PlanNode;
@@ -105,6 +107,25 @@ impl SearchStats {
         self.evals += other.evals;
         self.cache_hits += other.cache_hits;
         self.elapsed += other.elapsed;
+    }
+
+    /// Machine-readable form, for service metrics and benchmark
+    /// artifacts.  `elapsed` is reported in microseconds (the natural
+    /// scale of one search).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "nodes": self.nodes,
+            "candidates": self.candidates,
+            "evals": self.evals,
+            "cache_hits": self.cache_hits,
+            "elapsed_us": self.elapsed.as_secs_f64() * 1e6,
+        })
+    }
+}
+
+impl serde_json::Serialize for SearchStats {
+    fn to_value(&self) -> serde_json::Value {
+        self.to_json()
     }
 }
 

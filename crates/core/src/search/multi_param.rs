@@ -11,8 +11,8 @@
 //! rebucket-after-product, or the paper's ∛b-inputs scheme.
 
 use super::policy::{
-    access_alternatives, insert_entry, join_output_order, CandidatePolicy, JoinContext, Rankable,
-    RootContext, SearchEntry,
+    access_alternatives, insert_entry_shaped, join_output_order, CandidatePolicy, JoinContext,
+    Rankable, RootContext, SearchEntry,
 };
 use super::SearchStats;
 use lec_cost::{BucketParallelism, CostModel};
@@ -169,7 +169,8 @@ impl CandidatePolicy for MultiParamPolicy {
         );
         let mut entries = Vec::new();
         for (plan, cost, order, _point_pages) in access_alternatives(model, idx) {
-            insert_entry(
+            insert_entry_shaped(
+                model,
                 &mut entries,
                 DistEntry {
                     plan,
@@ -209,7 +210,8 @@ impl CandidatePolicy for MultiParamPolicy {
                         &self.m_tables,
                         self.par,
                     );
-                    insert_entry(
+                    insert_entry_shaped(
+                        model,
                         into,
                         DistEntry {
                             plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),

@@ -127,6 +127,97 @@ pub fn insert_entry<T: Rankable>(entries: &mut Vec<T>, e: T) {
     entries.push(e);
 }
 
+/// [`insert_entry`] with a *label-independent* resolution of exact cost
+/// ties: when two candidates with equivalent orders cost exactly the same
+/// (e.g. the two orientations of a symmetric-cost join at depth 2), the
+/// survivor is the one smaller under [`plan_shape_cmp`] rather than the
+/// one the enumeration happened to produce first.
+///
+/// First-wins tie-breaking is *label-dependent* — subsets are enumerated
+/// in table-index order, so renaming the tables of a query can flip which
+/// of two tied candidates is generated first, and the optimizer would
+/// return structurally different (equal-cost) plans for isomorphic
+/// queries.  The cross-query plan cache serves cached plans by relabeling,
+/// so it needs the engine to commute with renaming; comparing tied
+/// candidates by their label-free shape restores that, except between
+/// genuinely indistinguishable twin tables (equal statistics and filters),
+/// where either choice is the same plan up to an automorphism.
+pub fn insert_entry_shaped<T: Rankable + SearchEntry>(
+    model: &CostModel<'_>,
+    entries: &mut Vec<T>,
+    e: T,
+) {
+    use std::cmp::Ordering;
+    for f in entries.iter() {
+        if covers(f.rank_order(), e.rank_order()) {
+            if f.rank_cost() < e.rank_cost() {
+                return;
+            }
+            if f.rank_cost() == e.rank_cost() {
+                // A strictly stronger order at equal cost dominates; for
+                // equivalent orders the smaller shape survives.
+                if !covers(e.rank_order(), f.rank_order())
+                    || plan_shape_cmp(model, f.plan(), e.plan()) != Ordering::Greater
+                {
+                    return;
+                }
+            }
+        }
+    }
+    entries.retain(|f| {
+        !(covers(e.rank_order(), f.rank_order())
+            && (e.rank_cost() < f.rank_cost()
+                || (e.rank_cost() == f.rank_cost()
+                    && (!covers(f.rank_order(), e.rank_order())
+                        || plan_shape_cmp(model, e.plan(), f.plan()) == Ordering::Less))))
+    });
+    entries.push(e);
+}
+
+/// A total order on plans that is invariant under table renaming: nodes
+/// compare by kind, joins by method then operands, sorts by key *column*
+/// (the table index is label-dependent and excluded), and scans by the
+/// model's [`lec_cost::CostModel::table_shape_fingerprint`] — the table's
+/// observable statistics rather than its query-local number.  Only
+/// consulted on exact cost ties, so it never influences which costs win,
+/// merely which of several equal-cost plans is reported.
+pub fn plan_shape_cmp(model: &CostModel<'_>, a: &PlanNode, b: &PlanNode) -> std::cmp::Ordering {
+    fn kind(p: &PlanNode) -> u8 {
+        match p {
+            PlanNode::SeqScan { .. } => 0,
+            PlanNode::IndexScan { .. } => 1,
+            PlanNode::Sort { .. } => 2,
+            PlanNode::Join { .. } => 3,
+        }
+    }
+    match (a, b) {
+        (PlanNode::SeqScan { table: ta }, PlanNode::SeqScan { table: tb })
+        | (PlanNode::IndexScan { table: ta }, PlanNode::IndexScan { table: tb }) => model
+            .table_shape_fingerprint(*ta)
+            .cmp(&model.table_shape_fingerprint(*tb)),
+        (PlanNode::Sort { input: ia, key: ka }, PlanNode::Sort { input: ib, key: kb }) => ka
+            .column
+            .cmp(&kb.column)
+            .then_with(|| plan_shape_cmp(model, ia, ib)),
+        (
+            PlanNode::Join {
+                method: ma,
+                outer: oa,
+                inner: na,
+            },
+            PlanNode::Join {
+                method: mb,
+                outer: ob,
+                inner: nb,
+            },
+        ) => ma
+            .cmp(mb)
+            .then_with(|| plan_shape_cmp(model, oa, ob))
+            .then_with(|| plan_shape_cmp(model, na, nb)),
+        _ => kind(a).cmp(&kind(b)),
+    }
+}
+
 /// The output order of joining two composites — the shape-generic form of
 /// the \[SAC+79\] interesting-order rules (left-deep inner singletons are
 /// the special case `right = {j}`).

@@ -7,7 +7,7 @@
 //! shard") must surface as `OptError::WorkerPanicked`, not a deadlock or
 //! an unwound caller, and must leave the model usable.
 
-use lec_core::search::{PhaseCoster, SearchConfig};
+use lec_core::search::{PersistentPool, PhaseCoster, SearchConfig, WorkerPool};
 use lec_core::{
     exhaustive_best_with, optimize_alg_b_with, optimize_alg_d_with, optimize_lec_bushy_with,
     optimize_lec_dynamic_with, optimize_lec_static_with, optimize_lsc_with, AlgDConfig, Objective,
@@ -17,6 +17,7 @@ use lec_cost::CostModel;
 use lec_plan::{Query, QueryProfile, Topology, WorkloadGenerator};
 use lec_prob::{presets, MarkovChain};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn workload(seed: u64, n: usize) -> (lec_catalog::Catalog, Query) {
     let mut g = lec_catalog::CatalogGenerator::new(seed);
@@ -141,6 +142,7 @@ proptest! {
                 threads,
                 fanout_threshold: usize::MAX,
                 bucket_evals_threshold: 1,
+                ..Default::default()
             };
             let par_model = CostModel::new(&cat, &q);
             let parallel = optimize_lec_static_with(&par_model, &memory, &cfg).unwrap();
@@ -156,6 +158,77 @@ proptest! {
             assert_identical("alg_d+buckets", threads, &d_serial, &d_parallel);
         }
     }
+}
+
+/// The persistent cross-search pool must be invisible in outcomes: for
+/// every policy, a search whose workers come from long-lived parked
+/// threads is byte-identical to the serial driver at 2, 4 and 8 threads —
+/// and one pool serves many searches (and many thread counts) in a row.
+#[test]
+fn persistent_pool_searches_are_byte_identical_to_serial() {
+    let pool: Arc<dyn WorkerPool> = Arc::new(PersistentPool::new(8));
+    let memory = presets::spread_family(600.0, 0.6, 4).unwrap();
+    let chain = MarkovChain::birth_death(memory.support().to_vec(), 0.3, 0.1).unwrap();
+    for seed in [3u64, 17, 101] {
+        let (cat, q) = workload(seed, 5);
+        type Runner = dyn Fn(&CostModel<'_>, &SearchConfig) -> Result<SearchOutcome, OptError>;
+        let runners: Vec<(&str, Box<Runner>)> = vec![
+            ("alg_c", {
+                let m = memory.clone();
+                Box::new(move |model, c| optimize_lec_static_with(model, &m, c))
+            }),
+            ("alg_c_dyn", {
+                let (m, ch) = (memory.clone(), chain.clone());
+                Box::new(move |model, c| optimize_lec_dynamic_with(model, &m, &ch, c))
+            }),
+            ("alg_d", {
+                let m = memory.clone();
+                Box::new(move |model, c| optimize_alg_d_with(model, &m, &AlgDConfig::default(), c))
+            }),
+            ("bushy", {
+                let m = memory.clone();
+                Box::new(move |model, c| optimize_lec_bushy_with(model, &m, c))
+            }),
+        ];
+        for (name, run) in &runners {
+            let serial_model = CostModel::new(&cat, &q);
+            let serial = run(&serial_model, &SearchConfig::serial()).unwrap();
+            for threads in [2usize, 4, 8] {
+                let cfg = SearchConfig {
+                    pool: Some(Arc::clone(&pool)),
+                    ..forced(threads)
+                };
+                let par_model = CostModel::new(&cat, &q);
+                let parallel = run(&par_model, &cfg).unwrap();
+                assert_identical(&format!("{name}+pool"), threads, &serial, &parallel);
+            }
+        }
+    }
+}
+
+/// A panicking search through the persistent pool surfaces as
+/// `WorkerPanicked` and leaves the pool healthy for the next search.
+#[test]
+fn persistent_pool_survives_a_poisoned_search() {
+    use lec_core::search::{run_search_with, KeepBestPolicy, PlanShape};
+    let pool: Arc<dyn WorkerPool> = Arc::new(PersistentPool::new(4));
+    let (cat, q) = lec_core::fixtures::scaling_chain(5);
+    let model = CostModel::new(&cat, &q);
+    let cfg = SearchConfig {
+        pool: Some(Arc::clone(&pool)),
+        ..forced(4)
+    };
+    let mut policy = KeepBestPolicy::new(PoisonedCoster);
+    let res = run_search_with(&model, PlanShape::LeftDeep, &mut policy, &cfg);
+    assert!(matches!(res, Err(OptError::WorkerPanicked)), "got {res:?}");
+    // The same pool then answers a healthy parallel search, byte-identical
+    // to serial.
+    let memory = presets::spread_family(400.0, 0.5, 4).unwrap();
+    let healthy_model = CostModel::new(&cat, &q);
+    let healthy = optimize_lec_static_with(&healthy_model, &memory, &cfg).unwrap();
+    let serial_model = CostModel::new(&cat, &q);
+    let serial = optimize_lec_static_with(&serial_model, &memory, &SearchConfig::serial()).unwrap();
+    assert_identical("healthy-after-poison", 4, &serial, &healthy);
 }
 
 /// A coster that panics when it sees a composite join — always on a

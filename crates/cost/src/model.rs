@@ -237,21 +237,105 @@ struct EvalKey {
     inner: u64,
 }
 
+/// An incremental 64-bit FNV-1a fingerprint over exact bit patterns: the
+/// shared hashing primitive behind every cross-query cache key (model
+/// state, memory distributions, optimizer modes, canonical query shapes).
+///
+/// Builder-style so key assembly reads as a pipeline:
+///
+/// ```
+/// let fp = lec_cost::Fingerprint::new().u64(3).f64(0.25).finish();
+/// assert_ne!(fp, lec_cost::Fingerprint::new().f64(0.25).u64(3).finish());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Start from the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprint(0xCBF29CE484222325)
+    }
+
+    /// Absorb raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001B3);
+        }
+        self
+    }
+
+    /// Absorb a `u64`.
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorb an `f64` by exact bit pattern (`-0.0` and `0.0` differ; every
+    /// NaN payload is its own value — cache keys must never conflate
+    /// almost-equal floats).
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Absorb a distribution's exact contents.
+    pub fn dist(self, d: &Distribution) -> Self {
+        d.iter().fold(self, |fp, (v, p)| fp.f64(v).f64(p))
+    }
+
+    /// The accumulated fingerprint.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
 /// 64-bit FNV-1a fingerprint of a distribution's exact contents, used to
 /// key the expected-cost caches.
 pub fn dist_fingerprint(d: &Distribution) -> u64 {
-    let mut h: u64 = 0xCBF29CE484222325;
-    let mut eat = |bits: u64| {
-        for b in bits.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001B3);
-        }
-    };
-    for (v, p) in d.iter() {
-        eat(v.to_bits());
-        eat(p.to_bits());
+    Fingerprint::new().dist(d).finish()
+}
+
+/// Label-independent fingerprint of one table *occurrence* in a query:
+/// the stored table's statistics fingerprint plus the occurrence's filter
+/// (column and selectivity distribution).  The free-function form of
+/// [`CostModel::table_shape_fingerprint`], for callers that have no model
+/// (e.g. cache-key canonicalization).
+pub fn table_occurrence_fingerprint(catalog: &Catalog, query: &Query, idx: usize) -> u64 {
+    let qt = &query.tables[idx];
+    let fp = Fingerprint::new().u64(table_stats_fingerprint(&catalog.table(qt.table).stats));
+    match &qt.filter {
+        Some(f) => fp.u64(1).u64(f.column as u64).dist(&f.selectivity),
+        None => fp.u64(0),
     }
-    h
+    .finish()
+}
+
+/// Fingerprint of everything in one table's statistics that the cost
+/// model can observe: pages, rows, the optional page-count distribution,
+/// and each column's distinct count and index kind (names are display
+/// only).  This is the per-table ingredient of cross-query cache keys —
+/// two tables with equal fingerprints are interchangeable to the DP.
+pub fn table_stats_fingerprint(stats: &lec_catalog::TableStats) -> u64 {
+    let mut fp = Fingerprint::new().u64(stats.pages).u64(stats.rows);
+    fp = match &stats.page_dist {
+        Some(d) => fp.u64(1).dist(d),
+        None => fp.u64(0),
+    };
+    fp = fp.u64(stats.columns.len() as u64);
+    for col in &stats.columns {
+        let kind = match col.index {
+            IndexKind::None => 0u64,
+            IndexKind::Clustered => 1,
+            IndexKind::Unclustered => 2,
+        };
+        fp = fp.u64(col.distinct).u64(kind);
+    }
+    fp.finish()
 }
 
 /// Cost model bound to one catalog and one query.
@@ -287,6 +371,9 @@ pub struct CostModel<'a> {
     catalog: &'a Catalog,
     query: &'a Query,
     equivalences: ColumnEquivalences,
+    /// Per-table [`table_occurrence_fingerprint`]s, precomputed so the
+    /// engine's tie-breaks are an array lookup rather than a rehash.
+    table_shapes: Vec<u64>,
     evals: AtomicU64,
     eval_cache: ShardedEvalCache,
     cache_enabled: AtomicBool,
@@ -306,6 +393,9 @@ impl<'a> CostModel<'a> {
             catalog,
             query,
             equivalences: ColumnEquivalences::for_query(query),
+            table_shapes: (0..query.n_tables())
+                .map(|i| table_occurrence_fingerprint(catalog, query, i))
+                .collect(),
             evals: AtomicU64::new(0),
             eval_cache: ShardedEvalCache::new(),
             cache_enabled: AtomicBool::new(true),
@@ -326,6 +416,16 @@ impl<'a> CostModel<'a> {
     /// Column equivalence classes of the query (for order properties).
     pub fn equivalences(&self) -> &ColumnEquivalences {
         &self.equivalences
+    }
+
+    /// Label-independent fingerprint of one table occurrence: everything
+    /// this model can observe about it (statistics, filter column and
+    /// selectivity distribution) and nothing about its query-local index.
+    /// Two occurrences with equal fingerprints are interchangeable to the
+    /// DP; the engine uses this to break exact cost ties the same way
+    /// under any table renaming.
+    pub fn table_shape_fingerprint(&self, table_idx: usize) -> u64 {
+        self.table_shapes[table_idx]
     }
 
     /// Number of cost-formula evaluations since the last reset.

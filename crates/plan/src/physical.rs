@@ -186,6 +186,33 @@ impl PlanNode {
         h
     }
 
+    /// The plan with every query-local table index `i` replaced by
+    /// `map[i]` (sort keys included).  This is the relabeling step of
+    /// cross-query plan caching: a plan optimized for one query is carried
+    /// into the table numbering of an isomorphic query.
+    ///
+    /// # Panics
+    /// Panics when the plan references a table index outside `map`.
+    pub fn relabel_tables(&self, map: &[usize]) -> PlanNode {
+        match self {
+            PlanNode::SeqScan { table } => PlanNode::SeqScan { table: map[*table] },
+            PlanNode::IndexScan { table } => PlanNode::IndexScan { table: map[*table] },
+            PlanNode::Sort { input, key } => PlanNode::Sort {
+                input: Box::new(input.relabel_tables(map)),
+                key: ColumnRef::new(map[key.table], key.column),
+            },
+            PlanNode::Join {
+                method,
+                outer,
+                inner,
+            } => PlanNode::Join {
+                method: *method,
+                outer: Box::new(outer.relabel_tables(map)),
+                inner: Box::new(inner.relabel_tables(map)),
+            },
+        }
+    }
+
     /// Pre-order visit of every node.
     pub fn visit(&self, f: &mut impl FnMut(&PlanNode)) {
         f(self);
@@ -307,6 +334,21 @@ mod tests {
         assert!(s.contains("Join [SM]"));
         assert!(s.contains("  Join [NL]"));
         assert!(s.contains("    SeqScan  table=0"));
+    }
+
+    #[test]
+    fn relabeling_maps_scans_and_sort_keys() {
+        let p = PlanNode::sort(left_deep_3(), ColumnRef::new(2, 1));
+        let map = [1usize, 2, 0];
+        let r = p.relabel_tables(&map);
+        assert_eq!(r.tables(), TableSet::from_indices([0, 1, 2]));
+        assert_eq!(r.compact(), "Sort(SM(NL(R1,R2),IxR0))");
+        match &r {
+            PlanNode::Sort { key, .. } => assert_eq!(*key, ColumnRef::new(0, 1)),
+            _ => panic!("sort survives relabeling"),
+        }
+        // Identity map is a no-op.
+        assert_eq!(p.relabel_tables(&[0, 1, 2]), p);
     }
 
     #[test]

@@ -266,6 +266,50 @@ impl Query {
         Ok(())
     }
 
+    /// The same query with table `i` renumbered to `map[i]`: the tables
+    /// vector is reordered accordingly, while the join predicates keep
+    /// their vector order and left/right orientation (only the indices
+    /// inside their column references change).  `map` must be a
+    /// permutation of `0..n_tables()`.
+    ///
+    /// Keeping predicate order and orientation fixed matters: combined
+    /// selectivities are floating-point products taken in predicate-vector
+    /// order, so a renaming that also shuffled the vector could change
+    /// low-order result bits.  With this relabeling, optimizing the
+    /// renamed query is bit-for-bit the same computation under new labels
+    /// — the property the cross-query plan cache's byte-identity guarantee
+    /// stands on.
+    ///
+    /// # Panics
+    /// Panics when `map` is not a permutation of the table indices.
+    pub fn relabel_tables(&self, map: &[usize]) -> Query {
+        let n = self.n_tables();
+        assert_eq!(map.len(), n, "relabel map must cover every table");
+        let mut tables: Vec<Option<QueryTable>> = vec![None; n];
+        for (i, qt) in self.tables.iter().enumerate() {
+            let slot = &mut tables[map[i]];
+            assert!(slot.is_none(), "relabel map must be a permutation");
+            *slot = Some(qt.clone());
+        }
+        let relabel = |c: &ColumnRef| ColumnRef::new(map[c.table], c.column);
+        Query {
+            tables: tables
+                .into_iter()
+                .map(|t| t.expect("permutation"))
+                .collect(),
+            joins: self
+                .joins
+                .iter()
+                .map(|j| JoinPredicate {
+                    left: relabel(&j.left),
+                    right: relabel(&j.right),
+                    selectivity: j.selectivity.clone(),
+                })
+                .collect(),
+            required_order: self.required_order.as_ref().map(relabel),
+        }
+    }
+
     /// Does any parameter of this query carry genuine uncertainty?
     /// (If not, LEC optimization degenerates to LSC — the paper's
     /// single-bucket remark.)
@@ -377,6 +421,37 @@ mod tests {
         let (s, t) = p.oriented(0);
         assert_eq!(s, ColumnRef::new(1, 2));
         assert_eq!(t, ColumnRef::new(0, 1));
+    }
+
+    #[test]
+    fn relabeling_is_a_validated_permutation() {
+        let cat = catalog(4);
+        let mut q = chain_query(4);
+        q.required_order = Some(ColumnRef::new(3, 0));
+        // 0→2, 1→0, 2→3, 3→1
+        let map = [2usize, 0, 3, 1];
+        let r = q.relabel_tables(&map);
+        assert_eq!(r.validate(&cat), Ok(()));
+        assert_eq!(r.joins.len(), q.joins.len());
+        // Predicate order and orientation survive; indices are mapped.
+        for (orig, rel) in q.joins.iter().zip(&r.joins) {
+            assert_eq!(rel.left.table, map[orig.left.table]);
+            assert_eq!(rel.right.table, map[orig.right.table]);
+            assert_eq!(rel.selectivity, orig.selectivity);
+        }
+        assert_eq!(r.required_order, Some(ColumnRef::new(1, 0)));
+        // The inverse map restores the original query exactly.
+        let mut inv = [0usize; 4];
+        for (i, &m) in map.iter().enumerate() {
+            inv[m] = i;
+        }
+        assert_eq!(r.relabel_tables(&inv), q);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn relabeling_rejects_non_permutations() {
+        chain_query(3).relabel_tables(&[0, 0, 1]);
     }
 
     #[test]

@@ -1,0 +1,285 @@
+//! The cross-query plan store: exact-key LRU entries plus a weak-shape
+//! index for revalidation.
+//!
+//! Entries are keyed by the full exact encoding (not a hash of it), so
+//! distinct shapes can never collide into each other's plans; the weak
+//! index maps each bucketed shape to the most recent exact entry of that
+//! shape, which is the plan a near-miss request revalidates against.
+//! Plans are stored in *canonical* label space — the server relabels them
+//! into each caller's numbering on the way out.
+
+use lec_core::SearchStats;
+use lec_plan::PlanNode;
+use std::collections::HashMap;
+
+/// What the cache did for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDecision {
+    /// Exact canonical-shape hit: the cached plan was relabeled and
+    /// returned without running any search.
+    Served,
+    /// The bucketed shape matched but the exact parameters did not; a
+    /// fresh search ran and *confirmed* the cached plan (the response is
+    /// the fresh result, so byte-identity is unconditional).
+    Revalidated,
+    /// Miss (or a weak hit whose cached plan turned out stale): a fresh
+    /// search ran and its result was inserted.
+    Recomputed,
+    /// The request cannot be cached — a randomized mode (RNG trajectories
+    /// are not rename-equivariant) or a query the canonicalizer declined.
+    Uncacheable,
+}
+
+impl CacheDecision {
+    /// Lower-case label for logs and JSON metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheDecision::Served => "served",
+            CacheDecision::Revalidated => "revalidated",
+            CacheDecision::Recomputed => "recomputed",
+            CacheDecision::Uncacheable => "uncacheable",
+        }
+    }
+}
+
+/// Aggregate counters across a cache's lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Requests that consulted the cache (uncacheable ones included).
+    pub lookups: u64,
+    /// Exact hits answered without a search.
+    pub served: u64,
+    /// Weak hits whose cached plan a fresh search confirmed.
+    pub revalidated: u64,
+    /// Misses (and stale weak hits) that ran a fresh search.
+    pub recomputed: u64,
+    /// Requests that bypassed the cache entirely.
+    pub uncacheable: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of cacheable lookups answered without a search.
+    pub fn hit_rate(&self) -> f64 {
+        let cacheable = self.lookups.saturating_sub(self.uncacheable);
+        if cacheable == 0 {
+            0.0
+        } else {
+            self.served as f64 / cacheable as f64
+        }
+    }
+
+    /// Machine-readable form for the service's metrics endpoint.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "lookups": self.lookups,
+            "served": self.served,
+            "revalidated": self.revalidated,
+            "recomputed": self.recomputed,
+            "uncacheable": self.uncacheable,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate(),
+        })
+    }
+}
+
+impl serde_json::Serialize for CacheStats {
+    fn to_value(&self) -> serde_json::Value {
+        self.to_json()
+    }
+}
+
+/// One cached plan in canonical label space.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedShapePlan {
+    /// The plan, canonically labeled.
+    pub plan: PlanNode,
+    /// Its objective value.
+    pub cost: f64,
+    /// The original computation's statistics (served responses carry them
+    /// with `elapsed` re-stamped to the serve latency).
+    pub stats: SearchStats,
+    /// Exact hits this entry has answered.
+    pub hits: u64,
+    /// LRU clock value of the last touch.
+    last_used: u64,
+    /// The weak key this entry is indexed under.
+    weak: Box<[u64]>,
+}
+
+/// The canonical-shape plan cache with LRU eviction.
+#[derive(Debug)]
+pub struct ShapeCache {
+    entries: HashMap<Box<[u64]>, CachedShapePlan>,
+    weak_index: HashMap<Box<[u64]>, Box<[u64]>>,
+    capacity: usize,
+    tick: u64,
+    pub(crate) stats: CacheStats,
+}
+
+impl ShapeCache {
+    /// An empty cache holding at most `capacity` plans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        ShapeCache {
+            entries: HashMap::new(),
+            weak_index: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Per-entry exact-hit counters, descending — the skew profile of the
+    /// workload as the cache sees it.
+    pub fn hit_histogram(&self) -> Vec<u64> {
+        let mut hits: Vec<u64> = self.entries.values().map(|e| e.hits).collect();
+        hits.sort_unstable_by(|a, b| b.cmp(a));
+        hits
+    }
+
+    /// Exact lookup; touches the LRU clock and the entry's hit counter.
+    pub(crate) fn get_exact(&mut self, exact: &[u64]) -> Option<&CachedShapePlan> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.get_mut(exact)?;
+        entry.last_used = tick;
+        entry.hits += 1;
+        Some(entry)
+    }
+
+    /// The canonically-labeled plan cached under a weak shape, if any —
+    /// the revalidation candidate for a near-miss.
+    pub(crate) fn weak_plan(&self, weak: &[u64]) -> Option<&PlanNode> {
+        let exact = self.weak_index.get(weak)?;
+        self.entries.get(exact).map(|e| &e.plan)
+    }
+
+    /// Insert a freshly computed plan under both keys, evicting the
+    /// least-recently-used entry when over capacity.
+    pub(crate) fn insert(
+        &mut self,
+        exact: Box<[u64]>,
+        weak: Box<[u64]>,
+        plan: PlanNode,
+        cost: f64,
+        stats: SearchStats,
+    ) {
+        self.tick += 1;
+        self.stats.insertions += 1;
+        self.weak_index.insert(weak.clone(), exact.clone());
+        self.entries.insert(
+            exact,
+            CachedShapePlan {
+                plan,
+                cost,
+                stats,
+                hits: 0,
+                last_used: self.tick,
+                weak,
+            },
+        );
+        while self.entries.len() > self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over-capacity cache is non-empty");
+            if let Some(evicted) = self.entries.remove(&victim) {
+                // Drop the weak pointer only if it still points here (a
+                // newer entry of the same shape may have overwritten it).
+                if self.weak_index.get(&evicted.weak) == Some(&victim) {
+                    self.weak_index.remove(&evicted.weak);
+                }
+            }
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(v: u64) -> Box<[u64]> {
+        vec![v].into_boxed_slice()
+    }
+
+    fn plan(t: usize) -> PlanNode {
+        PlanNode::SeqScan { table: t }
+    }
+
+    #[test]
+    fn exact_hits_count_and_touch() {
+        let mut c = ShapeCache::new(4);
+        c.insert(key(1), key(100), plan(0), 1.0, SearchStats::default());
+        assert_eq!(c.len(), 1);
+        assert!(c.get_exact(&key(2)).is_none());
+        let e = c.get_exact(&key(1)).unwrap();
+        assert_eq!(e.hits, 1);
+        assert_eq!(e.cost, 1.0);
+        let e = c.get_exact(&key(1)).unwrap();
+        assert_eq!(e.hits, 2);
+        assert_eq!(c.hit_histogram(), vec![2]);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = ShapeCache::new(2);
+        c.insert(key(1), key(100), plan(0), 1.0, SearchStats::default());
+        c.insert(key(2), key(200), plan(1), 2.0, SearchStats::default());
+        c.get_exact(&key(1)); // 2 is now coldest
+        c.insert(key(3), key(300), plan(2), 3.0, SearchStats::default());
+        assert_eq!(c.len(), 2);
+        assert!(c.get_exact(&key(2)).is_none(), "coldest entry evicted");
+        assert!(c.get_exact(&key(1)).is_some());
+        assert!(c.get_exact(&key(3)).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.weak_plan(&key(200)).is_none(), "weak pointer cleaned");
+    }
+
+    #[test]
+    fn weak_index_follows_the_newest_entry_of_a_shape() {
+        let mut c = ShapeCache::new(4);
+        c.insert(key(1), key(100), plan(0), 1.0, SearchStats::default());
+        c.insert(key(2), key(100), plan(1), 2.0, SearchStats::default());
+        assert_eq!(c.weak_plan(&key(100)), Some(&plan(1)));
+    }
+
+    #[test]
+    fn hit_rate_ignores_uncacheable_lookups() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.lookups = 10;
+        s.uncacheable = 2;
+        s.served = 4;
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        let v = s.to_json();
+        assert_eq!(v["served"].as_f64(), Some(4.0));
+        assert!((v["hit_rate"].as_f64().unwrap() - 0.5).abs() < 1e-12);
+    }
+}

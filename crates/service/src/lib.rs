@@ -1,0 +1,55 @@
+//! # lec-service — the cross-query serving layer
+//!
+//! The paper optimizes one query at a time; its §5 parametric argument
+//! (precompute plans for anticipated environments, pick cheaply at
+//! start-up) already gestures at the workload-level question: how do you
+//! serve a *stream* of optimization requests fast?  This crate is that
+//! subsystem, built from two pieces:
+//!
+//! * **Canonical-shape plan cache** ([`canon`], [`cache`]): every request
+//!   is normalized to a canonical table labeling (join-graph topology up
+//!   to renaming, per-table statistics, memory-distribution and
+//!   mode/config fingerprints — Weisfeiler–Leman refinement plus
+//!   minimum-encoding tie-breaking).  Requests that are renamings of an
+//!   already-optimized shape skip the whole DP: the cached plan is
+//!   relabeled into the caller's numbering and served.  Near-misses (same
+//!   bucketed shape, drifted parameters) *revalidate* the cached plan
+//!   against one fresh search rather than trusting it, so every response
+//!   — served, revalidated, or recomputed — is byte-identical to a fresh
+//!   [`lec_core::Optimizer::optimize`] on the same request.  LRU
+//!   eviction, per-entry hit counters, and a [`CacheDecision`] in every
+//!   response keep the cache observable.
+//! * **Persistent worker pool** ([`lec_core::search::PersistentPool`],
+//!   injected through [`lec_core::SearchConfig::pool`]): searches borrow
+//!   long-lived parked threads instead of spawning a scoped pool per
+//!   search (~50µs), so the engine's level fan-out pays off on the
+//!   sub-100µs queries a serving layer answers all day — with results
+//!   byte-identical to the serial driver, as for every other pool.
+//!
+//! [`PlanServer`] ties the two together behind one `serve` call:
+//!
+//! ```
+//! use lec_core::{fixtures, Mode};
+//! use lec_service::{CacheDecision, PlanServer};
+//!
+//! let (catalog, query) = fixtures::three_chain();
+//! let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+//! let mut server = PlanServer::new(&catalog, memory);
+//!
+//! let cold = server.serve(&query, &Mode::AlgorithmC).unwrap();
+//! assert_eq!(cold.decision, CacheDecision::Recomputed);
+//!
+//! // A table-renamed copy of the same query: answered from cache, no DP.
+//! let renamed = query.relabel_tables(&[2, 0, 1]);
+//! let warm = server.serve(&renamed, &Mode::AlgorithmC).unwrap();
+//! assert_eq!(warm.decision, CacheDecision::Served);
+//! assert_eq!(warm.cost.to_bits(), cold.cost.to_bits());
+//! ```
+
+pub mod cache;
+pub mod canon;
+pub mod server;
+
+pub use cache::{CacheDecision, CacheStats, ShapeCache};
+pub use canon::{canonical_form, CanonicalForm, MAX_CANDIDATE_PERMS, MAX_CANON_TABLES};
+pub use server::{PlanServer, ServeResponse, DEFAULT_CACHE_CAPACITY};

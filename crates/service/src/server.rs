@@ -1,0 +1,363 @@
+//! The serving layer: a [`PlanServer`] answering streams of optimization
+//! requests through the canonical-shape cache and a persistent worker
+//! pool.
+
+use crate::cache::{CacheDecision, CacheStats, ShapeCache};
+use crate::canon::canonical_form;
+use lec_catalog::Catalog;
+use lec_core::search::{PersistentPool, WorkerPool};
+use lec_core::{Mode, OptError, Optimizer, SearchStats};
+use lec_cost::dist_fingerprint;
+use lec_plan::{PlanNode, Query};
+use lec_prob::Distribution;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default number of cached plans.
+pub const DEFAULT_CACHE_CAPACITY: usize = 512;
+
+/// One answered request: the plan in the *caller's* table numbering, its
+/// objective value, the search statistics behind it, and what the cache
+/// did.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The chosen plan, relabeled to the request's table indices.
+    pub plan: PlanNode,
+    /// Its objective value (point cost for LSC, expected cost otherwise).
+    pub cost: f64,
+    /// Mode display name.
+    pub mode: &'static str,
+    /// Statistics of the search that produced the plan.  For
+    /// [`CacheDecision::Served`] responses these are the *original*
+    /// computation's counters with `elapsed` re-stamped to this request's
+    /// serve latency (the whole point of serving from cache).
+    pub stats: SearchStats,
+    /// How the cache participated.
+    pub decision: CacheDecision,
+}
+
+impl ServeResponse {
+    /// Machine-readable form (the per-response record of the metrics
+    /// stream).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "mode": self.mode,
+            "plan": self.plan.compact(),
+            "cost": self.cost,
+            "decision": self.decision.name(),
+            "stats": self.stats.to_json(),
+        })
+    }
+}
+
+/// A long-lived query-optimization service over one catalog and memory
+/// belief.
+///
+/// `PlanServer` is the workload-level face of the repo: where
+/// [`Optimizer`] answers one query, the server answers a *stream*,
+/// carrying two pieces of cross-query state the per-query facade cannot:
+///
+/// * a **canonical-shape plan cache** (see [`crate::canon`]): requests
+///   that are table-renamings of an already-optimized shape are answered
+///   by relabeling the cached plan — no DP at all — and near-misses
+///   (same bucketed shape, drifted parameters) revalidate the cached plan
+///   against one fresh search instead of silently trusting it;
+/// * a **persistent worker pool** ([`PersistentPool`]): searches borrow
+///   long-lived parked threads instead of spawning a scoped pool, so even
+///   sub-100µs queries can fan out.
+///
+/// Responses are **byte-identical** to what a fresh
+/// [`Optimizer::optimize`] would return for the same request — plan, cost
+/// bits, table numbering — whatever the cache decided; the `server_parity`
+/// integration test pins this over a 500-query skewed workload.
+#[derive(Debug)]
+pub struct PlanServer<'a> {
+    optimizer: Optimizer<'a>,
+    cache: ShapeCache,
+    memory_fp: u64,
+    search_fp: u64,
+}
+
+impl<'a> PlanServer<'a> {
+    /// A server over `catalog` believing `memory`, with the default cache
+    /// capacity and a persistent pool sized to the host.
+    pub fn new(catalog: &'a Catalog, memory: Distribution) -> Self {
+        let pool: Arc<dyn WorkerPool> = Arc::new(PersistentPool::for_host());
+        Self::with_optimizer(
+            Optimizer::new(catalog, memory).with_worker_pool(pool),
+            DEFAULT_CACHE_CAPACITY,
+        )
+    }
+
+    /// A server around an explicitly configured optimizer (search config,
+    /// worker pool) and cache capacity.
+    pub fn with_optimizer(optimizer: Optimizer<'a>, cache_capacity: usize) -> Self {
+        let memory_fp = dist_fingerprint(optimizer.memory());
+        let search_fp = optimizer.search_config().fingerprint();
+        PlanServer {
+            optimizer,
+            cache: ShapeCache::new(cache_capacity),
+            memory_fp,
+            search_fp,
+        }
+    }
+
+    /// The optimizer answering cache misses.
+    pub fn optimizer(&self) -> &Optimizer<'a> {
+        &self.optimizer
+    }
+
+    /// Lifetime cache counters.
+    pub fn cache_stats(&self) -> &CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of plans currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Per-entry exact-hit counters, descending.
+    pub fn hit_histogram(&self) -> Vec<u64> {
+        self.cache.hit_histogram()
+    }
+
+    /// Answer one optimization request.
+    pub fn serve(&mut self, query: &Query, mode: &Mode) -> Result<ServeResponse, OptError> {
+        let t0 = Instant::now();
+        query
+            .validate(self.optimizer.catalog())
+            .map_err(OptError::InvalidQuery)?;
+        self.cache.stats.lookups += 1;
+
+        // Serving a cached plan to a renamed request is only sound when
+        // the mode commutes with table renaming.  The keep-best family
+        // does (exact cost ties resolve by label-independent plan shape —
+        // see `insert_entry_shaped`); the randomized modes walk RNG
+        // trajectories over table indices, and Algorithm B's top-c
+        // frontier breaks ties by arrival order throughout its candidate
+        // lists — both can legitimately return different (equal-cost)
+        // plans for isomorphic queries, so they bypass the cache.
+        let cacheable_mode = !matches!(
+            mode,
+            Mode::AlgorithmB { .. }
+                | Mode::IterativeImprovement { .. }
+                | Mode::SimulatedAnnealing { .. }
+        );
+        let form = if cacheable_mode {
+            canonical_form(self.optimizer.catalog(), query)
+        } else {
+            None
+        };
+        let Some(form) = form else {
+            self.cache.stats.uncacheable += 1;
+            let out = self.optimizer.optimize(query, mode)?;
+            return Ok(ServeResponse {
+                plan: out.plan,
+                cost: out.cost,
+                mode: out.mode,
+                stats: out.stats,
+                decision: CacheDecision::Uncacheable,
+            });
+        };
+
+        let env = [self.memory_fp, mode.fingerprint(), self.search_fp];
+        let exact_key = key_with_env(&form.exact, &env);
+        let weak_key = key_with_env(&form.weak, &env);
+
+        if let Some(entry) = self.cache.get_exact(&exact_key) {
+            let plan = entry.plan.relabel_tables(&form.inverse_perm());
+            let cost = entry.cost;
+            let mut stats = entry.stats;
+            self.cache.stats.served += 1;
+            stats.elapsed = t0.elapsed();
+            return Ok(ServeResponse {
+                plan,
+                cost,
+                mode: mode.name(),
+                stats,
+                decision: CacheDecision::Served,
+            });
+        }
+
+        let out = self.optimizer.optimize(query, mode)?;
+        let canon_plan = out.plan.relabel_tables(&form.perm);
+        let decision = match self.cache.weak_plan(&weak_key) {
+            Some(prev) if *prev == canon_plan => CacheDecision::Revalidated,
+            _ => CacheDecision::Recomputed,
+        };
+        match decision {
+            CacheDecision::Revalidated => self.cache.stats.revalidated += 1,
+            _ => self.cache.stats.recomputed += 1,
+        }
+        self.cache
+            .insert(exact_key, weak_key, canon_plan, out.cost, out.stats);
+        let mut stats = out.stats;
+        stats.elapsed = t0.elapsed();
+        Ok(ServeResponse {
+            plan: out.plan,
+            cost: out.cost,
+            mode: out.mode,
+            stats,
+            decision,
+        })
+    }
+
+    /// Answer a batch of requests in order, stopping at the first error.
+    pub fn serve_batch(
+        &mut self,
+        requests: &[(Query, Mode)],
+    ) -> Result<Vec<ServeResponse>, OptError> {
+        requests.iter().map(|(q, m)| self.serve(q, m)).collect()
+    }
+
+    /// Machine-readable service metrics: cache counters, occupancy, and
+    /// the exact-hit skew histogram.
+    pub fn metrics_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "cache": self.cache.stats().to_json(),
+            "cache_entries": self.cache.len(),
+            "cache_capacity": self.cache.capacity(),
+            "hit_histogram": self.hit_histogram(),
+        })
+    }
+}
+
+/// Append the environment fingerprints (memory distribution, mode, search
+/// config) to a shape encoding, producing the final cache key.
+fn key_with_env(encoding: &[u64], env: &[u64; 3]) -> Box<[u64]> {
+    let mut key = Vec::with_capacity(encoding.len() + env.len());
+    key.extend_from_slice(encoding);
+    key.extend_from_slice(env);
+    key.into_boxed_slice()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_core::fixtures;
+
+    #[test]
+    fn repeat_requests_are_served_from_cache_byte_identically() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let mut server = PlanServer::new(&cat, memory.clone());
+        let first = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(first.decision, CacheDecision::Recomputed);
+        let second = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(second.decision, CacheDecision::Served);
+        assert_eq!(first.plan, second.plan);
+        assert_eq!(first.cost.to_bits(), second.cost.to_bits());
+        // And both match a fresh, cache-free optimization.
+        let fresh = Optimizer::new(&cat, memory)
+            .optimize(&q, &Mode::AlgorithmC)
+            .unwrap();
+        assert_eq!(fresh.plan, second.plan);
+        assert_eq!(fresh.cost.to_bits(), second.cost.to_bits());
+        assert_eq!(server.cache_stats().served, 1);
+        assert_eq!(server.cache_stats().recomputed, 1);
+        assert_eq!(server.hit_histogram(), vec![1]);
+    }
+
+    #[test]
+    fn renamed_requests_hit_the_same_entry() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let mut server = PlanServer::new(&cat, memory.clone());
+        server.serve(&q, &Mode::AlgorithmC).unwrap();
+        let map = [2usize, 0, 1];
+        let renamed = q.relabel_tables(&map);
+        let served = server.serve(&renamed, &Mode::AlgorithmC).unwrap();
+        assert_eq!(served.decision, CacheDecision::Served);
+        // The served plan must match a fresh optimization of the renamed
+        // query — table numbering included.
+        let fresh = Optimizer::new(&cat, memory)
+            .optimize(&renamed, &Mode::AlgorithmC)
+            .unwrap();
+        assert_eq!(served.plan, fresh.plan);
+        assert_eq!(served.cost.to_bits(), fresh.cost.to_bits());
+    }
+
+    #[test]
+    fn distinct_modes_and_memories_do_not_share_entries() {
+        let (cat, q) = fixtures::three_chain();
+        let m1 = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let m2 = lec_prob::presets::spread_family(900.0, 0.4, 4).unwrap();
+        let mut s1 = PlanServer::new(&cat, m1.clone());
+        s1.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(
+            s1.serve(&q, &Mode::Bushy).unwrap().decision,
+            CacheDecision::Recomputed,
+            "a different mode is a different key"
+        );
+        let mut s2 = PlanServer::new(&cat, m2);
+        assert_eq!(
+            s2.serve(&q, &Mode::AlgorithmC).unwrap().decision,
+            CacheDecision::Recomputed,
+            "a different memory belief is a different key"
+        );
+        let _ = m1;
+    }
+
+    #[test]
+    fn near_miss_revalidates_instead_of_trusting_the_cache() {
+        let (cat, mut q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let mut server = PlanServer::new(&cat, memory.clone());
+        server.serve(&q, &Mode::AlgorithmC).unwrap();
+        // Drift a selectivity within its log2 bucket: same weak shape,
+        // different exact computation.
+        let drifted = q.joins[0].selectivity.mean() * 1.01;
+        q.joins[0].selectivity = lec_prob::Distribution::point(drifted);
+        let resp = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(resp.decision, CacheDecision::Revalidated);
+        let fresh = Optimizer::new(&cat, memory)
+            .optimize(&q, &Mode::AlgorithmC)
+            .unwrap();
+        assert_eq!(resp.plan, fresh.plan);
+        assert_eq!(resp.cost.to_bits(), fresh.cost.to_bits());
+    }
+
+    #[test]
+    fn randomized_modes_bypass_the_cache() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let mut server = PlanServer::new(&cat, memory);
+        let mode = Mode::IterativeImprovement {
+            config: lec_core::RandomizedConfig::default(),
+            seed: 7,
+        };
+        for _ in 0..2 {
+            let resp = server.serve(&q, &mode).unwrap();
+            assert_eq!(resp.decision, CacheDecision::Uncacheable);
+        }
+        assert_eq!(server.cache_len(), 0);
+        assert_eq!(server.cache_stats().uncacheable, 2);
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_before_touching_the_cache() {
+        let (cat, mut q) = fixtures::three_chain();
+        q.joins.clear();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let mut server = PlanServer::new(&cat, memory);
+        assert!(matches!(
+            server.serve(&q, &Mode::AlgorithmC),
+            Err(OptError::InvalidQuery(_))
+        ));
+        assert_eq!(server.cache_stats().lookups, 0);
+    }
+
+    #[test]
+    fn metrics_are_machine_readable() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let mut server = PlanServer::new(&cat, memory);
+        server.serve(&q, &Mode::AlgorithmC).unwrap();
+        server.serve(&q, &Mode::AlgorithmC).unwrap();
+        let v = server.metrics_json();
+        assert_eq!(v["cache"]["served"].as_f64(), Some(1.0));
+        assert_eq!(v["cache_entries"].as_f64(), Some(1.0));
+        assert_eq!(v["hit_histogram"][0].as_f64(), Some(1.0));
+    }
+}

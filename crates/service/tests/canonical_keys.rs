@@ -1,0 +1,200 @@
+//! Canonical-key properties: isomorphic queries under table renaming hash
+//! equal (and serve relabel-identical plans); distinct shapes and distinct
+//! memory distributions never collide on the 7-table fixtures.
+
+use lec_core::{fixtures, Mode, Optimizer};
+use lec_plan::{Query, QueryProfile, Topology, WorkloadGenerator};
+use lec_service::{canonical_form, CacheDecision, PlanServer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn workload(seed: u64, n: usize, topology: Topology) -> (lec_catalog::Catalog, Query) {
+    let mut g = lec_catalog::CatalogGenerator::new(seed);
+    let cat = g.generate(n + 1);
+    let ids = g.pick_tables(&cat, n);
+    let mut wg = WorkloadGenerator::new(seed ^ 0xC0FFEE);
+    let q = wg.gen_query(
+        &cat,
+        &ids,
+        &QueryProfile {
+            topology,
+            ..Default::default()
+        },
+    );
+    (cat, q)
+}
+
+fn random_perm(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Renaming the tables of a chain/star/random query never changes its
+    /// canonical keys, and the renamed request is answered from the cache
+    /// with exactly the plan a fresh optimization would produce.
+    #[test]
+    fn renamed_queries_hash_equal_and_serve_identically(
+        seed in 0u64..3000,
+        n in 3usize..7,
+        topo_pick in 0usize..3,
+        center in 80.0f64..2000.0,
+    ) {
+        let topology = [Topology::Chain, Topology::Star, Topology::Random][topo_pick];
+        let (cat, q) = workload(seed, n, topology);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+        let perm = random_perm(&mut rng, n);
+        let renamed = q.relabel_tables(&perm);
+
+        let base = canonical_form(&cat, &q).expect("canonicalizable");
+        let other = canonical_form(&cat, &renamed).expect("canonicalizable");
+        prop_assert_eq!(&base.exact, &other.exact, "exact keys must match");
+        prop_assert_eq!(&base.weak, &other.weak, "weak keys must match");
+
+        // Serve the original (recompute), then the renamed copy (served
+        // from cache): the served answer must be byte-identical to a
+        // fresh optimization of the renamed request.
+        let memory = lec_prob::presets::spread_family(center, 0.5, 4).unwrap();
+        let mut server = PlanServer::new(&cat, memory.clone());
+        let first = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        prop_assert_eq!(first.decision, CacheDecision::Recomputed);
+        let served = server.serve(&renamed, &Mode::AlgorithmC).unwrap();
+        prop_assert_eq!(served.decision, CacheDecision::Served);
+        let fresh = Optimizer::new(&cat, memory)
+            .optimize(&renamed, &Mode::AlgorithmC)
+            .unwrap();
+        prop_assert_eq!(&served.plan, &fresh.plan, "served plan must relabel onto the fresh plan");
+        prop_assert_eq!(served.cost.to_bits(), fresh.cost.to_bits(), "cost bits must match");
+    }
+
+    /// Canonical keys are *discriminating*: materially different queries
+    /// (an edge moved, a selectivity changed, an order requirement added)
+    /// never share an exact key.
+    #[test]
+    fn perturbed_queries_never_collide(
+        seed in 0u64..3000,
+        n in 4usize..7,
+    ) {
+        let (cat, q) = workload(seed, n, Topology::Chain);
+        let base = canonical_form(&cat, &q).expect("canonicalizable");
+
+        // Distinct selectivity on one join.
+        let mut sel = q.clone();
+        sel.joins[0].selectivity = lec_prob::Distribution::point(
+            (sel.joins[0].selectivity.mean() * 3.7).min(1.0),
+        );
+        let sel_form = canonical_form(&cat, &sel).expect("canonicalizable");
+        prop_assert_ne!(&base.exact, &sel_form.exact);
+
+        // Different required order.
+        let mut ord = q.clone();
+        ord.required_order = match ord.required_order {
+            None => Some(ord.joins[0].left),
+            Some(_) => None,
+        };
+        let ord_form = canonical_form(&cat, &ord).expect("canonicalizable");
+        prop_assert_ne!(&base.exact, &ord_form.exact);
+        prop_assert_ne!(&base.weak, &ord_form.weak);
+    }
+}
+
+/// A 7-table query over one catalog of strictly distinct table sizes,
+/// shaped as a chain or a star (distinct sizes keep every table
+/// distinguishable, so both shapes canonicalize).
+fn seven_table(topology: Topology) -> (lec_catalog::Catalog, Query) {
+    use lec_catalog::{Catalog, ColumnStats, TableStats};
+    use lec_plan::{ColumnRef, JoinPredicate, QueryTable};
+    let mut cat = Catalog::new();
+    let ids: Vec<_> = (0..7)
+        .map(|i| {
+            cat.add_table(
+                format!("T{i}"),
+                TableStats::new(
+                    10_000 * (i as u64 + 1),
+                    500_000 * (i as u64 + 1),
+                    vec![ColumnStats::plain("a", 1000), ColumnStats::plain("b", 1000)],
+                ),
+            )
+        })
+        .collect();
+    let joins = match topology {
+        Topology::Chain => (0..6)
+            .map(|i| JoinPredicate::exact(ColumnRef::new(i, 1), ColumnRef::new(i + 1, 0), 1e-6))
+            .collect(),
+        _ => (1..7)
+            .map(|i| JoinPredicate::exact(ColumnRef::new(0, 1), ColumnRef::new(i, 0), 1e-6))
+            .collect(),
+    };
+    let q = Query {
+        tables: ids.into_iter().map(QueryTable::bare).collect(),
+        joins,
+        required_order: None,
+    };
+    (cat, q)
+}
+
+#[test]
+fn distinct_shapes_never_collide_on_the_seven_table_fixtures() {
+    // Chain and star over the *same* seven tables: identical per-table
+    // statistics, different topology — no key component may collide.
+    let (chain_cat, chain) = seven_table(Topology::Chain);
+    let (_, star) = seven_table(Topology::Star);
+    let chain_form = canonical_form(&chain_cat, &chain).expect("chain canonicalizes");
+    let star_form = canonical_form(&chain_cat, &star).expect("star canonicalizes");
+    assert_ne!(chain_form.exact, star_form.exact, "exact keys must differ");
+    assert_ne!(chain_form.weak, star_form.weak, "weak keys must differ");
+
+    // The repo's scaling fixtures ride along: the 7-chain canonicalizes
+    // (twin-sized tables sit at non-interchangeable chain positions) and
+    // differs from the 6-chain; the 7-star has genuinely interchangeable
+    // twin spokes and is therefore refused outright.
+    let (c7_cat, c7) = fixtures::scaling_chain(7);
+    let (c6_cat, c6) = fixtures::scaling_chain(6);
+    let c7_form = canonical_form(&c7_cat, &c7).expect("scaling chain canonicalizes");
+    let c6_form = canonical_form(&c6_cat, &c6).expect("canonicalizable");
+    assert_ne!(c6_form.exact, c7_form.exact);
+    assert_ne!(c6_form.weak, c7_form.weak);
+    let (s7_cat, s7) = fixtures::scaling_star(7);
+    assert!(
+        canonical_form(&s7_cat, &s7).is_none(),
+        "twin spokes make the scaling star automorphic, hence uncacheable"
+    );
+}
+
+#[test]
+fn distinct_memory_distributions_never_share_cache_entries() {
+    // Memory enters the cache key through its fingerprint: the same
+    // 7-table query under two different beliefs must recompute twice.
+    let (cat, q) = fixtures::scaling_chain(7);
+    let m1 = lec_prob::presets::spread_family(400.0, 0.6, 5).unwrap();
+    let m2 = lec_prob::presets::spread_family(400.0, 0.6, 6).unwrap();
+    assert_ne!(
+        lec_cost::dist_fingerprint(&m1),
+        lec_cost::dist_fingerprint(&m2)
+    );
+    let mut s1 = PlanServer::new(&cat, m1);
+    assert_eq!(
+        s1.serve(&q, &Mode::AlgorithmC).unwrap().decision,
+        CacheDecision::Recomputed
+    );
+    assert_eq!(
+        s1.serve(&q, &Mode::AlgorithmC).unwrap().decision,
+        CacheDecision::Served
+    );
+    let mut s2 = PlanServer::new(
+        &cat,
+        lec_prob::presets::spread_family(400.0, 0.6, 6).unwrap(),
+    );
+    assert_eq!(
+        s2.serve(&q, &Mode::AlgorithmC).unwrap().decision,
+        CacheDecision::Recomputed,
+        "a different memory belief must not reuse the other server's shape"
+    );
+}

@@ -11,6 +11,7 @@
 //! | [`plan`] | queries, order properties, physical plans, workloads |
 //! | [`cost`] | the paper's I/O cost formulas and expected-cost algorithms |
 //! | [`core`] | LSC baseline and Algorithms A, B, C, D; bucketing; ground truth |
+//! | [`service`] | cross-query serving: canonical-shape plan cache + persistent worker pool |
 //! | [`exec`] | Monte-Carlo simulation, buffer-pool operators, tuple executor |
 //!
 //! This facade crate re-exports the public APIs and hosts the runnable
@@ -38,3 +39,4 @@ pub use lec_cost as cost;
 pub use lec_exec as exec;
 pub use lec_plan as plan;
 pub use lec_prob as prob;
+pub use lec_service as service;

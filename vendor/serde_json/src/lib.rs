@@ -272,15 +272,87 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Conversion into the shim's [`Value`] tree — the stand-in for
+/// serde's `Serialize` trait.  Types implement it directly (usually by
+/// assembling a [`json!`] object); `Value` itself, primitives, strings,
+/// options, slices, and vectors come for free, so `to_string` /
+/// `to_string_pretty` accept both plain values and domain types.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! serialize_via_from {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+serialize_via_from!(bool, f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::from(self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::from(self.as_str())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
 /// Compact serialization.
-pub fn to_string(value: &Value) -> Result<String, Error> {
-    Ok(value.to_string())
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
 }
 
 /// Two-space-indented serialization.
-pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, value, 0, true);
+    write_value(&mut out, &value.to_value(), 0, true);
     Ok(out)
 }
 
@@ -395,6 +467,29 @@ mod tests {
         assert!(!s.contains("1.0"));
         let compact = to_string(&v).unwrap();
         assert!(!compact.contains('\n'));
+    }
+
+    #[test]
+    fn serialize_trait_covers_primitives_and_domain_types() {
+        struct Point {
+            x: f64,
+            y: f64,
+        }
+        impl Serialize for Point {
+            fn to_value(&self) -> Value {
+                json!({"x": self.x, "y": self.y})
+            }
+        }
+        let p = Point { x: 1.5, y: -2.0 };
+        assert_eq!(to_string(&p).unwrap(), r#"{"x": 1.5, "y": -2}"#);
+        assert_eq!(to_value(&vec![1u64, 2, 3])[2].as_f64(), Some(3.0));
+        assert_eq!(to_value("abc"), Value::String("abc".into()));
+        assert_eq!(to_value(&Option::<u64>::None), Value::Null);
+        assert_eq!(to_value(&Some(4u64)).as_f64(), Some(4.0));
+        // Values still pass through unchanged, so existing callers keep
+        // working.
+        let v = json!({"k": [1, 2]});
+        assert!(to_string_pretty(&v).unwrap().contains("\"k\""));
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! The subplan-memo guard: a repeated-subshape workload — overlapping
+//! windows of one long chain, randomly table-renamed, under Algorithms C
+//! and D — optimized with and without the cross-search subplan memo.
+//!
+//! Three jobs:
+//!
+//! 1. **Correctness**: every memo-assisted answer must be byte-identical
+//!    (plan, cost bits, `evals`, `cache_hits`, `candidates`, `nodes`) to
+//!    the memo-free run of the same request — the run *fails* otherwise.
+//! 2. **Regression guard**: the warm memo pass must beat the memo-free
+//!    pass on wall time (a hit skips the node's whole combine/cost loop,
+//!    so losing means canonicalization or replay got pathologically
+//!    slow) — enforced on every host, single-core included.
+//! 3. **Record**: hit rates and the speedup land in
+//!    `BENCH_subplan_memo.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lec_core::search::SubplanMemo;
+use lec_core::{AlgDConfig, Mode, Optimizer, SearchConfig};
+use lec_plan::{ColumnRef, JoinPredicate, Query, QueryTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const CHAIN_LEN: usize = 9;
+const WINDOW: usize = 6;
+const RENAMES_PER_WINDOW: usize = 4;
+
+fn catalog() -> lec_catalog::Catalog {
+    let mut cat = lec_catalog::Catalog::new();
+    for i in 0..CHAIN_LEN as u64 {
+        cat.add_table(
+            format!("C{i}"),
+            lec_catalog::TableStats::new(
+                800 * (i + 1),
+                30_000 * (i + 2),
+                vec![
+                    lec_catalog::ColumnStats::plain("a", 40 + i),
+                    lec_catalog::ColumnStats::plain("b", 70 + i),
+                ],
+            ),
+        );
+    }
+    cat
+}
+
+fn window_query(cat: &lec_catalog::Catalog, lo: usize) -> Query {
+    let ids: Vec<_> = cat.ids().collect();
+    Query {
+        tables: ids[lo..lo + WINDOW]
+            .iter()
+            .map(|&t| QueryTable::bare(t))
+            .collect(),
+        joins: (0..WINDOW - 1)
+            .map(|i| {
+                JoinPredicate::exact(
+                    ColumnRef::new(i, 1),
+                    ColumnRef::new(i + 1, 0),
+                    1e-5 * (lo + i + 1) as f64,
+                )
+            })
+            .collect(),
+        required_order: None,
+    }
+}
+
+fn random_perm(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// The repeated-subshape stream: every chain window, renamed several
+/// ways, alternating Algorithm C and Algorithm D.  Adjacent windows share
+/// a (WINDOW−1)-table subchain, so even distinct shapes overlap heavily
+/// at the dag-node level — the case the whole-request cache cannot touch.
+fn build_stream(cat: &lec_catalog::Catalog) -> Vec<(Query, Mode)> {
+    let mut rng = StdRng::seed_from_u64(0xBEE5);
+    let mut stream = Vec::new();
+    for round in 0..RENAMES_PER_WINDOW {
+        for lo in 0..=CHAIN_LEN - WINDOW {
+            let base = window_query(cat, lo);
+            let q = if round == 0 {
+                base
+            } else {
+                base.relabel_tables(&random_perm(&mut rng, WINDOW))
+            };
+            let mode = if (round + lo) % 2 == 0 {
+                Mode::AlgorithmC
+            } else {
+                Mode::AlgorithmD {
+                    config: AlgDConfig::default(),
+                }
+            };
+            stream.push((q, mode));
+        }
+    }
+    stream
+}
+
+fn bench_subplan_memo(c: &mut Criterion) {
+    let cat = catalog();
+    let stream = build_stream(&cat);
+    let memory = lec_prob::presets::spread_family(500.0, 0.6, 8).unwrap();
+
+    // Memo-free baseline (serial so the comparison is thread-independent).
+    let plain = Optimizer::new(&cat, memory.clone()).with_search_config(SearchConfig::serial());
+    let t0 = Instant::now();
+    let baseline: Vec<_> = stream
+        .iter()
+        .map(|(q, m)| plain.optimize(q, m).expect("memo-off optimize"))
+        .collect();
+    let memo_off_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Memo-assisted: a cold pass populates, a warm pass replays the whole
+    // stream against the full memo.
+    let memo = Arc::new(SubplanMemo::default());
+    let assisted = Optimizer::new(&cat, memory.clone())
+        .with_search_config(SearchConfig::serial())
+        .with_subplan_memo(Arc::clone(&memo));
+    let t0 = Instant::now();
+    let cold: Vec<_> = stream
+        .iter()
+        .map(|(q, m)| assisted.optimize(q, m).expect("cold optimize"))
+        .collect();
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cold_hits: u64 = cold.iter().map(|r| r.stats.memo_hits).sum();
+    let cold_misses: u64 = cold.iter().map(|r| r.stats.memo_misses).sum();
+
+    let t0 = Instant::now();
+    let warm: Vec<_> = stream
+        .iter()
+        .map(|(q, m)| black_box(assisted.optimize(q, m).expect("warm optimize")))
+        .collect();
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let warm_hits: u64 = warm.iter().map(|r| r.stats.memo_hits).sum();
+    let warm_misses: u64 = warm.iter().map(|r| r.stats.memo_misses).sum();
+
+    // Correctness: both memo passes byte-identical to the memo-free run.
+    for (i, (base, (c_out, w_out))) in baseline
+        .iter()
+        .zip(cold.iter().zip(warm.iter()))
+        .enumerate()
+    {
+        for (pass, out) in [("cold", c_out), ("warm", w_out)] {
+            assert_eq!(base.plan, out.plan, "request {i}: {pass} plan drift");
+            assert_eq!(
+                base.cost.to_bits(),
+                out.cost.to_bits(),
+                "request {i}: {pass} cost drift"
+            );
+            assert_eq!(
+                base.stats.evals, out.stats.evals,
+                "request {i}: {pass} evals"
+            );
+            assert_eq!(
+                base.stats.cache_hits, out.stats.cache_hits,
+                "request {i}: {pass} cache_hits"
+            );
+            assert_eq!(
+                base.stats.candidates, out.stats.candidates,
+                "request {i}: {pass} candidates"
+            );
+            assert_eq!(
+                base.stats.nodes, out.stats.nodes,
+                "request {i}: {pass} nodes"
+            );
+        }
+    }
+    assert_eq!(
+        warm_misses, 0,
+        "a warm replay of the same stream must hit every eligible node"
+    );
+    assert!(
+        cold_hits > 0,
+        "overlapping windows must already share nodes on the cold pass"
+    );
+
+    // Regression guard: hits skip entire combine loops, so the warm pass
+    // must win outright — on any host, single-core included.
+    assert!(
+        warm_ms < memo_off_ms,
+        "subplan-memo regression: warm pass {warm_ms:.1}ms not faster than \
+         the memo-free pass {memo_off_ms:.1}ms"
+    );
+
+    let memo_stats = memo.stats();
+    println!(
+        "subplan-memo guard  memo-off {memo_off_ms:.1}ms, cold {cold_ms:.1}ms \
+         ({cold_hits} hits / {cold_misses} misses), warm {warm_ms:.1}ms \
+         ({:.2}x vs memo-off, {warm_hits} hits), {} records",
+        memo_off_ms / warm_ms,
+        memo_stats.records,
+    );
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_subplan_memo.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&json!({
+            "bench": "subplan_memo",
+            "claim": "a warm cross-search subplan memo beats memo-free optimization on a \
+                      repeated-subshape workload, with every answer byte-identical \
+                      (plan, cost bits, evals, cache_hits, candidates, nodes)",
+            "workload": {
+                "requests": stream.len(),
+                "shape": "overlapping 6-table windows of a 9-table chain, randomly renamed",
+                "modes": "AlgorithmC / AlgorithmD alternating",
+                "memory_buckets": 8,
+            },
+            "memo_off_ms": memo_off_ms,
+            "cold_pass_ms": cold_ms,
+            "warm_pass_ms": warm_ms,
+            "speedup_warm_vs_memo_off": memo_off_ms / warm_ms,
+            "cold_pass": { "memo_hits": cold_hits, "memo_misses": cold_misses },
+            "warm_pass": { "memo_hits": warm_hits, "memo_misses": warm_misses },
+            "memo_records": memo_stats.records,
+            "byte_identical_to_memo_off": true,
+        }))
+        .unwrap(),
+    )
+    .expect("write BENCH_subplan_memo.json");
+
+    // Criterion timing groups so `cargo bench` history tracks both paths
+    // on one hot window.
+    let (hot_q, hot_m) = &stream[0];
+    let mut group = c.benchmark_group("subplan_memo");
+    group.sample_size(20);
+    group.bench_function("optimize_warm_memo", |b| {
+        b.iter(|| black_box(assisted.optimize(black_box(hot_q), hot_m).unwrap().cost))
+    });
+    group.bench_function("optimize_memo_off", |b| {
+        b.iter(|| black_box(plain.optimize(black_box(hot_q), hot_m).unwrap().cost))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_subplan_memo);
+criterion_main!(benches);

@@ -1,4 +1,5 @@
-//! Canonical query shapes: the normal form behind cross-query cache keys.
+//! Canonical whole-query shapes: the normal form behind cross-query cache
+//! keys.
 //!
 //! Two optimization requests should share a cached plan exactly when the
 //! DP would do the same work for both — which is a statement about the
@@ -35,6 +36,7 @@
 //! uncacheable rather than risking a served plan that a fresh search
 //! would not reproduce.
 
+use crate::{distinct, factorial, invert, permutations};
 use lec_catalog::{Catalog, IndexKind};
 use lec_cost::Fingerprint;
 use lec_plan::Query;
@@ -112,14 +114,6 @@ fn weak_sel_bucket(mean: f64) -> u64 {
 struct EdgeLabels {
     weak: u64,
     exact: u64,
-}
-
-fn invert(perm: &[usize]) -> Vec<usize> {
-    let mut inv = vec![0usize; perm.len()];
-    for (orig, &canon) in perm.iter().enumerate() {
-        inv[canon] = orig;
-    }
-    inv
 }
 
 /// Body-only weak encoding: tables and edges, *without* the required
@@ -232,31 +226,85 @@ fn sym_encoding(
     out
 }
 
+/// True when some pair of equal-fingerprint tables admits a *local swap
+/// symmetry*: a self-mirrored set of edges between the two, or a third
+/// table to which both relate with identical oriented edge labels.
+/// Either witness means the transposition of the pair is an exact
+/// automorphism of a small **connected induced subgraph** — and the DP's
+/// tie-breaks inside that subgraph's dag node are label-dependent even
+/// when the *whole* query body is asymmetric (a distinguishing table
+/// elsewhere never enters that node).  Such queries cannot be served by
+/// relabeling and are declared uncacheable, exactly like whole-body
+/// automorphisms.  (Higher-order subgraph symmetries with no swappable
+/// pair — e.g. label-alternating cycles of twins moved only by k-cycles —
+/// are not detected; like fingerprint collisions, they are accepted as a
+/// beyond-adversarial residual.)
+fn twin_swap_exists(exact_attr: &[u64], query: &Query, labels: &[EdgeLabels]) -> bool {
+    use std::collections::HashMap;
+    let n = exact_attr.len();
+    for a in 0..n {
+        for b in a + 1..n {
+            if exact_attr[a] != exact_attr[b] {
+                continue;
+            }
+            // Edges between a and b (oriented from a's side), and each
+            // one's edges to every third table (oriented from the pair's
+            // side).
+            let mut mutual: Vec<(u64, u64, u64)> = Vec::new();
+            let mut to_a: HashMap<usize, Vec<(u64, u64, u64)>> = HashMap::new();
+            let mut to_b: HashMap<usize, Vec<(u64, u64, u64)>> = HashMap::new();
+            for (j, l) in query.joins.iter().zip(labels) {
+                let (u, cu) = (j.left.table, j.left.column as u64);
+                let (v, cv) = (j.right.table, j.right.column as u64);
+                if (u, v) == (a, b) {
+                    mutual.push((cu, cv, l.exact));
+                } else if (u, v) == (b, a) {
+                    mutual.push((cv, cu, l.exact));
+                } else if u == a {
+                    to_a.entry(v).or_default().push((cu, cv, l.exact));
+                } else if v == a {
+                    to_a.entry(u).or_default().push((cv, cu, l.exact));
+                } else if u == b {
+                    to_b.entry(v).or_default().push((cu, cv, l.exact));
+                } else if v == b {
+                    to_b.entry(u).or_default().push((cv, cu, l.exact));
+                }
+            }
+            if !mutual.is_empty() {
+                // Swapping a and b flips each mutual edge's column pair;
+                // a self-mirrored multiset makes {a, b} automorphic on
+                // its own.  Asymmetric mutual edges pin the pair apart in
+                // *every* induced subgraph (they are always included), so
+                // the common-neighbour test below is moot either way.
+                let mut orig = mutual.clone();
+                let mut flipped: Vec<_> = mutual.iter().map(|&(x, y, l)| (y, x, l)).collect();
+                orig.sort_unstable();
+                flipped.sort_unstable();
+                if orig == flipped {
+                    return true;
+                }
+                continue;
+            }
+            for (t, ea) in &mut to_a {
+                if let Some(eb) = to_b.get_mut(t) {
+                    ea.sort_unstable();
+                    eb.sort_unstable();
+                    if ea == eb {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
 /// Append the required-order suffix to a body encoding under `perm`.
 fn push_required_order(out: &mut Vec<u64>, query: &Query, perm: &[usize]) {
     match &query.required_order {
         Some(c) => out.extend_from_slice(&[1, perm[c.table] as u64, c.column as u64]),
         None => out.push(0),
     }
-}
-
-/// All permutations of `items` in lexicographic order (by position).
-fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
-    if items.len() <= 1 {
-        return vec![items.to_vec()];
-    }
-    let mut out = Vec::new();
-    for (i, &head) in items.iter().enumerate() {
-        let mut rest = items.to_vec();
-        rest.remove(i);
-        for tail in permutations(&rest) {
-            let mut p = Vec::with_capacity(items.len());
-            p.push(head);
-            p.extend(tail);
-            out.push(p);
-        }
-    }
-    out
 }
 
 /// Compute the canonical form of `query`, or `None` when the query is too
@@ -280,6 +328,13 @@ pub fn canonical_form(catalog: &Catalog, query: &Query) -> Option<CanonicalForm>
         })
         .collect();
 
+    // Interchangeable twins anywhere in the body — even inside a proper
+    // subgraph a third table disambiguates globally — make sub-root
+    // tie-breaks label-dependent; refuse before doing any more work.
+    if twin_swap_exists(&exact_attr, query, &labels) {
+        return None;
+    }
+
     // Adjacency with oriented weak edge labels, for colour refinement.
     let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
     for (j, l) in query.joins.iter().zip(&labels) {
@@ -291,44 +346,11 @@ pub fn canonical_form(catalog: &Catalog, query: &Query) -> Option<CanonicalForm>
         adj[b].push((a, from_b));
     }
 
-    // Weisfeiler–Leman refinement: a table's colour absorbs the sorted
-    // multiset of (edge label, neighbour colour).  Colours only ever
-    // split (each round's signature includes the previous colour), so
-    // iteration stops when the number of classes stops growing.
-    let mut colors: Vec<u64> = weak_attr.clone();
-    let mut n_classes = distinct(&colors);
-    for _ in 0..n {
-        let next: Vec<u64> = (0..n)
-            .map(|i| {
-                let mut neigh: Vec<(u64, u64)> =
-                    adj[i].iter().map(|&(j, e)| (e, colors[j])).collect();
-                neigh.sort_unstable();
-                let mut fp = Fingerprint::new().u64(colors[i]);
-                for (e, c) in neigh {
-                    fp = fp.u64(e).u64(c);
-                }
-                fp.finish()
-            })
-            .collect();
-        let next_classes = distinct(&next);
-        if next_classes == n_classes {
-            break;
-        }
-        colors = next;
-        n_classes = next_classes;
-    }
+    let colors = refine_colors(weak_attr.clone(), &adj);
 
     // Colour classes, ordered by colour value; members ascend by original
     // index so the identity-leaning candidate is enumerated first.
-    let mut members: Vec<usize> = (0..n).collect();
-    members.sort_by_key(|&i| (colors[i], i));
-    let mut classes: Vec<Vec<usize>> = Vec::new();
-    for &i in &members {
-        match classes.last_mut() {
-            Some(class) if colors[class[0]] == colors[i] => class.push(i),
-            _ => classes.push(vec![i]),
-        }
-    }
+    let classes = color_classes(&colors);
 
     let mut candidates: u128 = 1;
     for class in &classes {
@@ -341,14 +363,7 @@ pub fn canonical_form(catalog: &Catalog, query: &Query) -> Option<CanonicalForm>
     // Enumerate all class-respecting permutations via an odometer over the
     // per-class orderings, minimizing (weak encoding, exact encoding).
     let class_perms: Vec<Vec<Vec<usize>>> = classes.iter().map(|c| permutations(c)).collect();
-    let class_base: Vec<usize> = classes
-        .iter()
-        .scan(0usize, |acc, c| {
-            let base = *acc;
-            *acc += c.len();
-            Some(base)
-        })
-        .collect();
+    let class_base: Vec<usize> = class_bases(&classes);
     let mut odo = vec![0usize; classes.len()];
     let mut best: Option<(Vec<u64>, Vec<u64>, Vec<usize>)> = None;
     // The automorphism detector: the minimal order-insensitive exact body
@@ -420,15 +435,63 @@ pub fn canonical_form(catalog: &Catalog, query: &Query) -> Option<CanonicalForm>
     }
 }
 
-fn distinct(colors: &[u64]) -> usize {
-    let mut sorted = colors.to_vec();
-    sorted.sort_unstable();
-    sorted.dedup();
-    sorted.len()
+/// Weisfeiler–Leman refinement: a table's colour absorbs the sorted
+/// multiset of (edge label, neighbour colour).  Colours only ever split
+/// (each round's signature includes the previous colour), so iteration
+/// stops when the number of classes stops growing.  Shared by the
+/// whole-query and subquery canonicalizers.
+pub(crate) fn refine_colors(mut colors: Vec<u64>, adj: &[Vec<(usize, u64)>]) -> Vec<u64> {
+    let n = colors.len();
+    let mut n_classes = distinct(&colors);
+    for _ in 0..n {
+        let next: Vec<u64> = (0..n)
+            .map(|i| {
+                let mut neigh: Vec<(u64, u64)> =
+                    adj[i].iter().map(|&(j, e)| (e, colors[j])).collect();
+                neigh.sort_unstable();
+                let mut fp = Fingerprint::new().u64(colors[i]);
+                for (e, c) in neigh {
+                    fp = fp.u64(e).u64(c);
+                }
+                fp.finish()
+            })
+            .collect();
+        let next_classes = distinct(&next);
+        if next_classes == n_classes {
+            break;
+        }
+        colors = next;
+        n_classes = next_classes;
+    }
+    colors
 }
 
-fn factorial(k: usize) -> u128 {
-    (1..=k as u128).product()
+/// Colour classes ordered by colour value, members ascending by original
+/// index (so the identity-leaning candidate is enumerated first).
+pub(crate) fn color_classes(colors: &[u64]) -> Vec<Vec<usize>> {
+    let mut members: Vec<usize> = (0..colors.len()).collect();
+    members.sort_by_key(|&i| (colors[i], i));
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for &i in &members {
+        match classes.last_mut() {
+            Some(class) if colors[class[0]] == colors[i] => class.push(i),
+            _ => classes.push(vec![i]),
+        }
+    }
+    classes
+}
+
+/// Starting canonical index of each class (classes are laid out
+/// contiguously in class order).
+pub(crate) fn class_bases(classes: &[Vec<usize>]) -> Vec<usize> {
+    classes
+        .iter()
+        .scan(0usize, |acc, c| {
+            let base = *acc;
+            *acc += c.len();
+            Some(base)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -540,6 +603,45 @@ mod tests {
             required_order: None,
         };
         assert!(canonical_form(&cat, &q).is_none());
+    }
+
+    #[test]
+    fn globally_distinguished_twins_are_still_uncacheable() {
+        // Hub H with twin spokes S1/S2 (equal stats, equal selectivities)
+        // plus X joined only to S1.  The *whole body* has no automorphism
+        // (X breaks the symmetry), but the induced subgraph {H, S1, S2}
+        // does — and the DP's node for that subset breaks the twin tie by
+        // arrival order, so a renamed request could legitimately get the
+        // other twin first.  The pairwise twin-swap witness must refuse
+        // the query even though the body-level check cannot see it.
+        let mut cat = Catalog::new();
+        let hub = cat.add_table(
+            "hub",
+            TableStats::new(50_000, 2_500_000, vec![ColumnStats::plain("a", 100)]),
+        );
+        let spoke = || TableStats::new(1000, 50_000, vec![ColumnStats::plain("a", 100)]);
+        let s1 = cat.add_table("s1", spoke());
+        let s2 = cat.add_table("s2", spoke());
+        let x = cat.add_table(
+            "x",
+            TableStats::new(7000, 300_000, vec![ColumnStats::plain("a", 100)]),
+        );
+        let mut q = Query {
+            tables: [hub, s1, s2, x].into_iter().map(QueryTable::bare).collect(),
+            joins: vec![
+                JoinPredicate::exact(ColumnRef::new(0, 0), ColumnRef::new(1, 0), 1e-5),
+                JoinPredicate::exact(ColumnRef::new(0, 0), ColumnRef::new(2, 0), 1e-5),
+                JoinPredicate::exact(ColumnRef::new(1, 0), ColumnRef::new(3, 0), 1e-4),
+            ],
+            required_order: None,
+        };
+        assert!(
+            canonical_form(&cat, &q).is_none(),
+            "a subgraph-level twin symmetry must refuse the whole query"
+        );
+        // Distinct spoke selectivities break the sub-symmetry too.
+        q.joins[1].selectivity = lec_prob::Distribution::point(3e-5);
+        assert!(canonical_form(&cat, &q).is_some());
     }
 
     #[test]

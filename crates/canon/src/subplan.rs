@@ -1,0 +1,565 @@
+//! Connected-subquery fingerprints: the canonical forms keying the DP
+//! engine's per-node subplan memo.
+//!
+//! One DP node stands for the induced subquery of a table subset `S`: the
+//! tables of `S` (statistics, filters), the join predicates with both
+//! endpoints in `S` (in their original vector order and orientation —
+//! selectivity products fold in that order), and the plan-shape recursion
+//! below them.  Everything the node's candidate set depends on is a
+//! function of that induced subquery *plus one whole-query ingredient*:
+//! the column-equivalence relation.  Joins **outside** `S` can equate two
+//! of `S`'s columns ("sorted on A.x" and "sorted on C.y" become the same
+//! physical property through an external `B`), which changes
+//! interesting-order domination inside the node — so a subplan
+//! fingerprint additionally encodes the restriction of the whole query's
+//! equivalence classes to the subquery's order-relevant columns (filter
+//! columns and internal join endpoints).
+//!
+//! Eligibility is stricter than whole-query caching: a subset is refused
+//! outright when two member tables share an exact occurrence
+//! fingerprint.  Whole-body automorphism detection is not enough here —
+//! a node's candidates inherit the tie-breaks of every dag node beneath
+//! it, and twins that some third member distinguishes at this level can
+//! still be perfectly symmetric inside a smaller subset, where the
+//! engine's `plan_shape_cmp` falls back to label-dependent first-wins.
+//! Pairwise-distinct fingerprints close the induction (every candidate's
+//! leaves are unique, so shape-equal plans are identical plans at every
+//! level) and collapse canonicalization to sorting members by
+//! fingerprint.  Disconnected subsets are refused too: the DP never
+//! populates them.
+
+use crate::{invert, MAX_CANON_TABLES};
+use lec_catalog::Catalog;
+use lec_plan::{ColumnEquivalences, ColumnRef, Query, TableSet};
+
+/// The canonical form of one connected subquery: the memo key plus the
+/// label maps needed to carry memoized entries between queries.
+#[derive(Debug, Clone)]
+pub struct SubplanForm {
+    /// Canonical exact encoding of the induced subquery, including the
+    /// restricted order-class partition.  Two equal keys are the same
+    /// DP-node computation up to table renaming.
+    pub key: Vec<u64>,
+    /// Member tables of the subset, ascending query-local indices.
+    members: Vec<usize>,
+    /// `perm[local] = canonical` over member positions.
+    perm: Vec<usize>,
+    /// `inv[canonical] = local`.
+    inv: Vec<usize>,
+    /// Per order class (in canonical first-occurrence order): the current
+    /// query's whole-query canonical representative — what a fresh
+    /// combine in *this* query would store in an entry's order field.
+    class_reps: Vec<ColumnRef>,
+}
+
+impl SubplanForm {
+    /// Number of tables in the subquery.
+    pub fn n_tables(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Map `canonical index → current query-local table index`, for
+    /// relabeling a memoized plan into this query's numbering.
+    pub fn to_global(&self) -> Vec<usize> {
+        self.inv.iter().map(|&l| self.members[l]).collect()
+    }
+
+    /// Map `current query-local table index → canonical index`, sized for
+    /// the whole query (non-member slots are unused), for relabeling this
+    /// query's entries into canonical space before storing them.
+    pub fn to_canonical(&self, n_query: usize) -> Vec<usize> {
+        let mut map = vec![0usize; n_query];
+        for (l, &g) in self.members.iter().enumerate() {
+            map[g] = self.perm[l];
+        }
+        map
+    }
+
+    /// Relabel a canonical-space [`TableSet`] bitmask into this query's
+    /// table numbering.
+    pub fn global_bits(&self, canonical_bits: u64) -> u64 {
+        let mut out = 0u64;
+        let mut bits = canonical_bits;
+        while bits != 0 {
+            let c = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            out |= 1u64 << self.members[self.inv[c]];
+        }
+        out
+    }
+
+    /// Relabel one of this query's [`TableSet`] bitmasks (a subset of the
+    /// members) into canonical space.
+    pub fn canonical_bits(&self, global_bits: u64) -> u64 {
+        let mut out = 0u64;
+        let mut bits = global_bits;
+        while bits != 0 {
+            let g = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let l = self
+                .members
+                .binary_search(&g)
+                .expect("bitmask must only contain subquery members");
+            out |= 1u64 << self.perm[l];
+        }
+        out
+    }
+
+    /// The order-class id of a whole-query canonical column representative
+    /// (as stored in an entry's `Sorted(..)` field), or `None` when the
+    /// representative's class holds no order-relevant column of this
+    /// subquery — which a correct combine can never produce.
+    pub fn order_class(&self, rep: ColumnRef) -> Option<u32> {
+        self.class_reps
+            .iter()
+            .position(|r| *r == rep)
+            .map(|i| i as u32)
+    }
+
+    /// The current query's canonical representative of an order class id.
+    pub fn class_rep(&self, id: u32) -> Option<ColumnRef> {
+        self.class_reps.get(id as usize).copied()
+    }
+}
+
+/// Per-query precomputation for subquery fingerprinting: exact table
+/// attributes, exact join labels, adjacency, and the whole-query column
+/// equivalences.  Build one per search, then call
+/// [`QueryCanonizer::subquery`] per DP node.
+#[derive(Debug)]
+pub struct QueryCanonizer<'q> {
+    query: &'q Query,
+    exact_attr: Vec<u64>,
+    join_exact: Vec<u64>,
+    adj_bits: Vec<u64>,
+    eq: ColumnEquivalences,
+}
+
+impl<'q> QueryCanonizer<'q> {
+    /// Precompute the per-table and per-join labels of `query`.
+    pub fn new(catalog: &Catalog, query: &'q Query) -> Self {
+        let n = query.n_tables();
+        let exact_attr = (0..n)
+            .map(|i| lec_cost::table_occurrence_fingerprint(catalog, query, i))
+            .collect();
+        let join_exact = query
+            .joins
+            .iter()
+            .map(|j| lec_cost::dist_fingerprint(&j.selectivity))
+            .collect();
+        let mut adj_bits = vec![0u64; n];
+        for j in &query.joins {
+            adj_bits[j.left.table] |= 1u64 << j.right.table;
+            adj_bits[j.right.table] |= 1u64 << j.left.table;
+        }
+        QueryCanonizer {
+            query,
+            exact_attr,
+            join_exact,
+            adj_bits,
+            eq: ColumnEquivalences::for_query(query),
+        }
+    }
+
+    /// The whole-query column equivalences this canonizer restricts.
+    pub fn equivalences(&self) -> &ColumnEquivalences {
+        &self.eq
+    }
+
+    /// Canonicalize the induced subquery of `set`, or `None` when the
+    /// subset is not memo-eligible: singletons and oversize subsets,
+    /// disconnected subsets (the DP never populates them), or a subset
+    /// containing two tables with equal exact occurrence fingerprints.
+    ///
+    /// The twin refusal is deliberately stronger than a whole-body
+    /// automorphism check.  A memoized node's candidates depend on the
+    /// tie-breaks of *every* dag node beneath it, and a twin pair that
+    /// some third member distinguishes at this level can still be
+    /// perfectly symmetric inside a smaller subset — where
+    /// `plan_shape_cmp` sees equal fingerprints and falls back to
+    /// label-dependent first-wins.  Pairwise-distinct fingerprints close
+    /// that inductively: every candidate's leaves are then unique, two
+    /// shape-equal plans are the *same* plan, and no tie-break anywhere
+    /// below can observe labels.  (As a bonus, the canonical permutation
+    /// degenerates to sorting members by fingerprint — no colour
+    /// refinement or permutation search is needed at all.)
+    pub fn subquery(&self, set: TableSet) -> Option<SubplanForm> {
+        let k = set.len();
+        if !(2..=MAX_CANON_TABLES).contains(&k) {
+            return None;
+        }
+        let bits = set.bits();
+        // Connectivity: grow the lowest member's component to a fixpoint.
+        let mut comp = bits & bits.wrapping_neg();
+        loop {
+            let mut grown = comp;
+            let mut rest = comp;
+            while rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                grown |= self.adj_bits[i] & bits;
+            }
+            if grown == comp {
+                break;
+            }
+            comp = grown;
+        }
+        if comp != bits {
+            return None;
+        }
+
+        let members: Vec<usize> = set.iter().collect();
+        let mut local = vec![usize::MAX; self.query.n_tables()];
+        for (l, &g) in members.iter().enumerate() {
+            local[g] = l;
+        }
+        // Internal joins in original vector order: (join idx, local left,
+        // local right).
+        let joins: Vec<(usize, usize, usize)> = self
+            .query
+            .joins
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| set.contains(j.left.table) && set.contains(j.right.table))
+            .map(|(i, j)| (i, local[j.left.table], local[j.right.table]))
+            .collect();
+
+        // Canonical permutation by fingerprint rank; a duplicate refuses
+        // the subset (see the method docs for why twins anywhere in the
+        // subset — symmetric or not — are off limits).
+        let seed: Vec<u64> = members.iter().map(|&g| self.exact_attr[g]).collect();
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_unstable_by_key(|&l| seed[l]);
+        if order.windows(2).any(|w| seed[w[0]] == seed[w[1]]) {
+            return None;
+        }
+        let mut perm = vec![0usize; k];
+        for (rank, &l) in order.iter().enumerate() {
+            perm[l] = rank;
+        }
+
+        let key = self.sub_encoding(&seed, &joins, &perm);
+        Some(self.finish_form(key, members, perm, &joins))
+    }
+
+    /// Exact body encoding of the induced subquery under `perm` (local →
+    /// canonical): table fingerprints in canonical order, then the
+    /// internal joins in their original vector order and orientation (the
+    /// computation's identity — selectivity products fold in that order).
+    fn sub_encoding(
+        &self,
+        seed: &[u64],
+        joins: &[(usize, usize, usize)],
+        perm: &[usize],
+    ) -> Vec<u64> {
+        let k = seed.len();
+        let inv = invert(perm);
+        let mut out = Vec::with_capacity(1 + k + joins.len() * 5);
+        out.push(k as u64);
+        for canon in 0..k {
+            out.push(seed[inv[canon]]);
+        }
+        for &(ji, la, lb) in joins {
+            let j = &self.query.joins[ji];
+            out.extend_from_slice(&[
+                perm[la] as u64,
+                j.left.column as u64,
+                perm[lb] as u64,
+                j.right.column as u64,
+                self.join_exact[ji],
+            ]);
+        }
+        out
+    }
+
+    /// Append the restricted order-class partition to the key and build
+    /// the final [`SubplanForm`].
+    ///
+    /// Order-relevant columns are the filter columns of member tables and
+    /// the endpoints of internal joins — the only columns a node's
+    /// entries can be `Sorted` on.  Their partition under the *whole
+    /// query's* equivalence relation is encoded canonically (class ids by
+    /// first occurrence over the canonically-ordered column list), so two
+    /// subqueries only share a key when external joins equate the same
+    /// column pairs.
+    fn finish_form(
+        &self,
+        mut key: Vec<u64>,
+        members: Vec<usize>,
+        perm: Vec<usize>,
+        joins: &[(usize, usize, usize)],
+    ) -> SubplanForm {
+        let mut cols: Vec<(usize, usize, ColumnRef)> = Vec::new();
+        for (l, &g) in members.iter().enumerate() {
+            if let Some(f) = &self.query.tables[g].filter {
+                cols.push((perm[l], f.column, ColumnRef::new(g, f.column)));
+            }
+        }
+        for &(ji, la, lb) in joins {
+            let j = &self.query.joins[ji];
+            cols.push((perm[la], j.left.column, j.left));
+            cols.push((perm[lb], j.right.column, j.right));
+        }
+        cols.sort_unstable_by_key(|&(ct, c, _)| (ct, c));
+        cols.dedup_by_key(|&mut (ct, c, _)| (ct, c));
+
+        let mut class_reps: Vec<ColumnRef> = Vec::new();
+        key.push(cols.len() as u64);
+        for (ct, c, global) in cols {
+            let rep = self.eq.canonical(global);
+            let id = match class_reps.iter().position(|r| *r == rep) {
+                Some(i) => i,
+                None => {
+                    class_reps.push(rep);
+                    class_reps.len() - 1
+                }
+            };
+            key.extend_from_slice(&[ct as u64, c as u64, id as u64]);
+        }
+        let inv = invert(&perm);
+        SubplanForm {
+            key,
+            members,
+            perm,
+            inv,
+            class_reps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_catalog::{Catalog, ColumnStats, TableStats};
+    use lec_plan::{JoinPredicate, QueryTable};
+
+    fn chain(n: usize) -> (Catalog, Query) {
+        let mut cat = Catalog::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                cat.add_table(
+                    format!("T{i}"),
+                    TableStats::new(
+                        1000 * (i as u64 + 1),
+                        50_000 * (i as u64 + 1),
+                        vec![ColumnStats::plain("a", 100), ColumnStats::plain("b", 100)],
+                    ),
+                )
+            })
+            .collect();
+        let q = Query {
+            tables: ids.into_iter().map(QueryTable::bare).collect(),
+            joins: (0..n - 1)
+                .map(|i| JoinPredicate::exact(ColumnRef::new(i, 1), ColumnRef::new(i + 1, 0), 1e-5))
+                .collect(),
+            required_order: None,
+        };
+        (cat, q)
+    }
+
+    #[test]
+    fn singletons_and_disconnected_subsets_are_refused() {
+        let (cat, q) = chain(4);
+        let canon = QueryCanonizer::new(&cat, &q);
+        assert!(canon.subquery(TableSet::singleton(1)).is_none());
+        assert!(
+            canon.subquery(TableSet::from_indices([0, 2])).is_none(),
+            "0 and 2 are not adjacent in the chain"
+        );
+        assert!(canon.subquery(TableSet::from_indices([0, 1, 2])).is_some());
+    }
+
+    #[test]
+    fn renamed_subqueries_share_their_key_and_compose_maps() {
+        let (cat, q) = chain(5);
+        let canon = QueryCanonizer::new(&cat, &q);
+        let base = canon.subquery(TableSet::from_indices([1, 2, 3])).unwrap();
+
+        let map = [4usize, 2, 0, 3, 1];
+        let renamed = q.relabel_tables(&map);
+        let rcanon = QueryCanonizer::new(&cat, &renamed);
+        let other = rcanon
+            .subquery(TableSet::from_indices([map[1], map[2], map[3]]))
+            .unwrap();
+        assert_eq!(base.key, other.key, "isomorphic subqueries must collide");
+        // Corresponding tables land on the same canonical index: original
+        // table g sits at canonical position to_canonical(g); in the
+        // renamed query that table is map[g].
+        let b_map = base.to_canonical(5);
+        let o_map = other.to_canonical(5);
+        for g in [1usize, 2, 3] {
+            assert_eq!(b_map[g], o_map[map[g]]);
+        }
+        // Round trip: canonical → global → canonical is the identity.
+        let to_global = base.to_global();
+        for c in 0..3 {
+            assert_eq!(b_map[to_global[c]], c);
+        }
+    }
+
+    #[test]
+    fn different_stats_or_selectivities_change_the_key() {
+        let (cat, q) = chain(5);
+        let canon = QueryCanonizer::new(&cat, &q);
+        let a = canon.subquery(TableSet::from_indices([0, 1, 2])).unwrap();
+        let b = canon.subquery(TableSet::from_indices([1, 2, 3])).unwrap();
+        assert_ne!(a.key, b.key, "different table sizes fingerprint apart");
+
+        let mut drift = q.clone();
+        drift.joins[1].selectivity = lec_prob::Distribution::point(2e-5);
+        let dcanon = QueryCanonizer::new(&cat, &drift);
+        let d = dcanon.subquery(TableSet::from_indices([1, 2, 3])).unwrap();
+        assert_ne!(
+            b.key, d.key,
+            "a drifted internal selectivity is a different computation"
+        );
+    }
+
+    #[test]
+    fn external_equivalences_split_the_key() {
+        // Two queries with identical induced subqueries on {0,1}, where
+        // one adds an external join path equating 0.a with 1.b: the
+        // restricted order-class partition differs, so the keys must too.
+        let mut cat = Catalog::new();
+        let ids: Vec<_> = (0..3)
+            .map(|i| {
+                cat.add_table(
+                    format!("E{i}"),
+                    TableStats::new(
+                        1000 * (i as u64 + 1),
+                        50_000,
+                        vec![ColumnStats::plain("a", 100), ColumnStats::plain("b", 100)],
+                    ),
+                )
+            })
+            .collect();
+        let tables: Vec<QueryTable> = ids.iter().map(|&t| QueryTable::bare(t)).collect();
+        // Two internal joins on {0,1}, so the subquery has two order
+        // classes: {0.a, 1.a} and {0.b, 1.b}.
+        let internal = vec![
+            JoinPredicate::exact(ColumnRef::new(0, 0), ColumnRef::new(1, 0), 1e-5),
+            JoinPredicate::exact(ColumnRef::new(0, 1), ColumnRef::new(1, 1), 2e-5),
+        ];
+        let q1 = Query {
+            tables: tables.clone(),
+            joins: [
+                internal.clone(),
+                vec![JoinPredicate::exact(
+                    ColumnRef::new(1, 1),
+                    ColumnRef::new(2, 0),
+                    1e-4,
+                )],
+            ]
+            .concat(),
+            required_order: None,
+        };
+        let q2 = Query {
+            tables,
+            joins: [
+                internal,
+                // External path through table 2 merging the two internal
+                // classes: 1.b = 2.a and 2.a = 0.a.
+                vec![
+                    JoinPredicate::exact(ColumnRef::new(1, 1), ColumnRef::new(2, 0), 1e-4),
+                    JoinPredicate::exact(ColumnRef::new(2, 0), ColumnRef::new(0, 0), 1e-4),
+                ],
+            ]
+            .concat(),
+            required_order: None,
+        };
+        let set = TableSet::from_indices([0, 1]);
+        let f1 = QueryCanonizer::new(&cat, &q1).subquery(set).unwrap();
+        let f2 = QueryCanonizer::new(&cat, &q2).subquery(set).unwrap();
+        assert_ne!(
+            f1.key, f2.key,
+            "an external join that merges order classes must split the key"
+        );
+    }
+
+    #[test]
+    fn twins_distinguished_only_outside_a_sub_subset_are_refused() {
+        // Hub H, twin spokes S1/S2 (equal stats, equal selectivities),
+        // and X joined only to S1.  The root set {H,S1,S2,X} is not
+        // automorphic as a body (X pins S1), but its child {H,S1,S2} is —
+        // and a memoized root would carry that child's label-dependent
+        // tie-break across queries.  The twin refusal must therefore
+        // reject *any* subset containing both spokes.
+        let mut cat = Catalog::new();
+        let hub = cat.add_table(
+            "hub",
+            TableStats::new(50_000, 2_500_000, vec![ColumnStats::plain("a", 100)]),
+        );
+        let spoke = || TableStats::new(1000, 50_000, vec![ColumnStats::plain("a", 100)]);
+        let s1 = cat.add_table("s1", spoke());
+        let s2 = cat.add_table("s2", spoke());
+        let x = cat.add_table(
+            "x",
+            TableStats::new(7000, 300_000, vec![ColumnStats::plain("a", 100)]),
+        );
+        let q = Query {
+            tables: [hub, s1, s2, x].into_iter().map(QueryTable::bare).collect(),
+            joins: vec![
+                JoinPredicate::exact(ColumnRef::new(0, 0), ColumnRef::new(1, 0), 1e-5),
+                JoinPredicate::exact(ColumnRef::new(0, 0), ColumnRef::new(2, 0), 1e-5),
+                JoinPredicate::exact(ColumnRef::new(1, 0), ColumnRef::new(3, 0), 1e-4),
+            ],
+            required_order: None,
+        };
+        let canon = QueryCanonizer::new(&cat, &q);
+        assert!(
+            canon
+                .subquery(TableSet::from_indices([0, 1, 2, 3]))
+                .is_none(),
+            "the root contains the twin pair and must be refused"
+        );
+        assert!(canon.subquery(TableSet::from_indices([0, 1, 2])).is_none());
+        // Twin-free subsets stay eligible.
+        assert!(canon.subquery(TableSet::from_indices([0, 1, 3])).is_some());
+        assert!(canon.subquery(TableSet::from_indices([0, 2])).is_some());
+    }
+
+    #[test]
+    fn twin_tables_inside_a_subset_are_refused() {
+        let mut cat = Catalog::new();
+        let hub = cat.add_table(
+            "hub",
+            TableStats::new(50_000, 2_500_000, vec![ColumnStats::plain("a", 100)]),
+        );
+        let spoke = || TableStats::new(1000, 50_000, vec![ColumnStats::plain("a", 100)]);
+        let s1 = cat.add_table("s1", spoke());
+        let s2 = cat.add_table("s2", spoke());
+        let q = Query {
+            tables: vec![
+                QueryTable::bare(hub),
+                QueryTable::bare(s1),
+                QueryTable::bare(s2),
+            ],
+            joins: vec![
+                JoinPredicate::exact(ColumnRef::new(0, 0), ColumnRef::new(1, 0), 1e-5),
+                JoinPredicate::exact(ColumnRef::new(0, 0), ColumnRef::new(2, 0), 1e-5),
+            ],
+            required_order: None,
+        };
+        let canon = QueryCanonizer::new(&cat, &q);
+        assert!(
+            canon.subquery(TableSet::from_indices([0, 1, 2])).is_none(),
+            "twin spokes inside the subset are label-ambiguous"
+        );
+        // The twin-free sub-pairs stay eligible.
+        assert!(canon.subquery(TableSet::from_indices([0, 1])).is_some());
+        assert!(canon.subquery(TableSet::from_indices([0, 2])).is_some());
+    }
+
+    #[test]
+    fn bit_relabeling_round_trips() {
+        let (cat, q) = chain(6);
+        let canon = QueryCanonizer::new(&cat, &q);
+        let set = TableSet::from_indices([2, 3, 4]);
+        let form = canon.subquery(set).unwrap();
+        let whole = form.canonical_bits(set.bits());
+        assert_eq!(whole.count_ones() as usize, 3);
+        assert_eq!(form.global_bits(whole), set.bits());
+        let part = TableSet::from_indices([2, 4]).bits();
+        assert_eq!(form.global_bits(form.canonical_bits(part)), part);
+    }
+}

@@ -1,0 +1,212 @@
+//! Subquery-fingerprint properties: the keys behind the DP engine's
+//! subplan memo must be invariant under table renaming (isomorphic
+//! subqueries collide) and must *never* collide across genuinely
+//! different computations (distinct statistics, filters, selectivity
+//! distributions, or externally-merged order classes).
+
+use lec_canon::QueryCanonizer;
+use lec_plan::{Query, QueryProfile, TableSet, Topology, WorkloadGenerator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn workload(seed: u64, n: usize, topology: Topology) -> (lec_catalog::Catalog, Query) {
+    let mut g = lec_catalog::CatalogGenerator::new(seed);
+    let cat = g.generate(n + 2);
+    let ids = g.pick_tables(&cat, n);
+    let mut wg = WorkloadGenerator::new(seed ^ 0xD0D0);
+    let q = wg.gen_query(
+        &cat,
+        &ids,
+        &QueryProfile {
+            topology,
+            ..Default::default()
+        },
+    );
+    (cat, q)
+}
+
+fn random_perm(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Every connected subset of 2..n tables, by brute force over the join
+/// graph.
+fn connected_subsets(q: &Query) -> Vec<TableSet> {
+    let n = q.n_tables();
+    let mut adj = vec![0u64; n];
+    for j in &q.joins {
+        adj[j.left.table] |= 1 << j.right.table;
+        adj[j.right.table] |= 1 << j.left.table;
+    }
+    let mut out = Vec::new();
+    for bits in 1u64..(1u64 << n) {
+        if bits.count_ones() < 2 {
+            continue;
+        }
+        let mut comp = bits & bits.wrapping_neg();
+        loop {
+            let mut grown = comp;
+            let mut rest = comp;
+            while rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                grown |= adj[i] & bits;
+            }
+            if grown == comp {
+                break;
+            }
+            comp = grown;
+        }
+        if comp == bits {
+            out.push(TableSet::from_bits(bits));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Renaming a query's tables maps every eligible subquery fingerprint
+    /// onto itself: the keys collide and the canonical maps compose.
+    #[test]
+    fn subquery_keys_are_renaming_invariant(
+        seed in 0u64..5000,
+        n in 3usize..7,
+        topo in 0usize..3,
+    ) {
+        let topology = [Topology::Chain, Topology::Star, Topology::Random][topo];
+        let (cat, q) = workload(seed, n, topology);
+        let canon = QueryCanonizer::new(&cat, &q);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let map = random_perm(&mut rng, n);
+        let renamed = q.relabel_tables(&map);
+        let rcanon = QueryCanonizer::new(&cat, &renamed);
+
+        for set in connected_subsets(&q) {
+            let mapped = TableSet::from_indices(set.iter().map(|i| map[i]));
+            match (canon.subquery(set), rcanon.subquery(mapped)) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(&a.key, &b.key,
+                        "renamed subquery must share its key (set {:?})", set);
+                    // Corresponding tables land on the same canonical slot.
+                    let am = a.to_canonical(n);
+                    let bm = b.to_canonical(n);
+                    for g in set.iter() {
+                        prop_assert_eq!(am[g], bm[map[g]]);
+                    }
+                }
+                (None, None) => {} // eligibility is label-free too
+                (a, b) => prop_assert!(
+                    false,
+                    "eligibility must be renaming-invariant (set {:?}: {} vs {})",
+                    set, a.is_some(), b.is_some()
+                ),
+            }
+        }
+    }
+
+    /// Perturbing anything the cost model can observe — a join
+    /// selectivity, a filter, a table's statistics — changes every
+    /// fingerprint whose subquery contains the perturbation, and leaves
+    /// the untouched subqueries' keys alone.
+    #[test]
+    fn perturbations_never_collide(
+        seed in 0u64..5000,
+        n in 3usize..7,
+        join_idx in 0usize..8,
+        factor in 1.5f64..5.0,
+    ) {
+        let (cat, q) = workload(seed, n, Topology::Chain);
+        let canon = QueryCanonizer::new(&cat, &q);
+        let ji = join_idx % q.joins.len();
+        let mut drifted = q.clone();
+        let base_sel = drifted.joins[ji].selectivity.mean();
+        drifted.joins[ji].selectivity = lec_prob::Distribution::point(base_sel * factor);
+        let dcanon = QueryCanonizer::new(&cat, &drifted);
+        let (a, b) = (drifted.joins[ji].left.table, drifted.joins[ji].right.table);
+
+        for set in connected_subsets(&q) {
+            let (Some(orig), Some(drift)) = (canon.subquery(set), dcanon.subquery(set)) else {
+                continue;
+            };
+            if set.contains(a) && set.contains(b) {
+                prop_assert_ne!(&orig.key, &drift.key,
+                    "a drifted internal selectivity must split the key (set {:?})", set);
+            } else {
+                prop_assert_eq!(&orig.key, &drift.key,
+                    "an external drift must not disturb the key (set {:?})", set);
+            }
+        }
+    }
+}
+
+#[test]
+fn filter_and_stats_perturbations_split_keys() {
+    use lec_catalog::{Catalog, ColumnStats, TableStats};
+    use lec_plan::{ColumnRef, JoinPredicate, QueryTable};
+
+    let build = |pages0: u64, filtered: bool| -> (Catalog, Query) {
+        let mut cat = Catalog::new();
+        let t0 = cat.add_table(
+            "A",
+            TableStats::new(
+                pages0,
+                50_000,
+                vec![ColumnStats::plain("a", 64), ColumnStats::plain("b", 64)],
+            ),
+        );
+        let t1 = cat.add_table(
+            "B",
+            TableStats::new(
+                2000,
+                90_000,
+                vec![ColumnStats::plain("a", 64), ColumnStats::plain("b", 64)],
+            ),
+        );
+        let tables = vec![
+            if filtered {
+                QueryTable::filtered(t0, 1, lec_prob::Distribution::point(0.2))
+            } else {
+                QueryTable::bare(t0)
+            },
+            QueryTable::bare(t1),
+        ];
+        let q = Query {
+            tables,
+            joins: vec![JoinPredicate::exact(
+                ColumnRef::new(0, 0),
+                ColumnRef::new(1, 0),
+                1e-4,
+            )],
+            required_order: None,
+        };
+        (cat, q)
+    };
+
+    let pair = TableSet::from_indices([0, 1]);
+    let (cat_a, q_a) = build(1000, false);
+    let (cat_b, q_b) = build(1024, false);
+    let (cat_c, q_c) = build(1000, true);
+    let key_a = QueryCanonizer::new(&cat_a, &q_a)
+        .subquery(pair)
+        .unwrap()
+        .key;
+    let key_b = QueryCanonizer::new(&cat_b, &q_b)
+        .subquery(pair)
+        .unwrap()
+        .key;
+    let key_c = QueryCanonizer::new(&cat_c, &q_c)
+        .subquery(pair)
+        .unwrap()
+        .key;
+    assert_ne!(key_a, key_b, "different page counts must split the key");
+    assert_ne!(key_a, key_c, "a local filter must split the key");
+    assert_ne!(key_b, key_c);
+}

@@ -134,6 +134,6 @@ pub use optimizer::{Mode, Optimized, Optimizer};
 pub use parametric::{coverage_family, CachedPlan, PlanCache, StartupChoice};
 pub use randomized::{iterative_improvement, simulated_annealing, RandomizedConfig};
 pub use search::{
-    run_search, run_search_with, CandidatePolicy, FrontierStats, PlanShape, SearchConfig,
-    SearchExtras, SearchOutcome, SearchStats,
+    run_search, run_search_with, CandidatePolicy, FrontierStats, MemoStats, PlanShape,
+    SearchConfig, SearchExtras, SearchOutcome, SearchStats, SubplanMemo,
 };

@@ -193,6 +193,23 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Consult (and populate) a shared cross-search [`SubplanMemo`] in
+    /// every subsequent DP search: nodes whose canonical connected-subquery
+    /// shape was combined before — in any search sharing the memo — are
+    /// served by relabeling instead of re-running their combine/cost loop.
+    /// Results stay byte-identical with or without the memo; only
+    /// [`SearchStats::memo_hits`]/[`SearchStats::memo_misses`] tell them
+    /// apart.  Top-c (Algorithm B), keep-all and the randomized modes
+    /// bypass it, mirroring the serving cache's uncacheable rules.
+    ///
+    /// [`SubplanMemo`]: crate::search::SubplanMemo
+    /// [`SearchStats::memo_hits`]: crate::SearchStats
+    /// [`SearchStats::memo_misses`]: crate::SearchStats
+    pub fn with_subplan_memo(mut self, memo: std::sync::Arc<crate::search::SubplanMemo>) -> Self {
+        self.search = self.search.with_memo(memo);
+        self
+    }
+
     /// The parallel-search configuration in force.
     pub fn search_config(&self) -> &SearchConfig {
         &self.search

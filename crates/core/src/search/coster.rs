@@ -27,6 +27,14 @@ pub trait PhaseCoster {
 
     /// Cost of sorting `pages` pages of `set`'s result at `phase`.
     fn sort_cost(&self, model: &CostModel<'_>, set: TableSet, phase: usize, pages: f64) -> f64;
+
+    /// Fingerprint of every parameter that shapes this coster's answers
+    /// (memory values, distribution fingerprints, per-phase evolutions),
+    /// for the subplan memo's environment key; `None` declares the coster
+    /// memo-ineligible (the default — costers opt in).
+    fn memo_fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Classical point-parameter costing (the LSC baseline): memory is assumed
@@ -51,6 +59,15 @@ impl PhaseCoster for PointCoster {
 
     fn sort_cost(&self, model: &CostModel<'_>, set: TableSet, _phase: usize, pages: f64) -> f64 {
         model.sort_cost_for(set, pages, self.memory)
+    }
+
+    fn memo_fingerprint(&self) -> Option<u64> {
+        Some(
+            lec_cost::Fingerprint::new()
+                .u64(1)
+                .f64(self.memory)
+                .finish(),
+        )
     }
 }
 
@@ -114,6 +131,15 @@ impl PhaseCoster for StaticExpectationCoster {
 
     fn sort_cost(&self, model: &CostModel<'_>, set: TableSet, _phase: usize, pages: f64) -> f64 {
         model.expected_sort_cost_over_with(set, pages, &self.memory, self.mem_fp, self.par)
+    }
+
+    fn memo_fingerprint(&self) -> Option<u64> {
+        Some(
+            lec_cost::Fingerprint::new()
+                .u64(2)
+                .u64(self.mem_fp)
+                .finish(),
+        )
     }
 }
 
@@ -179,5 +205,20 @@ impl PhaseCoster for DynamicExpectationCoster {
     fn sort_cost(&self, model: &CostModel<'_>, set: TableSet, phase: usize, pages: f64) -> f64 {
         let (dist, fp) = self.dist(phase);
         model.expected_sort_cost_over_with(set, pages, dist, *fp, self.par)
+    }
+
+    /// A node of `k` tables costs its joins at phase `k - 2`, so equal
+    /// subqueries meet equal phase distributions whenever the evolved
+    /// sequences agree; fingerprinting the whole sequence (length
+    /// included) is conservative — dynamic searches over different query
+    /// sizes never share memo entries — but always sound.
+    fn memo_fingerprint(&self) -> Option<u64> {
+        let mut fp = lec_cost::Fingerprint::new()
+            .u64(3)
+            .u64(self.dists.len() as u64);
+        for (_, dist_fp) in &self.dists {
+            fp = fp.u64(*dist_fp);
+        }
+        Some(fp.finish())
     }
 }

@@ -12,10 +12,12 @@
 //! once — so plans, costs, tie-breaks, and all counters are byte-identical
 //! to a serial run.
 
+use super::memo::{MemoRecord, SubplanMemo};
 use super::policy::{CandidatePolicy, JoinContext, RootContext, SearchEntry};
 use super::pool::{ScopedSpawnPool, WorkerPool};
 use super::SearchStats;
 use crate::error::OptError;
+use lec_canon::QueryCanonizer;
 use lec_cost::CostModel;
 use lec_plan::{Query, TableSet};
 use std::collections::HashMap;
@@ -158,6 +160,15 @@ pub struct SearchConfig {
     /// pool choice never affects results — outcomes are byte-identical
     /// either way.
     pub pool: Option<Arc<dyn WorkerPool>>,
+    /// Optional cross-search subplan memo ([`SubplanMemo`]): DP nodes
+    /// whose canonical connected-subquery shape was combined before — in
+    /// this search or any earlier search sharing the memo — are served by
+    /// relabeling the memoized candidates instead of re-running their
+    /// combine/cost loop.  Like the pool, the memo never affects results:
+    /// memo-on searches are byte-identical (plans, cost bits, `evals`,
+    /// `cache_hits`, `candidates`, `nodes`) to memo-off ones; only
+    /// [`SearchStats::memo_hits`]/[`SearchStats::memo_misses`] differ.
+    pub memo: Option<Arc<SubplanMemo>>,
 }
 
 impl Default for SearchConfig {
@@ -167,6 +178,7 @@ impl Default for SearchConfig {
             fanout_threshold: DEFAULT_FANOUT_THRESHOLD,
             bucket_evals_threshold: lec_cost::DEFAULT_MIN_PARALLEL_EVALS,
             pool: None,
+            memo: None,
         }
     }
 }
@@ -184,6 +196,11 @@ impl PartialEq for SearchConfig {
                     // vtables too, which is not what "same pool" means).
                     std::ptr::addr_eq(Arc::as_ptr(a), Arc::as_ptr(b))
                 }
+                _ => false,
+            }
+            && match (&self.memo, &other.memo) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 _ => false,
             }
     }
@@ -221,10 +238,19 @@ impl SearchConfig {
         self
     }
 
+    /// This configuration with a shared cross-search subplan memo
+    /// installed: eligible DP nodes consult (and populate) it instead of
+    /// always re-running their combine loops.  Results stay byte-identical
+    /// with or without it.
+    pub fn with_memo(mut self, memo: Arc<SubplanMemo>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
     /// Stable fingerprint of the outcome-relevant knobs, for cross-query
-    /// plan-cache keys.  The pool is a thread *source*, not a semantic
-    /// knob (results are byte-identical with or without one), so it does
-    /// not participate.
+    /// plan-cache keys.  The pool is a thread *source* and the memo a
+    /// work *cache*, not semantic knobs (results are byte-identical with
+    /// or without either), so neither participates.
     pub fn fingerprint(&self) -> u64 {
         lec_cost::Fingerprint::new()
             .u64(self.threads as u64)
@@ -361,12 +387,156 @@ fn widest_connected_level(query: &Query, n: usize, threshold: usize) -> usize {
     max
 }
 
+/// Per-search subplan-memo state: the shared memo, the query's
+/// canonicalizer, and the environment fingerprint (policy/coster
+/// parameters and plan shape) prefixed onto every node key.
+pub(super) struct MemoSession<'q> {
+    memo: Arc<SubplanMemo>,
+    canon: QueryCanonizer<'q>,
+    env: u64,
+}
+
+/// A memo session for this search, or `None` when the search is
+/// memo-ineligible: no memo configured, a policy that bypasses the memo
+/// (top-c, keep-all), or a disabled evaluation cache (probe replay seeds
+/// the cache, so there must be one).
+fn memo_session<'q, P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    query: &'q Query,
+    shape: PlanShape,
+    policy: &P,
+    config: Option<&SearchConfig>,
+) -> Option<MemoSession<'q>> {
+    let memo = Arc::clone(config?.memo.as_ref()?);
+    if !model.eval_cache_enabled() {
+        return None;
+    }
+    let policy_fp = policy.memo_fingerprint(model)?;
+    let env = lec_cost::Fingerprint::new()
+        .u64(policy_fp)
+        .u64(match shape {
+            PlanShape::LeftDeep => 0,
+            PlanShape::Bushy => 1,
+        })
+        .finish();
+    Some(MemoSession {
+        memo,
+        canon: QueryCanonizer::new(model.catalog(), query),
+        env,
+    })
+}
+
+/// The plain combine loop of one subset: every split's entry pairs under
+/// every method, exactly as both drivers have always run it.
+fn combine_live<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    shape: PlanShape,
+    policy: &mut P,
+    table: &HashMap<TableSet, Vec<P::Entry>>,
+    set: TableSet,
+    stats: &mut SearchStats,
+) -> Vec<P::Entry> {
+    let query = model.query();
+    let mut entries: Vec<P::Entry> = Vec::new();
+    for (left, right) in shape.splits(query, set) {
+        let (Some(outer), Some(inner)) = (table.get(&left), table.get(&right)) else {
+            continue;
+        };
+        let ctx = JoinContext {
+            left,
+            right,
+            result: set,
+            phase: set.len() - 2,
+        };
+        policy.combine(model, &ctx, outer, inner, &mut entries, stats);
+    }
+    entries
+}
+
+/// Combine one subset, consulting the subplan memo when a session is
+/// active.  A memo hit relabels the stored candidates into this query's
+/// numbering and replays the recorded cache probes (keeping `evals` /
+/// `cache_hits` byte-identical to a live combine); a miss combines live
+/// under probe recording and populates the memo.  `stats.nodes` is
+/// counted here for non-empty results.
+fn combine_subset<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    shape: PlanShape,
+    policy: &mut P,
+    table: &HashMap<TableSet, Vec<P::Entry>>,
+    set: TableSet,
+    memo: Option<&MemoSession<'_>>,
+    stats: &mut SearchStats,
+) -> Vec<P::Entry> {
+    if let Some(ms) = memo {
+        if let Some(form) = ms.canon.subquery(set) {
+            let mut key = Vec::with_capacity(1 + form.key.len());
+            key.push(ms.env);
+            key.extend_from_slice(&form.key);
+            let key: Box<[u64]> = key.into_boxed_slice();
+            if let Some(rec) = ms.memo.lookup(&key) {
+                if let Some(entries) = policy.memo_decode(model, &form, &rec) {
+                    model.replay_probes(&rec.probes, |bits| form.global_bits(bits));
+                    stats.candidates += rec.candidates;
+                    stats.memo_hits += 1;
+                    if !entries.is_empty() {
+                        stats.nodes += 1;
+                    }
+                    return entries;
+                }
+            }
+            stats.memo_misses += 1;
+            policy.memo_node_begin();
+            let candidates_before = stats.candidates;
+            let recording = model.begin_probe_log();
+            let entries = combine_live(model, shape, policy, table, set, stats);
+            let mut probes = recording.finish();
+            if !entries.is_empty() {
+                stats.nodes += 1;
+                if let Some(encoded) = policy.memo_encode(model, &form, &entries) {
+                    // Store probes in canonical table-set bits so a hit in
+                    // any query can relabel them back out.
+                    for p in probes.iter_mut() {
+                        p.left = form.canonical_bits(p.left);
+                        p.right = form.canonical_bits(p.right);
+                    }
+                    ms.memo.insert(
+                        key,
+                        MemoRecord {
+                            entries: encoded,
+                            candidates: stats.candidates - candidates_before,
+                            probes,
+                        },
+                    );
+                }
+            }
+            return entries;
+        }
+    }
+    let entries = combine_live(model, shape, policy, table, set, stats);
+    if !entries.is_empty() {
+        stats.nodes += 1;
+    }
+    entries
+}
+
 /// Run the DP under `shape` and `policy` and return the finalized root
 /// candidates, cheapest-available via [`SearchRun::best`].
 pub fn run_search<P: CandidatePolicy>(
     model: &CostModel<'_>,
     shape: PlanShape,
     policy: &mut P,
+) -> Result<SearchRun<P::Entry>, OptError> {
+    run_search_serial(model, shape, policy, None)
+}
+
+/// The serial driver, optionally memo-assisted (the subplan memo rides in
+/// `config`; every other knob is ignored here).
+fn run_search_serial<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    shape: PlanShape,
+    policy: &mut P,
+    config: Option<&SearchConfig>,
 ) -> Result<SearchRun<P::Entry>, OptError> {
     let query: &Query = model.query();
     let n = query.n_tables();
@@ -388,24 +558,21 @@ pub fn run_search<P: CandidatePolicy>(
         }
     }
 
+    let memo_cx = memo_session(model, query, shape, policy, config);
+
     // Depths 2..n.
     for k in 2..=n {
         for set in TableSet::subsets_of_size(n, k) {
-            let mut entries: Vec<P::Entry> = Vec::new();
-            for (left, right) in shape.splits(query, set) {
-                let (Some(outer), Some(inner)) = (table.get(&left), table.get(&right)) else {
-                    continue;
-                };
-                let ctx = JoinContext {
-                    left,
-                    right,
-                    result: set,
-                    phase: k - 2,
-                };
-                policy.combine(model, &ctx, outer, inner, &mut entries, &mut stats);
-            }
+            let entries = combine_subset(
+                model,
+                shape,
+                policy,
+                &table,
+                set,
+                memo_cx.as_ref(),
+                &mut stats,
+            );
             if !entries.is_empty() {
-                stats.nodes += 1;
                 table.insert(set, entries);
             }
         }
@@ -531,6 +698,7 @@ impl Drop for StopGuard<'_> {
 /// `out`.  Identical inner body to the serial driver: one subset is
 /// processed wholly by one thread, in the same split → entry-pair → method
 /// order, so its candidate vector is byte-identical to a serial run.
+#[allow(clippy::too_many_arguments)]
 fn combine_level_sets<P: CandidatePolicy>(
     model: &CostModel<'_>,
     shape: PlanShape,
@@ -538,27 +706,14 @@ fn combine_level_sets<P: CandidatePolicy>(
     table: &HashMap<TableSet, Vec<P::Entry>>,
     sets: &[TableSet],
     next: &AtomicUsize,
+    memo: Option<&MemoSession<'_>>,
     out: &mut LevelOutput<P::Entry>,
 ) {
-    let query = model.query();
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(&set) = sets.get(i) else { break };
-        let mut entries: Vec<P::Entry> = Vec::new();
-        for (left, right) in shape.splits(query, set) {
-            let (Some(outer), Some(inner)) = (table.get(&left), table.get(&right)) else {
-                continue;
-            };
-            let ctx = JoinContext {
-                left,
-                right,
-                result: set,
-                phase: set.len() - 2,
-            };
-            policy.combine(model, &ctx, outer, inner, &mut entries, &mut out.stats);
-        }
+        let entries = combine_subset(model, shape, policy, table, set, memo, &mut out.stats);
         if !entries.is_empty() {
-            out.stats.nodes += 1;
             out.produced.push((set, entries));
         }
     }
@@ -600,7 +755,7 @@ where
         return Err(OptError::EmptyQuery);
     }
     if !config.fans_out(query) {
-        return run_search(model, shape, policy);
+        return run_search_serial(model, shape, policy, Some(config));
     }
     let spawn_pool = ScopedSpawnPool;
     let pool: &dyn WorkerPool = match &config.pool {
@@ -622,6 +777,8 @@ where
             table.insert(TableSet::singleton(idx), entries);
         }
     }
+
+    let memo_cx = memo_session(model, query, shape, &*policy, Some(config));
 
     let n_workers = (threads - 1).min(pool.max_workers());
     let coord = Coordinator {
@@ -671,7 +828,16 @@ where
             let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
             let sets = coord.sets.read().unwrap_or_else(|p| p.into_inner());
             let mut out = LevelOutput::default();
-            combine_level_sets(model, shape, &mut wp, &tbl, &sets, &coord.next, &mut out);
+            combine_level_sets(
+                model,
+                shape,
+                &mut wp,
+                &tbl,
+                &sets,
+                &coord.next,
+                memo_cx.as_ref(),
+                &mut out,
+            );
             *outputs[w].lock().unwrap_or_else(|p| p.into_inner()) = out;
         }
         // A panic above skips this put-back; the empty slot is how the
@@ -705,7 +871,16 @@ where
                     let res = {
                         let tbl = table_lock.read().unwrap_or_else(|p| p.into_inner());
                         catch_unwind(AssertUnwindSafe(|| {
-                            combine_level_sets(model, shape, policy, &tbl, &sets, &cursor, &mut out)
+                            combine_level_sets(
+                                model,
+                                shape,
+                                policy,
+                                &tbl,
+                                &sets,
+                                &cursor,
+                                memo_cx.as_ref(),
+                                &mut out,
+                            )
                         }))
                     };
                     if res.is_err() {
@@ -739,6 +914,7 @@ where
                             &tbl,
                             &sets,
                             &coord.next,
+                            memo_cx.as_ref(),
                             &mut my_out,
                         )
                     }))

@@ -5,11 +5,13 @@
 //! §4 extension.
 
 use super::coster::PhaseCoster;
+use super::memo::{MemoDpEntry, MemoEntries, MemoOrder, MemoRecord};
 use super::policy::{
     access_alternatives, insert_entry_shaped, join_output_order, CandidatePolicy, JoinContext,
     Rankable, RootContext, SearchEntry,
 };
 use super::SearchStats;
+use lec_canon::SubplanForm;
 use lec_cost::CostModel;
 use lec_plan::{JoinMethod, OrderProperty, PlanNode};
 
@@ -131,6 +133,65 @@ impl<C: PhaseCoster + Clone> CandidatePolicy for KeepBestPolicy<C> {
         _stats: &mut SearchStats,
     ) -> Vec<DpEntry> {
         finalize_with_coster(model, ctx, entries, &self.coster)
+    }
+
+    fn memo_fingerprint(&self, _model: &CostModel<'_>) -> Option<u64> {
+        // Family tag 1 = keep-best; the coster contributes (or vetoes)
+        // the rest.
+        self.coster
+            .memo_fingerprint()
+            .map(|c| lec_cost::Fingerprint::new().u64(1).u64(c).finish())
+    }
+
+    fn memo_encode(
+        &self,
+        model: &CostModel<'_>,
+        form: &SubplanForm,
+        entries: &[DpEntry],
+    ) -> Option<MemoEntries> {
+        let to_canon = form.to_canonical(model.query().n_tables());
+        entries
+            .iter()
+            .map(|e| {
+                let order = match e.order {
+                    OrderProperty::None => MemoOrder::None,
+                    OrderProperty::Sorted(rep) => MemoOrder::Class(form.order_class(rep)?),
+                };
+                Some(MemoDpEntry {
+                    plan: e.plan.relabel_tables(&to_canon),
+                    cost: e.cost,
+                    pages: e.pages,
+                    order,
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .map(MemoEntries::Dp)
+    }
+
+    fn memo_decode(
+        &mut self,
+        _model: &CostModel<'_>,
+        form: &SubplanForm,
+        record: &MemoRecord,
+    ) -> Option<Vec<DpEntry>> {
+        let MemoEntries::Dp(list) = &record.entries else {
+            return None;
+        };
+        let to_global = form.to_global();
+        list.iter()
+            .map(|e| {
+                let order = match e.order {
+                    MemoOrder::None => OrderProperty::None,
+                    MemoOrder::Class(id) => OrderProperty::Sorted(form.class_rep(id)?),
+                };
+                Some(DpEntry {
+                    plan: e.plan.relabel_tables(&to_global),
+                    cost: e.cost,
+                    pages: e.pages,
+                    order,
+                })
+            })
+            .collect()
     }
 }
 

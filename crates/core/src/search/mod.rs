@@ -52,11 +52,34 @@
 //! policy.  `SearchConfig::threads == 1` bypasses all of this and runs
 //! the untouched serial driver; a worker panic surfaces as
 //! [`crate::OptError::WorkerPanicked`], never a deadlock.
+//!
+//! # Subplan memo
+//!
+//! The engine's fourth axis is *cross-search reuse*
+//! ([`engine::SearchConfig::memo`], [`memo::SubplanMemo`]): DP nodes are
+//! keyed by the canonical form of their induced connected subquery
+//! (`lec-canon`), so a node whose shape was combined before — in this
+//! search or any earlier search sharing the memo — skips its entire
+//! combine/cost loop: the memoized candidates are relabeled into the
+//! current query's numbering and the node's recorded cost-cache probes
+//! are replayed ([`lec_cost::CostModel::replay_probes`]), which keeps
+//! every counter the engine promises determinism for (`evals`,
+//! `cache_hits`, `candidates`, `nodes`) byte-identical to a memo-off
+//! run.  Eligibility mirrors the serving cache's uncacheable rules:
+//! keep-best and multi-param policies opt in
+//! ([`policy::CandidatePolicy::memo_fingerprint`]); top-c, keep-all and
+//! the randomized modes bypass, as does any subset containing twin
+//! tables (equal exact fingerprints — refused by the canonicalizer, so
+//! no label-dependent tie-break below the node can leak into a
+//! record).  `lec-service`'s
+//! `PlanServer` shares one memo across all its searches, turning
+//! overlapping different-shaped requests into partial hits.
 
 pub mod coster;
 pub mod engine;
 pub mod keep_all;
 pub mod keep_best;
+pub mod memo;
 pub mod multi_param;
 pub mod policy;
 pub mod pool;
@@ -69,6 +92,10 @@ pub use engine::{
 };
 pub use keep_all::KeepAllPolicy;
 pub use keep_best::{DpEntry, KeepBestPolicy};
+pub use memo::{
+    MemoDistEntry, MemoDpEntry, MemoEntries, MemoOrder, MemoRecord, MemoStats, SubplanMemo,
+    DEFAULT_MEMO_CAPACITY,
+};
 pub use multi_param::{AlgDConfig, DistEntry, MultiParamPolicy};
 pub use policy::{
     insert_entry, insert_entry_shaped, join_output_order, plan_shape_cmp, CandidatePolicy,
@@ -94,6 +121,17 @@ pub struct SearchStats {
     pub evals: u64,
     /// Evaluations answered by the memoized cost cache instead.
     pub cache_hits: u64,
+    /// DP nodes served from the cross-search subplan memo (combine loop
+    /// skipped entirely); zero unless [`SearchConfig::memo`] is set.
+    ///
+    /// Unlike every other counter, the memo counters are *not*
+    /// schedule-independent: whether a node hits depends on what earlier
+    /// searches — and, in a parallel run, concurrently-combined sibling
+    /// nodes — already inserted.  They are observability, not semantics;
+    /// results are byte-identical whatever they read.
+    pub memo_hits: u64,
+    /// Memo-eligible DP nodes that combined live (and populated the memo).
+    pub memo_misses: u64,
     /// Wall-clock optimization time.
     pub elapsed: Duration,
 }
@@ -106,6 +144,8 @@ impl SearchStats {
         self.candidates += other.candidates;
         self.evals += other.evals;
         self.cache_hits += other.cache_hits;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
         self.elapsed += other.elapsed;
     }
 
@@ -118,6 +158,8 @@ impl SearchStats {
             "candidates": self.candidates,
             "evals": self.evals,
             "cache_hits": self.cache_hits,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
             "elapsed_us": self.elapsed.as_secs_f64() * 1e6,
         })
     }

@@ -10,11 +10,13 @@
 //! join has size abσ"), kept small by the §3.6.3 rebucketing — either
 //! rebucket-after-product, or the paper's ∛b-inputs scheme.
 
+use super::memo::{MemoDistEntry, MemoEntries, MemoOrder, MemoRecord};
 use super::policy::{
     access_alternatives, insert_entry_shaped, join_output_order, CandidatePolicy, JoinContext,
     Rankable, RootContext, SearchEntry,
 };
 use super::SearchStats;
+use lec_canon::SubplanForm;
 use lec_cost::{BucketParallelism, CostModel};
 use lec_plan::{JoinMethod, OrderProperty, PlanNode};
 use lec_prob::{Distribution, PrefixTables, Rebucket};
@@ -85,6 +87,10 @@ pub struct MultiParamPolicy {
     par: BucketParallelism,
     /// Largest size-distribution support seen before rebucketing.
     pub max_product_support: usize,
+    /// The current DP node's contribution to `max_product_support`, reset
+    /// by [`CandidatePolicy::memo_node_begin`] so memo records can carry
+    /// the per-node delta (a cumulative max cannot be decomposed later).
+    node_support: usize,
 }
 
 impl MultiParamPolicy {
@@ -102,6 +108,7 @@ impl MultiParamPolicy {
             config,
             par: BucketParallelism::serial(),
             max_product_support: 0,
+            node_support: 0,
         }
     }
 
@@ -132,6 +139,7 @@ impl MultiParamPolicy {
             outer.product(inner).product(sel)
         };
         self.max_product_support = self.max_product_support.max(product.len());
+        self.node_support = self.node_support.max(product.len());
         let clamped = product.map(|v| v.max(1.0));
         rebucket_to(&clamped, b, strategy)
     }
@@ -148,6 +156,7 @@ impl CandidatePolicy for MultiParamPolicy {
     fn fork(&self) -> Self {
         MultiParamPolicy {
             max_product_support: 0,
+            node_support: 0,
             ..self.clone()
         }
     }
@@ -254,5 +263,89 @@ impl CandidatePolicy for MultiParamPolicy {
                 _ => e,
             })
             .collect()
+    }
+
+    fn memo_fingerprint(&self, _model: &CostModel<'_>) -> Option<u64> {
+        // Family tag 2 = multi-param; every AlgDConfig knob shapes the
+        // per-node distributions, so all of them key the memo.
+        Some(
+            lec_cost::Fingerprint::new()
+                .u64(2)
+                .u64(self.mem_fp)
+                .u64(self.config.max_buckets as u64)
+                .u64(match self.config.rebucket {
+                    Rebucket::EqualWidth => 0,
+                    Rebucket::EqualDepth => 1,
+                })
+                .u64(self.config.cube_root_inputs as u64)
+                .finish(),
+        )
+    }
+
+    fn memo_node_begin(&mut self) {
+        self.node_support = 0;
+    }
+
+    fn memo_encode(
+        &self,
+        model: &CostModel<'_>,
+        form: &SubplanForm,
+        entries: &[DistEntry],
+    ) -> Option<MemoEntries> {
+        let to_canon = form.to_canonical(model.query().n_tables());
+        entries
+            .iter()
+            .map(|e| {
+                let order = match e.order {
+                    OrderProperty::None => MemoOrder::None,
+                    OrderProperty::Sorted(rep) => MemoOrder::Class(form.order_class(rep)?),
+                };
+                Some(MemoDistEntry {
+                    plan: e.plan.relabel_tables(&to_canon),
+                    cost: e.cost,
+                    pages: e.pages.clone(),
+                    order,
+                })
+            })
+            .collect::<Option<Vec<_>>>()
+            .map(|entries| MemoEntries::Dist {
+                entries,
+                node_support: self.node_support,
+            })
+    }
+
+    fn memo_decode(
+        &mut self,
+        _model: &CostModel<'_>,
+        form: &SubplanForm,
+        record: &MemoRecord,
+    ) -> Option<Vec<DistEntry>> {
+        let MemoEntries::Dist {
+            entries,
+            node_support,
+        } = &record.entries
+        else {
+            return None;
+        };
+        let to_global = form.to_global();
+        let decoded = entries
+            .iter()
+            .map(|e| {
+                let order = match e.order {
+                    MemoOrder::None => OrderProperty::None,
+                    MemoOrder::Class(id) => OrderProperty::Sorted(form.class_rep(id)?),
+                };
+                Some(DistEntry {
+                    plan: e.plan.relabel_tables(&to_global),
+                    cost: e.cost,
+                    pages: e.pages.clone(),
+                    order,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        // The skipped combine would have pushed the diagnostic high-water
+        // mark exactly this far.
+        self.max_product_support = self.max_product_support.max(*node_support);
+        Some(decoded)
     }
 }

@@ -1,7 +1,9 @@
 //! The candidate-policy axis of the search engine: what each dag node
 //! retains and how a join candidate is costed.
 
+use super::memo::{MemoEntries, MemoRecord};
 use super::SearchStats;
+use lec_canon::SubplanForm;
 use lec_cost::{AccessPath, CostModel};
 use lec_plan::{JoinMethod, OrderProperty, PlanNode, TableSet};
 
@@ -99,6 +101,51 @@ pub trait CandidatePolicy {
         entries: Vec<Self::Entry>,
         stats: &mut SearchStats,
     ) -> Vec<Self::Entry>;
+
+    // ---- subplan-memo support (opt in; default: memo-ineligible) --------
+    //
+    // The eligibility rules mirror the serving cache's `Uncacheable`
+    // modes: a policy may only opt in when its candidate lists are a pure,
+    // rename-equivariant function of the canonical subquery shape — true
+    // for the keep-best family (label-independent `insert_entry_shaped`
+    // tie-breaks) and multi-param, false for top-c (frontier truncation
+    // ties) and the keep-all verifier (plan-space blowup).
+
+    /// Fingerprint of every policy/coster parameter that shapes a node's
+    /// candidates, or `None` when this policy must bypass the subplan
+    /// memo.  Two searches whose policies fingerprint equal produce
+    /// byte-identical candidate lists for equal canonical subqueries.
+    fn memo_fingerprint(&self, _model: &CostModel<'_>) -> Option<u64> {
+        None
+    }
+
+    /// Reset any per-node diagnostic accumulators before a recorded
+    /// combine (so [`CandidatePolicy::memo_encode`] can capture the node's
+    /// own contribution).
+    fn memo_node_begin(&mut self) {}
+
+    /// Encode a freshly combined node's candidates into canonical label
+    /// space for storage, or `None` to skip memoizing this node.
+    fn memo_encode(
+        &self,
+        _model: &CostModel<'_>,
+        _form: &SubplanForm,
+        _entries: &[Self::Entry],
+    ) -> Option<MemoEntries> {
+        None
+    }
+
+    /// Decode a memoized record into this query's label space, folding any
+    /// per-node diagnostics back in; `None` (wrong policy family, stale
+    /// class map) downgrades the hit to a live combine.
+    fn memo_decode(
+        &mut self,
+        _model: &CostModel<'_>,
+        _form: &SubplanForm,
+        _record: &MemoRecord,
+    ) -> Option<Vec<Self::Entry>> {
+        None
+    }
 }
 
 /// `a` can substitute for `b`: same order, or `b` needs no order.

@@ -17,11 +17,13 @@
 use super::coster::{PhaseCoster, PointCoster};
 use super::keep_best::DpEntry;
 use super::policy::{
-    access_alternatives, join_output_order, CandidatePolicy, JoinContext, RootContext,
+    access_alternatives, join_output_order, plan_shape_cmp, CandidatePolicy, JoinContext,
+    RootContext,
 };
 use super::SearchStats;
 use lec_cost::CostModel;
 use lec_plan::{JoinMethod, OrderProperty, PlanNode};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
 /// Counters proving Proposition 3.1 empirically.
@@ -59,9 +61,20 @@ impl TopCPolicy {
         }
     }
 
-    /// Keep the `c` cheapest entries of `e.order`; ties keep the earlier
-    /// arrival (deterministic across runs).
-    fn insert(&self, entries: &mut Vec<DpEntry>, e: DpEntry) {
+    /// Keep the `c` cheapest entries of `e.order` under the
+    /// *rename-equivariant* total order `(cost, plan shape)` — exact cost
+    /// ties resolve by [`plan_shape_cmp`] instead of arrival order, so a
+    /// table renaming of the query truncates the frontier to the same
+    /// plans (up to relabeling).  This is what lets Algorithm B share the
+    /// serving layer's canonical-shape cache; only genuinely
+    /// indistinguishable twin tables (equal shape fingerprints, refused by
+    /// the canonicalizer's automorphism check) fall back to first-wins.
+    fn insert(&self, model: &CostModel<'_>, entries: &mut Vec<DpEntry>, e: DpEntry) {
+        let rank = |a: &DpEntry, b: &DpEntry| {
+            a.cost
+                .total_cmp(&b.cost)
+                .then_with(|| plan_shape_cmp(model, &a.plan, &b.plan))
+        };
         let mut same = 0usize;
         let mut worst: Option<usize> = None;
         for (i, f) in entries.iter().enumerate() {
@@ -69,13 +82,13 @@ impl TopCPolicy {
                 continue;
             }
             same += 1;
-            if worst.is_none_or(|w| entries[w].cost <= f.cost) {
+            if worst.is_none_or(|w| rank(&entries[w], f) != Ordering::Greater) {
                 worst = Some(i);
             }
         }
         if same >= self.c {
             let w = worst.expect("same >= c >= 1 implies a worst entry");
-            if e.cost >= entries[w].cost {
+            if rank(&e, &entries[w]) != Ordering::Less {
                 return;
             }
             entries.remove(w);
@@ -109,6 +122,7 @@ impl CandidatePolicy for TopCPolicy {
         let mut entries = Vec::new();
         for (plan, cost, order, pages) in access_alternatives(model, idx) {
             self.insert(
+                model,
                 &mut entries,
                 DpEntry {
                     plan,
@@ -146,15 +160,26 @@ impl CandidatePolicy for TopCPolicy {
                 .or_default()
                 .push(e);
         }
+        // Cost-sort within each group, shape-breaking exact ties so the
+        // Prop 3.1 frontier window selects the same plans under any table
+        // renaming.
         for group in outer_groups.values_mut() {
-            group.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+            group.sort_by(|a, b| {
+                a.cost
+                    .total_cmp(&b.cost)
+                    .then_with(|| plan_shape_cmp(model, &a.plan, &b.plan))
+            });
         }
         // Flatten inner entries (access paths) into one sorted list; their
         // orders are folded into the join's output order rule, which for
         // inner sides never depends on the inner order, and a singleton's
         // access paths all share the same page count.
         let mut inner_list: Vec<&DpEntry> = inner.iter().collect();
-        inner_list.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        inner_list.sort_by(|a, b| {
+            a.cost
+                .total_cmp(&b.cost)
+                .then_with(|| plan_shape_cmp(model, &a.plan, &b.plan))
+        });
 
         for ((outer_order, outer_pages_bits), outer_list) in &outer_groups {
             for method in JoinMethod::ALL {
@@ -178,6 +203,7 @@ impl CandidatePolicy for TopCPolicy {
                         self.frontier.combinations_examined += 1;
                         stats.candidates += 1;
                         self.insert(
+                            model,
                             into,
                             DpEntry {
                                 plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),
@@ -200,7 +226,11 @@ impl CandidatePolicy for TopCPolicy {
         _stats: &mut SearchStats,
     ) -> Vec<DpEntry> {
         let mut out = super::keep_best::finalize_with_coster(model, ctx, entries, &self.coster);
-        out.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        out.sort_by(|a, b| {
+            a.cost
+                .total_cmp(&b.cost)
+                .then_with(|| plan_shape_cmp(model, &a.plan, &b.plan))
+        });
         out.truncate(self.c);
         out
     }

@@ -19,8 +19,22 @@
 //!   cliffs scale with the *smaller* relation.
 //! * External sort and scans follow the same pass-counting style.
 
+use lec_plan::JoinMethod;
+
 /// Smallest size, in pages, any input is treated as.
 pub const MIN_PAGES: f64 = 1.0;
+
+/// Dispatch a join method to its cost formula without touching any model
+/// counter — the uncounted twin of [`crate::CostModel::join_cost`], for
+/// callers reconstructing values they are not (re)computing.
+pub fn raw_join_cost(method: JoinMethod, outer: f64, inner: f64, m: f64) -> f64 {
+    match method {
+        JoinMethod::SortMerge => sm_join_cost(outer, inner, m),
+        JoinMethod::GraceHash => grace_join_cost(outer, inner, m),
+        JoinMethod::PageNestedLoop => nl_join_cost(outer, inner, m),
+        JoinMethod::BlockNestedLoop => bnl_join_cost(outer, inner, m),
+    }
+}
 
 fn clamp(pages: f64) -> f64 {
     if pages.is_nan() {

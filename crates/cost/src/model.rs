@@ -5,6 +5,7 @@ use crate::formulas;
 use lec_catalog::{Catalog, IndexKind};
 use lec_plan::{ColumnEquivalences, JoinMethod, Query, TableSet};
 use lec_prob::{Distribution, PrefixTables};
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -50,11 +51,15 @@ impl EvalOp {
 
 /// FxHash — the rustc-style multiply-rotate hasher.  [`EvalKey`] lookups
 /// sit on the engine's innermost loop, where the default SipHash costs
-/// more than the cost formulas it would be saving.
+/// more than the cost formulas it would be saving; the search engine's
+/// subplan memo shares it for the same reason ([`FxBuildHasher`]).
 #[derive(Default)]
-struct FxHasher {
+pub struct FxHasher {
     hash: u64,
 }
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps on hot paths.
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
 
 impl std::hash::Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
@@ -235,6 +240,179 @@ struct EvalKey {
     mem: u64,
     outer: u64,
     inner: u64,
+}
+
+/// Operator discriminant of a [`CostProbe`]: the public mirror of the
+/// cache's internal operator tags, so probe logs can be stored outside
+/// this crate (the search engine's subplan memo) and replayed later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOp {
+    /// Point join cost ([`CostModel::join_cost_for`]).
+    Join(JoinMethod),
+    /// Point sort cost ([`CostModel::sort_cost_for`]).
+    Sort,
+    /// Whole-distribution expected join cost of point-sized inputs
+    /// ([`CostModel::expected_join_cost_over`]); carries nested per-bucket
+    /// point values.
+    ExpectedJoinOver(JoinMethod),
+    /// Whole-distribution expected sort cost of a point-sized input.
+    ExpectedSortOver,
+    /// Expected join cost over size + memory distributions (Algorithm D).
+    ExpectedJoin(JoinMethod),
+    /// Expected sort cost over size + memory distributions.
+    ExpectedSort,
+}
+
+impl ProbeOp {
+    fn eval_op(self) -> EvalOp {
+        match self {
+            ProbeOp::Join(m) => EvalOp::Join(m),
+            ProbeOp::Sort => EvalOp::Sort,
+            ProbeOp::ExpectedJoinOver(m) => EvalOp::ExpectedJoinOver(m),
+            ProbeOp::ExpectedSortOver => EvalOp::ExpectedSortOver,
+            ProbeOp::ExpectedJoin(m) => EvalOp::ExpectedJoin(m),
+            ProbeOp::ExpectedSort => EvalOp::ExpectedSort,
+        }
+    }
+}
+
+/// One recorded candidate-level cache probe: everything needed to replay
+/// the probe — and, on a replay miss, the insertion and counter effects of
+/// the original compute — against a *different* query's cache, with the
+/// table-set bits relabeled by the caller.
+///
+/// The probe sequence a DP node's combine makes is a pure function of the
+/// node's canonical subquery shape: one probe per (entry pair × join
+/// method), with operand sizes determined by the (shape-determined)
+/// entries below.  Replaying a node's log therefore touches the cache with
+/// exactly the multiset of keys the live combine would have — which is
+/// what keeps `evals`/`cache_hits` byte-identical when the subplan memo
+/// skips the combine itself.  Per-bucket values for the `*Over` operators
+/// ride along so a replay miss can seed the point tier without
+/// re-evaluating any cost formula (the evaluation counter is still charged
+/// by [`CostModel::replay_probes`], since a memo-off run would have paid
+/// it).
+#[derive(Debug, Clone)]
+pub struct CostProbe {
+    /// Left operand table-set bits (relabeled by the replayer).
+    pub left: u64,
+    /// Right operand table-set bits (0 for sorts).
+    pub right: u64,
+    /// Operator.
+    pub op: ProbeOp,
+    /// Memory ingredient: bucket value bits (point ops) or distribution
+    /// fingerprint (expectation ops).
+    pub mem: u64,
+    /// Outer size: page bits or size-distribution fingerprint.
+    pub outer: u64,
+    /// Inner size: page bits or size-distribution fingerprint.
+    pub inner: u64,
+    /// The probe's value.
+    pub value: f64,
+    /// Formula evaluations the original compute performed *directly*
+    /// (nested per-bucket evaluations are accounted through `buckets`).
+    pub direct_evals: u64,
+    /// Per-bucket `(memory bits, point value)` pairs for the `*Over`
+    /// operators; empty otherwise.
+    pub buckets: Box<[(u64, f64)]>,
+}
+
+/// One thread's probe log plus the expectation keys already recorded
+/// *with* nested bucket values in this log.  Only a key's first
+/// occurrence needs buckets: replay walks the log in order, so by the
+/// time a repeat is replayed the key is guaranteed cached (hit, buckets
+/// unused) — and skipping the repeat's per-bucket peeks keeps recording
+/// off the lock-heavy path for the common repeated-candidate case.
+struct ProbeLogState {
+    probes: Vec<CostProbe>,
+    bucketed: std::collections::HashSet<[u64; 6]>,
+}
+
+thread_local! {
+    /// The active probe log of this thread, if any.  One DP node is
+    /// combined wholly by one thread, so a thread-local log captures
+    /// exactly that node's candidate-level probes.
+    static PROBE_LOG: RefCell<Option<ProbeLogState>> = const { RefCell::new(None) };
+    /// The single flag the hot path reads: true exactly when a log is
+    /// active *and* recording is not suppressed (nested per-bucket probes
+    /// inside an expectation compute are folded into the parent probe
+    /// rather than logged individually).  Kept separate from `PROBE_LOG`
+    /// so memo-free searches pay one `Cell` read per cached call, not a
+    /// `RefCell` borrow.
+    static PROBE_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard for one node's probe recording; dropping it (normally or
+/// during unwinding) deactivates the log so a panicking combine cannot
+/// leak an active recorder into later searches on a pooled worker thread.
+#[derive(Debug)]
+pub struct ProbeRecording {
+    _private: (),
+}
+
+impl ProbeRecording {
+    /// Consume the guard, returning the probes recorded since
+    /// [`CostModel::begin_probe_log`].
+    pub fn finish(self) -> Vec<CostProbe> {
+        PROBE_LOG
+            .with(|log| log.borrow_mut().take())
+            .map(|state| state.probes)
+            .unwrap_or_default()
+        // Drop of `self` then finds the slot already empty.
+    }
+}
+
+impl Drop for ProbeRecording {
+    fn drop(&mut self) {
+        PROBE_ACTIVE.with(|f| f.set(false));
+        PROBE_LOG.with(|log| *log.borrow_mut() = None);
+    }
+}
+
+/// Masks [`PROBE_ACTIVE`] for the duration of an expectation compute and
+/// restores the previous state on drop (suppressions nest trivially: a
+/// masked flag stays false).
+struct SuppressGuard {
+    was_active: bool,
+}
+
+impl SuppressGuard {
+    fn new() -> Self {
+        SuppressGuard {
+            was_active: PROBE_ACTIVE.with(|f| f.replace(false)),
+        }
+    }
+}
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        if self.was_active {
+            PROBE_ACTIVE.with(|f| f.set(true));
+        }
+    }
+}
+
+fn probe_log_active() -> bool {
+    PROBE_ACTIVE.with(|f| f.get())
+}
+
+fn push_probe(probe: CostProbe) {
+    PROBE_LOG.with(|log| {
+        if let Some(state) = log.borrow_mut().as_mut() {
+            state.probes.push(probe);
+        }
+    });
+}
+
+/// Record that buckets for this expectation key are being captured now;
+/// returns false when an earlier probe in this log already carries them.
+/// The key carries every field of the cache key (op tag included) so two
+/// methods or operand sizes never share a bucket record.
+fn probe_needs_buckets(key: [u64; 6]) -> bool {
+    PROBE_LOG.with(|log| match log.borrow_mut().as_mut() {
+        Some(state) => state.bucketed.insert(key),
+        None => false,
+    })
 }
 
 /// An incremental 64-bit FNV-1a fingerprint over exact bit patterns: the
@@ -501,6 +679,100 @@ impl<'a> CostModel<'a> {
         v
     }
 
+    /// Non-counting cache read: neither the evaluation counter nor the hit
+    /// counter moves.  Used by probe recording to collect the per-bucket
+    /// values an expectation entry's compute left in the point tier.
+    fn peek(&self, key: &EvalKey) -> Option<f64> {
+        self.eval_cache.shard(key).get(key).copied()
+    }
+
+    // ---- probe recording and replay -------------------------------------
+
+    /// Start recording this thread's candidate-level cache probes (the
+    /// `*_for` calls made outside any expectation compute) until the
+    /// returned guard is [`ProbeRecording::finish`]ed or dropped.  The
+    /// search engine records one DP node's combine this way and stores the
+    /// log in its subplan memo; [`CostModel::replay_probes`] later applies
+    /// the log to another query's cache.
+    pub fn begin_probe_log(&self) -> ProbeRecording {
+        PROBE_LOG.with(|log| {
+            *log.borrow_mut() = Some(ProbeLogState {
+                probes: Vec::new(),
+                bucketed: std::collections::HashSet::new(),
+            })
+        });
+        PROBE_ACTIVE.with(|f| f.set(true));
+        ProbeRecording { _private: () }
+    }
+
+    /// Replay a recorded probe log against this model's cache, relabeling
+    /// each probe's table-set bits through `map`.
+    ///
+    /// Per probe: a key already cached scores one cache hit, exactly as
+    /// the live probe would.  A key not yet cached is *seeded* with the
+    /// recorded value and the evaluation counter is charged with the work
+    /// the live compute would have performed — the recorded
+    /// `direct_evals`, plus one per-bucket touch of the point tier for the
+    /// `*Over` operators (each bucket key scoring a hit or an eval of its
+    /// own, again exactly as the live compute's nested probes would).
+    /// Every value seeded this way is a pure function of its key, so later
+    /// live probes that hit it read the same bits a live compute would
+    /// have produced.  Totals over a whole search are therefore identical
+    /// to a memo-off run: each distinct key is charged exactly once, and
+    /// the probe multiset is the same.
+    ///
+    /// Lock discipline matches the live path: an expectation-tier shard is
+    /// held while the point tier is touched, never the reverse.
+    pub fn replay_probes(&self, probes: &[CostProbe], map: impl Fn(u64) -> u64) {
+        if !self.cache_enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        for p in probes {
+            let key = EvalKey {
+                left: map(p.left),
+                right: map(p.right),
+                op: p.op.eval_op(),
+                mem: p.mem,
+                outer: p.outer,
+                inner: p.inner,
+            };
+            let mut shard = self.eval_cache.shard(&key);
+            if shard.contains_key(&key) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let nested_op = match p.op {
+                ProbeOp::ExpectedJoinOver(m) => Some(EvalOp::Join(m)),
+                ProbeOp::ExpectedSortOver => Some(EvalOp::Sort),
+                _ => None,
+            };
+            if let Some(op) = nested_op {
+                for &(mem, value) in p.buckets.iter() {
+                    let bkey = EvalKey {
+                        left: key.left,
+                        right: key.right,
+                        op,
+                        mem,
+                        outer: p.outer,
+                        inner: p.inner,
+                    };
+                    let mut bshard = self.eval_cache.shard(&bkey);
+                    match bshard.entry(bkey) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(value);
+                            self.evals.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            self.evals.fetch_add(p.direct_evals, Ordering::Relaxed);
+            shard.insert(key, p.value);
+        }
+    }
+
     /// [`CostModel::join_cost`] memoized under
     /// `(left, right, method, m, sizes)` — the per-bucket evaluation unit
     /// of Algorithms B/C.
@@ -522,7 +794,21 @@ impl<'a> CostModel<'a> {
             outer: outer.to_bits(),
             inner: inner.to_bits(),
         };
-        self.cached(key, || self.join_cost(method, outer, inner, m))
+        let v = self.cached(key, || self.join_cost(method, outer, inner, m));
+        if probe_log_active() {
+            push_probe(CostProbe {
+                left: key.left,
+                right: key.right,
+                op: ProbeOp::Join(method),
+                mem: key.mem,
+                outer: key.outer,
+                inner: key.inner,
+                value: v,
+                direct_evals: 1,
+                buckets: Box::new([]),
+            });
+        }
+        v
     }
 
     /// [`CostModel::sort_cost`] memoized under `(set, m, pages)`.
@@ -535,7 +821,21 @@ impl<'a> CostModel<'a> {
             outer: pages.to_bits(),
             inner: 0,
         };
-        self.cached(key, || self.sort_cost(pages, m))
+        let v = self.cached(key, || self.sort_cost(pages, m));
+        if probe_log_active() {
+            push_probe(CostProbe {
+                left: key.left,
+                right: 0,
+                op: ProbeOp::Sort,
+                mem: key.mem,
+                outer: key.outer,
+                inner: 0,
+                value: v,
+                direct_evals: 1,
+                buckets: Box::new([]),
+            });
+        }
+        v
     }
 
     /// Expected join cost of *point-sized* inputs over a memory
@@ -592,14 +892,63 @@ impl<'a> CostModel<'a> {
             outer: outer.to_bits(),
             inner: inner.to_bits(),
         };
-        self.cached(key, || {
-            let per_bucket = |m: f64| self.join_cost_for(left, right, method, outer, inner, m);
-            if par.active_for(memory.len() as u64) {
-                parallel_bucket_expectation(memory, par.threads, per_bucket)
+        let record = probe_log_active();
+        let v = {
+            // Nested per-bucket probes are the parent's to account for.
+            let _nested = SuppressGuard::new();
+            self.cached(key, || {
+                let per_bucket = |m: f64| self.join_cost_for(left, right, method, outer, inner, m);
+                if par.active_for(memory.len() as u64) {
+                    parallel_bucket_expectation(memory, par.threads, per_bucket)
+                } else {
+                    memory.expect(per_bucket)
+                }
+            })
+        };
+        if record {
+            // Whether the call above hit or missed, its compute ran once
+            // this search, so every bucket's point value is in the cache.
+            // Only a key's first probe in this log carries the bucket
+            // values — replay handles repeats as guaranteed hits.
+            let buckets: Box<[(u64, f64)]> = if probe_needs_buckets([
+                key.left,
+                key.right,
+                1 + method as u64,
+                mem_fp,
+                key.outer,
+                key.inner,
+            ]) {
+                memory
+                    .support()
+                    .iter()
+                    .map(|&m| {
+                        let bkey = EvalKey {
+                            mem: m.to_bits(),
+                            op: EvalOp::Join(method),
+                            ..key
+                        };
+                        let bv = self
+                            .peek(&bkey)
+                            .unwrap_or_else(|| formulas::raw_join_cost(method, outer, inner, m));
+                        (m.to_bits(), bv)
+                    })
+                    .collect()
             } else {
-                memory.expect(per_bucket)
-            }
-        })
+                Box::new([])
+            };
+            push_probe(CostProbe {
+                left: key.left,
+                right: key.right,
+                op: ProbeOp::ExpectedJoinOver(method),
+                mem: mem_fp,
+                outer: key.outer,
+                inner: key.inner,
+                value: v,
+                direct_evals: 0,
+                buckets,
+            });
+        }
+        v
     }
 
     /// Expected sort cost of a point-sized input over a memory
@@ -632,14 +981,52 @@ impl<'a> CostModel<'a> {
             outer: pages.to_bits(),
             inner: 0,
         };
-        self.cached(key, || {
-            let per_bucket = |m: f64| self.sort_cost_for(set, pages, m);
-            if par.active_for(memory.len() as u64) {
-                parallel_bucket_expectation(memory, par.threads, per_bucket)
-            } else {
-                memory.expect(per_bucket)
-            }
-        })
+        let record = probe_log_active();
+        let v = {
+            let _nested = SuppressGuard::new();
+            self.cached(key, || {
+                let per_bucket = |m: f64| self.sort_cost_for(set, pages, m);
+                if par.active_for(memory.len() as u64) {
+                    parallel_bucket_expectation(memory, par.threads, per_bucket)
+                } else {
+                    memory.expect(per_bucket)
+                }
+            })
+        };
+        if record {
+            let buckets: Box<[(u64, f64)]> =
+                if probe_needs_buckets([key.left, 0, 0, mem_fp, key.outer, 0]) {
+                    memory
+                        .support()
+                        .iter()
+                        .map(|&m| {
+                            let bkey = EvalKey {
+                                mem: m.to_bits(),
+                                op: EvalOp::Sort,
+                                ..key
+                            };
+                            let bv = self
+                                .peek(&bkey)
+                                .unwrap_or_else(|| formulas::sort_cost(pages, m));
+                            (m.to_bits(), bv)
+                        })
+                        .collect()
+                } else {
+                    Box::new([])
+                };
+            push_probe(CostProbe {
+                left: key.left,
+                right: 0,
+                op: ProbeOp::ExpectedSortOver,
+                mem: mem_fp,
+                outer: key.outer,
+                inner: 0,
+                value: v,
+                direct_evals: 0,
+                buckets,
+            });
+        }
+        v
     }
 
     /// Expected join cost over size and memory distributions (Algorithm
@@ -703,7 +1090,7 @@ impl<'a> CostModel<'a> {
             outer: dist_fingerprint(a_dist),
             inner: dist_fingerprint(b_dist),
         };
-        self.cached(key, || {
+        let v = self.cached(key, || {
             let evals = match method {
                 JoinMethod::BlockNestedLoop => {
                     crate::expected::naive_eval_count(a_dist, b_dist, m_dist)
@@ -722,7 +1109,27 @@ impl<'a> CostModel<'a> {
             } else {
                 crate::expected::expected_join_cost(method, a_dist, b_dist, m_dist, m_tables)
             }
-        })
+        });
+        if probe_log_active() {
+            let direct_evals = match method {
+                JoinMethod::BlockNestedLoop => {
+                    crate::expected::naive_eval_count(a_dist, b_dist, m_dist)
+                }
+                _ => (a_dist.len() + b_dist.len()) as u64,
+            };
+            push_probe(CostProbe {
+                left: key.left,
+                right: key.right,
+                op: ProbeOp::ExpectedJoin(method),
+                mem: m_fp,
+                outer: key.outer,
+                inner: key.inner,
+                value: v,
+                direct_evals,
+                buckets: Box::new([]),
+            });
+        }
+        v
     }
 
     /// Expected sort cost over size and memory distributions, memoized
@@ -742,10 +1149,24 @@ impl<'a> CostModel<'a> {
             outer: dist_fingerprint(r_dist),
             inner: 0,
         };
-        self.cached(key, || {
+        let v = self.cached(key, || {
             self.count_evals(r_dist.len() as u64);
             crate::expected::expected_sort_cost(r_dist, m_tables)
-        })
+        });
+        if probe_log_active() {
+            push_probe(CostProbe {
+                left: key.left,
+                right: 0,
+                op: ProbeOp::ExpectedSort,
+                mem: m_fp,
+                outer: key.outer,
+                inner: 0,
+                value: v,
+                direct_evals: r_dist.len() as u64,
+                buckets: Box::new([]),
+            });
+        }
+        v
     }
 
     // ---- sizes ----------------------------------------------------------
@@ -885,12 +1306,7 @@ impl<'a> CostModel<'a> {
     /// operator); `outer`/`inner` in pages.
     pub fn join_cost(&self, method: JoinMethod, outer: f64, inner: f64, m: f64) -> f64 {
         self.count_eval();
-        match method {
-            JoinMethod::SortMerge => formulas::sm_join_cost(outer, inner, m),
-            JoinMethod::GraceHash => formulas::grace_join_cost(outer, inner, m),
-            JoinMethod::PageNestedLoop => formulas::nl_join_cost(outer, inner, m),
-            JoinMethod::BlockNestedLoop => formulas::bnl_join_cost(outer, inner, m),
-        }
+        formulas::raw_join_cost(method, outer, inner, m)
     }
 
     /// Sort cost at a specific memory value.

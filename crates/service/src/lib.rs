@@ -47,9 +47,13 @@
 //! ```
 
 pub mod cache;
-pub mod canon;
 pub mod server;
 
+/// Canonicalization now lives in the shared [`lec_canon`] crate (both this
+/// crate's whole-request cache keys and `lec-core`'s per-node subplan memo
+/// consume it); re-exported here under its historical module path.
+pub use lec_canon as canon;
+
 pub use cache::{CacheDecision, CacheStats, ShapeCache};
-pub use canon::{canonical_form, CanonicalForm, MAX_CANDIDATE_PERMS, MAX_CANON_TABLES};
+pub use lec_canon::{canonical_form, CanonicalForm, MAX_CANDIDATE_PERMS, MAX_CANON_TABLES};
 pub use server::{PlanServer, ServeResponse, DEFAULT_CACHE_CAPACITY};

@@ -3,9 +3,9 @@
 //! pool.
 
 use crate::cache::{CacheDecision, CacheStats, ShapeCache};
-use crate::canon::canonical_form;
+use lec_canon::canonical_form;
 use lec_catalog::Catalog;
-use lec_core::search::{PersistentPool, WorkerPool};
+use lec_core::search::{PersistentPool, SubplanMemo, WorkerPool};
 use lec_core::{Mode, OptError, Optimizer, SearchStats};
 use lec_cost::dist_fingerprint;
 use lec_plan::{PlanNode, Query};
@@ -74,29 +74,39 @@ impl ServeResponse {
 pub struct PlanServer<'a> {
     optimizer: Optimizer<'a>,
     cache: ShapeCache,
+    memo: Option<Arc<SubplanMemo>>,
     memory_fp: u64,
     search_fp: u64,
 }
 
 impl<'a> PlanServer<'a> {
     /// A server over `catalog` believing `memory`, with the default cache
-    /// capacity and a persistent pool sized to the host.
+    /// capacity, a persistent pool sized to the host, and a shared
+    /// cross-search subplan memo: even requests the whole-request cache
+    /// cannot answer (cold different-shaped queries, weak-hit
+    /// revalidations) reuse the DP nodes their subquery shapes share with
+    /// everything served before.
     pub fn new(catalog: &'a Catalog, memory: Distribution) -> Self {
         let pool: Arc<dyn WorkerPool> = Arc::new(PersistentPool::for_host());
+        let memo = Arc::new(SubplanMemo::default());
         Self::with_optimizer(
-            Optimizer::new(catalog, memory).with_worker_pool(pool),
+            Optimizer::new(catalog, memory)
+                .with_worker_pool(pool)
+                .with_subplan_memo(memo),
             DEFAULT_CACHE_CAPACITY,
         )
     }
 
     /// A server around an explicitly configured optimizer (search config,
-    /// worker pool) and cache capacity.
+    /// worker pool, subplan memo) and cache capacity.
     pub fn with_optimizer(optimizer: Optimizer<'a>, cache_capacity: usize) -> Self {
         let memory_fp = dist_fingerprint(optimizer.memory());
         let search_fp = optimizer.search_config().fingerprint();
+        let memo = optimizer.search_config().memo.clone();
         PlanServer {
             optimizer,
             cache: ShapeCache::new(cache_capacity),
+            memo,
             memory_fp,
             search_fp,
         }
@@ -133,16 +143,16 @@ impl<'a> PlanServer<'a> {
         // Serving a cached plan to a renamed request is only sound when
         // the mode commutes with table renaming.  The keep-best family
         // does (exact cost ties resolve by label-independent plan shape —
-        // see `insert_entry_shaped`); the randomized modes walk RNG
-        // trajectories over table indices, and Algorithm B's top-c
-        // frontier breaks ties by arrival order throughout its candidate
-        // lists — both can legitimately return different (equal-cost)
-        // plans for isomorphic queries, so they bypass the cache.
+        // see `insert_entry_shaped`), and Algorithm B's top-c frontier
+        // now orders its candidate lists the same way (`TopCPolicy`
+        // truncates under `(cost, plan_shape_cmp)` instead of arrival
+        // order), so it is cacheable too; only the randomized modes — RNG
+        // trajectories over table indices — can legitimately return
+        // different (equal-cost) plans for isomorphic queries and bypass
+        // the cache.
         let cacheable_mode = !matches!(
             mode,
-            Mode::AlgorithmB { .. }
-                | Mode::IterativeImprovement { .. }
-                | Mode::SimulatedAnnealing { .. }
+            Mode::IterativeImprovement { .. } | Mode::SimulatedAnnealing { .. }
         );
         let form = if cacheable_mode {
             canonical_form(self.optimizer.catalog(), query)
@@ -211,14 +221,25 @@ impl<'a> PlanServer<'a> {
         requests.iter().map(|(q, m)| self.serve(q, m)).collect()
     }
 
-    /// Machine-readable service metrics: cache counters, occupancy, and
-    /// the exact-hit skew histogram.
+    /// The cross-search subplan memo backing this server's searches, if
+    /// one is installed.
+    pub fn subplan_memo(&self) -> Option<&Arc<SubplanMemo>> {
+        self.memo.as_ref()
+    }
+
+    /// Machine-readable service metrics: cache counters, occupancy, the
+    /// exact-hit skew histogram, and the subplan memo's counters (`null`
+    /// when no memo is installed).
     pub fn metrics_json(&self) -> serde_json::Value {
         serde_json::json!({
             "cache": self.cache.stats().to_json(),
             "cache_entries": self.cache.len(),
             "cache_capacity": self.cache.capacity(),
             "hit_histogram": self.hit_histogram(),
+            "memo": match &self.memo {
+                Some(m) => m.stats_json(),
+                None => serde_json::Value::Null,
+            },
         })
     }
 }

@@ -149,9 +149,10 @@ fn mixed_mode_stream_stays_byte_identical() {
     let memory = lec_prob::presets::spread_family(700.0, 0.5, 4).unwrap();
     let mut server = PlanServer::new(&catalog, memory.clone());
     let fresh_opt = Optimizer::new(&catalog, memory);
-    // AlgorithmB rides along as the uncacheable-mode representative: its
-    // frontier tie-breaks are not rename-equivariant, so the server
-    // recomputes it fresh every time — parity must still hold.
+    // AlgorithmB used to be the uncacheable-mode representative; its top-c
+    // frontier now truncates under the rename-equivariant (cost, plan
+    // shape) order, so the server caches it like the keep-best modes —
+    // parity must hold *and* repeats must actually hit.
     let modes = [
         Mode::AlgorithmC,
         Mode::Lsc(lec_core::PointEstimate::Mean),
@@ -162,6 +163,8 @@ fn mixed_mode_stream_stays_byte_identical() {
         },
     ];
     let mut rng = StdRng::seed_from_u64(5);
+    let mut alg_b_served = 0usize;
+    let mut alg_b_uncacheable = 0usize;
     for round in 0..60 {
         let q = &pool[round % pool.len()];
         let renamed = q.relabel_tables(&random_perm(&mut rng, q.n_tables()));
@@ -175,6 +178,21 @@ fn mixed_mode_stream_stays_byte_identical() {
             "round {round} ({})",
             resp.mode
         );
+        if matches!(mode, Mode::AlgorithmB { .. }) {
+            match resp.decision {
+                CacheDecision::Served => alg_b_served += 1,
+                CacheDecision::Uncacheable => alg_b_uncacheable += 1,
+                _ => {}
+            }
+        }
     }
     assert!(server.cache_stats().served > 0, "repeats must hit");
+    // Every (query, mode) pair appears twice over 60 rounds: with AlgB now
+    // rename-equivariant, its renamed repeats are served from cache (only
+    // queries the canonicalizer itself refuses may bypass).
+    assert!(
+        alg_b_served > 0,
+        "Algorithm B renamed repeats must now hit the cache \
+         (served {alg_b_served}, uncacheable {alg_b_uncacheable})"
+    );
 }

@@ -384,6 +384,10 @@ macro_rules! prop_assert_ne {
             a
         );
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)+);
+    }};
 }
 
 /// Uniform choice among strategies of the same type.

@@ -101,7 +101,7 @@ fn bench_plan_cache(c: &mut Criterion) {
         black_box(server.serve(q, &mode).expect("cold serve"));
     }
     let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let cold_stats = *server.cache_stats();
+    let cold_stats = server.cache_stats();
 
     let mut served_us: Vec<f64> = Vec::with_capacity(STREAM_LEN);
     let t0 = Instant::now();

@@ -167,9 +167,17 @@ impl<'q> QueryCanonizer<'q> {
     }
 
     /// Canonicalize the induced subquery of `set`, or `None` when the
-    /// subset is not memo-eligible: singletons and oversize subsets,
+    /// subset is not memo-eligible: empty and oversize subsets,
     /// disconnected subsets (the DP never populates them), or a subset
     /// containing two tables with equal exact occurrence fingerprints.
+    ///
+    /// Singletons are eligible: a depth-1 node's entries (access-path
+    /// alternatives) are a pure function of the table's occurrence
+    /// fingerprint plus the whole query's equivalence classes restricted
+    /// to the table's filter column — the only column a clustered index
+    /// scan can leave the output sorted on — and a one-member subset can
+    /// never contain a twin *pair*, so the refusal below is vacuous and
+    /// two twin tables legitimately share one singleton record.
     ///
     /// The twin refusal is deliberately stronger than a whole-body
     /// automorphism check.  A memoized node's candidates depend on the
@@ -185,7 +193,7 @@ impl<'q> QueryCanonizer<'q> {
     /// refinement or permutation search is needed at all.)
     pub fn subquery(&self, set: TableSet) -> Option<SubplanForm> {
         let k = set.len();
-        if !(2..=MAX_CANON_TABLES).contains(&k) {
+        if !(1..=MAX_CANON_TABLES).contains(&k) {
             return None;
         }
         let bits = set.bits();
@@ -358,15 +366,35 @@ mod tests {
     }
 
     #[test]
-    fn singletons_and_disconnected_subsets_are_refused() {
+    fn disconnected_subsets_are_refused_but_singletons_are_eligible() {
         let (cat, q) = chain(4);
         let canon = QueryCanonizer::new(&cat, &q);
-        assert!(canon.subquery(TableSet::singleton(1)).is_none());
         assert!(
             canon.subquery(TableSet::from_indices([0, 2])).is_none(),
             "0 and 2 are not adjacent in the chain"
         );
         assert!(canon.subquery(TableSet::from_indices([0, 1, 2])).is_some());
+        let s = canon.subquery(TableSet::singleton(1)).expect("eligible");
+        assert_eq!(s.n_tables(), 1);
+        assert_eq!(s.to_global(), vec![1]);
+        assert_eq!(s.to_canonical(4)[1], 0);
+    }
+
+    #[test]
+    fn singleton_keys_track_the_occurrence_fingerprint() {
+        let (cat, q) = chain(4);
+        let canon = QueryCanonizer::new(&cat, &q);
+        let a = canon.subquery(TableSet::singleton(1)).unwrap();
+        let b = canon.subquery(TableSet::singleton(2)).unwrap();
+        assert_ne!(a.key, b.key, "different table stats fingerprint apart");
+        // A renamed occurrence of the same table shares the key and maps
+        // back to its own index.
+        let map = [3usize, 2, 0, 1];
+        let renamed = q.relabel_tables(&map);
+        let rcanon = QueryCanonizer::new(&cat, &renamed);
+        let r = rcanon.subquery(TableSet::singleton(map[1])).unwrap();
+        assert_eq!(a.key, r.key);
+        assert_eq!(r.to_global(), vec![map[1]]);
     }
 
     #[test]

@@ -470,52 +470,107 @@ fn combine_subset<P: CandidatePolicy>(
 ) -> Vec<P::Entry> {
     if let Some(ms) = memo {
         if let Some(form) = ms.canon.subquery(set) {
-            let mut key = Vec::with_capacity(1 + form.key.len());
-            key.push(ms.env);
-            key.extend_from_slice(&form.key);
-            let key: Box<[u64]> = key.into_boxed_slice();
-            if let Some(rec) = ms.memo.lookup(&key) {
-                if let Some(entries) = policy.memo_decode(model, &form, &rec) {
-                    model.replay_probes(&rec.probes, |bits| form.global_bits(bits));
-                    stats.candidates += rec.candidates;
-                    stats.memo_hits += 1;
-                    if !entries.is_empty() {
-                        stats.nodes += 1;
-                    }
-                    return entries;
-                }
-            }
-            stats.memo_misses += 1;
-            policy.memo_node_begin();
-            let candidates_before = stats.candidates;
-            let recording = model.begin_probe_log();
-            let entries = combine_live(model, shape, policy, table, set, stats);
-            let mut probes = recording.finish();
-            if !entries.is_empty() {
-                stats.nodes += 1;
-                if let Some(encoded) = policy.memo_encode(model, &form, &entries) {
-                    // Store probes in canonical table-set bits so a hit in
-                    // any query can relabel them back out.
-                    for p in probes.iter_mut() {
-                        p.left = form.canonical_bits(p.left);
-                        p.right = form.canonical_bits(p.right);
-                    }
-                    ms.memo.insert(
-                        key,
-                        MemoRecord {
-                            entries: encoded,
-                            candidates: stats.candidates - candidates_before,
-                            probes,
-                        },
-                    );
-                }
-            }
-            return entries;
+            return memoized_node(model, ms, &form, policy, stats, |model, policy, stats| {
+                combine_live(model, shape, policy, table, set, stats)
+            });
         }
     }
     let entries = combine_live(model, shape, policy, table, set, stats);
     if !entries.is_empty() {
         stats.nodes += 1;
+    }
+    entries
+}
+
+/// Build one depth-1 node (access-path alternatives), consulting the
+/// subplan memo exactly like [`combine_subset`] does for composite
+/// subsets.  Access costing never touches the evaluation cache, so a
+/// singleton record carries its eval count as
+/// [`MemoRecord::unprobed_evals`] instead of a probe log; a hit charges
+/// them back through [`CostModel::charge_evals`], keeping every counter
+/// byte-identical to a memo-off search.
+fn access_subset<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    policy: &mut P,
+    idx: usize,
+    memo: Option<&MemoSession<'_>>,
+    stats: &mut SearchStats,
+) -> Vec<P::Entry> {
+    if let Some(ms) = memo {
+        if let Some(form) = ms.canon.subquery(TableSet::singleton(idx)) {
+            return memoized_node(model, ms, &form, policy, stats, |model, policy, stats| {
+                policy.access_entries(model, idx, stats)
+            });
+        }
+    }
+    let entries = policy.access_entries(model, idx, stats);
+    if !entries.is_empty() {
+        stats.nodes += 1;
+    }
+    entries
+}
+
+/// The shared memo record/replay protocol of one DP node: look the node's
+/// canonical form up, decode on a hit (replaying probes and unprobed eval
+/// charges), or run `live` under probe recording and populate on a miss.
+fn memoized_node<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    ms: &MemoSession<'_>,
+    form: &lec_canon::SubplanForm,
+    policy: &mut P,
+    stats: &mut SearchStats,
+    live: impl FnOnce(&CostModel<'_>, &mut P, &mut SearchStats) -> Vec<P::Entry>,
+) -> Vec<P::Entry> {
+    let mut key = Vec::with_capacity(1 + form.key.len());
+    key.push(ms.env);
+    key.extend_from_slice(&form.key);
+    let key: Box<[u64]> = key.into_boxed_slice();
+    if let Some(rec) = ms.memo.lookup(&key) {
+        if let Some(entries) = policy.memo_decode(model, form, &rec) {
+            model.replay_probes(&rec.probes, |bits| form.global_bits(bits));
+            model.charge_evals(rec.unprobed_evals);
+            stats.candidates += rec.candidates;
+            stats.memo_hits += 1;
+            if !entries.is_empty() {
+                stats.nodes += 1;
+            }
+            return entries;
+        }
+    }
+    stats.memo_misses += 1;
+    policy.memo_node_begin();
+    let candidates_before = stats.candidates;
+    let evals_before = model.evals();
+    let recording = model.begin_probe_log();
+    let entries = live(model, policy, stats);
+    let mut probes = recording.finish();
+    if !entries.is_empty() {
+        stats.nodes += 1;
+        if let Some(encoded) = policy.memo_encode(model, form, &entries) {
+            // Store probes in canonical table-set bits so a hit in
+            // any query can relabel them back out.
+            for p in probes.iter_mut() {
+                p.left = form.canonical_bits(p.left);
+                p.right = form.canonical_bits(p.right);
+            }
+            // Evaluations the probe log cannot see (uncached access
+            // costing); for composite nodes every eval flows through a
+            // probe and this is zero.
+            let unprobed_evals = if probes.is_empty() {
+                model.evals() - evals_before
+            } else {
+                0
+            };
+            ms.memo.insert(
+                key,
+                MemoRecord {
+                    entries: encoded,
+                    candidates: stats.candidates - candidates_before,
+                    probes,
+                    unprobed_evals,
+                },
+            );
+        }
     }
     entries
 }
@@ -549,16 +604,15 @@ fn run_search_serial<P: CandidatePolicy>(
     let mut stats = SearchStats::default();
     let mut table: HashMap<TableSet, Vec<P::Entry>> = HashMap::new();
 
-    // Depth 1: access paths.
+    let memo_cx = memo_session(model, query, shape, policy, config);
+
+    // Depth 1: access paths (memo-eligible like any other node).
     for idx in 0..n {
-        let entries = policy.access_entries(model, idx, &mut stats);
+        let entries = access_subset(model, policy, idx, memo_cx.as_ref(), &mut stats);
         if !entries.is_empty() {
-            stats.nodes += 1;
             table.insert(TableSet::singleton(idx), entries);
         }
     }
-
-    let memo_cx = memo_session(model, query, shape, policy, config);
 
     // Depths 2..n.
     for k in 2..=n {
@@ -769,16 +823,15 @@ where
     let mut stats = SearchStats::default();
     let mut table: HashMap<TableSet, Vec<P::Entry>> = HashMap::new();
 
+    let memo_cx = memo_session(model, query, shape, &*policy, Some(config));
+
     // Depth 1 (access paths) is trivially cheap: keep it on the caller.
     for idx in 0..n {
-        let entries = policy.access_entries(model, idx, &mut stats);
+        let entries = access_subset(model, policy, idx, memo_cx.as_ref(), &mut stats);
         if !entries.is_empty() {
-            stats.nodes += 1;
             table.insert(TableSet::singleton(idx), entries);
         }
     }
-
-    let memo_cx = memo_session(model, query, shape, &*policy, Some(config));
 
     let n_workers = (threads - 1).min(pool.max_workers());
     let coord = Coordinator {

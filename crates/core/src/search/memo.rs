@@ -3,7 +3,8 @@
 //!
 //! PR 3's serving cache reuses work at whole-request granularity; this
 //! module reuses it at *dag node* granularity.  Every memo-eligible DP
-//! node (a connected subset under a keep-best or multi-param policy) is
+//! node (a connected subset — singleton access-path nodes included —
+//! under a keep-best or multi-param policy) is
 //! keyed by the [`lec_canon::SubplanForm`] of its induced subquery plus an
 //! environment fingerprint (policy/coster parameters and plan shape).  A
 //! hit hands back the node's complete candidate list — relabeled into the
@@ -41,7 +42,8 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Default cap on memoized DP nodes ([`SubplanMemo::with_capacity`]).
 /// Records are small (a handful of entries and probes each); 16k of them
-/// cover thousands of distinct subquery shapes before inserts are shed.
+/// cover thousands of distinct subquery shapes before the per-shard LRU
+/// starts evicting cold ones.
 pub const DEFAULT_MEMO_CAPACITY: usize = 16 * 1024;
 
 /// Lock shards.  Same reasoning as the eval cache: enough that a few
@@ -117,6 +119,15 @@ pub struct MemoRecord {
     /// The combine's candidate-level cache probes, in canonical table-set
     /// bits.
     pub probes: Vec<CostProbe>,
+    /// Formula evaluations the node performed *outside* the memoized
+    /// `*_for` path — today that is exactly the access-path costing of a
+    /// singleton (depth-1) node, which never touches the evaluation
+    /// cache.  A hit charges them back through
+    /// [`lec_cost::CostModel::charge_evals`] so `SearchStats::evals`
+    /// stays byte-identical to a memo-off run; composite (join) nodes
+    /// record `0` because all of their evaluations flow through the
+    /// probe log.
+    pub unprobed_evals: u64,
 }
 
 /// Lifetime counters of one memo, exposed through
@@ -125,31 +136,57 @@ pub struct MemoRecord {
 pub struct MemoStats {
     /// Nodes served from the memo (combine skipped).
     pub hits: u64,
-    /// Eligible nodes computed live (and, capacity permitting, inserted).
+    /// Eligible nodes computed live (and inserted).
     pub misses: u64,
+    /// Records evicted by the per-shard LRU policy.
+    pub evictions: u64,
     /// Records currently stored.
     pub records: usize,
     /// Maximum records retained.
     pub capacity: usize,
 }
 
+/// One stored record plus its LRU clock value.
+#[derive(Debug)]
+struct MemoSlot {
+    record: Arc<MemoRecord>,
+    last_used: u64,
+}
+
 /// Shard maps share the eval cache's FxHash — multi-word keys are probed
 /// on the engine's per-node path, where SipHash under the shard lock
 /// would be the slowest thing in the critical section.
-type ShardMap = HashMap<Box<[u64]>, Arc<MemoRecord>, lec_cost::FxBuildHasher>;
-type Shard = Mutex<ShardMap>;
+type ShardMap = HashMap<Box<[u64]>, MemoSlot, lec_cost::FxBuildHasher>;
+
+/// One lock-striped shard: its record map plus its own LRU clock (a
+/// per-shard clock keeps touches off any shared atomic; recency only ever
+/// competes within a shard, where the clock is totally ordered anyway).
+#[derive(Debug, Default)]
+struct Shard {
+    map: ShardMap,
+    tick: u64,
+}
 
 /// The sharded cross-search subplan memo.  Shareable across searches and
 /// threads (`Arc<SubplanMemo>` via [`super::SearchConfig::memo`]); the
 /// parallel level-barrier drivers probe and populate it concurrently, like
 /// the eval cache.
+///
+/// Capacity is apportioned evenly across the lock shards (minimum one
+/// record per shard), and each shard evicts its own least-recently-used
+/// record once full — so the memo tracks a shifting workload instead of
+/// pinning whichever shapes arrived first, at the cost of the bound being
+/// per-shard rather than exactly global.  Eviction can only cost speed,
+/// never correctness: a re-miss recomputes and re-inserts.
 #[derive(Debug)]
 pub struct SubplanMemo {
-    shards: Box<[Shard]>,
+    shards: Box<[Mutex<Shard>]>,
+    shard_capacity: usize,
     capacity: usize,
     records: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for SubplanMemo {
@@ -159,35 +196,48 @@ impl Default for SubplanMemo {
 }
 
 impl SubplanMemo {
-    /// An empty memo retaining at most `capacity` node records.  Once
-    /// full, new inserts are shed (first-come retention): shedding can
-    /// only cost speed, never correctness, and the hot shapes of a
-    /// workload are exactly the ones seen first and repeated.
+    /// An empty memo retaining roughly `capacity` node records under the
+    /// default shard count, with per-shard LRU eviction once full.
     pub fn with_capacity(capacity: usize) -> Self {
+        SubplanMemo::with_shards(capacity, MEMO_SHARDS)
+    }
+
+    /// An empty memo with an explicit lock-shard count (`shards >= 1`,
+    /// clamped to `capacity` so the global bound `shards × per-shard
+    /// slice` never exceeds the requested capacity).  `capacity / shards`
+    /// records are retained per shard; tests use a single shard to make
+    /// the LRU order deterministic.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
         SubplanMemo {
-            shards: (0..MEMO_SHARDS)
-                .map(|_| Mutex::new(ShardMap::default()))
-                .collect(),
-            capacity: capacity.max(1),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity / shards,
+            capacity,
             records: AtomicUsize::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &[u64]) -> MutexGuard<'_, ShardMap> {
-        let h = key
-            .iter()
-            .fold(lec_cost::Fingerprint::new(), |fp, &w| fp.u64(w))
-            .finish();
-        // The final multiply pushes entropy to the high bits; index there.
-        let idx = (h >> (64 - MEMO_SHARDS.trailing_zeros())) as usize;
-        self.shards[idx].lock().unwrap_or_else(|p| p.into_inner())
+    fn shard(&self, key: &[u64]) -> MutexGuard<'_, Shard> {
+        self.shards[lec_cost::shard_index(key, self.shards.len())]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Look up a node record; counts a hit or miss.
+    /// Look up a node record; counts a hit or miss and touches the
+    /// entry's LRU clock.
     pub fn lookup(&self, key: &[u64]) -> Option<Arc<MemoRecord>> {
-        let found = self.shard(key).get(key).cloned();
+        let mut shard = self.shard(key);
+        let tick = shard.tick + 1;
+        shard.tick = tick;
+        let found = shard.map.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            Arc::clone(&slot.record)
+        });
+        drop(shard);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -195,24 +245,29 @@ impl SubplanMemo {
         found
     }
 
-    /// Insert a node record (no-op once the memo is at capacity; replacing
-    /// an existing record for the same key is allowed and does not grow
-    /// the count).
+    /// Insert a node record, evicting the shard's least-recently-used
+    /// record when the shard is at capacity (replacing an existing record
+    /// for the same key touches it instead of evicting).
     pub fn insert(&self, key: Box<[u64]>, record: MemoRecord) {
         let mut shard = self.shard(&key);
-        if !shard.contains_key(&key) {
-            // Atomically reserve a slot; concurrent inserts on other
-            // shards cannot push the count past capacity.
-            let reserved = self
-                .records
-                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
-                    (r < self.capacity).then_some(r + 1)
-                });
-            if reserved.is_err() {
-                return;
+        let tick = shard.tick + 1;
+        shard.tick = tick;
+        if !shard.map.contains_key(&key) {
+            if shard.map.len() >= self.shard_capacity {
+                lec_cost::evict_coldest(&mut shard.map, |slot| slot.last_used)
+                    .expect("a full shard is non-empty");
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.records.fetch_add(1, Ordering::Relaxed);
             }
         }
-        shard.insert(key, Arc::new(record));
+        shard.map.insert(
+            key,
+            MemoSlot {
+                record: Arc::new(record),
+                last_used: tick,
+            },
+        );
     }
 
     /// Lifetime counters.
@@ -220,6 +275,7 @@ impl SubplanMemo {
         MemoStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             records: self.records.load(Ordering::Relaxed),
             capacity: self.capacity,
         }
@@ -241,6 +297,7 @@ impl SubplanMemo {
         serde_json::json!({
             "hits": s.hits,
             "misses": s.misses,
+            "evictions": s.evictions,
             "records": s.records,
             "capacity": s.capacity,
         })
@@ -261,6 +318,7 @@ mod tests {
             }]),
             candidates,
             probes: Vec::new(),
+            unprobed_evals: 0,
         }
     }
 
@@ -274,21 +332,51 @@ mod tests {
         assert_eq!(rec.candidates, 7);
         let s = memo.stats();
         assert_eq!((s.hits, s.misses, s.records), (1, 1, 1));
+        assert_eq!(s.evictions, 0);
         assert!(!memo.is_empty());
     }
 
     #[test]
-    fn capacity_sheds_inserts_without_erroring() {
-        let memo = SubplanMemo::with_capacity(2);
-        for i in 0..5u64 {
+    fn full_shards_evict_their_coldest_record() {
+        // One shard makes the LRU order deterministic.
+        let memo = SubplanMemo::with_shards(2, 1);
+        memo.insert(vec![0u64].into_boxed_slice(), record(0));
+        memo.insert(vec![1u64].into_boxed_slice(), record(1));
+        // Touch key 0 so key 1 is the coldest.
+        assert!(memo.lookup(&[0u64][..]).is_some());
+        memo.insert(vec![2u64].into_boxed_slice(), record(2));
+        assert_eq!(memo.len(), 2);
+        assert!(memo.lookup(&[1u64][..]).is_none(), "coldest record evicted");
+        assert!(memo.lookup(&[0u64][..]).is_some());
+        assert!(memo.lookup(&[2u64][..]).is_some());
+        assert_eq!(memo.stats().evictions, 1);
+        // Replacing a retained key touches instead of evicting.
+        memo.insert(vec![0u64].into_boxed_slice(), record(42));
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.stats().evictions, 1);
+        assert_eq!(memo.lookup(&[0u64][..]).unwrap().candidates, 42);
+        // ... and is now the most recent: inserting once more evicts 2.
+        memo.insert(vec![3u64].into_boxed_slice(), record(3));
+        assert!(memo.lookup(&[2u64][..]).is_none());
+        assert!(memo.lookup(&[0u64][..]).is_some());
+    }
+
+    #[test]
+    fn lru_adapts_to_a_shifted_workload() {
+        // A memo that keeps re-missing on a new hot set must converge to
+        // holding it (the seed's shed-new-inserts policy pinned the old
+        // set forever).
+        let memo = SubplanMemo::with_shards(4, 1);
+        for i in 0..4u64 {
             memo.insert(vec![i].into_boxed_slice(), record(i));
         }
-        assert_eq!(memo.len(), 2);
-        assert!(memo.lookup(&[0u64][..]).is_some());
-        assert!(memo.lookup(&[4u64][..]).is_none());
-        // Replacing a retained key stays within capacity.
-        memo.insert(vec![1u64].into_boxed_slice(), record(42));
-        assert_eq!(memo.len(), 2);
-        assert_eq!(memo.lookup(&[1u64][..]).unwrap().candidates, 42);
+        for i in 100..104u64 {
+            memo.insert(vec![i].into_boxed_slice(), record(i));
+        }
+        assert_eq!(memo.len(), 4);
+        assert_eq!(memo.stats().evictions, 4);
+        for i in 100..104u64 {
+            assert!(memo.lookup(&[i][..]).is_some(), "new hot key {i} retained");
+        }
     }
 }

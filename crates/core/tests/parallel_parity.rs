@@ -320,9 +320,13 @@ fn overlapping_queries_share_subplan_nodes() {
     let out = optimize_lec_static_with(&model_b, &memory, &cfg).unwrap();
     assert_identical("overlap", 1, &base, &out);
     // The 5-table intersection contributes 4+3+2+1 = 10 shared connected
-    // subchains; the 5 subchains touching the new endpoint are fresh.
-    assert_eq!(out.stats.memo_hits, 10, "every shared subchain must hit");
-    assert_eq!(out.stats.memo_misses, 5, "every fresh subchain must miss");
+    // subchains plus its 5 singleton access-path nodes; the 5 subchains
+    // and 1 singleton touching the new endpoint are fresh.
+    assert_eq!(
+        out.stats.memo_hits, 15,
+        "every shared subchain and singleton must hit"
+    );
+    assert_eq!(out.stats.memo_misses, 6, "every fresh node must miss");
 }
 
 /// Twin tables distinguished only *outside* a sub-subset: the body of
@@ -382,11 +386,16 @@ fn globally_distinguished_twins_stay_byte_identical_under_a_shared_memo() {
         let model = CostModel::new(&cat, query);
         let out = optimize_lec_static_with(&model, &memory, &cfg).unwrap();
         assert_identical("twin-fixture", 1, &base, &out);
-        // Nodes containing both twins must never be served from the memo.
+        // Nodes containing both twins must never be served from the memo;
+        // singleton nodes hold one table and are always eligible — the
+        // twin spokes even share one singleton record (their occurrence
+        // fingerprints are equal, and a one-member subset has no pair to
+        // refuse), which is sound because a depth-1 node is a pure
+        // function of that fingerprint.
         assert_eq!(
             out.stats.memo_hits + out.stats.memo_misses,
-            4,
-            "only the 4 twin-free composite subsets are memo-eligible"
+            8,
+            "4 twin-free composite subsets + 4 singleton nodes"
         );
     }
 }

@@ -28,9 +28,9 @@ pub use expected::{
     parallel_naive_expected_join_cost, streaming_expected_join_cost,
 };
 pub use model::{
-    dist_fingerprint, table_occurrence_fingerprint, table_stats_fingerprint, AccessPath,
-    BucketParallelism, CostModel, CostProbe, Fingerprint, FxBuildHasher, FxHasher, ProbeOp,
-    ProbeRecording, DEFAULT_MIN_PARALLEL_EVALS,
+    dist_fingerprint, evict_coldest, shard_index, table_occurrence_fingerprint,
+    table_stats_fingerprint, AccessPath, BucketParallelism, CostModel, CostProbe, Fingerprint,
+    FxBuildHasher, FxHasher, ProbeOp, ProbeRecording, DEFAULT_MIN_PARALLEL_EVALS,
 };
 pub use plan_cost::{
     expected_plan_cost_dynamic, expected_plan_cost_static, output_order, phases, plan_cost_at,

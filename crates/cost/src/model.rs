@@ -478,6 +478,36 @@ pub fn dist_fingerprint(d: &Distribution) -> u64 {
     Fingerprint::new().dist(d).finish()
 }
 
+/// The lock stripe responsible for a multi-word cache key: a
+/// [`Fingerprint`] fold mapped onto `0..n_shards` by multiply-shift
+/// (uniform for any shard count, no power-of-two requirement).  Shared by
+/// every sharded cross-query cache (the search engine's subplan memo,
+/// the serving layer's plan cache) so their stripe selection cannot
+/// drift apart.
+pub fn shard_index(key: &[u64], n_shards: usize) -> usize {
+    let h = key
+        .iter()
+        .fold(Fingerprint::new(), |fp, &w| fp.u64(w))
+        .finish();
+    ((h as u128 * n_shards as u128) >> 64) as usize
+}
+
+/// Remove and return the key of the least-recently-used entry of one
+/// cache shard, per `last_used`'s reading of the shard's LRU clock.  The
+/// scan is `O(shard len)` — shards are small slices of a bounded
+/// capacity, and eviction only runs when a shard is full.
+pub fn evict_coldest<V, S: std::hash::BuildHasher>(
+    map: &mut HashMap<Box<[u64]>, V, S>,
+    last_used: impl Fn(&V) -> u64,
+) -> Option<Box<[u64]>> {
+    let victim = map
+        .iter()
+        .min_by_key(|(_, v)| last_used(v))
+        .map(|(k, _)| k.clone())?;
+    map.remove(&victim);
+    Some(victim)
+}
+
 /// Label-independent fingerprint of one table *occurrence* in a query:
 /// the stored table's statistics fingerprint plus the occurrence's filter
 /// (column and selectivity distribution).  The free-function form of
@@ -614,6 +644,17 @@ impl<'a> CostModel<'a> {
     /// Reset the evaluation counter.
     pub fn reset_evals(&self) {
         self.evals.store(0, Ordering::Relaxed);
+    }
+
+    /// Charge `n` formula evaluations that happened (or are being
+    /// replayed) outside the memoized `*_for` path — the search engine's
+    /// subplan memo uses this to reproduce the uncached access-path
+    /// costing of a skipped depth-1 node, keeping [`CostModel::evals`]
+    /// byte-identical to a memo-off run.
+    pub fn charge_evals(&self, n: u64) {
+        if n != 0 {
+            self.evals.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     fn count_eval(&self) {

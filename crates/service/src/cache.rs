@@ -1,16 +1,44 @@
-//! The cross-query plan store: exact-key LRU entries plus a weak-shape
-//! index for revalidation.
+//! The cross-query plan store: a lock-striped, `&self`-shareable cache of
+//! exact-key LRU entries, a weak-shape index for revalidation, and the
+//! in-flight singleflight table behind request coalescing.
 //!
 //! Entries are keyed by the full exact encoding (not a hash of it), so
-//! distinct shapes can never collide into each other's plans; the weak
-//! index maps each bucketed shape to the most recent exact entry of that
-//! shape, which is the plan a near-miss request revalidates against.
-//! Plans are stored in *canonical* label space — the server relabels them
-//! into each caller's numbering on the way out.
+//! distinct shapes can never collide into each other's plans.  The exact
+//! map is split into [`CACHE_SHARDS`] lock-striped shards selected by a
+//! fingerprint of the canonical key: the 97%+ hit path of a skewed
+//! workload takes exactly one shard lock, so concurrent clients only ever
+//! serialize when they race on the same sliver of the key space.  Each
+//! shard runs its own LRU over its slice of the capacity, and the
+//! counters are atomics ([`CacheStats`] is a point-in-time snapshot).
+//!
+//! The weak index maps each bucketed shape to the canonical plan most
+//! recently cached under it — the plan a near-miss request revalidates
+//! against — sharded and LRU-bounded the same way (by weak key, since
+//! weak and exact keys hash apart; a weak entry can therefore briefly
+//! outlive its evicted exact entry, which only affects the
+//! revalidated-vs-recomputed *label*, never the served bytes: weak hits
+//! always run a fresh search).
+//!
+//! Each exact shard also carries the shard's **in-flight table**: the
+//! first thread to miss on a key inserts an [`InflightSearch`] under the
+//! same shard lock that observed the miss and becomes the *leader*;
+//! concurrent misses on the same key find the entry and become
+//! *followers*, blocking on the leader's search instead of running their
+//! own ([`CacheDecision::Coalesced`]).  Plans are stored in *canonical*
+//! label space — the server relabels them into each caller's numbering on
+//! the way out.
 
-use lec_core::SearchStats;
+use lec_core::{OptError, SearchStats};
 use lec_plan::PlanNode;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Number of lock stripes in the exact and weak maps.  Enough that a
+/// handful of client threads rarely collide on a shard, few enough that
+/// per-shard LRU slices stay large (default capacity 512 → 32 entries per
+/// shard).
+pub const CACHE_SHARDS: usize = 16;
 
 /// What the cache did for one request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +46,10 @@ pub enum CacheDecision {
     /// Exact canonical-shape hit: the cached plan was relabeled and
     /// returned without running any search.
     Served,
+    /// Exact miss that raced an identical in-flight miss: this request
+    /// blocked on that leader's search and was answered by relabeling the
+    /// leader's canonical result — one DP ran for the whole cohort.
+    Coalesced,
     /// The bucketed shape matched but the exact parameters did not; a
     /// fresh search ran and *confirmed* the cached plan (the response is
     /// the fresh result, so byte-identity is unconditional).
@@ -35,6 +67,7 @@ impl CacheDecision {
     pub fn name(&self) -> &'static str {
         match self {
             CacheDecision::Served => "served",
+            CacheDecision::Coalesced => "coalesced",
             CacheDecision::Revalidated => "revalidated",
             CacheDecision::Recomputed => "recomputed",
             CacheDecision::Uncacheable => "uncacheable",
@@ -42,13 +75,19 @@ impl CacheDecision {
     }
 }
 
-/// Aggregate counters across a cache's lifetime.
+/// A point-in-time snapshot of a cache's lifetime counters (the live
+/// counters are atomics so every client thread can bump them through
+/// `&self`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
     /// Requests that consulted the cache (uncacheable ones included).
     pub lookups: u64,
     /// Exact hits answered without a search.
     pub served: u64,
+    /// Followers answered by blocking on a concurrent leader's search.
+    pub coalesced_followers: u64,
+    /// Leaders whose single search also answered at least one follower.
+    pub coalesced_leaders: u64,
     /// Weak hits whose cached plan a fresh search confirmed.
     pub revalidated: u64,
     /// Misses (and stale weak hits) that ran a fresh search.
@@ -57,12 +96,14 @@ pub struct CacheStats {
     pub uncacheable: u64,
     /// Entries inserted.
     pub insertions: u64,
-    /// Entries evicted by the LRU policy.
+    /// Entries evicted by the per-shard LRU policy.
     pub evictions: u64,
 }
 
 impl CacheStats {
-    /// Fraction of cacheable lookups answered without a search.
+    /// Fraction of cacheable lookups answered without running (or waiting
+    /// on) a search — exact hits only; coalesced followers are counted
+    /// separately since they still paid a search's latency.
     pub fn hit_rate(&self) -> f64 {
         let cacheable = self.lookups.saturating_sub(self.uncacheable);
         if cacheable == 0 {
@@ -77,6 +118,8 @@ impl CacheStats {
         serde_json::json!({
             "lookups": self.lookups,
             "served": self.served,
+            "coalesced_followers": self.coalesced_followers,
+            "coalesced_leaders": self.coalesced_leaders,
             "revalidated": self.revalidated,
             "recomputed": self.recomputed,
             "uncacheable": self.uncacheable,
@@ -93,54 +136,203 @@ impl serde_json::Serialize for CacheStats {
     }
 }
 
-/// One cached plan in canonical label space.
+/// The live (atomic) counters behind [`CacheStats`].
+#[derive(Debug, Default)]
+struct AtomicCacheStats {
+    lookups: AtomicU64,
+    served: AtomicU64,
+    coalesced_followers: AtomicU64,
+    coalesced_leaders: AtomicU64,
+    revalidated: AtomicU64,
+    recomputed: AtomicU64,
+    uncacheable: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AtomicCacheStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            coalesced_followers: self.coalesced_followers.load(Ordering::Relaxed),
+            coalesced_leaders: self.coalesced_leaders.load(Ordering::Relaxed),
+            revalidated: self.revalidated.load(Ordering::Relaxed),
+            recomputed: self.recomputed.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A completed search result in canonical label space — what a leader
+/// hands its followers and what the cache stores.
 #[derive(Debug, Clone)]
-pub(crate) struct CachedShapePlan {
+pub(crate) struct CanonicalAnswer {
     /// The plan, canonically labeled.
     pub plan: PlanNode,
     /// Its objective value.
     pub cost: f64,
-    /// The original computation's statistics (served responses carry them
-    /// with `elapsed` re-stamped to the serve latency).
+    /// The original computation's statistics.
     pub stats: SearchStats,
-    /// Exact hits this entry has answered.
-    pub hits: u64,
-    /// LRU clock value of the last touch.
-    last_used: u64,
-    /// The weak key this entry is indexed under.
-    weak: Box<[u64]>,
 }
 
-/// The canonical-shape plan cache with LRU eviction.
+/// One in-flight search: the rendezvous between a leader and the
+/// followers coalesced onto it.  The leader publishes exactly once —
+/// a canonical answer, or the error its search died with — and every
+/// follower wakes with a clone of it.
+#[derive(Debug)]
+pub(crate) struct InflightSearch {
+    done: Mutex<Option<Result<Arc<CanonicalAnswer>, OptError>>>,
+    cv: Condvar,
+    followers: AtomicU64,
+}
+
+impl InflightSearch {
+    fn new() -> Self {
+        InflightSearch {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+            followers: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until the leader publishes, then share its result out (an
+    /// `Arc` bump, not a deep clone — followers relabel from the shared
+    /// canonical answer).
+    pub(crate) fn wait(&self) -> Result<Arc<CanonicalAnswer>, OptError> {
+        let mut slot = self.done.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Number of followers that coalesced onto this search.
+    pub(crate) fn followers(&self) -> u64 {
+        self.followers.load(Ordering::Relaxed)
+    }
+
+    fn publish(&self, result: Result<Arc<CanonicalAnswer>, OptError>) {
+        let mut slot = self.done.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.cv.notify_all();
+    }
+}
+
+/// The outcome of one exact-key lookup.
+pub(crate) enum ExactLookup {
+    /// The cached canonical answer (already counted as served).
+    Hit(Arc<CanonicalAnswer>),
+    /// This thread is the leader: it must run the search and then call
+    /// [`ShapeCache::publish_answer`] or [`ShapeCache::publish_error`]
+    /// with the same key — unconditionally, or followers deadlock (the
+    /// server wraps the obligation in a drop guard).
+    Lead(Arc<InflightSearch>),
+    /// Another thread is already searching this exact key; wait on it.
+    Follow(Arc<InflightSearch>),
+}
+
+/// One cached plan in canonical label space.  The answer rides in an
+/// `Arc` so the hit path hands it out with a pointer bump — the deep
+/// work (relabeling into the caller's numbering) happens outside the
+/// shard lock, and one allocation is shared between the exact entry, the
+/// weak entry, and every coalesced follower.
+#[derive(Debug, Clone)]
+struct CachedShapePlan {
+    answer: Arc<CanonicalAnswer>,
+    /// Exact hits this entry has answered.
+    hits: u64,
+    /// LRU clock value of the last touch.
+    last_used: u64,
+}
+
+/// One exact-map stripe: its entries, its slice of the in-flight table,
+/// and its own LRU clock.
+#[derive(Debug, Default)]
+struct ExactShard {
+    entries: HashMap<Box<[u64]>, CachedShapePlan>,
+    inflight: HashMap<Box<[u64]>, Arc<InflightSearch>>,
+    tick: u64,
+}
+
+/// One weak-index stripe: bucketed shape → most recent canonical answer
+/// (shared with the exact entry, compared by plan on revalidation).
+#[derive(Debug, Default)]
+struct WeakShard {
+    entries: HashMap<Box<[u64]>, (Arc<CanonicalAnswer>, u64)>,
+    tick: u64,
+}
+
+/// The sharded canonical-shape plan cache with per-shard LRU eviction and
+/// singleflight coalescing.  Every method takes `&self`; the cache is
+/// `Sync` and shared by all of a [`crate::ConcurrentPlanServer`]'s client
+/// threads.
 #[derive(Debug)]
 pub struct ShapeCache {
-    entries: HashMap<Box<[u64]>, CachedShapePlan>,
-    weak_index: HashMap<Box<[u64]>, Box<[u64]>>,
+    exact: Box<[Mutex<ExactShard>]>,
+    weak: Box<[Mutex<WeakShard>]>,
+    shard_capacity: usize,
     capacity: usize,
-    tick: u64,
-    pub(crate) stats: CacheStats,
+    stats: AtomicCacheStats,
 }
 
 impl ShapeCache {
-    /// An empty cache holding at most `capacity` plans (min 1).
+    /// An empty cache holding at most `capacity` plans (apportioned over
+    /// [`CACHE_SHARDS`] stripes; the stripe count clamps to `capacity`
+    /// so the bound is never exceeded).
     pub fn new(capacity: usize) -> Self {
+        ShapeCache::with_shards(capacity, CACHE_SHARDS)
+    }
+
+    /// An empty cache with an explicit stripe count (`shards >= 1`,
+    /// clamped to `capacity`); tests use a single stripe to make the LRU
+    /// order deterministic.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
         ShapeCache {
-            entries: HashMap::new(),
-            weak_index: HashMap::new(),
-            capacity: capacity.max(1),
-            tick: 0,
-            stats: CacheStats::default(),
+            exact: (0..shards)
+                .map(|_| Mutex::new(ExactShard::default()))
+                .collect(),
+            weak: (0..shards)
+                .map(|_| Mutex::new(WeakShard::default()))
+                .collect(),
+            shard_capacity: capacity / shards,
+            capacity,
+            stats: AtomicCacheStats::default(),
         }
+    }
+
+    fn exact_shard(&self, key: &[u64]) -> MutexGuard<'_, ExactShard> {
+        self.exact[lec_cost::shard_index(key, self.exact.len())]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn weak_shard(&self, key: &[u64]) -> MutexGuard<'_, WeakShard> {
+        self.weak[lec_cost::shard_index(key, self.weak.len())]
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
     }
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.exact
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).entries.len())
+            .sum()
     }
 
     /// True when no plan is cached.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Maximum number of cached plans.
@@ -148,75 +340,144 @@ impl ShapeCache {
         self.capacity
     }
 
-    /// Lifetime counters.
-    pub fn stats(&self) -> &CacheStats {
-        &self.stats
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.snapshot()
+    }
+
+    /// Count one request consulting the cache.
+    pub(crate) fn count_lookup(&self) {
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request bypassing the cache.
+    pub(crate) fn count_uncacheable(&self) {
+        self.stats.uncacheable.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Per-entry exact-hit counters, descending — the skew profile of the
     /// workload as the cache sees it.
     pub fn hit_histogram(&self) -> Vec<u64> {
-        let mut hits: Vec<u64> = self.entries.values().map(|e| e.hits).collect();
+        let mut hits: Vec<u64> = Vec::new();
+        for shard in self.exact.iter() {
+            let shard = shard.lock().unwrap_or_else(|p| p.into_inner());
+            hits.extend(shard.entries.values().map(|e| e.hits));
+        }
         hits.sort_unstable_by(|a, b| b.cmp(a));
         hits
     }
 
-    /// Exact lookup; touches the LRU clock and the entry's hit counter.
-    pub(crate) fn get_exact(&mut self, exact: &[u64]) -> Option<&CachedShapePlan> {
-        self.tick += 1;
-        let tick = self.tick;
-        let entry = self.entries.get_mut(exact)?;
-        entry.last_used = tick;
-        entry.hits += 1;
-        Some(entry)
+    /// Exact lookup with singleflight admission, in one shard-lock
+    /// critical section: a cached entry is a [`ExactLookup::Hit`] (LRU and
+    /// hit counters touched), an uncached key with a search already in
+    /// flight joins it ([`ExactLookup::Follow`]), and an uncached idle key
+    /// makes this thread the leader ([`ExactLookup::Lead`]).
+    pub(crate) fn lookup_or_lead(&self, exact: &[u64]) -> ExactLookup {
+        let mut shard = self.exact_shard(exact);
+        let tick = shard.tick + 1;
+        shard.tick = tick;
+        if let Some(entry) = shard.entries.get_mut(exact) {
+            entry.last_used = tick;
+            entry.hits += 1;
+            let answer = Arc::clone(&entry.answer);
+            drop(shard);
+            self.stats.served.fetch_add(1, Ordering::Relaxed);
+            return ExactLookup::Hit(answer);
+        }
+        if let Some(flight) = shard.inflight.get(exact) {
+            flight.followers.fetch_add(1, Ordering::Relaxed);
+            let flight = Arc::clone(flight);
+            drop(shard);
+            self.stats
+                .coalesced_followers
+                .fetch_add(1, Ordering::Relaxed);
+            return ExactLookup::Follow(flight);
+        }
+        let flight = Arc::new(InflightSearch::new());
+        shard
+            .inflight
+            .insert(exact.to_vec().into_boxed_slice(), Arc::clone(&flight));
+        ExactLookup::Lead(flight)
     }
 
-    /// The canonically-labeled plan cached under a weak shape, if any —
-    /// the revalidation candidate for a near-miss.
-    pub(crate) fn weak_plan(&self, weak: &[u64]) -> Option<&PlanNode> {
-        let exact = self.weak_index.get(weak)?;
-        self.entries.get(exact).map(|e| &e.plan)
-    }
-
-    /// Insert a freshly computed plan under both keys, evicting the
-    /// least-recently-used entry when over capacity.
-    pub(crate) fn insert(
-        &mut self,
-        exact: Box<[u64]>,
+    /// Leader completion (success): classify the answer against the weak
+    /// index (updating it), insert the entry under the exact key, retire
+    /// the in-flight record, and wake the followers.  Returns the
+    /// revalidated-vs-recomputed decision for the leader's own response.
+    pub(crate) fn publish_answer(
+        &self,
+        exact: &[u64],
         weak: Box<[u64]>,
-        plan: PlanNode,
-        cost: f64,
-        stats: SearchStats,
-    ) {
-        self.tick += 1;
-        self.stats.insertions += 1;
-        self.weak_index.insert(weak.clone(), exact.clone());
-        self.entries.insert(
-            exact,
-            CachedShapePlan {
-                plan,
-                cost,
-                stats,
-                hits: 0,
-                last_used: self.tick,
-                weak,
-            },
-        );
-        while self.entries.len() > self.capacity {
-            let victim = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("over-capacity cache is non-empty");
-            if let Some(evicted) = self.entries.remove(&victim) {
-                // Drop the weak pointer only if it still points here (a
-                // newer entry of the same shape may have overwritten it).
-                if self.weak_index.get(&evicted.weak) == Some(&victim) {
-                    self.weak_index.remove(&evicted.weak);
-                }
+        answer: CanonicalAnswer,
+    ) -> CacheDecision {
+        // One allocation shared by the exact entry, the weak entry, and
+        // every follower.
+        let answer = Arc::new(answer);
+        // Weak index first (its own stripe, never held together with an
+        // exact stripe): does the bucketed shape already predict this
+        // plan?
+        let decision = {
+            let mut shard = self.weak_shard(&weak);
+            let tick = shard.tick + 1;
+            shard.tick = tick;
+            let matched =
+                matches!(shard.entries.get(&weak), Some((prev, _)) if prev.plan == answer.plan);
+            shard.entries.insert(weak, (Arc::clone(&answer), tick));
+            if shard.entries.len() > self.shard_capacity {
+                lec_cost::evict_coldest(&mut shard.entries, |(_, last_used)| *last_used);
             }
-            self.stats.evictions += 1;
+            if matched {
+                CacheDecision::Revalidated
+            } else {
+                CacheDecision::Recomputed
+            }
+        };
+        match decision {
+            CacheDecision::Revalidated => &self.stats.revalidated,
+            _ => &self.stats.recomputed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+
+        let flight = {
+            let mut shard = self.exact_shard(exact);
+            let tick = shard.tick + 1;
+            shard.tick = tick;
+            shard.entries.insert(
+                exact.to_vec().into_boxed_slice(),
+                CachedShapePlan {
+                    answer: Arc::clone(&answer),
+                    hits: 0,
+                    last_used: tick,
+                },
+            );
+            self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+            while shard.entries.len() > self.shard_capacity {
+                lec_cost::evict_coldest(&mut shard.entries, |e| e.last_used);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            // Retiring the in-flight record under the same lock that
+            // inserted the entry closes the follower window: from here on
+            // every new lookup is a plain hit.
+            shard.inflight.remove(exact)
+        };
+        if let Some(flight) = flight {
+            if flight.followers() > 0 {
+                self.stats.coalesced_leaders.fetch_add(1, Ordering::Relaxed);
+            }
+            flight.publish(Ok(answer));
+        }
+        decision
+    }
+
+    /// Leader completion (failure): retire the in-flight record and wake
+    /// the followers with the leader's error.  Nothing is cached.
+    pub(crate) fn publish_error(&self, exact: &[u64], error: OptError) {
+        let flight = self.exact_shard(exact).inflight.remove(exact);
+        if let Some(flight) = flight {
+            if flight.followers() > 0 {
+                self.stats.coalesced_leaders.fetch_add(1, Ordering::Relaxed);
+            }
+            flight.publish(Err(error));
         }
     }
 }
@@ -229,45 +490,126 @@ mod tests {
         vec![v].into_boxed_slice()
     }
 
-    fn plan(t: usize) -> PlanNode {
-        PlanNode::SeqScan { table: t }
+    fn answer(t: usize, cost: f64) -> CanonicalAnswer {
+        CanonicalAnswer {
+            plan: PlanNode::SeqScan { table: t },
+            cost,
+            stats: SearchStats::default(),
+        }
+    }
+
+    /// Lead on `k` and immediately publish `a` (the single-threaded
+    /// equivalent of the old insert).
+    fn insert(c: &ShapeCache, k: u64, weak: u64, a: CanonicalAnswer) -> CacheDecision {
+        match c.lookup_or_lead(&key(k)) {
+            ExactLookup::Lead(_) => c.publish_answer(&key(k), key(weak), a),
+            _ => panic!("fresh key must elect a leader"),
+        }
     }
 
     #[test]
     fn exact_hits_count_and_touch() {
-        let mut c = ShapeCache::new(4);
-        c.insert(key(1), key(100), plan(0), 1.0, SearchStats::default());
+        let c = ShapeCache::with_shards(4, 1);
+        assert_eq!(
+            insert(&c, 1, 100, answer(0, 1.0)),
+            CacheDecision::Recomputed
+        );
         assert_eq!(c.len(), 1);
-        assert!(c.get_exact(&key(2)).is_none());
-        let e = c.get_exact(&key(1)).unwrap();
-        assert_eq!(e.hits, 1);
-        assert_eq!(e.cost, 1.0);
-        let e = c.get_exact(&key(1)).unwrap();
-        assert_eq!(e.hits, 2);
+        assert!(matches!(c.lookup_or_lead(&key(2)), ExactLookup::Lead(_)));
+        c.publish_error(&key(2), OptError::NoPlanFound);
+        let ExactLookup::Hit(a) = c.lookup_or_lead(&key(1)) else {
+            panic!("must hit")
+        };
+        assert_eq!(a.cost, 1.0);
+        assert!(matches!(c.lookup_or_lead(&key(1)), ExactLookup::Hit(_)));
         assert_eq!(c.hit_histogram(), vec![2]);
+        assert_eq!(c.stats().served, 2);
     }
 
     #[test]
-    fn lru_evicts_the_coldest_entry() {
-        let mut c = ShapeCache::new(2);
-        c.insert(key(1), key(100), plan(0), 1.0, SearchStats::default());
-        c.insert(key(2), key(200), plan(1), 2.0, SearchStats::default());
-        c.get_exact(&key(1)); // 2 is now coldest
-        c.insert(key(3), key(300), plan(2), 3.0, SearchStats::default());
+    fn per_shard_lru_evicts_the_coldest_entry() {
+        let c = ShapeCache::with_shards(2, 1);
+        insert(&c, 1, 100, answer(0, 1.0));
+        insert(&c, 2, 200, answer(1, 2.0));
+        assert!(matches!(c.lookup_or_lead(&key(1)), ExactLookup::Hit(_))); // 2 is now coldest
+        insert(&c, 3, 300, answer(2, 3.0));
         assert_eq!(c.len(), 2);
-        assert!(c.get_exact(&key(2)).is_none(), "coldest entry evicted");
-        assert!(c.get_exact(&key(1)).is_some());
-        assert!(c.get_exact(&key(3)).is_some());
+        assert!(
+            matches!(c.lookup_or_lead(&key(2)), ExactLookup::Lead(_)),
+            "coldest entry evicted"
+        );
+        c.publish_error(&key(2), OptError::NoPlanFound);
+        assert!(matches!(c.lookup_or_lead(&key(1)), ExactLookup::Hit(_)));
+        assert!(matches!(c.lookup_or_lead(&key(3)), ExactLookup::Hit(_)));
         assert_eq!(c.stats().evictions, 1);
-        assert!(c.weak_plan(&key(200)).is_none(), "weak pointer cleaned");
     }
 
     #[test]
     fn weak_index_follows_the_newest_entry_of_a_shape() {
-        let mut c = ShapeCache::new(4);
-        c.insert(key(1), key(100), plan(0), 1.0, SearchStats::default());
-        c.insert(key(2), key(100), plan(1), 2.0, SearchStats::default());
-        assert_eq!(c.weak_plan(&key(100)), Some(&plan(1)));
+        let c = ShapeCache::with_shards(4, 1);
+        assert_eq!(
+            insert(&c, 1, 100, answer(0, 1.0)),
+            CacheDecision::Recomputed
+        );
+        // Same weak shape, different plan: the weak index disagrees.
+        assert_eq!(
+            insert(&c, 2, 100, answer(1, 2.0)),
+            CacheDecision::Recomputed
+        );
+        // Same weak shape, same plan as the most recent entry: revalidated.
+        assert_eq!(
+            insert(&c, 3, 100, answer(1, 3.0)),
+            CacheDecision::Revalidated
+        );
+        assert_eq!(c.stats().revalidated, 1);
+        assert_eq!(c.stats().recomputed, 2);
+    }
+
+    #[test]
+    fn followers_coalesce_onto_the_leader_and_share_its_answer() {
+        let c = Arc::new(ShapeCache::with_shards(4, 1));
+        let ExactLookup::Lead(_lead) = c.lookup_or_lead(&key(7)) else {
+            panic!("first miss leads")
+        };
+        let followers: Vec<_> = (0..3)
+            .map(|_| {
+                let ExactLookup::Follow(f) = c.lookup_or_lead(&key(7)) else {
+                    panic!("concurrent miss follows")
+                };
+                f
+            })
+            .collect();
+        let waiters: Vec<_> = followers
+            .into_iter()
+            .map(|f| std::thread::spawn(move || f.wait()))
+            .collect();
+        c.publish_answer(&key(7), key(700), answer(4, 9.0));
+        for w in waiters {
+            let got = w.join().unwrap().expect("leader succeeded");
+            assert_eq!(got.plan, PlanNode::SeqScan { table: 4 });
+            assert_eq!(got.cost.to_bits(), 9.0f64.to_bits());
+        }
+        let s = c.stats();
+        assert_eq!(s.coalesced_followers, 3);
+        assert_eq!(s.coalesced_leaders, 1);
+        // The cohort is gone; the key now hits.
+        assert!(matches!(c.lookup_or_lead(&key(7)), ExactLookup::Hit(_)));
+    }
+
+    #[test]
+    fn a_failed_leader_wakes_followers_with_its_error() {
+        let c = ShapeCache::with_shards(4, 1);
+        let ExactLookup::Lead(_lead) = c.lookup_or_lead(&key(9)) else {
+            panic!("first miss leads")
+        };
+        let ExactLookup::Follow(f) = c.lookup_or_lead(&key(9)) else {
+            panic!("second miss follows")
+        };
+        c.publish_error(&key(9), OptError::WorkerPanicked);
+        assert_eq!(f.wait().unwrap_err(), OptError::WorkerPanicked);
+        // Nothing was cached; the next request elects a fresh leader.
+        assert!(matches!(c.lookup_or_lead(&key(9)), ExactLookup::Lead(_)));
+        assert_eq!(c.len(), 0);
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! The concurrent serving front end: a [`ConcurrentPlanServer`] that many
+//! client threads share through `&self`.
+//!
+//! The per-query engine underneath has been `Sync` since PR 2 (sharded
+//! eval cache), PR 3 (persistent worker pool) and PR 4 (sharded subplan
+//! memo); this module makes the *serving* layer match.  Three layers:
+//!
+//! 1. **Sharded plan cache** ([`crate::cache::ShapeCache`]): the
+//!    exact/weak maps are lock-striped, so the hit path — the 97%+ common
+//!    case on a skewed workload — takes one shard lock for a few hundred
+//!    nanoseconds instead of serializing every client behind a global
+//!    `&mut self`.
+//! 2. **In-flight coalescing (singleflight)**: concurrent misses on the
+//!    same exact canonical key elect one *leader* whose single DP answers
+//!    the whole cohort; *followers* block on it and get the canonical
+//!    answer relabeled into their own table numbering
+//!    ([`CacheDecision::Coalesced`]).  A thundering herd on a cold hot
+//!    key runs one search, not N.
+//! 3. **Shared worker-pool discipline**: every search borrows threads
+//!    from one [`lec_core::search::PersistentPool`] and probes one shared
+//!    [`SubplanMemo`] — both already safe under concurrent use (the pool
+//!    serializes fan-outs internally; the memo is sharded).  A leader
+//!    whose search dies — an engine-reported
+//!    [`OptError::WorkerPanicked`], or a panic unwinding out of the
+//!    optimizer — fails **exactly its own followers** (each receives the
+//!    error) and nothing else: the in-flight record is retired, the pool
+//!    survives, and the next request on that key elects a fresh leader.
+//!
+//! Byte-identity is the same acceptance bar as every layer before it:
+//! whatever the interleaving, every response (plan, cost bits, table
+//! numbering) equals a fresh [`Optimizer::optimize`] of that request —
+//! pinned by `tests/concurrent_parity.rs` and the `concurrent_serve`
+//! bench guard.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lec_core::{fixtures, Mode};
+//! use lec_service::{CacheDecision, ConcurrentPlanServer};
+//!
+//! let (catalog, query) = fixtures::three_chain();
+//! let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+//! let server = Arc::new(ConcurrentPlanServer::new(&catalog, memory));
+//!
+//! // Many clients, one server, `&self` all the way down.
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         let server = Arc::clone(&server);
+//!         let query = query.clone();
+//!         scope.spawn(move || {
+//!             let resp = server.serve(&query, &Mode::AlgorithmC).unwrap();
+//!             assert!(resp.cost > 0.0);
+//!         });
+//!     }
+//! });
+//! assert_eq!(server.cache_stats().lookups, 4);
+//! ```
+
+use crate::cache::{CacheDecision, CacheStats, CanonicalAnswer, ExactLookup, ShapeCache};
+use crate::server::{ServeResponse, DEFAULT_CACHE_CAPACITY};
+use lec_canon::canonical_form;
+use lec_catalog::Catalog;
+use lec_core::search::{PersistentPool, SubplanMemo, WorkerPool};
+use lec_core::{Mode, OptError, Optimizer};
+use lec_cost::dist_fingerprint;
+use lec_plan::Query;
+use lec_prob::Distribution;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A long-lived, thread-shared query-optimization service over one
+/// catalog and memory belief.
+///
+/// Where [`crate::PlanServer`] answers one client at a time (`&mut
+/// self`), this server is the multi-client front end: [`serve`] takes
+/// `&self`, so any number of threads share one instance (typically
+/// `Arc<ConcurrentPlanServer>`, or plain borrows under
+/// [`std::thread::scope`]).  See the [module docs](self) for the three
+/// layers — sharded cache, singleflight coalescing, shared pool/memo —
+/// and the byte-identity contract.
+///
+/// [`serve`]: ConcurrentPlanServer::serve
+#[derive(Debug)]
+pub struct ConcurrentPlanServer<'a> {
+    optimizer: Optimizer<'a>,
+    cache: ShapeCache,
+    memo: Option<Arc<SubplanMemo>>,
+    memory_fp: u64,
+    search_fp: u64,
+}
+
+/// The whole point: one server instance is shared by every client thread.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<ConcurrentPlanServer<'static>>();
+};
+
+impl<'a> ConcurrentPlanServer<'a> {
+    /// A server over `catalog` believing `memory`, with the default cache
+    /// capacity, a persistent worker pool sized to the host, and a shared
+    /// cross-search subplan memo — the same defaults as
+    /// [`crate::PlanServer::new`].
+    pub fn new(catalog: &'a Catalog, memory: Distribution) -> Self {
+        let pool: Arc<dyn WorkerPool> = Arc::new(PersistentPool::for_host());
+        let memo = Arc::new(SubplanMemo::default());
+        Self::with_optimizer(
+            Optimizer::new(catalog, memory)
+                .with_worker_pool(pool)
+                .with_subplan_memo(memo),
+            DEFAULT_CACHE_CAPACITY,
+        )
+    }
+
+    /// A server around an explicitly configured optimizer (search config,
+    /// worker pool, subplan memo) and cache capacity.
+    pub fn with_optimizer(optimizer: Optimizer<'a>, cache_capacity: usize) -> Self {
+        let memory_fp = dist_fingerprint(optimizer.memory());
+        let search_fp = optimizer.search_config().fingerprint();
+        let memo = optimizer.search_config().memo.clone();
+        ConcurrentPlanServer {
+            optimizer,
+            cache: ShapeCache::new(cache_capacity),
+            memo,
+            memory_fp,
+            search_fp,
+        }
+    }
+
+    /// The optimizer answering cache misses.
+    pub fn optimizer(&self) -> &Optimizer<'a> {
+        &self.optimizer
+    }
+
+    /// A snapshot of the lifetime cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of plans currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Per-entry exact-hit counters, descending.
+    pub fn hit_histogram(&self) -> Vec<u64> {
+        self.cache.hit_histogram()
+    }
+
+    /// The cross-search subplan memo backing this server's searches, if
+    /// one is installed.
+    pub fn subplan_memo(&self) -> Option<&Arc<SubplanMemo>> {
+        self.memo.as_ref()
+    }
+
+    /// Answer one optimization request; safe to call from any number of
+    /// threads concurrently.
+    ///
+    /// The response is byte-identical (plan, cost bits, table numbering)
+    /// to a fresh [`Optimizer::optimize`] of the same request whatever
+    /// the cache decided and however the calls interleaved.  Concurrent
+    /// misses on the same exact canonical key run **one** search: the
+    /// leader's, whose [`CacheDecision`] is `Recomputed`/`Revalidated` as
+    /// usual, while every follower reports [`CacheDecision::Coalesced`]
+    /// and carries the leader's counters with `elapsed` re-stamped to its
+    /// own wait.  A leader that fails (or panics) propagates the error to
+    /// exactly its own followers — coalesced cohorts on other keys never
+    /// notice.
+    pub fn serve(&self, query: &Query, mode: &Mode) -> Result<ServeResponse, OptError> {
+        let t0 = Instant::now();
+        query
+            .validate(self.optimizer.catalog())
+            .map_err(OptError::InvalidQuery)?;
+        self.cache.count_lookup();
+
+        // Serving a cached (or coalesced) plan to a renamed request is
+        // only sound when the mode commutes with table renaming — see
+        // `PlanServer::serve`; the refusals are identical here.
+        let cacheable_mode = !matches!(
+            mode,
+            Mode::IterativeImprovement { .. } | Mode::SimulatedAnnealing { .. }
+        );
+        let form = if cacheable_mode {
+            canonical_form(self.optimizer.catalog(), query)
+        } else {
+            None
+        };
+        let Some(form) = form else {
+            self.cache.count_uncacheable();
+            let out = self.optimizer.optimize(query, mode)?;
+            return Ok(ServeResponse {
+                plan: out.plan,
+                cost: out.cost,
+                mode: out.mode,
+                stats: out.stats,
+                decision: CacheDecision::Uncacheable,
+            });
+        };
+
+        let env = [self.memory_fp, mode.fingerprint(), self.search_fp];
+        let exact_key = key_with_env(&form.exact, &env);
+        let weak_key = key_with_env(&form.weak, &env);
+
+        match self.cache.lookup_or_lead(&exact_key) {
+            ExactLookup::Hit(answer) => {
+                let plan = answer.plan.relabel_tables(&form.inverse_perm());
+                let mut stats = answer.stats;
+                stats.elapsed = t0.elapsed();
+                Ok(ServeResponse {
+                    plan,
+                    cost: answer.cost,
+                    mode: mode.name(),
+                    stats,
+                    decision: CacheDecision::Served,
+                })
+            }
+            ExactLookup::Follow(flight) => {
+                let answer = flight.wait()?;
+                let plan = answer.plan.relabel_tables(&form.inverse_perm());
+                let mut stats = answer.stats;
+                stats.elapsed = t0.elapsed();
+                Ok(ServeResponse {
+                    plan,
+                    cost: answer.cost,
+                    mode: mode.name(),
+                    stats,
+                    decision: CacheDecision::Coalesced,
+                })
+            }
+            ExactLookup::Lead(_flight) => {
+                // From here on this thread owes the cohort a publication;
+                // the guard pays the debt with `WorkerPanicked` if the
+                // search unwinds past us.
+                let guard = LeaderGuard {
+                    cache: &self.cache,
+                    exact_key: &exact_key,
+                    completed: false,
+                };
+                match self.optimizer.optimize(query, mode) {
+                    Ok(out) => {
+                        let canon_plan = out.plan.relabel_tables(&form.perm);
+                        let decision = guard.complete_ok(
+                            weak_key,
+                            CanonicalAnswer {
+                                plan: canon_plan,
+                                cost: out.cost,
+                                stats: out.stats,
+                            },
+                        );
+                        let mut stats = out.stats;
+                        stats.elapsed = t0.elapsed();
+                        Ok(ServeResponse {
+                            plan: out.plan,
+                            cost: out.cost,
+                            mode: out.mode,
+                            stats,
+                            decision,
+                        })
+                    }
+                    Err(e) => {
+                        guard.complete_err(e.clone());
+                        Err(e)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Machine-readable service metrics: cache counters (coalescing
+    /// included), occupancy, the exact-hit skew histogram, and the
+    /// subplan memo's counters (`null` when no memo is installed).
+    pub fn metrics_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "cache": self.cache.stats().to_json(),
+            "cache_entries": self.cache.len(),
+            "cache_capacity": self.cache.capacity(),
+            "hit_histogram": self.hit_histogram(),
+            "memo": match &self.memo {
+                Some(m) => m.stats_json(),
+                None => serde_json::Value::Null,
+            },
+        })
+    }
+}
+
+/// Append the environment fingerprints (memory distribution, mode, search
+/// config) to a shape encoding, producing the final cache key.
+pub(crate) fn key_with_env(encoding: &[u64], env: &[u64; 3]) -> Box<[u64]> {
+    let mut key = Vec::with_capacity(encoding.len() + env.len());
+    key.extend_from_slice(encoding);
+    key.extend_from_slice(env);
+    key.into_boxed_slice()
+}
+
+/// The leader's unconditional-publication obligation.  Dropping it
+/// without completing — only possible when the search panicked out of
+/// [`Optimizer::optimize`] — wakes the followers with
+/// [`OptError::WorkerPanicked`] (the engine's own verdict for a search
+/// that died mid-flight) while the panic keeps unwinding the leader; a
+/// follower cohort can therefore never deadlock on a dead leader.
+struct LeaderGuard<'c> {
+    cache: &'c ShapeCache,
+    exact_key: &'c [u64],
+    completed: bool,
+}
+
+impl LeaderGuard<'_> {
+    fn complete_ok(mut self, weak_key: Box<[u64]>, answer: CanonicalAnswer) -> CacheDecision {
+        self.completed = true;
+        self.cache.publish_answer(self.exact_key, weak_key, answer)
+    }
+
+    fn complete_err(mut self, error: OptError) {
+        self.completed = true;
+        self.cache.publish_error(self.exact_key, error);
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.cache
+                .publish_error(self.exact_key, OptError::WorkerPanicked);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_core::fixtures;
+
+    #[test]
+    fn concurrent_server_serves_through_a_shared_reference() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let server = ConcurrentPlanServer::new(&cat, memory.clone());
+        let first = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(first.decision, CacheDecision::Recomputed);
+        let second = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(second.decision, CacheDecision::Served);
+        assert_eq!(first.plan, second.plan);
+        assert_eq!(first.cost.to_bits(), second.cost.to_bits());
+        let fresh = Optimizer::new(&cat, memory)
+            .optimize(&q, &Mode::AlgorithmC)
+            .unwrap();
+        assert_eq!(fresh.plan, second.plan);
+        assert_eq!(fresh.cost.to_bits(), second.cost.to_bits());
+    }
+
+    #[test]
+    fn scoped_clients_share_one_server() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let server = Arc::new(ConcurrentPlanServer::new(&cat, memory.clone()));
+        let fresh = Optimizer::new(&cat, memory)
+            .optimize(&q, &Mode::AlgorithmC)
+            .unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let server = Arc::clone(&server);
+                let q = &q;
+                let fresh = &fresh;
+                scope.spawn(move || {
+                    let resp = server.serve(q, &Mode::AlgorithmC).unwrap();
+                    assert_eq!(resp.plan, fresh.plan);
+                    assert_eq!(resp.cost.to_bits(), fresh.cost.to_bits());
+                });
+            }
+        });
+        let stats = server.cache_stats();
+        assert_eq!(stats.lookups, 4);
+        // Every response was answered by exactly one decision.
+        assert_eq!(
+            stats.served + stats.coalesced_followers + stats.revalidated + stats.recomputed,
+            4
+        );
+        // However the four clients interleaved, exactly one DP ran.
+        assert_eq!(stats.revalidated + stats.recomputed, 1);
+    }
+
+    #[test]
+    fn leader_errors_reach_their_followers_only() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let server = ConcurrentPlanServer::new(&cat, memory);
+        // AlgorithmB with c = 0 is a BadParameter error surfaced *after*
+        // leadership is taken — the publication path must retire the
+        // in-flight record so the key stays serveable.
+        let bad = Mode::AlgorithmB { c: 0 };
+        assert!(matches!(
+            server.serve(&q, &bad),
+            Err(OptError::BadParameter(_))
+        ));
+        assert_eq!(server.cache_len(), 0);
+        // The healthy mode on the same query is unaffected.
+        let ok = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(ok.decision, CacheDecision::Recomputed);
+        // And the failed key elects a fresh leader next time.
+        assert!(matches!(
+            server.serve(&q, &bad),
+            Err(OptError::BadParameter(_))
+        ));
+    }
+}

@@ -45,8 +45,50 @@
 //! assert_eq!(warm.decision, CacheDecision::Served);
 //! assert_eq!(warm.cost.to_bits(), cold.cost.to_bits());
 //! ```
+//!
+//! # Many clients, one server
+//!
+//! `PlanServer` answers one client at a time; [`ConcurrentPlanServer`]
+//! (the engine `PlanServer` itself delegates to) is the multi-client
+//! front end — `serve` takes `&self`, the plan cache is lock-striped so
+//! hits never serialize behind a global lock, and concurrent misses on
+//! the same exact canonical shape *coalesce*: one leader runs the DP,
+//! every follower blocks on it and gets the canonical answer relabeled
+//! into its own table numbering ([`CacheDecision::Coalesced`]).  Share it
+//! with `Arc` (or plain borrows under [`std::thread::scope`]):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lec_core::{fixtures, Mode, Optimizer};
+//! use lec_service::ConcurrentPlanServer;
+//!
+//! let (catalog, query) = fixtures::three_chain();
+//! let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+//! let server = Arc::new(ConcurrentPlanServer::new(&catalog, memory.clone()));
+//!
+//! let fresh = Optimizer::new(&catalog, memory)
+//!     .optimize(&query, &Mode::AlgorithmC)
+//!     .unwrap();
+//! std::thread::scope(|scope| {
+//!     for _ in 0..4 {
+//!         let server = Arc::clone(&server);
+//!         let (query, fresh) = (&query, &fresh);
+//!         scope.spawn(move || {
+//!             let resp = server.serve(query, &Mode::AlgorithmC).unwrap();
+//!             // Byte-identical under any interleaving.
+//!             assert_eq!(resp.plan, fresh.plan);
+//!             assert_eq!(resp.cost.to_bits(), fresh.cost.to_bits());
+//!         });
+//!     }
+//! });
+//! // However the clients raced, exactly one DP ran.
+//! let stats = server.cache_stats();
+//! assert_eq!(stats.recomputed + stats.revalidated, 1);
+//! assert_eq!(stats.lookups, 4);
+//! ```
 
 pub mod cache;
+pub mod concurrent;
 pub mod server;
 
 /// Canonicalization now lives in the shared [`lec_canon`] crate (both this
@@ -54,6 +96,7 @@ pub mod server;
 /// consume it); re-exported here under its historical module path.
 pub use lec_canon as canon;
 
-pub use cache::{CacheDecision, CacheStats, ShapeCache};
+pub use cache::{CacheDecision, CacheStats, ShapeCache, CACHE_SHARDS};
+pub use concurrent::ConcurrentPlanServer;
 pub use lec_canon::{canonical_form, CanonicalForm, MAX_CANDIDATE_PERMS, MAX_CANON_TABLES};
 pub use server::{PlanServer, ServeResponse, DEFAULT_CACHE_CAPACITY};

@@ -1,17 +1,20 @@
 //! The serving layer: a [`PlanServer`] answering streams of optimization
 //! requests through the canonical-shape cache and a persistent worker
 //! pool.
+//!
+//! Since PR 5 the single-client `PlanServer` is a thin facade over the
+//! thread-shared [`ConcurrentPlanServer`] — same sharded cache, same
+//! singleflight machinery (which simply never sees a follower when one
+//! client calls through `&mut self`), one implementation to test.
 
-use crate::cache::{CacheDecision, CacheStats, ShapeCache};
-use lec_canon::canonical_form;
+use crate::cache::{CacheDecision, CacheStats};
+use crate::concurrent::ConcurrentPlanServer;
 use lec_catalog::Catalog;
-use lec_core::search::{PersistentPool, SubplanMemo, WorkerPool};
+use lec_core::search::SubplanMemo;
 use lec_core::{Mode, OptError, Optimizer, SearchStats};
-use lec_cost::dist_fingerprint;
 use lec_plan::{PlanNode, Query};
 use lec_prob::Distribution;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Default number of cached plans.
 pub const DEFAULT_CACHE_CAPACITY: usize = 512;
@@ -28,9 +31,10 @@ pub struct ServeResponse {
     /// Mode display name.
     pub mode: &'static str,
     /// Statistics of the search that produced the plan.  For
-    /// [`CacheDecision::Served`] responses these are the *original*
-    /// computation's counters with `elapsed` re-stamped to this request's
-    /// serve latency (the whole point of serving from cache).
+    /// [`CacheDecision::Served`] and [`CacheDecision::Coalesced`]
+    /// responses these are the *original* computation's counters with
+    /// `elapsed` re-stamped to this request's serve latency (the whole
+    /// point of serving from cache or coalescing onto a leader).
     pub stats: SearchStats,
     /// How the cache participated.
     pub decision: CacheDecision,
@@ -62,21 +66,22 @@ impl ServeResponse {
 ///   by relabeling the cached plan — no DP at all — and near-misses
 ///   (same bucketed shape, drifted parameters) revalidate the cached plan
 ///   against one fresh search instead of silently trusting it;
-/// * a **persistent worker pool** ([`PersistentPool`]): searches borrow
-///   long-lived parked threads instead of spawning a scoped pool, so even
-///   sub-100µs queries can fan out.
+/// * a **persistent worker pool**
+///   ([`lec_core::search::PersistentPool`]): searches borrow long-lived
+///   parked threads instead of spawning a scoped pool, so even sub-100µs
+///   queries can fan out.
 ///
 /// Responses are **byte-identical** to what a fresh
 /// [`Optimizer::optimize`] would return for the same request — plan, cost
 /// bits, table numbering — whatever the cache decided; the `server_parity`
 /// integration test pins this over a 500-query skewed workload.
+///
+/// This facade serves one client at a time (`&mut self`); for many client
+/// threads sharing one server through `&self`, use the underlying
+/// [`ConcurrentPlanServer`] (also reachable via [`PlanServer::concurrent`]).
 #[derive(Debug)]
 pub struct PlanServer<'a> {
-    optimizer: Optimizer<'a>,
-    cache: ShapeCache,
-    memo: Option<Arc<SubplanMemo>>,
-    memory_fp: u64,
-    search_fp: u64,
+    inner: ConcurrentPlanServer<'a>,
 }
 
 impl<'a> PlanServer<'a> {
@@ -87,130 +92,49 @@ impl<'a> PlanServer<'a> {
     /// revalidations) reuse the DP nodes their subquery shapes share with
     /// everything served before.
     pub fn new(catalog: &'a Catalog, memory: Distribution) -> Self {
-        let pool: Arc<dyn WorkerPool> = Arc::new(PersistentPool::for_host());
-        let memo = Arc::new(SubplanMemo::default());
-        Self::with_optimizer(
-            Optimizer::new(catalog, memory)
-                .with_worker_pool(pool)
-                .with_subplan_memo(memo),
-            DEFAULT_CACHE_CAPACITY,
-        )
+        PlanServer {
+            inner: ConcurrentPlanServer::new(catalog, memory),
+        }
     }
 
     /// A server around an explicitly configured optimizer (search config,
     /// worker pool, subplan memo) and cache capacity.
     pub fn with_optimizer(optimizer: Optimizer<'a>, cache_capacity: usize) -> Self {
-        let memory_fp = dist_fingerprint(optimizer.memory());
-        let search_fp = optimizer.search_config().fingerprint();
-        let memo = optimizer.search_config().memo.clone();
         PlanServer {
-            optimizer,
-            cache: ShapeCache::new(cache_capacity),
-            memo,
-            memory_fp,
-            search_fp,
+            inner: ConcurrentPlanServer::with_optimizer(optimizer, cache_capacity),
         }
+    }
+
+    /// The thread-shared server underneath, for callers graduating from
+    /// one client to many: every cache entry, memo record and counter is
+    /// shared between the two views.
+    pub fn concurrent(&self) -> &ConcurrentPlanServer<'a> {
+        &self.inner
     }
 
     /// The optimizer answering cache misses.
     pub fn optimizer(&self) -> &Optimizer<'a> {
-        &self.optimizer
+        self.inner.optimizer()
     }
 
-    /// Lifetime cache counters.
-    pub fn cache_stats(&self) -> &CacheStats {
-        self.cache.stats()
+    /// A snapshot of the lifetime cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache_stats()
     }
 
     /// Number of plans currently cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.inner.cache_len()
     }
 
     /// Per-entry exact-hit counters, descending.
     pub fn hit_histogram(&self) -> Vec<u64> {
-        self.cache.hit_histogram()
+        self.inner.hit_histogram()
     }
 
     /// Answer one optimization request.
     pub fn serve(&mut self, query: &Query, mode: &Mode) -> Result<ServeResponse, OptError> {
-        let t0 = Instant::now();
-        query
-            .validate(self.optimizer.catalog())
-            .map_err(OptError::InvalidQuery)?;
-        self.cache.stats.lookups += 1;
-
-        // Serving a cached plan to a renamed request is only sound when
-        // the mode commutes with table renaming.  The keep-best family
-        // does (exact cost ties resolve by label-independent plan shape —
-        // see `insert_entry_shaped`), and Algorithm B's top-c frontier
-        // now orders its candidate lists the same way (`TopCPolicy`
-        // truncates under `(cost, plan_shape_cmp)` instead of arrival
-        // order), so it is cacheable too; only the randomized modes — RNG
-        // trajectories over table indices — can legitimately return
-        // different (equal-cost) plans for isomorphic queries and bypass
-        // the cache.
-        let cacheable_mode = !matches!(
-            mode,
-            Mode::IterativeImprovement { .. } | Mode::SimulatedAnnealing { .. }
-        );
-        let form = if cacheable_mode {
-            canonical_form(self.optimizer.catalog(), query)
-        } else {
-            None
-        };
-        let Some(form) = form else {
-            self.cache.stats.uncacheable += 1;
-            let out = self.optimizer.optimize(query, mode)?;
-            return Ok(ServeResponse {
-                plan: out.plan,
-                cost: out.cost,
-                mode: out.mode,
-                stats: out.stats,
-                decision: CacheDecision::Uncacheable,
-            });
-        };
-
-        let env = [self.memory_fp, mode.fingerprint(), self.search_fp];
-        let exact_key = key_with_env(&form.exact, &env);
-        let weak_key = key_with_env(&form.weak, &env);
-
-        if let Some(entry) = self.cache.get_exact(&exact_key) {
-            let plan = entry.plan.relabel_tables(&form.inverse_perm());
-            let cost = entry.cost;
-            let mut stats = entry.stats;
-            self.cache.stats.served += 1;
-            stats.elapsed = t0.elapsed();
-            return Ok(ServeResponse {
-                plan,
-                cost,
-                mode: mode.name(),
-                stats,
-                decision: CacheDecision::Served,
-            });
-        }
-
-        let out = self.optimizer.optimize(query, mode)?;
-        let canon_plan = out.plan.relabel_tables(&form.perm);
-        let decision = match self.cache.weak_plan(&weak_key) {
-            Some(prev) if *prev == canon_plan => CacheDecision::Revalidated,
-            _ => CacheDecision::Recomputed,
-        };
-        match decision {
-            CacheDecision::Revalidated => self.cache.stats.revalidated += 1,
-            _ => self.cache.stats.recomputed += 1,
-        }
-        self.cache
-            .insert(exact_key, weak_key, canon_plan, out.cost, out.stats);
-        let mut stats = out.stats;
-        stats.elapsed = t0.elapsed();
-        Ok(ServeResponse {
-            plan: out.plan,
-            cost: out.cost,
-            mode: out.mode,
-            stats,
-            decision,
-        })
+        self.inner.serve(query, mode)
     }
 
     /// Answer a batch of requests in order, stopping at the first error.
@@ -224,33 +148,15 @@ impl<'a> PlanServer<'a> {
     /// The cross-search subplan memo backing this server's searches, if
     /// one is installed.
     pub fn subplan_memo(&self) -> Option<&Arc<SubplanMemo>> {
-        self.memo.as_ref()
+        self.inner.subplan_memo()
     }
 
     /// Machine-readable service metrics: cache counters, occupancy, the
     /// exact-hit skew histogram, and the subplan memo's counters (`null`
     /// when no memo is installed).
     pub fn metrics_json(&self) -> serde_json::Value {
-        serde_json::json!({
-            "cache": self.cache.stats().to_json(),
-            "cache_entries": self.cache.len(),
-            "cache_capacity": self.cache.capacity(),
-            "hit_histogram": self.hit_histogram(),
-            "memo": match &self.memo {
-                Some(m) => m.stats_json(),
-                None => serde_json::Value::Null,
-            },
-        })
+        self.inner.metrics_json()
     }
-}
-
-/// Append the environment fingerprints (memory distribution, mode, search
-/// config) to a shape encoding, producing the final cache key.
-fn key_with_env(encoding: &[u64], env: &[u64; 3]) -> Box<[u64]> {
-    let mut key = Vec::with_capacity(encoding.len() + env.len());
-    key.extend_from_slice(encoding);
-    key.extend_from_slice(env);
-    key.into_boxed_slice()
 }
 
 #[cfg(test)]
@@ -378,6 +284,7 @@ mod tests {
         server.serve(&q, &Mode::AlgorithmC).unwrap();
         let v = server.metrics_json();
         assert_eq!(v["cache"]["served"].as_f64(), Some(1.0));
+        assert_eq!(v["cache"]["coalesced_followers"].as_f64(), Some(0.0));
         assert_eq!(v["cache_entries"].as_f64(), Some(1.0));
         assert_eq!(v["hit_histogram"][0].as_f64(), Some(1.0));
     }

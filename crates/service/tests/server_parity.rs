@@ -104,6 +104,8 @@ fn five_hundred_query_stream_is_byte_identical_to_fresh_optimization() {
             CacheDecision::Revalidated => 1,
             CacheDecision::Recomputed => 2,
             CacheDecision::Uncacheable => 3,
+            // A single-client server can never race itself onto a leader.
+            CacheDecision::Coalesced => unreachable!("no concurrent clients here"),
         }] += 1;
     }
 

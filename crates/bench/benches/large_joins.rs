@@ -1,0 +1,233 @@
+//! The large-join pruning guard: branch-and-bound keep-best on 15-table
+//! chains and stars, and bit-for-bit pruned-vs-unpruned parity on every
+//! size where both run.
+//!
+//! Three jobs:
+//!
+//! 1. **Correctness**: on the 6–9-table pruning fixtures every row
+//!    asserts the pruned search returns the same plan and the same cost
+//!    bits as the unpruned search, with `pruned_subsets > 0` wherever the
+//!    fixture is built to prune.
+//! 2. **Ceiling**: the 15-table chain and star — sizes the repo's earlier
+//!    benches never attempted — complete under pruned keep-best, and the
+//!    8-table chain's *streaming keep-all verifier* (refused outright by
+//!    the unpruned materializing verifier) agrees with the DP to the bit.
+//! 3. **Record**: wall-time medians, prune counters and candidate savings
+//!    land in `BENCH_large_joins.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lec_core::fixtures::{pruning_chain, pruning_star};
+use lec_core::{exhaustive_best_with, optimize_lec_static_with, Objective, SearchConfig};
+use lec_cost::CostModel;
+use serde_json::json;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median wall time (µs) of `runs` fresh-model searches under `config`.
+fn median_search_us(
+    catalog: &lec_catalog::Catalog,
+    query: &lec_plan::Query,
+    memory: &lec_prob::Distribution,
+    config: &SearchConfig,
+    runs: usize,
+) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let model = CostModel::new(catalog, query);
+            let t0 = Instant::now();
+            black_box(optimize_lec_static_with(&model, memory, config).unwrap());
+            t0.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[runs / 2]
+}
+
+/// One pruned-vs-unpruned parity row on a size where both searches run.
+fn parity_row(
+    name: &str,
+    catalog: &lec_catalog::Catalog,
+    query: &lec_plan::Query,
+    n: usize,
+    memory: &lec_prob::Distribution,
+) -> serde_json::Value {
+    let pruned_cfg = SearchConfig::default().with_pruning(true);
+    let plain_cfg = SearchConfig::default();
+
+    let plain_model = CostModel::new(catalog, query);
+    let plain = optimize_lec_static_with(&plain_model, memory, &plain_cfg).unwrap();
+    let pruned_model = CostModel::new(catalog, query);
+    let pruned = optimize_lec_static_with(&pruned_model, memory, &pruned_cfg).unwrap();
+    assert_eq!(plain.plan, pruned.plan, "{name} n={n}: plan drift");
+    assert_eq!(
+        plain.cost.to_bits(),
+        pruned.cost.to_bits(),
+        "{name} n={n}: cost drift"
+    );
+
+    let runs = 9;
+    let plain_us = median_search_us(catalog, query, memory, &plain_cfg, runs);
+    let pruned_us = median_search_us(catalog, query, memory, &pruned_cfg, runs);
+    println!(
+        "large-joins parity  {name} n={n}: plain {plain_us:.0}us, pruned {pruned_us:.0}us, \
+         {} subsets pruned, candidates {} -> {}",
+        pruned.stats.pruned_subsets, plain.stats.candidates, pruned.stats.candidates,
+    );
+    json!({
+        "workload": name,
+        "tables": n,
+        "plain_us": plain_us,
+        "pruned_us": pruned_us,
+        "pruned_subsets": pruned.stats.pruned_subsets,
+        "bound_evals": pruned.stats.bound_evals,
+        "candidates_plain": plain.stats.candidates,
+        "candidates_pruned": pruned.stats.candidates,
+        "cost": pruned.cost,
+    })
+}
+
+/// One ceiling row: a size only the pruned search attempts.
+fn ceiling_row(
+    name: &str,
+    catalog: &lec_catalog::Catalog,
+    query: &lec_plan::Query,
+    n: usize,
+    memory: &lec_prob::Distribution,
+) -> serde_json::Value {
+    let pruned_cfg = SearchConfig::default().with_pruning(true);
+    let model = CostModel::new(catalog, query);
+    let t0 = Instant::now();
+    let out = optimize_lec_static_with(&model, memory, &pruned_cfg).unwrap();
+    let us = t0.elapsed().as_secs_f64() * 1e6;
+    assert!(
+        out.stats.pruned_subsets > 0,
+        "{name} n={n}: the ceiling workload must actually prune"
+    );
+    println!(
+        "large-joins ceiling {name} n={n}: {us:.0}us, cost {:.0}, {} subsets pruned",
+        out.cost, out.stats.pruned_subsets,
+    );
+    json!({
+        "workload": name,
+        "tables": n,
+        "pruned_us": us,
+        "pruned_subsets": out.stats.pruned_subsets,
+        "bound_evals": out.stats.bound_evals,
+        "candidates": out.stats.candidates,
+        "cost": out.cost,
+    })
+}
+
+fn bench_large_joins(c: &mut Criterion) {
+    let memory = lec_prob::presets::spread_family(400.0, 0.5, 4).unwrap();
+
+    // Parity sweep: pruned == unpruned, bit for bit, on 6-9 tables.
+    let mut parity = Vec::new();
+    for n in [6usize, 7, 8, 9] {
+        let (cat, q) = pruning_chain(n);
+        parity.push(parity_row("pruning_chain", &cat, &q, n, &memory));
+        let (cat, q) = pruning_star(n);
+        parity.push(parity_row("pruning_star", &cat, &q, n, &memory));
+    }
+
+    // Ceiling sweep: 15 tables, pruned keep-best only.
+    let mut ceiling = Vec::new();
+    for n in [12usize, 15] {
+        let (cat, q) = pruning_chain(n);
+        ceiling.push(ceiling_row("pruning_chain", &cat, &q, n, &memory));
+        let (cat, q) = pruning_star(n);
+        ceiling.push(ceiling_row("pruning_star", &cat, &q, n, &memory));
+    }
+
+    // The streaming keep-all verifier: the unpruned materializing verifier
+    // refuses 8 tables outright; the pruned one streams the same space and
+    // must agree with the DP to the bit.
+    let (cat, q) = pruning_chain(8);
+    let model = CostModel::new(&cat, &q);
+    let pruned_cfg = SearchConfig::default().with_pruning(true);
+    assert!(
+        exhaustive_best_with(
+            &model,
+            &Objective::Expected(&memory),
+            &SearchConfig::default()
+        )
+        .is_err(),
+        "the unpruned verifier must still refuse 8 tables"
+    );
+    let t0 = Instant::now();
+    let verified =
+        exhaustive_best_with(&model, &Objective::Expected(&memory), &pruned_cfg).unwrap();
+    let verifier_us = t0.elapsed().as_secs_f64() * 1e6;
+    let dp = optimize_lec_static_with(&model, &memory, &pruned_cfg).unwrap();
+    assert_eq!(
+        verified.cost.to_bits(),
+        dp.cost.to_bits(),
+        "streaming verifier and DP must agree exactly on the 8-table chain"
+    );
+    println!(
+        "large-joins verifier eight_chain: {verifier_us:.0}us, {} plans costed, {} subsets pruned",
+        verified.plans_costed().unwrap_or(0),
+        verified.stats.pruned_subsets,
+    );
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_large_joins.json");
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(&json!({
+            "bench": "large_joins",
+            "claim": "bound-based pruning returns byte-identical answers on every size the \
+                      unpruned search can run, and lifts the table-count ceilings: 15-table \
+                      keep-best searches and an 8-table streaming keep-all verification \
+                      complete where the unpruned paths were refused or untried",
+            "parity_rows": parity,
+            "ceiling_rows": ceiling,
+            "verifier": {
+                "workload": "pruning_chain",
+                "tables": 8,
+                "verifier_us": verifier_us,
+                "plans_costed": verified.plans_costed().unwrap_or(0),
+                "pruned_subsets": verified.stats.pruned_subsets,
+                "cost": verified.cost,
+            },
+        }))
+        .unwrap(),
+    )
+    .expect("write BENCH_large_joins.json");
+
+    // Criterion history: the 9-table star both ways, the 15-table star
+    // pruned only.
+    let star9 = pruning_star(9);
+    let star15 = pruning_star(15);
+    let mut group = c.benchmark_group("large_joins");
+    group.sample_size(10);
+    for (label, fixture, config) in [
+        ("nine_star_plain", &star9, SearchConfig::default()),
+        (
+            "nine_star_pruned",
+            &star9,
+            SearchConfig::default().with_pruning(true),
+        ),
+        (
+            "fifteen_star_pruned",
+            &star15,
+            SearchConfig::default().with_pruning(true),
+        ),
+    ] {
+        group.bench_function(label, |bench| {
+            bench.iter(|| {
+                let model = CostModel::new(&fixture.0, &fixture.1);
+                black_box(
+                    optimize_lec_static_with(&model, black_box(&memory), &config)
+                        .unwrap()
+                        .cost,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_large_joins);
+criterion_main!(benches);

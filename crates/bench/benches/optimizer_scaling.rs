@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lec_bench::workloads::scaling_chain;
-use lec_core::{optimize_lec_static, optimize_lsc};
+use lec_core::fixtures::{pruning_chain, pruning_star};
+use lec_core::{optimize_lec_static, optimize_lec_static_with, optimize_lsc, SearchConfig};
 use lec_cost::CostModel;
 use lec_prob::presets;
 use std::hint::black_box;
@@ -52,5 +53,33 @@ fn bench_tables(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_buckets, bench_tables);
+/// Above 10 tables only the pruned search runs: branch-and-bound keep-best
+/// on the 12- and 15-table chain/star pruning fixtures.
+fn bench_large_tables(c: &mut Criterion) {
+    let memory = presets::spread_family(400.0, 0.5, 4).unwrap();
+    let pruned = SearchConfig::default().with_pruning(true);
+    let mut group = c.benchmark_group("optimizer_vs_tables_pruned");
+    group.sample_size(10);
+    for n in [12usize, 15] {
+        for (name, fixture) in [("chain", pruning_chain(n)), ("star", pruning_star(n))] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("alg_c_pruned_{name}"), n),
+                &n,
+                |bench, _| {
+                    let model = CostModel::new(&fixture.0, &fixture.1);
+                    bench.iter(|| {
+                        black_box(
+                            optimize_lec_static_with(&model, black_box(&memory), &pruned)
+                                .unwrap()
+                                .cost,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_buckets, bench_tables, bench_large_tables);
 criterion_main!(benches);

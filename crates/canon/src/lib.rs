@@ -45,7 +45,9 @@
 mod query;
 mod subplan;
 
-pub use query::{canonical_form, CanonicalForm, MAX_CANDIDATE_PERMS, MAX_CANON_TABLES};
+pub use query::{
+    canonical_form, CanonicalForm, RefusalReason, MAX_CANDIDATE_PERMS, MAX_CANON_TABLES,
+};
 pub use subplan::{QueryCanonizer, SubplanForm};
 
 /// Invert a permutation: `inv[perm[i]] = i`.

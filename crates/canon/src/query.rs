@@ -51,6 +51,38 @@ pub const MAX_CANON_TABLES: usize = 12;
 /// query is declared uncacheable.
 pub const MAX_CANDIDATE_PERMS: u128 = 5040;
 
+/// Why [`canonical_form`] refused to canonicalize a query.  Each variant
+/// is a distinct operational signal: `TooManyTables` says the workload
+/// outgrew the canonicalizer's size cap, `TooManyPermutations` says the
+/// query shape is too regular to label cheaply, and `TwinTables` says the
+/// query contains interchangeable tables between which the DP's
+/// tie-breaks are label-dependent.  Services count refusals per reason so
+/// a cache whose hit rate collapses can say *why* requests stopped being
+/// cacheable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefusalReason {
+    /// The query is empty or exceeds [`MAX_CANON_TABLES`] tables.
+    TooManyTables,
+    /// Colour refinement left more than [`MAX_CANDIDATE_PERMS`] candidate
+    /// labelings — a near-regular graph of near-identical tables.
+    TooManyPermutations,
+    /// The body admits a nontrivial exact automorphism (whole-body or a
+    /// local twin swap): interchangeable tables whose tie-breaks a served
+    /// relabeling could not reproduce.
+    TwinTables,
+}
+
+impl RefusalReason {
+    /// Stable snake_case name, used as the JSON metrics key suffix.
+    pub fn name(self) -> &'static str {
+        match self {
+            RefusalReason::TooManyTables => "too_many_tables",
+            RefusalReason::TooManyPermutations => "too_many_permutations",
+            RefusalReason::TwinTables => "twin_tables",
+        }
+    }
+}
+
 /// A query's canonical relabeling and its two cache-key encodings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CanonicalForm {
@@ -307,13 +339,13 @@ fn push_required_order(out: &mut Vec<u64>, query: &Query, perm: &[usize]) {
     }
 }
 
-/// Compute the canonical form of `query`, or `None` when the query is too
-/// large or too symmetric to canonicalize cheaply (the caller then treats
-/// the request as uncacheable).
-pub fn canonical_form(catalog: &Catalog, query: &Query) -> Option<CanonicalForm> {
+/// Compute the canonical form of `query`, or the [`RefusalReason`] when
+/// the query is too large or too symmetric to canonicalize cheaply (the
+/// caller then treats the request as uncacheable, counting the reason).
+pub fn canonical_form(catalog: &Catalog, query: &Query) -> Result<CanonicalForm, RefusalReason> {
     let n = query.n_tables();
     if n == 0 || n > MAX_CANON_TABLES {
-        return None;
+        return Err(RefusalReason::TooManyTables);
     }
     let exact_attr: Vec<u64> = (0..n)
         .map(|i| exact_table_attr(catalog, query, i))
@@ -332,7 +364,7 @@ pub fn canonical_form(catalog: &Catalog, query: &Query) -> Option<CanonicalForm>
     // subgraph a third table disambiguates globally — make sub-root
     // tie-breaks label-dependent; refuse before doing any more work.
     if twin_swap_exists(&exact_attr, query, &labels) {
-        return None;
+        return Err(RefusalReason::TwinTables);
     }
 
     // Adjacency with oriented weak edge labels, for colour refinement.
@@ -356,7 +388,7 @@ pub fn canonical_form(catalog: &Catalog, query: &Query) -> Option<CanonicalForm>
     for class in &classes {
         candidates = candidates.saturating_mul(factorial(class.len()));
         if candidates > MAX_CANDIDATE_PERMS {
-            return None;
+            return Err(RefusalReason::TooManyPermutations);
         }
     }
 
@@ -418,12 +450,12 @@ pub fn canonical_form(catalog: &Catalog, query: &Query) -> Option<CanonicalForm>
         loop {
             if ci == odo.len() {
                 if automorphic {
-                    return None;
+                    return Err(RefusalReason::TwinTables);
                 }
                 let (mut weak, mut exact, perm) = best.expect("at least one candidate");
                 push_required_order(&mut weak, query, &perm);
                 push_required_order(&mut exact, query, &perm);
-                return Some(CanonicalForm { perm, exact, weak });
+                return Ok(CanonicalForm { perm, exact, weak });
             }
             odo[ci] += 1;
             if odo[ci] < class_perms[ci].len() {
@@ -575,34 +607,47 @@ mod tests {
     #[test]
     fn oversize_and_hypersymmetric_queries_are_uncacheable() {
         let (cat, q) = chain(MAX_CANON_TABLES + 1);
-        assert!(canonical_form(&cat, &q).is_none());
+        assert_eq!(canonical_form(&cat, &q), Err(RefusalReason::TooManyTables));
 
-        // A clique of eight identical tables: 8! candidate labelings.
-        let mut cat = Catalog::new();
-        let ids: Vec<_> = (0..8)
-            .map(|i| {
-                cat.add_table(
-                    format!("C{i}"),
-                    TableStats::new(1000, 50_000, vec![ColumnStats::plain("a", 100)]),
-                )
-            })
-            .collect();
-        let mut joins = Vec::new();
-        for i in 0..8 {
-            for j in i + 1..8 {
-                joins.push(JoinPredicate::exact(
-                    ColumnRef::new(i, 0),
-                    ColumnRef::new(j, 0),
-                    1e-5,
-                ));
+        // A clique of eight *identical* tables is refused for its twins
+        // (the pairwise automorphism check fires before any permutation is
+        // enumerated).
+        let clique = |stats: &dyn Fn(usize) -> TableStats| {
+            let mut cat = Catalog::new();
+            let ids: Vec<_> = (0..8)
+                .map(|i| cat.add_table(format!("C{i}"), stats(i)))
+                .collect();
+            let mut joins = Vec::new();
+            for i in 0..8 {
+                for j in i + 1..8 {
+                    joins.push(JoinPredicate::exact(
+                        ColumnRef::new(i, 0),
+                        ColumnRef::new(j, 0),
+                        1e-5,
+                    ));
+                }
             }
-        }
-        let q = Query {
-            tables: ids.into_iter().map(QueryTable::bare).collect(),
-            joins,
-            required_order: None,
+            let q = Query {
+                tables: ids.into_iter().map(QueryTable::bare).collect(),
+                joins,
+                required_order: None,
+            };
+            (cat, q)
         };
-        assert!(canonical_form(&cat, &q).is_none());
+        let (cat, q) =
+            clique(&|_| TableStats::new(1000, 50_000, vec![ColumnStats::plain("a", 100)]));
+        assert_eq!(canonical_form(&cat, &q), Err(RefusalReason::TwinTables));
+
+        // The same clique with row counts drifted inside one log₂ bucket:
+        // no exact twins, but the weak attributes (all colour refinement
+        // can see) stay equal, leaving 8! candidate labelings.
+        let (cat, q) = clique(&|i| {
+            TableStats::new(1000, 50_000 + i as u64, vec![ColumnStats::plain("a", 100)])
+        });
+        assert_eq!(
+            canonical_form(&cat, &q),
+            Err(RefusalReason::TooManyPermutations)
+        );
     }
 
     #[test]
@@ -635,13 +680,14 @@ mod tests {
             ],
             required_order: None,
         };
-        assert!(
-            canonical_form(&cat, &q).is_none(),
+        assert_eq!(
+            canonical_form(&cat, &q),
+            Err(RefusalReason::TwinTables),
             "a subgraph-level twin symmetry must refuse the whole query"
         );
         // Distinct spoke selectivities break the sub-symmetry too.
         q.joins[1].selectivity = lec_prob::Distribution::point(3e-5);
-        assert!(canonical_form(&cat, &q).is_some());
+        assert!(canonical_form(&cat, &q).is_ok());
     }
 
     #[test]
@@ -669,13 +715,18 @@ mod tests {
                 .collect(),
             required_order: None,
         };
-        assert!(canonical_form(&cat, &q).is_none(), "twin spokes");
+        assert_eq!(
+            canonical_form(&cat, &q),
+            Err(RefusalReason::TwinTables),
+            "twin spokes"
+        );
         // A required order distinguishes one spoke globally, but the DP
         // never sees it below the root — the body symmetry (and so the
         // refusal) must stand.
         q.required_order = Some(ColumnRef::new(2, 0));
-        assert!(
-            canonical_form(&cat, &q).is_none(),
+        assert_eq!(
+            canonical_form(&cat, &q),
+            Err(RefusalReason::TwinTables),
             "a root order requirement must not mask the twin symmetry"
         );
         // Making the spokes' join selectivities distinct breaks the
@@ -683,6 +734,6 @@ mod tests {
         for (i, j) in q.joins.iter_mut().enumerate() {
             j.selectivity = lec_prob::Distribution::point(1e-5 * (i + 1) as f64);
         }
-        assert!(canonical_form(&cat, &q).is_some());
+        assert!(canonical_form(&cat, &q).is_ok());
     }
 }

@@ -1,8 +1,14 @@
 //! Exhaustive enumeration as ground truth for Theorems 2.1, 3.3 and 3.4.
 //!
-//! Policy over the engine: [`KeepAllPolicy`] — no pruning, so the engine
-//! materializes every plan of the requested shape exactly once.  The
-//! space covered for left-deep search is exactly the one the keep-1
+//! Policy over the engine: [`KeepAllPolicy`].  Run plain, the engine
+//! materializes every plan of the requested shape exactly once, so the
+//! query-size caps below reject spaces too large to hold.  Run with
+//! [`SearchConfig::pruning`], the policy is a streaming branch-and-bound
+//! verifier — every plan is still *costed*, but candidates that provably
+//! cannot beat the incumbent are discarded on emission instead of held —
+//! and both caps are lifted: feasibility is then bounded by how sharply
+//! the bounds bite on the given statistics, not by a fixed table count.
+//! The space covered for left-deep search is exactly the one the keep-1
 //! policies prune: left-deep join orders whose every prefix is connected
 //! (no cross products), all four join methods per join, all access paths
 //! per table, and a root sort enforcer when the query requires an order
@@ -32,13 +38,17 @@ pub enum Objective<'a> {
     },
 }
 
-/// Hard cap on query size: the space is `O(n! · 4^(n-1) · 2^n)`.
+/// Cap on query size for *unpruned* runs: the space is
+/// `O(n! · 4^(n-1) · 2^n)`.  Pruned runs ([`SearchConfig::pruning`])
+/// stream instead of materializing and are not table-capped.
 pub const MAX_EXHAUSTIVE_TABLES: usize = 7;
 
-/// Hard cap on the number of complete plans the keep-all policy may
-/// materialize.  Unlike a streaming enumerator, the keep-all engine holds
-/// every plan in memory, so dense join graphs (a 7-table clique is ~20M
-/// plans) must be rejected up front rather than thrashed through.
+/// Cap on the number of complete plans an *unpruned* keep-all run may
+/// materialize.  Unlike a streaming enumerator, the plain keep-all engine
+/// holds every plan in memory, so dense join graphs (a 7-table clique is
+/// ~20M plans) must be rejected up front rather than thrashed through.
+/// Pruned runs keep only candidates that might still win and skip this
+/// check too.
 pub const MAX_EXHAUSTIVE_PLANS: u128 = 1_000_000;
 
 /// Exhaustively find the optimal plan of `shape` under `objective`.  The
@@ -62,15 +72,17 @@ pub fn exhaustive_best_shaped_with(
     config: &SearchConfig,
 ) -> Result<SearchOutcome, OptError> {
     let n = model.query().n_tables();
-    if n > MAX_EXHAUSTIVE_TABLES {
-        return Err(OptError::BadParameter(
-            "exhaustive search is capped at 7 tables",
-        ));
-    }
-    if crate::search::plan_space_size(model, shape) > MAX_EXHAUSTIVE_PLANS {
-        return Err(OptError::BadParameter(
-            "exhaustive plan space exceeds the 1M-plan keep-all cap",
-        ));
+    if !config.pruning {
+        if n > MAX_EXHAUSTIVE_TABLES {
+            return Err(OptError::BadParameter(
+                "exhaustive search is capped at 7 tables (enable pruning to lift)",
+            ));
+        }
+        if crate::search::plan_space_size(model, shape) > MAX_EXHAUSTIVE_PLANS {
+            return Err(OptError::BadParameter(
+                "exhaustive plan space exceeds the 1M-plan keep-all cap (enable pruning to lift)",
+            ));
+        }
     }
     let par = config.bucket_parallelism_for(model.query());
     match objective {
@@ -115,7 +127,10 @@ fn run_keep_all<C: PhaseCoster + Clone + Send>(
 ) -> Result<SearchOutcome, OptError> {
     let mut policy = KeepAllPolicy::new(coster);
     let run = run_search_with(model, shape, &mut policy, config)?;
-    let plans_costed = run.roots.len() as u64;
+    // Complete plans *costed* (the policy counts them at emission, before
+    // any streaming discard): equals `roots.len()` unpruned, and keeps
+    // honest books when pruning discards candidates it still had to cost.
+    let plans_costed = policy.plans_emitted();
     let (best, stats) = run.into_best();
     Ok(SearchOutcome {
         plan: best.plan,

@@ -190,6 +190,103 @@ pub fn scaling_star(n: usize) -> (Catalog, Query) {
     (catalog, query)
 }
 
+/// Selectivity of an *expansive* pruning-fixture join: output is 500× the
+/// unjoined product's page factor, so any subset whose internal joins
+/// include two of these carries a size floor far above what the good
+/// orders ever materialize.
+const PRUNING_EXPANSIVE_SEL: f64 = 0.5;
+
+/// Selectivity of a *reductive* pruning-fixture join against a 1000-page
+/// partner: each one shrinks the intermediate by 100×.
+const PRUNING_REDUCTIVE_SEL: f64 = 1e-5;
+
+/// An `n`-table chain built to exercise branch-and-bound pruning: every
+/// table is 1000 pages, most adjacent joins are strongly reductive
+/// (output shrinks 100× per join) but the joins at positions `n/3` and
+/// `2n/3` are expansive (output grows 500×).  Orders that cross an
+/// expansive edge while the running intermediate is still large are
+/// hopeless — a contiguous run that starts *at* an expansive edge has a
+/// size floor of ~5·10⁵ pages against incumbents in the tens of
+/// thousands, so the engine discards it outright — while the good orders
+/// start between the expansive edges and shrink the intermediate to a
+/// page or two before crossing either one.
+pub fn pruning_chain(n: usize) -> (Catalog, Query) {
+    assert!(n >= 4, "the pruning chain needs at least four tables");
+    let mut catalog = Catalog::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            catalog.add_table(
+                format!("P{i}"),
+                TableStats::new(
+                    1000,
+                    50_000,
+                    vec![ColumnStats::plain("a", 1000), ColumnStats::plain("b", 1000)],
+                ),
+            )
+        })
+        .collect();
+    let query = Query {
+        tables: ids.into_iter().map(QueryTable::bare).collect(),
+        joins: (0..n - 1)
+            .map(|i| {
+                let sel = if i == n / 3 || i == (2 * n) / 3 {
+                    PRUNING_EXPANSIVE_SEL
+                } else {
+                    PRUNING_REDUCTIVE_SEL
+                };
+                JoinPredicate::exact(ColumnRef::new(i, 1), ColumnRef::new(i + 1, 0), sel)
+            })
+            .collect(),
+        required_order: Some(ColumnRef::new(n - 1, 1)),
+    };
+    (catalog, query)
+}
+
+/// An `n`-table star built to exercise branch-and-bound pruning: a
+/// 100-page hub, 1000-page spokes, and every fifth spoke (spoke indices
+/// `1, 6, 11, …`) expansive while the rest are strongly reductive.  Every
+/// hub-containing subset is connected, so unlike the chain the bad
+/// subsets are plentiful: any subset combining expansive spokes with few
+/// reductive ones has a size floor orders of magnitude above the
+/// incumbent and is discarded before its combine loop, while the good
+/// orders join every reductive spoke first and pay for the expansive
+/// ones only once the intermediate has collapsed to a page.
+pub fn pruning_star(n: usize) -> (Catalog, Query) {
+    assert!(
+        n >= 3,
+        "the pruning star needs a hub and at least two spokes"
+    );
+    let mut catalog = Catalog::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let pages = if i == 0 { 100 } else { 1000 };
+            catalog.add_table(
+                format!("Q{i}"),
+                TableStats::new(
+                    pages,
+                    pages * 50,
+                    vec![ColumnStats::plain("a", 1000), ColumnStats::plain("b", 1000)],
+                ),
+            )
+        })
+        .collect();
+    let query = Query {
+        tables: ids.into_iter().map(QueryTable::bare).collect(),
+        joins: (1..n)
+            .map(|i| {
+                let sel = if i % 5 == 1 {
+                    PRUNING_EXPANSIVE_SEL
+                } else {
+                    PRUNING_REDUCTIVE_SEL
+                };
+                JoinPredicate::exact(ColumnRef::new(0, 1), ColumnRef::new(i, 0), sel)
+            })
+            .collect(),
+        required_order: Some(ColumnRef::new(n - 1, 1)),
+    };
+    (catalog, query)
+}
+
 /// Recognizer for Example 1.1's Plan 1: a bare sort-merge join of the two
 /// scans (either orientation — the SM formula is symmetric).
 pub fn is_plan1(plan: &lec_plan::PlanNode) -> bool {

@@ -210,6 +210,17 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Branch-and-bound pruning for every subsequent DP search (see
+    /// [`SearchConfig::pruning`]): subsets whose admissible lower bound
+    /// strictly exceeds the incumbent complete-plan cost are discarded
+    /// before their combine/cost loop.  Answers stay byte-identical;
+    /// modes whose policy cannot supply an admissible bound (top-c, the
+    /// randomized modes) simply ignore the flag.
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.search = self.search.with_pruning(pruning);
+        self
+    }
+
     /// The parallel-search configuration in force.
     pub fn search_config(&self) -> &SearchConfig {
         &self.search

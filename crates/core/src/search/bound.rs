@@ -1,0 +1,283 @@
+//! Admissible lower bounds for branch-and-bound pruning of the DP
+//! search.
+//!
+//! A [`LowerBound`] gives, per connected subset `S`, a floor on the
+//! output size of `S`'s result under the active policy's size model;
+//! [`PruneState`] turns that floor into an admissible lower bound on the
+//! cost of *any complete plan containing `S` as a subtree* — and the
+//! engine discards `S` before its combine/cost loop whenever that bound
+//! strictly exceeds the best complete-plan cost found so far (the
+//! **incumbent**).
+//!
+//! Admissibility rests on two monotonicity facts the cost layer pins by
+//! test ([`lec_cost::formulas`]): every join formula is nondecreasing in
+//! its page inputs and nonincreasing in memory.  So for any coster —
+//! point, expected over a static distribution, per-phase dynamic, or
+//! Algorithm D's multi-parameter expectation — the cost it assigns one
+//! join is at least `raw_join_cost(method, a_floor, b_floor, m_max)`
+//! where `a_floor`/`b_floor` floor the input sizes and `m_max` is the
+//! largest memory value any phase can see.  Summing floors over the
+//! joins and accesses a completion must still perform (a root sort only
+//! adds cost) yields the bound; strict-inequality pruning then preserves
+//! exact cost ties, so pruned searches return byte-identical answers.
+
+use lec_cost::formulas::{raw_join_cost, MIN_PAGES};
+use lec_cost::CostModel;
+use lec_plan::{JoinMethod, TableSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A per-subset output-size floor under one policy family's size model.
+///
+/// Implementations must be *admissible*: `pages_floor(S)` may never
+/// exceed the size value the policy's coster actually feeds into any
+/// join above `S` (for scalar-page policies, the entry's `pages`; for
+/// Algorithm D, the minimum of the entry's size-distribution support).
+pub trait LowerBound: Send + Sync {
+    /// Floor on the output pages of `set`'s result, at least
+    /// [`MIN_PAGES`].
+    fn pages_floor(&self, model: &CostModel<'_>, set: TableSet) -> f64;
+
+    /// The most favourable (largest) memory value any execution phase
+    /// can observe under the coster's memory model.
+    fn max_memory(&self) -> f64;
+}
+
+/// The point size product of `set`: base pages of every member times the
+/// mean selectivity of every join internal to `set`, clamped to
+/// [`MIN_PAGES`].
+///
+/// This is exactly the value the scalar-page policies chain through
+/// [`CostModel::join_output_pages`], except that the chain clamps at
+/// *every* intermediate step while this clamps once at the end — so the
+/// product is a floor on every entry's `pages`, whatever join order
+/// built it.
+pub fn point_size_product(model: &CostModel<'_>, set: TableSet) -> f64 {
+    let mut pages = 1.0f64;
+    for i in set.iter() {
+        pages *= model.base_pages(i);
+    }
+    for join in &model.query().joins {
+        if set.contains(join.left.table) && set.contains(join.right.table) {
+            pages *= join.selectivity.mean();
+        }
+    }
+    pages.max(MIN_PAGES)
+}
+
+/// The minimum-support size product of `set`: smallest support value of
+/// every member's page distribution times the smallest support value of
+/// every internal join's selectivity distribution, clamped to
+/// [`MIN_PAGES`].  A floor on the minimum support of any
+/// [`super::multi_param::DistEntry`] size distribution for `set`:
+/// Algorithm D clamps each product value at one page, and rebucketing
+/// (a weighted merge of adjacent buckets) can only raise a
+/// distribution's minimum.
+pub fn min_support_size_product(model: &CostModel<'_>, set: TableSet) -> f64 {
+    let mut pages = 1.0f64;
+    for i in set.iter() {
+        pages *= model.base_pages_dist(i).min_value();
+    }
+    for join in &model.query().joins {
+        if set.contains(join.left.table) && set.contains(join.right.table) {
+            pages *= join.selectivity.min_value();
+        }
+    }
+    pages.max(MIN_PAGES)
+}
+
+/// The point-costing bound (LSC): memory is exactly `memory` in every
+/// phase and sizes are the point products.
+#[derive(Debug, Clone)]
+pub struct PointBound {
+    /// The assumed memory value.
+    pub memory: f64,
+}
+
+impl LowerBound for PointBound {
+    fn pages_floor(&self, model: &CostModel<'_>, set: TableSet) -> f64 {
+        point_size_product(model, set)
+    }
+    fn max_memory(&self) -> f64 {
+        self.memory
+    }
+}
+
+/// The expectation-costing bound (Algorithms C/C-dynamic): sizes are
+/// still point products (those policies carry scalar pages), and every
+/// per-memory-bucket evaluation is floored by the formula at the
+/// distribution's largest support value — costs are nonincreasing in
+/// memory, so `E_M[cost(M)] ≥ cost(max M)`.  For the dynamic coster
+/// `max_memory` is the largest value over *all* phase distributions.
+#[derive(Debug, Clone)]
+pub struct ExpectationBound {
+    /// Largest memory support value any phase can see.
+    pub max_memory: f64,
+}
+
+impl LowerBound for ExpectationBound {
+    fn pages_floor(&self, model: &CostModel<'_>, set: TableSet) -> f64 {
+        point_size_product(model, set)
+    }
+    fn max_memory(&self) -> f64 {
+        self.max_memory
+    }
+}
+
+/// Algorithm D's bound: sizes are floored by the minimum-support product
+/// (the policy's per-node size *distributions* never dip below it) and
+/// memory by its largest support value.
+#[derive(Debug, Clone)]
+pub struct MinSupportBound {
+    /// Largest memory support value.
+    pub max_memory: f64,
+}
+
+impl LowerBound for MinSupportBound {
+    fn pages_floor(&self, model: &CostModel<'_>, set: TableSet) -> f64 {
+        min_support_size_product(model, set)
+    }
+    fn max_memory(&self) -> f64 {
+        self.max_memory
+    }
+}
+
+/// The shared incumbent cost: an `f64` in an atomic cell.
+///
+/// During a DP level only readers touch the cell; the driver alone
+/// tightens it at level barriers (and once after depth 1), which is what
+/// keeps every prune decision schedule-independent — all workers read
+/// the same incumbent for the whole level, whatever order they steal
+/// subsets in.
+#[derive(Debug)]
+pub struct IncumbentCell(AtomicU64);
+
+impl Default for IncumbentCell {
+    fn default() -> Self {
+        IncumbentCell(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+}
+
+impl IncumbentCell {
+    /// The current incumbent completion cost (`+∞` until one is found).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    /// Lower the incumbent to `cost` if it improves on the current one.
+    /// Driver-only, at level barriers.
+    pub fn observe(&self, cost: f64) {
+        if cost < self.get() {
+            self.0.store(cost.to_bits(), Ordering::Release);
+        }
+    }
+}
+
+/// Everything the engine and policies need to evaluate one prune check:
+/// the size bound, the incumbent, and the query-constant floors
+/// (cheapest access per table, cheapest possible join).
+#[derive(Debug)]
+pub struct PruneState {
+    bound: Box<dyn LowerBound>,
+    incumbent: IncumbentCell,
+    /// Cheapest depth-1 entry cost per table (the policy's own access
+    /// costs, harvested after depth 1 — no extra evaluations).
+    access_floors: Vec<f64>,
+    total_access_floor: f64,
+    /// Cheapest conceivable join: the cheapest method on two
+    /// [`MIN_PAGES`] inputs at the most favourable memory.
+    join_floor_each: f64,
+    n: usize,
+}
+
+impl std::fmt::Debug for dyn LowerBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LowerBound(max_memory={})", self.max_memory())
+    }
+}
+
+impl PruneState {
+    /// Assemble the prune state for one search from the policy's bound
+    /// and the already-built depth-1 access floors.
+    pub fn new(bound: Box<dyn LowerBound>, access_floors: Vec<f64>) -> Self {
+        let m_max = bound.max_memory();
+        let join_floor_each = JoinMethod::ALL
+            .iter()
+            .map(|&m| raw_join_cost(m, MIN_PAGES, MIN_PAGES, m_max))
+            .fold(f64::INFINITY, f64::min);
+        let total_access_floor = access_floors.iter().sum();
+        let n = access_floors.len();
+        PruneState {
+            bound,
+            incumbent: IncumbentCell::default(),
+            access_floors,
+            total_access_floor,
+            join_floor_each,
+            n,
+        }
+    }
+
+    /// The active size bound.
+    pub fn bound(&self) -> &dyn LowerBound {
+        &*self.bound
+    }
+
+    /// The incumbent cell.
+    pub fn incumbent(&self) -> &IncumbentCell {
+        &self.incumbent
+    }
+
+    /// Floor on the cost of the single join directly above a subtree of
+    /// `pages` output pages: the cheapest method and orientation against
+    /// a [`MIN_PAGES`]-sized partner at the most favourable memory.
+    fn first_join_floor(&self, pages: f64) -> f64 {
+        let m_max = self.bound.max_memory();
+        JoinMethod::ALL
+            .iter()
+            .map(|&m| {
+                raw_join_cost(m, pages, MIN_PAGES, m_max)
+                    .min(raw_join_cost(m, MIN_PAGES, pages, m_max))
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Admissible floor on everything a complete plan must still pay
+    /// *outside* a subtree over `set` with output-size floor `pages`:
+    /// accessing every remaining table, the join directly above the
+    /// subtree (at least [`Self::first_join_floor`]), and the cheapest
+    /// conceivable cost for each of the other remaining joins.  A root
+    /// sort only adds cost, so it floors at zero.
+    pub fn completion_floor(&self, set: TableSet, pages: f64) -> f64 {
+        let k = set.len();
+        if k >= self.n {
+            return 0.0;
+        }
+        let outside_access: f64 =
+            self.total_access_floor - set.iter().map(|i| self.access_floors[i]).sum::<f64>();
+        // A complete plan has `n - 1` joins; the subtree contains
+        // `k - 1`, leaving `n - k`: one directly above the subtree, the
+        // rest floored by the cheapest conceivable join.
+        outside_access
+            + self.first_join_floor(pages).max(self.join_floor_each)
+            + (self.n - k - 1) as f64 * self.join_floor_each
+    }
+
+    /// Admissible floor on the total cost of any complete plan containing
+    /// a subtree over `set`, given `set`'s output-size floor `pages`:
+    /// building the subtree (every member's access plus `|set| - 1`
+    /// joins) plus [`Self::completion_floor`].
+    pub fn subset_floor(&self, set: TableSet, pages: f64) -> f64 {
+        let k = set.len();
+        let inside_access: f64 = set.iter().map(|i| self.access_floors[i]).sum();
+        inside_access
+            + (k.saturating_sub(1)) as f64 * self.join_floor_each
+            + self.completion_floor(set, pages)
+    }
+
+    /// Whether a subset with floor `pages` should be discarded before
+    /// combining: its floor strictly exceeds the incumbent.  Strict
+    /// inequality preserves exact cost ties, which is what keeps pruned
+    /// answers byte-identical to unpruned ones.
+    pub fn prunes(&self, set: TableSet, pages: f64) -> bool {
+        self.subset_floor(set, pages) > self.incumbent.get()
+    }
+}

@@ -8,6 +8,7 @@
 //! memoized `*_for` methods of [`CostModel`], so repeated per-bucket
 //! evaluations across entry pairs and dag levels hit the cache.
 
+use super::bound::{ExpectationBound, LowerBound, PointBound};
 use super::policy::JoinContext;
 use lec_cost::{BucketParallelism, CostModel};
 use lec_plan::{JoinMethod, TableSet};
@@ -33,6 +34,13 @@ pub trait PhaseCoster {
     /// for the subplan memo's environment key; `None` declares the coster
     /// memo-ineligible (the default — costers opt in).
     fn memo_fingerprint(&self) -> Option<u64> {
+        None
+    }
+
+    /// An admissible [`LowerBound`] under this coster's objective, for
+    /// the scalar-page policies (keep-best, keep-all); `None` declares
+    /// the coster prune-ineligible (the default — costers opt in).
+    fn pruning_bound(&self) -> Option<Box<dyn LowerBound>> {
         None
     }
 }
@@ -68,6 +76,12 @@ impl PhaseCoster for PointCoster {
                 .f64(self.memory)
                 .finish(),
         )
+    }
+
+    fn pruning_bound(&self) -> Option<Box<dyn LowerBound>> {
+        Some(Box::new(PointBound {
+            memory: self.memory,
+        }))
     }
 }
 
@@ -140,6 +154,12 @@ impl PhaseCoster for StaticExpectationCoster {
                 .u64(self.mem_fp)
                 .finish(),
         )
+    }
+
+    fn pruning_bound(&self) -> Option<Box<dyn LowerBound>> {
+        Some(Box::new(ExpectationBound {
+            max_memory: self.memory.max_value(),
+        }))
     }
 }
 
@@ -220,5 +240,17 @@ impl PhaseCoster for DynamicExpectationCoster {
             fp = fp.u64(*dist_fp);
         }
         Some(fp.finish())
+    }
+
+    /// Every phase evaluates under its own evolved distribution, so the
+    /// bound's memory must be the most favourable value *any* phase can
+    /// see.
+    fn pruning_bound(&self) -> Option<Box<dyn LowerBound>> {
+        let max_memory = self
+            .dists
+            .iter()
+            .map(|(d, _)| d.max_value())
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some(Box::new(ExpectationBound { max_memory }))
     }
 }

@@ -12,6 +12,7 @@
 //! once — so plans, costs, tie-breaks, and all counters are byte-identical
 //! to a serial run.
 
+use super::bound::{point_size_product, PruneState};
 use super::memo::{MemoRecord, SubplanMemo};
 use super::policy::{CandidatePolicy, JoinContext, RootContext, SearchEntry};
 use super::pool::{ScopedSpawnPool, WorkerPool};
@@ -169,6 +170,19 @@ pub struct SearchConfig {
     /// `cache_hits`, `candidates`, `nodes`) to memo-off ones; only
     /// [`SearchStats::memo_hits`]/[`SearchStats::memo_misses`] differ.
     pub memo: Option<Arc<SubplanMemo>>,
+    /// Branch-and-bound pruning (see the module docs of
+    /// [`super::bound`]): maintain an incumbent complete-plan cost and
+    /// discard a connected subset before its combine/cost loop when an
+    /// admissible lower bound on any completion through it strictly
+    /// exceeds the incumbent.  Takes effect only when the active policy
+    /// opts in with an admissible bound
+    /// ([`CandidatePolicy::pruning_bound`]) — keep-best, multi-param and
+    /// keep-all do; top-c bypasses.  Pruned searches return answers
+    /// byte-identical (plans, cost bits) to unpruned ones; only work
+    /// counters ([`SearchStats::pruned_subsets`],
+    /// [`SearchStats::bound_evals`], `candidates`, `evals`, `nodes`,
+    /// `cache_hits`) differ.
+    pub pruning: bool,
 }
 
 impl Default for SearchConfig {
@@ -179,6 +193,7 @@ impl Default for SearchConfig {
             bucket_evals_threshold: lec_cost::DEFAULT_MIN_PARALLEL_EVALS,
             pool: None,
             memo: None,
+            pruning: false,
         }
     }
 }
@@ -203,6 +218,7 @@ impl PartialEq for SearchConfig {
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
                 _ => false,
             }
+            && self.pruning == other.pruning
     }
 }
 
@@ -247,10 +263,19 @@ impl SearchConfig {
         self
     }
 
+    /// This configuration with branch-and-bound pruning switched on or
+    /// off (see [`SearchConfig::pruning`]).
+    pub fn with_pruning(mut self, pruning: bool) -> Self {
+        self.pruning = pruning;
+        self
+    }
+
     /// Stable fingerprint of the outcome-relevant knobs, for cross-query
     /// plan-cache keys.  The pool is a thread *source* and the memo a
     /// work *cache*, not semantic knobs (results are byte-identical with
-    /// or without either), so neither participates.
+    /// or without either), so neither participates; pruning is excluded
+    /// for the same reason — it discards only strictly-worse candidates,
+    /// so the answer a cache key names is identical either way.
     pub fn fingerprint(&self) -> u64 {
         lec_cost::Fingerprint::new()
             .u64(self.threads as u64)
@@ -454,11 +479,18 @@ fn combine_live<P: CandidatePolicy>(
 }
 
 /// Combine one subset, consulting the subplan memo when a session is
-/// active.  A memo hit relabels the stored candidates into this query's
-/// numbering and replays the recorded cache probes (keeping `evals` /
-/// `cache_hits` byte-identical to a live combine); a miss combines live
-/// under probe recording and populates the memo.  `stats.nodes` is
-/// counted here for non-empty results.
+/// active and the branch-and-bound prune check when `prune` is set.  A
+/// memo hit relabels the stored candidates into this query's numbering
+/// and replays the recorded cache probes (keeping `evals` / `cache_hits`
+/// byte-identical to a live combine); a miss combines live under probe
+/// recording and populates the memo.  The prune check runs *before* the
+/// combine (that is the whole point — a pruned subset skips its entire
+/// combine/cost loop, and on a memo hit even the decode): the subset's
+/// size floor comes from the memo record when it carries one
+/// ([`MemoRecord::bound_pages`]), else one [`SearchStats::bound_evals`]
+/// computation.  The full set is never checked — the root must always
+/// combine.  `stats.nodes` is counted here for non-empty results.
+#[allow(clippy::too_many_arguments)]
 fn combine_subset<P: CandidatePolicy>(
     model: &CostModel<'_>,
     shape: PlanShape,
@@ -466,13 +498,48 @@ fn combine_subset<P: CandidatePolicy>(
     table: &HashMap<TableSet, Vec<P::Entry>>,
     set: TableSet,
     memo: Option<&MemoSession<'_>>,
+    prune: Option<&PruneState>,
     stats: &mut SearchStats,
 ) -> Vec<P::Entry> {
+    let check = prune.filter(|_| set.len() < model.query().n_tables());
     if let Some(ms) = memo {
         if let Some(form) = ms.canon.subquery(set) {
-            return memoized_node(model, ms, &form, policy, stats, |model, policy, stats| {
-                combine_live(model, shape, policy, table, set, stats)
-            });
+            let key = node_key(ms, &form);
+            let rec = ms.memo.lookup(&key);
+            let mut bound_pages = None;
+            if let Some(ps) = check {
+                let pages = match rec.as_deref().and_then(|r| r.bound_pages) {
+                    Some(stored) => stored,
+                    None => {
+                        stats.bound_evals += 1;
+                        ps.bound().pages_floor(model, set)
+                    }
+                };
+                if ps.prunes(set, pages) {
+                    stats.pruned_subsets += 1;
+                    return Vec::new();
+                }
+                bound_pages = Some(pages);
+            }
+            return memoized_node(
+                model,
+                ms,
+                &form,
+                key,
+                rec,
+                bound_pages,
+                policy,
+                stats,
+                |model, policy, stats| combine_live(model, shape, policy, table, set, stats),
+            );
+        }
+    }
+    if let Some(ps) = check {
+        stats.bound_evals += 1;
+        let pages = ps.bound().pages_floor(model, set);
+        if ps.prunes(set, pages) {
+            stats.pruned_subsets += 1;
+            return Vec::new();
         }
     }
     let entries = combine_live(model, shape, policy, table, set, stats);
@@ -498,8 +565,12 @@ fn access_subset<P: CandidatePolicy>(
 ) -> Vec<P::Entry> {
     if let Some(ms) = memo {
         if let Some(form) = ms.canon.subquery(TableSet::singleton(idx)) {
-            return memoized_node(model, ms, &form, policy, stats, |model, policy, stats| {
-                policy.access_entries(model, idx, stats)
+            let key = node_key(ms, &form);
+            let rec = ms.memo.lookup(&key);
+            return memoized_node(model, ms, &form, key, rec, None, policy, stats, {
+                |model, policy: &mut P, stats: &mut SearchStats| {
+                    policy.access_entries(model, idx, stats)
+                }
             });
         }
     }
@@ -510,22 +581,34 @@ fn access_subset<P: CandidatePolicy>(
     entries
 }
 
-/// The shared memo record/replay protocol of one DP node: look the node's
-/// canonical form up, decode on a hit (replaying probes and unprobed eval
+/// A node's memo key: the search's environment fingerprint prefixed onto
+/// the subquery's canonical shape key.
+fn node_key(ms: &MemoSession<'_>, form: &lec_canon::SubplanForm) -> Box<[u64]> {
+    let mut key = Vec::with_capacity(1 + form.key.len());
+    key.push(ms.env);
+    key.extend_from_slice(&form.key);
+    key.into_boxed_slice()
+}
+
+/// The shared memo record/replay protocol of one DP node: decode the
+/// pre-fetched record on a hit (replaying probes and unprobed eval
 /// charges), or run `live` under probe recording and populate on a miss.
+/// `bound_pages` is the node's already-evaluated size floor when the
+/// caller prune-checked it (stored into the record so later pruned
+/// searches skip the recompute).
+#[allow(clippy::too_many_arguments)]
 fn memoized_node<P: CandidatePolicy>(
     model: &CostModel<'_>,
     ms: &MemoSession<'_>,
     form: &lec_canon::SubplanForm,
+    key: Box<[u64]>,
+    rec: Option<Arc<MemoRecord>>,
+    bound_pages: Option<f64>,
     policy: &mut P,
     stats: &mut SearchStats,
     live: impl FnOnce(&CostModel<'_>, &mut P, &mut SearchStats) -> Vec<P::Entry>,
 ) -> Vec<P::Entry> {
-    let mut key = Vec::with_capacity(1 + form.key.len());
-    key.push(ms.env);
-    key.extend_from_slice(&form.key);
-    let key: Box<[u64]> = key.into_boxed_slice();
-    if let Some(rec) = ms.memo.lookup(&key) {
+    if let Some(rec) = rec {
         if let Some(entries) = policy.memo_decode(model, form, &rec) {
             model.replay_probes(&rec.probes, |bits| form.global_bits(bits));
             model.charge_evals(rec.unprobed_evals);
@@ -568,11 +651,172 @@ fn memoized_node<P: CandidatePolicy>(
                     candidates: stats.candidates - candidates_before,
                     probes,
                     unprobed_evals,
+                    bound_pages,
                 },
             );
         }
     }
     entries
+}
+
+/// Index of the minimal-cost entry in `entries` (first among exact
+/// ties, matching [`SearchRun::best`]'s pick).
+fn cheapest_index<E: SearchEntry>(entries: &[E]) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for (i, e) in entries.iter().enumerate() {
+        let c = e.cost();
+        let better = match best {
+            None => true,
+            Some((bc, _)) => c < bc,
+        };
+        if better {
+            best = Some((c, i));
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+/// Assemble — and install into the policy — the search's prune state,
+/// when `config` asks for pruning and the policy supplies an admissible
+/// bound ([`CandidatePolicy::pruning_bound`]).  Called right after depth
+/// 1: the access floors are the policy's own cheapest access cost per
+/// table, harvested from the table — no extra evaluations.
+fn build_prune<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    policy: &mut P,
+    config: Option<&SearchConfig>,
+    table: &HashMap<TableSet, Vec<P::Entry>>,
+) -> Option<Arc<PruneState>> {
+    if !config?.pruning {
+        return None;
+    }
+    let bound = policy.pruning_bound(model)?;
+    let n = model.query().n_tables();
+    let access_floors = (0..n)
+        .map(|i| {
+            table
+                .get(&TableSet::singleton(i))
+                .and_then(|es| cheapest_index(es).map(|j| es[j].cost()))
+                .unwrap_or(0.0)
+        })
+        .collect();
+    let ps = Arc::new(PruneState::new(bound, access_floors));
+    policy.install_pruning(&ps);
+    Some(ps)
+}
+
+/// Greedily complete the cheapest entry of `seed` to a full plan through
+/// the policy's own `combine`/`finalize`, returning the finalized cost —
+/// a *real, achievable* completion cost under the policy's exact
+/// objective (coster, phases, root sort), which is what makes it a valid
+/// incumbent.  Each chain step joins the single cheapest surviving
+/// candidate with the connected table whose point size product keeps the
+/// intermediate smallest; truncating to one entry per step keeps the walk
+/// at `O(n)` cheap combines for every policy, keep-all included.  `None`
+/// when the walk dead-ends (disconnected remainder, or a pruning
+/// keep-all's own streaming discard dropped every candidate) — the
+/// incumbent simply stays where it was.
+fn greedy_complete<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    policy: &mut P,
+    table: &HashMap<TableSet, Vec<P::Entry>>,
+    seed: TableSet,
+    stats: &mut SearchStats,
+) -> Option<f64> {
+    let query = model.query();
+    let n = query.n_tables();
+    let mut set = seed;
+    let seed_entries = table.get(&seed)?;
+    let mut cur = vec![seed_entries[cheapest_index(seed_entries)?].clone()];
+    while set.len() < n {
+        let mut choice: Option<(f64, usize)> = None;
+        for j in 0..n {
+            if set.contains(j)
+                || !query.is_connected_to(set, j)
+                || !table.contains_key(&TableSet::singleton(j))
+            {
+                continue;
+            }
+            let size = point_size_product(model, set.with(j));
+            let better = match choice {
+                None => true,
+                Some((best, _)) => size < best,
+            };
+            if better {
+                choice = Some((size, j));
+            }
+        }
+        let (_, j) = choice?;
+        let result = set.with(j);
+        let ctx = JoinContext {
+            left: set,
+            right: TableSet::singleton(j),
+            result,
+            phase: result.len() - 2,
+        };
+        let mut out = Vec::new();
+        policy.combine(
+            model,
+            &ctx,
+            &cur,
+            &table[&TableSet::singleton(j)],
+            &mut out,
+            stats,
+        );
+        let best = cheapest_index(&out)?;
+        cur = vec![out.swap_remove(best)];
+        set = result;
+    }
+    let ctx = RootContext {
+        set,
+        sort_phase: n - 1,
+    };
+    policy
+        .finalize(model, &ctx, cur, stats)
+        .iter()
+        .map(SearchEntry::cost)
+        .min_by(|a, b| a.total_cmp(b))
+}
+
+/// Tighten the incumbent at a level barrier: pick the most promising
+/// surviving subset of size `k` (cheapest minimal entry; smallest bit
+/// pattern on exact ties), greedily complete it through the policy, and
+/// observe the resulting cost.  Driver-only — the incumbent changes
+/// exactly here (and at the post-depth-1 seeding, `k = 1`), never
+/// mid-level, which is what makes every prune decision
+/// schedule-independent: the serial and parallel drivers call this at the
+/// same barriers over the same merged table, so pruned runs are
+/// byte-identical across thread counts and pools.
+fn refresh_incumbent<P: CandidatePolicy>(
+    model: &CostModel<'_>,
+    policy: &mut P,
+    table: &HashMap<TableSet, Vec<P::Entry>>,
+    prune: &PruneState,
+    k: usize,
+    stats: &mut SearchStats,
+) {
+    let n = model.query().n_tables();
+    let mut best: Option<(f64, TableSet)> = None;
+    for set in TableSet::subsets_of_size(n, k) {
+        let Some(entries) = table.get(&set) else {
+            continue;
+        };
+        let Some(i) = cheapest_index(entries) else {
+            continue;
+        };
+        let c = entries[i].cost();
+        let better = match best {
+            None => true,
+            Some((bc, bs)) => c < bc || (c == bc && set.bits() < bs.bits()),
+        };
+        if better {
+            best = Some((c, set));
+        }
+    }
+    let Some((_, seed)) = best else { return };
+    if let Some(cost) = greedy_complete(model, policy, table, seed, stats) {
+        prune.incumbent().observe(cost);
+    }
 }
 
 /// Run the DP under `shape` and `policy` and return the finalized root
@@ -614,6 +858,11 @@ fn run_search_serial<P: CandidatePolicy>(
         }
     }
 
+    let prune_cx = build_prune(model, policy, config, &table);
+    if let Some(ps) = &prune_cx {
+        refresh_incumbent(model, policy, &table, ps, 1, &mut stats);
+    }
+
     // Depths 2..n.
     for k in 2..=n {
         for set in TableSet::subsets_of_size(n, k) {
@@ -624,10 +873,16 @@ fn run_search_serial<P: CandidatePolicy>(
                 &table,
                 set,
                 memo_cx.as_ref(),
+                prune_cx.as_deref(),
                 &mut stats,
             );
             if !entries.is_empty() {
                 table.insert(set, entries);
+            }
+        }
+        if k < n {
+            if let Some(ps) = &prune_cx {
+                refresh_incumbent(model, policy, &table, ps, k, &mut stats);
             }
         }
     }
@@ -761,12 +1016,22 @@ fn combine_level_sets<P: CandidatePolicy>(
     sets: &[TableSet],
     next: &AtomicUsize,
     memo: Option<&MemoSession<'_>>,
+    prune: Option<&PruneState>,
     out: &mut LevelOutput<P::Entry>,
 ) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(&set) = sets.get(i) else { break };
-        let entries = combine_subset(model, shape, policy, table, set, memo, &mut out.stats);
+        let entries = combine_subset(
+            model,
+            shape,
+            policy,
+            table,
+            set,
+            memo,
+            prune,
+            &mut out.stats,
+        );
         if !entries.is_empty() {
             out.produced.push((set, entries));
         }
@@ -833,6 +1098,13 @@ where
         }
     }
 
+    // Install pruning before the forks below so every worker's policy
+    // clone shares the one incumbent cell.
+    let prune_cx = build_prune(model, policy, Some(config), &table);
+    if let Some(ps) = &prune_cx {
+        refresh_incumbent(model, policy, &table, ps, 1, &mut stats);
+    }
+
     let n_workers = (threads - 1).min(pool.max_workers());
     let coord = Coordinator {
         epoch: AtomicUsize::new(0),
@@ -889,6 +1161,7 @@ where
                 &sets,
                 &coord.next,
                 memo_cx.as_ref(),
+                prune_cx.as_deref(),
                 &mut out,
             );
             *outputs[w].lock().unwrap_or_else(|p| p.into_inner()) = out;
@@ -932,6 +1205,7 @@ where
                                 &sets,
                                 &cursor,
                                 memo_cx.as_ref(),
+                                prune_cx.as_deref(),
                                 &mut out,
                             )
                         }))
@@ -944,6 +1218,11 @@ where
                     let mut tbl = table_lock.write().unwrap_or_else(|p| p.into_inner());
                     stats.absorb(&out.stats);
                     tbl.extend(out.produced);
+                    if k < n {
+                        if let Some(ps) = &prune_cx {
+                            refresh_incumbent(model, policy, &tbl, ps, k, stats);
+                        }
+                    }
                     continue;
                 }
 
@@ -968,6 +1247,7 @@ where
                             &sets,
                             &coord.next,
                             memo_cx.as_ref(),
+                            prune_cx.as_deref(),
                             &mut my_out,
                         )
                     }))
@@ -1002,6 +1282,11 @@ where
                 }
                 stats.absorb(&my_out.stats);
                 tbl.extend(my_out.produced);
+                if k < n {
+                    if let Some(ps) = &prune_cx {
+                        refresh_incumbent(model, policy, &tbl, ps, k, stats);
+                    }
+                }
             }
 
             coord.epoch.store(STOP_EPOCH, Ordering::Release);

@@ -132,7 +132,13 @@ impl<C: PhaseCoster + Clone> CandidatePolicy for KeepBestPolicy<C> {
         entries: Vec<DpEntry>,
         _stats: &mut SearchStats,
     ) -> Vec<DpEntry> {
-        finalize_with_coster(model, ctx, entries, &self.coster)
+        let mut roots = finalize_with_coster(model, ctx, entries, &self.coster);
+        sort_roots(model, &mut roots);
+        roots
+    }
+
+    fn pruning_bound(&self, _model: &CostModel<'_>) -> Option<Box<dyn super::bound::LowerBound>> {
+        self.coster.pruning_bound()
     }
 
     fn memo_fingerprint(&self, _model: &CostModel<'_>) -> Option<u64> {
@@ -220,4 +226,21 @@ pub(super) fn finalize_with_coster<C: PhaseCoster>(
             _ => e,
         })
         .collect()
+}
+
+/// Order finalized root candidates by (cost bits, label-free shape), so
+/// the reported root vector — and [`super::SearchRun::best`]'s
+/// first-minimal pick among exact-cost ties — is independent of the
+/// per-order-class insertion order.  Pruning can remove strictly-worse
+/// candidates whose insertion used to shuffle that order; sorting here
+/// (pruned and unpruned alike) keeps the two answers byte-identical.
+pub(super) fn sort_roots<E>(model: &CostModel<'_>, roots: &mut [E])
+where
+    E: super::policy::SearchEntry,
+{
+    roots.sort_by(|a, b| {
+        a.cost()
+            .total_cmp(&b.cost())
+            .then_with(|| super::policy::plan_shape_cmp(model, a.plan(), b.plan()))
+    });
 }

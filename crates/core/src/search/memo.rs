@@ -128,6 +128,14 @@ pub struct MemoRecord {
     /// record `0` because all of their evaluations flow through the
     /// probe log.
     pub unprobed_evals: u64,
+    /// The node's [`super::LowerBound::pages_floor`] as computed by the
+    /// recording (pruned) search, so a memo hit skips the bound recompute.
+    /// The floor is label-independent (a product over the subquery's base
+    /// sizes and internal selectivities) and the environment key already
+    /// separates policy families, so a stored floor is always the value a
+    /// recompute would produce.  `None` when the recording search ran
+    /// without pruning; a pruned hit on such a record recomputes.
+    pub bound_pages: Option<f64>,
 }
 
 /// Lifetime counters of one memo, exposed through
@@ -319,6 +327,7 @@ mod tests {
             candidates,
             probes: Vec::new(),
             unprobed_evals: 0,
+            bound_pages: None,
         }
     }
 

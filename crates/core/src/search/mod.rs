@@ -74,7 +74,56 @@
 //! record).  `lec-service`'s
 //! `PlanServer` shares one memo across all its searches, turning
 //! overlapping different-shaped requests into partial hits.
+//!
+//! # Bound-based pruning
+//!
+//! The engine's fifth axis is *branch and bound*
+//! ([`engine::SearchConfig::pruning`], [`bound`]): with pruning on, a
+//! policy may hand the engine an admissible [`bound::LowerBound`] on the
+//! cost of any complete plan containing a given connected subset as a
+//! subtree, and the engine discards the subset before its combine/cost
+//! loop whenever that bound strictly exceeds the **incumbent** — the
+//! cheapest complete-plan cost established so far.
+//!
+//! The incumbent/bound contract has three clauses:
+//!
+//! * **Achievable incumbent.**  The incumbent is always the *finalized
+//!   cost of a real plan under the policy's own objective*: after depth 1
+//!   (and again at every level barrier) the driver greedily completes the
+//!   cheapest node through the policy's own
+//!   [`policy::CandidatePolicy::combine`]/`finalize`, so no coster
+//!   arithmetic is ever replicated or approximated.  Because only the
+//!   driver tightens the incumbent — at barriers, through an atomic cost
+//!   cell ([`bound::IncumbentCell`]) — every worker reads one stable
+//!   value per level and prune decisions are schedule-independent:
+//!   parallel pruned searches are byte-identical to serial pruned ones,
+//!   `SearchStats::pruned_subsets` included.
+//! * **Admissible floor, strict prune.**  `subset_floor(S) ≤` the cost of
+//!   every completion through `S` (sizes floored by the subset's
+//!   size product, memory by its most favourable value — the cost
+//!   formulas are monotone in both), and a subset is discarded only when
+//!   its floor is *strictly above* the incumbent.  Every subtree of an
+//!   optimal plan therefore survives, exact ties included, and a pruned
+//!   search returns the same plan at the same cost bits as an unpruned
+//!   one; only the work counters (`evals`, `candidates`, `nodes`,
+//!   `cache_hits`) and the new `pruned_subsets`/`bound_evals` may differ.
+//! * **Eligibility.**  Keep-best (under any [`coster::PhaseCoster`]) and
+//!   multi-param opt in via
+//!   [`policy::CandidatePolicy::pruning_bound`]; Algorithm D's incumbent
+//!   is the scalar *expected* completion cost, floored through its
+//!   size-distributions' minimum supports, so one incumbent covers every
+//!   memory bucket at once.  Top-c **bypasses** pruning: its answer is a
+//!   Proposition 3.1 *frontier* of candidates per node, and a subset
+//!   whose cheapest completion loses to the incumbent can still carry a
+//!   frontier member the final EC ranking needs — no single-incumbent
+//!   bound is admissible for "keep the c best".  The randomized modes
+//!   (II/SA) never run the DP engine at all.  The keep-all verifier
+//!   becomes a *streaming* branch-and-bound enumerator: the same subset
+//!   check plus a per-entry emit-and-discard rule (`entry cost +
+//!   completion floor > incumbent`), which is what lifts its 7-table
+//!   materialization cap.
 
+pub mod bound;
 pub mod coster;
 pub mod engine;
 pub mod keep_all;
@@ -85,6 +134,10 @@ pub mod policy;
 pub mod pool;
 pub mod top_c;
 
+pub use bound::{
+    min_support_size_product, point_size_product, ExpectationBound, IncumbentCell, LowerBound,
+    MinSupportBound, PointBound, PruneState,
+};
 pub use coster::{DynamicExpectationCoster, PhaseCoster, PointCoster, StaticExpectationCoster};
 pub use engine::{
     plan_space_size, run_search, run_search_with, PlanShape, SearchConfig, SearchRun,
@@ -132,6 +185,17 @@ pub struct SearchStats {
     pub memo_hits: u64,
     /// Memo-eligible DP nodes that combined live (and populated the memo).
     pub memo_misses: u64,
+    /// Connected subsets discarded by the branch-and-bound check before
+    /// their combine/cost loop ran; zero unless
+    /// [`SearchConfig::pruning`] is on and the policy provides a bound.
+    pub pruned_subsets: u64,
+    /// Lower-bound size computations performed for prune checks (a
+    /// [`SubplanMemo`] hit whose record carries the bound skips the
+    /// recompute and is *not* counted here — like the memo counters,
+    /// `bound_evals` is therefore schedule-independent only in memo-off
+    /// runs; `pruned_subsets` is schedule-independent always, because a
+    /// memoized bound equals the value a recompute would produce).
+    pub bound_evals: u64,
     /// Wall-clock optimization time.
     pub elapsed: Duration,
 }
@@ -146,6 +210,8 @@ impl SearchStats {
         self.cache_hits += other.cache_hits;
         self.memo_hits += other.memo_hits;
         self.memo_misses += other.memo_misses;
+        self.pruned_subsets += other.pruned_subsets;
+        self.bound_evals += other.bound_evals;
         self.elapsed += other.elapsed;
     }
 
@@ -160,6 +226,8 @@ impl SearchStats {
             "cache_hits": self.cache_hits,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "pruned_subsets": self.pruned_subsets,
+            "bound_evals": self.bound_evals,
             "elapsed_us": self.elapsed.as_secs_f64() * 1e6,
         })
     }

@@ -243,7 +243,7 @@ impl CandidatePolicy for MultiParamPolicy {
     ) -> Vec<DistEntry> {
         let query = model.query();
         let eq = model.equivalences();
-        entries
+        let mut roots: Vec<DistEntry> = entries
             .into_iter()
             .map(|e| match query.required_order {
                 Some(want) if !eq.satisfies(e.order, want) => {
@@ -262,7 +262,20 @@ impl CandidatePolicy for MultiParamPolicy {
                 }
                 _ => e,
             })
-            .collect()
+            .collect();
+        super::keep_best::sort_roots(model, &mut roots);
+        roots
+    }
+
+    /// Algorithm D's objective is the scalar *expected* completion cost,
+    /// so a single incumbent covers every memory bucket at once; sizes
+    /// are floored through the node distributions' minimum supports
+    /// (clamping and rebucketing only ever raise a distribution's
+    /// minimum), memory by its largest support value.
+    fn pruning_bound(&self, _model: &CostModel<'_>) -> Option<Box<dyn super::bound::LowerBound>> {
+        Some(Box::new(super::bound::MinSupportBound {
+            max_memory: self.memory.max_value(),
+        }))
     }
 
     fn memo_fingerprint(&self, _model: &CostModel<'_>) -> Option<u64> {

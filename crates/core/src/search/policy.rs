@@ -1,6 +1,7 @@
 //! The candidate-policy axis of the search engine: what each dag node
 //! retains and how a join candidate is costed.
 
+use super::bound::{LowerBound, PruneState};
 use super::memo::{MemoEntries, MemoRecord};
 use super::SearchStats;
 use lec_canon::SubplanForm;
@@ -101,6 +102,28 @@ pub trait CandidatePolicy {
         entries: Vec<Self::Entry>,
         stats: &mut SearchStats,
     ) -> Vec<Self::Entry>;
+
+    // ---- branch-and-bound support (opt in; default: bypass) -------------
+    //
+    // A policy opts into [`SearchConfig::pruning`] by returning an
+    // admissible [`LowerBound`]; `None` (the default, and top-c's
+    // answer — a frontier member can survive at a node whose cheapest
+    // completion loses to the incumbent, so no single-incumbent bound is
+    // admissible there) makes the engine skip every prune check.
+    //
+    // [`SearchConfig::pruning`]: super::SearchConfig::pruning
+
+    /// An admissible size bound for branch-and-bound pruning under this
+    /// policy's objective, or `None` to bypass pruning entirely.
+    fn pruning_bound(&self, _model: &CostModel<'_>) -> Option<Box<dyn LowerBound>> {
+        None
+    }
+
+    /// Hand the policy the search's shared [`PruneState`] so policies
+    /// with per-entry discard rules (the keep-all verifier) can consult
+    /// the incumbent inside their combine loops.  Called once per search,
+    /// before any forks are taken.
+    fn install_pruning(&mut self, _prune: &std::sync::Arc<PruneState>) {}
 
     // ---- subplan-memo support (opt in; default: memo-ineligible) --------
     //

@@ -553,3 +553,212 @@ fn serial_config_takes_the_serial_path() {
     assert!(SearchConfig::with_threads(7).effective_threads() == 7);
     assert!(SearchConfig::default().effective_threads() >= 1);
 }
+
+// ---------------------------------------------------------------------
+// Bound-based pruning: answers, schedule independence, admissibility.
+// ---------------------------------------------------------------------
+
+/// Every subtree's table set in `plan` (composite and singleton alike).
+fn subtree_sets(plan: &lec_plan::PlanNode, out: &mut Vec<lec_plan::TableSet>) {
+    use lec_plan::PlanNode;
+    match plan {
+        PlanNode::SeqScan { .. } | PlanNode::IndexScan { .. } => {}
+        PlanNode::Sort { input, .. } => subtree_sets(input, out),
+        PlanNode::Join { outer, inner, .. } => {
+            subtree_sets(outer, out);
+            subtree_sets(inner, out);
+        }
+    }
+    out.push(plan.tables());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Branch-and-bound pruning must be invisible in answers: for every
+    /// prune-eligible policy (and the streaming keep-all verifier), the
+    /// pruned search returns the same plan and the same cost bits as the
+    /// unpruned one — serially and fanned out.  Work counters may differ
+    /// (that is the point of pruning); the answer may not.
+    #[test]
+    fn pruned_searches_return_byte_identical_answers(
+        seed in 0u64..4000,
+        n in 3usize..7,
+        center in 60.0f64..2500.0,
+        spread in 0.1f64..0.9,
+        b in 2usize..6,
+    ) {
+        let (cat, q) = workload(seed, n);
+        let memory = presets::spread_family(center, spread, b).unwrap();
+        let chain = MarkovChain::birth_death(memory.support().to_vec(), 0.3, 0.1).unwrap();
+
+        type Runner = dyn Fn(&CostModel<'_>, &SearchConfig) -> Result<SearchOutcome, OptError>;
+        let memory2 = memory.clone();
+        let memory3 = memory.clone();
+        let memory4 = memory.clone();
+        let memory5 = memory.clone();
+        let memory6 = memory.clone();
+        let runners: Vec<(&str, Box<Runner>)> = vec![
+            ("lsc", Box::new(move |m, c| optimize_lsc_with(m, memory2.mean(), c))),
+            ("alg_c", Box::new(move |m, c| optimize_lec_static_with(m, &memory3, c))),
+            ("alg_c_dyn", Box::new(move |m, c| optimize_lec_dynamic_with(m, &memory4, &chain, c))),
+            ("alg_d", Box::new(move |m, c| optimize_alg_d_with(m, &memory5, &AlgDConfig::default(), c))),
+            ("bushy", Box::new(move |m, c| optimize_lec_bushy_with(m, &memory6, c))),
+            ("exhaustive", Box::new(move |m, c| exhaustive_best_with(m, &Objective::Expected(&memory), c))),
+        ];
+
+        for (name, run) in &runners {
+            let base_model = CostModel::new(&cat, &q);
+            let base = run(&base_model, &SearchConfig::serial()).unwrap();
+            let configs = [
+                SearchConfig::serial().with_pruning(true),
+                forced(2).with_pruning(true),
+                forced(4).with_pruning(true),
+            ];
+            for (i, cfg) in configs.iter().enumerate() {
+                let model = CostModel::new(&cat, &q);
+                let out = run(&model, cfg).unwrap();
+                prop_assert_eq!(&base.plan, &out.plan, "{} cfg {}: plan drift", name, i);
+                prop_assert_eq!(
+                    base.cost.to_bits(), out.cost.to_bits(),
+                    "{} cfg {}: cost drift ({} vs {})", name, i, base.cost, out.cost
+                );
+            }
+        }
+    }
+
+    /// A pruned search's counters are part of the determinism contract
+    /// *between schedules*: pruned serial and pruned parallel agree on
+    /// every counter — `pruned_subsets` included — because the incumbent
+    /// only tightens at level barriers, never mid-level.
+    #[test]
+    fn pruned_stats_are_schedule_independent(
+        seed in 0u64..4000,
+        n in 3usize..7,
+        center in 60.0f64..2500.0,
+    ) {
+        let memory = presets::spread_family(center, 0.5, 4).unwrap();
+        let (cat, q) = workload(seed, n);
+        let serial_model = CostModel::new(&cat, &q);
+        let serial = optimize_lec_static_with(
+            &serial_model, &memory, &SearchConfig::serial().with_pruning(true),
+        ).unwrap();
+        for threads in [2usize, 4] {
+            let model = CostModel::new(&cat, &q);
+            let par = optimize_lec_static_with(
+                &model, &memory, &forced(threads).with_pruning(true),
+            ).unwrap();
+            assert_identical("alg_c+pruning", threads, &serial, &par);
+            prop_assert_eq!(
+                serial.stats.pruned_subsets, par.stats.pruned_subsets,
+                "pruned_subsets must be schedule-independent"
+            );
+            prop_assert_eq!(
+                serial.stats.bound_evals, par.stats.bound_evals,
+                "bound_evals must be schedule-independent (no memo installed)"
+            );
+        }
+    }
+
+    /// Admissibility, checked against ground truth: every subtree of the
+    /// plan a policy actually chose must survive its own bound —
+    /// `subset_floor(S) <= cost` for every subtree set `S` of the chosen
+    /// plan.  (A violation is exactly the failure that would make pruning
+    /// discard the optimal plan.)
+    #[test]
+    fn bounds_are_admissible_on_the_chosen_plans(
+        seed in 0u64..4000,
+        n in 3usize..7,
+        center in 60.0f64..2500.0,
+        spread in 0.1f64..0.9,
+        b in 2usize..6,
+    ) {
+        use lec_core::search::{
+            DynamicExpectationCoster, PointCoster, PruneState, StaticExpectationCoster,
+        };
+        let (cat, q) = workload(seed, n);
+        let memory = presets::spread_family(center, spread, b).unwrap();
+        let chain = MarkovChain::birth_death(memory.support().to_vec(), 0.3, 0.1).unwrap();
+        let model = CostModel::new(&cat, &q);
+
+        type Case = (
+            &'static str,
+            Option<Box<dyn lec_core::search::LowerBound>>,
+            SearchOutcome,
+        );
+        let cases: Vec<Case> = vec![
+            (
+                "lsc",
+                PointCoster { memory: memory.mean() }.pruning_bound(),
+                optimize_lsc_with(&model, memory.mean(), &SearchConfig::serial()).unwrap(),
+            ),
+            (
+                "alg_c",
+                StaticExpectationCoster::new(&memory).pruning_bound(),
+                optimize_lec_static_with(&model, &memory, &SearchConfig::serial()).unwrap(),
+            ),
+            (
+                "alg_c_dyn",
+                DynamicExpectationCoster::new(&memory, &chain, n).unwrap().pruning_bound(),
+                optimize_lec_dynamic_with(&model, &memory, &chain, &SearchConfig::serial()).unwrap(),
+            ),
+        ];
+        for (name, bound, outcome) in cases {
+            // Zero access floors keep the state admissible a fortiori;
+            // the size product and join floors are the load-bearing part.
+            let ps = PruneState::new(bound.expect("coster is prune-eligible"), vec![0.0; n]);
+            let mut sets = Vec::new();
+            subtree_sets(&outcome.plan, &mut sets);
+            for set in sets {
+                let pages = ps.bound().pages_floor(&model, set);
+                let floor = ps.subset_floor(set, pages);
+                prop_assert!(
+                    floor <= outcome.cost + 1e-6,
+                    "{}: subtree {:?} floor {} exceeds the chosen plan's cost {}",
+                    name, set, floor, outcome.cost
+                );
+            }
+        }
+    }
+}
+
+/// The pruning fixtures actually prune — and whatever they discard, the
+/// answer, the counters, and the schedule-independence contract all hold,
+/// against both the unpruned search and across thread counts.
+#[test]
+fn pruning_fixtures_prune_without_changing_answers() {
+    let memory = presets::spread_family(400.0, 0.5, 4).unwrap();
+    for (cat, q) in [
+        lec_core::fixtures::pruning_chain(9),
+        lec_core::fixtures::pruning_star(10),
+    ] {
+        let base_model = CostModel::new(&cat, &q);
+        let base = optimize_lec_static_with(&base_model, &memory, &SearchConfig::serial()).unwrap();
+        let serial_model = CostModel::new(&cat, &q);
+        let serial = optimize_lec_static_with(
+            &serial_model,
+            &memory,
+            &SearchConfig::serial().with_pruning(true),
+        )
+        .unwrap();
+        assert!(
+            serial.stats.pruned_subsets > 0,
+            "the fixture must actually trigger pruning"
+        );
+        assert_eq!(base.plan, serial.plan, "pruning changed the plan");
+        assert_eq!(
+            base.cost.to_bits(),
+            serial.cost.to_bits(),
+            "pruning changed the cost"
+        );
+        for threads in [2usize, 4] {
+            let model = CostModel::new(&cat, &q);
+            let par =
+                optimize_lec_static_with(&model, &memory, &forced(threads).with_pruning(true))
+                    .unwrap();
+            assert_identical("pruning-fixture", threads, &serial, &par);
+            assert_eq!(serial.stats.pruned_subsets, par.stats.pruned_subsets);
+            assert_eq!(serial.stats.bound_evals, par.stats.bound_evals);
+        }
+    }
+}

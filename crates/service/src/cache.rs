@@ -28,6 +28,7 @@
 //! label space — the server relabels them into each caller's numbering on
 //! the way out.
 
+use lec_canon::RefusalReason;
 use lec_core::{OptError, SearchStats};
 use lec_plan::PlanNode;
 use std::collections::HashMap;
@@ -94,6 +95,15 @@ pub struct CacheStats {
     pub recomputed: u64,
     /// Requests that bypassed the cache entirely.
     pub uncacheable: u64,
+    /// Uncacheable requests the canonicalizer refused as empty or larger
+    /// than [`lec_canon::MAX_CANON_TABLES`] tables.
+    pub refused_too_many_tables: u64,
+    /// Uncacheable requests refused as too symmetric to label within
+    /// [`lec_canon::MAX_CANDIDATE_PERMS`] candidate permutations.
+    pub refused_too_many_permutations: u64,
+    /// Uncacheable requests refused for interchangeable twin tables
+    /// (label-dependent DP tie-breaks).
+    pub refused_twin_tables: u64,
     /// Entries inserted.
     pub insertions: u64,
     /// Entries evicted by the per-shard LRU policy.
@@ -123,6 +133,11 @@ impl CacheStats {
             "revalidated": self.revalidated,
             "recomputed": self.recomputed,
             "uncacheable": self.uncacheable,
+            "refusals": {
+                "too_many_tables": self.refused_too_many_tables,
+                "too_many_permutations": self.refused_too_many_permutations,
+                "twin_tables": self.refused_twin_tables,
+            },
             "insertions": self.insertions,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate(),
@@ -146,6 +161,9 @@ struct AtomicCacheStats {
     revalidated: AtomicU64,
     recomputed: AtomicU64,
     uncacheable: AtomicU64,
+    refused_too_many_tables: AtomicU64,
+    refused_too_many_permutations: AtomicU64,
+    refused_twin_tables: AtomicU64,
     insertions: AtomicU64,
     evictions: AtomicU64,
 }
@@ -160,6 +178,11 @@ impl AtomicCacheStats {
             revalidated: self.revalidated.load(Ordering::Relaxed),
             recomputed: self.recomputed.load(Ordering::Relaxed),
             uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            refused_too_many_tables: self.refused_too_many_tables.load(Ordering::Relaxed),
+            refused_too_many_permutations: self
+                .refused_too_many_permutations
+                .load(Ordering::Relaxed),
+            refused_twin_tables: self.refused_twin_tables.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
@@ -353,6 +376,19 @@ impl ShapeCache {
     /// Count one request bypassing the cache.
     pub(crate) fn count_uncacheable(&self) {
         self.stats.uncacheable.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request the canonicalizer refused — bypasses the cache
+    /// like any uncacheable request, plus a per-reason counter so the
+    /// metrics can say *why* requests stopped being cacheable.
+    pub(crate) fn count_refusal(&self, reason: RefusalReason) {
+        self.stats.uncacheable.fetch_add(1, Ordering::Relaxed);
+        match reason {
+            RefusalReason::TooManyTables => &self.stats.refused_too_many_tables,
+            RefusalReason::TooManyPermutations => &self.stats.refused_too_many_permutations,
+            RefusalReason::TwinTables => &self.stats.refused_twin_tables,
+        }
+        .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Per-entry exact-hit counters, descending — the skew profile of the

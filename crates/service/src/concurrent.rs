@@ -64,6 +64,7 @@ use lec_core::{Mode, OptError, Optimizer};
 use lec_cost::dist_fingerprint;
 use lec_plan::Query;
 use lec_prob::Distribution;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -86,6 +87,12 @@ pub struct ConcurrentPlanServer<'a> {
     memo: Option<Arc<SubplanMemo>>,
     memory_fp: u64,
     search_fp: u64,
+    /// Lifetime total of subsets discarded by branch-and-bound pruning
+    /// across every fresh search this server ran (served/coalesced
+    /// responses reuse an already-counted search).
+    pruned_subsets: AtomicU64,
+    /// Lifetime total of lower-bound evaluations across fresh searches.
+    bound_evals: AtomicU64,
 }
 
 /// The whole point: one server instance is shared by every client thread.
@@ -122,7 +129,17 @@ impl<'a> ConcurrentPlanServer<'a> {
             memo,
             memory_fp,
             search_fp,
+            pruned_subsets: AtomicU64::new(0),
+            bound_evals: AtomicU64::new(0),
         }
+    }
+
+    /// Fold one fresh search's pruning counters into the lifetime totals.
+    fn count_search(&self, stats: &lec_core::SearchStats) {
+        self.pruned_subsets
+            .fetch_add(stats.pruned_subsets, Ordering::Relaxed);
+        self.bound_evals
+            .fetch_add(stats.bound_evals, Ordering::Relaxed);
     }
 
     /// The optimizer answering cache misses.
@@ -179,13 +196,23 @@ impl<'a> ConcurrentPlanServer<'a> {
             Mode::IterativeImprovement { .. } | Mode::SimulatedAnnealing { .. }
         );
         let form = if cacheable_mode {
-            canonical_form(self.optimizer.catalog(), query)
+            match canonical_form(self.optimizer.catalog(), query) {
+                Ok(form) => Some(form),
+                Err(reason) => {
+                    // Counts as uncacheable *and* under its reason, so the
+                    // metrics can distinguish "workload outgrew the
+                    // canonicalizer" from "queries are too symmetric".
+                    self.cache.count_refusal(reason);
+                    None
+                }
+            }
         } else {
+            self.cache.count_uncacheable();
             None
         };
         let Some(form) = form else {
-            self.cache.count_uncacheable();
             let out = self.optimizer.optimize(query, mode)?;
+            self.count_search(&out.stats);
             return Ok(ServeResponse {
                 plan: out.plan,
                 cost: out.cost,
@@ -236,6 +263,7 @@ impl<'a> ConcurrentPlanServer<'a> {
                 };
                 match self.optimizer.optimize(query, mode) {
                     Ok(out) => {
+                        self.count_search(&out.stats);
                         let canon_plan = out.plan.relabel_tables(&form.perm);
                         let decision = guard.complete_ok(
                             weak_key,
@@ -264,9 +292,11 @@ impl<'a> ConcurrentPlanServer<'a> {
         }
     }
 
-    /// Machine-readable service metrics: cache counters (coalescing
-    /// included), occupancy, the exact-hit skew histogram, and the
-    /// subplan memo's counters (`null` when no memo is installed).
+    /// Machine-readable service metrics: cache counters (coalescing and
+    /// per-reason canonicalizer refusals included), occupancy, the
+    /// exact-hit skew histogram, the subplan memo's counters (`null` when
+    /// no memo is installed), and lifetime branch-and-bound pruning
+    /// totals across every fresh search.
     pub fn metrics_json(&self) -> serde_json::Value {
         serde_json::json!({
             "cache": self.cache.stats().to_json(),
@@ -276,6 +306,10 @@ impl<'a> ConcurrentPlanServer<'a> {
             "memo": match &self.memo {
                 Some(m) => m.stats_json(),
                 None => serde_json::Value::Null,
+            },
+            "pruning": {
+                "pruned_subsets": self.pruned_subsets.load(Ordering::Relaxed),
+                "bound_evals": self.bound_evals.load(Ordering::Relaxed),
             },
         })
     }
@@ -375,6 +409,53 @@ mod tests {
         );
         // However the four clients interleaved, exactly one DP ran.
         assert_eq!(stats.revalidated + stats.recomputed, 1);
+    }
+
+    #[test]
+    fn refusal_reasons_and_pruning_totals_reach_the_metrics() {
+        use lec_core::SearchConfig;
+        // The pruning star's reductive spokes are interchangeable twins,
+        // so the canonicalizer refuses it — the request still gets a real
+        // (uncacheable) answer, and with pruning enabled that fresh search
+        // contributes its bound counters to the lifetime totals.
+        let (cat, q) = fixtures::pruning_star(9);
+        let memory = lec_prob::presets::spread_family(400.0, 0.5, 4).unwrap();
+        let server = ConcurrentPlanServer::with_optimizer(
+            Optimizer::new(&cat, memory)
+                .with_search_config(SearchConfig::default().with_pruning(true)),
+            DEFAULT_CACHE_CAPACITY,
+        );
+        let resp = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(resp.decision, CacheDecision::Uncacheable);
+        assert!(resp.stats.pruned_subsets > 0, "the star must prune");
+        let v = server.metrics_json();
+        assert_eq!(v["cache"]["refusals"]["twin_tables"].as_f64(), Some(1.0));
+        assert_eq!(
+            v["cache"]["refusals"]["too_many_tables"].as_f64(),
+            Some(0.0)
+        );
+        assert_eq!(v["cache"]["uncacheable"].as_f64(), Some(1.0));
+        assert_eq!(
+            v["pruning"]["pruned_subsets"].as_f64(),
+            Some(resp.stats.pruned_subsets as f64)
+        );
+        assert_eq!(
+            v["pruning"]["bound_evals"].as_f64(),
+            Some(resp.stats.bound_evals as f64)
+        );
+
+        // An oversize query lands in the size-cap bucket.
+        let (big_cat, big_q) = fixtures::pruning_chain(13);
+        let server = ConcurrentPlanServer::new(
+            &big_cat,
+            lec_prob::presets::spread_family(400.0, 0.5, 4).unwrap(),
+        );
+        server.serve(&big_q, &Mode::AlgorithmC).unwrap();
+        let v = server.metrics_json();
+        assert_eq!(
+            v["cache"]["refusals"]["too_many_tables"].as_f64(),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -98,5 +98,7 @@ pub use lec_canon as canon;
 
 pub use cache::{CacheDecision, CacheStats, ShapeCache, CACHE_SHARDS};
 pub use concurrent::ConcurrentPlanServer;
-pub use lec_canon::{canonical_form, CanonicalForm, MAX_CANDIDATE_PERMS, MAX_CANON_TABLES};
+pub use lec_canon::{
+    canonical_form, CanonicalForm, RefusalReason, MAX_CANDIDATE_PERMS, MAX_CANON_TABLES,
+};
 pub use server::{PlanServer, ServeResponse, DEFAULT_CACHE_CAPACITY};

@@ -4,7 +4,7 @@
 
 use lec_core::{fixtures, Mode, Optimizer};
 use lec_plan::{Query, QueryProfile, Topology, WorkloadGenerator};
-use lec_service::{canonical_form, CacheDecision, PlanServer};
+use lec_service::{canonical_form, CacheDecision, PlanServer, RefusalReason};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -162,8 +162,9 @@ fn distinct_shapes_never_collide_on_the_seven_table_fixtures() {
     assert_ne!(c6_form.exact, c7_form.exact);
     assert_ne!(c6_form.weak, c7_form.weak);
     let (s7_cat, s7) = fixtures::scaling_star(7);
-    assert!(
-        canonical_form(&s7_cat, &s7).is_none(),
+    assert_eq!(
+        canonical_form(&s7_cat, &s7),
+        Err(RefusalReason::TwinTables),
         "twin spokes make the scaling star automorphic, hence uncacheable"
     );
 }

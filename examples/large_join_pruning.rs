@@ -1,0 +1,94 @@
+//! Breaking the table-count ceilings with branch-and-bound pruning.
+//!
+//! Two ceilings fall in this demo:
+//!
+//! 1. The *exhaustive verifier* refuses anything past 7 tables (or one
+//!    million materialized plans) because plain keep-all holds every plan
+//!    in memory.  With `SearchConfig::pruning` it becomes a streaming
+//!    branch-and-bound verifier — candidates that provably cannot beat
+//!    the incumbent are discarded on emission — and the same 8-table
+//!    chain it refused now verifies the DP's answer exactly.
+//!
+//! 2. On a 15-table star, pruned keep-best discards whole connected
+//!    subsets before their combine/cost loops: every subset that combines
+//!    two expansive spokes without enough reductive ones carries an
+//!    admissible size floor far above the incumbent.  The answer is
+//!    byte-identical to the unpruned search — pruning only skips work
+//!    that could not have changed it.
+//!
+//! Run with `cargo run --release --example large_join_pruning`.
+
+use lec_core::fixtures::{pruning_chain, pruning_star};
+use lec_core::{
+    exhaustive_best, exhaustive_best_with, optimize_lec_static_with, Objective, SearchConfig,
+};
+use lec_cost::CostModel;
+
+fn main() {
+    let memory = lec_prob::presets::spread_family(400.0, 0.5, 4).unwrap();
+    let pruned = SearchConfig::default().with_pruning(true);
+
+    // --- Ceiling 1: the 7-table exhaustive cap. -------------------------
+    let (cat, q) = pruning_chain(8);
+    let model = CostModel::new(&cat, &q);
+    let refused = exhaustive_best(&model, &Objective::Expected(&memory));
+    println!(
+        "8-table chain, plain exhaustive:  {}",
+        refused
+            .as_ref()
+            .err()
+            .map_or("(ran?!)".into(), |e| e.to_string())
+    );
+    assert!(
+        refused.is_err(),
+        "the unpruned verifier must refuse 8 tables"
+    );
+
+    let verified = exhaustive_best_with(&model, &Objective::Expected(&memory), &pruned)
+        .expect("the streaming verifier handles 8 tables");
+    let dp = optimize_lec_static_with(&model, &memory, &pruned).expect("keep-best");
+    println!(
+        "8-table chain, pruned verifier:   cost {:.0}, {} plans costed, {} subsets pruned",
+        verified.cost,
+        verified.plans_costed().unwrap_or(0),
+        verified.stats.pruned_subsets,
+    );
+    assert_eq!(
+        verified.cost.to_bits(),
+        dp.cost.to_bits(),
+        "the verifier and the DP must agree exactly"
+    );
+
+    // --- Ceiling 2: pruned keep-best on a 15-table star. ----------------
+    let (cat, q) = pruning_star(15);
+    let model = CostModel::new(&cat, &q);
+    let unpruned = optimize_lec_static_with(&model, &memory, &SearchConfig::default())
+        .expect("unpruned keep-best");
+    let fast = optimize_lec_static_with(&model, &memory, &pruned).expect("pruned keep-best");
+    println!(
+        "15-table star, unpruned keep-best: cost {:.0}, {} nodes, {} candidates",
+        unpruned.cost, unpruned.stats.nodes, unpruned.stats.candidates,
+    );
+    println!(
+        "15-table star, pruned keep-best:   cost {:.0}, {} nodes, {} candidates, {} subsets pruned",
+        fast.cost, fast.stats.nodes, fast.stats.candidates, fast.stats.pruned_subsets,
+    );
+    assert_eq!(
+        unpruned.plan, fast.plan,
+        "pruning must not change the chosen plan"
+    );
+    assert_eq!(
+        unpruned.cost.to_bits(),
+        fast.cost.to_bits(),
+        "pruning must not change the cost, to the bit"
+    );
+    assert!(
+        fast.stats.pruned_subsets > 0,
+        "the star must actually trigger pruning"
+    );
+    assert!(
+        fast.stats.candidates < unpruned.stats.candidates,
+        "pruning must save combine work"
+    );
+    println!("answers byte-identical; pruning only removed work.");
+}

@@ -116,17 +116,27 @@ struct PoolShared {
 /// the [`crate::Optimizer`] facade and `lec-service`'s `PlanServer` do
 /// exactly that.  Worker panics are contained per job: the pool threads
 /// survive a panicking search and serve the next one.
+///
+/// The pool can be drained explicitly with [`PersistentPool::shutdown`]
+/// (long-lived daemons do this on graceful exit so no parked thread
+/// outlives the serving state); dropping the pool shuts it down too.
 pub struct PersistentPool {
     shared: Arc<PoolShared>,
     /// Serializes `scope` calls: the job slot holds one job at a time.
+    /// `shutdown` takes the same lock, so a drain waits for the in-flight
+    /// search instead of yanking its workers mid-barrier.
     scope_lock: Mutex<()>,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Thread count at construction; stable across shutdown so the
+    /// engine's fan-out clamp ([`WorkerPool::max_workers`]) never races
+    /// the drain.
+    n_threads: usize,
 }
 
 impl std::fmt::Debug for PersistentPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PersistentPool")
-            .field("threads", &self.handles.len())
+            .field("threads", &self.n_threads)
             .finish()
     }
 }
@@ -154,7 +164,8 @@ impl PersistentPool {
         PersistentPool {
             shared,
             scope_lock: Mutex::new(()),
-            handles,
+            handles: Mutex::new(handles),
+            n_threads: threads,
         }
     }
 
@@ -167,9 +178,43 @@ impl PersistentPool {
         PersistentPool::new(threads.saturating_sub(1))
     }
 
-    /// Number of worker threads in the pool.
+    /// Number of worker threads the pool was built with (unchanged by
+    /// [`PersistentPool::shutdown`]).
     pub fn threads(&self) -> usize {
-        self.handles.len()
+        self.n_threads
+    }
+
+    /// Drain the pool: park no new jobs, wake every parked thread, and
+    /// join them all.  Safe to call from any thread, any number of times
+    /// (a second drain joins an empty handle list), and safe to race with
+    /// an in-flight search — `shutdown` serializes on the same lock as
+    /// [`WorkerPool::scope`], so a leader mid-fan-out keeps its workers
+    /// until its own level barrier completes, and only then do the
+    /// threads exit.  A search dispatched *after* shutdown still honors
+    /// the `WorkerPool` contract by falling back to a one-shot scoped
+    /// spawn (see [`WorkerPool::scope`] for why running fewer workers
+    /// than requested is not an option: the engine's ack barrier counts
+    /// them).  Dropping the pool calls this.
+    pub fn shutdown(&self) {
+        let _scope = self.scope_lock.lock().unwrap_or_else(|p| p.into_inner());
+        {
+            let mut state = self.lock_state();
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        let handles: Vec<_> = {
+            let mut handles = self.handles.lock().unwrap_or_else(|p| p.into_inner());
+            handles.drain(..).collect()
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// True once [`PersistentPool::shutdown`] has run (or begun): parked
+    /// threads are gone and new searches fall back to scoped spawning.
+    pub fn is_shut_down(&self) -> bool {
+        self.lock_state().shutdown
     }
 
     fn lock_state(&self) -> std::sync::MutexGuard<'_, PoolState> {
@@ -210,12 +255,21 @@ fn pool_thread(shared: &PoolShared, index: usize) {
 
 impl WorkerPool for PersistentPool {
     fn scope(&self, workers: usize, worker: &(dyn Fn(usize) + Sync), driver: &mut dyn FnMut()) {
-        let n = workers.min(self.handles.len());
+        let n = workers.min(self.n_threads);
         if n == 0 {
             driver();
             return;
         }
         let _scope = self.scope_lock.lock().unwrap_or_else(|p| p.into_inner());
+        if self.lock_state().shutdown {
+            // Drained pool: the parked threads are gone, but the engine's
+            // level barrier waits for exactly `workers` acks — silently
+            // running fewer would deadlock it.  Honor the contract with a
+            // one-shot scoped spawn instead (the pre-persistent-pool
+            // behaviour: slower, never wrong).
+            ScopedSpawnPool.scope(n, worker, driver);
+            return;
+        }
         {
             let mut state = self.lock_state();
             // SAFETY: the erased reference is only dereferenced by pool
@@ -249,20 +303,13 @@ impl WorkerPool for PersistentPool {
     }
 
     fn max_workers(&self) -> usize {
-        self.handles.len()
+        self.n_threads
     }
 }
 
 impl Drop for PersistentPool {
     fn drop(&mut self) {
-        {
-            let mut state = self.lock_state();
-            state.shutdown = true;
-        }
-        self.shared.work.notify_all();
-        for handle in self.handles.drain(..) {
-            let _ = handle.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -324,6 +371,85 @@ mod tests {
         assert_eq!(before.load(Ordering::SeqCst), 2);
         // The pool threads survived and still serve jobs.
         assert_eq!(count_scope(&pool, 2), (2, 1));
+    }
+
+    #[test]
+    fn persistent_pool_shutdown_is_idempotent() {
+        let pool = PersistentPool::new(3);
+        assert!(!pool.is_shut_down());
+        pool.shutdown();
+        assert!(pool.is_shut_down());
+        // Double-drain: the second call joins an empty handle list and
+        // returns immediately instead of deadlocking.
+        pool.shutdown();
+        assert!(pool.is_shut_down());
+        // Drop after explicit shutdown is the third drain — also a no-op.
+    }
+
+    #[test]
+    fn persistent_pool_scope_after_shutdown_still_honors_the_contract() {
+        let pool = PersistentPool::new(2);
+        pool.shutdown();
+        // The parked threads are gone, but the engine's ack barrier counts
+        // one ack per requested worker — the fallback scoped spawn must
+        // still run all of them.
+        assert_eq!(count_scope(&pool, 2), (2, 1));
+        assert_eq!(pool.max_workers(), 2, "clamp is stable across drain");
+        assert_eq!(count_scope(&pool, 0), (0, 1));
+    }
+
+    #[test]
+    fn persistent_pool_shutdown_waits_for_inflight_scope() {
+        use std::sync::Barrier;
+        let pool = Arc::new(PersistentPool::new(2));
+        let entered = Arc::new(Barrier::new(3));
+        let finished = Arc::new(AtomicUsize::new(0));
+        let drainer = {
+            let pool = Arc::clone(&pool);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                entered.wait();
+                // The leader is mid-fan-out with sleeping workers; drain
+                // must block on the scope lock until its barrier completes
+                // rather than yanking the threads out from under it.
+                pool.shutdown();
+            })
+        };
+        pool.scope(
+            2,
+            &|_w| {
+                entered.wait();
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                finished.fetch_add(1, Ordering::SeqCst);
+            },
+            &mut || {},
+        );
+        drainer.join().unwrap();
+        assert_eq!(
+            finished.load(Ordering::SeqCst),
+            2,
+            "both workers ran to completion before the drain took effect"
+        );
+        assert!(pool.is_shut_down());
+        // And the drained pool still serves (via the scoped fallback).
+        assert_eq!(count_scope(&*pool, 2), (2, 1));
+    }
+
+    #[test]
+    fn persistent_pool_shutdown_after_worker_panic_does_not_leak_threads() {
+        let pool = PersistentPool::new(2);
+        pool.scope(
+            2,
+            &|w| {
+                if w == 1 {
+                    panic!("worker blew up mid-drain test");
+                }
+            },
+            &mut || {},
+        );
+        // The panicking job is fully retired; shutdown joins cleanly.
+        pool.shutdown();
+        assert!(pool.is_shut_down());
     }
 
     #[test]

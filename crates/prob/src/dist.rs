@@ -112,6 +112,58 @@ impl Distribution {
         Ok(Distribution { support, probs })
     }
 
+    /// Rebuild a distribution from parts previously read out of
+    /// [`Self::support`] and [`Self::probs`] — *without* renormalizing.
+    ///
+    /// [`Self::from_pairs`] divides every probability by the total mass,
+    /// and for an already-normalized input that division is not guaranteed
+    /// to be the identity at the bit level (the sum may be `1.0 ± 1ulp`).
+    /// Wire codecs that must round-trip a distribution bit-exactly — the
+    /// serving daemon's byte-identity bar extends across the socket — use
+    /// this constructor instead.  The invariants are still *checked*
+    /// (parallel lengths, strictly increasing finite support, strictly
+    /// positive finite probabilities, total mass within `1e-6` of one);
+    /// only the normalization rewrite is skipped.
+    pub fn from_parts_exact(support: Vec<f64>, probs: Vec<f64>) -> Result<Self, ProbError> {
+        if support.is_empty() {
+            return Err(ProbError::EmptySupport);
+        }
+        if support.len() != probs.len() {
+            return Err(ProbError::SupportMismatch {
+                expected: support.len(),
+                got: probs.len(),
+            });
+        }
+        for &v in &support {
+            if !v.is_finite() {
+                return Err(ProbError::NonFinite {
+                    what: "support value",
+                    value: v,
+                });
+            }
+        }
+        if support.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(ProbError::InvalidParts("support not strictly increasing"));
+        }
+        let mut total = 0.0;
+        for &p in &probs {
+            if !p.is_finite() {
+                return Err(ProbError::NonFinite {
+                    what: "probability",
+                    value: p,
+                });
+            }
+            if p <= 0.0 {
+                return Err(ProbError::InvalidParts("probability not strictly positive"));
+            }
+            total += p;
+        }
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(ProbError::InvalidParts("total mass not within 1e-6 of one"));
+        }
+        Ok(Distribution { support, probs })
+    }
+
     /// Uniform distribution over the given values.
     pub fn uniform(values: &[f64]) -> Result<Self, ProbError> {
         Self::from_pairs(values.iter().map(|&v| (v, 1.0)))
@@ -460,6 +512,52 @@ mod tests {
             Distribution::from_pairs([(1.0, 0.0)]),
             Err(ProbError::ZeroTotalMass)
         );
+    }
+
+    #[test]
+    fn from_parts_exact_roundtrips_bit_exactly() {
+        // A distribution whose probabilities don't sum to exactly 1.0 in
+        // floating point: from_pairs would renormalize (and perturb bits),
+        // from_parts_exact must not.
+        let d = Distribution::from_pairs([(1.0, 1.0), (2.0, 1.0), (3.0, 1.0)]).unwrap();
+        let rt = Distribution::from_parts_exact(d.support().to_vec(), d.probs().to_vec()).unwrap();
+        for (a, b) in d.probs().iter().zip(rt.probs()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in d.support().iter().zip(rt.support()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_parts_exact_rejects_bad_parts() {
+        assert_eq!(
+            Distribution::from_parts_exact(vec![], vec![]),
+            Err(ProbError::EmptySupport)
+        );
+        assert_eq!(
+            Distribution::from_parts_exact(vec![1.0, 2.0], vec![1.0]),
+            Err(ProbError::SupportMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert!(matches!(
+            Distribution::from_parts_exact(vec![2.0, 1.0], vec![0.5, 0.5]),
+            Err(ProbError::InvalidParts(_))
+        ));
+        assert!(matches!(
+            Distribution::from_parts_exact(vec![1.0, 2.0], vec![1.0, 0.0]),
+            Err(ProbError::InvalidParts(_))
+        ));
+        assert!(matches!(
+            Distribution::from_parts_exact(vec![1.0, 2.0], vec![0.5, 0.4]),
+            Err(ProbError::InvalidParts(_))
+        ));
+        assert!(matches!(
+            Distribution::from_parts_exact(vec![1.0, f64::NAN], vec![0.5, 0.5]),
+            Err(ProbError::NonFinite { .. })
+        ));
     }
 
     #[test]

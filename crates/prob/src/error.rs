@@ -23,6 +23,10 @@ pub enum ProbError {
     BadTransitionMatrix(String),
     /// A rebucketing request asked for zero buckets.
     ZeroBuckets,
+    /// [`crate::Distribution::from_parts_exact`] received parts violating a
+    /// structural invariant (unsorted support, non-positive mass, sum far
+    /// from one).  Carries a description of the violated invariant.
+    InvalidParts(&'static str),
 }
 
 impl fmt::Display for ProbError {
@@ -48,6 +52,9 @@ impl fmt::Display for ProbError {
                 write!(f, "bad transition matrix: {msg}")
             }
             ProbError::ZeroBuckets => write!(f, "cannot rebucket into zero buckets"),
+            ProbError::InvalidParts(what) => {
+                write!(f, "invalid distribution parts: {what}")
+            }
         }
     }
 }

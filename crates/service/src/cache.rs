@@ -28,12 +28,14 @@
 //! label space — the server relabels them into each caller's numbering on
 //! the way out.
 
+use crate::concurrent::ServeError;
 use lec_canon::RefusalReason;
-use lec_core::{OptError, SearchStats};
+use lec_core::SearchStats;
 use lec_plan::PlanNode;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Number of lock stripes in the exact and weak maps.  Enough that a
 /// handful of client threads rarely collide on a shard, few enough that
@@ -203,11 +205,13 @@ pub(crate) struct CanonicalAnswer {
 
 /// One in-flight search: the rendezvous between a leader and the
 /// followers coalesced onto it.  The leader publishes exactly once —
-/// a canonical answer, or the error its search died with — and every
+/// a canonical answer, or the [`ServeError`] its search died with (an
+/// optimizer error, or `Overloaded` when admission control shed the
+/// leader: the whole cohort is told, never left hanging) — and every
 /// follower wakes with a clone of it.
 #[derive(Debug)]
 pub(crate) struct InflightSearch {
-    done: Mutex<Option<Result<Arc<CanonicalAnswer>, OptError>>>,
+    done: Mutex<Option<Result<Arc<CanonicalAnswer>, ServeError>>>,
     cv: Condvar,
     followers: AtomicU64,
 }
@@ -224,7 +228,7 @@ impl InflightSearch {
     /// Block until the leader publishes, then share its result out (an
     /// `Arc` bump, not a deep clone — followers relabel from the shared
     /// canonical answer).
-    pub(crate) fn wait(&self) -> Result<Arc<CanonicalAnswer>, OptError> {
+    pub(crate) fn wait(&self) -> Result<Arc<CanonicalAnswer>, ServeError> {
         let mut slot = self.done.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(result) = slot.as_ref() {
@@ -234,12 +238,37 @@ impl InflightSearch {
         }
     }
 
+    /// Like [`Self::wait`], but give up at `deadline`: returns `None` if
+    /// the leader has not published by then.  The leader's search is *not*
+    /// cancelled — it still completes and feeds the cache; only this
+    /// follower stops waiting (and reports `DeadlineExceeded` upstream).
+    pub(crate) fn wait_deadline(
+        &self,
+        deadline: Instant,
+    ) -> Option<Result<Arc<CanonicalAnswer>, ServeError>> {
+        let mut slot = self.done.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            slot = guard;
+        }
+    }
+
     /// Number of followers that coalesced onto this search.
     pub(crate) fn followers(&self) -> u64 {
         self.followers.load(Ordering::Relaxed)
     }
 
-    fn publish(&self, result: Result<Arc<CanonicalAnswer>, OptError>) {
+    fn publish(&self, result: Result<Arc<CanonicalAnswer>, ServeError>) {
         let mut slot = self.done.lock().unwrap_or_else(|p| p.into_inner());
         if slot.is_none() {
             *slot = Some(result);
@@ -507,7 +536,7 @@ impl ShapeCache {
 
     /// Leader completion (failure): retire the in-flight record and wake
     /// the followers with the leader's error.  Nothing is cached.
-    pub(crate) fn publish_error(&self, exact: &[u64], error: OptError) {
+    pub(crate) fn publish_error(&self, exact: &[u64], error: ServeError) {
         let flight = self.exact_shard(exact).inflight.remove(exact);
         if let Some(flight) = flight {
             if flight.followers() > 0 {
@@ -521,6 +550,7 @@ impl ShapeCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lec_core::OptError;
 
     fn key(v: u64) -> Box<[u64]> {
         vec![v].into_boxed_slice()
@@ -552,7 +582,7 @@ mod tests {
         );
         assert_eq!(c.len(), 1);
         assert!(matches!(c.lookup_or_lead(&key(2)), ExactLookup::Lead(_)));
-        c.publish_error(&key(2), OptError::NoPlanFound);
+        c.publish_error(&key(2), ServeError::Opt(OptError::NoPlanFound));
         let ExactLookup::Hit(a) = c.lookup_or_lead(&key(1)) else {
             panic!("must hit")
         };
@@ -574,7 +604,7 @@ mod tests {
             matches!(c.lookup_or_lead(&key(2)), ExactLookup::Lead(_)),
             "coldest entry evicted"
         );
-        c.publish_error(&key(2), OptError::NoPlanFound);
+        c.publish_error(&key(2), ServeError::Opt(OptError::NoPlanFound));
         assert!(matches!(c.lookup_or_lead(&key(1)), ExactLookup::Hit(_)));
         assert!(matches!(c.lookup_or_lead(&key(3)), ExactLookup::Hit(_)));
         assert_eq!(c.stats().evictions, 1);
@@ -641,8 +671,11 @@ mod tests {
         let ExactLookup::Follow(f) = c.lookup_or_lead(&key(9)) else {
             panic!("second miss follows")
         };
-        c.publish_error(&key(9), OptError::WorkerPanicked);
-        assert_eq!(f.wait().unwrap_err(), OptError::WorkerPanicked);
+        c.publish_error(&key(9), ServeError::Opt(OptError::WorkerPanicked));
+        assert_eq!(
+            f.wait().unwrap_err(),
+            ServeError::Opt(OptError::WorkerPanicked)
+        );
         // Nothing was cached; the next request elects a fresh leader.
         assert!(matches!(c.lookup_or_lead(&key(9)), ExactLookup::Lead(_)));
         assert_eq!(c.len(), 0);

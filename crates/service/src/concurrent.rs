@@ -68,6 +68,116 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// A service-level serving error: either the optimizer's own verdict, or
+/// a condition of the *serving* layer (admission control, deadlines) that
+/// no single-query [`Optimizer`] can produce.
+///
+/// [`ConcurrentPlanServer::serve_gated`] returns this; plain
+/// [`ConcurrentPlanServer::serve`] keeps its historical
+/// `Result<_, OptError>` signature (an ungated client opted out of
+/// admission control, so the service-level variants never surface there —
+/// see `serve` for how a mixed gated/ungated cohort is handled).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The search itself failed; identical to what a fresh
+    /// [`Optimizer::optimize`] of the request would return.
+    Opt(OptError),
+    /// Admission control shed this request: the cold-search backlog was
+    /// at capacity.  Transient — retry with backoff.
+    Overloaded,
+    /// The request's deadline expired while coalesced behind an in-flight
+    /// leader.  The leader's search keeps running and feeds the cache;
+    /// only this response is abandoned.  Transient — a retry usually
+    /// hits the cache.
+    DeadlineExceeded,
+}
+
+impl ServeError {
+    /// Stable lower-case label for logs, metrics, and wire error codes.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServeError::Opt(_) => "opt",
+            ServeError::Overloaded => "overloaded",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
+        }
+    }
+
+    /// True for errors worth retrying blindly (with backoff): the request
+    /// was never searched, or its answer will be cached momentarily.
+    /// `Opt` errors — including [`OptError::WorkerPanicked`], which means
+    /// a search genuinely died — are *not* transient: clients must
+    /// surface those, not hammer the server with them.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServeError::Overloaded | ServeError::DeadlineExceeded)
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Opt(e) => write!(f, "optimizer error: {e}"),
+            ServeError::Overloaded => write!(f, "server overloaded; retry with backoff"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<OptError> for ServeError {
+    fn from(e: OptError) -> Self {
+        ServeError::Opt(e)
+    }
+}
+
+/// Serving-layer extension points, threaded through
+/// [`ConcurrentPlanServer::serve_gated`].  A daemon implements this once
+/// to get admission control (bounded cold-search backlog with
+/// load-shedding) and deterministic fault injection; the default
+/// implementation of every hook is a no-op, and `()` implements the
+/// trait as "admit everything, inject nothing".
+///
+/// Only requests that are about to run a **fresh search** (a coalescing
+/// leader, or an uncacheable request) consult [`ServeHooks::admit_cold`];
+/// exact hits and coalesced followers cost microseconds and bypass
+/// admission entirely — under overload the cache keeps serving while the
+/// expensive path sheds.
+pub trait ServeHooks: Sync {
+    /// Called before this request occupies a cold-search slot.  Return
+    /// `false` to shed it: the request fails fast with
+    /// [`ServeError::Overloaded`] (a shed *leader* publishes that error
+    /// to its whole cohort — followers are never left hanging).
+    fn admit_cold(&self) -> bool {
+        true
+    }
+
+    /// Called when an admitted cold search releases its slot (however it
+    /// ended — success, error, or panic; the server guarantees pairing
+    /// via a drop guard).
+    fn release_cold(&self) {}
+
+    /// Called after admission, immediately before the search runs.  The
+    /// fault-injection harness uses this to delay or kill a leader
+    /// mid-cohort; a panic out of this hook is indistinguishable from a
+    /// search that died ([`OptError::WorkerPanicked`] to the cohort).
+    fn before_search(&self) {}
+}
+
+/// `()` is the ungated hook set: admit everything, inject nothing.
+impl ServeHooks for () {}
+
+/// Drop guard pairing every successful [`ServeHooks::admit_cold`] with
+/// exactly one [`ServeHooks::release_cold`], even when the search panics.
+struct ColdPermit<'h> {
+    hooks: &'h dyn ServeHooks,
+}
+
+impl Drop for ColdPermit<'_> {
+    fn drop(&mut self) {
+        self.hooks.release_cold();
+    }
+}
+
 /// A long-lived, thread-shared query-optimization service over one
 /// catalog and memory belief.
 ///
@@ -182,10 +292,47 @@ impl<'a> ConcurrentPlanServer<'a> {
     /// exactly its own followers — coalesced cohorts on other keys never
     /// notice.
     pub fn serve(&self, query: &Query, mode: &Mode) -> Result<ServeResponse, OptError> {
+        loop {
+            match self.serve_gated(query, mode, &(), None) {
+                Ok(resp) => return Ok(resp),
+                Err(ServeError::Opt(e)) => return Err(e),
+                // Only reachable when this ungated request coalesced onto
+                // a *gated* leader that was shed mid-cohort: the in-flight
+                // record is already retired, so retrying makes progress —
+                // a hit, a new cohort, or leading an ungated search
+                // itself.  `DeadlineExceeded` cannot occur with no
+                // deadline.
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// [`serve`](Self::serve) with serving-layer controls: `hooks` gates
+    /// admission of fresh (cold) searches and injects faults, `deadline`
+    /// bounds how long this request may wait coalesced behind another
+    /// leader's in-flight search.
+    ///
+    /// The byte-identity contract is unchanged — a response, when one is
+    /// produced, is bit-identical to plain `serve`.  The extra
+    /// [`ServeError`] variants are *refusals*, not different answers: a
+    /// cold request denied admission fails fast with
+    /// [`ServeError::Overloaded`] (and a shed leader publishes that to
+    /// its whole cohort, so followers never hang), and a follower whose
+    /// deadline passes gets [`ServeError::DeadlineExceeded`] while the
+    /// leader's search runs on and feeds the cache.  Warm hits bypass
+    /// both gates: under overload the cache keeps serving.
+    pub fn serve_gated(
+        &self,
+        query: &Query,
+        mode: &Mode,
+        hooks: &dyn ServeHooks,
+        deadline: Option<Instant>,
+    ) -> Result<ServeResponse, ServeError> {
         let t0 = Instant::now();
         query
             .validate(self.optimizer.catalog())
-            .map_err(OptError::InvalidQuery)?;
+            .map_err(OptError::InvalidQuery)
+            .map_err(ServeError::Opt)?;
         self.cache.count_lookup();
 
         // Serving a cached (or coalesced) plan to a renamed request is
@@ -211,6 +358,13 @@ impl<'a> ConcurrentPlanServer<'a> {
             None
         };
         let Some(form) = form else {
+            // Uncacheable requests always run a fresh search, so they pay
+            // the cold toll too (no cohort to notify on a shed).
+            if !hooks.admit_cold() {
+                return Err(ServeError::Overloaded);
+            }
+            let _permit = ColdPermit { hooks };
+            hooks.before_search();
             let out = self.optimizer.optimize(query, mode)?;
             self.count_search(&out.stats);
             return Ok(ServeResponse {
@@ -240,7 +394,12 @@ impl<'a> ConcurrentPlanServer<'a> {
                 })
             }
             ExactLookup::Follow(flight) => {
-                let answer = flight.wait()?;
+                let answer = match deadline {
+                    Some(d) => flight
+                        .wait_deadline(d)
+                        .ok_or(ServeError::DeadlineExceeded)??,
+                    None => flight.wait()?,
+                };
                 let plan = answer.plan.relabel_tables(&form.inverse_perm());
                 let mut stats = answer.stats;
                 stats.elapsed = t0.elapsed();
@@ -261,6 +420,18 @@ impl<'a> ConcurrentPlanServer<'a> {
                     exact_key: &exact_key,
                     completed: false,
                 };
+                // Shedding a *leader* must tell its whole cohort: the
+                // followers coalesced onto a search that will never run.
+                if !hooks.admit_cold() {
+                    guard.complete_err(ServeError::Overloaded);
+                    return Err(ServeError::Overloaded);
+                }
+                let _permit = ColdPermit { hooks };
+                // A panic out of this hook (the fault harness killing the
+                // leader) unwinds past `guard`, which publishes
+                // `WorkerPanicked` to the cohort — exactly as if the
+                // search itself had died.
+                hooks.before_search();
                 match self.optimizer.optimize(query, mode) {
                     Ok(out) => {
                         self.count_search(&out.stats);
@@ -284,8 +455,8 @@ impl<'a> ConcurrentPlanServer<'a> {
                         })
                     }
                     Err(e) => {
-                        guard.complete_err(e.clone());
-                        Err(e)
+                        guard.complete_err(ServeError::Opt(e.clone()));
+                        Err(ServeError::Opt(e))
                     }
                 }
             }
@@ -342,7 +513,7 @@ impl LeaderGuard<'_> {
         self.cache.publish_answer(self.exact_key, weak_key, answer)
     }
 
-    fn complete_err(mut self, error: OptError) {
+    fn complete_err(mut self, error: ServeError) {
         self.completed = true;
         self.cache.publish_error(self.exact_key, error);
     }
@@ -352,7 +523,7 @@ impl Drop for LeaderGuard<'_> {
     fn drop(&mut self) {
         if !self.completed {
             self.cache
-                .publish_error(self.exact_key, OptError::WorkerPanicked);
+                .publish_error(self.exact_key, ServeError::Opt(OptError::WorkerPanicked));
         }
     }
 }
@@ -456,6 +627,178 @@ mod tests {
             v["cache"]["refusals"]["too_many_tables"].as_f64(),
             Some(1.0)
         );
+    }
+
+    struct CountingGate {
+        admitted: AtomicU64,
+        released: AtomicU64,
+        deny: std::sync::atomic::AtomicBool,
+        panic_in_search: std::sync::atomic::AtomicBool,
+    }
+
+    impl CountingGate {
+        fn new() -> Self {
+            CountingGate {
+                admitted: AtomicU64::new(0),
+                released: AtomicU64::new(0),
+                deny: std::sync::atomic::AtomicBool::new(false),
+                panic_in_search: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl ServeHooks for CountingGate {
+        fn admit_cold(&self) -> bool {
+            if self.deny.load(Ordering::SeqCst) {
+                return false;
+            }
+            self.admitted.fetch_add(1, Ordering::SeqCst);
+            true
+        }
+        fn release_cold(&self) {
+            self.released.fetch_add(1, Ordering::SeqCst);
+        }
+        fn before_search(&self) {
+            if self.panic_in_search.load(Ordering::SeqCst) {
+                panic!("fault injection: leader killed mid-search");
+            }
+        }
+    }
+
+    #[test]
+    fn gated_serve_pairs_admissions_with_releases_and_bypasses_warm_hits() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let server = ConcurrentPlanServer::new(&cat, memory);
+        let gate = CountingGate::new();
+        let cold = server
+            .serve_gated(&q, &Mode::AlgorithmC, &gate, None)
+            .unwrap();
+        assert_eq!(cold.decision, CacheDecision::Recomputed);
+        assert_eq!(gate.admitted.load(Ordering::SeqCst), 1);
+        assert_eq!(gate.released.load(Ordering::SeqCst), 1);
+        // A warm hit never consults the gate — even one that would deny.
+        gate.deny.store(true, Ordering::SeqCst);
+        let warm = server
+            .serve_gated(&q, &Mode::AlgorithmC, &gate, None)
+            .unwrap();
+        assert_eq!(warm.decision, CacheDecision::Served);
+        assert_eq!(warm.cost.to_bits(), cold.cost.to_bits());
+        assert_eq!(gate.admitted.load(Ordering::SeqCst), 1);
+        // But a fresh shape is cold and gets shed.
+        let (_, q2) = fixtures::three_chain();
+        let renamed_mode = Mode::AlgorithmA; // different env fingerprint → cold
+        assert!(matches!(
+            server.serve_gated(&q2, &renamed_mode, &gate, None),
+            Err(ServeError::Overloaded)
+        ));
+        assert_eq!(
+            gate.released.load(Ordering::SeqCst),
+            1,
+            "no release on shed"
+        );
+    }
+
+    #[test]
+    fn a_shed_leader_tells_its_whole_cohort_and_leaves_the_key_healthy() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let server = ConcurrentPlanServer::new(&cat, memory);
+        let gate = CountingGate::new();
+        gate.deny.store(true, Ordering::SeqCst);
+        // Plant a follower by hand via the cache, then shed the leader.
+        let form = canonical_form(server.optimizer.catalog(), &q).unwrap();
+        let env = [
+            server.memory_fp,
+            Mode::AlgorithmC.fingerprint(),
+            server.search_fp,
+        ];
+        let exact_key = key_with_env(&form.exact, &env);
+        let ExactLookup::Lead(_lead) = server.cache.lookup_or_lead(&exact_key) else {
+            panic!("fresh key must lead");
+        };
+        let ExactLookup::Follow(flight) = server.cache.lookup_or_lead(&exact_key) else {
+            panic!("second miss must follow");
+        };
+        let waiter = std::thread::spawn(move || flight.wait());
+        // Shed the in-flight leader by publishing what serve_gated would.
+        server
+            .cache
+            .publish_error(&exact_key, ServeError::Overloaded);
+        assert!(matches!(
+            waiter.join().unwrap(),
+            Err(ServeError::Overloaded)
+        ));
+        // The key is healthy: an ungated serve elects a fresh leader.
+        let resp = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(resp.decision, CacheDecision::Recomputed);
+    }
+
+    #[test]
+    fn a_follower_deadline_expires_without_cancelling_the_leader() {
+        use std::time::Duration;
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let server = ConcurrentPlanServer::new(&cat, memory);
+        let form = canonical_form(server.optimizer.catalog(), &q).unwrap();
+        let env = [
+            server.memory_fp,
+            Mode::AlgorithmC.fingerprint(),
+            server.search_fp,
+        ];
+        let exact_key = key_with_env(&form.exact, &env);
+        // Hold leadership so the gated request below must follow.
+        let ExactLookup::Lead(_lead) = server.cache.lookup_or_lead(&exact_key) else {
+            panic!("fresh key must lead");
+        };
+        let t0 = Instant::now();
+        let got = server.serve_gated(
+            &q,
+            &Mode::AlgorithmC,
+            &(),
+            Some(Instant::now() + Duration::from_millis(30)),
+        );
+        assert!(matches!(got, Err(ServeError::DeadlineExceeded)));
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+        // The leader is still in flight; completing it feeds the cache.
+        let out = server.optimizer.optimize(&q, &Mode::AlgorithmC).unwrap();
+        let canon_plan = out.plan.relabel_tables(&form.perm);
+        server.cache.publish_answer(
+            &exact_key,
+            key_with_env(&form.weak, &env),
+            CanonicalAnswer {
+                plan: canon_plan,
+                cost: out.cost,
+                stats: out.stats,
+            },
+        );
+        let warm = server.serve(&q, &Mode::AlgorithmC).unwrap();
+        assert_eq!(warm.decision, CacheDecision::Served);
+        assert_eq!(warm.cost.to_bits(), out.cost.to_bits());
+    }
+
+    #[test]
+    fn a_fault_killed_leader_reports_worker_panicked_and_releases_its_permit() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let server = ConcurrentPlanServer::new(&cat, memory);
+        let gate = CountingGate::new();
+        gate.panic_in_search.store(true, Ordering::SeqCst);
+        let died = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = server.serve_gated(&q, &Mode::AlgorithmC, &gate, None);
+        }));
+        assert!(died.is_err(), "the injected panic propagates to the caller");
+        assert_eq!(
+            gate.released.load(Ordering::SeqCst),
+            1,
+            "the cold permit is released even across the panic"
+        );
+        // The cohort key was retired with WorkerPanicked; serving again works.
+        gate.panic_in_search.store(false, Ordering::SeqCst);
+        let resp = server
+            .serve_gated(&q, &Mode::AlgorithmC, &gate, None)
+            .unwrap();
+        assert_eq!(resp.decision, CacheDecision::Recomputed);
     }
 
     #[test]

@@ -97,7 +97,7 @@ pub mod server;
 pub use lec_canon as canon;
 
 pub use cache::{CacheDecision, CacheStats, ShapeCache, CACHE_SHARDS};
-pub use concurrent::ConcurrentPlanServer;
+pub use concurrent::{ConcurrentPlanServer, ServeError, ServeHooks};
 pub use lec_canon::{
     canonical_form, CanonicalForm, RefusalReason, MAX_CANDIDATE_PERMS, MAX_CANON_TABLES,
 };

@@ -1,0 +1,72 @@
+//! `lec-serviced` — a hardened network daemon over the LEC serving layer.
+//!
+//! The in-process [`ConcurrentPlanServer`](lec_service::ConcurrentPlanServer)
+//! answers warm hits in microseconds but assumes callers live in the same
+//! address space.  This crate puts it behind a socket without giving up
+//! the property the serving stack is built on: **a response that crosses
+//! the wire is byte-identical to one served in-process** — same plan
+//! shape, same cost bits, same table numbering, same cache decision.
+//!
+//! # Wire protocol
+//!
+//! Length-prefixed binary frames, little-endian throughout:
+//!
+//! ```text
+//! +-------------+---------+--------------------+
+//! | len: u32 LE | op: u8  | body: len - 1 bytes |
+//! +-------------+---------+--------------------+
+//! ```
+//!
+//! `len` counts the opcode plus body (`1 <= len <=`
+//! [`MAX_FRAME`](protocol::MAX_FRAME)).  Requests: `OPTIMIZE` (0x01,
+//! body = `req_id: u64`, mode, query), `METRICS` (0x02), `PING` (0x03),
+//! `DRAIN` (0x04).  Responses: `OPTIMIZE_OK` (0x81, body = `req_id`,
+//! response), `ERROR` (0x82, body = `req_id`, `code: u8`, message),
+//! `METRICS_OK` (0x83), `PONG` (0x84), `DRAIN_OK` (0x85).  Floats travel
+//! as IEEE-754 bit patterns and distributions are reconstructed with
+//! [`Distribution::from_parts_exact`](lec_prob::Distribution::from_parts_exact)
+//! (validate, never renormalize), which is what carries bit-exactness
+//! across the socket.
+//!
+//! # Error codes
+//!
+//! | code | name               | transient? | meaning                                    |
+//! |-----:|--------------------|------------|--------------------------------------------|
+//! | 1    | `Overloaded`       | yes        | admission control shed this cold request   |
+//! | 2    | `DeadlineExceeded` | yes        | the request's deadline expired             |
+//! | 3    | `WorkerPanicked`   | **no**     | the cohort's search died — surfaced, never retried blindly |
+//! | 4    | `Opt`              | no         | deterministic optimizer rejection          |
+//! | 5    | `Malformed`        | no         | undecodable frame; the connection is poisoned |
+//!
+//! Transient codes are the only ones [`Client`] retries, with capped
+//! jittered exponential backoff ([`backoff_delay`]).
+//!
+//! # Robustness posture
+//!
+//! - **Admission control**: fresh (cold) searches pass a bounded gate;
+//!   past `max_cold_backlog` they are shed with `Overloaded` immediately.
+//!   Warm hits and coalesced followers bypass the gate entirely, so an
+//!   overloaded daemon degrades to a cache, never to a hang.
+//! - **Failure discipline**: per-request deadlines, slow-client write
+//!   timeouts, and malformed frames that poison exactly one connection.
+//! - **Graceful drain**: stop accepting, finish in-flight cohorts, flush,
+//!   report.  A watchdog force-closes stragglers at `drain_deadline`.
+//! - **Fault injection**: a [`FaultPlan`] deterministically drops,
+//!   truncates, garbles, or delays scripted frames and kills scripted
+//!   leaders mid-search, so the chaos suite asserts exact blast radii.
+//!
+//! Transports are pluggable ([`transport::Stream`] /
+//! [`transport::Listener`]): TCP, Unix-domain sockets, or the in-process
+//! [`duplex`](transport::duplex) pipe the tests run on.
+
+pub mod client;
+pub mod daemon;
+pub mod faults;
+pub mod protocol;
+pub mod transport;
+
+pub use client::{backoff_delay, Client, ClientError, RetryPolicy, ServerError};
+pub use daemon::{Daemon, DaemonConfig, DaemonMetrics, DrainReport};
+pub use faults::{FaultPlan, FrameFault, SearchFault};
+pub use protocol::ErrorCode;
+pub use transport::{duplex, PipeListener, PipeStream, TcpAcceptor, UnixAcceptor};

@@ -1,0 +1,899 @@
+//! The wire protocol: length-prefixed binary frames and the bounds-checked
+//! codec for every request and response type.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! +----------------+-----------+------------------+
+//! | len: u32 LE    | op: u8    | body: len-1 bytes|
+//! +----------------+-----------+------------------+
+//! ```
+//!
+//! `len` counts the opcode byte plus the body (so `len >= 1`), and is
+//! capped at [`MAX_FRAME`]; a peer announcing a larger frame is malformed
+//! by definition and its connection is poisoned without reading the rest.
+//!
+//! # Encoding primitives
+//!
+//! Everything is little-endian and self-delimiting: `u64` for counts and
+//! indices, `f64` transported as its IEEE-754 bit pattern (`to_bits`),
+//! strings and vectors length-prefixed with `u32`.  Probability
+//! distributions are decoded with [`Distribution::from_parts_exact`] —
+//! validation without renormalization — so a query round-trips the wire
+//! **bit-exactly**: this is what extends the serving stack's byte-identity
+//! bar across the socket.
+//!
+//! # Decoder discipline
+//!
+//! The decoder never trusts a length it read from the wire: every take is
+//! bounds-checked against the remaining buffer, element counts are capped
+//! ([`MAX_ELEMS`]) before any allocation, plan trees are depth-limited
+//! ([`MAX_PLAN_DEPTH`]), and a frame with trailing bytes is rejected.  A
+//! malformed frame therefore yields a clean [`DecodeError`] — never a
+//! panic, an OOM, or a hang — which the daemon answers with
+//! [`ErrorCode::Malformed`] before poisoning exactly that connection.
+
+use lec_catalog::TableId;
+use lec_core::{AlgDConfig, Mode, OptError, PointEstimate, SearchStats};
+use lec_plan::{ColumnRef, JoinMethod, JoinPredicate, LocalPredicate, PlanNode, Query, QueryTable};
+use lec_prob::{Distribution, MarkovChain, Rebucket};
+use lec_service::{CacheDecision, ServeError};
+use std::time::Duration;
+
+/// Hard cap on one frame's payload (opcode + body).  Far above any real
+/// request (a 64-table query with 16-bucket distributions is a few tens
+/// of kilobytes) and far below anything that could pressure memory.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Cap on any single length-prefixed collection in a frame.
+pub const MAX_ELEMS: usize = 1 << 16;
+
+/// Cap on plan-tree nesting accepted by the decoder.
+pub const MAX_PLAN_DEPTH: usize = 256;
+
+/// Request opcodes (client → daemon).
+pub mod op {
+    /// Optimize one query: `req_id: u64`, then [`super::encode_mode`],
+    /// then [`super::encode_query`].
+    pub const OPTIMIZE: u8 = 0x01;
+    /// Fetch the daemon's metrics JSON.  Empty body.
+    pub const METRICS: u8 = 0x02;
+    /// Liveness probe.  Empty body.
+    pub const PING: u8 = 0x03;
+    /// Initiate graceful drain.  Empty body.
+    pub const DRAIN: u8 = 0x04;
+
+    /// Successful optimize response: `req_id: u64`, then
+    /// [`super::encode_response`].
+    pub const OPTIMIZE_OK: u8 = 0x81;
+    /// Error response: `req_id: u64`, `code: u8`, `message: String`.
+    pub const ERROR: u8 = 0x82;
+    /// Metrics response: one JSON string.
+    pub const METRICS_OK: u8 = 0x83;
+    /// Ping response.  Empty body.
+    pub const PONG: u8 = 0x84;
+    /// Drain acknowledged; the daemon finishes in-flight work and exits.
+    pub const DRAIN_OK: u8 = 0x85;
+}
+
+/// Stable wire codes for everything that can go wrong serving a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control shed the request.  Transient: retry with backoff.
+    Overloaded = 1,
+    /// The request's deadline expired.  Transient: a retry usually hits
+    /// the cache the abandoned search fed.
+    DeadlineExceeded = 2,
+    /// The cohort's search died mid-flight.  **Not** blindly retryable —
+    /// surface it; the same request may kill the next leader too.
+    WorkerPanicked = 3,
+    /// The optimizer rejected the request (bad query, bad parameter, no
+    /// plan).  Deterministic: retrying the same bytes returns the same
+    /// code.
+    Opt = 4,
+    /// The frame could not be decoded; the daemon poisons this connection
+    /// after sending the code.
+    Malformed = 5,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::Overloaded,
+            2 => ErrorCode::DeadlineExceeded,
+            3 => ErrorCode::WorkerPanicked,
+            4 => ErrorCode::Opt,
+            5 => ErrorCode::Malformed,
+            _ => return None,
+        })
+    }
+
+    /// True for errors a client may retry blindly (with backoff).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::DeadlineExceeded)
+    }
+
+    /// Classify a [`ServeError`] into its wire code.
+    pub fn from_serve_error(e: &ServeError) -> ErrorCode {
+        match e {
+            ServeError::Overloaded => ErrorCode::Overloaded,
+            ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+            ServeError::Opt(OptError::WorkerPanicked) => ErrorCode::WorkerPanicked,
+            ServeError::Opt(_) => ErrorCode::Opt,
+        }
+    }
+}
+
+/// Why a frame failed to decode.  Deliberately coarse — the message is for
+/// operators; the machine-readable signal is "this connection is poisoned".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the announced data did.
+    Truncated,
+    /// A tag, index, or flag byte had no defined meaning.
+    BadTag(&'static str),
+    /// A length prefix exceeded its cap, or a value violated a documented
+    /// invariant (e.g. a distribution failing validation).
+    BadValue(&'static str),
+    /// The frame decoded fully but bytes remained.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "frame truncated"),
+            DecodeError::BadTag(what) => write!(f, "bad tag for {what}"),
+            DecodeError::BadValue(what) => write!(f, "bad value: {what}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after frame"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Mode display names, indexed by the same tag the codec transmits.
+/// Decoding a response reconstructs the `&'static str` the in-process
+/// [`lec_service::ServeResponse`] carries by indexing this table — the
+/// reason responses can be compared field-for-field across the wire.
+pub const MODE_NAMES: [&str; 11] = [
+    "LSC(mean)",
+    "LSC(mode)",
+    "LSC(at)",
+    "AlgA",
+    "AlgB",
+    "AlgC",
+    "AlgC-dyn",
+    "AlgD",
+    "Bushy",
+    "II",
+    "SA",
+];
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Append-only frame body builder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    pub fn f64s(&mut self, vs: &[f64]) -> &mut Self {
+        self.u32(vs.len() as u32);
+        for &v in vs {
+            self.f64(v);
+        }
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over one frame body.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless the whole frame was consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` that must fit a `usize` and stay under [`MAX_ELEMS`].
+    pub fn count(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        if n > MAX_ELEMS as u64 {
+            return Err(DecodeError::BadValue("count exceeds MAX_ELEMS"));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > MAX_ELEMS {
+            return Err(DecodeError::BadValue("string exceeds MAX_ELEMS"));
+        }
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadValue("string not UTF-8"))
+    }
+
+    pub fn f64s(&mut self) -> Result<Vec<f64>, DecodeError> {
+        let n = self.u32()? as usize;
+        if n > MAX_ELEMS {
+            return Err(DecodeError::BadValue("vector exceeds MAX_ELEMS"));
+        }
+        // `take` bounds the allocation: n f64s must actually be present.
+        let bytes = self.take(n * 8)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributions (bit-exact round trip)
+// ---------------------------------------------------------------------
+
+pub fn encode_dist(w: &mut Writer, d: &Distribution) {
+    w.f64s(d.support());
+    w.f64s(d.probs());
+}
+
+pub fn decode_dist(r: &mut Reader) -> Result<Distribution, DecodeError> {
+    let support = r.f64s()?;
+    let probs = r.f64s()?;
+    Distribution::from_parts_exact(support, probs)
+        .map_err(|_| DecodeError::BadValue("invalid distribution parts"))
+}
+
+// ---------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------
+
+fn encode_column_ref(w: &mut Writer, c: &ColumnRef) {
+    w.u64(c.table as u64);
+    w.u64(c.column as u64);
+}
+
+fn decode_column_ref(r: &mut Reader) -> Result<ColumnRef, DecodeError> {
+    let table = r.count()?;
+    let column = r.count()?;
+    Ok(ColumnRef { table, column })
+}
+
+pub fn encode_query(w: &mut Writer, q: &Query) {
+    w.u64(q.tables.len() as u64);
+    for t in &q.tables {
+        w.u64(t.table.0 as u64);
+        match &t.filter {
+            None => {
+                w.u8(0);
+            }
+            Some(f) => {
+                w.u8(1);
+                w.u64(f.column as u64);
+                encode_dist(w, &f.selectivity);
+            }
+        }
+    }
+    w.u64(q.joins.len() as u64);
+    for j in &q.joins {
+        encode_column_ref(w, &j.left);
+        encode_column_ref(w, &j.right);
+        encode_dist(w, &j.selectivity);
+    }
+    match &q.required_order {
+        None => {
+            w.u8(0);
+        }
+        Some(c) => {
+            w.u8(1);
+            encode_column_ref(w, c);
+        }
+    }
+}
+
+pub fn decode_query(r: &mut Reader) -> Result<Query, DecodeError> {
+    let n_tables = r.count()?;
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let id = r.u64()?;
+        if id > u32::MAX as u64 {
+            return Err(DecodeError::BadValue("table id exceeds u32"));
+        }
+        let filter = match r.u8()? {
+            0 => None,
+            1 => {
+                let column = r.count()?;
+                let selectivity = decode_dist(r)?;
+                Some(LocalPredicate {
+                    column,
+                    selectivity,
+                })
+            }
+            _ => return Err(DecodeError::BadTag("filter option")),
+        };
+        tables.push(QueryTable {
+            table: TableId(id as u32),
+            filter,
+        });
+    }
+    let n_joins = r.count()?;
+    let mut joins = Vec::with_capacity(n_joins);
+    for _ in 0..n_joins {
+        let left = decode_column_ref(r)?;
+        let right = decode_column_ref(r)?;
+        let selectivity = decode_dist(r)?;
+        joins.push(JoinPredicate {
+            left,
+            right,
+            selectivity,
+        });
+    }
+    let required_order = match r.u8()? {
+        0 => None,
+        1 => Some(decode_column_ref(r)?),
+        _ => return Err(DecodeError::BadTag("required_order option")),
+    };
+    Ok(Query {
+        tables,
+        joins,
+        required_order,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Modes
+// ---------------------------------------------------------------------
+
+fn encode_randomized(w: &mut Writer, c: &lec_core::randomized::RandomizedConfig) {
+    w.u64(c.restarts as u64);
+    w.u64(c.patience as u64);
+    w.f64(c.initial_temp_frac);
+    w.f64(c.cooling);
+    w.u64(c.sa_steps as u64);
+}
+
+fn decode_randomized(
+    r: &mut Reader,
+) -> Result<lec_core::randomized::RandomizedConfig, DecodeError> {
+    Ok(lec_core::randomized::RandomizedConfig {
+        restarts: r.count()?,
+        patience: r.count()?,
+        initial_temp_frac: r.f64()?,
+        cooling: r.f64()?,
+        sa_steps: r.count()?,
+    })
+}
+
+/// Mode tags match the fingerprint tags in `lec_core::optimizer` and the
+/// indices of [`MODE_NAMES`].
+pub fn encode_mode(w: &mut Writer, m: &Mode) {
+    match m {
+        Mode::Lsc(PointEstimate::Mean) => {
+            w.u8(0);
+        }
+        Mode::Lsc(PointEstimate::Mode) => {
+            w.u8(1);
+        }
+        Mode::LscAt(v) => {
+            w.u8(2);
+            w.f64(*v);
+        }
+        Mode::AlgorithmA => {
+            w.u8(3);
+        }
+        Mode::AlgorithmB { c } => {
+            w.u8(4);
+            w.u64(*c as u64);
+        }
+        Mode::AlgorithmC => {
+            w.u8(5);
+        }
+        Mode::AlgorithmCDynamic { chain } => {
+            w.u8(6);
+            w.f64s(chain.states());
+            for i in 0..chain.n_states() {
+                w.f64s(chain.row(i));
+            }
+        }
+        Mode::AlgorithmD { config } => {
+            w.u8(7);
+            w.u64(config.max_buckets as u64);
+            w.u8(match config.rebucket {
+                Rebucket::EqualWidth => 0,
+                Rebucket::EqualDepth => 1,
+            });
+            w.u8(config.cube_root_inputs as u8);
+        }
+        Mode::Bushy => {
+            w.u8(8);
+        }
+        Mode::IterativeImprovement { config, seed } => {
+            w.u8(9);
+            encode_randomized(w, config);
+            w.u64(*seed);
+        }
+        Mode::SimulatedAnnealing { config, seed } => {
+            w.u8(10);
+            encode_randomized(w, config);
+            w.u64(*seed);
+        }
+    }
+}
+
+pub fn decode_mode(r: &mut Reader) -> Result<Mode, DecodeError> {
+    Ok(match r.u8()? {
+        0 => Mode::Lsc(PointEstimate::Mean),
+        1 => Mode::Lsc(PointEstimate::Mode),
+        2 => Mode::LscAt(r.f64()?),
+        3 => Mode::AlgorithmA,
+        4 => Mode::AlgorithmB { c: r.count()? },
+        5 => Mode::AlgorithmC,
+        6 => {
+            let states = r.f64s()?;
+            let mut rows = Vec::with_capacity(states.len());
+            for _ in 0..states.len() {
+                rows.push(r.f64s()?);
+            }
+            let chain = MarkovChain::new(states, rows)
+                .map_err(|_| DecodeError::BadValue("invalid Markov chain"))?;
+            Mode::AlgorithmCDynamic { chain }
+        }
+        7 => {
+            let max_buckets = r.count()?;
+            let rebucket = match r.u8()? {
+                0 => Rebucket::EqualWidth,
+                1 => Rebucket::EqualDepth,
+                _ => return Err(DecodeError::BadTag("rebucket strategy")),
+            };
+            let cube_root_inputs = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(DecodeError::BadTag("cube_root_inputs flag")),
+            };
+            Mode::AlgorithmD {
+                config: AlgDConfig {
+                    max_buckets,
+                    rebucket,
+                    cube_root_inputs,
+                },
+            }
+        }
+        8 => Mode::Bushy,
+        9 => {
+            let config = decode_randomized(r)?;
+            let seed = r.u64()?;
+            Mode::IterativeImprovement { config, seed }
+        }
+        10 => {
+            let config = decode_randomized(r)?;
+            let seed = r.u64()?;
+            Mode::SimulatedAnnealing { config, seed }
+        }
+        _ => return Err(DecodeError::BadTag("mode")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Plans
+// ---------------------------------------------------------------------
+
+pub fn encode_plan(w: &mut Writer, p: &PlanNode) {
+    match p {
+        PlanNode::SeqScan { table } => {
+            w.u8(0);
+            w.u64(*table as u64);
+        }
+        PlanNode::IndexScan { table } => {
+            w.u8(1);
+            w.u64(*table as u64);
+        }
+        PlanNode::Sort { input, key } => {
+            w.u8(2);
+            encode_column_ref(w, key);
+            encode_plan(w, input);
+        }
+        PlanNode::Join {
+            method,
+            outer,
+            inner,
+        } => {
+            w.u8(3);
+            w.u8(match method {
+                JoinMethod::SortMerge => 0,
+                JoinMethod::GraceHash => 1,
+                JoinMethod::PageNestedLoop => 2,
+                JoinMethod::BlockNestedLoop => 3,
+            });
+            encode_plan(w, outer);
+            encode_plan(w, inner);
+        }
+    }
+}
+
+pub fn decode_plan(r: &mut Reader) -> Result<PlanNode, DecodeError> {
+    decode_plan_depth(r, 0)
+}
+
+fn decode_plan_depth(r: &mut Reader, depth: usize) -> Result<PlanNode, DecodeError> {
+    if depth > MAX_PLAN_DEPTH {
+        return Err(DecodeError::BadValue("plan tree too deep"));
+    }
+    Ok(match r.u8()? {
+        0 => PlanNode::SeqScan { table: r.count()? },
+        1 => PlanNode::IndexScan { table: r.count()? },
+        2 => {
+            let key = decode_column_ref(r)?;
+            let input = decode_plan_depth(r, depth + 1)?;
+            PlanNode::Sort {
+                input: Box::new(input),
+                key,
+            }
+        }
+        3 => {
+            let method = match r.u8()? {
+                0 => JoinMethod::SortMerge,
+                1 => JoinMethod::GraceHash,
+                2 => JoinMethod::PageNestedLoop,
+                3 => JoinMethod::BlockNestedLoop,
+                _ => return Err(DecodeError::BadTag("join method")),
+            };
+            let outer = decode_plan_depth(r, depth + 1)?;
+            let inner = decode_plan_depth(r, depth + 1)?;
+            PlanNode::Join {
+                method,
+                outer: Box::new(outer),
+                inner: Box::new(inner),
+            }
+        }
+        _ => return Err(DecodeError::BadTag("plan node")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+fn encode_stats(w: &mut Writer, s: &SearchStats) {
+    w.u64(s.nodes as u64);
+    w.u64(s.candidates);
+    w.u64(s.evals);
+    w.u64(s.cache_hits);
+    w.u64(s.memo_hits);
+    w.u64(s.memo_misses);
+    w.u64(s.pruned_subsets);
+    w.u64(s.bound_evals);
+    w.u64(s.elapsed.as_nanos() as u64);
+}
+
+fn decode_stats(r: &mut Reader) -> Result<SearchStats, DecodeError> {
+    Ok(SearchStats {
+        nodes: r.count()?,
+        candidates: r.u64()?,
+        evals: r.u64()?,
+        cache_hits: r.u64()?,
+        memo_hits: r.u64()?,
+        memo_misses: r.u64()?,
+        pruned_subsets: r.u64()?,
+        bound_evals: r.u64()?,
+        elapsed: Duration::from_nanos(r.u64()?),
+    })
+}
+
+fn mode_index(name: &str) -> u8 {
+    MODE_NAMES
+        .iter()
+        .position(|n| *n == name)
+        .expect("every Mode::name() is in MODE_NAMES") as u8
+}
+
+fn decision_index(d: CacheDecision) -> u8 {
+    match d {
+        CacheDecision::Served => 0,
+        CacheDecision::Coalesced => 1,
+        CacheDecision::Revalidated => 2,
+        CacheDecision::Recomputed => 3,
+        CacheDecision::Uncacheable => 4,
+    }
+}
+
+pub fn encode_response(w: &mut Writer, resp: &lec_service::ServeResponse) {
+    encode_plan(w, &resp.plan);
+    w.f64(resp.cost);
+    w.u8(mode_index(resp.mode));
+    w.u8(decision_index(resp.decision));
+    encode_stats(w, &resp.stats);
+}
+
+pub fn decode_response(r: &mut Reader) -> Result<lec_service::ServeResponse, DecodeError> {
+    let plan = decode_plan(r)?;
+    let cost = r.f64()?;
+    let mode_idx = r.u8()? as usize;
+    let mode = *MODE_NAMES
+        .get(mode_idx)
+        .ok_or(DecodeError::BadTag("mode name index"))?;
+    let decision = match r.u8()? {
+        0 => CacheDecision::Served,
+        1 => CacheDecision::Coalesced,
+        2 => CacheDecision::Revalidated,
+        3 => CacheDecision::Recomputed,
+        4 => CacheDecision::Uncacheable,
+        _ => return Err(DecodeError::BadTag("cache decision")),
+    };
+    let stats = decode_stats(r)?;
+    Ok(lec_service::ServeResponse {
+        plan,
+        cost,
+        mode,
+        stats,
+        decision,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Frames
+// ---------------------------------------------------------------------
+
+/// Assemble a complete frame (length prefix + opcode + body).
+pub fn frame(opcode: u8, body: &[u8]) -> Vec<u8> {
+    let len = (body.len() + 1) as u32;
+    assert!(len <= MAX_FRAME, "frame exceeds MAX_FRAME");
+    let mut out = Vec::with_capacity(4 + len as usize);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.push(opcode);
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lec_core::fixtures;
+
+    fn roundtrip_query(q: &Query) -> Query {
+        let mut w = Writer::new();
+        encode_query(&mut w, q);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = decode_query(&mut r).unwrap();
+        r.finish().unwrap();
+        out
+    }
+
+    fn dist_bits(d: &Distribution) -> (Vec<u64>, Vec<u64>) {
+        (
+            d.support().iter().map(|v| v.to_bits()).collect(),
+            d.probs().iter().map(|v| v.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn queries_roundtrip_bit_exactly() {
+        let (_cat, q) = fixtures::three_chain();
+        let rt = roundtrip_query(&q);
+        assert_eq!(rt.tables.len(), q.tables.len());
+        assert_eq!(rt.joins.len(), q.joins.len());
+        for (a, b) in q.joins.iter().zip(&rt.joins) {
+            assert_eq!(a.left, b.left);
+            assert_eq!(a.right, b.right);
+            assert_eq!(dist_bits(&a.selectivity), dist_bits(&b.selectivity));
+        }
+        for (a, b) in q.tables.iter().zip(&rt.tables) {
+            assert_eq!(a.table, b.table);
+            match (&a.filter, &b.filter) {
+                (None, None) => {}
+                (Some(fa), Some(fb)) => {
+                    assert_eq!(fa.column, fb.column);
+                    assert_eq!(dist_bits(&fa.selectivity), dist_bits(&fb.selectivity));
+                }
+                _ => panic!("filter option mismatch"),
+            }
+        }
+        assert_eq!(rt.required_order, q.required_order);
+    }
+
+    #[test]
+    fn all_modes_roundtrip() {
+        use lec_core::randomized::RandomizedConfig;
+        let chain =
+            MarkovChain::new(vec![700.0, 2000.0], vec![vec![0.9, 0.1], vec![0.2, 0.8]]).unwrap();
+        let modes = vec![
+            Mode::Lsc(PointEstimate::Mean),
+            Mode::Lsc(PointEstimate::Mode),
+            Mode::LscAt(1234.5),
+            Mode::AlgorithmA,
+            Mode::AlgorithmB { c: 3 },
+            Mode::AlgorithmC,
+            Mode::AlgorithmCDynamic { chain },
+            Mode::AlgorithmD {
+                config: AlgDConfig {
+                    max_buckets: 16,
+                    rebucket: Rebucket::EqualDepth,
+                    cube_root_inputs: true,
+                },
+            },
+            Mode::Bushy,
+            Mode::IterativeImprovement {
+                config: RandomizedConfig::default(),
+                seed: 42,
+            },
+            Mode::SimulatedAnnealing {
+                config: RandomizedConfig::default(),
+                seed: 7,
+            },
+        ];
+        for m in &modes {
+            let mut w = Writer::new();
+            encode_mode(&mut w, m);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let rt = decode_mode(&mut r).unwrap();
+            r.finish().unwrap();
+            // Fingerprints are injective over the encodable parameter
+            // space, so equality of fingerprints is mode equality.
+            assert_eq!(rt.fingerprint(), m.fingerprint(), "mode {}", m.name());
+            assert_eq!(rt.name(), m.name());
+        }
+    }
+
+    #[test]
+    fn plans_roundtrip_and_depth_is_capped() {
+        let plan = PlanNode::join(
+            JoinMethod::GraceHash,
+            PlanNode::sort(PlanNode::SeqScan { table: 0 }, ColumnRef::new(0, 1)),
+            PlanNode::IndexScan { table: 2 },
+        );
+        let mut w = Writer::new();
+        encode_plan(&mut w, &plan);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(decode_plan(&mut r).unwrap(), plan);
+        r.finish().unwrap();
+
+        // A pathological frame nesting sorts past the cap is rejected
+        // cleanly (no stack overflow).
+        let mut deep = Vec::new();
+        for _ in 0..(MAX_PLAN_DEPTH + 8) {
+            deep.push(2u8); // Sort
+            deep.extend_from_slice(&0u64.to_le_bytes());
+            deep.extend_from_slice(&0u64.to_le_bytes());
+        }
+        let mut r = Reader::new(&deep);
+        assert_eq!(
+            decode_plan(&mut r),
+            Err(DecodeError::BadValue("plan tree too deep"))
+        );
+    }
+
+    #[test]
+    fn truncated_and_trailing_frames_are_rejected() {
+        let (_cat, q) = fixtures::three_chain();
+        let mut w = Writer::new();
+        encode_query(&mut w, &q);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(
+                decode_query(&mut r).is_err() || r.finish().is_err(),
+                "prefix of {cut} bytes must not decode to a complete frame"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        let mut r = Reader::new(&extended);
+        decode_query(&mut r).unwrap();
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn oversized_counts_are_rejected_before_allocation() {
+        // A frame claiming 2^40 tables must fail on the cap, not OOM.
+        let mut w = Writer::new();
+        w.u64(1 << 40);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(
+            decode_query(&mut r),
+            Err(DecodeError::BadValue("count exceeds MAX_ELEMS"))
+        );
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::WorkerPanicked,
+            ErrorCode::Opt,
+            ErrorCode::Malformed,
+        ] {
+            assert_eq!(ErrorCode::from_u8(code as u8), Some(code));
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(99), None);
+        assert!(ErrorCode::Overloaded.is_transient());
+        assert!(!ErrorCode::WorkerPanicked.is_transient());
+    }
+}

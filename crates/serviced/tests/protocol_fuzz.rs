@@ -1,0 +1,86 @@
+//! Decoder fuzz: arbitrary bytes fed to every wire decoder must yield
+//! `Ok` or a clean `DecodeError` — never a panic, a hang, or an
+//! allocation proportional to a length the peer merely *claimed*.
+//!
+//! Three input families: pure noise, structurally-plausible noise
+//! (valid-looking length prefixes over garbage), and mutated valid
+//! frames (one byte flipped anywhere in a well-formed encoding — the
+//! single-bit-rot case the chaos suite's `Garble` fault plays out
+//! end-to-end).
+
+use lec_core::{Mode, PointEstimate};
+use lec_plan::{QueryProfile, WorkloadGenerator};
+use lec_serviced::protocol::{
+    decode_dist, decode_mode, decode_plan, decode_query, decode_response, encode_mode,
+    encode_query, Reader, Writer,
+};
+use proptest::prelude::*;
+
+fn decode_everything(bytes: &[u8]) {
+    // Each decoder gets its own cursor; all that matters is that every
+    // one of them returns (Ok or Err) without panicking.
+    let _ = decode_query(&mut Reader::new(bytes));
+    let _ = decode_mode(&mut Reader::new(bytes));
+    let _ = decode_plan(&mut Reader::new(bytes));
+    let _ = decode_dist(&mut Reader::new(bytes));
+    let _ = decode_response(&mut Reader::new(bytes));
+}
+
+/// A valid OPTIMIZE-style payload (mode then query) to mutate.
+fn valid_payload() -> Vec<u8> {
+    let mut g = lec_catalog::CatalogGenerator::new(31);
+    let catalog = g.generate(10);
+    let mut wg = WorkloadGenerator::new(0x5EED);
+    let ids = g.pick_tables(&catalog, 4);
+    let query = wg.gen_query(&catalog, &ids, &QueryProfile::default());
+    let mut w = Writer::new();
+    encode_mode(&mut w, &Mode::Lsc(PointEstimate::Mean));
+    encode_query(&mut w, &query);
+    w.into_bytes()
+}
+
+proptest! {
+    #[test]
+    fn pure_noise_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        decode_everything(&bytes);
+    }
+
+    #[test]
+    fn plausible_length_prefixes_never_panic(
+        claimed in 0u32..=(1 << 21),
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // A frame that leads with a length/count field chosen adversarially
+        // (often far larger than the payload that follows).
+        let mut framed = claimed.to_le_bytes().to_vec();
+        framed.extend_from_slice(&(claimed as u64).to_le_bytes());
+        framed.extend_from_slice(&bytes);
+        decode_everything(&framed);
+    }
+
+    #[test]
+    fn single_byte_mutations_of_valid_frames_never_panic(
+        offset in any::<usize>(),
+        mask in 1u8..=255,
+    ) {
+        let mut payload = valid_payload();
+        let idx = offset % payload.len();
+        payload[idx] ^= mask;
+        decode_everything(&payload);
+        // The mode half, when it survives the flip, must still decode as
+        // *some* mode the reader fully consumes — and the query decoder
+        // must cope with the cursor landing anywhere afterwards.
+        let mut r = Reader::new(&payload);
+        if decode_mode(&mut r).is_ok() {
+            let _ = decode_query(&mut r);
+            let _ = r.finish();
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_never_panic(cut_frac in 0.0f64..1.0) {
+        let payload = valid_payload();
+        let cut = ((payload.len() as f64) * cut_frac) as usize;
+        decode_everything(&payload[..cut.min(payload.len())]);
+    }
+}

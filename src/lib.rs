@@ -12,6 +12,7 @@
 //! | [`cost`] | the paper's I/O cost formulas and expected-cost algorithms |
 //! | [`core`] | LSC baseline and Algorithms A, B, C, D; bucketing; ground truth |
 //! | [`service`] | cross-query serving: canonical-shape plan cache + persistent worker pool |
+//! | [`serviced`] | hardened network daemon: wire protocol, admission control, graceful drain, fault injection |
 //! | [`exec`] | Monte-Carlo simulation, buffer-pool operators, tuple executor |
 //!
 //! This facade crate re-exports the public APIs and hosts the runnable
@@ -40,3 +41,4 @@ pub use lec_exec as exec;
 pub use lec_plan as plan;
 pub use lec_prob as prob;
 pub use lec_service as service;
+pub use lec_serviced as serviced;

@@ -193,6 +193,8 @@ fn bench_concurrent_serve(c: &mut Criterion) {
         out,
         serde_json::to_string_pretty(&json!({
             "bench": "concurrent_serve",
+            "schema_version": lec_bench::BENCH_SCHEMA_VERSION,
+            "host_cores": lec_bench::host_cores() as u64,
             "claim": "N clients sharing one ConcurrentPlanServer through &self sustain at \
                       least single-client throughput on the warm skewed workload, with every \
                       response byte-identical (plan, cost bits, relabeled table ids) to fresh \

@@ -342,6 +342,8 @@ fn bench_daemon_serve(c: &mut Criterion) {
         out,
         serde_json::to_string_pretty(&json!({
             "bench": "daemon_serve",
+            "schema_version": lec_bench::BENCH_SCHEMA_VERSION,
+            "host_cores": lec_bench::host_cores() as u64,
             "claim": "the daemon serves the skewed workload over a Unix socket with every \
                       response byte-identical to fresh optimization; warm batched wire \
                       throughput stays within the wire-tax cap of in-process serving; under \

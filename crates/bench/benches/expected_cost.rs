@@ -128,6 +128,8 @@ fn bench_alg_c_eval_cache(c: &mut Criterion) {
         out,
         serde_json::to_string_pretty(&json!({
             "bench": "alg_c_eval_cache",
+            "schema_version": lec_bench::BENCH_SCHEMA_VERSION,
+            "host_cores": lec_bench::host_cores() as u64,
             "claim": "SearchStats.evals for Algorithm C is strictly lower with the cost-eval cache than with it disabled",
             "rows": rows,
         }))

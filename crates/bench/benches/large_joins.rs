@@ -177,6 +177,8 @@ fn bench_large_joins(c: &mut Criterion) {
         out,
         serde_json::to_string_pretty(&json!({
             "bench": "large_joins",
+            "schema_version": lec_bench::BENCH_SCHEMA_VERSION,
+            "host_cores": lec_bench::host_cores() as u64,
             "claim": "bound-based pruning returns byte-identical answers on every size the \
                       unpruned search can run, and lifts the table-count ceilings: 15-table \
                       keep-best searches and an 8-table streaming keep-all verification \

@@ -163,6 +163,8 @@ fn bench_parallel_search(c: &mut Criterion) {
         out,
         serde_json::to_string_pretty(&json!({
             "bench": "parallel_search",
+            "schema_version": lec_bench::BENCH_SCHEMA_VERSION,
+            "host_cores": lec_bench::host_cores() as u64,
             "claim": "the level-fanout parallel DP engine returns byte-identical outcomes \
                       (plan, cost bits, evals, cache_hits) to the serial engine, and on \
                       multi-core hosts beats it on wall time",

@@ -162,6 +162,8 @@ fn bench_plan_cache(c: &mut Criterion) {
         out,
         serde_json::to_string_pretty(&json!({
             "bench": "plan_cache",
+            "schema_version": lec_bench::BENCH_SCHEMA_VERSION,
+            "host_cores": lec_bench::host_cores() as u64,
             "claim": "a warm canonical-shape cache serves a 500-query skewed repeat workload \
                       faster than per-request optimization, with every answer byte-identical \
                       (plan, cost bits, relabeled table ids) to a fresh run",

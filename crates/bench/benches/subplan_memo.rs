@@ -206,6 +206,8 @@ fn bench_subplan_memo(c: &mut Criterion) {
         out,
         serde_json::to_string_pretty(&json!({
             "bench": "subplan_memo",
+            "schema_version": lec_bench::BENCH_SCHEMA_VERSION,
+            "host_cores": lec_bench::host_cores() as u64,
             "claim": "a warm cross-search subplan memo beats memo-free optimization on a \
                       repeated-subshape workload, with every answer byte-identical \
                       (plan, cost bits, evals, cache_hits, candidates, nodes)",

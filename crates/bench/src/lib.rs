@@ -13,6 +13,20 @@ pub mod workloads;
 
 use serde_json::Value;
 
+/// Schema version stamped into every `BENCH_*.json` record.  Bump when
+/// any bench record's shape changes incompatibly, so downstream tooling
+/// (CI artifact diffing, dashboards) can reject mixed-schema comparisons.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Core count of the host a bench ran on, recorded alongside results so
+/// cross-host comparisons stay interpretable (parallel speedups and
+/// contention numbers are meaningless without it).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// One experiment: `(id, description, runner)`.
 pub type Experiment = (&'static str, &'static str, fn() -> Value);
 

@@ -221,6 +221,27 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Engine-internal telemetry for every subsequent optimize call (see
+    /// [`SearchConfig::telemetry`]): DP level combine passes, memo probes,
+    /// bound evaluations, and cost-model expectation computes are timed
+    /// into the handed-in histograms.  Purely observational — plans,
+    /// costs, and every work counter stay byte-identical.
+    pub fn with_telemetry(
+        mut self,
+        telemetry: std::sync::Arc<lec_telemetry::EngineTelemetry>,
+    ) -> Self {
+        self.set_telemetry(Some(telemetry));
+        self
+    }
+
+    /// In-place form of [`Optimizer::with_telemetry`]; `None` uninstalls.
+    pub fn set_telemetry(
+        &mut self,
+        telemetry: Option<std::sync::Arc<lec_telemetry::EngineTelemetry>>,
+    ) {
+        self.search.telemetry = telemetry;
+    }
+
     /// The parallel-search configuration in force.
     pub fn search_config(&self) -> &SearchConfig {
         &self.search
@@ -239,7 +260,11 @@ impl<'a> Optimizer<'a> {
     /// Optimize `query` under `mode`.
     pub fn optimize(&self, query: &Query, mode: &Mode) -> Result<Optimized, OptError> {
         query.validate(self.catalog)?;
-        let model = CostModel::new(self.catalog, query);
+        let mut model = CostModel::new(self.catalog, query);
+        if let Some(t) = &self.search.telemetry {
+            model.set_telemetry(Some(std::sync::Arc::clone(t)));
+        }
+        let model = model;
         let start = Instant::now();
         let outcome: SearchOutcome = match mode {
             Mode::Lsc(est) => {

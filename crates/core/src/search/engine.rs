@@ -183,6 +183,14 @@ pub struct SearchConfig {
     /// [`SearchStats::bound_evals`], `candidates`, `evals`, `nodes`,
     /// `cache_hits`) differ.
     pub pruning: bool,
+    /// Optional engine-internal telemetry
+    /// ([`lec_telemetry::EngineTelemetry`]): when installed, the drivers
+    /// time each DP level's combine pass, every memo probe, and every
+    /// bound evaluation into its histograms.  Purely observational —
+    /// results and all work counters are byte-identical with or without
+    /// it, so like the pool and memo it does not participate in
+    /// [`SearchConfig::fingerprint`].
+    pub telemetry: Option<Arc<lec_telemetry::EngineTelemetry>>,
 }
 
 impl Default for SearchConfig {
@@ -194,6 +202,7 @@ impl Default for SearchConfig {
             pool: None,
             memo: None,
             pruning: false,
+            telemetry: None,
         }
     }
 }
@@ -219,6 +228,11 @@ impl PartialEq for SearchConfig {
                 _ => false,
             }
             && self.pruning == other.pruning
+            && match (&self.telemetry, &other.telemetry) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
     }
 }
 
@@ -270,12 +284,20 @@ impl SearchConfig {
         self
     }
 
+    /// This configuration with engine-internal telemetry installed (see
+    /// [`SearchConfig::telemetry`]).
+    pub fn with_telemetry(mut self, telemetry: Arc<lec_telemetry::EngineTelemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Stable fingerprint of the outcome-relevant knobs, for cross-query
     /// plan-cache keys.  The pool is a thread *source* and the memo a
     /// work *cache*, not semantic knobs (results are byte-identical with
     /// or without either), so neither participates; pruning is excluded
     /// for the same reason — it discards only strictly-worse candidates,
     /// so the answer a cache key names is identical either way.
+    /// Telemetry is pure observation and is excluded likewise.
     pub fn fingerprint(&self) -> u64 {
         lec_cost::Fingerprint::new()
             .u64(self.threads as u64)
@@ -451,6 +473,22 @@ fn memo_session<'q, P: CandidatePolicy>(
     })
 }
 
+/// Run `f`, timing it into `h` when a histogram is installed.  The
+/// `None` path is a single branch — engine telemetry off costs nothing
+/// measurable per call site.
+#[inline]
+fn timed<T>(h: Option<&lec_telemetry::Histogram>, f: impl FnOnce() -> T) -> T {
+    match h {
+        Some(h) => {
+            let t0 = Instant::now();
+            let v = f();
+            h.record_duration(t0.elapsed());
+            v
+        }
+        None => f(),
+    }
+}
+
 /// The plain combine loop of one subset: every split's entry pairs under
 /// every method, exactly as both drivers have always run it.
 fn combine_live<P: CandidatePolicy>(
@@ -499,20 +537,23 @@ fn combine_subset<P: CandidatePolicy>(
     set: TableSet,
     memo: Option<&MemoSession<'_>>,
     prune: Option<&PruneState>,
+    tel: Option<&lec_telemetry::EngineTelemetry>,
     stats: &mut SearchStats,
 ) -> Vec<P::Entry> {
     let check = prune.filter(|_| set.len() < model.query().n_tables());
     if let Some(ms) = memo {
         if let Some(form) = ms.canon.subquery(set) {
             let key = node_key(ms, &form);
-            let rec = ms.memo.lookup(&key);
+            let rec = timed(tel.map(|t| &t.memo_probe_ns), || ms.memo.lookup(&key));
             let mut bound_pages = None;
             if let Some(ps) = check {
                 let pages = match rec.as_deref().and_then(|r| r.bound_pages) {
                     Some(stored) => stored,
                     None => {
                         stats.bound_evals += 1;
-                        ps.bound().pages_floor(model, set)
+                        timed(tel.map(|t| &t.bound_eval_ns), || {
+                            ps.bound().pages_floor(model, set)
+                        })
                     }
                 };
                 if ps.prunes(set, pages) {
@@ -536,7 +577,9 @@ fn combine_subset<P: CandidatePolicy>(
     }
     if let Some(ps) = check {
         stats.bound_evals += 1;
-        let pages = ps.bound().pages_floor(model, set);
+        let pages = timed(tel.map(|t| &t.bound_eval_ns), || {
+            ps.bound().pages_floor(model, set)
+        });
         if ps.prunes(set, pages) {
             stats.pruned_subsets += 1;
             return Vec::new();
@@ -561,12 +604,13 @@ fn access_subset<P: CandidatePolicy>(
     policy: &mut P,
     idx: usize,
     memo: Option<&MemoSession<'_>>,
+    tel: Option<&lec_telemetry::EngineTelemetry>,
     stats: &mut SearchStats,
 ) -> Vec<P::Entry> {
     if let Some(ms) = memo {
         if let Some(form) = ms.canon.subquery(TableSet::singleton(idx)) {
             let key = node_key(ms, &form);
-            let rec = ms.memo.lookup(&key);
+            let rec = timed(tel.map(|t| &t.memo_probe_ns), || ms.memo.lookup(&key));
             return memoized_node(model, ms, &form, key, rec, None, policy, stats, {
                 |model, policy: &mut P, stats: &mut SearchStats| {
                     policy.access_entries(model, idx, stats)
@@ -849,10 +893,11 @@ fn run_search_serial<P: CandidatePolicy>(
     let mut table: HashMap<TableSet, Vec<P::Entry>> = HashMap::new();
 
     let memo_cx = memo_session(model, query, shape, policy, config);
+    let tel = config.and_then(|c| c.telemetry.as_deref());
 
     // Depth 1: access paths (memo-eligible like any other node).
     for idx in 0..n {
-        let entries = access_subset(model, policy, idx, memo_cx.as_ref(), &mut stats);
+        let entries = access_subset(model, policy, idx, memo_cx.as_ref(), tel, &mut stats);
         if !entries.is_empty() {
             table.insert(TableSet::singleton(idx), entries);
         }
@@ -865,6 +910,7 @@ fn run_search_serial<P: CandidatePolicy>(
 
     // Depths 2..n.
     for k in 2..=n {
+        let level_start = tel.map(|_| Instant::now());
         for set in TableSet::subsets_of_size(n, k) {
             let entries = combine_subset(
                 model,
@@ -874,11 +920,15 @@ fn run_search_serial<P: CandidatePolicy>(
                 set,
                 memo_cx.as_ref(),
                 prune_cx.as_deref(),
+                tel,
                 &mut stats,
             );
             if !entries.is_empty() {
                 table.insert(set, entries);
             }
+        }
+        if let (Some(t), Some(t0)) = (tel, level_start) {
+            t.level_combine_ns.record_duration(t0.elapsed());
         }
         if k < n {
             if let Some(ps) = &prune_cx {
@@ -1017,6 +1067,7 @@ fn combine_level_sets<P: CandidatePolicy>(
     next: &AtomicUsize,
     memo: Option<&MemoSession<'_>>,
     prune: Option<&PruneState>,
+    tel: Option<&lec_telemetry::EngineTelemetry>,
     out: &mut LevelOutput<P::Entry>,
 ) {
     loop {
@@ -1030,6 +1081,7 @@ fn combine_level_sets<P: CandidatePolicy>(
             set,
             memo,
             prune,
+            tel,
             &mut out.stats,
         );
         if !entries.is_empty() {
@@ -1089,10 +1141,11 @@ where
     let mut table: HashMap<TableSet, Vec<P::Entry>> = HashMap::new();
 
     let memo_cx = memo_session(model, query, shape, &*policy, Some(config));
+    let tel = config.telemetry.as_deref();
 
     // Depth 1 (access paths) is trivially cheap: keep it on the caller.
     for idx in 0..n {
-        let entries = access_subset(model, policy, idx, memo_cx.as_ref(), &mut stats);
+        let entries = access_subset(model, policy, idx, memo_cx.as_ref(), tel, &mut stats);
         if !entries.is_empty() {
             table.insert(TableSet::singleton(idx), entries);
         }
@@ -1162,6 +1215,7 @@ where
                 &coord.next,
                 memo_cx.as_ref(),
                 prune_cx.as_deref(),
+                tel,
                 &mut out,
             );
             *outputs[w].lock().unwrap_or_else(|p| p.into_inner()) = out;
@@ -1189,6 +1243,7 @@ where
             let _stop = StopGuard(&coord.epoch);
             for k in 2..=n {
                 let sets = TableSet::subsets_of_size(n, k);
+                let level_start = tel.map(|_| Instant::now());
                 if sets.len() < 2 {
                     // A single subset (the root level) gains nothing from a
                     // dispatch round-trip; combine it on the caller.
@@ -1206,6 +1261,7 @@ where
                                 &cursor,
                                 memo_cx.as_ref(),
                                 prune_cx.as_deref(),
+                                tel,
                                 &mut out,
                             )
                         }))
@@ -1218,6 +1274,9 @@ where
                     let mut tbl = table_lock.write().unwrap_or_else(|p| p.into_inner());
                     stats.absorb(&out.stats);
                     tbl.extend(out.produced);
+                    if let (Some(t), Some(t0)) = (tel, level_start) {
+                        t.level_combine_ns.record_duration(t0.elapsed());
+                    }
                     if k < n {
                         if let Some(ps) = &prune_cx {
                             refresh_incumbent(model, policy, &tbl, ps, k, stats);
@@ -1248,6 +1307,7 @@ where
                             &coord.next,
                             memo_cx.as_ref(),
                             prune_cx.as_deref(),
+                            tel,
                             &mut my_out,
                         )
                     }))
@@ -1282,6 +1342,9 @@ where
                 }
                 stats.absorb(&my_out.stats);
                 tbl.extend(my_out.produced);
+                if let (Some(t), Some(t0)) = (tel, level_start) {
+                    t.level_combine_ns.record_duration(t0.elapsed());
+                }
                 if k < n {
                     if let Some(ps) = &prune_cx {
                         refresh_incumbent(model, policy, &tbl, ps, k, stats);

@@ -217,18 +217,20 @@ impl SearchStats {
 
     /// Machine-readable form, for service metrics and benchmark
     /// artifacts.  `elapsed` is reported in microseconds (the natural
-    /// scale of one search).
+    /// scale of one search).  Keys are emitted in sorted order, like
+    /// every metrics producer in the workspace, so snapshots diff
+    /// cleanly across runs.
     pub fn to_json(&self) -> serde_json::Value {
         serde_json::json!({
-            "nodes": self.nodes,
-            "candidates": self.candidates,
-            "evals": self.evals,
+            "bound_evals": self.bound_evals,
             "cache_hits": self.cache_hits,
+            "candidates": self.candidates,
+            "elapsed_us": self.elapsed.as_secs_f64() * 1e6,
+            "evals": self.evals,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
+            "nodes": self.nodes,
             "pruned_subsets": self.pruned_subsets,
-            "bound_evals": self.bound_evals,
-            "elapsed_us": self.elapsed.as_secs_f64() * 1e6,
         })
     }
 }

@@ -9,7 +9,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// How a base table is accessed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -586,6 +586,10 @@ pub struct CostModel<'a> {
     eval_cache: ShardedEvalCache,
     cache_enabled: AtomicBool,
     cache_hits: AtomicU64,
+    /// When installed, expectation-tier cache misses time their compute
+    /// into `telemetry.eval_compute_ns`.  `None` (the default) keeps the
+    /// hot path a single branch.
+    telemetry: Option<Arc<lec_telemetry::EngineTelemetry>>,
 }
 
 /// The engine shares one model across all of its search threads.
@@ -608,7 +612,15 @@ impl<'a> CostModel<'a> {
             eval_cache: ShardedEvalCache::new(),
             cache_enabled: AtomicBool::new(true),
             cache_hits: AtomicU64::new(0),
+            telemetry: None,
         }
+    }
+
+    /// Install (or remove) engine telemetry: expectation-tier cache-miss
+    /// computes are timed into its `eval_compute_ns` histogram.  Purely
+    /// observational — costs, counters, and results are unaffected.
+    pub fn set_telemetry(&mut self, telemetry: Option<Arc<lec_telemetry::EngineTelemetry>>) {
+        self.telemetry = telemetry;
     }
 
     /// The underlying catalog.
@@ -715,7 +727,15 @@ impl<'a> CostModel<'a> {
         // on the same key serialize here, and the loser scores a hit
         // instead of re-evaluating — the exactly-once guarantee that makes
         // the evaluation counters schedule-independent.
-        let v = compute();
+        let v = match &self.telemetry {
+            Some(t) if key.op.is_expectation() => {
+                let t0 = std::time::Instant::now();
+                let v = compute();
+                t.eval_compute_ns.record_duration(t0.elapsed());
+                v
+            }
+            _ => compute(),
+        };
         shard.insert(key, v);
         v
     }

@@ -64,6 +64,7 @@ use lec_core::{Mode, OptError, Optimizer};
 use lec_cost::dist_fingerprint;
 use lec_plan::Query;
 use lec_prob::Distribution;
+use lec_telemetry::{Outcome, Stage, Telemetry, TraceCtx};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -203,6 +204,11 @@ pub struct ConcurrentPlanServer<'a> {
     pruned_subsets: AtomicU64,
     /// Lifetime total of lower-bound evaluations across fresh searches.
     bound_evals: AtomicU64,
+    /// Observability surface ([`lec_telemetry::Telemetry`]): outcome
+    /// latency histograms recorded on every serve, engine histograms
+    /// installed into the optimizer, trace ring + slow log fed by traced
+    /// callers.  `None` keeps the serve path entirely uninstrumented.
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// The whole point: one server instance is shared by every client thread.
@@ -241,7 +247,25 @@ impl<'a> ConcurrentPlanServer<'a> {
             search_fp,
             pruned_subsets: AtomicU64::new(0),
             bound_evals: AtomicU64::new(0),
+            telemetry: None,
         }
+    }
+
+    /// This server with a telemetry surface installed: request outcomes
+    /// (served/coalesced/fresh/shed/error) are recorded into its latency
+    /// histograms on every serve, and the optimizer's searches time their
+    /// engine internals into [`Telemetry::engine`].  Purely observational
+    /// — served bytes are identical with or without it.
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.optimizer
+            .set_telemetry(Some(Arc::clone(telemetry.engine())));
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The installed telemetry surface, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Fold one fresh search's pruning counters into the lifetime totals.
@@ -328,12 +352,66 @@ impl<'a> ConcurrentPlanServer<'a> {
         hooks: &dyn ServeHooks,
         deadline: Option<Instant>,
     ) -> Result<ServeResponse, ServeError> {
+        self.serve_traced(query, mode, hooks, deadline, &mut TraceCtx::disabled())
+    }
+
+    /// [`serve_gated`](Self::serve_gated) with request tracing: typed
+    /// stage spans (cache probe, admission gate, coalesce wait, DP
+    /// search) are appended to `trace` as the request moves through the
+    /// pipeline, and — when telemetry is installed — its outcome class
+    /// and wall time land in the latency histograms.  The caller owns the
+    /// trace lifecycle: the daemon brackets this call with its decode and
+    /// flush spans and then publishes via
+    /// [`Telemetry::finish_request`].  With a disabled trace and no
+    /// telemetry this is exactly `serve_gated` — the instrumentation is
+    /// all early-return branches, and the warm hit path allocates
+    /// nothing it didn't before.
+    pub fn serve_traced(
+        &self,
+        query: &Query,
+        mode: &Mode,
+        hooks: &dyn ServeHooks,
+        deadline: Option<Instant>,
+        trace: &mut TraceCtx,
+    ) -> Result<ServeResponse, ServeError> {
+        let timer = self.telemetry.as_ref().map(|_| Instant::now());
+        let result = self.serve_inner(query, mode, hooks, deadline, trace);
+        if let (Some(tel), Some(t0)) = (&self.telemetry, timer) {
+            let outcome = match &result {
+                Ok(resp) => match resp.decision {
+                    CacheDecision::Served => Outcome::Served,
+                    CacheDecision::Coalesced => Outcome::Coalesced,
+                    _ => Outcome::Fresh,
+                },
+                Err(ServeError::Overloaded) => Outcome::Shed,
+                Err(_) => Outcome::Error,
+            };
+            tel.record_outcome(
+                outcome,
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+        result
+    }
+
+    fn serve_inner(
+        &self,
+        query: &Query,
+        mode: &Mode,
+        hooks: &dyn ServeHooks,
+        deadline: Option<Instant>,
+        trace: &mut TraceCtx,
+    ) -> Result<ServeResponse, ServeError> {
         let t0 = Instant::now();
         query
             .validate(self.optimizer.catalog())
             .map_err(OptError::InvalidQuery)
             .map_err(ServeError::Opt)?;
         self.cache.count_lookup();
+        // Cache-probe span: canonicalization + lookup, closed at the
+        // decision point with the branch taken as its detail
+        // (0 = hit, 1 = follow, 2 = lead, 3 = uncacheable).
+        let probe_start = trace.now_ns();
 
         // Serving a cached (or coalesced) plan to a renamed request is
         // only sound when the mode commutes with table renaming — see
@@ -360,12 +438,26 @@ impl<'a> ConcurrentPlanServer<'a> {
         let Some(form) = form else {
             // Uncacheable requests always run a fresh search, so they pay
             // the cold toll too (no cohort to notify on a shed).
-            if !hooks.admit_cold() {
+            trace.span(Stage::CacheProbe, probe_start, 3);
+            let adm_start = trace.now_ns();
+            let admitted = hooks.admit_cold();
+            trace.span(Stage::Admission, adm_start, admitted as u64);
+            if !admitted {
                 return Err(ServeError::Overloaded);
             }
             let _permit = ColdPermit { hooks };
             hooks.before_search();
-            let out = self.optimizer.optimize(query, mode)?;
+            let search_start = trace.now_ns();
+            let out = match self.optimizer.optimize(query, mode) {
+                Ok(out) => {
+                    trace.span(Stage::Search, search_start, search_detail(&out.stats));
+                    out
+                }
+                Err(e) => {
+                    trace.span(Stage::Search, search_start, 0);
+                    return Err(e.into());
+                }
+            };
             self.count_search(&out.stats);
             return Ok(ServeResponse {
                 plan: out.plan,
@@ -382,6 +474,7 @@ impl<'a> ConcurrentPlanServer<'a> {
 
         match self.cache.lookup_or_lead(&exact_key) {
             ExactLookup::Hit(answer) => {
+                trace.span(Stage::CacheProbe, probe_start, 0);
                 let plan = answer.plan.relabel_tables(&form.inverse_perm());
                 let mut stats = answer.stats;
                 stats.elapsed = t0.elapsed();
@@ -394,12 +487,20 @@ impl<'a> ConcurrentPlanServer<'a> {
                 })
             }
             ExactLookup::Follow(flight) => {
-                let answer = match deadline {
-                    Some(d) => flight
-                        .wait_deadline(d)
-                        .ok_or(ServeError::DeadlineExceeded)??,
-                    None => flight.wait()?,
+                trace.span(Stage::CacheProbe, probe_start, 1);
+                let wait_start = trace.now_ns();
+                let waited = match deadline {
+                    Some(d) => flight.wait_deadline(d).ok_or(ServeError::DeadlineExceeded),
+                    None => Ok(flight.wait()),
                 };
+                // Detail 1 marks a wait that expired or surfaced the
+                // leader's error rather than an answer.
+                trace.span(
+                    Stage::CoalesceWait,
+                    wait_start,
+                    matches!(&waited, Ok(Ok(_))) as u64 ^ 1,
+                );
+                let answer = waited??;
                 let plan = answer.plan.relabel_tables(&form.inverse_perm());
                 let mut stats = answer.stats;
                 stats.elapsed = t0.elapsed();
@@ -412,6 +513,7 @@ impl<'a> ConcurrentPlanServer<'a> {
                 })
             }
             ExactLookup::Lead(_flight) => {
+                trace.span(Stage::CacheProbe, probe_start, 2);
                 // From here on this thread owes the cohort a publication;
                 // the guard pays the debt with `WorkerPanicked` if the
                 // search unwinds past us.
@@ -422,7 +524,10 @@ impl<'a> ConcurrentPlanServer<'a> {
                 };
                 // Shedding a *leader* must tell its whole cohort: the
                 // followers coalesced onto a search that will never run.
-                if !hooks.admit_cold() {
+                let adm_start = trace.now_ns();
+                let admitted = hooks.admit_cold();
+                trace.span(Stage::Admission, adm_start, admitted as u64);
+                if !admitted {
                     guard.complete_err(ServeError::Overloaded);
                     return Err(ServeError::Overloaded);
                 }
@@ -432,8 +537,10 @@ impl<'a> ConcurrentPlanServer<'a> {
                 // `WorkerPanicked` to the cohort — exactly as if the
                 // search itself had died.
                 hooks.before_search();
+                let search_start = trace.now_ns();
                 match self.optimizer.optimize(query, mode) {
                     Ok(out) => {
+                        trace.span(Stage::Search, search_start, search_detail(&out.stats));
                         self.count_search(&out.stats);
                         let canon_plan = out.plan.relabel_tables(&form.perm);
                         let decision = guard.complete_ok(
@@ -455,6 +562,7 @@ impl<'a> ConcurrentPlanServer<'a> {
                         })
                     }
                     Err(e) => {
+                        trace.span(Stage::Search, search_start, 0);
                         guard.complete_err(ServeError::Opt(e.clone()));
                         Err(ServeError::Opt(e))
                     }
@@ -466,8 +574,11 @@ impl<'a> ConcurrentPlanServer<'a> {
     /// Machine-readable service metrics: cache counters (coalescing and
     /// per-reason canonicalizer refusals included), occupancy, the
     /// exact-hit skew histogram, the subplan memo's counters (`null` when
-    /// no memo is installed), and lifetime branch-and-bound pruning
-    /// totals across every fresh search.
+    /// no memo is installed), lifetime branch-and-bound pruning totals
+    /// across every fresh search, and — when telemetry is installed — the
+    /// full observability snapshot (latency histograms with
+    /// p50/p90/p99/p999, engine timing, trace ring, slow log).  Keys are
+    /// emitted recursively sorted so snapshots diff cleanly across runs.
     pub fn metrics_json(&self) -> serde_json::Value {
         serde_json::json!({
             "cache": self.cache.stats().to_json(),
@@ -482,8 +593,22 @@ impl<'a> ConcurrentPlanServer<'a> {
                 "pruned_subsets": self.pruned_subsets.load(Ordering::Relaxed),
                 "bound_evals": self.bound_evals.load(Ordering::Relaxed),
             },
+            "telemetry": match &self.telemetry {
+                Some(t) => t.snapshot_json(),
+                None => serde_json::Value::Null,
+            },
         })
+        .sorted()
     }
+}
+
+/// Pack a fresh search's memo/pruning activity into one trace-span detail
+/// word: memo hits in the high 32 bits, pruned subsets in the low 32
+/// (each saturated).
+fn search_detail(stats: &lec_core::SearchStats) -> u64 {
+    let hits = stats.memo_hits.min(u32::MAX as u64);
+    let pruned = stats.pruned_subsets.min(u32::MAX as u64);
+    (hits << 32) | pruned
 }
 
 /// Append the environment fingerprints (memory distribution, mode, search
@@ -823,5 +948,49 @@ mod tests {
             server.serve(&q, &bad),
             Err(OptError::BadParameter(_))
         ));
+    }
+
+    #[test]
+    fn telemetry_records_outcomes_spans_and_sorted_metrics() {
+        let (cat, q) = fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let tel = Arc::new(lec_telemetry::Telemetry::on());
+        let server = ConcurrentPlanServer::new(&cat, memory).with_telemetry(Arc::clone(&tel));
+        // Cold miss lands in the `fresh` histogram, then a traced warm hit
+        // in `served`.
+        server.serve(&q, &Mode::AlgorithmC).unwrap();
+        let mut trace = tel.trace_ctx(7);
+        let resp = server
+            .serve_traced(&q, &Mode::AlgorithmC, &(), None, &mut trace)
+            .unwrap();
+        assert_eq!(resp.decision, CacheDecision::Served);
+        tel.finish_request(&trace, Outcome::Served);
+        assert_eq!(tel.outcome_snapshot(Outcome::Fresh).count(), 1);
+        assert_eq!(tel.outcome_snapshot(Outcome::Served).count(), 1);
+        // The warm hit's trace holds exactly one span: the cache probe,
+        // closed with detail 0 (= hit).
+        let rec = tel.ring().find(7).expect("trace retained in ring");
+        assert_eq!(rec.spans.len(), 1);
+        assert_eq!(rec.spans[0].stage, Stage::CacheProbe);
+        assert_eq!(rec.spans[0].detail, 0);
+        // The fresh search timed its engine internals.
+        assert!(tel.engine().level_combine_ns.snapshot().count() > 0);
+        // metrics_json folds the snapshot in, with keys recursively sorted.
+        let v = server.metrics_json();
+        assert_eq!(
+            v["telemetry"]["latency"]["served"]["count"].as_f64(),
+            Some(1.0)
+        );
+        fn assert_sorted(v: &serde_json::Value) {
+            if let serde_json::Value::Object(pairs) = v {
+                for w in pairs.windows(2) {
+                    assert!(w[0].0 < w[1].0, "unsorted keys: {} >= {}", w[0].0, w[1].0);
+                }
+                for (_, inner) in pairs {
+                    assert_sorted(inner);
+                }
+            }
+        }
+        assert_sorted(&v);
     }
 }

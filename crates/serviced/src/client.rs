@@ -11,7 +11,7 @@
 //! surfaces to the caller, who decides.  Deterministic optimizer errors
 //! and malformed-frame rejections likewise surface immediately.
 
-use crate::protocol::{self, op, DecodeError, ErrorCode, Reader, Writer, MAX_FRAME};
+use crate::protocol::{self, op, DecodeError, ErrorCode, Reader, StatsFormat, Writer, MAX_FRAME};
 use crate::transport::Stream;
 use lec_core::Mode;
 use lec_plan::Query;
@@ -304,6 +304,21 @@ impl Client {
         self.send(&protocol::frame(op::METRICS, &[]))?;
         let frame = self.read_frame()?;
         let body = Self::expect_opcode(&frame, op::METRICS_OK, "unexpected opcode for metrics")?;
+        let mut r = Reader::new(body);
+        let doc = r.str()?;
+        r.finish()?;
+        Ok(doc)
+    }
+
+    /// Fetch the daemon's observability snapshot in the requested
+    /// format: [`StatsFormat::Json`] returns the exact document
+    /// `Daemon::metrics_json` serializes in-process (so wire and local
+    /// snapshots can be compared field-for-field), and
+    /// [`StatsFormat::Prometheus`] returns the text exposition.
+    pub fn stats(&mut self, format: StatsFormat) -> Result<String, ClientError> {
+        self.send(&protocol::frame(op::STATS, &[format as u8]))?;
+        let frame = self.read_frame()?;
+        let body = Self::expect_opcode(&frame, op::STATS_OK, "unexpected opcode for stats")?;
         let mut r = Reader::new(body);
         let doc = r.str()?;
         r.finish()?;

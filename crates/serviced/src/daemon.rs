@@ -34,10 +34,11 @@
 //! the [`DrainReport`].
 
 use crate::faults::{FaultPlan, FrameFault, SearchFault};
-use crate::protocol::{self, op, DecodeError, ErrorCode, Reader, Writer, MAX_FRAME};
+use crate::protocol::{self, op, DecodeError, ErrorCode, Reader, StatsFormat, Writer, MAX_FRAME};
 use crate::transport::{is_timeout, AbortHandle, Listener, Stream};
 use lec_core::OptError;
-use lec_service::{ConcurrentPlanServer, ServeError, ServeHooks};
+use lec_service::{CacheDecision, ConcurrentPlanServer, ServeError, ServeHooks};
+use lec_telemetry::{Outcome, Stage, TraceCtx};
 use serde_json::json;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -222,6 +223,39 @@ pub struct DrainReport {
     pub forced_aborts: u64,
     /// Final metrics snapshot (same shape as a wire `METRICS` response).
     pub metrics: serde_json::Value,
+    /// The same snapshot flattened into dotted counter keys, every one
+    /// prefixed with its layer's namespace (`daemon.requests_ok`,
+    /// `service.cache.served`, ...).  The prefixes keep the two layers'
+    /// counter names from colliding however either document evolves —
+    /// pinned by `drain_report_counters_are_namespaced_and_collision_free`.
+    pub counters: Vec<(String, f64)>,
+}
+
+/// Flatten a nested metrics document into dotted counter keys.  Only
+/// numeric leaves are taken (booleans, strings, and arrays — e.g. the
+/// slow-query log — are presentation, not counters), so the result is a
+/// flat, collision-free `(name, value)` list suitable for diffing,
+/// assertions, and Prometheus exposition.
+pub fn flatten_counters(doc: &serde_json::Value) -> Vec<(String, f64)> {
+    fn walk(prefix: &str, v: &serde_json::Value, out: &mut Vec<(String, f64)>) {
+        match v {
+            serde_json::Value::Object(pairs) => {
+                for (k, v) in pairs {
+                    let key = if prefix.is_empty() {
+                        k.clone()
+                    } else {
+                        format!("{prefix}.{k}")
+                    };
+                    walk(&key, v, out);
+                }
+            }
+            serde_json::Value::Number(n) => out.push((prefix.to_string(), *n)),
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk("", doc, &mut out);
+    out
 }
 
 /// What to do with the connection after processing one frame.
@@ -290,7 +324,12 @@ impl<'s, 'c> Daemon<'s, 'c> {
     }
 
     /// The daemon's metrics document: the serving layer's own snapshot
-    /// under `"service"`, the daemon counters under `"daemon"`.
+    /// under `"service"`, the daemon counters under `"daemon"`, keys
+    /// recursively sorted.  When telemetry is installed on the server,
+    /// its full snapshot (latency quantiles, engine histograms, trace
+    /// ring, slow log) rides along under `service.telemetry` — this is
+    /// also the exact document a wire `STATS` request with the JSON
+    /// format byte returns.
     pub fn metrics_json(&self) -> serde_json::Value {
         let m = &self.metrics;
         json!({
@@ -310,6 +349,26 @@ impl<'s, 'c> Daemon<'s, 'c> {
                 "drain_duration_ms": m.drain_duration_ms() as f64,
             }
         })
+        .sorted()
+    }
+
+    /// Prometheus text exposition: every flattened counter as an
+    /// unlabeled gauge (`lec_daemon_requests_ok`,
+    /// `lec_service_cache_served`, ...), plus — when telemetry is
+    /// installed — the labeled histogram series from
+    /// [`lec_telemetry::Telemetry::prometheus`].  Every line parses with
+    /// [`lec_telemetry::parse_prometheus`]; tests and the CI smoke step
+    /// pin that.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for (key, value) in flatten_counters(&self.metrics_json()) {
+            let name = format!("lec_{}", key.replace('.', "_"));
+            lec_telemetry::write_sample(&mut out, &name, &[], value);
+        }
+        if let Some(tel) = self.server.telemetry() {
+            out.push_str(&tel.prometheus());
+        }
+        out
     }
 
     /// Serve the listener until drained.  Blocks the calling thread; one
@@ -401,10 +460,12 @@ impl<'s, 'c> Daemon<'s, 'c> {
         self.metrics
             .drain_duration_ms
             .store(drain_duration.as_millis() as u64, Ordering::Release);
+        let metrics = self.metrics_json();
         DrainReport {
             drain_duration,
             forced_aborts: self.metrics.forced_aborts(),
-            metrics: self.metrics_json(),
+            counters: flatten_counters(&metrics),
+            metrics,
         }
     }
 
@@ -509,6 +570,12 @@ impl<'s, 'c> Daemon<'s, 'c> {
         };
         match opcode {
             op::OPTIMIZE => {
+                // With telemetry installed the trace clock starts before
+                // the frame is decoded; the request id arrives mid-decode,
+                // so the context is built retroactively on that epoch
+                // (`trace_ctx_at`).  Without telemetry no clock is read.
+                let tel = self.server.telemetry().filter(|t| t.enabled());
+                let decode_start = tel.map(|_| Instant::now());
                 let mut r = Reader::new(body);
                 let parsed = (|| {
                     let req_id = r.u64()?;
@@ -525,6 +592,12 @@ impl<'s, 'c> Daemon<'s, 'c> {
                         return true;
                     }
                 };
+                let mut trace = match (tel, decode_start) {
+                    (Some(t), Some(epoch)) => t.trace_ctx_at(req_id, epoch),
+                    _ => TraceCtx::disabled(),
+                };
+                // Decode span: epoch to now, detail = frame body bytes.
+                trace.span(Stage::Decode, 0, body.len() as u64);
 
                 let fault = self.faults.search_fault(conn_id, *req_idx);
                 *req_idx += 1;
@@ -538,7 +611,8 @@ impl<'s, 'c> Daemon<'s, 'c> {
                 // escaped panic to WorkerPanicked keeps the leader's own
                 // response consistent with what its followers saw.
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    self.server.serve_gated(&query, &mode, &hooks, deadline)
+                    self.server
+                        .serve_traced(&query, &mode, &hooks, deadline, &mut trace)
                 }))
                 .unwrap_or(Err(ServeError::Opt(OptError::WorkerPanicked)));
                 // A leader is never cancelled mid-search (its result
@@ -552,10 +626,25 @@ impl<'s, 'c> Daemon<'s, 'c> {
                 match result {
                     Ok(resp) => {
                         self.metrics.requests_ok.fetch_add(1, Ordering::AcqRel);
+                        // Flush span: response encode + queue, detail =
+                        // encoded body bytes.  (The socket write itself is
+                        // batched across requests after dispatch.)
+                        let flush_start = trace.now_ns();
                         let mut w = Writer::new();
                         w.u64(req_id);
                         protocol::encode_response(&mut w, &resp);
-                        out.push(protocol::frame(op::OPTIMIZE_OK, &w.into_bytes()));
+                        let bytes = w.into_bytes();
+                        let body_len = bytes.len() as u64;
+                        out.push(protocol::frame(op::OPTIMIZE_OK, &bytes));
+                        trace.span(Stage::Flush, flush_start, body_len);
+                        if let Some(t) = tel {
+                            let outcome = match resp.decision {
+                                CacheDecision::Served => Outcome::Served,
+                                CacheDecision::Coalesced => Outcome::Coalesced,
+                                _ => Outcome::Fresh,
+                            };
+                            t.finish_request(&trace, outcome);
+                        }
                     }
                     Err(e) => {
                         self.metrics.requests_err.fetch_add(1, Ordering::AcqRel);
@@ -575,6 +664,13 @@ impl<'s, 'c> Daemon<'s, 'c> {
                             ErrorCode::from_serve_error(&e),
                             &e.to_string(),
                         ));
+                        if let Some(t) = tel {
+                            let outcome = match &e {
+                                ServeError::Overloaded => Outcome::Shed,
+                                _ => Outcome::Error,
+                            };
+                            t.finish_request(&trace, outcome);
+                        }
                     }
                 }
                 false
@@ -595,6 +691,25 @@ impl<'s, 'c> Daemon<'s, 'c> {
                 out.push(protocol::frame(op::DRAIN_OK, &[]));
                 false
             }
+            op::STATS if body.len() == 1 => match StatsFormat::from_u8(body[0]) {
+                Some(fmt) => {
+                    let doc = match fmt {
+                        StatsFormat::Json => {
+                            serde_json::to_string(&self.metrics_json()).unwrap_or_default()
+                        }
+                        StatsFormat::Prometheus => self.prometheus(),
+                    };
+                    let mut w = Writer::new();
+                    w.str(&doc);
+                    out.push(protocol::frame(op::STATS_OK, &w.into_bytes()));
+                    false
+                }
+                None => {
+                    self.metrics.malformed_frames.fetch_add(1, Ordering::AcqRel);
+                    out.push(error_frame(0, ErrorCode::Malformed, "unknown stats format"));
+                    true
+                }
+            },
             _ => {
                 self.metrics.malformed_frames.fetch_add(1, Ordering::AcqRel);
                 out.push(error_frame(
@@ -719,6 +834,49 @@ mod tests {
             let mut partial = full[..cut].to_vec();
             assert_eq!(peel_frame(&mut partial), Ok(None), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn drain_report_counters_are_namespaced_and_collision_free() {
+        let (cat, _q) = lec_core::fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let tel = std::sync::Arc::new(lec_telemetry::Telemetry::on());
+        let server = ConcurrentPlanServer::new(&cat, memory).with_telemetry(tel);
+        let daemon = Daemon::new(&server, DaemonConfig::default());
+        let counters = flatten_counters(&daemon.metrics_json());
+        assert!(!counters.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for (key, value) in &counters {
+            assert!(
+                key.starts_with("service.") || key.starts_with("daemon."),
+                "counter {key} is missing its layer namespace"
+            );
+            assert!(seen.insert(key.clone()), "counter key {key} collides");
+            assert!(value.is_finite(), "counter {key} is not finite");
+        }
+        // The per-layer request counters that share short names stay
+        // distinct under their namespaces.
+        assert!(seen.contains("daemon.requests_ok"));
+        assert!(seen.contains("service.cache.served"));
+        assert!(seen.contains("service.telemetry.latency.served.count"));
+    }
+
+    #[test]
+    fn prometheus_exposition_parses_line_by_line() {
+        let (cat, q) = lec_core::fixtures::three_chain();
+        let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+        let tel = std::sync::Arc::new(lec_telemetry::Telemetry::on());
+        let server = ConcurrentPlanServer::new(&cat, memory).with_telemetry(tel);
+        server.serve(&q, &lec_core::Mode::AlgorithmC).unwrap();
+        let daemon = Daemon::new(&server, DaemonConfig::default());
+        let text = daemon.prometheus();
+        let samples = lec_telemetry::parse_prometheus(&text).expect("exposition parses");
+        assert!(samples.len() > 30);
+        let fresh = samples
+            .iter()
+            .find(|s| s.name == "lec_service_cache_recomputed")
+            .expect("service counter exposed");
+        assert_eq!(fresh.value, 1.0);
     }
 
     #[test]

@@ -18,11 +18,29 @@
 //! ```
 //!
 //! `len` counts the opcode plus body (`1 <= len <=`
-//! [`MAX_FRAME`](protocol::MAX_FRAME)).  Requests: `OPTIMIZE` (0x01,
-//! body = `req_id: u64`, mode, query), `METRICS` (0x02), `PING` (0x03),
-//! `DRAIN` (0x04).  Responses: `OPTIMIZE_OK` (0x81, body = `req_id`,
-//! response), `ERROR` (0x82, body = `req_id`, `code: u8`, message),
-//! `METRICS_OK` (0x83), `PONG` (0x84), `DRAIN_OK` (0x85).  Floats travel
+//! [`MAX_FRAME`](protocol::MAX_FRAME)).
+//!
+//! | op   | name         | direction | body                                        |
+//! |-----:|--------------|-----------|---------------------------------------------|
+//! | 0x01 | `OPTIMIZE`   | request   | `req_id: u64`, mode, query                  |
+//! | 0x02 | `METRICS`    | request   | empty                                       |
+//! | 0x03 | `PING`       | request   | empty                                       |
+//! | 0x04 | `DRAIN`      | request   | empty                                       |
+//! | 0x05 | `STATS`      | request   | `format: u8` (0 = JSON, 1 = Prometheus)     |
+//! | 0x81 | `OPTIMIZE_OK`| response  | `req_id: u64`, response                     |
+//! | 0x82 | `ERROR`      | response  | `req_id: u64`, `code: u8`, message          |
+//! | 0x83 | `METRICS_OK` | response  | one JSON string                             |
+//! | 0x84 | `PONG`       | response  | empty                                       |
+//! | 0x85 | `DRAIN_OK`   | response  | empty                                       |
+//! | 0x86 | `STATS_OK`   | response  | one string in the requested format          |
+//!
+//! `STATS` with the JSON format byte returns the daemon's full
+//! observability snapshot — latency histograms (p50/p90/p99/p999 per
+//! outcome), engine timing, trace-ring occupancy, and the slow-query log
+//! when telemetry is installed — byte-identical to the in-process
+//! `Daemon::metrics_json` document at snapshot time; the Prometheus
+//! format returns a text exposition whose every line parses with
+//! [`lec_telemetry::parse_prometheus`].  Floats travel
 //! as IEEE-754 bit patterns and distributions are reconstructed with
 //! [`Distribution::from_parts_exact`](lec_prob::Distribution::from_parts_exact)
 //! (validate, never renormalize), which is what carries bit-exactness
@@ -66,7 +84,7 @@ pub mod protocol;
 pub mod transport;
 
 pub use client::{backoff_delay, Client, ClientError, RetryPolicy, ServerError};
-pub use daemon::{Daemon, DaemonConfig, DaemonMetrics, DrainReport};
+pub use daemon::{flatten_counters, Daemon, DaemonConfig, DaemonMetrics, DrainReport};
 pub use faults::{FaultPlan, FrameFault, SearchFault};
-pub use protocol::ErrorCode;
+pub use protocol::{ErrorCode, StatsFormat};
 pub use transport::{duplex, PipeListener, PipeStream, TcpAcceptor, UnixAcceptor};

@@ -1,0 +1,92 @@
+//! `STATS` over the wire: the JSON snapshot a client fetches must be
+//! byte-identical to the daemon's in-process `metrics_json` document at
+//! a quiescent moment, the Prometheus exposition must parse line by
+//! line, the daemon's request traces must bracket the serving layer's
+//! spans with decode and flush, and the drain report's flattened
+//! counters must carry the telemetry snapshot under its namespace.
+
+use lec_core::Mode;
+use lec_service::ConcurrentPlanServer;
+use lec_serviced::transport::PipeListener;
+use lec_serviced::{Client, Daemon, DaemonConfig, StatsFormat};
+use lec_telemetry::{parse_prometheus, Outcome, Stage, Telemetry};
+use std::sync::Arc;
+
+#[test]
+fn stats_cross_the_wire_and_agree_with_in_process_snapshots() {
+    let (cat, q) = lec_core::fixtures::three_chain();
+    let memory = lec_prob::presets::spread_family(400.0, 0.6, 4).unwrap();
+    let tel = Arc::new(Telemetry::on());
+    let server = ConcurrentPlanServer::new(&cat, memory).with_telemetry(Arc::clone(&tel));
+    let daemon = Daemon::new(&server, DaemonConfig::default());
+    let listener = PipeListener::new();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| daemon.run(&listener));
+        let mut client = Client::new(Box::new(listener.connect()), 7);
+        // One cold request, then a warm hit of the same query — both
+        // traced by the daemon.
+        client.optimize(1, &Mode::AlgorithmC, &q).expect("cold");
+        client.optimize(2, &Mode::AlgorithmC, &q).expect("warm");
+
+        // Wire JSON == in-process JSON, byte for byte: the STATS handler
+        // serializes the same sorted-key document `metrics_json` builds,
+        // and nothing moves between the two snapshots.
+        let wire_json = client.stats(StatsFormat::Json).expect("stats json");
+        let local_json = serde_json::to_string(&daemon.metrics_json()).unwrap();
+        assert_eq!(
+            wire_json, local_json,
+            "wire and in-process snapshots differ"
+        );
+        assert!(wire_json.contains("\"telemetry\""));
+
+        // Both requests recorded under their outcome classes and retained
+        // in the trace ring, bracketed by the daemon's decode/flush spans
+        // around the serving layer's probe/search spans.
+        assert_eq!(tel.outcome_snapshot(Outcome::Fresh).count(), 1);
+        assert_eq!(tel.outcome_snapshot(Outcome::Served).count(), 1);
+        assert_eq!(tel.ring().occupancy(), 2);
+        for req_id in [1u64, 2] {
+            let rec = tel.ring().find(req_id).expect("request traced");
+            assert!(rec.spans.iter().any(|s| s.stage == Stage::Decode));
+            assert!(rec.spans.iter().any(|s| s.stage == Stage::CacheProbe));
+            assert!(rec.spans.iter().any(|s| s.stage == Stage::Flush));
+            let span_sum: u64 = rec.spans.iter().map(|s| s.dur_ns).sum();
+            assert!(
+                span_sum <= rec.total_ns,
+                "request {req_id}: stage spans ({span_sum} ns) exceed wall time ({} ns)",
+                rec.total_ns
+            );
+        }
+        let cold = tel.ring().find(1).expect("cold trace");
+        assert!(
+            cold.spans.iter().any(|s| s.stage == Stage::Search),
+            "the cold request ran a traced search"
+        );
+
+        // Prometheus exposition parses and exposes both layers.
+        let prom = client.stats(StatsFormat::Prometheus).expect("stats prom");
+        let samples = parse_prometheus(&prom).expect("exposition parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "lec_daemon_requests_ok" && s.value == 2.0));
+        assert!(samples.iter().any(|s| {
+            s.name == "lec_requests_total"
+                && s.labels
+                    .iter()
+                    .any(|(k, v)| k == "outcome" && v == "served")
+                && s.value == 1.0
+        }));
+
+        client.drain().expect("drain");
+        let report = runner.join().expect("daemon thread");
+        assert!(report
+            .counters
+            .iter()
+            .any(|(k, v)| k == "daemon.requests_ok" && *v == 2.0));
+        assert!(report
+            .counters
+            .iter()
+            .any(|(k, v)| k == "service.telemetry.latency.served.count" && *v == 1.0));
+    });
+}

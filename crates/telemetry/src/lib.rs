@@ -1,0 +1,440 @@
+//! `lec-telemetry`: the observability substrate for the LEC serving stack.
+//!
+//! Three pieces, designed so the warm serving path pays almost nothing:
+//!
+//! * [`Histogram`] — lock-free log-scale latency histograms with atomic
+//!   buckets and deterministic merge ([`hist`]). Request outcomes
+//!   (served/coalesced/fresh/shed/error) and engine internals (per-level
+//!   combine, memo probes, bound evals, cost-model evals) each get one.
+//! * [`TraceCtx`] / [`TraceRing`] — per-request typed span events collected
+//!   on the stack (zero allocation) and published into a bounded lock-free
+//!   ring with drop-oldest semantics ([`trace`]), plus a slowest-N log with
+//!   per-stage breakdowns ([`slowlog`]).
+//! * [`Telemetry::snapshot_json`] / [`Telemetry::prometheus`] — the full
+//!   snapshot as sorted-key JSON or Prometheus text exposition ([`prom`]).
+//!
+//! A [`Telemetry`] built from [`TelemetryConfig::off()`] keeps every
+//! recording method a cheap early-return branch, and a disabled
+//! [`TraceCtx`] never reads the clock, so instrumented code needs no
+//! conditional compilation to stay near-free when observability is off.
+
+pub mod hist;
+pub mod prom;
+pub mod slowlog;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use prom::{parse_prometheus, write_sample, PromSample};
+pub use slowlog::{SlowEntry, SlowLog};
+pub use trace::{Span, Stage, TraceCtx, TraceRecord, TraceRing, MAX_SPANS};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde_json::{json, Value};
+
+/// Request outcome classes, each with its own latency histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Outcome {
+    /// Warm cache hit served without optimization.
+    Served = 0,
+    /// Coalesced onto another request's in-flight computation.
+    Coalesced = 1,
+    /// Fresh optimization (cold miss, revalidation, or uncacheable).
+    Fresh = 2,
+    /// Rejected by admission control.
+    Shed = 3,
+    /// Failed for any other reason (optimizer error, deadline).
+    Error = 4,
+}
+
+pub const OUTCOME_COUNT: usize = 5;
+
+impl Outcome {
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Served => "served",
+            Outcome::Coalesced => "coalesced",
+            Outcome::Fresh => "fresh",
+            Outcome::Shed => "shed",
+            Outcome::Error => "error",
+        }
+    }
+
+    pub fn all() -> [Outcome; OUTCOME_COUNT] {
+        [
+            Outcome::Served,
+            Outcome::Coalesced,
+            Outcome::Fresh,
+            Outcome::Shed,
+            Outcome::Error,
+        ]
+    }
+
+    pub fn from_u8(v: u8) -> Outcome {
+        match v {
+            0 => Outcome::Served,
+            1 => Outcome::Coalesced,
+            2 => Outcome::Fresh,
+            3 => Outcome::Shed,
+            _ => Outcome::Error,
+        }
+    }
+}
+
+/// Sizing and enablement for a [`Telemetry`] instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    pub enabled: bool,
+    /// Trace-ring segments; writers hash by thread onto segments.
+    pub ring_segments: usize,
+    /// Slots per segment (drop-oldest beyond this).
+    pub ring_slots_per_segment: usize,
+    /// Slowest-N requests retained with span breakdowns.
+    pub slow_log_size: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::on()
+    }
+}
+
+impl TelemetryConfig {
+    pub fn on() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: true,
+            ring_segments: 4,
+            ring_slots_per_segment: 64,
+            slow_log_size: 16,
+        }
+    }
+
+    /// Disabled: recording methods become early-return branches and no ring
+    /// or slow-log memory is retained beyond minimal stubs.
+    pub fn off() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: false,
+            ring_segments: 1,
+            ring_slots_per_segment: 1,
+            slow_log_size: 1,
+        }
+    }
+}
+
+/// Engine-internal timing histograms, shared with `lec-core` / `lec-cost`
+/// via `Arc`. All methods are lock-free.
+#[derive(Debug, Default)]
+pub struct EngineTelemetry {
+    /// Wall time of each DP level (combine pass over all subsets of size k).
+    pub level_combine_ns: Histogram,
+    /// Memoization-table probe time per lookup.
+    pub memo_probe_ns: Histogram,
+    /// Admissible-bound evaluation time per pruning check.
+    pub bound_eval_ns: Histogram,
+    /// Cost-model expectation-evaluation compute time (cache misses only).
+    pub eval_compute_ns: Histogram,
+}
+
+impl EngineTelemetry {
+    pub fn to_json(&self) -> Value {
+        json!({
+            "bound_eval": self.bound_eval_ns.snapshot().to_json(),
+            "eval_compute": self.eval_compute_ns.snapshot().to_json(),
+            "level_combine": self.level_combine_ns.snapshot().to_json(),
+            "memo_probe": self.memo_probe_ns.snapshot().to_json(),
+        })
+        .sorted()
+    }
+}
+
+/// The full telemetry surface for one serving stack: outcome latency
+/// histograms, engine-internal histograms, the trace ring, and the slow log.
+pub struct Telemetry {
+    config: TelemetryConfig,
+    outcomes: [Histogram; OUTCOME_COUNT],
+    engine: Arc<EngineTelemetry>,
+    ring: TraceRing,
+    slow: SlowLog,
+    /// Floor (ns) below which finished traces skip the slow log entirely.
+    slow_threshold_ns: u64,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("config", &self.config)
+            .field("ring_occupancy", &self.ring.occupancy())
+            .field("slow_log_entries", &self.slow.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    pub fn new(config: TelemetryConfig) -> Telemetry {
+        let ring = TraceRing::new(config.ring_segments, config.ring_slots_per_segment);
+        let slow = SlowLog::new(config.slow_log_size);
+        Telemetry {
+            outcomes: std::array::from_fn(|_| Histogram::new()),
+            engine: Arc::new(EngineTelemetry::default()),
+            ring,
+            slow,
+            slow_threshold_ns: 0,
+            config,
+        }
+    }
+
+    /// Enabled telemetry with default sizing.
+    pub fn on() -> Telemetry {
+        Telemetry::new(TelemetryConfig::on())
+    }
+
+    /// Disabled telemetry: every recording call is a cheap early return.
+    pub fn off() -> Telemetry {
+        Telemetry::new(TelemetryConfig::off())
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// Engine-internal histograms handle, for installation into
+    /// `SearchConfig` / `CostModel`.
+    pub fn engine(&self) -> &Arc<EngineTelemetry> {
+        &self.engine
+    }
+
+    /// A [`TraceCtx`] for a new request: active iff telemetry is enabled.
+    pub fn trace_ctx(&self, request_id: u64) -> TraceCtx {
+        if self.config.enabled {
+            TraceCtx::new(request_id)
+        } else {
+            TraceCtx::disabled()
+        }
+    }
+
+    /// Like [`Self::trace_ctx`] but with an explicit epoch (timing started
+    /// before the request id was decoded).
+    pub fn trace_ctx_at(&self, request_id: u64, epoch: Instant) -> TraceCtx {
+        if self.config.enabled {
+            TraceCtx::starting_at(request_id, epoch)
+        } else {
+            TraceCtx::disabled()
+        }
+    }
+
+    /// Record a finished request's wall time under its outcome class.
+    /// One branch plus three relaxed atomic adds; no allocation.
+    #[inline]
+    pub fn record_outcome(&self, outcome: Outcome, elapsed_ns: u64) {
+        if !self.config.enabled {
+            return;
+        }
+        self.outcomes[outcome as usize].record(elapsed_ns);
+    }
+
+    /// Publish a finished trace into the ring and offer it to the slow log.
+    pub fn finish_request(&self, ctx: &TraceCtx, outcome: Outcome) {
+        if !self.config.enabled || !ctx.enabled() {
+            return;
+        }
+        let total_ns = ctx.now_ns();
+        self.ring.push(ctx, outcome as u8, total_ns);
+        if total_ns > self.slow_threshold_ns {
+            self.slow.offer(ctx, outcome as u8, total_ns);
+        }
+    }
+
+    pub fn ring(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow
+    }
+
+    pub fn outcome_snapshot(&self, outcome: Outcome) -> HistogramSnapshot {
+        self.outcomes[outcome as usize].snapshot()
+    }
+
+    /// Full snapshot as sorted-key JSON: per-outcome latency histograms,
+    /// engine histograms, slow log, and trace-ring occupancy.
+    pub fn snapshot_json(&self) -> Value {
+        let mut latency: Vec<(String, Value)> = Outcome::all()
+            .iter()
+            .map(|o| (o.name().to_string(), self.outcome_snapshot(*o).to_json()))
+            .collect();
+        latency.sort_by(|a, b| a.0.cmp(&b.0));
+        json!({
+            "enabled": self.config.enabled,
+            "engine": self.engine.to_json(),
+            "latency": Value::Object(latency),
+            "trace": {
+                "dropped_events": self.ring.dropped_events() as f64,
+                "ring_occupancy": self.ring.occupancy() as f64,
+                "slow_log": self.slow.to_json(|o| Outcome::from_u8(o).name()),
+            },
+        })
+        .sorted()
+    }
+
+    /// Prometheus-style text exposition of the histogram and ring state.
+    /// Every line parses with [`parse_prometheus`] (pinned by tests + CI).
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for o in Outcome::all() {
+            let s = self.outcome_snapshot(o);
+            let labels = [("outcome", o.name())];
+            write_sample(&mut out, "lec_requests_total", &labels, s.count() as f64);
+            write_sample(
+                &mut out,
+                "lec_request_seconds_sum",
+                &labels,
+                s.sum() as f64 / 1e9,
+            );
+            for (q, qn) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")] {
+                write_sample(
+                    &mut out,
+                    "lec_request_latency_ns",
+                    &[("outcome", o.name()), ("quantile", qn)],
+                    s.quantile(q) as f64,
+                );
+            }
+        }
+        for (stage, h) in [
+            ("bound_eval", &self.engine.bound_eval_ns),
+            ("eval_compute", &self.engine.eval_compute_ns),
+            ("level_combine", &self.engine.level_combine_ns),
+            ("memo_probe", &self.engine.memo_probe_ns),
+        ] {
+            let s = h.snapshot();
+            let labels = [("stage", stage)];
+            write_sample(&mut out, "lec_engine_ops_total", &labels, s.count() as f64);
+            for (q, qn) in [(0.5, "0.5"), (0.99, "0.99")] {
+                write_sample(
+                    &mut out,
+                    "lec_engine_ns",
+                    &[("quantile", qn), ("stage", stage)],
+                    s.quantile(q) as f64,
+                );
+            }
+        }
+        write_sample(
+            &mut out,
+            "lec_trace_ring_occupancy",
+            &[],
+            self.ring.occupancy() as f64,
+        );
+        write_sample(
+            &mut out,
+            "lec_trace_dropped_events",
+            &[],
+            self.ring.dropped_events() as f64,
+        );
+        write_sample(
+            &mut out,
+            "lec_slow_log_entries",
+            &[],
+            self.slow.len() as f64,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_telemetry_records_nothing() {
+        let t = Telemetry::off();
+        t.record_outcome(Outcome::Served, 1000);
+        let mut ctx = t.trace_ctx(1);
+        assert!(!ctx.enabled());
+        ctx.span(Stage::Search, 0, 0);
+        t.finish_request(&ctx, Outcome::Served);
+        assert_eq!(t.outcome_snapshot(Outcome::Served).count(), 0);
+        assert_eq!(t.ring().occupancy(), 0);
+        assert!(t.slow_log().is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_has_sorted_keys_and_core_fields() {
+        let t = Telemetry::on();
+        t.record_outcome(Outcome::Served, 500);
+        t.record_outcome(Outcome::Shed, 100);
+        let mut ctx = t.trace_ctx(9);
+        ctx.span_with(Stage::Search, 0, 400, 0);
+        t.finish_request(&ctx, Outcome::Served);
+        let snap = t.snapshot_json();
+        assert_eq!(snap["latency"]["served"]["count"].as_f64(), Some(1.0));
+        assert_eq!(snap["latency"]["shed"]["count"].as_f64(), Some(1.0));
+        assert_eq!(snap["trace"]["ring_occupancy"].as_f64(), Some(1.0));
+        fn assert_sorted(v: &Value) {
+            if let Value::Object(pairs) = v {
+                for w in pairs.windows(2) {
+                    assert!(
+                        w[0].0 < w[1].0,
+                        "keys out of order: {} vs {}",
+                        w[0].0,
+                        w[1].0
+                    );
+                }
+                for (_, v) in pairs {
+                    assert_sorted(v);
+                }
+            }
+            if let Value::Array(items) = v {
+                for v in items {
+                    assert_sorted(v);
+                }
+            }
+        }
+        assert_sorted(&snap);
+    }
+
+    #[test]
+    fn prometheus_exposition_parses() {
+        let t = Telemetry::on();
+        for i in 0..100u64 {
+            t.record_outcome(Outcome::Served, i * 1000);
+        }
+        let mut ctx = t.trace_ctx(3);
+        ctx.span_with(Stage::CacheProbe, 0, 10, 0);
+        t.finish_request(&ctx, Outcome::Served);
+        let text = t.prometheus();
+        let samples = parse_prometheus(&text).expect("exposition parses");
+        assert!(samples.len() > 20);
+        let served = samples
+            .iter()
+            .find(|s| {
+                s.name == "lec_requests_total"
+                    && s.labels
+                        .iter()
+                        .any(|(k, v)| k == "outcome" && v == "served")
+            })
+            .expect("served counter present");
+        assert_eq!(served.value, 100.0);
+    }
+
+    #[test]
+    fn finish_request_feeds_ring_and_slow_log() {
+        let t = Telemetry::on();
+        let mut ctx = t.trace_ctx(77);
+        ctx.span_with(Stage::Decode, 0, 50, 0);
+        ctx.span_with(Stage::Search, 50, 900, (3u64 << 32) | 5);
+        t.finish_request(&ctx, Outcome::Fresh);
+        let rec = t.ring().find(77).expect("trace retained");
+        assert_eq!(rec.spans.len(), 2);
+        assert_eq!(rec.spans[1].detail >> 32, 3);
+        let slow = t.slow_log().entries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].request_id, 77);
+    }
+}

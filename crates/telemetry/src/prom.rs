@@ -1,0 +1,211 @@
+//! Prometheus-style text exposition: a writer for `name{label="v"} value`
+//! lines and a strict line-by-line parser used by tests and the CI smoke
+//! step to assert every emitted line is well-formed.
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+/// Append one exposition line. `labels` are emitted in the given order;
+/// callers keep them sorted so output is deterministic.
+pub fn write_sample(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    out.push_str(name);
+    if !labels.is_empty() {
+        out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            for c in v.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    // Prometheus floats: integral values print without a fraction.
+    if value.fract() == 0.0 && value.abs() < 1e15 {
+        out.push_str(&format!("{}", value as i64));
+    } else {
+        out.push_str(&format!("{value}"));
+    }
+    out.push('\n');
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse a full exposition. Every non-empty, non-comment line must be a
+/// well-formed sample (valid metric name, quoted label values, numeric
+/// value) or the whole parse fails with a line-numbered error.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<PromSample, String> {
+    let (head, value_str) = match line.find('}') {
+        Some(close) => {
+            let rest = line[close + 1..].trim_start();
+            (&line[..close + 1], rest)
+        }
+        None => {
+            let sp = line.find(' ').ok_or("missing value")?;
+            (&line[..sp], line[sp + 1..].trim_start())
+        }
+    };
+    let (name, labels) = match head.find('{') {
+        Some(open) => {
+            if !head.ends_with('}') {
+                return Err("unterminated label set".into());
+            }
+            (
+                &head[..open],
+                parse_labels(&head[open + 1..head.len() - 1])?,
+            )
+        }
+        None => (head, Vec::new()),
+    };
+    if !valid_name(name) {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    if value_str.is_empty() {
+        return Err("missing value".into());
+    }
+    let value: f64 = value_str
+        .parse()
+        .map_err(|_| format!("non-numeric value {value_str:?}"))?;
+    Ok(PromSample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.char_indices().peekable();
+    let mut key_start = 0usize;
+    loop {
+        // Find `key="` then scan the quoted value honoring escapes.
+        let eq = loop {
+            match chars.next() {
+                Some((i, '=')) => break i,
+                Some((_, _)) => {}
+                None => {
+                    if body[key_start..].trim().is_empty() && labels.is_empty() && key_start == 0 {
+                        return if body.trim().is_empty() {
+                            Ok(labels)
+                        } else {
+                            Err("malformed label".into())
+                        };
+                    }
+                    if body[key_start..].trim().is_empty() {
+                        return Ok(labels);
+                    }
+                    return Err("label without value".into());
+                }
+            }
+        };
+        let key = body[key_start..eq].trim();
+        if !valid_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        match chars.next() {
+            Some((_, '"')) => {}
+            _ => return Err("label value not quoted".into()),
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, c)) => value.push(c),
+                    None => return Err("dangling escape".into()),
+                },
+                Some((_, '"')) => break,
+                Some((_, c)) => value.push(c),
+                None => return Err("unterminated label value".into()),
+            }
+        }
+        labels.push((key.to_string(), value));
+        match chars.next() {
+            Some((i, ',')) => key_start = i + 1,
+            None => return Ok(labels),
+            Some((_, c)) => return Err(format!("expected ',' between labels, got {c:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_samples() {
+        let mut text = String::new();
+        write_sample(
+            &mut text,
+            "lec_requests_total",
+            &[("outcome", "served")],
+            42.0,
+        );
+        write_sample(
+            &mut text,
+            "lec_request_latency_ns",
+            &[("outcome", "shed"), ("quantile", "0.99")],
+            123456.0,
+        );
+        write_sample(&mut text, "lec_trace_dropped_events", &[], 0.0);
+        write_sample(&mut text, "lec_mean", &[], 1.5);
+        let parsed = parse_prometheus(&text).expect("parses");
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed[0].name, "lec_requests_total");
+        assert_eq!(parsed[0].labels, vec![("outcome".into(), "served".into())]);
+        assert_eq!(parsed[0].value, 42.0);
+        assert_eq!(parsed[1].labels.len(), 2);
+        assert_eq!(parsed[3].value, 1.5);
+    }
+
+    #[test]
+    fn escaped_label_values_roundtrip() {
+        let mut text = String::new();
+        write_sample(&mut text, "m", &[("k", "a\"b\\c\nd")], 1.0);
+        let parsed = parse_prometheus(&text).expect("parses");
+        assert_eq!(parsed[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_prometheus("9bad_name 1").is_err());
+        assert!(parse_prometheus("name_only").is_err());
+        assert!(parse_prometheus("name abc").is_err());
+        assert!(parse_prometheus("name{k=v} 1").is_err());
+        assert!(parse_prometheus("name{k=\"v\" 1").is_err());
+        assert!(parse_prometheus("# comment\n\nok_name 3").unwrap().len() == 1);
+    }
+}

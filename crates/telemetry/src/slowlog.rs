@@ -1,0 +1,126 @@
+//! Slowest-N retention: a tiny top-K log of the slowest requests with their
+//! per-stage span breakdowns.
+//!
+//! The fast path is one relaxed atomic load comparing the request's wall
+//! time against the current admission floor (the N-th slowest total); only
+//! requests that would actually enter the log take the mutex and allocate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use serde_json::Value;
+
+use crate::trace::{Span, TraceCtx};
+
+/// One retained slow request.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    pub request_id: u64,
+    pub outcome: u8,
+    pub total_ns: u64,
+    pub spans: Vec<Span>,
+}
+
+/// Top-K slowest requests, ordered slowest first.
+pub struct SlowLog {
+    cap: usize,
+    /// Admission floor: once the log is full, totals at or below this are
+    /// rejected without locking.
+    floor_ns: AtomicU64,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    pub fn new(cap: usize) -> SlowLog {
+        SlowLog {
+            cap: cap.max(1),
+            floor_ns: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Offer a finished request. Returns true if it was retained.
+    pub fn offer(&self, ctx: &TraceCtx, outcome: u8, total_ns: u64) -> bool {
+        if total_ns <= self.floor_ns.load(Ordering::Relaxed) {
+            return false; // log full and this request is not slow enough
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        // Re-check under the lock: the floor may have risen.
+        if entries.len() >= self.cap && total_ns <= entries.last().map_or(0, |e| e.total_ns) {
+            return false;
+        }
+        entries.push(SlowEntry {
+            request_id: ctx.request_id(),
+            outcome,
+            total_ns,
+            spans: ctx.spans().to_vec(),
+        });
+        entries.sort_by_key(|e| std::cmp::Reverse(e.total_ns));
+        entries.truncate(self.cap);
+        if entries.len() >= self.cap {
+            self.floor_ns
+                .store(entries.last().map_or(0, |e| e.total_ns), Ordering::Relaxed);
+        }
+        true
+    }
+
+    pub fn entries(&self) -> Vec<SlowEntry> {
+        self.entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// JSON array of retained entries, slowest first, sorted keys.
+    pub fn to_json(&self, outcome_name: impl Fn(u8) -> &'static str) -> Value {
+        let items: Vec<Value> = self
+            .entries()
+            .iter()
+            .map(|e| {
+                crate::trace::TraceRecord {
+                    request_id: e.request_id,
+                    outcome: e.outcome,
+                    total_ns: e.total_ns,
+                    spans: e.spans.clone(),
+                }
+                .to_json(outcome_name(e.outcome))
+            })
+            .collect();
+        Value::Array(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Stage;
+
+    fn ctx(id: u64) -> TraceCtx {
+        let mut c = TraceCtx::new(id);
+        c.span_with(Stage::Search, 0, id * 100, 0);
+        c
+    }
+
+    #[test]
+    fn retains_slowest_n_in_order() {
+        let log = SlowLog::new(3);
+        for (id, total) in [(1u64, 50u64), (2, 500), (3, 10), (4, 900), (5, 300)] {
+            log.offer(&ctx(id), 0, total);
+        }
+        let totals: Vec<u64> = log.entries().iter().map(|e| e.total_ns).collect();
+        assert_eq!(totals, vec![900, 500, 300]);
+        // Fast-path rejection: below the floor (300) is refused outright.
+        assert!(!log.offer(&ctx(6), 0, 299));
+        assert!(log.offer(&ctx(7), 0, 301));
+        let ids: Vec<u64> = log.entries().iter().map(|e| e.request_id).collect();
+        assert_eq!(ids, vec![4, 2, 7]);
+    }
+}

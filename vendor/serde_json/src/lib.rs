@@ -68,6 +68,23 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The same value with every object's keys recursively sorted
+    /// (stable, lexicographic).  Producers of metrics snapshots call this
+    /// so output diffs cleanly across runs regardless of the insertion
+    /// order at each call site.
+    pub fn sorted(self) -> Value {
+        match self {
+            Value::Object(pairs) => {
+                let mut pairs: Vec<(String, Value)> =
+                    pairs.into_iter().map(|(k, v)| (k, v.sorted())).collect();
+                pairs.sort_by(|a, b| a.0.cmp(&b.0));
+                Value::Object(pairs)
+            }
+            Value::Array(items) => Value::Array(items.into_iter().map(Value::sorted).collect()),
+            v => v,
+        }
+    }
 }
 
 static NULL: Value = Value::Null;
@@ -490,6 +507,28 @@ mod tests {
         // working.
         let v = json!({"k": [1, 2]});
         assert!(to_string_pretty(&v).unwrap().contains("\"k\""));
+    }
+
+    #[test]
+    fn sorted_orders_keys_recursively() {
+        let v = json!({
+            "zeta": {"b": 1, "a": {"d": 4, "c": 3}},
+            "alpha": [{"y": 2, "x": 1}],
+            "mid": 7,
+        })
+        .sorted();
+        let Value::Object(pairs) = &v else {
+            panic!("expected object")
+        };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["alpha", "mid", "zeta"]);
+        let Value::Object(inner) = &v["zeta"]["a"] else {
+            panic!("expected nested object")
+        };
+        assert_eq!(inner[0].0, "c");
+        // Scalars and lookups are unchanged by sorting.
+        assert_eq!(v["zeta"]["a"]["d"].as_f64(), Some(4.0));
+        assert_eq!(v["alpha"][0]["x"].as_f64(), Some(1.0));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lec_bench::workloads::scaling_chain;
-use lec_core::fixtures::{pruning_chain, pruning_star};
+use lec_core::fixtures::{pruning_chain, pruning_clique, pruning_star};
 use lec_core::{optimize_lec_static, optimize_lec_static_with, optimize_lsc, SearchConfig};
 use lec_cost::CostModel;
 use lec_prob::presets;
@@ -54,13 +54,15 @@ fn bench_tables(c: &mut Criterion) {
 }
 
 /// Above 10 tables only the pruned search runs: branch-and-bound keep-best
-/// on the 12- and 15-table chain/star pruning fixtures.
+/// on the 12-, 15- and 18-table chain/star pruning fixtures plus the
+/// 12-table clique (every subset connected — the bound tiers alone carry
+/// the search).
 fn bench_large_tables(c: &mut Criterion) {
     let memory = presets::spread_family(400.0, 0.5, 4).unwrap();
     let pruned = SearchConfig::default().with_pruning(true);
     let mut group = c.benchmark_group("optimizer_vs_tables_pruned");
     group.sample_size(10);
-    for n in [12usize, 15] {
+    for n in [12usize, 15, 18] {
         for (name, fixture) in [("chain", pruning_chain(n)), ("star", pruning_star(n))] {
             group.bench_with_input(
                 BenchmarkId::new(format!("alg_c_pruned_{name}"), n),
@@ -78,6 +80,21 @@ fn bench_large_tables(c: &mut Criterion) {
             );
         }
     }
+    let clique = pruning_clique(12);
+    group.bench_with_input(
+        BenchmarkId::new("alg_c_pruned_clique", 12),
+        &12usize,
+        |bench, _| {
+            let model = CostModel::new(&clique.0, &clique.1);
+            bench.iter(|| {
+                black_box(
+                    optimize_lec_static_with(&model, black_box(&memory), &pruned)
+                        .unwrap()
+                        .cost,
+                )
+            })
+        },
+    );
     group.finish();
 }
 

@@ -287,6 +287,61 @@ pub fn pruning_star(n: usize) -> (Catalog, Query) {
     (catalog, query)
 }
 
+/// Selectivity of an ordinary pruning-clique join: mildly reductive, so
+/// intermediates shrink but the graph stays far from degenerate.
+const PRUNING_CLIQUE_SEL: f64 = 1e-2;
+
+/// An `n`-table clique built to exercise branch-and-bound pruning on a
+/// *dense* join graph: every pair of 1000-page tables is joined, so every
+/// subset of every size is connected and the structural
+/// disconnected-subset discard never fires — the bound tiers carry the
+/// whole search.  The joins among tables `1`, `6` and `11` are expansive
+/// ([`PRUNING_EXPANSIVE_SEL`]); every other pair is mildly reductive.
+/// Subsets gathering two or three of the expansive trio before the rest
+/// of the clique has collapsed the intermediate carry size floors of
+/// `5·10⁵` pages and up against incumbents in the tens of thousands and
+/// are discarded outright, while a clique's quadratic edge count makes
+/// the per-edge sharp floor's frontier genuinely multi-way at every
+/// level.
+pub fn pruning_clique(n: usize) -> (Catalog, Query) {
+    assert!(n >= 4, "the pruning clique needs at least four tables");
+    let heavy = |i: usize| i == 1 || i == 6 || i == 11;
+    let mut catalog = Catalog::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            catalog.add_table(
+                format!("K{i}"),
+                TableStats::new(
+                    1000,
+                    50_000,
+                    vec![ColumnStats::plain("a", 1000), ColumnStats::plain("b", 1000)],
+                ),
+            )
+        })
+        .collect();
+    let mut joins = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            let sel = if heavy(u) && heavy(v) {
+                PRUNING_EXPANSIVE_SEL
+            } else {
+                PRUNING_CLIQUE_SEL
+            };
+            joins.push(JoinPredicate::exact(
+                ColumnRef::new(u, 1),
+                ColumnRef::new(v, 0),
+                sel,
+            ));
+        }
+    }
+    let query = Query {
+        tables: ids.into_iter().map(QueryTable::bare).collect(),
+        joins,
+        required_order: Some(ColumnRef::new(n - 1, 1)),
+    };
+    (catalog, query)
+}
+
 /// Recognizer for Example 1.1's Plan 1: a bare sort-merge join of the two
 /// scans (either orientation — the SM formula is symmetric).
 pub fn is_plan1(plan: &lec_plan::PlanNode) -> bool {

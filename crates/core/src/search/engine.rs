@@ -541,6 +541,16 @@ fn combine_subset<P: CandidatePolicy>(
     stats: &mut SearchStats,
 ) -> Vec<P::Entry> {
     let check = prune.filter(|_| set.len() < model.query().n_tables());
+    // Structural connectivity first: a disconnected subset can never
+    // produce an entry (every split excludes cross products), so it is
+    // discarded before the memo probe and before any size product —
+    // this counts toward `pruned_subsets` but ticks no bound tier.
+    if let Some(ps) = check {
+        if !ps.is_connected(set) {
+            stats.pruned_subsets += 1;
+            return Vec::new();
+        }
+    }
     if let Some(ms) = memo {
         if let Some(form) = ms.canon.subquery(set) {
             let key = node_key(ms, &form);
@@ -556,8 +566,7 @@ fn combine_subset<P: CandidatePolicy>(
                         })
                     }
                 };
-                if ps.prunes(set, pages) {
-                    stats.pruned_subsets += 1;
+                if tally_check(ps.check(set, pages), stats) {
                     return Vec::new();
                 }
                 bound_pages = Some(pages);
@@ -580,8 +589,7 @@ fn combine_subset<P: CandidatePolicy>(
         let pages = timed(tel.map(|t| &t.bound_eval_ns), || {
             ps.bound().pages_floor(model, set)
         });
-        if ps.prunes(set, pages) {
-            stats.pruned_subsets += 1;
+        if tally_check(ps.check(set, pages), stats) {
             return Vec::new();
         }
     }
@@ -590,6 +598,40 @@ fn combine_subset<P: CandidatePolicy>(
         stats.nodes += 1;
     }
     entries
+}
+
+/// Fold one tiered prune-check result ([`PruneState::check`]) into the
+/// stats and report whether the subset was discarded.  Every connected
+/// non-full subset ticks exactly one of `sharp_bound_evals` /
+/// `cheap_bound_skips`, so their sum — like `pruned_subsets` — is
+/// schedule- and memo-independent.
+fn tally_check(check: super::bound::BoundCheck, stats: &mut SearchStats) -> bool {
+    if check.sharp() {
+        stats.sharp_bound_evals += 1;
+    } else {
+        stats.cheap_bound_skips += 1;
+    }
+    if check.pruned() {
+        stats.pruned_subsets += 1;
+        return true;
+    }
+    false
+}
+
+/// One level's [`lec_telemetry::LevelPrune`] record: the delta of the
+/// schedule-independent pruning counters between the running-stats
+/// snapshots taken before and after the level's combine pass.
+fn level_prune_delta(
+    k: usize,
+    before: &SearchStats,
+    after: &SearchStats,
+) -> lec_telemetry::LevelPrune {
+    lec_telemetry::LevelPrune {
+        level: k as u32,
+        pruned_subsets: after.pruned_subsets - before.pruned_subsets,
+        sharp_bound_evals: after.sharp_bound_evals - before.sharp_bound_evals,
+        cheap_bound_skips: after.cheap_bound_skips - before.cheap_bound_skips,
+    }
 }
 
 /// Build one depth-1 node (access-path alternatives), consulting the
@@ -727,6 +769,7 @@ fn cheapest_index<E: SearchEntry>(entries: &[E]) -> Option<usize> {
 /// table, harvested from the table — no extra evaluations.
 fn build_prune<P: CandidatePolicy>(
     model: &CostModel<'_>,
+    shape: PlanShape,
     policy: &mut P,
     config: Option<&SearchConfig>,
     table: &HashMap<TableSet, Vec<P::Entry>>,
@@ -744,7 +787,7 @@ fn build_prune<P: CandidatePolicy>(
                 .unwrap_or(0.0)
         })
         .collect();
-    let ps = Arc::new(PruneState::new(bound, access_floors));
+    let ps = Arc::new(PruneState::new(model, shape, bound, access_floors));
     policy.install_pruning(&ps);
     Some(ps)
 }
@@ -839,6 +882,9 @@ fn refresh_incumbent<P: CandidatePolicy>(
     k: usize,
     stats: &mut SearchStats,
 ) {
+    if prune.refresh_retired() {
+        return;
+    }
     let n = model.query().n_tables();
     let mut best: Option<(f64, TableSet)> = None;
     for set in TableSet::subsets_of_size(n, k) {
@@ -858,8 +904,22 @@ fn refresh_incumbent<P: CandidatePolicy>(
         }
     }
     let Some((_, seed)) = best else { return };
+    let before = prune.incumbent().get();
     if let Some(cost) = greedy_complete(model, policy, table, seed, stats) {
         prune.incumbent().observe(cost);
+        // Greedy walks have sharply diminishing returns: the first walk
+        // that completes without lowering a finite incumbent signals the
+        // remaining ones won't either (each later seed walks a longer
+        // prefix of an already-observed completion), so retire the
+        // refresh for the rest of the search rather than paying a full
+        // costed walk per level for nothing.  The decision reads only
+        // barrier-deterministic state — the merged level table and the
+        // incumbent, which changes nowhere else — so serial and parallel
+        // drivers retire at the same level and every counter stays
+        // schedule-independent.
+        if cost >= before {
+            prune.retire_refresh();
+        }
     }
 }
 
@@ -903,7 +963,7 @@ fn run_search_serial<P: CandidatePolicy>(
         }
     }
 
-    let prune_cx = build_prune(model, policy, config, &table);
+    let prune_cx = build_prune(model, shape, policy, config, &table);
     if let Some(ps) = &prune_cx {
         refresh_incumbent(model, policy, &table, ps, 1, &mut stats);
     }
@@ -911,6 +971,7 @@ fn run_search_serial<P: CandidatePolicy>(
     // Depths 2..n.
     for k in 2..=n {
         let level_start = tel.map(|_| Instant::now());
+        let prune_mark = stats;
         for set in TableSet::subsets_of_size(n, k) {
             let entries = combine_subset(
                 model,
@@ -929,6 +990,9 @@ fn run_search_serial<P: CandidatePolicy>(
         }
         if let (Some(t), Some(t0)) = (tel, level_start) {
             t.level_combine_ns.record_duration(t0.elapsed());
+            if prune_cx.is_some() {
+                t.record_level_prune(level_prune_delta(k, &prune_mark, &stats));
+            }
         }
         if k < n {
             if let Some(ps) = &prune_cx {
@@ -1153,7 +1217,7 @@ where
 
     // Install pruning before the forks below so every worker's policy
     // clone shares the one incumbent cell.
-    let prune_cx = build_prune(model, policy, Some(config), &table);
+    let prune_cx = build_prune(model, shape, policy, Some(config), &table);
     if let Some(ps) = &prune_cx {
         refresh_incumbent(model, policy, &table, ps, 1, &mut stats);
     }
@@ -1244,6 +1308,7 @@ where
             for k in 2..=n {
                 let sets = TableSet::subsets_of_size(n, k);
                 let level_start = tel.map(|_| Instant::now());
+                let prune_mark = *stats;
                 if sets.len() < 2 {
                     // A single subset (the root level) gains nothing from a
                     // dispatch round-trip; combine it on the caller.
@@ -1276,6 +1341,9 @@ where
                     tbl.extend(out.produced);
                     if let (Some(t), Some(t0)) = (tel, level_start) {
                         t.level_combine_ns.record_duration(t0.elapsed());
+                        if prune_cx.is_some() {
+                            t.record_level_prune(level_prune_delta(k, &prune_mark, stats));
+                        }
                     }
                     if k < n {
                         if let Some(ps) = &prune_cx {
@@ -1344,6 +1412,9 @@ where
                 tbl.extend(my_out.produced);
                 if let (Some(t), Some(t0)) = (tel, level_start) {
                     t.level_combine_ns.record_duration(t0.elapsed());
+                    if prune_cx.is_some() {
+                        t.record_level_prune(level_prune_delta(k, &prune_mark, stats));
+                    }
                 }
                 if k < n {
                     if let Some(ps) = &prune_cx {

@@ -7,8 +7,8 @@
 use super::coster::PhaseCoster;
 use super::memo::{MemoDpEntry, MemoEntries, MemoOrder, MemoRecord};
 use super::policy::{
-    access_alternatives, insert_entry_shaped, join_output_order, CandidatePolicy, JoinContext,
-    Rankable, RootContext, SearchEntry,
+    access_alternatives, insert_entry_shaped, insert_entry_shaped_lazy, join_output_order,
+    CandidatePolicy, JoinContext, Rankable, RootContext, SearchEntry,
 };
 use super::SearchStats;
 use lec_canon::SubplanForm;
@@ -105,21 +105,21 @@ impl<C: PhaseCoster + Clone> CandidatePolicy for KeepBestPolicy<C> {
         let sel = model.join_selectivity_sets(ctx.left, ctx.right);
         for oe in outer {
             for ie in inner {
+                // Result size is method-independent; compute once.
+                let pages = model.join_output_pages(oe.pages, ie.pages, sel);
                 for method in JoinMethod::ALL {
                     stats.candidates += 1;
                     let join_cost = self
                         .coster
                         .join_cost(model, ctx, method, oe.pages, ie.pages);
-                    insert_entry_shaped(
-                        model,
-                        into,
-                        DpEntry {
-                            plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),
-                            cost: oe.cost + ie.cost + join_cost,
-                            pages: model.join_output_pages(oe.pages, ie.pages, sel),
-                            order: join_output_order(model, ctx.left, oe.order, ctx.right, method),
-                        },
-                    );
+                    let cost = oe.cost + ie.cost + join_cost;
+                    let order = join_output_order(model, ctx.left, oe.order, ctx.right, method);
+                    insert_entry_shaped_lazy(model, into, cost, order, || DpEntry {
+                        plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),
+                        cost,
+                        pages,
+                        order,
+                    });
                 }
             }
         }

@@ -106,7 +106,18 @@
 //!   optimal plan therefore survives, exact ties included, and a pruned
 //!   search returns the same plan at the same cost bits as an unpruned
 //!   one; only the work counters (`evals`, `candidates`, `nodes`,
-//!   `cache_hits`) and the new `pruned_subsets`/`bound_evals` may differ.
+//!   `cache_hits`) and the pruning counters (`pruned_subsets`,
+//!   `bound_evals`, `sharp_bound_evals`, `cheap_bound_skips`) may differ.
+//! * **Tiered evaluation.**  Checks run in two tiers ([`bound`] module
+//!   docs): a *cheap* floor (universal per-join constant) always, and a
+//!   *sharp* per-edge floor — per-table inner-operand attach costs over
+//!   the tables still outside the subset — only when the cheap floor
+//!   lands within [`bound::SHARP_MARGIN`] of the incumbent and the
+//!   search shape is left-deep (the per-table decomposition the sharp
+//!   floor relies on is exact only there).  Disconnected subsets are
+//!   discarded structurally before either tier: the split enumeration
+//!   never materializes a cross product, so a disconnected set can
+//!   never contribute a DP entry.
 //! * **Eligibility.**  Keep-best (under any [`coster::PhaseCoster`]) and
 //!   multi-param opt in via
 //!   [`policy::CandidatePolicy::pruning_bound`]; Algorithm D's incumbent
@@ -135,8 +146,8 @@ pub mod pool;
 pub mod top_c;
 
 pub use bound::{
-    min_support_size_product, point_size_product, ExpectationBound, IncumbentCell, LowerBound,
-    MinSupportBound, PointBound, PruneState,
+    min_support_size_product, point_size_product, BoundCheck, EdgeBound, ExpectationBound,
+    IncumbentCell, LowerBound, MinSupportBound, PointBound, PruneState, SHARP_MARGIN,
 };
 pub use coster::{DynamicExpectationCoster, PhaseCoster, PointCoster, StaticExpectationCoster};
 pub use engine::{
@@ -185,9 +196,10 @@ pub struct SearchStats {
     pub memo_hits: u64,
     /// Memo-eligible DP nodes that combined live (and populated the memo).
     pub memo_misses: u64,
-    /// Connected subsets discarded by the branch-and-bound check before
-    /// their combine/cost loop ran; zero unless
-    /// [`SearchConfig::pruning`] is on and the policy provides a bound.
+    /// Subsets discarded by the branch-and-bound layer before their
+    /// combine/cost loop ran — structurally (disconnected) or by a bound
+    /// tier; zero unless [`SearchConfig::pruning`] is on and the policy
+    /// provides a bound.
     pub pruned_subsets: u64,
     /// Lower-bound size computations performed for prune checks (a
     /// [`SubplanMemo`] hit whose record carries the bound skips the
@@ -196,6 +208,18 @@ pub struct SearchStats {
     /// runs; `pruned_subsets` is schedule-independent always, because a
     /// memoized bound equals the value a recompute would produce).
     pub bound_evals: u64,
+    /// Connected prune checks that escalated to the sharp per-edge tier
+    /// ([`bound::PruneState::sharp_subset_floor`]): the cheap floor
+    /// landed within [`bound::SHARP_MARGIN`] of the incumbent.  The
+    /// tier decision depends only on the subset, its size floor, and
+    /// the level's incumbent, so — unlike `bound_evals` — both tier
+    /// counters are schedule- *and* memo-independent.
+    pub sharp_bound_evals: u64,
+    /// Connected prune checks the cheap tier decided alone (pruned
+    /// outright, or kept with the sharp tier out of reach).  Together
+    /// with `sharp_bound_evals` this counts every connected non-full
+    /// subset checked.
+    pub cheap_bound_skips: u64,
     /// Wall-clock optimization time.
     pub elapsed: Duration,
 }
@@ -212,6 +236,8 @@ impl SearchStats {
         self.memo_misses += other.memo_misses;
         self.pruned_subsets += other.pruned_subsets;
         self.bound_evals += other.bound_evals;
+        self.sharp_bound_evals += other.sharp_bound_evals;
+        self.cheap_bound_skips += other.cheap_bound_skips;
         self.elapsed += other.elapsed;
     }
 
@@ -225,12 +251,14 @@ impl SearchStats {
             "bound_evals": self.bound_evals,
             "cache_hits": self.cache_hits,
             "candidates": self.candidates,
+            "cheap_bound_skips": self.cheap_bound_skips,
             "elapsed_us": self.elapsed.as_secs_f64() * 1e6,
             "evals": self.evals,
             "memo_hits": self.memo_hits,
             "memo_misses": self.memo_misses,
             "nodes": self.nodes,
             "pruned_subsets": self.pruned_subsets,
+            "sharp_bound_evals": self.sharp_bound_evals,
         })
     }
 }

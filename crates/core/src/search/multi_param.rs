@@ -12,8 +12,8 @@
 
 use super::memo::{MemoDistEntry, MemoEntries, MemoOrder, MemoRecord};
 use super::policy::{
-    access_alternatives, insert_entry_shaped, join_output_order, CandidatePolicy, JoinContext,
-    Rankable, RootContext, SearchEntry,
+    access_alternatives, insert_entry_shaped, insert_entry_shaped_lazy, join_output_order,
+    CandidatePolicy, JoinContext, Rankable, RootContext, SearchEntry,
 };
 use super::SearchStats;
 use lec_canon::SubplanForm;
@@ -219,16 +219,14 @@ impl CandidatePolicy for MultiParamPolicy {
                         &self.m_tables,
                         self.par,
                     );
-                    insert_entry_shaped(
-                        model,
-                        into,
-                        DistEntry {
-                            plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),
-                            cost: oe.cost + ie.cost + join_ec,
-                            pages: result_size.clone(),
-                            order: join_output_order(model, ctx.left, oe.order, ctx.right, method),
-                        },
-                    );
+                    let cost = oe.cost + ie.cost + join_ec;
+                    let order = join_output_order(model, ctx.left, oe.order, ctx.right, method);
+                    insert_entry_shaped_lazy(model, into, cost, order, || DistEntry {
+                        plan: PlanNode::join(method, oe.plan.clone(), ie.plan.clone()),
+                        cost,
+                        pages: result_size.clone(),
+                        order,
+                    });
                 }
             }
         }

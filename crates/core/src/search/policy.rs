@@ -217,23 +217,57 @@ pub fn insert_entry_shaped<T: Rankable + SearchEntry>(
     entries: &mut Vec<T>,
     e: T,
 ) {
+    let (cost, order) = (e.rank_cost(), e.rank_order());
+    insert_entry_shaped_lazy(model, entries, cost, order, move || e);
+}
+
+/// [`insert_entry_shaped`] with deferred candidate construction: `make`
+/// runs only when the candidate survives the domination scan on cost and
+/// order alone (or an exact cost tie forces a shape comparison).  The
+/// comparisons and the retained-set mutation are exactly those of
+/// [`insert_entry_shaped`] — `make` must produce an entry whose
+/// [`Rankable`] cost and order equal the `cost`/`order` arguments — so the
+/// kept entries are byte-identical either way.  The point is the combine
+/// hot loop: most join candidates lose on cost immediately, and deferring
+/// construction spares them the deep plan clone (and, for distribution
+/// policies, the size-distribution clone) that dominated dense-graph
+/// search time.
+pub fn insert_entry_shaped_lazy<T: Rankable + SearchEntry>(
+    model: &CostModel<'_>,
+    entries: &mut Vec<T>,
+    cost: f64,
+    order: OrderProperty,
+    make: impl FnOnce() -> T,
+) {
     use std::cmp::Ordering;
-    for f in entries.iter() {
-        if covers(f.rank_order(), e.rank_order()) {
-            if f.rank_cost() < e.rank_cost() {
+    let mut make = Some(make);
+    let mut built: Option<T> = None;
+    for found in entries.iter() {
+        let (f_cost, f_order) = (found.rank_cost(), found.rank_order());
+        if covers(f_order, order) {
+            if f_cost < cost {
                 return;
             }
-            if f.rank_cost() == e.rank_cost() {
+            if f_cost == cost {
                 // A strictly stronger order at equal cost dominates; for
                 // equivalent orders the smaller shape survives.
-                if !covers(e.rank_order(), f.rank_order())
-                    || plan_shape_cmp(model, f.plan(), e.plan()) != Ordering::Greater
-                {
+                if !covers(order, f_order) {
+                    return;
+                }
+                let e = match &built {
+                    Some(e) => e,
+                    None => built.insert(make.take().expect("make is consumed at most once")()),
+                };
+                if plan_shape_cmp(model, found.plan(), e.plan()) != Ordering::Greater {
                     return;
                 }
             }
         }
     }
+    let e = match built {
+        Some(e) => e,
+        None => make.take().expect("make is consumed at most once")(),
+    };
     entries.retain(|f| {
         !(covers(e.rank_order(), f.rank_order())
             && (e.rank_cost() < f.rank_cost()

@@ -657,6 +657,82 @@ proptest! {
                 serial.stats.bound_evals, par.stats.bound_evals,
                 "bound_evals must be schedule-independent (no memo installed)"
             );
+            prop_assert_eq!(
+                serial.stats.sharp_bound_evals, par.stats.sharp_bound_evals,
+                "sharp_bound_evals must be schedule-independent"
+            );
+            prop_assert_eq!(
+                serial.stats.cheap_bound_skips, par.stats.cheap_bound_skips,
+                "cheap_bound_skips must be schedule-independent"
+            );
+        }
+    }
+
+    /// Tentpole admissibility, at the per-edge layer: every
+    /// [`EdgeBound`]'s intermediate-size floor is at or below the
+    /// *realized* output size of that base join under **every** memory
+    /// bucket of the operand-size and selectivity distributions and both
+    /// operand orders — the invariant that makes the sharp subset floor
+    /// safe.  The tiered counters the sharp layer feeds are then pinned
+    /// schedule-independent at 1, 2 and 4 threads.
+    #[test]
+    fn per_edge_size_bounds_are_admissible(
+        seed in 0u64..4000,
+        n in 3usize..7,
+        center in 60.0f64..2500.0,
+        spread in 0.1f64..0.9,
+        b in 2usize..6,
+    ) {
+        use lec_core::search::{PlanShape, PruneState, StaticExpectationCoster};
+        use lec_cost::formulas::MIN_PAGES;
+        use lec_plan::TableSet;
+
+        let (cat, q) = workload(seed, n);
+        let memory = presets::spread_family(center, spread, b).unwrap();
+        let model = CostModel::new(&cat, &q);
+        let bound = StaticExpectationCoster::new(&memory)
+            .pruning_bound()
+            .expect("alg_c is prune-eligible");
+        let ps = PruneState::new(&model, PlanShape::LeftDeep, bound, vec![0.0; n]);
+
+        for eb in ps.edge_bounds() {
+            for order in [(eb.u, eb.v), (eb.v, eb.u)] {
+                let (x, y) = order;
+                let px = model.base_pages_dist(x);
+                let py = model.base_pages_dist(y);
+                let sel = model.join_selectivity_dist_sets(
+                    TableSet::singleton(x),
+                    TableSet::singleton(y),
+                );
+                for &pxv in px.support() {
+                    for &pyv in py.support() {
+                        for &sv in sel.support() {
+                            let realized = (pxv * pyv * sv).max(MIN_PAGES);
+                            prop_assert!(
+                                eb.size_floor <= realized + 1e-9,
+                                "edge ({},{}): size floor {} exceeds realized {} \
+                                 (pages {}x{}, sel {})",
+                                eb.u, eb.v, eb.size_floor, realized, pxv, pyv, sv
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // The sharp layer's counters are schedule-independent.
+        let serial_model = CostModel::new(&cat, &q);
+        let serial = optimize_lec_static_with(
+            &serial_model, &memory, &SearchConfig::serial().with_pruning(true),
+        ).unwrap();
+        for threads in [2usize, 4] {
+            let par_model = CostModel::new(&cat, &q);
+            let par = optimize_lec_static_with(
+                &par_model, &memory, &forced(threads).with_pruning(true),
+            ).unwrap();
+            prop_assert_eq!(serial.stats.sharp_bound_evals, par.stats.sharp_bound_evals);
+            prop_assert_eq!(serial.stats.cheap_bound_skips, par.stats.cheap_bound_skips);
+            prop_assert_eq!(serial.stats.pruned_subsets, par.stats.pruned_subsets);
         }
     }
 
@@ -706,7 +782,12 @@ proptest! {
         for (name, bound, outcome) in cases {
             // Zero access floors keep the state admissible a fortiori;
             // the size product and join floors are the load-bearing part.
-            let ps = PruneState::new(bound.expect("coster is prune-eligible"), vec![0.0; n]);
+            let ps = PruneState::new(
+                &model,
+                lec_core::search::PlanShape::LeftDeep,
+                bound.expect("coster is prune-eligible"),
+                vec![0.0; n],
+            );
             let mut sets = Vec::new();
             subtree_sets(&outcome.plan, &mut sets);
             for set in sets {
@@ -759,6 +840,8 @@ fn pruning_fixtures_prune_without_changing_answers() {
             assert_identical("pruning-fixture", threads, &serial, &par);
             assert_eq!(serial.stats.pruned_subsets, par.stats.pruned_subsets);
             assert_eq!(serial.stats.bound_evals, par.stats.bound_evals);
+            assert_eq!(serial.stats.sharp_bound_evals, par.stats.sharp_bound_evals);
+            assert_eq!(serial.stats.cheap_bound_skips, par.stats.cheap_bound_skips);
         }
     }
 }

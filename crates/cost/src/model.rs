@@ -41,9 +41,9 @@ enum EvalOp {
 }
 
 impl EvalOp {
-    /// Whether this operator's cached compute closure re-enters the cache
-    /// through the *point* tier (see [`ShardedEvalCache`] for why the two
-    /// tiers keep separate shard arrays).
+    /// Whether this operator lives in the *expectation* tier of the cache
+    /// (see [`ShardedEvalCache`] for why the two tiers keep separate shard
+    /// arrays).
     fn is_expectation(self) -> bool {
         !matches!(self, EvalOp::Join(_) | EvalOp::Sort)
     }
@@ -101,16 +101,19 @@ const EVAL_SHARDS: usize = 32;
 /// The thread-safe evaluation cache: two arrays of `Mutex`-guarded map
 /// shards, selected by the FxHash of the [`EvalKey`].
 ///
-/// Two tiers, not one, because cached computes *nest*: an expectation
-/// entry's compute closure (`Σ_bucket join_cost_for(..)`) re-enters the
-/// cache for every per-bucket point evaluation.  Shard locks are held for
-/// the whole compute — that is what makes every key evaluate **exactly
-/// once** even under concurrency, keeping [`CostModel::evals`] identical
-/// between serial and parallel searches — so a single shard array could
-/// self-deadlock when an expectation key and one of its point keys hash to
-/// the same shard.  With separate tiers the lock order is strictly
-/// `expectation → point` and point computes take no locks at all, so no
-/// cycle is possible.
+/// Shard locks are held for the whole compute of a miss — that is what
+/// makes every key evaluate **exactly once** even under concurrency,
+/// keeping [`CostModel::evals`] identical between serial and parallel
+/// searches.  Point and expectation keys live in separate tiers so the
+/// two workloads never contend: the point tier serves the classical
+/// point-coster's per-candidate probes, the expectation tier the whole
+/// `b`-bucket expectations of Algorithms C/D.  An expectation miss
+/// evaluates its buckets through the raw formulas rather than the point
+/// tier — per-bucket values of a `b`-bucket expectation are never probed
+/// individually again, so memoizing them one by one was pure write
+/// traffic (it grew the cache by `b` locked inserts per miss and
+/// dominated dense-search wall time), and computing them directly charges
+/// the same `b` formula evaluations while taking no nested locks.
 struct ShardedEvalCache {
     point: [Mutex<EvalMap>; EVAL_SHARDS],
     expectation: [Mutex<EvalMap>; EVAL_SHARDS],
@@ -224,18 +227,24 @@ fn parallel_bucket_expectation(
 }
 
 /// Memoization key for one memory-dependent operator evaluation: the
-/// operand table sets, the operator, the memory bucket, and the exact
-/// operand sizes (point pages or distribution fingerprints).
+/// operator, the memory ingredient (bucket value or distribution
+/// fingerprint), and the exact operand sizes (point pages or distribution
+/// fingerprints).
 ///
-/// The sets alone *almost* determine the sizes — intermediate page counts
-/// are order-independent products — but the one-page clamp in
+/// The key is exactly the tuple the cost formulas read — and nothing
+/// more.  Every compute behind [`CostModel::cached`] is a pure function
+/// of `(op, mem, outer, inner)`; the operand *table sets* never enter a
+/// formula, so keying on them would only relabel identical computations
+/// as distinct.  On dense join graphs the distinction is enormous: a
+/// 15-table star probes ~900k `(sets, sizes)` pairs but only a few
+/// thousand distinct `(sizes)` tuples — set-free keys turn the cache
+/// from a net loss (insert traffic, hash pressure) into a ~99% hit rate.
+/// The sizes must participate, though: the one-page clamp in
 /// `join_output_pages` can make entries of the same subset built through
-/// different splits carry different sizes, so the sizes participate in the
-/// key and the cache is exact rather than approximate.
+/// different splits carry different sizes, so sizes — not sets — are
+/// what keeps the cache exact rather than approximate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct EvalKey {
-    left: u64,
-    right: u64,
     op: EvalOp,
     mem: u64,
     outer: u64,
@@ -287,11 +296,7 @@ impl ProbeOp {
 /// entries below.  Replaying a node's log therefore touches the cache with
 /// exactly the multiset of keys the live combine would have — which is
 /// what keeps `evals`/`cache_hits` byte-identical when the subplan memo
-/// skips the combine itself.  Per-bucket values for the `*Over` operators
-/// ride along so a replay miss can seed the point tier without
-/// re-evaluating any cost formula (the evaluation counter is still charged
-/// by [`CostModel::replay_probes`], since a memo-off run would have paid
-/// it).
+/// skips the combine itself.
 #[derive(Debug, Clone)]
 pub struct CostProbe {
     /// Left operand table-set bits (relabeled by the replayer).
@@ -309,23 +314,15 @@ pub struct CostProbe {
     pub inner: u64,
     /// The probe's value.
     pub value: f64,
-    /// Formula evaluations the original compute performed *directly*
-    /// (nested per-bucket evaluations are accounted through `buckets`).
+    /// Formula evaluations the original compute performed on a miss (one
+    /// for point ops, the per-bucket count for expectation ops), charged
+    /// again by a replay miss.
     pub direct_evals: u64,
-    /// Per-bucket `(memory bits, point value)` pairs for the `*Over`
-    /// operators; empty otherwise.
-    pub buckets: Box<[(u64, f64)]>,
 }
 
-/// One thread's probe log plus the expectation keys already recorded
-/// *with* nested bucket values in this log.  Only a key's first
-/// occurrence needs buckets: replay walks the log in order, so by the
-/// time a repeat is replayed the key is guaranteed cached (hit, buckets
-/// unused) — and skipping the repeat's per-bucket peeks keeps recording
-/// off the lock-heavy path for the common repeated-candidate case.
+/// One thread's probe log.
 struct ProbeLogState {
     probes: Vec<CostProbe>,
-    bucketed: std::collections::HashSet<[u64; 6]>,
 }
 
 thread_local! {
@@ -369,29 +366,6 @@ impl Drop for ProbeRecording {
     }
 }
 
-/// Masks [`PROBE_ACTIVE`] for the duration of an expectation compute and
-/// restores the previous state on drop (suppressions nest trivially: a
-/// masked flag stays false).
-struct SuppressGuard {
-    was_active: bool,
-}
-
-impl SuppressGuard {
-    fn new() -> Self {
-        SuppressGuard {
-            was_active: PROBE_ACTIVE.with(|f| f.replace(false)),
-        }
-    }
-}
-
-impl Drop for SuppressGuard {
-    fn drop(&mut self) {
-        if self.was_active {
-            PROBE_ACTIVE.with(|f| f.set(true));
-        }
-    }
-}
-
 fn probe_log_active() -> bool {
     PROBE_ACTIVE.with(|f| f.get())
 }
@@ -402,17 +376,6 @@ fn push_probe(probe: CostProbe) {
             state.probes.push(probe);
         }
     });
-}
-
-/// Record that buckets for this expectation key are being captured now;
-/// returns false when an earlier probe in this log already carries them.
-/// The key carries every field of the cache key (op tag included) so two
-/// methods or operand sizes never share a bucket record.
-fn probe_needs_buckets(key: [u64; 6]) -> bool {
-    PROBE_LOG.with(|log| match log.borrow_mut().as_mut() {
-        Some(state) => state.bucketed.insert(key),
-        None => false,
-    })
 }
 
 /// An incremental 64-bit FNV-1a fingerprint over exact bit patterns: the
@@ -740,13 +703,6 @@ impl<'a> CostModel<'a> {
         v
     }
 
-    /// Non-counting cache read: neither the evaluation counter nor the hit
-    /// counter moves.  Used by probe recording to collect the per-bucket
-    /// values an expectation entry's compute left in the point tier.
-    fn peek(&self, key: &EvalKey) -> Option<f64> {
-        self.eval_cache.shard(key).get(key).copied()
-    }
-
     // ---- probe recording and replay -------------------------------------
 
     /// Start recording this thread's candidate-level cache probes (the
@@ -756,12 +712,7 @@ impl<'a> CostModel<'a> {
     /// log in its subplan memo; [`CostModel::replay_probes`] later applies
     /// the log to another query's cache.
     pub fn begin_probe_log(&self) -> ProbeRecording {
-        PROBE_LOG.with(|log| {
-            *log.borrow_mut() = Some(ProbeLogState {
-                probes: Vec::new(),
-                bucketed: std::collections::HashSet::new(),
-            })
-        });
+        PROBE_LOG.with(|log| *log.borrow_mut() = Some(ProbeLogState { probes: Vec::new() }));
         PROBE_ACTIVE.with(|f| f.set(true));
         ProbeRecording { _private: () }
     }
@@ -771,27 +722,24 @@ impl<'a> CostModel<'a> {
     ///
     /// Per probe: a key already cached scores one cache hit, exactly as
     /// the live probe would.  A key not yet cached is *seeded* with the
-    /// recorded value and the evaluation counter is charged with the work
-    /// the live compute would have performed — the recorded
-    /// `direct_evals`, plus one per-bucket touch of the point tier for the
-    /// `*Over` operators (each bucket key scoring a hit or an eval of its
-    /// own, again exactly as the live compute's nested probes would).
-    /// Every value seeded this way is a pure function of its key, so later
-    /// live probes that hit it read the same bits a live compute would
-    /// have produced.  Totals over a whole search are therefore identical
-    /// to a memo-off run: each distinct key is charged exactly once, and
-    /// the probe multiset is the same.
-    ///
-    /// Lock discipline matches the live path: an expectation-tier shard is
-    /// held while the point tier is touched, never the reverse.
+    /// recorded value and the evaluation counter is charged with the
+    /// recorded `direct_evals` — the formula work the live compute would
+    /// have performed.  Every value seeded this way is a pure function of
+    /// its key, so later live probes that hit it read the same bits a live
+    /// compute would have produced.  Totals over a whole search are
+    /// therefore identical to a memo-off run: each distinct key is charged
+    /// exactly once, and the probe multiset is the same.
     pub fn replay_probes(&self, probes: &[CostProbe], map: impl Fn(u64) -> u64) {
         if !self.cache_enabled.load(Ordering::Relaxed) {
             return;
         }
         for p in probes {
+            // Cache keys are set-free ([`EvalKey`]), so the relabeling
+            // only matters to callers that surface the probe's table sets;
+            // the cache effects of a replayed probe are identical under
+            // any relabeling.
+            let _ = map(p.left);
             let key = EvalKey {
-                left: map(p.left),
-                right: map(p.right),
                 op: p.op.eval_op(),
                 mem: p.mem,
                 outer: p.outer,
@@ -802,41 +750,14 @@ impl<'a> CostModel<'a> {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
                 continue;
             }
-            let nested_op = match p.op {
-                ProbeOp::ExpectedJoinOver(m) => Some(EvalOp::Join(m)),
-                ProbeOp::ExpectedSortOver => Some(EvalOp::Sort),
-                _ => None,
-            };
-            if let Some(op) = nested_op {
-                for &(mem, value) in p.buckets.iter() {
-                    let bkey = EvalKey {
-                        left: key.left,
-                        right: key.right,
-                        op,
-                        mem,
-                        outer: p.outer,
-                        inner: p.inner,
-                    };
-                    let mut bshard = self.eval_cache.shard(&bkey);
-                    match bshard.entry(bkey) {
-                        std::collections::hash_map::Entry::Occupied(_) => {
-                            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                        }
-                        std::collections::hash_map::Entry::Vacant(slot) => {
-                            slot.insert(value);
-                            self.evals.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                }
-            }
             self.evals.fetch_add(p.direct_evals, Ordering::Relaxed);
             shard.insert(key, p.value);
         }
     }
 
-    /// [`CostModel::join_cost`] memoized under
-    /// `(left, right, method, m, sizes)` — the per-bucket evaluation unit
-    /// of Algorithms B/C.
+    /// [`CostModel::join_cost`] memoized under `(method, m, sizes)` — the
+    /// per-bucket evaluation unit of Algorithms B/C.  The operand sets
+    /// feed the probe log only; the cache key is set-free ([`EvalKey`]).
     #[allow(clippy::too_many_arguments)]
     pub fn join_cost_for(
         &self,
@@ -848,8 +769,6 @@ impl<'a> CostModel<'a> {
         m: f64,
     ) -> f64 {
         let key = EvalKey {
-            left: left.bits(),
-            right: right.bits(),
             op: EvalOp::Join(method),
             mem: m.to_bits(),
             outer: outer.to_bits(),
@@ -858,25 +777,22 @@ impl<'a> CostModel<'a> {
         let v = self.cached(key, || self.join_cost(method, outer, inner, m));
         if probe_log_active() {
             push_probe(CostProbe {
-                left: key.left,
-                right: key.right,
+                left: left.bits(),
+                right: right.bits(),
                 op: ProbeOp::Join(method),
                 mem: key.mem,
                 outer: key.outer,
                 inner: key.inner,
                 value: v,
                 direct_evals: 1,
-                buckets: Box::new([]),
             });
         }
         v
     }
 
-    /// [`CostModel::sort_cost`] memoized under `(set, m, pages)`.
+    /// [`CostModel::sort_cost`] memoized under `(m, pages)`.
     pub fn sort_cost_for(&self, set: TableSet, pages: f64, m: f64) -> f64 {
         let key = EvalKey {
-            left: set.bits(),
-            right: 0,
             op: EvalOp::Sort,
             mem: m.to_bits(),
             outer: pages.to_bits(),
@@ -885,7 +801,7 @@ impl<'a> CostModel<'a> {
         let v = self.cached(key, || self.sort_cost(pages, m));
         if probe_log_active() {
             push_probe(CostProbe {
-                left: key.left,
+                left: set.bits(),
                 right: 0,
                 op: ProbeOp::Sort,
                 mem: key.mem,
@@ -893,7 +809,6 @@ impl<'a> CostModel<'a> {
                 inner: 0,
                 value: v,
                 direct_evals: 1,
-                buckets: Box::new([]),
             });
         }
         v
@@ -904,8 +819,9 @@ impl<'a> CostModel<'a> {
     /// as one cache entry.  `mem_fp` is the distribution's
     /// [`dist_fingerprint`], precomputed by the caller so the hot path
     /// never rehashes the distribution.  On a miss the per-bucket
-    /// evaluations flow through [`CostModel::join_cost_for`], so the
-    /// per-bucket cache stays shared with every other coster.
+    /// evaluations compute through the raw formulas (each one counted, per
+    /// §3.4's "b evaluations of the cost formula") without touching the
+    /// point tier — see [`ShardedEvalCache`].
     #[allow(clippy::too_many_arguments)]
     pub fn expected_join_cost_over(
         &self,
@@ -946,67 +862,29 @@ impl<'a> CostModel<'a> {
         par: BucketParallelism,
     ) -> f64 {
         let key = EvalKey {
-            left: left.bits(),
-            right: right.bits(),
             op: EvalOp::ExpectedJoinOver(method),
             mem: mem_fp,
             outer: outer.to_bits(),
             inner: inner.to_bits(),
         };
-        let record = probe_log_active();
-        let v = {
-            // Nested per-bucket probes are the parent's to account for.
-            let _nested = SuppressGuard::new();
-            self.cached(key, || {
-                let per_bucket = |m: f64| self.join_cost_for(left, right, method, outer, inner, m);
-                if par.active_for(memory.len() as u64) {
-                    parallel_bucket_expectation(memory, par.threads, per_bucket)
-                } else {
-                    memory.expect(per_bucket)
-                }
-            })
-        };
-        if record {
-            // Whether the call above hit or missed, its compute ran once
-            // this search, so every bucket's point value is in the cache.
-            // Only a key's first probe in this log carries the bucket
-            // values — replay handles repeats as guaranteed hits.
-            let buckets: Box<[(u64, f64)]> = if probe_needs_buckets([
-                key.left,
-                key.right,
-                1 + method as u64,
-                mem_fp,
-                key.outer,
-                key.inner,
-            ]) {
-                memory
-                    .support()
-                    .iter()
-                    .map(|&m| {
-                        let bkey = EvalKey {
-                            mem: m.to_bits(),
-                            op: EvalOp::Join(method),
-                            ..key
-                        };
-                        let bv = self
-                            .peek(&bkey)
-                            .unwrap_or_else(|| formulas::raw_join_cost(method, outer, inner, m));
-                        (m.to_bits(), bv)
-                    })
-                    .collect()
+        let v = self.cached(key, || {
+            let per_bucket = |m: f64| self.join_cost(method, outer, inner, m);
+            if par.active_for(memory.len() as u64) {
+                parallel_bucket_expectation(memory, par.threads, per_bucket)
             } else {
-                Box::new([])
-            };
+                memory.expect(per_bucket)
+            }
+        });
+        if probe_log_active() {
             push_probe(CostProbe {
-                left: key.left,
-                right: key.right,
+                left: left.bits(),
+                right: right.bits(),
                 op: ProbeOp::ExpectedJoinOver(method),
                 mem: mem_fp,
                 outer: key.outer,
                 inner: key.inner,
                 value: v,
-                direct_evals: 0,
-                buckets,
+                direct_evals: memory.len() as u64,
             });
         }
         v
@@ -1035,63 +913,36 @@ impl<'a> CostModel<'a> {
         par: BucketParallelism,
     ) -> f64 {
         let key = EvalKey {
-            left: set.bits(),
-            right: 0,
             op: EvalOp::ExpectedSortOver,
             mem: mem_fp,
             outer: pages.to_bits(),
             inner: 0,
         };
-        let record = probe_log_active();
-        let v = {
-            let _nested = SuppressGuard::new();
-            self.cached(key, || {
-                let per_bucket = |m: f64| self.sort_cost_for(set, pages, m);
-                if par.active_for(memory.len() as u64) {
-                    parallel_bucket_expectation(memory, par.threads, per_bucket)
-                } else {
-                    memory.expect(per_bucket)
-                }
-            })
-        };
-        if record {
-            let buckets: Box<[(u64, f64)]> =
-                if probe_needs_buckets([key.left, 0, 0, mem_fp, key.outer, 0]) {
-                    memory
-                        .support()
-                        .iter()
-                        .map(|&m| {
-                            let bkey = EvalKey {
-                                mem: m.to_bits(),
-                                op: EvalOp::Sort,
-                                ..key
-                            };
-                            let bv = self
-                                .peek(&bkey)
-                                .unwrap_or_else(|| formulas::sort_cost(pages, m));
-                            (m.to_bits(), bv)
-                        })
-                        .collect()
-                } else {
-                    Box::new([])
-                };
+        let v = self.cached(key, || {
+            let per_bucket = |m: f64| self.sort_cost(pages, m);
+            if par.active_for(memory.len() as u64) {
+                parallel_bucket_expectation(memory, par.threads, per_bucket)
+            } else {
+                memory.expect(per_bucket)
+            }
+        });
+        if probe_log_active() {
             push_probe(CostProbe {
-                left: key.left,
+                left: set.bits(),
                 right: 0,
                 op: ProbeOp::ExpectedSortOver,
                 mem: mem_fp,
                 outer: key.outer,
                 inner: 0,
                 value: v,
-                direct_evals: 0,
-                buckets,
+                direct_evals: memory.len() as u64,
             });
         }
         v
     }
 
     /// Expected join cost over size and memory distributions (Algorithm
-    /// D's per-method costing step), memoized under the operand sets and
+    /// D's per-method costing step), memoized under the method and the
     /// distribution fingerprints.  `m_fp` is the memory distribution's
     /// [`dist_fingerprint`], precomputed by the caller — the memory
     /// distribution is constant for a whole run, so the hot path never
@@ -1144,8 +995,6 @@ impl<'a> CostModel<'a> {
         par: BucketParallelism,
     ) -> f64 {
         let key = EvalKey {
-            left: left.bits(),
-            right: right.bits(),
             op: EvalOp::ExpectedJoin(method),
             mem: m_fp,
             outer: dist_fingerprint(a_dist),
@@ -1179,15 +1028,14 @@ impl<'a> CostModel<'a> {
                 _ => (a_dist.len() + b_dist.len()) as u64,
             };
             push_probe(CostProbe {
-                left: key.left,
-                right: key.right,
+                left: left.bits(),
+                right: right.bits(),
                 op: ProbeOp::ExpectedJoin(method),
                 mem: m_fp,
                 outer: key.outer,
                 inner: key.inner,
                 value: v,
                 direct_evals,
-                buckets: Box::new([]),
             });
         }
         v
@@ -1203,8 +1051,6 @@ impl<'a> CostModel<'a> {
         m_tables: &PrefixTables,
     ) -> f64 {
         let key = EvalKey {
-            left: set.bits(),
-            right: 0,
             op: EvalOp::ExpectedSort,
             mem: m_fp,
             outer: dist_fingerprint(r_dist),
@@ -1216,7 +1062,7 @@ impl<'a> CostModel<'a> {
         });
         if probe_log_active() {
             push_probe(CostProbe {
-                left: key.left,
+                left: set.bits(),
                 right: 0,
                 op: ProbeOp::ExpectedSort,
                 mem: m_fp,
@@ -1224,7 +1070,6 @@ impl<'a> CostModel<'a> {
                 inner: 0,
                 value: v,
                 direct_evals: r_dist.len() as u64,
-                buckets: Box::new([]),
             });
         }
         v

@@ -204,6 +204,11 @@ pub struct ConcurrentPlanServer<'a> {
     pruned_subsets: AtomicU64,
     /// Lifetime total of lower-bound evaluations across fresh searches.
     bound_evals: AtomicU64,
+    /// Lifetime total of sharp per-edge bound evaluations (tiered checks
+    /// that escalated past the cheap universal floor).
+    sharp_bound_evals: AtomicU64,
+    /// Lifetime total of tiered checks settled by the cheap floor alone.
+    cheap_bound_skips: AtomicU64,
     /// Observability surface ([`lec_telemetry::Telemetry`]): outcome
     /// latency histograms recorded on every serve, engine histograms
     /// installed into the optimizer, trace ring + slow log fed by traced
@@ -247,6 +252,8 @@ impl<'a> ConcurrentPlanServer<'a> {
             search_fp,
             pruned_subsets: AtomicU64::new(0),
             bound_evals: AtomicU64::new(0),
+            sharp_bound_evals: AtomicU64::new(0),
+            cheap_bound_skips: AtomicU64::new(0),
             telemetry: None,
         }
     }
@@ -274,6 +281,10 @@ impl<'a> ConcurrentPlanServer<'a> {
             .fetch_add(stats.pruned_subsets, Ordering::Relaxed);
         self.bound_evals
             .fetch_add(stats.bound_evals, Ordering::Relaxed);
+        self.sharp_bound_evals
+            .fetch_add(stats.sharp_bound_evals, Ordering::Relaxed);
+        self.cheap_bound_skips
+            .fetch_add(stats.cheap_bound_skips, Ordering::Relaxed);
     }
 
     /// The optimizer answering cache misses.
@@ -592,6 +603,8 @@ impl<'a> ConcurrentPlanServer<'a> {
             "pruning": {
                 "pruned_subsets": self.pruned_subsets.load(Ordering::Relaxed),
                 "bound_evals": self.bound_evals.load(Ordering::Relaxed),
+                "sharp_bound_evals": self.sharp_bound_evals.load(Ordering::Relaxed),
+                "cheap_bound_skips": self.cheap_bound_skips.load(Ordering::Relaxed),
             },
             "telemetry": match &self.telemetry {
                 Some(t) => t.snapshot_json(),
@@ -738,6 +751,18 @@ mod tests {
         assert_eq!(
             v["pruning"]["bound_evals"].as_f64(),
             Some(resp.stats.bound_evals as f64)
+        );
+        assert_eq!(
+            v["pruning"]["sharp_bound_evals"].as_f64(),
+            Some(resp.stats.sharp_bound_evals as f64)
+        );
+        assert_eq!(
+            v["pruning"]["cheap_bound_skips"].as_f64(),
+            Some(resp.stats.cheap_bound_skips as f64)
+        );
+        assert!(
+            resp.stats.sharp_bound_evals + resp.stats.cheap_bound_skips > 0,
+            "the tiered check must have run"
         );
 
         // An oversize query lands in the size-cap bucket.

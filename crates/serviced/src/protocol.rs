@@ -674,6 +674,8 @@ fn encode_stats(w: &mut Writer, s: &SearchStats) {
     w.u64(s.memo_misses);
     w.u64(s.pruned_subsets);
     w.u64(s.bound_evals);
+    w.u64(s.sharp_bound_evals);
+    w.u64(s.cheap_bound_skips);
     w.u64(s.elapsed.as_nanos() as u64);
 }
 
@@ -687,6 +689,8 @@ fn decode_stats(r: &mut Reader) -> Result<SearchStats, DecodeError> {
         memo_misses: r.u64()?,
         pruned_subsets: r.u64()?,
         bound_evals: r.u64()?,
+        sharp_bound_evals: r.u64()?,
+        cheap_bound_skips: r.u64()?,
         elapsed: Duration::from_nanos(r.u64()?),
     })
 }

@@ -5,8 +5,8 @@
 //! spans with decode and flush, and the drain report's flattened
 //! counters must carry the telemetry snapshot under its namespace.
 
-use lec_core::Mode;
-use lec_service::ConcurrentPlanServer;
+use lec_core::{Mode, Optimizer, SearchConfig};
+use lec_service::{ConcurrentPlanServer, DEFAULT_CACHE_CAPACITY};
 use lec_serviced::transport::PipeListener;
 use lec_serviced::{Client, Daemon, DaemonConfig, StatsFormat};
 use lec_telemetry::{parse_prometheus, Outcome, Stage, Telemetry};
@@ -89,4 +89,53 @@ fn stats_cross_the_wire_and_agree_with_in_process_snapshots() {
             .iter()
             .any(|(k, v)| k == "service.telemetry.latency.served.count" && *v == 1.0));
     });
+}
+
+/// The `pruning` section's wire bytes are pinned: keys sorted, and —
+/// because every bound counter is schedule-independent — the values of a
+/// single fresh pruned search are deterministic, so the whole object can
+/// be matched as a literal substring of the STATS payload.
+#[test]
+fn pruning_counters_cross_the_wire_with_pinned_sorted_keys() {
+    let (cat, q) = lec_core::fixtures::pruning_star(9);
+    let memory = lec_prob::presets::spread_family(400.0, 0.5, 4).unwrap();
+    let server = ConcurrentPlanServer::with_optimizer(
+        Optimizer::new(&cat, memory).with_search_config(SearchConfig::default().with_pruning(true)),
+        DEFAULT_CACHE_CAPACITY,
+    );
+    let daemon = Daemon::new(&server, DaemonConfig::default());
+    let listener = PipeListener::new();
+
+    // Collect inside the scope, assert only after it: a failed assert
+    // before the drain would leave the daemon thread alive and turn a
+    // test failure into a hang.
+    let (resp, wire_json) = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| daemon.run(&listener));
+        let mut client = Client::new(Box::new(listener.connect()), 7);
+        let resp = client
+            .optimize(1, &Mode::AlgorithmC, &q)
+            .expect("pruned search");
+        let wire_json = client.stats(StatsFormat::Json).expect("stats json");
+        client.drain().expect("drain");
+        runner.join().expect("daemon thread");
+        (resp, wire_json)
+    });
+
+    assert!(resp.stats.pruned_subsets > 0, "the star must prune");
+    assert!(
+        resp.stats.sharp_bound_evals + resp.stats.cheap_bound_skips > 0,
+        "the tiered check must have run"
+    );
+    let pinned = format!(
+        "\"pruning\": {{\"bound_evals\": {}, \"cheap_bound_skips\": {}, \
+         \"pruned_subsets\": {}, \"sharp_bound_evals\": {}}}",
+        resp.stats.bound_evals,
+        resp.stats.cheap_bound_skips,
+        resp.stats.pruned_subsets,
+        resp.stats.sharp_bound_evals,
+    );
+    assert!(
+        wire_json.contains(&pinned),
+        "wire snapshot lost the pinned pruning section\n  want: {pinned}\n  got:  {wire_json}"
+    );
 }

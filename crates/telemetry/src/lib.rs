@@ -123,8 +123,31 @@ impl TelemetryConfig {
     }
 }
 
+/// One DP level's pruning activity, recorded by the search drivers at the
+/// level barrier: how many subsets the level discarded and how the tiered
+/// bound evaluation split between the sharp per-edge floor and the cheap
+/// universal one.  Deltas of the schedule-independent `SearchStats`
+/// counters, so serial and parallel searches record identical traces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelPrune {
+    /// DP level (subset size `k`).
+    pub level: u32,
+    /// Subsets this level discarded (structurally or by a bound tier).
+    pub pruned_subsets: u64,
+    /// Checks that escalated to the sharp per-edge floor.
+    pub sharp_bound_evals: u64,
+    /// Checks the cheap universal floor decided alone.
+    pub cheap_bound_skips: u64,
+}
+
+/// Levels retained in [`EngineTelemetry::level_prunes`]; beyond this the
+/// oldest entries are dropped so a long-lived serving process stays
+/// bounded.
+pub const MAX_LEVEL_PRUNES: usize = 64;
+
 /// Engine-internal timing histograms, shared with `lec-core` / `lec-cost`
-/// via `Arc`. All methods are lock-free.
+/// via `Arc`. All methods are lock-free except the per-level prune trace,
+/// which takes a short mutex once per DP level.
 #[derive(Debug, Default)]
 pub struct EngineTelemetry {
     /// Wall time of each DP level (combine pass over all subsets of size k).
@@ -135,14 +158,47 @@ pub struct EngineTelemetry {
     pub bound_eval_ns: Histogram,
     /// Cost-model expectation-evaluation compute time (cache misses only).
     pub eval_compute_ns: Histogram,
+    /// Per-level prune trace, newest last (bounded by
+    /// [`MAX_LEVEL_PRUNES`], drop-oldest).
+    level_prunes: std::sync::Mutex<Vec<LevelPrune>>,
 }
 
 impl EngineTelemetry {
+    /// Append one level's pruning record (driver barrier; once per level).
+    pub fn record_level_prune(&self, rec: LevelPrune) {
+        let mut prunes = self.level_prunes.lock().unwrap_or_else(|p| p.into_inner());
+        if prunes.len() >= MAX_LEVEL_PRUNES {
+            prunes.remove(0);
+        }
+        prunes.push(rec);
+    }
+
+    /// The retained per-level prune trace, oldest first.
+    pub fn level_prunes(&self) -> Vec<LevelPrune> {
+        self.level_prunes
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
     pub fn to_json(&self) -> Value {
+        let levels: Vec<Value> = self
+            .level_prunes()
+            .iter()
+            .map(|l| {
+                json!({
+                    "cheap_bound_skips": l.cheap_bound_skips,
+                    "level": l.level,
+                    "pruned_subsets": l.pruned_subsets,
+                    "sharp_bound_evals": l.sharp_bound_evals,
+                })
+            })
+            .collect();
         json!({
             "bound_eval": self.bound_eval_ns.snapshot().to_json(),
             "eval_compute": self.eval_compute_ns.snapshot().to_json(),
             "level_combine": self.level_combine_ns.snapshot().to_json(),
+            "level_prunes": levels,
             "memo_probe": self.memo_probe_ns.snapshot().to_json(),
         })
         .sorted()

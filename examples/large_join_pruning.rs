@@ -1,6 +1,6 @@
 //! Breaking the table-count ceilings with branch-and-bound pruning.
 //!
-//! Two ceilings fall in this demo:
+//! Three ceilings fall in this demo:
 //!
 //! 1. The *exhaustive verifier* refuses anything past 7 tables (or one
 //!    million materialized plans) because plain keep-all holds every plan
@@ -12,17 +12,27 @@
 //! 2. On a 15-table star, pruned keep-best discards whole connected
 //!    subsets before their combine/cost loops: every subset that combines
 //!    two expansive spokes without enough reductive ones carries an
-//!    admissible size floor far above the incumbent.  The answer is
-//!    byte-identical to the unpruned search — pruning only skips work
-//!    that could not have changed it.
+//!    admissible size floor far above the incumbent.  The per-level trace
+//!    shows where the discards land and how often the tiered check
+//!    escalated from the cheap universal floor to the sharp per-edge one.
+//!    The answer is byte-identical to the unpruned search — pruning only
+//!    skips work that could not have changed it.
+//!
+//! 3. A 12-table *clique* — every pair joined, so every subset of every
+//!    size is connected and the structural disconnected-subset discard
+//!    never fires — completes under pruned keep-best with the bound tiers
+//!    doing all the work.
 //!
 //! Run with `cargo run --release --example large_join_pruning`.
 
-use lec_core::fixtures::{pruning_chain, pruning_star};
+use std::sync::Arc;
+
+use lec_core::fixtures::{pruning_chain, pruning_clique, pruning_star};
 use lec_core::{
     exhaustive_best, exhaustive_best_with, optimize_lec_static_with, Objective, SearchConfig,
 };
 use lec_cost::CostModel;
+use lec_telemetry::EngineTelemetry;
 
 fn main() {
     let memory = lec_prob::presets::spread_family(400.0, 0.5, 4).unwrap();
@@ -64,7 +74,9 @@ fn main() {
     let model = CostModel::new(&cat, &q);
     let unpruned = optimize_lec_static_with(&model, &memory, &SearchConfig::default())
         .expect("unpruned keep-best");
-    let fast = optimize_lec_static_with(&model, &memory, &pruned).expect("pruned keep-best");
+    let engine = Arc::new(EngineTelemetry::default());
+    let traced = pruned.clone().with_telemetry(engine.clone());
+    let fast = optimize_lec_static_with(&model, &memory, &traced).expect("pruned keep-best");
     println!(
         "15-table star, unpruned keep-best: cost {:.0}, {} nodes, {} candidates",
         unpruned.cost, unpruned.stats.nodes, unpruned.stats.candidates,
@@ -72,6 +84,22 @@ fn main() {
     println!(
         "15-table star, pruned keep-best:   cost {:.0}, {} nodes, {} candidates, {} subsets pruned",
         fast.cost, fast.stats.nodes, fast.stats.candidates, fast.stats.pruned_subsets,
+    );
+    println!(
+        "  bound tiers: {} sharp per-edge evals, {} cheap-floor-only checks",
+        fast.stats.sharp_bound_evals, fast.stats.cheap_bound_skips,
+    );
+    println!("  level  pruned  sharp  cheap");
+    for l in engine.level_prunes() {
+        println!(
+            "  {:>5}  {:>6}  {:>5}  {:>5}",
+            l.level, l.pruned_subsets, l.sharp_bound_evals, l.cheap_bound_skips,
+        );
+    }
+    let traced_total: u64 = engine.level_prunes().iter().map(|l| l.pruned_subsets).sum();
+    assert_eq!(
+        traced_total, fast.stats.pruned_subsets,
+        "the per-level trace must account for every pruned subset"
     );
     assert_eq!(
         unpruned.plan, fast.plan,
@@ -89,6 +117,24 @@ fn main() {
     assert!(
         fast.stats.candidates < unpruned.stats.candidates,
         "pruning must save combine work"
+    );
+
+    // --- Ceiling 3: a 12-table clique, every subset connected. ----------
+    let (cat, q) = pruning_clique(12);
+    let model = CostModel::new(&cat, &q);
+    let dense = optimize_lec_static_with(&model, &memory, &pruned).expect("pruned clique");
+    println!(
+        "12-table clique, pruned keep-best: cost {:.0}, {} nodes, {} subsets pruned, \
+         {} sharp / {} cheap",
+        dense.cost,
+        dense.stats.nodes,
+        dense.stats.pruned_subsets,
+        dense.stats.sharp_bound_evals,
+        dense.stats.cheap_bound_skips,
+    );
+    assert!(
+        dense.stats.pruned_subsets > 0,
+        "the clique must actually trigger pruning"
     );
     println!("answers byte-identical; pruning only removed work.");
 }

@@ -34,5 +34,6 @@ pub use model::{
 };
 pub use plan_cost::{
     expected_plan_cost_dynamic, expected_plan_cost_static, output_order, phases, plan_cost_at,
-    plan_memory_breakpoints, plan_output_pages, MemCost, Phase,
+    plan_memory_breakpoints, plan_node_costs, plan_output_pages, MemCost, NodeKind, Phase,
+    PlanNodeCost,
 };

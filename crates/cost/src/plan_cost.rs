@@ -120,6 +120,165 @@ fn collect(model: &CostModel<'_>, node: &PlanNode, out: &mut Vec<Phase>) -> Node
     }
 }
 
+/// What one audited plan node is, with the point-estimated operand sizes
+/// its predicted cost is computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Base-table access (memory-independent cost).
+    Access {
+        /// Access path.
+        path: AccessPath,
+        /// Query-table index.
+        table: usize,
+    },
+    /// Explicit external sort.
+    Sort {
+        /// Input size in pages.
+        pages: f64,
+    },
+    /// A join of two point-estimated inputs.
+    Join {
+        /// Join algorithm.
+        method: JoinMethod,
+        /// Outer input size in pages.
+        outer: f64,
+        /// Inner input size in pages.
+        inner: f64,
+    },
+}
+
+/// One plan node's predicted-cost record: the per-node decomposition the
+/// calibration observatory (`lec-exec::calib`) audits against measured
+/// page I/O.  Emitted by [`plan_node_costs`] in the exact traversal order
+/// of [`phases`], so a node's `phase` index lines up with the phase list,
+/// the simulator's traces, and the environment's per-phase marginals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNodeCost {
+    /// Short display label (`R0`, `IxR2`, `Sort`, `SM`, ... — the
+    /// vocabulary of `PlanNode::compact`).
+    pub label: String,
+    /// Index into [`phases`] for memory-dependent nodes; `None` for
+    /// base-table accesses (their cost is memory-independent and folded
+    /// into an enclosing phase's fixed part).
+    pub phase: Option<usize>,
+    /// The node's operator and operand sizes.
+    pub kind: NodeKind,
+}
+
+impl PlanNodeCost {
+    /// The node's predicted cost when memory is `m` pages.
+    pub fn cost_at(&self, model: &CostModel<'_>, m: f64) -> f64 {
+        match &self.kind {
+            NodeKind::Access { path, table } => model.access_cost(*path, *table),
+            NodeKind::Sort { pages } => model.sort_cost(*pages, m),
+            NodeKind::Join {
+                method,
+                outer,
+                inner,
+            } => model.join_cost(*method, *outer, *inner, m),
+        }
+    }
+
+    /// The telemetry operator class this node's prediction error is
+    /// recorded under.
+    pub fn class(&self) -> lec_telemetry::OpClass {
+        use lec_telemetry::OpClass;
+        match &self.kind {
+            NodeKind::Access {
+                path: AccessPath::SeqScan,
+                ..
+            } => OpClass::SeqAccess,
+            NodeKind::Access {
+                path: AccessPath::IndexScan,
+                ..
+            } => OpClass::IndexAccess,
+            NodeKind::Sort { .. } => OpClass::Sort,
+            NodeKind::Join { method, .. } => match method {
+                JoinMethod::SortMerge => OpClass::SortMerge,
+                JoinMethod::GraceHash => OpClass::GraceHash,
+                JoinMethod::PageNestedLoop => OpClass::PageNestedLoop,
+                JoinMethod::BlockNestedLoop => OpClass::BlockNestedLoop,
+            },
+        }
+    }
+}
+
+fn collect_nodes(
+    model: &CostModel<'_>,
+    node: &PlanNode,
+    next_phase: &mut usize,
+    out: &mut Vec<PlanNodeCost>,
+) -> f64 {
+    match node {
+        PlanNode::SeqScan { table } => {
+            out.push(PlanNodeCost {
+                label: format!("R{table}"),
+                phase: None,
+                kind: NodeKind::Access {
+                    path: AccessPath::SeqScan,
+                    table: *table,
+                },
+            });
+            model.base_pages(*table)
+        }
+        PlanNode::IndexScan { table } => {
+            out.push(PlanNodeCost {
+                label: format!("IxR{table}"),
+                phase: None,
+                kind: NodeKind::Access {
+                    path: AccessPath::IndexScan,
+                    table: *table,
+                },
+            });
+            model.base_pages(*table)
+        }
+        PlanNode::Sort { input, .. } => {
+            let pages = collect_nodes(model, input, next_phase, out);
+            let phase = *next_phase;
+            *next_phase += 1;
+            out.push(PlanNodeCost {
+                label: "Sort".to_string(),
+                phase: Some(phase),
+                kind: NodeKind::Sort { pages },
+            });
+            pages
+        }
+        PlanNode::Join {
+            method,
+            outer,
+            inner,
+        } => {
+            let outer_pages = collect_nodes(model, outer, next_phase, out);
+            let inner_pages = collect_nodes(model, inner, next_phase, out);
+            let phase = *next_phase;
+            *next_phase += 1;
+            out.push(PlanNodeCost {
+                label: method.name().to_string(),
+                phase: Some(phase),
+                kind: NodeKind::Join {
+                    method: *method,
+                    outer: outer_pages,
+                    inner: inner_pages,
+                },
+            });
+            let sel = model.join_selectivity_sets(outer.tables(), inner.tables());
+            model.join_output_pages(outer_pages, inner_pages, sel)
+        }
+    }
+}
+
+/// Per-node predicted-cost decomposition of a plan, in the traversal order
+/// of [`phases`] (post-order, outer before inner; access leaves emitted
+/// where they occur).  Invariant, tested here and re-asserted by every
+/// calibration audit: for any memory `m`, the node costs sum to the
+/// whole-plan prediction `plan_cost_at(model, plan, m)`.
+pub fn plan_node_costs(model: &CostModel<'_>, plan: &PlanNode) -> Vec<PlanNodeCost> {
+    let mut out = Vec::new();
+    let mut next_phase = 0usize;
+    collect_nodes(model, plan, &mut next_phase, &mut out);
+    out
+}
+
 /// Decompose a plan into execution phases, innermost first.
 pub fn phases(model: &CostModel<'_>, plan: &PlanNode) -> Vec<Phase> {
     let mut out = Vec::with_capacity(plan.n_phases());
@@ -446,6 +605,76 @@ mod tests {
         assert_eq!(c1, 1_400_000.0 + 2.0 * 1_400_000.0);
         // Sort of 3000 pages at m=50: ∛3000 ≈ 14.4 ≤ 50 < √3000 → 5·3000.
         assert_eq!(c2, 1_400_000.0 + 2.0 * 1_400_000.0 + 15_000.0);
+    }
+
+    #[test]
+    fn node_costs_sum_to_whole_plan_prediction() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        for plan in [
+            plan1(),
+            plan2(),
+            PlanNode::SeqScan { table: 0 },
+            PlanNode::sort(PlanNode::SeqScan { table: 1 }, ColumnRef::new(1, 0)),
+        ] {
+            let nodes = plan_node_costs(&model, &plan);
+            for m in [50.0, 700.0, 2000.0, 1e6] {
+                let node_sum: f64 = nodes.iter().map(|n| n.cost_at(&model, m)).sum();
+                let whole = plan_cost_at(&model, &plan, m);
+                assert!(
+                    (node_sum - whole).abs() <= 1e-9 * whole.max(1.0),
+                    "{}: Σ nodes {} != plan {} at m={}",
+                    plan.compact(),
+                    node_sum,
+                    whole,
+                    m
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_phase_indices_align_with_phase_list() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let plan = plan2();
+        let ph = phases(&model, &plan);
+        let nodes = plan_node_costs(&model, &plan);
+        // Every memory-dependent node maps to the phase holding the same
+        // operator, with the same operand sizes.
+        let mut mem_nodes = 0;
+        for n in &nodes {
+            let Some(i) = n.phase else { continue };
+            mem_nodes += 1;
+            match (&n.kind, &ph[i].mem) {
+                (NodeKind::Sort { pages: a }, MemCost::Sort { pages: b }) => {
+                    assert_eq!(a, b);
+                }
+                (
+                    NodeKind::Join {
+                        method: ma,
+                        outer: oa,
+                        inner: ia,
+                    },
+                    MemCost::Join {
+                        method: mb,
+                        outer: ob,
+                        inner: ib,
+                    },
+                ) => {
+                    assert_eq!(ma, mb);
+                    assert_eq!(oa, ob);
+                    assert_eq!(ia, ib);
+                }
+                (k, m) => panic!("phase {i}: node {k:?} vs phase {m:?}"),
+            }
+        }
+        assert_eq!(mem_nodes, ph.len());
+        // Access leaves carry no phase and classify by path.
+        use lec_telemetry::OpClass;
+        assert_eq!(nodes[0].class(), OpClass::SeqAccess);
+        assert_eq!(nodes[0].phase, None);
+        assert_eq!(nodes.last().unwrap().class(), OpClass::Sort);
     }
 
     #[test]

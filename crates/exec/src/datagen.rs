@@ -27,9 +27,11 @@ pub struct Dataset {
 }
 
 /// Domain shared by all join-equated columns.  Small enough that joins hit.
-const JOIN_DOMAIN: i64 = 16;
+/// Public because the calibration twin ([`crate::calib`]) rewrites join
+/// selectivities to the exact page-level value this domain induces.
+pub const JOIN_DOMAIN: i64 = 16;
 /// Domain for plain columns.
-const PLAIN_DOMAIN: i64 = 40;
+pub const PLAIN_DOMAIN: i64 = 40;
 
 /// Generate a dataset for `query`, capping each table at `max_rows` rows.
 pub fn generate(catalog: &Catalog, query: &Query, max_rows: usize, seed: u64) -> Dataset {

@@ -308,6 +308,52 @@ fn hash_join_rows(left: &[Row], right: &[Row], a_key: usize, b_key: usize) -> Ve
     out
 }
 
+/// Page nested-loop join, the paper's `NL` variant: when the smaller input
+/// fits in `m - 2` buffer pages it stays resident and the larger side
+/// streams past once (I/O exactly `|A| + |B|`); otherwise one outer page is
+/// held at a time and the inner is rescanned per outer page (I/O exactly
+/// `|A| + |A|·|B|`) — the two regimes of `lec-cost`'s `nl_join_cost`.
+pub fn page_nl_join(
+    a: &DiskTable,
+    b: &DiskTable,
+    a_key: usize,
+    b_key: usize,
+    m: usize,
+    _page_cap: usize,
+) -> OpResult {
+    assert!(m >= 3, "page nested-loop needs at least 3 buffer pages");
+    let mut disk = Disk::new();
+    let s = a.n_pages().min(b.n_pages());
+    let mut out = Vec::new();
+    if s + 2 <= m {
+        if a.n_pages() <= b.n_pages() {
+            // Outer resident, inner streams.
+            let outer_rows = disk.read_all(a);
+            for p in 0..b.n_pages() {
+                let inner_page = disk.read_page(b, p);
+                out.extend(hash_join_rows(&outer_rows, &inner_page, a_key, b_key));
+            }
+        } else {
+            // Inner resident, outer streams.
+            let inner_rows = disk.read_all(b);
+            for p in 0..a.n_pages() {
+                let outer_page = disk.read_page(a, p);
+                out.extend(hash_join_rows(&outer_page, &inner_rows, a_key, b_key));
+            }
+        }
+    } else {
+        for p in 0..a.n_pages() {
+            let outer_page = disk.read_page(a, p);
+            let inner_rows = disk.read_all(b);
+            out.extend(hash_join_rows(&outer_page, &inner_rows, a_key, b_key));
+        }
+    }
+    OpResult {
+        rows: out,
+        io: disk.io().total(),
+    }
+}
+
 /// Block nested-loop join: `m - 2` pages of the outer per block, one inner
 /// scan per block.  Measured I/O is exactly `|A| + ⌈|A|/(m-2)⌉·|B|`.
 pub fn block_nl_join(
@@ -405,10 +451,31 @@ mod tests {
         let sm = canonical(sort_merge_join(&a, &b, 0, 0, 8, 4).rows);
         let gh = canonical(grace_hash_join(&a, &b, 0, 0, 8, 4).rows);
         let nl = canonical(block_nl_join(&a, &b, 0, 0, 8, 4).rows);
+        let pnl = canonical(page_nl_join(&a, &b, 0, 0, 8, 4).rows);
         assert_eq!(sm.len(), gh.len());
         assert_eq!(sm, gh);
         assert_eq!(sm, nl);
+        assert_eq!(sm, pnl);
         assert!(!sm.is_empty(), "fixture should produce matches");
+    }
+
+    #[test]
+    fn page_nl_io_is_exact_in_both_regimes() {
+        let a = table(100, 4, 10, 7); // 25 pages
+        let b = table(40, 4, 10, 8); // 10 pages
+                                     // S = 10 fits when m >= 12: one pass over each side.
+        for m in [12usize, 30] {
+            let r = page_nl_join(&a, &b, 0, 0, m, 4);
+            assert_eq!(r.io, 25 + 10, "m={m}");
+        }
+        // Below the cliff: inner rescanned per outer page.
+        for m in [3usize, 6, 11] {
+            let r = page_nl_join(&a, &b, 0, 0, m, 4);
+            assert_eq!(r.io, 25 + 25 * 10, "m={m}");
+        }
+        // Swapped operands hit the outer-resident branch with the same fit I/O.
+        let r = page_nl_join(&b, &a, 0, 0, 12, 4);
+        assert_eq!(r.io, 10 + 25);
     }
 
     #[test]

@@ -32,6 +32,20 @@ pub struct SimStats {
     pub p50: f64,
     /// 95th percentile.
     pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl SimStats {
+    /// Relative error of a prediction against the simulated mean:
+    /// `|predicted − mean| / mean`.  The calibration audit's headline
+    /// number for the simulated side of the loop.
+    pub fn relative_error(&self, predicted: f64) -> f64 {
+        if self.mean == 0.0 {
+            return if predicted == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        (predicted - self.mean).abs() / self.mean.abs()
+    }
 }
 
 /// Cost of one execution given a concrete per-phase memory trace.
@@ -81,6 +95,7 @@ fn summarize(mut costs: Vec<f64>) -> SimStats {
         max: costs[runs - 1],
         p50: pct(0.5),
         p95: pct(0.95),
+        p99: pct(0.99),
     }
 }
 
@@ -150,8 +165,59 @@ mod tests {
         let env = Environment::Static(example_1_1_memory());
         let lsc = lec_core::optimize_lsc(&model, 2000.0).unwrap().plan;
         let s = monte_carlo(&model, &lsc, &env, 5000, 3).unwrap();
-        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
         assert!(s.runs == 5000);
+    }
+
+    #[test]
+    fn single_run_quantiles_collapse_to_the_observation() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let env = Environment::Static(Distribution::point(700.0));
+        let plan = plan2(&model);
+        let s = monte_carlo(&model, &plan, &env, 1, 5).unwrap();
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.p50, s.min);
+        assert_eq!(s.p95, s.min);
+        assert_eq!(s.p99, s.min);
+    }
+
+    #[test]
+    fn constant_trace_gives_degenerate_stats() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let env = Environment::Static(Distribution::point(2000.0));
+        let plan = plan2(&model);
+        let s = monte_carlo(&model, &plan, &env, 100, 5).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.p99, s.mean);
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        let (cat, q) = example_1_1();
+        let model = CostModel::new(&cat, &q);
+        let env = Environment::Static(Distribution::point(2000.0));
+        let plan = plan2(&model);
+        let s = monte_carlo(&model, &plan, &env, 10, 1).unwrap();
+        assert_eq!(s.relative_error(s.mean), 0.0);
+        assert!((s.relative_error(s.mean * 1.5) - 0.5).abs() < 1e-12);
+        assert!((s.relative_error(s.mean * 0.5) - 0.5).abs() < 1e-12);
+        let zero = SimStats {
+            runs: 1,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+        };
+        assert_eq!(zero.relative_error(0.0), 0.0);
+        assert!(zero.relative_error(1.0).is_infinite());
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Property tests for the execution substrate: external operators against
 //! each other and against the closed-form I/O model.
 
+use lec_cost::formulas;
 use lec_exec::bufpool::Row;
-use lec_exec::{block_nl_join, external_sort, grace_hash_join, sort_merge_join, DiskTable};
+use lec_exec::{
+    block_nl_join, external_sort, grace_hash_join, op_band, page_nl_join, sort_merge_join,
+    DiskTable,
+};
+use lec_telemetry::OpClass;
 use proptest::prelude::*;
 
 const PAGE_CAP: usize = 4;
@@ -104,5 +109,72 @@ proptest! {
         // 2x growth over 8 levels at the extreme.  Use a generous envelope
         // that still catches runaway behaviour.
         prop_assert!(r.io <= 8 * total + 64, "io {} total {total}", r.io);
+    }
+
+    /// Page nested-loop I/O matches its closed-form formula exactly, in
+    /// both regimes (resident smaller side, and per-outer-page rescans).
+    #[test]
+    fn page_nl_io_is_exact(a in arb_table(150, 50), b in arb_table(150, 50), m in 3usize..40) {
+        let r = page_nl_join(&a, &b, 0, 0, m, PAGE_CAP);
+        let model = formulas::nl_join_cost(a.n_pages() as f64, b.n_pages() as f64, m as f64);
+        prop_assert_eq!(r.io as f64, model);
+    }
+
+    /// The calibration contract (ISSUE 10): every external operator's
+    /// measured page I/O stays inside its class's measured-vs-formula
+    /// band [`op_band`] against the closed-form `lec-cost` formula, over
+    /// randomized table sizes, buffer budgets, and memory buckets.  The
+    /// bands are wide where the implementation's cliffs sit at fan-in
+    /// boundaries rather than the model's `√R`, and tight (±0.1%) where
+    /// the operator *is* the formula.
+    #[test]
+    fn operator_io_within_calibration_band_of_formula(
+        a in arb_table(150, 64),
+        b in arb_table(150, 64),
+        m in 3usize..40,
+    ) {
+        let (ap, bp) = (a.n_pages() as f64, b.n_pages() as f64);
+        let mf = m as f64;
+        let cases: Vec<(OpClass, u64, f64, &str)> = vec![
+            (
+                OpClass::Sort,
+                external_sort(&a, 0, m, PAGE_CAP).io,
+                formulas::sort_cost(ap, mf),
+                "sort",
+            ),
+            (
+                OpClass::SortMerge,
+                sort_merge_join(&a, &b, 0, 0, m, PAGE_CAP).io,
+                formulas::sm_join_cost(ap, bp, mf),
+                "sort-merge",
+            ),
+            (
+                OpClass::GraceHash,
+                grace_hash_join(&a, &b, 0, 0, m, PAGE_CAP).io,
+                formulas::grace_join_cost(ap, bp, mf),
+                "grace",
+            ),
+            (
+                OpClass::BlockNestedLoop,
+                block_nl_join(&a, &b, 0, 0, m, PAGE_CAP).io,
+                formulas::bnl_join_cost(ap, bp, mf),
+                "block-nl",
+            ),
+            (
+                OpClass::PageNestedLoop,
+                page_nl_join(&a, &b, 0, 0, m, PAGE_CAP).io,
+                formulas::nl_join_cost(ap, bp, mf),
+                "page-nl",
+            ),
+        ];
+        for (class, io, model, name) in cases {
+            let (lo, hi) = op_band(class);
+            let ratio = io as f64 / model;
+            prop_assert!(
+                ratio >= lo && ratio <= hi,
+                "{name}: measured {io} vs model {model} (ratio {ratio:.3}) \
+                 outside band [{lo}, {hi}] at |A|={ap}, |B|={bp}, m={m}"
+            );
+        }
     }
 }

@@ -40,6 +40,29 @@ fn stats_cross_the_wire_and_agree_with_in_process_snapshots() {
         );
         assert!(wire_json.contains("\"telemetry\""));
 
+        // The calibration surface crosses the wire with pinned sorted
+        // keys.  The daemon only optimizes — nothing executed — so the
+        // per-class error histograms and the cumulative I/O totals are
+        // exactly zero, and both sections can be matched as literal
+        // substrings of the payload.
+        let empty_hist = "{\"count\": 0, \"mean_ns\": 0, \"p50_ns\": 0, \"p90_ns\": 0, \
+                          \"p999_ns\": 0, \"p99_ns\": 0, \"sum_ns\": 0}";
+        let pinned_calibration = format!(
+            "\"calibration\": {{\"block_nl\": {empty_hist}, \"grace_hash\": {empty_hist}, \
+             \"index_access\": {empty_hist}, \"page_nl\": {empty_hist}, \
+             \"seq_access\": {empty_hist}, \"sort\": {empty_hist}, \
+             \"sort_merge\": {empty_hist}}}"
+        );
+        assert!(
+            wire_json.contains(&pinned_calibration),
+            "wire snapshot lost the pinned calibration section\n  want: \
+             {pinned_calibration}\n  got:  {wire_json}"
+        );
+        assert!(
+            wire_json.contains("\"io\": {\"reads\": 0, \"writes\": 0}"),
+            "wire snapshot lost the pinned io totals: {wire_json}"
+        );
+
         // Both requests recorded under their outcome classes and retained
         // in the trace ring, bracketed by the daemon's decode/flush spans
         // around the serving layer's probe/search spans.

@@ -1,0 +1,95 @@
+//! Ground truth in the loop: audit an optimizer's predicted costs against
+//! measured page I/O on a physical twin of the query.
+//!
+//! The calibrator scales the three-table chain down to an executable
+//! replica (`rows = pages · page_cap`, page-exact selectivities), runs the
+//! chosen plan through the real external operators at every memory bucket,
+//! and pairs each plan node's prediction with what the buffer pool
+//! actually charged.
+//!
+//! ```text
+//! cargo run --example calibration --release
+//! ```
+
+use lec_qopt::core::{fixtures, Mode, Optimizer, PointEstimate};
+use lec_qopt::exec::{CalibConfig, Calibrator, Environment};
+use lec_qopt::prob::Distribution;
+use lec_qopt::telemetry::{OpClass, Telemetry};
+
+fn main() {
+    let (catalog, query) = fixtures::three_chain();
+    let cal = Calibrator::new(&catalog, &query, CalibConfig::default());
+    let twin = cal.twin();
+    println!("physical twin (page_cap 4, cap 32 pages):");
+    for qt in &twin.query.tables {
+        let stats = &twin.catalog.table(qt.table).stats;
+        println!(
+            "  {:<12} {:>3} pages, {:>4} rows",
+            twin.catalog.table(qt.table).name,
+            stats.pages,
+            stats.rows
+        );
+    }
+
+    // Memory is equally likely to be 4, 8 or 16 pages — deep spills
+    // through mostly-fitting joins.
+    let memory =
+        Distribution::from_pairs([(4.0, 1.0 / 3.0), (8.0, 1.0 / 3.0), (16.0, 1.0 / 3.0)]).unwrap();
+    let env = Environment::Static(memory.clone());
+    let opt = Optimizer::new(&twin.catalog, memory);
+
+    let tel = Telemetry::on();
+    println!(
+        "\n{:<10} {:>12} {:>12} {:>9}  plan",
+        "mode", "predicted", "measured", "rel err"
+    );
+    for mode in [Mode::Lsc(PointEstimate::Mean), Mode::AlgorithmC] {
+        let optimized = opt.optimize(&cal.twin().query, &mode).unwrap();
+        let audit = cal.audit(&optimized.plan, &env, Some(&tel)).unwrap();
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>8.1}%  {}",
+            optimized.mode,
+            audit.predicted_expected,
+            audit.measured_expected,
+            100.0 * audit.relative_error(),
+            audit.plan
+        );
+    }
+
+    // The full audit trace for the LEC plan, as sorted-key JSON.
+    let optimized = opt.optimize(&cal.twin().query, &Mode::AlgorithmC).unwrap();
+    let audit = cal.audit(&optimized.plan, &env, Some(&tel)).unwrap();
+    println!("\nper-node audit of the LEC plan:");
+    for node in &audit.nodes {
+        println!(
+            "  {:<6} class {:<12} phase {:<4} predicted {:>8.1} measured {:>8.1} ({} bp)",
+            node.label,
+            node.class.name(),
+            node.phase.map_or("-".into(), |p| p.to_string()),
+            node.predicted_expected,
+            node.measured_expected,
+            node.error_bp()
+        );
+    }
+    println!("\nfull trace JSON:\n{}", audit.to_json());
+
+    // Everything above also landed in the shared telemetry: calibration
+    // histograms per operator class plus cumulative page I/O.
+    println!("\ntelemetry calibration histograms:");
+    for class in OpClass::all() {
+        let snap = tel.calibration_snapshot(class);
+        if snap.count() > 0 {
+            println!(
+                "  {:<12} {} samples, p50 error {} bp",
+                class.name(),
+                snap.count(),
+                snap.quantile(0.5)
+            );
+        }
+    }
+    println!(
+        "io totals: {} page reads, {} page writes",
+        tel.io().reads(),
+        tel.io().writes()
+    );
+}

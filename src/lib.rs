@@ -13,7 +13,8 @@
 //! | [`core`] | LSC baseline and Algorithms A, B, C, D; bucketing; ground truth |
 //! | [`service`] | cross-query serving: canonical-shape plan cache + persistent worker pool |
 //! | [`serviced`] | hardened network daemon: wire protocol, admission control, graceful drain, fault injection |
-//! | [`exec`] | Monte-Carlo simulation, buffer-pool operators, tuple executor |
+//! | [`exec`] | Monte-Carlo simulation, buffer-pool operators, tuple executor, cost-calibration observatory |
+//! | [`telemetry`] | lock-free histograms, request tracing, calibration-error and I/O counters |
 //!
 //! This facade crate re-exports the public APIs and hosts the runnable
 //! examples (`examples/`) and workspace integration tests (`tests/`).
@@ -42,3 +43,4 @@ pub use lec_plan as plan;
 pub use lec_prob as prob;
 pub use lec_service as service;
 pub use lec_serviced as serviced;
+pub use lec_telemetry as telemetry;
